@@ -1,0 +1,114 @@
+// Ablation A: minimal-cut-set generation — MOCUS (top-down expansion with
+// absorption) vs Rauzy's BDD decomposition — on structures that stress them
+// differently:
+//   * k-of-n votes (combinatorial blow-up in MOCUS's expansion),
+//   * random AND/OR/INHIBIT DAGs with shared subtrees (absorption load),
+//   * deep OR/AND ladders (cheap for both; baseline overhead).
+#include <benchmark/benchmark.h>
+
+#include "../tests/testutil/random_tree.h"
+#include "safeopt/bdd/bdd.h"
+#include "safeopt/fta/cut_sets.h"
+
+namespace {
+
+using namespace safeopt;
+
+fta::FaultTree vote_tree(std::uint32_t n, std::uint32_t k) {
+  fta::FaultTree tree("vote");
+  std::vector<fta::NodeId> leaves;
+  leaves.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+  }
+  tree.set_top(tree.add_k_of_n("top", k, std::move(leaves)));
+  return tree;
+}
+
+fta::FaultTree ladder_tree(std::uint32_t rungs) {
+  fta::FaultTree tree("ladder");
+  fta::NodeId previous = tree.add_basic_event("seed");
+  for (std::uint32_t i = 0; i < rungs; ++i) {
+    const auto a = tree.add_basic_event("a" + std::to_string(i));
+    const auto b = tree.add_basic_event("b" + std::to_string(i));
+    const auto pair = tree.add_and("and" + std::to_string(i), {a, b});
+    previous = tree.add_or("or" + std::to_string(i), {previous, pair});
+  }
+  tree.set_top(previous);
+  return tree;
+}
+
+void BM_MocusVote(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const fta::FaultTree tree = vote_tree(n, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fta::minimal_cut_sets(tree));
+  }
+  state.counters["cut_sets"] =
+      static_cast<double>(fta::minimal_cut_sets(tree).size());
+}
+BENCHMARK(BM_MocusVote)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_BddVote(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const fta::FaultTree tree = vote_tree(n, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::minimal_cut_sets_bdd(tree));
+  }
+  state.counters["cut_sets"] =
+      static_cast<double>(bdd::minimal_cut_sets_bdd(tree).size());
+}
+BENCHMARK(BM_BddVote)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MocusRandomDag(benchmark::State& state) {
+  const fta::FaultTree tree = testutil::random_tree(
+      static_cast<std::uint64_t>(state.range(0)),
+      {.basic_events = 14, .conditions = 2, .gates = 12});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fta::minimal_cut_sets(tree));
+  }
+}
+BENCHMARK(BM_MocusRandomDag)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BddRandomDag(benchmark::State& state) {
+  const fta::FaultTree tree = testutil::random_tree(
+      static_cast<std::uint64_t>(state.range(0)),
+      {.basic_events = 14, .conditions = 2, .gates = 12});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::minimal_cut_sets_bdd(tree));
+  }
+}
+BENCHMARK(BM_BddRandomDag)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_MocusLadder(benchmark::State& state) {
+  const fta::FaultTree tree =
+      ladder_tree(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fta::minimal_cut_sets(tree));
+  }
+}
+BENCHMARK(BM_MocusLadder)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BddLadder(benchmark::State& state) {
+  const fta::FaultTree tree =
+      ladder_tree(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::minimal_cut_sets_bdd(tree));
+  }
+}
+BENCHMARK(BM_BddLadder)->Arg(8)->Arg(16)->Arg(32);
+
+// BDD compilation alone (the fixed cost the exact method pays even when
+// cut sets are never needed).
+void BM_BddCompile(benchmark::State& state) {
+  const fta::FaultTree tree =
+      ladder_tree(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd::compile(tree));
+  }
+}
+BENCHMARK(BM_BddCompile)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

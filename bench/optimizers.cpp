@@ -1,0 +1,118 @@
+// Ablation C: solver shoot-out on the paper's actual optimization problem —
+// the Elbtunnel cost function over the timer box — plus the Rosenbrock
+// valley as a hard reference. Reports both solution quality (cost gap to
+// the best known optimum, argmin error) and runtime per solve.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/opt/coordinate_descent.h"
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/gradient_descent.h"
+#include "safeopt/opt/grid_search.h"
+#include "safeopt/opt/hooke_jeeves.h"
+#include "safeopt/opt/multi_start.h"
+#include "safeopt/opt/nelder_mead.h"
+#include "safeopt/opt/simulated_annealing.h"
+
+namespace {
+
+using namespace safeopt;
+
+std::unique_ptr<opt::Optimizer> make(const std::string& name) {
+  if (name == "GridSearch") return std::make_unique<opt::GridSearch>(33, 5);
+  if (name == "NelderMead") return std::make_unique<opt::NelderMead>();
+  if (name == "MultiStartNM") {
+    return std::make_unique<opt::MultiStart>(
+        [](std::vector<double> start) -> std::unique_ptr<opt::Optimizer> {
+          return std::make_unique<opt::NelderMead>(opt::StoppingCriteria{},
+                                                   std::move(start));
+        },
+        8);
+  }
+  if (name == "GradientDescent") {
+    return std::make_unique<opt::ProjectedGradientDescent>();
+  }
+  if (name == "HookeJeeves") return std::make_unique<opt::HookeJeeves>();
+  if (name == "CoordinateDescent") {
+    return std::make_unique<opt::CoordinateDescent>();
+  }
+  if (name == "SimulatedAnnealing") {
+    return std::make_unique<opt::SimulatedAnnealing>();
+  }
+  if (name == "DifferentialEvolution") {
+    return std::make_unique<opt::DifferentialEvolution>();
+  }
+  return nullptr;
+}
+
+const char* kSolvers[] = {"GridSearch",         "NelderMead",
+                          "MultiStartNM",       "GradientDescent",
+                          "HookeJeeves",        "CoordinateDescent",
+                          "SimulatedAnnealing", "DifferentialEvolution"};
+
+void quality_table() {
+  const elbtunnel::ElbtunnelModel model;
+  const opt::Problem problem = model.optimizer().problem();
+
+  // Best-known optimum from a fine multi-start run.
+  const auto reference = make("MultiStartNM")->minimize(problem);
+
+  std::printf(
+      "\n=== solution quality on the Elbtunnel cost function ===\n"
+      "%-22s %9s %9s %13s %12s %12s\n",
+      "solver", "T1*", "T2*", "cost", "cost gap", "evaluations");
+  for (const char* name : kSolvers) {
+    const auto result = make(name)->minimize(problem);
+    std::printf("%-22s %9.3f %9.3f %13.8f %12.2e %12zu\n", name,
+                result.argmin[0], result.argmin[1], result.value,
+                result.value - reference.value, result.evaluations);
+  }
+  std::printf("(paper optimum: T1 ~ 19, T2 ~ 15.6)\n\n");
+}
+
+void BM_ElbtunnelSolve(benchmark::State& state, const std::string& solver) {
+  const elbtunnel::ElbtunnelModel model;
+  const opt::Problem problem = model.optimizer().problem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make(solver)->minimize(problem));
+  }
+}
+
+void BM_RosenbrockSolve(benchmark::State& state, const std::string& solver) {
+  opt::Problem problem;
+  problem.bounds = opt::Box({-2.0, -1.0}, {2.0, 3.0});
+  problem.objective = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make(solver)->minimize(problem));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  quality_table();
+  for (const char* solver : kSolvers) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Elbtunnel/") + solver).c_str(),
+        [solver](benchmark::State& state) {
+          BM_ElbtunnelSolve(state, solver);
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Rosenbrock/") + solver).c_str(),
+        [solver](benchmark::State& state) {
+          BM_RosenbrockSolve(state, solver);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Constraint probabilities on INHIBIT gates (paper §II-D.1): "the failure of
+// a critical cooling unit is only dangerous if the system which has to be
+// cooled is working". This example models a reactor cooling train from a
+// model file (the ftio text format), shows how the duty-cycle constraint
+// changes the quantified risk, and cross-checks the analytics with Monte
+// Carlo sampling.
+#include <cstdio>
+
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/ftio/parser.h"
+#include "safeopt/mc/monte_carlo.h"
+
+namespace {
+
+constexpr const char* kModel = R"(
+# Overheating of a process unit: cooling failures only matter while the
+# process is running (INHIBIT condition 'ProcessRunning').
+tree Overheat;
+toplevel Overheat_top;
+Overheat_top  or CoolingLost SensorBlind;
+CoolingLost   inhibit CoolingFailed ProcessRunning;
+CoolingFailed 2of3 PumpA PumpB PumpC;   # 2-of-3 redundant pump train
+SensorBlind   and TempSensor1 TempSensor2;
+PumpA prob = 0.02;
+PumpB prob = 0.02;
+PumpC prob = 0.02;
+TempSensor1 prob = 0.001;
+TempSensor2 prob = 0.001;
+ProcessRunning condition prob = 0.6;    # duty cycle of the cooled process
+)";
+
+}  // namespace
+
+int main() {
+  using namespace safeopt;
+
+  const ftio::ParsedFaultTree model = ftio::parse_fault_tree(kModel);
+  const fta::FaultTree& tree = model.tree;
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(tree);
+  std::printf("minimal cut sets: %s\n\n", mcs.to_string(tree).c_str());
+
+  // Worst case (classical quantitative FTA): constraint forced to 1.
+  fta::QuantificationInput worst = model.probabilities;
+  worst.set(tree, "ProcessRunning", 1.0);
+  const double p_worst = fta::top_event_probability(mcs, worst);
+
+  // With the §II-D.1 refinement: Eq. 2 multiplies the duty cycle in.
+  const double p_constrained =
+      fta::top_event_probability(mcs, model.probabilities);
+
+  std::printf("P(overheat), worst-case environment:   %.6e\n", p_worst);
+  std::printf("P(overheat), 60%% duty-cycle constraint: %.6e\n",
+              p_constrained);
+  std::printf("  -> the constraint removes %.1f%% of the assessed risk\n\n",
+              100.0 * (1.0 - p_constrained / p_worst));
+
+  // Environment scaling: how does risk grow if the process runs more?
+  std::printf("duty cycle -> hazard probability (rare-event):\n");
+  for (double duty = 0.2; duty <= 1.0; duty += 0.2) {
+    fta::QuantificationInput input = model.probabilities;
+    input.set(tree, "ProcessRunning", duty);
+    std::printf("  %3.0f%%  %.6e\n", 100.0 * duty,
+                fta::top_event_probability(mcs, input));
+  }
+
+  // Monte Carlo cross-check of the analytic number.
+  const auto estimate =
+      mc::estimate_hazard_probability(tree, model.probabilities, 2'000'000);
+  std::printf(
+      "\nMonte Carlo (%llu trials): %.6e, 95%% CI [%.6e, %.6e]\n",
+      static_cast<unsigned long long>(estimate.trials), estimate.estimate,
+      estimate.ci95.lo, estimate.ci95.hi);
+  std::printf("analytic value %s the confidence interval\n",
+              estimate.consistent_with(p_constrained) ? "inside" : "OUTSIDE");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Hunting the two height-control design flaws with two different tools,
+// mirroring the paper's methodology mix:
+//
+//   1. The *logical* flaw (§IV-A): two OHVs entering zone 1 concurrently
+//      defeat the original control. The paper found it with the SMV model
+//      checker; here the explicit-state checker produces the same
+//      counterexample and proves the revised design safe.
+//
+//   2. The *quantitative* flaw (§IV-C.2): even the revised, optimized
+//      design alarms on >80% of correctly driving OHVs once an OHV is
+//      present. The paper found it through parameterized probabilities;
+//      here the discrete-event traffic simulation measures it directly and
+//      evaluates both proposed fixes.
+#include <cstdio>
+
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/modelcheck/height_control_model.h"
+#include "safeopt/sim/traffic.h"
+
+int main() {
+  using namespace safeopt;
+
+  std::printf("== 1. model checking the control logic ==\n\n");
+  for (const auto design : {modelcheck::ControlDesign::kOriginal,
+                            modelcheck::ControlDesign::kRevised}) {
+    const bool original = design == modelcheck::ControlDesign::kOriginal;
+    const modelcheck::HeightControlModel model(design, 2);
+    const modelcheck::CheckResult result = model.verify();
+    std::printf("%s design, two OHVs: %s (%zu states explored)\n",
+                original ? "original" : "revised",
+                result.holds ? "collision unreachable"
+                             : "COLLISION REACHABLE",
+                result.states_explored);
+    if (!result.holds) {
+      std::printf("shortest counterexample:\n%s",
+                  modelcheck::format_trace(model, result.counterexample)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== 2. simulating the revised design's false alarms ==\n\n");
+  const elbtunnel::ElbtunnelModel model;
+  std::printf("30 days of traffic, optimized timers (19 / 15.6 min), an OHV\n"
+              "stream plus left-lane high vehicles:\n\n");
+  std::printf("%-16s %10s %12s %18s\n", "design", "OHVs", "false alarms",
+              "correct-OHV alarm%");
+  for (const auto design : {elbtunnel::Design::kBaseline,
+                            elbtunnel::Design::kWithLB4,
+                            elbtunnel::Design::kLightBarrierAtODfinal}) {
+    sim::TrafficConfig config = model.traffic_config(19.0, 15.6, design);
+    config.ohv_arrival_rate_per_min = 0.02;  // scaled-up OHV traffic
+    const sim::TrafficStatistics stats =
+        sim::simulate_height_control(config, 2026);
+    const char* name =
+        design == elbtunnel::Design::kBaseline
+            ? "baseline"
+            : (design == elbtunnel::Design::kWithLB4 ? "with LB4"
+                                                     : "LB at ODfinal");
+    std::printf("%-16s %10llu %12llu %17.1f%%\n", name,
+                static_cast<unsigned long long>(stats.ohv_arrivals),
+                static_cast<unsigned long long>(stats.false_alarms),
+                100.0 * stats.correct_ohv_alarm_fraction());
+  }
+  std::printf(
+      "\nthe simulation reproduces the paper's verdict: the deployed design\n"
+      "is 'almost obsolete' under OHV traffic; the ODfinal barrier fix is\n"
+      "the effective one.\n");
+  return 0;
+}

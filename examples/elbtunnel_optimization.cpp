@@ -1,0 +1,76 @@
+// The full Elbtunnel case study (paper §IV), end to end:
+//   1. evaluate the engineers' initial 30/30-minute configuration,
+//   2. optimize the timer runtimes against the 100000:1 cost function,
+//   3. compare risks before/after (§IV-C.2),
+//   4. run the sensitivity analysis at the optimum,
+//   5. sweep the "OHV present" environment to expose the ODfinal design
+//      flaw and evaluate both fixes (Fig. 6 methodology).
+#include <cstdio>
+
+#include "safeopt/core/environment_sweep.h"
+#include "safeopt/core/sensitivity.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+
+int main() {
+  using namespace safeopt;
+  const elbtunnel::ElbtunnelModel model;
+
+  // 1. The engineers' guess.
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  const auto baseline = optimizer.evaluate_at(model.engineers_guess());
+  std::printf("engineers' configuration: T1 = T2 = 30 min\n");
+  std::printf("  P(HCol) = %.4e, P(HAlr) = %.4e, cost = %.7f\n\n",
+              baseline.hazard_probabilities[0],
+              baseline.hazard_probabilities[1], baseline.cost);
+
+  // 2. Safety optimization (paper §III).
+  const auto optimal =
+      optimizer.optimize(core::Algorithm::kMultiStartNelderMead);
+  std::printf("optimized configuration (%s, %zu evaluations):\n",
+              optimal.optimization.message.c_str(),
+              optimal.optimization.evaluations);
+  std::printf("  T1* = %.2f min, T2* = %.2f min, cost = %.7f\n",
+              optimal.optimization.argmin[0], optimal.optimization.argmin[1],
+              optimal.cost);
+  std::printf("  (paper: approximately 19 resp. 15.6 minutes)\n\n");
+
+  // 3. Risk comparison (§IV-C.2's reported improvements).
+  const auto report = optimizer.compare(model.engineers_guess(), optimal);
+  for (const auto& hazard : report.hazards) {
+    std::printf("  %-5s %.6e -> %.6e  (%+.3f%%)\n", hazard.hazard.c_str(),
+                hazard.baseline_probability, hazard.optimal_probability,
+                100.0 * hazard.relative_change);
+  }
+  std::printf("  total mean cost %.7f -> %.7f (%+.2f%%)\n\n",
+              report.baseline_cost, report.optimal_cost,
+              100.0 * report.cost_relative_change);
+
+  // 4. Sensitivity at the optimum: which timer is critical?
+  std::printf("sensitivity at the optimum:\n");
+  for (const auto& s : core::sensitivity_analysis(
+           model.cost_model(), model.parameter_space(),
+           optimal.optimal_parameters)) {
+    std::printf("  d(cost)/d%s = %+.3e (elasticity %+.3e)\n",
+                s.parameter.c_str(), s.cost_gradient, s.cost_elasticity);
+  }
+
+  // 5. The Fig. 6 environment study: how does the design behave when an
+  // OHV is actually present in the controlled area?
+  std::printf("\nP(false alarm | correct OHV present), by design:\n");
+  const core::SweepTable sweep = core::sweep_parameter(
+      "T2", 5.0, 25.0, 9, {},
+      {{"baseline", model.false_alarm_given_ohv(elbtunnel::Design::kBaseline)},
+       {"with_LB4", model.false_alarm_given_ohv(elbtunnel::Design::kWithLB4)},
+       {"LB_at_ODfinal",
+        model.false_alarm_given_ohv(
+            elbtunnel::Design::kLightBarrierAtODfinal)}});
+  std::printf("%s", sweep.to_csv().c_str());
+  std::printf(
+      "\nconclusion: even at the optimized T2, %.0f%% of correctly driving\n"
+      "OHVs trigger an alarm in the deployed design — the flaw the paper\n"
+      "reports. The LB4 fix cuts it to %.0f%%, a barrier at ODfinal to "
+      "%.0f%%.\n",
+      100.0 * sweep.values[0][4], 100.0 * sweep.values[1][4],
+      100.0 * sweep.values[2][4]);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a fault tree, generate minimal cut sets, quantify the
+// hazard three ways, rank failure importances, and export the tree.
+//
+// The system: a pump train whose hazard is "loss of coolant flow". Two
+// redundant pumps feed a common discharge valve; a control-room operator can
+// also trip the system by mistake, but only while maintenance is in progress
+// (an INHIBIT condition — paper §II-D.1).
+#include <cstdio>
+
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/importance.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/ftio/writer.h"
+
+int main() {
+  using namespace safeopt;
+
+  // 1. Build the tree bottom-up: leaves first, gates over them.
+  fta::FaultTree tree("LossOfCoolantFlow");
+  const auto pump_a = tree.add_basic_event("PumpA_fails");
+  const auto pump_b = tree.add_basic_event("PumpB_fails");
+  const auto valve = tree.add_basic_event("DischargeValve_stuck");
+  const auto trip = tree.add_basic_event("OperatorTrip");
+  const auto maintenance = tree.add_condition(
+      "MaintenanceInProgress", "trip switch exposed only during maintenance");
+
+  const auto both_pumps = tree.add_and("BothPumpsFail", {pump_a, pump_b});
+  const auto spurious_trip =
+      tree.add_inhibit("SpuriousTrip", trip, maintenance);
+  const auto top = tree.add_or("LossOfFlow", {both_pumps, valve,
+                                              spurious_trip});
+  tree.set_top(top);
+
+  for (const auto& problem : tree.validate()) {
+    std::printf("validation problem: %s\n", problem.c_str());
+  }
+
+  // 2. Minimal cut sets (paper §II-B) via MOCUS.
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(tree);
+  std::printf("minimal cut sets: %s\n", mcs.to_string(tree).c_str());
+  std::printf("single points of failure: %zu of %zu cut sets\n",
+              mcs.single_points_of_failure().size(), mcs.size());
+  // The dual view: keeping any one of these sets healthy keeps the system
+  // safe (success-tree / minimal path sets).
+  std::printf("minimal path sets: %s\n",
+              fta::minimal_path_sets(tree).to_string(tree).c_str());
+
+  // 3. Quantify (paper §II-C): probabilities per demand.
+  fta::QuantificationInput input = fta::QuantificationInput::for_tree(tree, 0.0);
+  input.set(tree, "PumpA_fails", 3e-3);
+  input.set(tree, "PumpB_fails", 3e-3);
+  input.set(tree, "DischargeValve_stuck", 1e-4);
+  input.set(tree, "OperatorTrip", 2e-3);
+  input.set(tree, "MaintenanceInProgress", 0.05);  // constraint probability
+
+  std::printf("P(hazard), rare event approx. (Eq. 1/2): %.6e\n",
+              fta::top_event_probability(
+                  mcs, input, fta::ProbabilityMethod::kRareEvent));
+  std::printf("P(hazard), min-cut upper bound:          %.6e\n",
+              fta::top_event_probability(
+                  mcs, input, fta::ProbabilityMethod::kMinCutUpperBound));
+  std::printf("P(hazard), exact (inclusion-exclusion):  %.6e\n",
+              fta::top_event_probability(
+                  mcs, input, fta::ProbabilityMethod::kInclusionExclusion));
+
+  // 4. Which failure dominates? (Fussell-Vesely ranking.)
+  std::printf("\nimportance ranking (Fussell-Vesely):\n");
+  for (const auto& m : fta::importance_ranking(tree, mcs, input)) {
+    std::printf("  %-22s FV=%.4f  Birnbaum=%.4e  RAW=%8.2f\n",
+                m.event_name.c_str(), m.fussell_vesely, m.birnbaum,
+                m.risk_achievement_worth);
+  }
+
+  // 5. Export: the textual model format and GraphViz DOT.
+  std::printf("\n--- model file ---\n%s",
+              ftio::write_fault_tree(tree, input).c_str());
+  std::printf("\n--- GraphViz (render with: dot -Tsvg) ---\n%s",
+              ftio::to_dot(tree, &input).c_str());
+  return 0;
+}

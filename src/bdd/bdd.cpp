@@ -1,0 +1,398 @@
+#include "safeopt/bdd/bdd.h"
+
+#include <algorithm>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::bdd {
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) for hash combining.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::size_t BddManager::NodeKeyHash::operator()(
+    const NodeKey& k) const noexcept {
+  std::uint64_t h = k.var;
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.low) << 32 | k.high));
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t BddManager::IteKeyHash::operator()(const IteKey& k) const noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.f) << 32 | k.g);
+  h = mix64(h ^ k.h);
+  return static_cast<std::size_t>(h);
+}
+
+BddManager::BddManager(std::uint32_t variable_count)
+    : variable_count_(variable_count) {
+  // Terminals occupy slots 0 (false) and 1 (true); their var field is a
+  // sentinel one past the last real variable so top_var comparisons work.
+  nodes_.push_back({variable_count_, kFalse, kFalse});
+  nodes_.push_back({variable_count_, kTrue, kTrue});
+}
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const NodeKey key{var, low, high};
+  const auto it = unique_table_.find(key);
+  if (it != unique_table_.end()) return it->second;
+  const auto ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_table_.emplace(key, ref);
+  stats_.node_count = nodes_.size();
+  return ref;
+}
+
+BddRef BddManager::variable(std::uint32_t var) {
+  SAFEOPT_EXPECTS(var < variable_count_);
+  return make_node(var, kFalse, kTrue);
+}
+
+std::uint32_t BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
+  std::uint32_t var = variable_count_;
+  for (const BddRef r : {f, g, h}) {
+    if (!is_terminal(r)) var = std::min(var, nodes_[r].var);
+  }
+  return var;
+}
+
+BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
+  if (is_terminal(f) || nodes_[f].var != var) return f;
+  return value ? nodes_[f].high : nodes_[f].low;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  ++stats_.ite_calls;
+  // Terminal short-circuits.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+
+  const std::uint32_t v = top_var(f, g, h);
+  SAFEOPT_ASSERT(v < variable_count_);
+  const BddRef low =
+      ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const BddRef high =
+      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const BddRef result = make_node(v, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::apply_and(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+BddRef BddManager::apply_or(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+BddRef BddManager::apply_not(BddRef f) { return ite(f, kFalse, kTrue); }
+BddRef BddManager::apply_xor(BddRef f, BddRef g) {
+  return ite(f, apply_not(g), g);
+}
+
+BddRef BddManager::at_least(std::vector<BddRef> items, std::uint32_t k) {
+  SAFEOPT_EXPECTS(k >= 1 && k <= items.size());
+  // th(i, j): at least j of items[i..] are true.
+  // th(i, 0) = 1; th(n, j>0) = 0;
+  // th(i, j) = (items[i] AND th(i+1, j-1)) OR th(i+1, j).
+  const std::size_t n = items.size();
+  std::vector<std::vector<BddRef>> th(n + 1,
+                                      std::vector<BddRef>(k + 1, kFalse));
+  for (std::size_t i = 0; i <= n; ++i) th[i][0] = kTrue;
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      const BddRef with = apply_and(items[i], th[i + 1][j - 1]);
+      th[i][j] = apply_or(with, th[i + 1][j]);
+    }
+  }
+  return th[0][k];
+}
+
+bool BddManager::evaluate(BddRef f,
+                          const std::vector<bool>& assignment) const {
+  SAFEOPT_EXPECTS(assignment.size() == variable_count_);
+  while (!is_terminal(f)) {
+    const Node& node = nodes_[f];
+    f = assignment[node.var] ? node.high : node.low;
+  }
+  return f == kTrue;
+}
+
+double BddManager::probability(BddRef f,
+                               const std::vector<double>& probabilities) {
+  SAFEOPT_EXPECTS(probabilities.size() == variable_count_);
+  // Shannon decomposition, memoized per call (probabilities vary per call).
+  std::unordered_map<BddRef, double> memo;
+  const auto recurse = [&](auto&& self, BddRef r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    const auto it = memo.find(r);
+    if (it != memo.end()) return it->second;
+    const Node& node = nodes_[r];
+    const double p = probabilities[node.var];
+    const double result =
+        p * self(self, node.high) + (1.0 - p) * self(self, node.low);
+    memo.emplace(r, result);
+    return result;
+  };
+  return recurse(recurse, f);
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    if (!is_terminal(r)) {
+      stack.push_back(nodes_[r].low);
+      stack.push_back(nodes_[r].high);
+    }
+  }
+  return count;
+}
+
+std::uint32_t BddManager::node_var(BddRef f) const {
+  SAFEOPT_EXPECTS(f < nodes_.size());
+  return nodes_[f].var;
+}
+
+BddRef BddManager::node_low(BddRef f) const {
+  SAFEOPT_EXPECTS(!is_terminal(f) && f < nodes_.size());
+  return nodes_[f].low;
+}
+
+BddRef BddManager::node_high(BddRef f) const {
+  SAFEOPT_EXPECTS(!is_terminal(f) && f < nodes_.size());
+  return nodes_[f].high;
+}
+
+// ------------------------------------------------------------- compilation
+
+namespace {
+
+/// Leaf -> BDD-variable maps computed by DFS first-visit order; keeping
+/// leaves in traversal order keeps structurally related variables adjacent,
+/// a classical ordering heuristic that bounds BDD growth on series-parallel
+/// trees.
+struct VariableOrder {
+  std::vector<std::uint32_t> var_of_basic;      // by BasicEventOrdinal
+  std::vector<std::uint32_t> var_of_condition;  // by ConditionOrdinal
+  std::uint32_t count = 0;
+};
+
+VariableOrder dfs_variable_order(const fta::FaultTree& tree) {
+  VariableOrder order;
+  order.var_of_basic.assign(tree.basic_event_count(), UINT32_MAX);
+  order.var_of_condition.assign(tree.condition_count(), UINT32_MAX);
+  const auto visit = [&](auto&& self, fta::NodeId id) -> void {
+    switch (tree.kind(id)) {
+      case fta::NodeKind::kBasicEvent: {
+        auto& slot = order.var_of_basic[tree.basic_event_ordinal(id)];
+        if (slot == UINT32_MAX) slot = order.count++;
+        break;
+      }
+      case fta::NodeKind::kCondition: {
+        auto& slot = order.var_of_condition[tree.condition_ordinal(id)];
+        if (slot == UINT32_MAX) slot = order.count++;
+        break;
+      }
+      case fta::NodeKind::kGate:
+        for (const fta::NodeId child : tree.children(id)) self(self, child);
+        break;
+    }
+  };
+  visit(visit, tree.top());
+  // Leaves unreachable from the top still need variables (validate() flags
+  // them, but compilation must not crash).
+  for (auto& slot : order.var_of_basic) {
+    if (slot == UINT32_MAX) slot = order.count++;
+  }
+  for (auto& slot : order.var_of_condition) {
+    if (slot == UINT32_MAX) slot = order.count++;
+  }
+  return order;
+}
+
+/// Exactly-one over already-compiled child functions (the FaultTree XOR
+/// semantics; n-ary parity would be wrong for n > 2).
+BddRef exactly_one(BddManager& manager, const std::vector<BddRef>& items) {
+  BddRef result = kFalse;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    BddRef only_i = items[i];
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (j != i) only_i = manager.apply_and(only_i, manager.apply_not(items[j]));
+    }
+    result = manager.apply_or(result, only_i);
+  }
+  return result;
+}
+
+}  // namespace
+
+double CompiledFaultTree::probability(const fta::QuantificationInput& input) {
+  SAFEOPT_EXPECTS(input.basic_event_probability.size() == basic_event_count);
+  SAFEOPT_EXPECTS(input.condition_probability.size() == condition_count);
+  std::vector<double> probs(manager.variable_count(), 0.0);
+  for (std::uint32_t i = 0; i < basic_event_count; ++i) {
+    probs[var_of_basic_event[i]] = input.basic_event_probability[i];
+  }
+  for (std::uint32_t i = 0; i < condition_count; ++i) {
+    probs[var_of_condition[i]] = input.condition_probability[i];
+  }
+  return manager.probability(root, probs);
+}
+
+CompiledFaultTree compile(const fta::FaultTree& tree) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  const VariableOrder order = dfs_variable_order(tree);
+  CompiledFaultTree compiled{BddManager(order.count), kFalse,
+                             static_cast<std::uint32_t>(
+                                 tree.basic_event_count()),
+                             static_cast<std::uint32_t>(
+                                 tree.condition_count()),
+                             order.var_of_basic, order.var_of_condition};
+  BddManager& manager = compiled.manager;
+
+  std::unordered_map<fta::NodeId, BddRef> memo;
+  const auto build = [&](auto&& self, fta::NodeId id) -> BddRef {
+    const auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    BddRef result = kFalse;
+    switch (tree.kind(id)) {
+      case fta::NodeKind::kBasicEvent:
+        result = manager.variable(
+            order.var_of_basic[tree.basic_event_ordinal(id)]);
+        break;
+      case fta::NodeKind::kCondition:
+        result = manager.variable(
+            order.var_of_condition[tree.condition_ordinal(id)]);
+        break;
+      case fta::NodeKind::kGate: {
+        std::vector<BddRef> children;
+        children.reserve(tree.children(id).size());
+        for (const fta::NodeId child : tree.children(id)) {
+          children.push_back(self(self, child));
+        }
+        switch (tree.gate_type(id)) {
+          case fta::GateType::kAnd:
+          case fta::GateType::kInhibit: {
+            result = kTrue;
+            for (const BddRef c : children) result = manager.apply_and(result, c);
+            break;
+          }
+          case fta::GateType::kOr: {
+            result = kFalse;
+            for (const BddRef c : children) result = manager.apply_or(result, c);
+            break;
+          }
+          case fta::GateType::kKofN:
+            result = manager.at_least(children, tree.vote_threshold(id));
+            break;
+          case fta::GateType::kXor:
+            result = exactly_one(manager, children);
+            break;
+        }
+        break;
+      }
+    }
+    memo.emplace(id, result);
+    return result;
+  };
+  compiled.root = build(build, tree.top());
+  return compiled;
+}
+
+fta::CutSetCollection minimal_cut_sets_bdd(const fta::FaultTree& tree) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  // Coherence check: Rauzy's decomposition below assumes a monotone
+  // structure function; XOR gates break that.
+  for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
+    if (tree.kind(id) == fta::NodeKind::kGate) {
+      SAFEOPT_EXPECTS(tree.gate_type(id) != fta::GateType::kXor);
+    }
+  }
+  CompiledFaultTree compiled = compile(tree);
+  BddManager& manager = compiled.manager;
+
+  using VarSet = std::vector<std::uint32_t>;  // sorted variable indices
+  std::unordered_map<BddRef, std::vector<VarSet>> memo;
+
+  const auto subsumes = [](const VarSet& small, const VarSet& big) {
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+  };
+
+  // Rauzy: MCS(node v) = MCS(low) ∪ { {v} ∪ s : s ∈ MCS(high), not already
+  // covered by MCS(low) }.
+  const auto decompose = [&](auto&& self, BddRef ref) -> std::vector<VarSet> {
+    if (ref == kFalse) return {};
+    if (ref == kTrue) return {VarSet{}};
+    const auto it = memo.find(ref);
+    if (it != memo.end()) return it->second;
+    const std::uint32_t v = manager.node_var(ref);
+    const std::vector<VarSet> low = self(self, manager.node_low(ref));
+    const std::vector<VarSet> high = self(self, manager.node_high(ref));
+    std::vector<VarSet> result = low;
+    for (const VarSet& h : high) {
+      VarSet with_v = h;
+      with_v.insert(std::lower_bound(with_v.begin(), with_v.end(), v), v);
+      const bool covered =
+          std::any_of(low.begin(), low.end(), [&](const VarSet& l) {
+            return subsumes(l, with_v);
+          });
+      if (!covered) result.push_back(std::move(with_v));
+    }
+    memo.emplace(ref, result);
+    return result;
+  };
+
+  const std::vector<VarSet> var_sets = decompose(decompose, compiled.root);
+
+  // Map BDD variables back to event / condition ordinals.
+  std::vector<std::int64_t> basic_of_var(manager.variable_count(), -1);
+  std::vector<std::int64_t> condition_of_var(manager.variable_count(), -1);
+  for (std::uint32_t i = 0; i < compiled.basic_event_count; ++i) {
+    basic_of_var[compiled.var_of_basic_event[i]] = i;
+  }
+  for (std::uint32_t i = 0; i < compiled.condition_count; ++i) {
+    condition_of_var[compiled.var_of_condition[i]] = i;
+  }
+
+  std::vector<fta::CutSet> sets;
+  sets.reserve(var_sets.size());
+  for (const VarSet& vars : var_sets) {
+    fta::CutSet cs;
+    for (const std::uint32_t v : vars) {
+      if (basic_of_var[v] >= 0) {
+        cs.events.push_back(
+            static_cast<fta::BasicEventOrdinal>(basic_of_var[v]));
+      } else {
+        SAFEOPT_ASSERT(condition_of_var[v] >= 0);
+        cs.conditions.push_back(
+            static_cast<fta::ConditionOrdinal>(condition_of_var[v]));
+      }
+    }
+    std::sort(cs.events.begin(), cs.events.end());
+    std::sort(cs.conditions.begin(), cs.conditions.end());
+    sets.push_back(std::move(cs));
+  }
+  fta::CutSetCollection collection(std::move(sets));
+  collection.minimize();
+  return collection;
+}
+
+}  // namespace safeopt::bdd

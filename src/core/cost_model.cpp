@@ -1,0 +1,53 @@
+#include "safeopt/core/cost_model.h"
+
+#include <algorithm>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::core {
+
+void CostModel::add_hazard(Hazard hazard) {
+  SAFEOPT_EXPECTS(!hazard.name.empty());
+  SAFEOPT_EXPECTS(hazard.cost >= 0.0);
+  SAFEOPT_EXPECTS(std::none_of(hazards_.begin(), hazards_.end(),
+                               [&](const Hazard& existing) {
+                                 return existing.name == hazard.name;
+                               }));
+  hazards_.push_back(std::move(hazard));
+}
+
+const Hazard& CostModel::hazard(std::size_t i) const {
+  SAFEOPT_EXPECTS(i < hazards_.size());
+  return hazards_[i];
+}
+
+const Hazard& CostModel::hazard_by_name(std::string_view name) const {
+  const auto it = std::find_if(
+      hazards_.begin(), hazards_.end(),
+      [&](const Hazard& h) { return h.name == name; });
+  SAFEOPT_EXPECTS(it != hazards_.end());
+  return *it;
+}
+
+expr::Expr CostModel::cost_expression() const {
+  SAFEOPT_EXPECTS(!hazards_.empty());
+  expr::Expr total = expr::constant(0.0);
+  for (const Hazard& h : hazards_) {
+    total = total + h.cost * h.probability;
+  }
+  return total;
+}
+
+double CostModel::cost(const expr::ParameterAssignment& at) const {
+  return cost_expression().evaluate(at);
+}
+
+std::vector<double> CostModel::hazard_probabilities(
+    const expr::ParameterAssignment& at) const {
+  std::vector<double> out;
+  out.reserve(hazards_.size());
+  for (const Hazard& h : hazards_) out.push_back(h.probability.evaluate(at));
+  return out;
+}
+
+}  // namespace safeopt::core

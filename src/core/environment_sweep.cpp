@@ -1,0 +1,53 @@
+#include "safeopt/core/environment_sweep.h"
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::core {
+
+std::string SweepTable::to_csv() const {
+  std::string out = parameter;
+  for (const std::string& label : labels) {
+    out += ",";
+    out += label;
+  }
+  out += "\n";
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    out += format_double(xs[k]);
+    for (const std::vector<double>& series : values) {
+      out += ",";
+      out += format_double(series[k]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+SweepTable sweep_parameter(const std::string& parameter, double lo, double hi,
+                           std::size_t steps,
+                           const expr::ParameterAssignment& base,
+                           const std::vector<SweepSeries>& series) {
+  SAFEOPT_EXPECTS(steps >= 2);
+  SAFEOPT_EXPECTS(lo < hi);
+  SAFEOPT_EXPECTS(!series.empty());
+
+  SweepTable table;
+  table.parameter = parameter;
+  table.xs.resize(steps);
+  table.values.assign(series.size(), std::vector<double>(steps, 0.0));
+  for (const SweepSeries& s : series) table.labels.push_back(s.label);
+
+  expr::ParameterAssignment at = base;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(steps - 1);
+    const double x = lo + t * (hi - lo);
+    table.xs[k] = x;
+    at.set(parameter, x);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      table.values[s][k] = series[s].value.evaluate(at);
+    }
+  }
+  return table;
+}
+
+}  // namespace safeopt::core

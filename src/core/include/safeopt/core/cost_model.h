@@ -1,0 +1,59 @@
+// The cost function of paper §III-A:
+//
+//   f_cost(X) = Σ_i Cost_{H_i} · P(H_i)(X)            (Eqs. 5–6)
+//
+// Each hazard contributes its parameterized probability weighted by the
+// (monetary) cost of one occurrence — "it is common practice ... to do this
+// in cash". The model stays symbolic: the total cost is an expression over
+// the free parameters, evaluable and exactly differentiable.
+#ifndef SAFEOPT_CORE_COST_MODEL_H
+#define SAFEOPT_CORE_COST_MODEL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/expr/expr.h"
+
+namespace safeopt::core {
+
+/// One hazard H_i: its parameterized probability P(H_i)(X) and its cost.
+struct Hazard {
+  std::string name;
+  expr::Expr probability;
+  double cost = 1.0;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Precondition: cost >= 0, name unique and non-empty.
+  void add_hazard(Hazard hazard);
+
+  [[nodiscard]] std::size_t hazard_count() const noexcept {
+    return hazards_.size();
+  }
+  [[nodiscard]] const Hazard& hazard(std::size_t i) const;
+  [[nodiscard]] const std::vector<Hazard>& hazards() const noexcept {
+    return hazards_;
+  }
+  [[nodiscard]] const Hazard& hazard_by_name(std::string_view name) const;
+
+  /// The symbolic cost function f_cost(X) — Eq. 6.
+  [[nodiscard]] expr::Expr cost_expression() const;
+
+  /// f_cost at a parameter assignment.
+  [[nodiscard]] double cost(const expr::ParameterAssignment& at) const;
+
+  /// Every hazard's probability at `at`, in hazard order.
+  [[nodiscard]] std::vector<double> hazard_probabilities(
+      const expr::ParameterAssignment& at) const;
+
+ private:
+  std::vector<Hazard> hazards_;
+};
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_COST_MODEL_H

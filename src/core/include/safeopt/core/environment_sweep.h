@@ -1,0 +1,46 @@
+// Environment sweeps — the methodology behind the paper's Fig. 6 and the
+// discovery of the ODfinal design flaw: "parameterized probabilities allow
+// us to also examine the system in different working environments". A sweep
+// varies one parameter over a range while holding the rest of a base
+// configuration fixed, and tabulates a set of labelled expressions (hazard
+// probabilities of design variants, usually) at each point.
+#ifndef SAFEOPT_CORE_ENVIRONMENT_SWEEP_H
+#define SAFEOPT_CORE_ENVIRONMENT_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "safeopt/expr/expr.h"
+
+namespace safeopt::core {
+
+/// One curve of a sweep: a label ("without_LB4") and the expression whose
+/// value is plotted.
+struct SweepSeries {
+  std::string label;
+  expr::Expr value;
+};
+
+/// Tabulated sweep: xs[k] is the swept parameter's value at step k,
+/// values[s][k] the s-th series evaluated there.
+struct SweepTable {
+  std::string parameter;
+  std::vector<double> xs;
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> values;  // [series][step]
+
+  /// Renders a CSV with header "parameter,label1,label2,...".
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Evaluates `series` at `steps` evenly spaced values of `parameter` in
+/// [lo, hi], all other parameters taken from `base`.
+/// Precondition: steps >= 2, lo < hi.
+[[nodiscard]] SweepTable sweep_parameter(
+    const std::string& parameter, double lo, double hi, std::size_t steps,
+    const expr::ParameterAssignment& base,
+    const std::vector<SweepSeries>& series);
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_ENVIRONMENT_SWEEP_H

@@ -1,0 +1,90 @@
+// Safety optimization (paper §III): "choose the free parameters X_1..X_l
+// such that the cost function is minimized". Glues the symbolic cost model
+// to the numeric solvers of src/opt; the exact autodiff gradient of the cost
+// expression is handed to gradient-based methods.
+#ifndef SAFEOPT_CORE_SAFETY_OPTIMIZER_H
+#define SAFEOPT_CORE_SAFETY_OPTIMIZER_H
+
+#include <string>
+#include <vector>
+
+#include "safeopt/core/cost_model.h"
+#include "safeopt/core/parameter_space.h"
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::core {
+
+/// Solver selection. All methods honour the parameter box.
+enum class Algorithm {
+  kGridSearch,
+  kNelderMead,
+  kMultiStartNelderMead,
+  kGradientDescent,
+  kHookeJeeves,
+  kCoordinateDescent,
+  kSimulatedAnnealing,
+  kDifferentialEvolution,
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
+
+/// Result of a safety optimization run: the solver outcome plus the
+/// safety-level interpretation (per-hazard probabilities at the optimum).
+struct SafetyOptimizationResult {
+  opt::OptimizationResult optimization;
+  expr::ParameterAssignment optimal_parameters;
+  std::vector<double> hazard_probabilities;  // hazard order of the CostModel
+  double cost = 0.0;                         // == optimization.value
+};
+
+/// Per-hazard baseline-vs-optimum comparison; `relative_change` is
+/// (optimal − baseline) / baseline (e.g. −0.10 == 10% risk reduction).
+struct HazardComparison {
+  std::string hazard;
+  double baseline_probability = 0.0;
+  double optimal_probability = 0.0;
+  double relative_change = 0.0;
+};
+
+struct ComparisonReport {
+  double baseline_cost = 0.0;
+  double optimal_cost = 0.0;
+  double cost_relative_change = 0.0;
+  std::vector<HazardComparison> hazards;
+};
+
+class SafetyOptimizer {
+ public:
+  /// The cost model's expressions may only mention parameters of `space`.
+  SafetyOptimizer(CostModel model, ParameterSpace space);
+
+  /// Minimizes f_cost over the parameter box.
+  [[nodiscard]] SafetyOptimizationResult optimize(
+      Algorithm algorithm = Algorithm::kMultiStartNelderMead) const;
+
+  /// Evaluates cost and hazard probabilities at a given configuration
+  /// (e.g. the engineers' initial guess).
+  [[nodiscard]] SafetyOptimizationResult evaluate_at(
+      const expr::ParameterAssignment& configuration) const;
+
+  /// Compares a baseline configuration against an optimization result —
+  /// the paper's §IV-C.2 reporting (risk improvement per hazard).
+  [[nodiscard]] ComparisonReport compare(
+      const expr::ParameterAssignment& baseline,
+      const SafetyOptimizationResult& optimal) const;
+
+  /// The underlying numeric problem (objective + box + exact gradient);
+  /// exposed for benches and custom solvers.
+  [[nodiscard]] opt::Problem problem() const;
+
+  [[nodiscard]] const CostModel& model() const noexcept { return model_; }
+  [[nodiscard]] const ParameterSpace& space() const noexcept { return space_; }
+
+ private:
+  CostModel model_;
+  ParameterSpace space_;
+};
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_SAFETY_OPTIMIZER_H

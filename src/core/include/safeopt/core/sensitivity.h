@@ -1,0 +1,38 @@
+// Sensitivity analysis around a configuration: exact gradients (autodiff) of
+// the cost and of each hazard probability with respect to each free
+// parameter, plus dimensionless elasticities. This quantifies the paper's
+// §IV-C.2 observation that "the dependency of the risk is not symmetric in
+// the free parameters" (timer 1 may be chosen more conservatively than
+// timer 2), and supports the "rough estimation about how important the
+// different parameters are" promised in §V even with crude statistics.
+#ifndef SAFEOPT_CORE_SENSITIVITY_H
+#define SAFEOPT_CORE_SENSITIVITY_H
+
+#include <string>
+#include <vector>
+
+#include "safeopt/core/cost_model.h"
+#include "safeopt/core/parameter_space.h"
+
+namespace safeopt::core {
+
+/// Sensitivities of one parameter at the study point.
+struct ParameterSensitivity {
+  std::string parameter;
+  /// ∂f_cost/∂x_j.
+  double cost_gradient = 0.0;
+  /// Elasticity (x_j / f_cost)·∂f_cost/∂x_j — the % cost change per % change
+  /// of the parameter; comparable across parameters with different units.
+  double cost_elasticity = 0.0;
+  /// ∂P(H_i)/∂x_j per hazard, in CostModel hazard order.
+  std::vector<double> hazard_gradients;
+};
+
+/// Full sensitivity report at `at`. Parameter order follows `space`.
+[[nodiscard]] std::vector<ParameterSensitivity> sensitivity_analysis(
+    const CostModel& model, const ParameterSpace& space,
+    const expr::ParameterAssignment& at);
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_SENSITIVITY_H

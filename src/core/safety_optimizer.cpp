@@ -1,0 +1,145 @@
+#include "safeopt/core/safety_optimizer.h"
+
+#include <memory>
+
+#include "safeopt/opt/coordinate_descent.h"
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/gradient_descent.h"
+#include "safeopt/opt/grid_search.h"
+#include "safeopt/opt/hooke_jeeves.h"
+#include "safeopt/opt/multi_start.h"
+#include "safeopt/opt/nelder_mead.h"
+#include "safeopt/opt/simulated_annealing.h"
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::core {
+
+std::string_view to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kGridSearch: return "GridSearch";
+    case Algorithm::kNelderMead: return "NelderMead";
+    case Algorithm::kMultiStartNelderMead: return "MultiStart(NelderMead)";
+    case Algorithm::kGradientDescent: return "ProjectedGradientDescent";
+    case Algorithm::kHookeJeeves: return "HookeJeeves";
+    case Algorithm::kCoordinateDescent: return "CoordinateDescent";
+    case Algorithm::kSimulatedAnnealing: return "SimulatedAnnealing";
+    case Algorithm::kDifferentialEvolution: return "DifferentialEvolution";
+  }
+  return "?";
+}
+
+SafetyOptimizer::SafetyOptimizer(CostModel model, ParameterSpace space)
+    : model_(std::move(model)), space_(std::move(space)) {
+  SAFEOPT_EXPECTS(model_.hazard_count() >= 1);
+  SAFEOPT_EXPECTS(space_.size() >= 1);
+  // Every parameter the cost expression mentions must be optimizable.
+  for (const std::string& name : model_.cost_expression().parameters()) {
+    SAFEOPT_EXPECTS(space_.index_of(name).has_value());
+  }
+}
+
+opt::Problem SafetyOptimizer::problem() const {
+  const expr::Expr cost = model_.cost_expression();
+  const std::vector<std::string> names = space_.names();
+  opt::Problem problem;
+  problem.bounds = space_.box();
+  // Capture the space by value: the returned Problem must stay valid after
+  // this SafetyOptimizer is gone (e.g. when built from a temporary).
+  const ParameterSpace space = space_;
+  problem.objective = [space, cost](std::span<const double> x) {
+    return cost.evaluate(space.assignment(x));
+  };
+  problem.gradient = [space, cost, names](std::span<const double> x) {
+    return cost.evaluate_dual(space.assignment(x), names).grad();
+  };
+  return problem;
+}
+
+SafetyOptimizationResult SafetyOptimizer::optimize(Algorithm algorithm) const {
+  const opt::Problem numeric = problem();
+
+  std::unique_ptr<opt::Optimizer> solver;
+  switch (algorithm) {
+    case Algorithm::kGridSearch:
+      solver = std::make_unique<opt::GridSearch>(33, 5);
+      break;
+    case Algorithm::kNelderMead:
+      solver = std::make_unique<opt::NelderMead>();
+      break;
+    case Algorithm::kMultiStartNelderMead:
+      solver = std::make_unique<opt::MultiStart>(
+          [](std::vector<double> start) -> std::unique_ptr<opt::Optimizer> {
+            return std::make_unique<opt::NelderMead>(opt::StoppingCriteria{},
+                                                     std::move(start));
+          },
+          8);
+      break;
+    case Algorithm::kGradientDescent:
+      solver = std::make_unique<opt::ProjectedGradientDescent>();
+      break;
+    case Algorithm::kHookeJeeves:
+      solver = std::make_unique<opt::HookeJeeves>();
+      break;
+    case Algorithm::kCoordinateDescent:
+      solver = std::make_unique<opt::CoordinateDescent>();
+      break;
+    case Algorithm::kSimulatedAnnealing:
+      solver = std::make_unique<opt::SimulatedAnnealing>();
+      break;
+    case Algorithm::kDifferentialEvolution:
+      solver = std::make_unique<opt::DifferentialEvolution>();
+      break;
+  }
+  SAFEOPT_ASSERT(solver != nullptr);
+
+  SafetyOptimizationResult result;
+  result.optimization = solver->minimize(numeric);
+  result.optimal_parameters = space_.assignment(result.optimization.argmin);
+  result.hazard_probabilities =
+      model_.hazard_probabilities(result.optimal_parameters);
+  result.cost = result.optimization.value;
+  return result;
+}
+
+SafetyOptimizationResult SafetyOptimizer::evaluate_at(
+    const expr::ParameterAssignment& configuration) const {
+  SafetyOptimizationResult result;
+  result.optimal_parameters = configuration;
+  result.hazard_probabilities = model_.hazard_probabilities(configuration);
+  result.cost = model_.cost(configuration);
+  result.optimization.argmin = space_.values(configuration);
+  result.optimization.value = result.cost;
+  result.optimization.converged = true;
+  result.optimization.message = "direct evaluation";
+  return result;
+}
+
+ComparisonReport SafetyOptimizer::compare(
+    const expr::ParameterAssignment& baseline,
+    const SafetyOptimizationResult& optimal) const {
+  ComparisonReport report;
+  report.baseline_cost = model_.cost(baseline);
+  report.optimal_cost = optimal.cost;
+  report.cost_relative_change =
+      report.baseline_cost != 0.0
+          ? (report.optimal_cost - report.baseline_cost) / report.baseline_cost
+          : 0.0;
+  const std::vector<double> base_probs =
+      model_.hazard_probabilities(baseline);
+  SAFEOPT_ASSERT(base_probs.size() == optimal.hazard_probabilities.size());
+  for (std::size_t i = 0; i < base_probs.size(); ++i) {
+    HazardComparison hc;
+    hc.hazard = model_.hazard(i).name;
+    hc.baseline_probability = base_probs[i];
+    hc.optimal_probability = optimal.hazard_probabilities[i];
+    hc.relative_change =
+        hc.baseline_probability != 0.0
+            ? (hc.optimal_probability - hc.baseline_probability) /
+                  hc.baseline_probability
+            : 0.0;
+    report.hazards.push_back(std::move(hc));
+  }
+  return report;
+}
+
+}  // namespace safeopt::core

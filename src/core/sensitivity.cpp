@@ -1,0 +1,38 @@
+#include "safeopt/core/sensitivity.h"
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::core {
+
+std::vector<ParameterSensitivity> sensitivity_analysis(
+    const CostModel& model, const ParameterSpace& space,
+    const expr::ParameterAssignment& at) {
+  SAFEOPT_EXPECTS(space.size() >= 1);
+  const std::vector<std::string> names = space.names();
+
+  const expr::Dual cost = model.cost_expression().evaluate_dual(at, names);
+  std::vector<expr::Dual> hazard_duals;
+  hazard_duals.reserve(model.hazard_count());
+  for (const Hazard& h : model.hazards()) {
+    hazard_duals.push_back(h.probability.evaluate_dual(at, names));
+  }
+
+  std::vector<ParameterSensitivity> out;
+  out.reserve(space.size());
+  for (std::size_t j = 0; j < space.size(); ++j) {
+    ParameterSensitivity s;
+    s.parameter = names[j];
+    s.cost_gradient = cost.grad(j);
+    const double x_j = at.get(names[j]);
+    s.cost_elasticity =
+        cost.value() != 0.0 ? s.cost_gradient * x_j / cost.value() : 0.0;
+    s.hazard_gradients.reserve(hazard_duals.size());
+    for (const expr::Dual& hd : hazard_duals) {
+      s.hazard_gradients.push_back(hd.grad(j));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace safeopt::core

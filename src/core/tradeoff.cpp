@@ -1,0 +1,45 @@
+#include "safeopt/core/tradeoff.h"
+
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::core {
+
+std::vector<TradeoffPoint> tradeoff_curve(const CostModel& model,
+                                          const ParameterSpace& space,
+                                          std::string_view hazard_a,
+                                          std::string_view hazard_b,
+                                          double ratio_lo, double ratio_hi,
+                                          std::size_t steps,
+                                          Algorithm algorithm) {
+  SAFEOPT_EXPECTS(ratio_lo > 0.0 && ratio_lo < ratio_hi);
+  SAFEOPT_EXPECTS(steps >= 2);
+  const Hazard& a = model.hazard_by_name(hazard_a);
+  const Hazard& b = model.hazard_by_name(hazard_b);
+
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(steps);
+  const double log_lo = std::log(ratio_lo);
+  const double log_hi = std::log(ratio_hi);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(steps - 1);
+    const double ratio = std::exp(log_lo + t * (log_hi - log_lo));
+
+    CostModel weighted;
+    weighted.add_hazard(Hazard{a.name, a.probability, ratio});
+    weighted.add_hazard(Hazard{b.name, b.probability, 1.0});
+    const SafetyOptimizer optimizer(std::move(weighted), space);
+    const SafetyOptimizationResult result = optimizer.optimize(algorithm);
+
+    TradeoffPoint point;
+    point.cost_ratio = ratio;
+    point.parameters = result.optimization.argmin;
+    point.probability_a = result.hazard_probabilities[0];
+    point.probability_b = result.hazard_probabilities[1];
+    curve.push_back(std::move(point));
+  }
+  return curve;
+}
+
+}  // namespace safeopt::core

@@ -1,0 +1,71 @@
+// Calibrated parameters of the Elbtunnel height-control statistical model
+// (paper §IV-B/C). The paper states the model *structure* and a handful of
+// numbers; the remaining constants are calibrated so that every number the
+// paper does report is reproduced. Derivation:
+//
+//  Stated by the paper and taken verbatim:
+//   * zone transit times: Normal(µ = 4 min, σ = 2 min) renormalized over
+//     [0, ∞)  (§IV-C)                          -> transit_mean/sigma
+//   * cost ratio collision : false alarm = 100000 : 1  (§IV-C.1)
+//   * engineers' initial guess T1 = T2 = 30 min
+//
+//  Calibrated against reported results:
+//   * hv_left_rate = 0.13/min: high vehicles illegally on a left lane under
+//     ODfinal. Pins the Fig. 6 sigmoid 1 − exp(−0.13·T2):
+//       T2 = 15.6 -> 86.8% (paper: "more than 80%"),
+//       T2 = 30   -> 98.0% (paper: "more than 95%"),
+//     and the two design fixes:
+//       with LB4:      E[1 − exp(−0.13·min(T2,D))] ≈ 0.39 (paper ≈ 40%),
+//       LB at ODfinal: 1 − exp(−0.13·0.3) ≈ 3.8%   (paper ≈ 4%).
+//   * p_ohv = 4.2e-4: probability an OHV has ODfinal armed at a random moment.
+//     Sets the false-alarm level and hence the optimal T2: the cost slope
+//     balance 10^5·p_ohv_critical·φ((T2−4)/2)/(2·0.97725) =
+//     p_ohv·0.13·e^(−0.13·T2) holds at T2 ≈ 15.6 together with
+//   * p_ohv_critical = 0.011: fraction of OHV passages illegally heading
+//     towards the west/mid tubes. Also keeps the collision-risk change from
+//     optimizing at p_ohv_critical·P(OT2)(T2*)/p_const1 ≈ 0.06 % (paper:
+//     "less than 0.1%").
+//   * p_fd_lbpre = 1e-4 and fd_lbpost_rate = 1.68e-6/min: the spurious
+//     arming path FDLBpre·FDLBpost(T1). Balances the T1 cost slope at
+//     T1 ≈ 19 (paper: "optimal values ... approximately 19 resp. 15.6").
+//   * p_const1 = 4.19e-8, p_const2 = 6e-5: the residual cut sets the paper
+//     accumulates into Pconst1/Pconst2. p_const1 puts the cost surface in
+//     Fig. 5's 0.0046..0.0047 band and dominates collision risk, making the
+//     false-alarm improvement ≈ 9.9% (paper: "about 10%").
+//
+// Every relation above is asserted by tests/elbtunnel/.
+#ifndef SAFEOPT_ELBTUNNEL_MODEL_PARAMETERS_H
+#define SAFEOPT_ELBTUNNEL_MODEL_PARAMETERS_H
+
+namespace safeopt::elbtunnel {
+
+struct ModelParameters {
+  // --- stated by the paper -------------------------------------------------
+  double transit_mean_min = 4.0;   // zone transit mean (both zones)
+  double transit_sigma_min = 2.0;  // zone transit standard deviation
+  double cost_collision = 100000.0;
+  double cost_false_alarm = 1.0;
+  double engineers_timer_guess_min = 30.0;
+
+  // --- calibrated (see file comment) --------------------------------------
+  double hv_left_rate_per_min = 0.13;
+  double p_ohv = 4.2e-4;
+  double p_ohv_critical = 0.011;
+  double p_fd_lbpre = 1e-4;
+  double fd_lbpost_rate_per_min = 1.68e-6;
+  double p_const1 = 4.19e-8;
+  double p_const2 = 6e-5;
+  /// OHV occupancy of the ODfinal light barrier (LB-at-ODfinal variant).
+  double lb_passage_window_min = 0.3;
+  /// Overhead-detector miss probability; enters the residual constants in
+  /// the analytic model and the simulator's sensor fault injection.
+  double p_od_miss = 1e-3;
+
+  // --- optimization domain (compact intervals, paper §III-B) --------------
+  double timer_lower_min = 5.0;
+  double timer_upper_min = 40.0;
+};
+
+}  // namespace safeopt::elbtunnel
+
+#endif  // SAFEOPT_ELBTUNNEL_MODEL_PARAMETERS_H

@@ -1,0 +1,463 @@
+#include "safeopt/expr/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::expr {
+
+// --------------------------------------------------- ParameterAssignment
+
+ParameterAssignment::ParameterAssignment(
+    std::initializer_list<std::pair<std::string, double>> entries) {
+  for (const auto& [name, value] : entries) set(name, value);
+}
+
+void ParameterAssignment::set(std::string name, double value) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != entries_.end() && it->first == name) {
+    it->second = value;
+  } else {
+    entries_.insert(it, {std::move(name), value});
+  }
+}
+
+double ParameterAssignment::get(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  SAFEOPT_EXPECTS(it != entries_.end() && it->first == name);
+  return it->second;
+}
+
+bool ParameterAssignment::contains(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  return it != entries_.end() && it->first == name;
+}
+
+// ------------------------------------------------------------------ Nodes
+
+namespace detail {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  [[nodiscard]] virtual double value(const ParameterAssignment& env) const = 0;
+  [[nodiscard]] virtual Dual dual(const ParameterAssignment& env,
+                                  const std::vector<std::string>& wrt)
+      const = 0;
+  virtual void collect_parameters(std::set<std::string>& out) const = 0;
+  [[nodiscard]] virtual std::string print() const = 0;
+};
+
+namespace {
+
+class ConstNode final : public Node {
+ public:
+  explicit ConstNode(double c) : c_(c) {}
+  double value(const ParameterAssignment&) const override { return c_; }
+  Dual dual(const ParameterAssignment&,
+            const std::vector<std::string>& wrt) const override {
+    return Dual(c_, wrt.size());
+  }
+  void collect_parameters(std::set<std::string>&) const override {}
+  std::string print() const override { return format_double(c_); }
+  [[nodiscard]] double constant() const noexcept { return c_; }
+
+ private:
+  double c_;
+};
+
+class ParamNode final : public Node {
+ public:
+  explicit ParamNode(std::string name) : name_(std::move(name)) {}
+  double value(const ParameterAssignment& env) const override {
+    return env.get(name_);
+  }
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    const double v = env.get(name_);
+    const auto it = std::find(wrt.begin(), wrt.end(), name_);
+    if (it == wrt.end()) return Dual(v, wrt.size());
+    return Dual::variable(v, wrt.size(),
+                          static_cast<std::size_t>(it - wrt.begin()));
+  }
+  void collect_parameters(std::set<std::string>& out) const override {
+    out.insert(name_);
+  }
+  std::string print() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMin, kMax };
+
+class BinaryNode final : public Node {
+ public:
+  BinaryNode(BinaryOp op, std::shared_ptr<const Node> a,
+             std::shared_ptr<const Node> b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+
+  double value(const ParameterAssignment& env) const override {
+    const double x = a_->value(env);
+    const double y = b_->value(env);
+    switch (op_) {
+      case BinaryOp::kAdd: return x + y;
+      case BinaryOp::kSub: return x - y;
+      case BinaryOp::kMul: return x * y;
+      case BinaryOp::kDiv: return x / y;
+      case BinaryOp::kMin: return std::min(x, y);
+      case BinaryOp::kMax: return std::max(x, y);
+    }
+    SAFEOPT_ASSERT(false);
+    return 0.0;
+  }
+
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    const Dual x = a_->dual(env, wrt);
+    const Dual y = b_->dual(env, wrt);
+    switch (op_) {
+      case BinaryOp::kAdd: return x + y;
+      case BinaryOp::kSub: return x - y;
+      case BinaryOp::kMul: return x * y;
+      case BinaryOp::kDiv: return x / y;
+      case BinaryOp::kMin: return min(x, y);
+      case BinaryOp::kMax: return max(x, y);
+    }
+    SAFEOPT_ASSERT(false);
+    return Dual(0.0, wrt.size());
+  }
+
+  void collect_parameters(std::set<std::string>& out) const override {
+    a_->collect_parameters(out);
+    b_->collect_parameters(out);
+  }
+
+  std::string print() const override {
+    switch (op_) {
+      case BinaryOp::kAdd: return "(" + a_->print() + " + " + b_->print() + ")";
+      case BinaryOp::kSub: return "(" + a_->print() + " - " + b_->print() + ")";
+      case BinaryOp::kMul: return "(" + a_->print() + " * " + b_->print() + ")";
+      case BinaryOp::kDiv: return "(" + a_->print() + " / " + b_->print() + ")";
+      case BinaryOp::kMin: return "min(" + a_->print() + ", " + b_->print() + ")";
+      case BinaryOp::kMax: return "max(" + a_->print() + ", " + b_->print() + ")";
+    }
+    SAFEOPT_ASSERT(false);
+    return {};
+  }
+
+ private:
+  BinaryOp op_;
+  std::shared_ptr<const Node> a_;
+  std::shared_ptr<const Node> b_;
+};
+
+enum class UnaryOp { kNeg, kExp, kLog, kSqrt };
+
+class UnaryNode final : public Node {
+ public:
+  UnaryNode(UnaryOp op, std::shared_ptr<const Node> a)
+      : op_(op), a_(std::move(a)) {}
+
+  double value(const ParameterAssignment& env) const override {
+    const double x = a_->value(env);
+    switch (op_) {
+      case UnaryOp::kNeg: return -x;
+      case UnaryOp::kExp: return std::exp(x);
+      case UnaryOp::kLog: return std::log(x);
+      case UnaryOp::kSqrt: return std::sqrt(x);
+    }
+    SAFEOPT_ASSERT(false);
+    return 0.0;
+  }
+
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    const Dual x = a_->dual(env, wrt);
+    switch (op_) {
+      case UnaryOp::kNeg: return -x;
+      case UnaryOp::kExp: return exp(x);
+      case UnaryOp::kLog: return log(x);
+      case UnaryOp::kSqrt: return sqrt(x);
+    }
+    SAFEOPT_ASSERT(false);
+    return Dual(0.0, wrt.size());
+  }
+
+  void collect_parameters(std::set<std::string>& out) const override {
+    a_->collect_parameters(out);
+  }
+
+  std::string print() const override {
+    switch (op_) {
+      case UnaryOp::kNeg: return "(-" + a_->print() + ")";
+      case UnaryOp::kExp: return "exp(" + a_->print() + ")";
+      case UnaryOp::kLog: return "log(" + a_->print() + ")";
+      case UnaryOp::kSqrt: return "sqrt(" + a_->print() + ")";
+    }
+    SAFEOPT_ASSERT(false);
+    return {};
+  }
+
+ private:
+  UnaryOp op_;
+  std::shared_ptr<const Node> a_;
+};
+
+class PowNode final : public Node {
+ public:
+  PowNode(std::shared_ptr<const Node> a, double p) : a_(std::move(a)), p_(p) {}
+  double value(const ParameterAssignment& env) const override {
+    return std::pow(a_->value(env), p_);
+  }
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    return pow(a_->dual(env, wrt), p_);
+  }
+  void collect_parameters(std::set<std::string>& out) const override {
+    a_->collect_parameters(out);
+  }
+  std::string print() const override {
+    return "pow(" + a_->print() + ", " + format_double(p_) + ")";
+  }
+
+ private:
+  std::shared_ptr<const Node> a_;
+  double p_;
+};
+
+/// F(arg) or 1 − F(arg) for a distribution F; derivative is ±pdf(arg).
+class CdfNode final : public Node {
+ public:
+  CdfNode(std::shared_ptr<const stats::Distribution> dist,
+          std::shared_ptr<const Node> arg, bool survival)
+      : dist_(std::move(dist)), arg_(std::move(arg)), survival_(survival) {
+    SAFEOPT_EXPECTS(dist_ != nullptr);
+  }
+
+  double value(const ParameterAssignment& env) const override {
+    const double x = arg_->value(env);
+    // survival() is cancellation-free deep in the tail, where 1 − cdf()
+    // would round to zero — the regime hazard probabilities live in.
+    return survival_ ? dist_->survival(x) : dist_->cdf(x);
+  }
+
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    const Dual x = arg_->dual(env, wrt);
+    const double density = dist_->pdf(x.value());
+    return survival_ ? x.chain(dist_->survival(x.value()), -density)
+                     : x.chain(dist_->cdf(x.value()), density);
+  }
+
+  void collect_parameters(std::set<std::string>& out) const override {
+    arg_->collect_parameters(out);
+  }
+
+  std::string print() const override {
+    const std::string fn = survival_ ? "survival" : "cdf";
+    return fn + "[" + dist_->name() + "](" + arg_->print() + ")";
+  }
+
+ private:
+  std::shared_ptr<const stats::Distribution> dist_;
+  std::shared_ptr<const Node> arg_;
+  bool survival_;
+};
+
+/// Opaque numeric function with optional analytic derivative.
+class FunctionNode final : public Node {
+ public:
+  FunctionNode(std::string name, std::function<double(double)> fn,
+               std::function<double(double)> derivative,
+               std::shared_ptr<const Node> arg)
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        derivative_(std::move(derivative)),
+        arg_(std::move(arg)) {
+    SAFEOPT_EXPECTS(static_cast<bool>(fn_));
+  }
+
+  double value(const ParameterAssignment& env) const override {
+    return fn_(arg_->value(env));
+  }
+
+  Dual dual(const ParameterAssignment& env,
+            const std::vector<std::string>& wrt) const override {
+    const Dual x = arg_->dual(env, wrt);
+    const double f = fn_(x.value());
+    double df = 0.0;
+    if (derivative_) {
+      df = derivative_(x.value());
+    } else {
+      const double h = 1e-6 * std::max(1.0, std::abs(x.value()));
+      df = (fn_(x.value() + h) - fn_(x.value() - h)) / (2.0 * h);
+    }
+    return x.chain(f, df);
+  }
+
+  void collect_parameters(std::set<std::string>& out) const override {
+    arg_->collect_parameters(out);
+  }
+
+  std::string print() const override {
+    return name_ + "(" + arg_->print() + ")";
+  }
+
+ private:
+  std::string name_;
+  std::function<double(double)> fn_;
+  std::function<double(double)> derivative_;
+  std::shared_ptr<const Node> arg_;
+};
+
+/// Returns the folded constant if the node is a ConstNode, else nullptr.
+const ConstNode* as_constant(const std::shared_ptr<const Node>& node) {
+  return dynamic_cast<const ConstNode*>(node.get());
+}
+
+Expr make_binary(BinaryOp op, Expr a, Expr b) {
+  const ConstNode* ca = as_constant(a.node());
+  const ConstNode* cb = as_constant(b.node());
+  if (ca != nullptr && cb != nullptr) {
+    const ParameterAssignment empty;
+    const auto node =
+        std::make_shared<BinaryNode>(op, a.node(), b.node());
+    return constant(node->value(empty));
+  }
+  return Expr(std::make_shared<BinaryNode>(op, a.node(), b.node()));
+}
+
+}  // namespace
+}  // namespace detail
+
+// ------------------------------------------------------------------- Expr
+
+Expr::Expr() : node_(std::make_shared<detail::ConstNode>(0.0)) {}
+
+Expr::Expr(std::shared_ptr<const detail::Node> node)
+    : node_(std::move(node)) {
+  SAFEOPT_EXPECTS(node_ != nullptr);
+}
+
+double Expr::evaluate(const ParameterAssignment& env) const {
+  return node_->value(env);
+}
+
+Dual Expr::evaluate_dual(const ParameterAssignment& env,
+                         const std::vector<std::string>& wrt) const {
+  return node_->dual(env, wrt);
+}
+
+std::set<std::string> Expr::parameters() const {
+  std::set<std::string> out;
+  node_->collect_parameters(out);
+  return out;
+}
+
+std::string Expr::to_string() const { return node_->print(); }
+
+bool Expr::is_constant() const { return parameters().empty(); }
+
+// ----------------------------------------------------------- constructors
+
+Expr constant(double c) {
+  return Expr(std::make_shared<detail::ConstNode>(c));
+}
+
+Expr parameter(std::string name) {
+  SAFEOPT_EXPECTS(!name.empty());
+  return Expr(std::make_shared<detail::ParamNode>(std::move(name)));
+}
+
+Expr cdf(std::shared_ptr<const stats::Distribution> dist, Expr arg) {
+  return Expr(
+      std::make_shared<detail::CdfNode>(std::move(dist), arg.node(), false));
+}
+
+Expr survival(std::shared_ptr<const stats::Distribution> dist, Expr arg) {
+  return Expr(
+      std::make_shared<detail::CdfNode>(std::move(dist), arg.node(), true));
+}
+
+// -------------------------------------------------------------- operators
+
+using detail::BinaryOp;
+using detail::UnaryOp;
+
+Expr operator+(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+Expr operator-(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+Expr operator*(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+Expr operator/(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+Expr operator-(Expr a) {
+  return Expr(std::make_shared<detail::UnaryNode>(UnaryOp::kNeg, a.node()));
+}
+
+Expr operator+(double a, Expr b) { return constant(a) + std::move(b); }
+Expr operator+(Expr a, double b) { return std::move(a) + constant(b); }
+Expr operator-(double a, Expr b) { return constant(a) - std::move(b); }
+Expr operator-(Expr a, double b) { return std::move(a) - constant(b); }
+Expr operator*(double a, Expr b) { return constant(a) * std::move(b); }
+Expr operator*(Expr a, double b) { return std::move(a) * constant(b); }
+Expr operator/(double a, Expr b) { return constant(a) / std::move(b); }
+Expr operator/(Expr a, double b) { return std::move(a) / constant(b); }
+
+// -------------------------------------------------------------- functions
+
+Expr exp(Expr a) {
+  return Expr(std::make_shared<detail::UnaryNode>(UnaryOp::kExp, a.node()));
+}
+Expr log(Expr a) {
+  return Expr(std::make_shared<detail::UnaryNode>(UnaryOp::kLog, a.node()));
+}
+Expr sqrt(Expr a) {
+  return Expr(std::make_shared<detail::UnaryNode>(UnaryOp::kSqrt, a.node()));
+}
+Expr pow(Expr a, double p) {
+  return Expr(std::make_shared<detail::PowNode>(a.node(), p));
+}
+Expr min(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kMin, std::move(a), std::move(b));
+}
+Expr max(Expr a, Expr b) {
+  return detail::make_binary(BinaryOp::kMax, std::move(a), std::move(b));
+}
+Expr clamp(Expr a, double lo, double hi) {
+  SAFEOPT_EXPECTS(lo <= hi);
+  return min(max(std::move(a), constant(lo)), constant(hi));
+}
+
+Expr poisson_exposure(double rate, Expr window) {
+  SAFEOPT_EXPECTS(rate >= 0.0);
+  return 1.0 - exp(constant(-rate) * std::move(window));
+}
+
+Expr function1(std::string name, std::function<double(double)> fn,
+               std::function<double(double)> derivative, Expr arg) {
+  return Expr(std::make_shared<detail::FunctionNode>(
+      std::move(name), std::move(fn), std::move(derivative), arg.node()));
+}
+
+}  // namespace safeopt::expr

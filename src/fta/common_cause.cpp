@@ -1,0 +1,130 @@
+#include "safeopt/fta/common_cause.h"
+
+#include <algorithm>
+#include <map>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::fta {
+
+CommonCauseModel apply_beta_factor(
+    const FaultTree& tree, const QuantificationInput& probabilities,
+    const std::vector<CommonCauseGroup>& groups) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  SAFEOPT_EXPECTS(probabilities.is_valid_for(tree));
+
+  // Validate groups and index members: event ordinal -> (group index, beta).
+  std::map<BasicEventOrdinal, std::size_t> group_of_member;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const CommonCauseGroup& group = groups[g];
+    SAFEOPT_EXPECTS(!group.name.empty());
+    SAFEOPT_EXPECTS(group.members.size() >= 2);
+    SAFEOPT_EXPECTS(group.beta > 0.0 && group.beta <= 1.0);
+    for (const std::string& member : group.members) {
+      const auto id = tree.find(member);
+      SAFEOPT_EXPECTS(id.has_value());
+      SAFEOPT_EXPECTS(tree.kind(*id) == NodeKind::kBasicEvent);
+      const BasicEventOrdinal ordinal = tree.basic_event_ordinal(*id);
+      SAFEOPT_EXPECTS(!group_of_member.contains(ordinal));  // disjoint
+      group_of_member.emplace(ordinal, g);
+    }
+  }
+
+  CommonCauseModel model{FaultTree(tree.name() + "+ccf"), {}};
+
+  // One shared common-cause event per group; probability β·min over the
+  // members' point estimates (symmetric-conservative for mixed groups).
+  std::vector<NodeId> ccf_event(groups.size());
+  std::vector<double> ccf_probability(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double min_p = 1.0;
+    for (const std::string& member : groups[g].members) {
+      const auto id = tree.find(member);
+      min_p = std::min(
+          min_p,
+          probabilities.basic_event_probability[tree.basic_event_ordinal(
+              *id)]);
+    }
+    ccf_probability[g] = groups[g].beta * min_p;
+    ccf_event[g] = model.tree.add_basic_event(
+        groups[g].name + ".ccf",
+        "beta-factor common cause failing all group members");
+  }
+
+  // Rebuild node by node. Children always have smaller NodeIds than their
+  // parents (construction is bottom-up), so a single id-ordered pass works.
+  std::vector<NodeId> mapped(tree.node_count());
+  std::vector<double> event_probs;  // by new BasicEventOrdinal, appended
+  event_probs.assign(ccf_probability.begin(), ccf_probability.end());
+  std::vector<double> condition_probs;
+
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    switch (tree.kind(id)) {
+      case NodeKind::kBasicEvent: {
+        const BasicEventOrdinal ordinal = tree.basic_event_ordinal(id);
+        const double p = probabilities.basic_event_probability[ordinal];
+        const auto member = group_of_member.find(ordinal);
+        if (member == group_of_member.end()) {
+          mapped[id] = model.tree.add_basic_event(tree.node_name(id),
+                                                  tree.description(id));
+          event_probs.push_back(p);
+        } else {
+          const std::size_t g = member->second;
+          const NodeId independent = model.tree.add_basic_event(
+              tree.node_name(id) + ".indep",
+              "independent part of a common-cause group member");
+          event_probs.push_back((1.0 - groups[g].beta) * p);
+          // The OR gate takes the member's original name, so parents (and
+          // users) still address the component by its own name.
+          mapped[id] = model.tree.add_or(tree.node_name(id),
+                                         {independent, ccf_event[g]});
+        }
+        break;
+      }
+      case NodeKind::kCondition: {
+        mapped[id] = model.tree.add_condition(tree.node_name(id),
+                                              tree.description(id));
+        condition_probs.push_back(
+            probabilities
+                .condition_probability[tree.condition_ordinal(id)]);
+        break;
+      }
+      case NodeKind::kGate: {
+        std::vector<NodeId> children;
+        children.reserve(tree.children(id).size());
+        for (const NodeId child : tree.children(id)) {
+          children.push_back(mapped[child]);
+        }
+        const std::string& name = tree.node_name(id);
+        switch (tree.gate_type(id)) {
+          case GateType::kAnd:
+            mapped[id] = model.tree.add_and(name, std::move(children));
+            break;
+          case GateType::kOr:
+            mapped[id] = model.tree.add_or(name, std::move(children));
+            break;
+          case GateType::kXor:
+            mapped[id] = model.tree.add_xor(name, std::move(children));
+            break;
+          case GateType::kKofN:
+            mapped[id] = model.tree.add_k_of_n(name, tree.vote_threshold(id),
+                                               std::move(children));
+            break;
+          case GateType::kInhibit:
+            mapped[id] =
+                model.tree.add_inhibit(name, children[0], children[1]);
+            break;
+        }
+        break;
+      }
+    }
+  }
+  model.tree.set_top(mapped[tree.top()]);
+
+  model.probabilities.basic_event_probability = std::move(event_probs);
+  model.probabilities.condition_probability = std::move(condition_probs);
+  SAFEOPT_ENSURES(model.probabilities.is_valid_for(model.tree));
+  return model;
+}
+
+}  // namespace safeopt::fta

@@ -1,0 +1,62 @@
+#include "safeopt/fta/importance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::fta {
+
+std::vector<ImportanceMeasures> importance_measures(
+    const FaultTree& tree, const CutSetCollection& mcs,
+    const QuantificationInput& input, ProbabilityMethod method) {
+  SAFEOPT_EXPECTS(input.is_valid_for(tree));
+  const double p_top = top_event_probability(mcs, input, method);
+  SAFEOPT_EXPECTS(p_top > 0.0);
+
+  std::vector<ImportanceMeasures> out;
+  out.reserve(tree.basic_event_count());
+  for (BasicEventOrdinal i = 0; i < tree.basic_event_count(); ++i) {
+    ImportanceMeasures m;
+    m.event = i;
+    m.event_name = tree.node_name(tree.basic_events()[i]);
+    const double p_i = input.basic_event_probability[i];
+
+    QuantificationInput with = input;
+    with.basic_event_probability[i] = 1.0;
+    QuantificationInput without = input;
+    without.basic_event_probability[i] = 0.0;
+    const double p_with = top_event_probability(mcs, with, method);
+    const double p_without = top_event_probability(mcs, without, method);
+
+    m.birnbaum = p_with - p_without;
+    m.criticality = m.birnbaum * p_i / p_top;
+    m.risk_achievement_worth = p_with / p_top;
+    m.risk_reduction_worth =
+        p_without > 0.0 ? p_top / p_without
+                        : std::numeric_limits<double>::infinity();
+
+    double fv_sum = 0.0;
+    for (const CutSet& cs : mcs) {
+      if (std::binary_search(cs.events.begin(), cs.events.end(), i)) {
+        fv_sum += cut_set_probability(cs, input);
+      }
+    }
+    m.fussell_vesely = std::min(1.0, fv_sum / p_top);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<ImportanceMeasures> importance_ranking(
+    const FaultTree& tree, const CutSetCollection& mcs,
+    const QuantificationInput& input, ProbabilityMethod method) {
+  auto measures = importance_measures(tree, mcs, input, method);
+  std::stable_sort(measures.begin(), measures.end(),
+                   [](const ImportanceMeasures& a, const ImportanceMeasures& b) {
+                     return a.fussell_vesely > b.fussell_vesely;
+                   });
+  return measures;
+}
+
+}  // namespace safeopt::fta

@@ -1,0 +1,56 @@
+// Common-cause failure (CCF) modelling with the beta-factor method.
+//
+// The paper's quantification assumes pairwise-independent primary failures
+// and notes (§II-C) that correlated failures need "another approach like
+// common cause analysis". The beta-factor model is that standard approach:
+// for a group of components exposed to a shared cause (same supply, same
+// maintenance crew, same design), a fraction β of each member's failure
+// probability is attributed to a single shared *common-cause event* that
+// fails all members at once, and only (1−β)·p remains independent.
+//
+// `apply_beta_factor` rewrites a fault tree accordingly: every group member
+// leaf e is replaced by OR(e_independent, group_ccf), producing an ordinary
+// coherent tree that the whole MOCUS/BDD/optimization stack quantifies
+// unchanged — redundancy credit (e.g. 1-of-2 pump trains) is properly
+// destroyed by the shared event.
+#ifndef SAFEOPT_FTA_COMMON_CAUSE_H
+#define SAFEOPT_FTA_COMMON_CAUSE_H
+
+#include <string>
+#include <vector>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::fta {
+
+/// One common-cause group: member basic events (by name) and the beta
+/// fraction of their failure probability attributed to the shared cause.
+struct CommonCauseGroup {
+  std::string name;                   // e.g. "pump_ccf"
+  std::vector<std::string> members;   // >= 2 basic-event names
+  double beta = 0.1;                  // 0 < beta <= 1
+};
+
+/// A beta-factor-expanded model: the rewritten tree plus the probabilities
+/// transformed consistently with the input point estimates.
+struct CommonCauseModel {
+  FaultTree tree;
+  QuantificationInput probabilities;
+};
+
+/// Rewrites `tree` for the given groups:
+///   * each member leaf keeps its name but carries the independent part
+///     (1 − β)·p of its original probability;
+///   * per group one new basic event `<group>.ccf` is added with
+///     probability β·min over members' p (the conservative symmetric choice
+///     when members differ), OR-ed into every member's position.
+/// Preconditions: every member names a distinct basic event of `tree`;
+/// groups are disjoint; 0 < beta <= 1.
+[[nodiscard]] CommonCauseModel apply_beta_factor(
+    const FaultTree& tree, const QuantificationInput& probabilities,
+    const std::vector<CommonCauseGroup>& groups);
+
+}  // namespace safeopt::fta
+
+#endif  // SAFEOPT_FTA_COMMON_CAUSE_H

@@ -1,0 +1,179 @@
+// Fault tree object model (paper §II).
+//
+// A fault tree is a rooted DAG. The root is the *hazard* (top event), inner
+// nodes are *gates* over intermediate events, and leaves are either
+//   * basic events — the "primary failures" PF_i of the paper, or
+//   * conditions   — environmental constraints attached to INHIBIT gates
+//                    (paper §II-D.1: "this condition must not be a failure").
+// Keeping conditions as a distinct leaf kind is what lets the quantification
+// layer implement the paper's Eq. 2, P(CS) = P(Constraints)·∏ P(PF), with the
+// constraint factor separated from the failure factors.
+//
+// Supported gates: AND, OR, k-of-n (VOTE), XOR, INHIBIT. NOT is deliberately
+// unsupported: the cut-set machinery assumes coherent trees, as does the
+// paper. XOR is expanded to OR for cut-set purposes (the coherent hull),
+// which is the standard conservative treatment.
+//
+// Nodes are created bottom-up (children must exist before their parent),
+// which makes the structure acyclic by construction while still allowing
+// shared subtrees (repeated events), the case where minimal-cut-set
+// *minimization* actually matters.
+#ifndef SAFEOPT_FTA_FAULT_TREE_H
+#define SAFEOPT_FTA_FAULT_TREE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeopt::fta {
+
+/// Index of a node within its FaultTree. Stable for the tree's lifetime.
+using NodeId = std::uint32_t;
+
+/// Dense index over the tree's basic events, in creation order. Quantitative
+/// inputs (probabilities, Monte Carlo states) are vectors over this ordinal.
+using BasicEventOrdinal = std::uint32_t;
+
+/// Dense index over the tree's conditions, in creation order.
+using ConditionOrdinal = std::uint32_t;
+
+enum class NodeKind : std::uint8_t { kBasicEvent, kCondition, kGate };
+
+enum class GateType : std::uint8_t { kAnd, kOr, kKofN, kXor, kInhibit };
+
+/// Returns "AND", "OR", "KOFN", "XOR" or "INHIBIT".
+[[nodiscard]] std::string_view to_string(GateType type) noexcept;
+
+class FaultTree {
+ public:
+  /// Creates an empty tree. `name` identifies the modelled hazard context in
+  /// reports (e.g. "Collision").
+  explicit FaultTree(std::string name);
+
+  // ---- construction (bottom-up) -------------------------------------------
+
+  /// Adds a primary failure leaf. Names must be unique within the tree.
+  NodeId add_basic_event(std::string name, std::string description = {});
+
+  /// Adds an environmental-condition leaf for use under INHIBIT gates.
+  NodeId add_condition(std::string name, std::string description = {});
+
+  /// Adds an AND gate over >= 1 children.
+  NodeId add_and(std::string name, std::vector<NodeId> children);
+
+  /// Adds an OR gate over >= 1 children.
+  NodeId add_or(std::string name, std::vector<NodeId> children);
+
+  /// Adds a k-of-n voting gate: true iff at least `k` children are true.
+  /// Precondition: 1 <= k <= children.size().
+  NodeId add_k_of_n(std::string name, std::uint32_t k,
+                    std::vector<NodeId> children);
+
+  /// Adds an XOR gate: true iff exactly one child is true.
+  NodeId add_xor(std::string name, std::vector<NodeId> children);
+
+  /// Adds an INHIBIT gate: `cause` propagates only while `condition` holds.
+  /// Precondition: `condition` refers to a kCondition leaf.
+  NodeId add_inhibit(std::string name, NodeId cause, NodeId condition);
+
+  /// Declares the hazard / top event. Must be called exactly once before any
+  /// analysis. Precondition: `top` is a gate or basic event of this tree.
+  void set_top(NodeId top);
+
+  // ---- structural queries --------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool has_top() const noexcept { return top_.has_value(); }
+  /// Precondition: has_top().
+  [[nodiscard]] NodeId top() const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t basic_event_count() const noexcept {
+    return basic_events_.size();
+  }
+  [[nodiscard]] std::size_t condition_count() const noexcept {
+    return conditions_.size();
+  }
+  [[nodiscard]] std::size_t gate_count() const noexcept;
+
+  [[nodiscard]] NodeKind kind(NodeId id) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] const std::string& description(NodeId id) const;
+  /// Precondition: kind(id) == kGate.
+  [[nodiscard]] GateType gate_type(NodeId id) const;
+  /// Precondition: kind(id) == kGate. For INHIBIT the children are
+  /// {cause, condition} in that order.
+  [[nodiscard]] std::span<const NodeId> children(NodeId id) const;
+  /// Precondition: gate_type(id) == kKofN.
+  [[nodiscard]] std::uint32_t vote_threshold(NodeId id) const;
+
+  /// NodeId for `name`, or nullopt if no node has that name.
+  [[nodiscard]] std::optional<NodeId> find(std::string_view name) const;
+
+  /// Basic-event NodeIds in ordinal (creation) order.
+  [[nodiscard]] std::span<const NodeId> basic_events() const noexcept {
+    return basic_events_;
+  }
+  /// Condition NodeIds in ordinal (creation) order.
+  [[nodiscard]] std::span<const NodeId> conditions() const noexcept {
+    return conditions_;
+  }
+  /// Precondition: kind(id) == kBasicEvent.
+  [[nodiscard]] BasicEventOrdinal basic_event_ordinal(NodeId id) const;
+  /// Precondition: kind(id) == kCondition.
+  [[nodiscard]] ConditionOrdinal condition_ordinal(NodeId id) const;
+
+  // ---- semantics -----------------------------------------------------------
+
+  /// Evaluates the structure function: does the hazard occur under the given
+  /// leaf truth assignment? `basic_state` is indexed by BasicEventOrdinal,
+  /// `condition_state` by ConditionOrdinal; both must cover every leaf.
+  /// Precondition: has_top().
+  [[nodiscard]] bool evaluate(const std::vector<bool>& basic_state,
+                              const std::vector<bool>& condition_state) const;
+
+  /// Convenience overload for trees without conditions.
+  [[nodiscard]] bool evaluate(const std::vector<bool>& basic_state) const;
+
+  /// Checks well-formedness beyond what construction enforces: a top event is
+  /// set, every node is reachable from it, INHIBIT conditions are condition
+  /// leaves and conditions appear only under INHIBIT gates. Returns a list of
+  /// human-readable problems; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  struct Node {
+    NodeKind node_kind = NodeKind::kBasicEvent;
+    GateType gate = GateType::kAnd;
+    std::uint32_t k = 0;  // vote threshold for kKofN
+    std::string name;
+    std::string description;
+    std::vector<NodeId> children;
+  };
+
+  NodeId add_node(Node node);
+  NodeId add_gate(std::string name, GateType type, std::uint32_t k,
+                  std::vector<NodeId> children);
+  void check_child_ids(std::span<const NodeId> children) const;
+  [[nodiscard]] bool evaluate_node(NodeId id,
+                                   const std::vector<bool>& basic_state,
+                                   const std::vector<bool>& condition_state,
+                                   std::vector<signed char>& memo) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> basic_events_;
+  std::vector<NodeId> conditions_;
+  std::map<std::string, NodeId, std::less<>> by_name_;
+  std::optional<NodeId> top_;
+};
+
+}  // namespace safeopt::fta
+
+#endif  // SAFEOPT_FTA_FAULT_TREE_H

@@ -1,0 +1,49 @@
+// Importance measures rank how much each primary failure contributes to a
+// hazard — the quantitative complement to the paper's observation that
+// "quantitative safety analysis showed the importance of different failure
+// modes". All measures are computed from the minimal cut sets under a chosen
+// probability method:
+//
+//   Birnbaum          I_B(i)  = P(H | p_i = 1) − P(H | p_i = 0)
+//   Criticality       I_C(i)  = I_B(i) · p_i / P(H)
+//   Fussell-Vesely    I_FV(i) = Σ_{MCS ∋ i} P(MCS) / P(H)
+//   RAW               RAW(i)  = P(H | p_i = 1) / P(H)   (risk achievement)
+//   RRW               RRW(i)  = P(H) / P(H | p_i = 0)   (risk reduction)
+#ifndef SAFEOPT_FTA_IMPORTANCE_H
+#define SAFEOPT_FTA_IMPORTANCE_H
+
+#include <string>
+#include <vector>
+
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::fta {
+
+/// All importance measures for one basic event.
+struct ImportanceMeasures {
+  BasicEventOrdinal event = 0;
+  std::string event_name;
+  double birnbaum = 0.0;
+  double criticality = 0.0;
+  double fussell_vesely = 0.0;
+  double risk_achievement_worth = 1.0;
+  double risk_reduction_worth = 1.0;
+};
+
+/// Computes all measures for every basic event of `tree`.
+/// Precondition: top_event_probability(mcs, input, method) > 0.
+[[nodiscard]] std::vector<ImportanceMeasures> importance_measures(
+    const FaultTree& tree, const CutSetCollection& mcs,
+    const QuantificationInput& input,
+    ProbabilityMethod method = ProbabilityMethod::kRareEvent);
+
+/// The same list sorted by descending Fussell-Vesely importance — the usual
+/// report order ("which failures dominate the hazard?").
+[[nodiscard]] std::vector<ImportanceMeasures> importance_ranking(
+    const FaultTree& tree, const CutSetCollection& mcs,
+    const QuantificationInput& input,
+    ProbabilityMethod method = ProbabilityMethod::kRareEvent);
+
+}  // namespace safeopt::fta
+
+#endif  // SAFEOPT_FTA_IMPORTANCE_H

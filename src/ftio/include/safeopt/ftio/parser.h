@@ -1,0 +1,61 @@
+// Text format for fault trees — a Galileo-style dialect with INHIBIT
+// conditions and probabilities, so models can live in version control next
+// to the code that analyzes them. Example (the paper's Fig. 2 fragment):
+//
+//   # Elbtunnel collision tree (paper Fig. 2)
+//   tree Collision;
+//   toplevel Collision_top;
+//   Collision_top or OHVIgnoresSignal SignalNotOn;
+//   SignalNotOn    or SignalOutOfOrder SignalNotActivated;
+//   Armed          inhibit SignalNotActivated OHVPresent;  # cause condition
+//   OHVIgnoresSignal  prob = 1e-3;
+//   SignalOutOfOrder  prob = 1e-4;
+//   SignalNotActivated prob = 5e-4;
+//   OHVPresent condition prob = 0.2;
+//
+// Statements end with ';'. Gate kinds: or, and, xor, inhibit (exactly two
+// operands: cause then condition), and k-of-n votes written "2of3".
+// Leaves are declared by "<name> prob = <p>;" (basic event) or
+// "<name> condition prob = <p>;" (INHIBIT condition). '#' starts a comment.
+//
+// The parser reports errors with line:column positions; the writer
+// round-trips: parse(write(t)) reproduces t.
+#ifndef SAFEOPT_FTIO_PARSER_H
+#define SAFEOPT_FTIO_PARSER_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::ftio {
+
+/// Parse failure: message includes "line:column: ..." context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, std::size_t column, const std::string& what);
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A parsed model: the structure plus the declared probabilities.
+struct ParsedFaultTree {
+  fta::FaultTree tree;
+  fta::QuantificationInput probabilities;
+};
+
+/// Parses the textual format described above. Throws ParseError on any
+/// lexical, syntactic, or semantic problem (unknown node, duplicate
+/// definition, cycle, missing toplevel, ...).
+[[nodiscard]] ParsedFaultTree parse_fault_tree(std::string_view text);
+
+}  // namespace safeopt::ftio
+
+#endif  // SAFEOPT_FTIO_PARSER_H

@@ -1,0 +1,53 @@
+// Monte Carlo estimation of hazard probabilities directly from the fault
+// tree's structure function. This is the model-free cross-check for the
+// analytic pipeline: the paper's Eq. 1/2 rest on independence assumptions and
+// a rare-event approximation, and MC sampling validates both (the
+// `montecarlo_validation` bench and the property tests use it as an oracle).
+//
+// Each trial samples every basic event and INHIBIT condition as an
+// independent Bernoulli draw and evaluates the tree once. Estimates come
+// with Wilson confidence intervals, which stay meaningful when zero or very
+// few hazard trials are observed — the common case for safety systems.
+#ifndef SAFEOPT_MC_MONTE_CARLO_H
+#define SAFEOPT_MC_MONTE_CARLO_H
+
+#include <cstdint>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/stats/estimators.h"
+
+namespace safeopt::mc {
+
+/// Result of a Monte Carlo hazard estimation.
+struct MonteCarloResult {
+  double estimate = 0.0;
+  stats::ConfidenceInterval ci95;
+  std::uint64_t trials = 0;
+  std::uint64_t occurrences = 0;
+
+  /// True if the analytic value is inside the 95% interval — the assertion
+  /// the validation harness makes against exact BDD probabilities.
+  [[nodiscard]] bool consistent_with(double analytic) const noexcept {
+    return ci95.contains(analytic);
+  }
+};
+
+/// Fixed-budget estimation: `trials` independent evaluations.
+/// Precondition: input.is_valid_for(tree), trials >= 1.
+[[nodiscard]] MonteCarloResult estimate_hazard_probability(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input,
+    std::uint64_t trials, std::uint64_t seed = 0x5a4e0u);
+
+/// Adaptive estimation: runs until the 95% Wilson interval half-width drops
+/// below `relative_halfwidth · estimate` (or `max_trials` is reached, in
+/// which case the result reports whatever precision was achieved).
+/// Precondition: 0 < relative_halfwidth < 1.
+[[nodiscard]] MonteCarloResult estimate_until(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input,
+    double relative_halfwidth, std::uint64_t max_trials,
+    std::uint64_t seed = 0x5a4e0u);
+
+}  // namespace safeopt::mc
+
+#endif  // SAFEOPT_MC_MONTE_CARLO_H

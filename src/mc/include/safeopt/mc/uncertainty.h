@@ -1,0 +1,87 @@
+// Epistemic uncertainty propagation (paper §V: "the results of this analysis
+// depend a lot on how well the statistical model reflects reality").
+//
+// Instead of point estimates, each leaf probability carries an *uncertainty
+// distribution* (classically a lognormal with an error factor, per the Fault
+// Tree Handbook). Sampling leaf probabilities and re-quantifying the tree
+// propagates that uncertainty to the top event, yielding percentiles of
+// P(hazard) rather than a single number — the quantitative answer to "what
+// if our failure statistics are off by 3x?".
+#ifndef SAFEOPT_MC_UNCERTAINTY_H
+#define SAFEOPT_MC_UNCERTAINTY_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/stats/distribution.h"
+
+namespace safeopt::mc {
+
+/// Uncertainty distributions for every leaf of one tree. A null entry means
+/// the leaf probability is known exactly (its point value is used).
+class UncertainQuantification {
+ public:
+  /// Starts from point estimates; all leaves exact.
+  UncertainQuantification(const fta::FaultTree& tree,
+                          fta::QuantificationInput point_estimates);
+
+  /// Attaches an uncertainty distribution to a basic event or condition by
+  /// name. Samples are clamped into [0, 1].
+  void set_uncertainty(std::string_view name,
+                       std::shared_ptr<const stats::Distribution> dist);
+
+  /// Classical error-factor model: probability ~ LogNormal with median
+  /// `median` and 95th/50th percentile ratio `error_factor` (> 1).
+  void set_lognormal_error_factor(std::string_view name, double median,
+                                  double error_factor);
+
+  /// Draws one complete QuantificationInput.
+  [[nodiscard]] fta::QuantificationInput sample(Rng& rng) const;
+
+  [[nodiscard]] const fta::FaultTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const fta::QuantificationInput& point_estimates()
+      const noexcept {
+    return point_;
+  }
+
+ private:
+  const fta::FaultTree& tree_;
+  fta::QuantificationInput point_;
+  std::vector<std::shared_ptr<const stats::Distribution>> event_dists_;
+  std::vector<std::shared_ptr<const stats::Distribution>> condition_dists_;
+};
+
+/// Percentile summary of the propagated top-event probability.
+struct UncertaintyResult {
+  double mean = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  /// P(hazard) at the point estimates, for reference.
+  double point_estimate = 0.0;
+  std::size_t samples = 0;
+
+  /// Ratio p95/p05 — how many orders of magnitude the model uncertainty
+  /// spans at the top event.
+  [[nodiscard]] double uncertainty_span() const noexcept {
+    return p05 > 0.0 ? p95 / p05 : 0.0;
+  }
+};
+
+/// Propagates leaf-probability uncertainty to the top event: `samples`
+/// draws, each quantified by `method` over the minimal cut sets.
+/// Precondition: samples >= 100.
+[[nodiscard]] UncertaintyResult propagate_uncertainty(
+    const UncertainQuantification& quantification,
+    const fta::CutSetCollection& mcs, std::size_t samples,
+    std::uint64_t seed = 0xebcu,
+    fta::ProbabilityMethod method = fta::ProbabilityMethod::kRareEvent);
+
+}  // namespace safeopt::mc
+
+#endif  // SAFEOPT_MC_UNCERTAINTY_H

@@ -1,0 +1,74 @@
+#include "safeopt/mc/monte_carlo.h"
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::mc {
+namespace {
+
+MonteCarloResult from_estimator(const stats::ProportionEstimator& estimator) {
+  MonteCarloResult result;
+  result.trials = estimator.trials();
+  result.occurrences = estimator.successes();
+  result.estimate = estimator.estimate();
+  result.ci95 = estimator.wilson(0.95);
+  return result;
+}
+
+}  // namespace
+
+MonteCarloResult estimate_hazard_probability(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input,
+    std::uint64_t trials, std::uint64_t seed) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  SAFEOPT_EXPECTS(input.is_valid_for(tree));
+  SAFEOPT_EXPECTS(trials >= 1);
+
+  Rng rng(seed);
+  stats::ProportionEstimator estimator;
+  std::vector<bool> basic(tree.basic_event_count());
+  std::vector<bool> condition(tree.condition_count());
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < basic.size(); ++i) {
+      basic[i] = bernoulli(rng, input.basic_event_probability[i]);
+    }
+    for (std::size_t i = 0; i < condition.size(); ++i) {
+      condition[i] = bernoulli(rng, input.condition_probability[i]);
+    }
+    estimator.add(tree.evaluate(basic, condition));
+  }
+  return from_estimator(estimator);
+}
+
+MonteCarloResult estimate_until(const fta::FaultTree& tree,
+                                const fta::QuantificationInput& input,
+                                double relative_halfwidth,
+                                std::uint64_t max_trials, std::uint64_t seed) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  SAFEOPT_EXPECTS(input.is_valid_for(tree));
+  SAFEOPT_EXPECTS(relative_halfwidth > 0.0 && relative_halfwidth < 1.0);
+  SAFEOPT_EXPECTS(max_trials >= 1);
+
+  Rng rng(seed);
+  stats::ProportionEstimator estimator;
+  std::vector<bool> basic(tree.basic_event_count());
+  std::vector<bool> condition(tree.condition_count());
+  constexpr std::uint64_t kCheckInterval = 4096;
+  for (std::uint64_t t = 0; t < max_trials; ++t) {
+    for (std::size_t i = 0; i < basic.size(); ++i) {
+      basic[i] = bernoulli(rng, input.basic_event_probability[i]);
+    }
+    for (std::size_t i = 0; i < condition.size(); ++i) {
+      condition[i] = bernoulli(rng, input.condition_probability[i]);
+    }
+    estimator.add(tree.evaluate(basic, condition));
+    if ((t + 1) % kCheckInterval == 0 && estimator.successes() >= 8) {
+      const auto ci = estimator.wilson(0.95);
+      const double halfwidth = 0.5 * ci.width();
+      if (halfwidth <= relative_halfwidth * estimator.estimate()) break;
+    }
+  }
+  return from_estimator(estimator);
+}
+
+}  // namespace safeopt::mc

@@ -1,0 +1,99 @@
+#include "safeopt/mc/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/stats/special_functions.h"
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::mc {
+
+UncertainQuantification::UncertainQuantification(
+    const fta::FaultTree& tree, fta::QuantificationInput point_estimates)
+    : tree_(tree),
+      point_(std::move(point_estimates)),
+      event_dists_(tree.basic_event_count()),
+      condition_dists_(tree.condition_count()) {
+  SAFEOPT_EXPECTS(point_.is_valid_for(tree));
+}
+
+void UncertainQuantification::set_uncertainty(
+    std::string_view name, std::shared_ptr<const stats::Distribution> dist) {
+  SAFEOPT_EXPECTS(dist != nullptr);
+  const auto id = tree_.find(name);
+  SAFEOPT_EXPECTS(id.has_value());
+  switch (tree_.kind(*id)) {
+    case fta::NodeKind::kBasicEvent:
+      event_dists_[tree_.basic_event_ordinal(*id)] = std::move(dist);
+      break;
+    case fta::NodeKind::kCondition:
+      condition_dists_[tree_.condition_ordinal(*id)] = std::move(dist);
+      break;
+    case fta::NodeKind::kGate:
+      SAFEOPT_EXPECTS(false && "gates carry no probability");
+  }
+}
+
+void UncertainQuantification::set_lognormal_error_factor(std::string_view name,
+                                                         double median,
+                                                         double error_factor) {
+  SAFEOPT_EXPECTS(median > 0.0 && median < 1.0);
+  SAFEOPT_EXPECTS(error_factor > 1.0);
+  // LogNormal(µ = ln median, σ = ln EF / z95): the 95th percentile is then
+  // median · EF, the Fault Tree Handbook convention.
+  const double z95 = stats::normal_quantile(0.95);
+  set_uncertainty(name, std::make_shared<stats::LogNormal>(
+                            std::log(median), std::log(error_factor) / z95));
+}
+
+fta::QuantificationInput UncertainQuantification::sample(Rng& rng) const {
+  fta::QuantificationInput input = point_;
+  for (std::size_t i = 0; i < event_dists_.size(); ++i) {
+    if (event_dists_[i] != nullptr) {
+      input.basic_event_probability[i] =
+          std::clamp(event_dists_[i]->sample(rng), 0.0, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < condition_dists_.size(); ++i) {
+    if (condition_dists_[i] != nullptr) {
+      input.condition_probability[i] =
+          std::clamp(condition_dists_[i]->sample(rng), 0.0, 1.0);
+    }
+  }
+  return input;
+}
+
+UncertaintyResult propagate_uncertainty(
+    const UncertainQuantification& quantification,
+    const fta::CutSetCollection& mcs, std::size_t samples, std::uint64_t seed,
+    fta::ProbabilityMethod method) {
+  SAFEOPT_EXPECTS(samples >= 100);
+  Rng rng(seed);
+  std::vector<double> tops;
+  tops.reserve(samples);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const fta::QuantificationInput input = quantification.sample(rng);
+    const double p = fta::top_event_probability(mcs, input, method);
+    tops.push_back(p);
+    sum += p;
+  }
+  std::sort(tops.begin(), tops.end());
+  const auto at_quantile = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(samples - 1) + 0.5);
+    return tops[std::min(index, samples - 1)];
+  };
+
+  UncertaintyResult result;
+  result.samples = samples;
+  result.mean = sum / static_cast<double>(samples);
+  result.median = at_quantile(0.5);
+  result.p05 = at_quantile(0.05);
+  result.p95 = at_quantile(0.95);
+  result.point_estimate = fta::top_event_probability(
+      mcs, quantification.point_estimates(), method);
+  return result;
+}
+
+}  // namespace safeopt::mc

@@ -1,0 +1,157 @@
+#include "safeopt/modelcheck/height_control_model.h"
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::modelcheck {
+namespace {
+
+// Vehicle positions (see header).
+constexpr std::int32_t kApproach = 0;
+constexpr std::int32_t kZone1 = 1;
+constexpr std::int32_t kZone2Right = 2;
+constexpr std::int32_t kLeftAtLbpost = 3;
+constexpr std::int32_t kTube4 = 4;
+constexpr std::int32_t kCollision = 5;
+constexpr std::int32_t kStopped = 6;
+
+}  // namespace
+
+HeightControlModel::HeightControlModel(ControlDesign design, int ohv_count)
+    : design_(design), ohv_count_(ohv_count) {
+  SAFEOPT_EXPECTS(ohv_count >= 1 && ohv_count <= 3);
+}
+
+int HeightControlModel::ohv_position(const State& s, int vehicle) const {
+  SAFEOPT_EXPECTS(vehicle >= 0 && vehicle < ohv_count_);
+  return s[static_cast<std::size_t>(vehicle)];
+}
+
+bool HeightControlModel::lbpost_armed(const State& s) const {
+  return s[static_cast<std::size_t>(ohv_count_)] != 0;
+}
+
+bool HeightControlModel::odfinal_armed(const State& s) const {
+  return s[static_cast<std::size_t>(ohv_count_) + 1] != 0;
+}
+
+State HeightControlModel::initial() const {
+  State s(static_cast<std::size_t>(ohv_count_) + 2, 0);
+  for (int v = 0; v < ohv_count_; ++v) {
+    s[static_cast<std::size_t>(v)] = kApproach;
+  }
+  return s;
+}
+
+std::vector<State> HeightControlModel::successors(const State& state) const {
+  std::vector<State> next;
+  const auto armed_index = static_cast<std::size_t>(ohv_count_);
+  const auto od_index = armed_index + 1;
+
+  for (int v = 0; v < ohv_count_; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int32_t pos = state[vi];
+    switch (pos) {
+      case kApproach: {
+        // Passing LBpre arms LBpost. Simultaneous passages produce one
+        // signal, so re-arming an armed barrier changes nothing — which is
+        // precisely why the original design cannot count vehicles.
+        State s = state;
+        s[vi] = kZone1;
+        s[armed_index] = 1;
+        next.push_back(std::move(s));
+        break;
+      }
+      case kZone1: {
+        const bool armed = state[armed_index] != 0;
+        // Choice 1: proceed on the right lane through LBpost towards
+        // tube 4 (the legal route).
+        {
+          State s = state;
+          s[vi] = kZone2Right;
+          if (armed) {
+            s[od_index] = 1;  // LBpost passage activates ODfinal
+            if (design_ == ControlDesign::kOriginal) {
+              // Flaw: the control assumes one OHV and switches the
+              // detection off after the first passage.
+              s[armed_index] = 0;
+            }
+          }
+          next.push_back(std::move(s));
+        }
+        // Choice 2: drive on a left lane towards the west tube. With
+        // LBpost armed the LBpost+ODleft combination triggers the
+        // emergency stop; disarmed, the vehicle passes unnoticed.
+        {
+          State s = state;
+          if (armed) {
+            s[vi] = kStopped;
+            if (design_ == ControlDesign::kOriginal) s[armed_index] = 0;
+          } else {
+            s[vi] = kLeftAtLbpost;
+          }
+          next.push_back(std::move(s));
+        }
+        break;
+      }
+      case kLeftAtLbpost: {
+        // Unprotected west-tube approach: nothing can stop it any more.
+        State s = state;
+        s[vi] = kCollision;
+        next.push_back(std::move(s));
+        break;
+      }
+      case kZone2Right: {
+        // Choice 1: enter tube 4 (safe).
+        {
+          State s = state;
+          s[vi] = kTube4;
+          next.push_back(std::move(s));
+        }
+        // Choice 2: switch to the left lanes inside zone 2 towards the
+        // west/mid tubes — the situation ODfinal exists to catch.
+        {
+          State s = state;
+          s[vi] = odfinal_armed(state) ? kStopped : kCollision;
+          next.push_back(std::move(s));
+        }
+        break;
+      }
+      case kTube4:
+      case kCollision:
+      case kStopped:
+        break;  // terminal
+      default:
+        SAFEOPT_ASSERT(false);
+    }
+  }
+  return next;
+}
+
+std::string HeightControlModel::describe(const State& state) const {
+  static constexpr const char* kPositionNames[] = {
+      "approach", "zone1",     "zone2-right", "left-at-LBpost",
+      "tube4",    "COLLISION", "stopped"};
+  std::string out = "{";
+  for (int v = 0; v < ohv_count_; ++v) {
+    if (v > 0) out += ", ";
+    out += "OHV" + std::to_string(v) + "=" +
+           kPositionNames[ohv_position(state, v)];
+  }
+  out += lbpost_armed(state) ? ", LBpost:armed" : ", LBpost:off";
+  out += odfinal_armed(state) ? ", ODfinal:armed" : ", ODfinal:off";
+  out += "}";
+  return out;
+}
+
+bool HeightControlModel::no_collision(const State& state) {
+  for (const std::int32_t v : state) {
+    if (v == kCollision) return false;
+  }
+  return true;
+}
+
+CheckResult HeightControlModel::verify() const {
+  return check_invariant(*this, no_collision);
+}
+
+}  // namespace safeopt::modelcheck

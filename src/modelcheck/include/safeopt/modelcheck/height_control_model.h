@@ -1,0 +1,62 @@
+// Finite-state models of the Elbtunnel height control for verification
+// (paper §IV-A): "With formal verification using the SMV-tool we discovered
+// a design flaw, which resulted in a possible hazard if two OHVs passed
+// LBpre simultaneously. After presenting solutions to this problem, we could
+// proof functional correctness for the collision hazards."
+//
+// Two control designs are modelled:
+//   kOriginal — LBpost detection is switched off as soon as one OHV has
+//               passed LBpost (the pre-fix design): with two OHVs in zone 1
+//               the second one travels unprotected -> collision reachable;
+//   kRevised  — LBpost stays armed for the full timer runtime (the deployed
+//               design of paper Fig. 4): collision unreachable.
+//
+// Timers are abstracted as non-expiring: timer overtime is a *quantitative*
+// failure handled by the FTA/optimization layers (cut sets {OT1}, {OT2});
+// the model checker isolates the *logical* flaw, exactly as SMV did.
+//
+// Vehicle positions: 0 approach, 1 zone 1, 2 zone 2 (right lane),
+// 3 left lane at LBpost (heading west tube), 4 inside tube 4 (safe),
+// 5 inside an old tube = COLLISION, 6 stopped by emergency halt.
+#ifndef SAFEOPT_MODELCHECK_HEIGHT_CONTROL_MODEL_H
+#define SAFEOPT_MODELCHECK_HEIGHT_CONTROL_MODEL_H
+
+#include "safeopt/modelcheck/transition_system.h"
+
+namespace safeopt::modelcheck {
+
+enum class ControlDesign {
+  kOriginal,  // flawed: LBpost disarmed by the first passage
+  kRevised    // fixed: LBpost armed until timer expiry
+};
+
+class HeightControlModel final : public TransitionSystem {
+ public:
+  /// Models `ohv_count` overhigh vehicles (1..3) approaching the northern
+  /// entrance concurrently.
+  HeightControlModel(ControlDesign design, int ohv_count);
+
+  [[nodiscard]] State initial() const override;
+  [[nodiscard]] std::vector<State> successors(
+      const State& state) const override;
+  [[nodiscard]] std::string describe(const State& state) const override;
+
+  /// The safety invariant: no OHV inside an old tube.
+  [[nodiscard]] static bool no_collision(const State& state);
+
+  /// Runs the invariant check for this model.
+  [[nodiscard]] CheckResult verify() const;
+
+ private:
+  // State layout: [pos_0, ..., pos_{n-1}, lbpost_armed, odfinal_armed].
+  [[nodiscard]] int ohv_position(const State& s, int vehicle) const;
+  [[nodiscard]] bool lbpost_armed(const State& s) const;
+  [[nodiscard]] bool odfinal_armed(const State& s) const;
+
+  ControlDesign design_;
+  int ohv_count_;
+};
+
+}  // namespace safeopt::modelcheck
+
+#endif  // SAFEOPT_MODELCHECK_HEIGHT_CONTROL_MODEL_H

@@ -1,0 +1,64 @@
+// Explicit-state model checking substrate. The paper's prior work (§IV-A)
+// used the SMV symbolic model checker to find the two-OHV design flaw and
+// prove the fixed design correct; this module provides the equivalent
+// capability for finite models: BFS reachability over a TransitionSystem,
+// invariant checking, and shortest counterexample extraction.
+#ifndef SAFEOPT_MODELCHECK_TRANSITION_SYSTEM_H
+#define SAFEOPT_MODELCHECK_TRANSITION_SYSTEM_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace safeopt::modelcheck {
+
+/// A state is a fixed-length vector of small integers; the interpretation
+/// belongs to the concrete model.
+using State = std::vector<std::int32_t>;
+
+/// A finite transition system with one initial state and nondeterministic
+/// successors.
+class TransitionSystem {
+ public:
+  virtual ~TransitionSystem() = default;
+  [[nodiscard]] virtual State initial() const = 0;
+  /// All successor states of `state`; empty for deadlock states.
+  [[nodiscard]] virtual std::vector<State> successors(
+      const State& state) const = 0;
+  /// Human-readable rendering for counterexample traces.
+  [[nodiscard]] virtual std::string describe(const State& state) const = 0;
+
+ protected:
+  TransitionSystem() = default;
+  TransitionSystem(const TransitionSystem&) = default;
+  TransitionSystem& operator=(const TransitionSystem&) = default;
+};
+
+/// Outcome of an invariant check.
+struct CheckResult {
+  /// True if the invariant holds in every reachable state.
+  bool holds = false;
+  /// True if exploration was cut off by max_states before exhausting the
+  /// reachable set (holds is then only "no violation found so far").
+  bool exhausted_budget = false;
+  std::size_t states_explored = 0;
+  /// On violation: a shortest path initial -> violating state.
+  std::vector<State> counterexample;
+};
+
+/// Breadth-first invariant check: explores reachable states until a
+/// violation is found, the state space is exhausted, or `max_states` states
+/// have been expanded. BFS guarantees the counterexample is shortest.
+[[nodiscard]] CheckResult check_invariant(
+    const TransitionSystem& system,
+    const std::function<bool(const State&)>& invariant,
+    std::size_t max_states = 1'000'000);
+
+/// Renders a counterexample as one describe() line per step.
+[[nodiscard]] std::string format_trace(const TransitionSystem& system,
+                                       const std::vector<State>& trace);
+
+}  // namespace safeopt::modelcheck
+
+#endif  // SAFEOPT_MODELCHECK_TRANSITION_SYSTEM_H

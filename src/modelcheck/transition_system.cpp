@@ -1,0 +1,90 @@
+#include "safeopt/modelcheck/transition_system.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::modelcheck {
+namespace {
+
+struct StateHash {
+  std::size_t operator()(const State& state) const noexcept {
+    // FNV-1a over the int32 words.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::int32_t v : state) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+CheckResult check_invariant(const TransitionSystem& system,
+                            const std::function<bool(const State&)>& invariant,
+                            std::size_t max_states) {
+  SAFEOPT_EXPECTS(static_cast<bool>(invariant));
+  SAFEOPT_EXPECTS(max_states >= 1);
+
+  CheckResult result;
+  // parent map doubles as the visited set; the initial state's parent is
+  // itself (detected when rebuilding the trace).
+  std::unordered_map<State, State, StateHash> parent;
+  std::deque<State> frontier;
+
+  const State init = system.initial();
+  parent.emplace(init, init);
+  frontier.push_back(init);
+
+  const auto build_trace = [&](const State& violating) {
+    std::vector<State> trace{violating};
+    State current = violating;
+    while (true) {
+      const State& up = parent.at(current);
+      if (up == current) break;
+      trace.push_back(up);
+      current = up;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  while (!frontier.empty()) {
+    const State state = frontier.front();
+    frontier.pop_front();
+    ++result.states_explored;
+
+    if (!invariant(state)) {
+      result.holds = false;
+      result.counterexample = build_trace(state);
+      return result;
+    }
+    if (result.states_explored >= max_states) {
+      result.holds = true;
+      result.exhausted_budget = true;
+      return result;
+    }
+    for (State& next : system.successors(state)) {
+      if (parent.emplace(next, state).second) {
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  result.holds = true;
+  return result;
+}
+
+std::string format_trace(const TransitionSystem& system,
+                         const std::vector<State>& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out += "  step " + std::to_string(i) + ": " + system.describe(trace[i]) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace safeopt::modelcheck

@@ -1,0 +1,92 @@
+#include "safeopt/opt/coordinate_descent.h"
+
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+CoordinateDescent::CoordinateDescent(StoppingCriteria stopping,
+                                     std::vector<double> initial,
+                                     std::size_t line_search_iterations)
+    : stopping_(stopping),
+      initial_(std::move(initial)),
+      line_search_iterations_(line_search_iterations) {
+  SAFEOPT_EXPECTS(line_search_iterations >= 8);
+}
+
+OptimizationResult CoordinateDescent::minimize(const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+  SAFEOPT_EXPECTS(initial_.empty() || initial_.size() == dim);
+  constexpr double kInvPhi = 0.6180339887498948482;
+
+  OptimizationResult result;
+  std::vector<double> x = initial_.empty() ? problem.bounds.center()
+                                           : problem.bounds.project(initial_);
+  double fx = problem.objective(x);
+  ++result.evaluations;
+
+  // Golden-section along axis `i` over the full box extent of that axis.
+  const auto line_minimize = [&](std::size_t i) {
+    double a = problem.bounds.lower[i];
+    double b = problem.bounds.upper[i];
+    const auto eval_at = [&](double value) {
+      const double saved = x[i];
+      x[i] = value;
+      const double f = problem.objective(x);
+      ++result.evaluations;
+      x[i] = saved;
+      return f;
+    };
+    double c = b - kInvPhi * (b - a);
+    double d = a + kInvPhi * (b - a);
+    double fc = eval_at(c);
+    double fd = eval_at(d);
+    for (std::size_t it = 0; it < line_search_iterations_; ++it) {
+      if (fc < fd) {
+        b = d;
+        d = c;
+        fd = fc;
+        c = b - kInvPhi * (b - a);
+        fc = eval_at(c);
+      } else {
+        a = c;
+        c = d;
+        fc = fd;
+        d = a + kInvPhi * (b - a);
+        fd = eval_at(d);
+      }
+    }
+    const double best = 0.5 * (a + b);
+    const double f_best = eval_at(best);
+    if (f_best < fx) {
+      x[i] = best;
+      fx = f_best;
+    }
+  };
+
+  while (result.iterations < stopping_.max_iterations) {
+    ++result.iterations;
+    const std::vector<double> previous = x;
+    const double f_previous = fx;
+    for (std::size_t i = 0; i < dim; ++i) line_minimize(i);
+    double moved = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = x[i] - previous[i];
+      moved += d * d;
+    }
+    if (std::sqrt(moved) <= stopping_.tolerance &&
+        f_previous - fx <= stopping_.tolerance) {
+      result.converged = true;
+      result.message = "coordinate sweep made no progress";
+      break;
+    }
+  }
+  if (!result.converged) result.message = "iteration budget exhausted";
+  result.argmin = std::move(x);
+  result.value = fx;
+  return result;
+}
+
+}  // namespace safeopt::opt

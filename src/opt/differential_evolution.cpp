@@ -1,0 +1,108 @@
+#include "safeopt/opt/differential_evolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::opt {
+
+DifferentialEvolution::DifferentialEvolution(Settings settings,
+                                             std::uint64_t seed)
+    : settings_(settings), seed_(seed) {
+  SAFEOPT_EXPECTS(settings.differential_weight > 0.0 &&
+                  settings.differential_weight <= 2.0);
+  SAFEOPT_EXPECTS(settings.crossover_rate >= 0.0 &&
+                  settings.crossover_rate <= 1.0);
+  SAFEOPT_EXPECTS(settings.generations >= 1);
+}
+
+OptimizationResult DifferentialEvolution::minimize(
+    const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+  const std::size_t population_size =
+      settings_.population != 0 ? settings_.population
+                                : std::max<std::size_t>(15, 10 * dim);
+  SAFEOPT_EXPECTS(population_size >= 4);
+
+  OptimizationResult result;
+  Rng rng(seed_);
+
+  std::vector<std::vector<double>> population(population_size,
+                                              std::vector<double>(dim));
+  std::vector<double> fitness(population_size);
+  for (std::size_t p = 0; p < population_size; ++p) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      population[p][i] =
+          uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+    }
+    fitness[p] = problem.objective(population[p]);
+    ++result.evaluations;
+  }
+
+  const auto spread = [&] {
+    const auto [lo, hi] = std::minmax_element(fitness.begin(), fitness.end());
+    return std::abs(*hi - *lo);
+  };
+
+  std::vector<double> trial(dim);
+  for (std::size_t generation = 0; generation < settings_.generations;
+       ++generation) {
+    ++result.iterations;
+    if (spread() < settings_.spread_tolerance) {
+      result.converged = true;
+      result.message = "population collapsed";
+      break;
+    }
+    for (std::size_t p = 0; p < population_size; ++p) {
+      // Pick three distinct agents a, b, c, all different from p.
+      std::size_t a = 0;
+      std::size_t b = 0;
+      std::size_t c = 0;
+      do {
+        a = static_cast<std::size_t>(uniform_index(rng, population_size));
+      } while (a == p);
+      do {
+        b = static_cast<std::size_t>(uniform_index(rng, population_size));
+      } while (b == p || b == a);
+      do {
+        c = static_cast<std::size_t>(uniform_index(rng, population_size));
+      } while (c == p || c == a || c == b);
+
+      const std::size_t forced_axis =
+          static_cast<std::size_t>(uniform_index(rng, dim));
+      for (std::size_t i = 0; i < dim; ++i) {
+        if (i == forced_axis || uniform01(rng) < settings_.crossover_rate) {
+          trial[i] = population[a][i] +
+                     settings_.differential_weight *
+                         (population[b][i] - population[c][i]);
+        } else {
+          trial[i] = population[p][i];
+        }
+        trial[i] =
+            std::clamp(trial[i], problem.bounds.lower[i],
+                       problem.bounds.upper[i]);
+      }
+      const double f_trial = problem.objective(trial);
+      ++result.evaluations;
+      if (f_trial <= fitness[p]) {
+        population[p] = trial;
+        fitness[p] = f_trial;
+      }
+    }
+  }
+
+  const auto best =
+      std::min_element(fitness.begin(), fitness.end()) - fitness.begin();
+  result.argmin = population[static_cast<std::size_t>(best)];
+  result.value = fitness[static_cast<std::size_t>(best)];
+  if (!result.converged) {
+    result.converged = true;  // DE always returns its incumbent
+    result.message = "generation budget exhausted";
+  }
+  return result;
+}
+
+}  // namespace safeopt::opt

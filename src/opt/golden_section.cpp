@@ -1,0 +1,57 @@
+#include "safeopt/opt/golden_section.h"
+
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+GoldenSection::GoldenSection(StoppingCriteria stopping)
+    : stopping_(stopping) {}
+
+OptimizationResult GoldenSection::minimize(const Problem& problem) const {
+  SAFEOPT_EXPECTS(problem.bounds.dimension() == 1);
+  constexpr double kInvPhi = 0.6180339887498948482;  // 1/φ
+  double a = problem.bounds.lower[0];
+  double b = problem.bounds.upper[0];
+  OptimizationResult result;
+
+  const auto eval = [&](double x) {
+    const double v = problem.objective(std::vector<double>{x});
+    ++result.evaluations;
+    return v;
+  };
+
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = eval(c);
+  double fd = eval(d);
+
+  while (result.iterations < stopping_.max_iterations &&
+         std::abs(b - a) > stopping_.tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = eval(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = eval(d);
+    }
+    ++result.iterations;
+  }
+
+  const double x = 0.5 * (a + b);
+  result.argmin = {x};
+  result.value = eval(x);
+  result.converged = std::abs(b - a) <= stopping_.tolerance;
+  result.message = result.converged ? "interval collapsed below tolerance"
+                                    : "iteration budget exhausted";
+  return result;
+}
+
+}  // namespace safeopt::opt

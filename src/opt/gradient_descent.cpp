@@ -1,0 +1,103 @@
+#include "safeopt/opt/gradient_descent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+ProjectedGradientDescent::ProjectedGradientDescent(StoppingCriteria stopping,
+                                                   std::vector<double> initial,
+                                                   double initial_step)
+    : stopping_(stopping),
+      initial_(std::move(initial)),
+      initial_step_(initial_step) {
+  SAFEOPT_EXPECTS(initial_step > 0.0);
+}
+
+OptimizationResult ProjectedGradientDescent::minimize(
+    const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+  SAFEOPT_EXPECTS(initial_.empty() || initial_.size() == dim);
+
+  OptimizationResult result;
+  std::vector<double> x = initial_.empty() ? problem.bounds.center()
+                                           : problem.bounds.project(initial_);
+  double fx = problem.objective(x);
+  ++result.evaluations;
+
+  double max_width = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    max_width = std::max(max_width, problem.bounds.width(i));
+  }
+  const double step0 = initial_step_ * std::max(max_width, 1e-9);
+
+  constexpr double kArmijoSlope = 1e-4;
+  constexpr double kBacktrack = 0.5;
+  constexpr int kMaxBacktracks = 40;
+
+  while (result.iterations < stopping_.max_iterations) {
+    ++result.iterations;
+    const std::vector<double> grad =
+        problem.has_gradient()
+            ? problem.gradient(x)
+            : finite_difference_gradient(problem.objective, problem.bounds, x,
+                                         &result.evaluations);
+    SAFEOPT_ASSERT(grad.size() == dim);
+
+    double grad_norm = 0.0;
+    for (const double g : grad) grad_norm += g * g;
+    grad_norm = std::sqrt(grad_norm);
+
+    // Projected-gradient stationarity: measure the step the projection
+    // actually allows (zero at a constrained optimum even with grad != 0).
+    double step = step0;
+    std::vector<double> candidate(dim);
+    bool accepted = false;
+    double f_candidate = fx;
+    double moved = 0.0;
+    for (int bt = 0; bt < kMaxBacktracks; ++bt) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        candidate[i] = x[i] - step * grad[i];
+      }
+      candidate = problem.bounds.project(candidate);
+      moved = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double d = candidate[i] - x[i];
+        moved += d * d;
+      }
+      moved = std::sqrt(moved);
+      if (moved == 0.0) break;  // pinned to the boundary
+      f_candidate = problem.objective(candidate);
+      ++result.evaluations;
+      // Armijo condition adapted to the projected step length.
+      if (f_candidate <= fx - kArmijoSlope * grad_norm * moved) {
+        accepted = true;
+        break;
+      }
+      step *= kBacktrack;
+    }
+
+    if (!accepted || moved <= stopping_.tolerance) {
+      result.converged = true;
+      result.message = accepted ? "projected step below tolerance"
+                                : "no descent step found (stationary)";
+      if (accepted && f_candidate < fx) {
+        x = candidate;
+        fx = f_candidate;
+      }
+      break;
+    }
+    x = candidate;
+    fx = f_candidate;
+  }
+
+  if (!result.converged) result.message = "iteration budget exhausted";
+  result.argmin = std::move(x);
+  result.value = fx;
+  return result;
+}
+
+}  // namespace safeopt::opt

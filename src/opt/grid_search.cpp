@@ -1,0 +1,111 @@
+#include "safeopt/opt/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+GridSearch::GridSearch(std::size_t points_per_dimension,
+                       std::size_t refinement_rounds)
+    : points_per_dimension_(points_per_dimension),
+      refinement_rounds_(refinement_rounds) {
+  SAFEOPT_EXPECTS(points_per_dimension >= 2);
+  SAFEOPT_EXPECTS(refinement_rounds >= 1);
+}
+
+OptimizationResult GridSearch::minimize(const Problem& problem) const {
+  SAFEOPT_EXPECTS(problem.bounds.dimension() >= 1);
+  const std::size_t dim = problem.bounds.dimension();
+  Box box = problem.bounds;
+  OptimizationResult result;
+  result.value = std::numeric_limits<double>::infinity();
+
+  for (std::size_t round = 0; round < refinement_rounds_; ++round) {
+    // Enumerate the full cartesian grid with an odometer counter.
+    std::vector<std::size_t> index(dim, 0);
+    std::vector<double> point(dim, 0.0);
+    bool done = false;
+    while (!done) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double t = static_cast<double>(index[i]) /
+                         static_cast<double>(points_per_dimension_ - 1);
+        point[i] = box.lower[i] + t * (box.upper[i] - box.lower[i]);
+      }
+      const double value = problem.objective(point);
+      ++result.evaluations;
+      if (value < result.value) {
+        result.value = value;
+        result.argmin = point;
+      }
+      // Advance the odometer.
+      std::size_t axis = 0;
+      for (; axis < dim; ++axis) {
+        if (++index[axis] < points_per_dimension_) break;
+        index[axis] = 0;
+      }
+      done = axis == dim;
+    }
+    ++result.iterations;
+
+    // Zoom: new box is one grid-cell half-width around the incumbent,
+    // clipped to the original feasible box.
+    Box next = box;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double cell =
+          (box.upper[i] - box.lower[i]) /
+          static_cast<double>(points_per_dimension_ - 1);
+      next.lower[i] =
+          std::max(problem.bounds.lower[i], result.argmin[i] - cell);
+      next.upper[i] =
+          std::min(problem.bounds.upper[i], result.argmin[i] + cell);
+    }
+    box = next;
+  }
+  result.converged = true;
+  result.message = "grid refinement exhausted";
+  return result;
+}
+
+double GridTable::value(std::size_t i, std::size_t j) const {
+  SAFEOPT_EXPECTS(i < xs.size() && j < ys.size());
+  return values[i * ys.size() + j];
+}
+
+std::pair<std::size_t, std::size_t> GridTable::argmin() const {
+  SAFEOPT_EXPECTS(!values.empty());
+  const auto it = std::min_element(values.begin(), values.end());
+  const auto flat = static_cast<std::size_t>(it - values.begin());
+  return {flat / ys.size(), flat % ys.size()};
+}
+
+GridTable tabulate_2d(const Objective& objective, const Box& bounds,
+                      std::size_t nx, std::size_t ny) {
+  SAFEOPT_EXPECTS(bounds.dimension() == 2);
+  SAFEOPT_EXPECTS(nx >= 2 && ny >= 2);
+  GridTable table;
+  table.xs.resize(nx);
+  table.ys.resize(ny);
+  table.values.resize(nx * ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(nx - 1);
+    table.xs[i] = bounds.lower[0] + t * (bounds.upper[0] - bounds.lower[0]);
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    const double t = static_cast<double>(j) / static_cast<double>(ny - 1);
+    table.ys[j] = bounds.lower[1] + t * (bounds.upper[1] - bounds.lower[1]);
+  }
+  std::vector<double> point(2);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      point[0] = table.xs[i];
+      point[1] = table.ys[j];
+      table.values[i * ny + j] = objective(point);
+    }
+  }
+  return table;
+}
+
+}  // namespace safeopt::opt

@@ -1,0 +1,97 @@
+#include "safeopt/opt/hooke_jeeves.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+HookeJeeves::HookeJeeves(StoppingCriteria stopping,
+                         std::vector<double> initial, double initial_step)
+    : stopping_(stopping),
+      initial_(std::move(initial)),
+      initial_step_(initial_step) {
+  SAFEOPT_EXPECTS(initial_step > 0.0 && initial_step <= 1.0);
+}
+
+OptimizationResult HookeJeeves::minimize(const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+  SAFEOPT_EXPECTS(initial_.empty() || initial_.size() == dim);
+
+  OptimizationResult result;
+  const auto eval = [&](const std::vector<double>& p) {
+    ++result.evaluations;
+    return problem.objective(p);
+  };
+
+  std::vector<double> steps(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    steps[i] = initial_step_ * std::max(problem.bounds.width(i), 1e-9);
+  }
+
+  std::vector<double> base = initial_.empty()
+                                 ? problem.bounds.center()
+                                 : problem.bounds.project(initial_);
+  double f_base = eval(base);
+
+  // Exploratory move around `point`: probe ±step along each axis, keep
+  // improvements greedily.
+  const auto explore = [&](std::vector<double> point, double f_point) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (const double direction : {+1.0, -1.0}) {
+        std::vector<double> trial = point;
+        trial[i] = std::clamp(trial[i] + direction * steps[i],
+                              problem.bounds.lower[i],
+                              problem.bounds.upper[i]);
+        if (trial[i] == point[i]) continue;
+        const double f_trial = eval(trial);
+        if (f_trial < f_point) {
+          point = std::move(trial);
+          f_point = f_trial;
+          break;  // accept the first improving direction on this axis
+        }
+      }
+    }
+    return std::pair{point, f_point};
+  };
+
+  const auto max_step = [&] {
+    return *std::max_element(steps.begin(), steps.end());
+  };
+
+  while (result.iterations < stopping_.max_iterations &&
+         max_step() > stopping_.tolerance) {
+    ++result.iterations;
+    auto [explored, f_explored] = explore(base, f_base);
+    if (f_explored < f_base) {
+      // Pattern move: leap along (explored − base), then explore again.
+      std::vector<double> pattern(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        pattern[i] = explored[i] + (explored[i] - base[i]);
+      }
+      pattern = problem.bounds.project(pattern);
+      const double f_pattern = eval(pattern);
+      auto [pattern_explored, f_pattern_explored] =
+          explore(pattern, f_pattern);
+      base = std::move(explored);
+      f_base = f_explored;
+      if (f_pattern_explored < f_base) {
+        base = std::move(pattern_explored);
+        f_base = f_pattern_explored;
+      }
+    } else {
+      for (double& s : steps) s *= 0.5;
+    }
+  }
+
+  result.argmin = std::move(base);
+  result.value = f_base;
+  result.converged = max_step() <= stopping_.tolerance;
+  result.message = result.converged ? "pattern step below tolerance"
+                                    : "iteration budget exhausted";
+  return result;
+}
+
+}  // namespace safeopt::opt

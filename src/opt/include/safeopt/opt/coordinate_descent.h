@@ -1,0 +1,32 @@
+// Cyclic coordinate descent: golden-section line searches along one axis at
+// a time. Simple, derivative-free, and effective on the separable-ish cost
+// functions safety optimization tends to produce (each timer mostly controls
+// its own hazard term).
+#ifndef SAFEOPT_OPT_COORDINATE_DESCENT_H
+#define SAFEOPT_OPT_COORDINATE_DESCENT_H
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class CoordinateDescent final : public Optimizer {
+ public:
+  explicit CoordinateDescent(StoppingCriteria stopping = {},
+                             std::vector<double> initial = {},
+                             std::size_t line_search_iterations = 60);
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override {
+    return "CoordinateDescent";
+  }
+
+ private:
+  StoppingCriteria stopping_;
+  std::vector<double> initial_;
+  std::size_t line_search_iterations_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_COORDINATE_DESCENT_H

@@ -1,0 +1,43 @@
+// Differential evolution (rand/1/bin): population-based global optimizer.
+// The strongest general-purpose choice here when the cost surface has
+// plateaus or multiple basins and dimensions beyond what grid search covers.
+// Deterministic under a fixed seed.
+#ifndef SAFEOPT_OPT_DIFFERENTIAL_EVOLUTION_H
+#define SAFEOPT_OPT_DIFFERENTIAL_EVOLUTION_H
+
+#include <cstdint>
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class DifferentialEvolution final : public Optimizer {
+ public:
+  struct Settings {
+    std::size_t population = 0;      // 0 => max(15, 10·dimension)
+    double differential_weight = 0.7;   // F
+    double crossover_rate = 0.9;        // CR
+    std::size_t generations = 200;
+    /// Stop early when the population's best-to-worst value spread falls
+    /// below this.
+    double spread_tolerance = 1e-12;
+  };
+
+  DifferentialEvolution() : DifferentialEvolution(Settings{}) {}
+  explicit DifferentialEvolution(Settings settings,
+                                 std::uint64_t seed = 0xd1ffe);
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override {
+    return "DifferentialEvolution";
+  }
+
+ private:
+  Settings settings_;
+  std::uint64_t seed_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_DIFFERENTIAL_EVOLUTION_H

@@ -1,0 +1,27 @@
+// Golden-section search: derivative-free 1-D minimization over an interval.
+// Guaranteed to bracket the minimum of a unimodal function; the right tool
+// for single-free-parameter systems such as the pre-flight-check tolerance
+// example of the paper's §III introduction.
+#ifndef SAFEOPT_OPT_GOLDEN_SECTION_H
+#define SAFEOPT_OPT_GOLDEN_SECTION_H
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class GoldenSection final : public Optimizer {
+ public:
+  explicit GoldenSection(StoppingCriteria stopping = {});
+
+  /// Precondition: problem.bounds.dimension() == 1.
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "GoldenSection"; }
+
+ private:
+  StoppingCriteria stopping_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_GOLDEN_SECTION_H

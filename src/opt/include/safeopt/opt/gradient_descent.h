@@ -1,0 +1,36 @@
+// Projected gradient descent with Armijo backtracking — "the most simple one
+// is the gradient method which finds local minima by calculating gradients
+// iteratively and always following the steepest descent" (paper §III-B),
+// made box-feasible by projecting each trial point onto the bounds.
+// Uses the problem's exact gradient (autodiff from src/expr via src/core)
+// when available, central finite differences otherwise.
+#ifndef SAFEOPT_OPT_GRADIENT_DESCENT_H
+#define SAFEOPT_OPT_GRADIENT_DESCENT_H
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class ProjectedGradientDescent final : public Optimizer {
+ public:
+  /// `initial` defaults to the box center. `initial_step` is relative to the
+  /// largest box width.
+  explicit ProjectedGradientDescent(StoppingCriteria stopping = {},
+                                    std::vector<double> initial = {},
+                                    double initial_step = 0.1);
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override {
+    return "ProjectedGradientDescent";
+  }
+
+ private:
+  StoppingCriteria stopping_;
+  std::vector<double> initial_;
+  double initial_step_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_GRADIENT_DESCENT_H

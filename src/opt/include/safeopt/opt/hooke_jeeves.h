@@ -1,0 +1,31 @@
+// Hooke–Jeeves pattern search: robust derivative-free descent that combines
+// exploratory per-axis probing with pattern moves. Useful when the cost
+// function is only piecewise smooth (e.g. hazard models with clamped
+// probabilities), where simplex and gradient methods stall.
+#ifndef SAFEOPT_OPT_HOOKE_JEEVES_H
+#define SAFEOPT_OPT_HOOKE_JEEVES_H
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class HookeJeeves final : public Optimizer {
+ public:
+  /// `initial_step` is relative to each axis' box width.
+  explicit HookeJeeves(StoppingCriteria stopping = {},
+                       std::vector<double> initial = {},
+                       double initial_step = 0.25);
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "HookeJeeves"; }
+
+ private:
+  StoppingCriteria stopping_;
+  std::vector<double> initial_;
+  double initial_step_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_HOOKE_JEEVES_H

@@ -1,0 +1,37 @@
+// Multi-start wrapper: runs a local solver from several deterministic
+// quasi-random starting points and keeps the best result. Turns any local
+// method (Nelder–Mead, gradient descent, ...) into a practical global one on
+// the compact boxes safety optimization works with.
+#ifndef SAFEOPT_OPT_MULTI_START_H
+#define SAFEOPT_OPT_MULTI_START_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class MultiStart final : public Optimizer {
+ public:
+  /// Factory invoked once per start with that start's initial point.
+  using LocalSolverFactory =
+      std::function<std::unique_ptr<Optimizer>(std::vector<double> initial)>;
+
+  MultiStart(LocalSolverFactory factory, std::size_t starts,
+             std::uint64_t seed = 0x5eedbed);
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "MultiStart"; }
+
+ private:
+  LocalSolverFactory factory_;
+  std::size_t starts_;
+  std::uint64_t seed_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_MULTI_START_H

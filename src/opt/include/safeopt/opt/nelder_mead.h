@@ -1,0 +1,28 @@
+// Nelder–Mead downhill simplex with box projection: the workhorse
+// derivative-free solver for the smooth low-dimensional cost functions that
+// safety optimization produces (2 free parameters in the Elbtunnel study).
+#ifndef SAFEOPT_OPT_NELDER_MEAD_H
+#define SAFEOPT_OPT_NELDER_MEAD_H
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class NelderMead final : public Optimizer {
+ public:
+  /// `initial` seeds the first simplex vertex; defaults to the box center.
+  explicit NelderMead(StoppingCriteria stopping = {},
+                      std::vector<double> initial = {});
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "NelderMead"; }
+
+ private:
+  StoppingCriteria stopping_;
+  std::vector<double> initial_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_NELDER_MEAD_H

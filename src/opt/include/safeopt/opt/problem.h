@@ -1,0 +1,100 @@
+// Box-constrained nonlinear minimization (paper §III-B).
+//
+// The paper restricts free parameters to compact intervals "to guarantee the
+// existence of the minimum"; `Box` is exactly that product of intervals.
+// Every algorithm in src/opt consumes a `Problem` and produces an
+// `OptimizationResult`, so the safety-optimization layer can swap methods
+// (the paper: "This problem can then be solved with different methods").
+#ifndef SAFEOPT_OPT_PROBLEM_H
+#define SAFEOPT_OPT_PROBLEM_H
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace safeopt::opt {
+
+/// A compact axis-aligned box ∏ [lower_i, upper_i]: the feasible set.
+struct Box {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  Box() = default;
+  /// Precondition: same sizes, lower_i <= upper_i for all i.
+  Box(std::vector<double> lo, std::vector<double> hi);
+  /// 1-D convenience.
+  [[nodiscard]] static Box interval(double lo, double hi);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return lower.size();
+  }
+  [[nodiscard]] bool contains(std::span<const double> x) const noexcept;
+  /// Componentwise projection of x onto the box.
+  [[nodiscard]] std::vector<double> project(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> center() const;
+  [[nodiscard]] double width(std::size_t i) const;
+};
+
+/// Objective value at a point inside the box.
+using Objective = std::function<double(std::span<const double>)>;
+
+/// Exact gradient at a point (same dimension as the box). Optional: solvers
+/// fall back to central finite differences when absent.
+using Gradient = std::function<std::vector<double>(std::span<const double>)>;
+
+/// A minimization problem: minimize `objective` over `bounds`.
+struct Problem {
+  Objective objective;
+  Box bounds;
+  Gradient gradient;  // may be empty
+
+  [[nodiscard]] bool has_gradient() const noexcept {
+    return static_cast<bool>(gradient);
+  }
+};
+
+/// Outcome of one solver run.
+struct OptimizationResult {
+  std::vector<double> argmin;
+  double value = 0.0;
+  std::size_t evaluations = 0;  // objective calls
+  std::size_t iterations = 0;   // algorithm-specific outer iterations
+  bool converged = false;
+  std::string message;
+};
+
+/// Common stopping-rule knobs honoured by all iterative solvers.
+struct StoppingCriteria {
+  std::size_t max_iterations = 1000;
+  /// Declare convergence when the algorithm-specific scale measure (simplex
+  /// spread, step length, temperature step, ...) falls below this.
+  double tolerance = 1e-10;
+};
+
+/// Interface every solver implements.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Minimizes the problem. Precondition: problem.objective is callable and
+  /// problem.bounds.dimension() >= 1.
+  [[nodiscard]] virtual OptimizationResult minimize(
+      const Problem& problem) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Optimizer() = default;
+  Optimizer(const Optimizer&) = default;
+  Optimizer& operator=(const Optimizer&) = default;
+};
+
+/// Central-difference gradient estimate with per-axis step h_i scaled to the
+/// box width; evaluation points are projected into the box (one-sided at the
+/// boundary). Adds 2·dim evaluations to `evaluations` if non-null.
+[[nodiscard]] std::vector<double> finite_difference_gradient(
+    const Objective& objective, const Box& bounds, std::span<const double> x,
+    std::size_t* evaluations = nullptr);
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_PROBLEM_H

@@ -1,0 +1,42 @@
+// Simulated annealing over a box: a global stochastic baseline for cost
+// functions with multiple local minima (the paper's future-work section asks
+// "in which cases the resulting optimization problem stays solvable" — SA is
+// the fallback when smoothness assumptions fail). Fully deterministic under a
+// fixed seed.
+#ifndef SAFEOPT_OPT_SIMULATED_ANNEALING_H
+#define SAFEOPT_OPT_SIMULATED_ANNEALING_H
+
+#include <cstdint>
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt::opt {
+
+class SimulatedAnnealing final : public Optimizer {
+ public:
+  struct Schedule {
+    double initial_temperature = 1.0;
+    double cooling_factor = 0.95;      // geometric cooling per epoch
+    std::size_t steps_per_epoch = 50;  // proposals at each temperature
+    double final_temperature = 1e-8;
+  };
+
+  SimulatedAnnealing() : SimulatedAnnealing(Schedule{}) {}
+  explicit SimulatedAnnealing(Schedule schedule, std::uint64_t seed = 0x5afe0u,
+                              StoppingCriteria stopping = {});
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override {
+    return "SimulatedAnnealing";
+  }
+
+ private:
+  Schedule schedule_;
+  std::uint64_t seed_;
+  StoppingCriteria stopping_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_SIMULATED_ANNEALING_H

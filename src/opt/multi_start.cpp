@@ -1,0 +1,51 @@
+#include "safeopt/opt/multi_start.h"
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::opt {
+
+MultiStart::MultiStart(LocalSolverFactory factory, std::size_t starts,
+                       std::uint64_t seed)
+    : factory_(std::move(factory)), starts_(starts), seed_(seed) {
+  SAFEOPT_EXPECTS(starts >= 1);
+  SAFEOPT_EXPECTS(static_cast<bool>(factory_));
+}
+
+OptimizationResult MultiStart::minimize(const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+  Rng rng(seed_);
+
+  OptimizationResult best;
+  bool first = true;
+  for (std::size_t s = 0; s < starts_; ++s) {
+    // Start 0 is the box center (the "engineer's default"); the rest are
+    // uniform random points in the box.
+    std::vector<double> start(dim);
+    if (s == 0) {
+      start = problem.bounds.center();
+    } else {
+      for (std::size_t i = 0; i < dim; ++i) {
+        start[i] =
+            uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+      }
+    }
+    const std::unique_ptr<Optimizer> solver = factory_(std::move(start));
+    SAFEOPT_ASSERT(solver != nullptr);
+    OptimizationResult result = solver->minimize(problem);
+    const std::size_t combined_evals = best.evaluations + result.evaluations;
+    const std::size_t combined_iters = best.iterations + result.iterations;
+    if (first || result.value < best.value) {
+      best = std::move(result);
+      first = false;
+    }
+    best.evaluations = combined_evals;
+    best.iterations = combined_iters;
+  }
+  best.message = "best of " + std::to_string(starts_) + " starts: " +
+                 best.message;
+  return best;
+}
+
+}  // namespace safeopt::opt

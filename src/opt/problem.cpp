@@ -1,0 +1,75 @@
+#include "safeopt/opt/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::opt {
+
+Box::Box(std::vector<double> lo, std::vector<double> hi)
+    : lower(std::move(lo)), upper(std::move(hi)) {
+  SAFEOPT_EXPECTS(lower.size() == upper.size());
+  SAFEOPT_EXPECTS(!lower.empty());
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    SAFEOPT_EXPECTS(lower[i] <= upper[i]);
+  }
+}
+
+Box Box::interval(double lo, double hi) { return Box({lo}, {hi}); }
+
+bool Box::contains(std::span<const double> x) const noexcept {
+  if (x.size() != lower.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lower[i] || x[i] > upper[i]) return false;
+  }
+  return true;
+}
+
+std::vector<double> Box::project(std::span<const double> x) const {
+  SAFEOPT_EXPECTS(x.size() == lower.size());
+  std::vector<double> out(x.begin(), x.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::clamp(out[i], lower[i], upper[i]);
+  }
+  return out;
+}
+
+std::vector<double> Box::center() const {
+  std::vector<double> out(lower.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = 0.5 * (lower[i] + upper[i]);
+  }
+  return out;
+}
+
+double Box::width(std::size_t i) const {
+  SAFEOPT_EXPECTS(i < lower.size());
+  return upper[i] - lower[i];
+}
+
+std::vector<double> finite_difference_gradient(const Objective& objective,
+                                               const Box& bounds,
+                                               std::span<const double> x,
+                                               std::size_t* evaluations) {
+  SAFEOPT_EXPECTS(x.size() == bounds.dimension());
+  std::vector<double> grad(x.size(), 0.0);
+  std::vector<double> point(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double width = std::max(bounds.width(i), 1e-12);
+    const double h = std::max(1e-7 * width, 1e-9 * std::abs(x[i]) + 1e-12);
+    const double hi = std::min(x[i] + h, bounds.upper[i]);
+    const double lo = std::max(x[i] - h, bounds.lower[i]);
+    SAFEOPT_ASSERT(hi > lo);
+    point[i] = hi;
+    const double f_hi = objective(point);
+    point[i] = lo;
+    const double f_lo = objective(point);
+    point[i] = x[i];
+    grad[i] = (f_hi - f_lo) / (hi - lo);
+    if (evaluations != nullptr) *evaluations += 2;
+  }
+  return grad;
+}
+
+}  // namespace safeopt::opt

@@ -1,0 +1,80 @@
+#include "safeopt/opt/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/stats/special_functions.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::opt {
+
+SimulatedAnnealing::SimulatedAnnealing(Schedule schedule, std::uint64_t seed,
+                                       StoppingCriteria stopping)
+    : schedule_(schedule), seed_(seed), stopping_(stopping) {
+  SAFEOPT_EXPECTS(schedule.initial_temperature > 0.0);
+  SAFEOPT_EXPECTS(schedule.cooling_factor > 0.0 &&
+                  schedule.cooling_factor < 1.0);
+  SAFEOPT_EXPECTS(schedule.steps_per_epoch >= 1);
+}
+
+OptimizationResult SimulatedAnnealing::minimize(const Problem& problem) const {
+  const std::size_t dim = problem.bounds.dimension();
+  SAFEOPT_EXPECTS(dim >= 1);
+
+  OptimizationResult result;
+  Rng rng(seed_);
+
+  std::vector<double> current(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    current[i] =
+        uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+  }
+  double f_current = problem.objective(current);
+  ++result.evaluations;
+  std::vector<double> best = current;
+  double f_best = f_current;
+
+  double temperature = schedule_.initial_temperature;
+  // Proposal scale shrinks with temperature: wide exploration early, local
+  // refinement late.
+  while (temperature > schedule_.final_temperature &&
+         result.iterations < stopping_.max_iterations) {
+    ++result.iterations;
+    const double relative_scale =
+        std::sqrt(temperature / schedule_.initial_temperature);
+    for (std::size_t step = 0; step < schedule_.steps_per_epoch; ++step) {
+      std::vector<double> proposal(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double sigma =
+            0.25 * relative_scale * std::max(problem.bounds.width(i), 1e-12);
+        // Box–Muller-free normal draw via the quantile of a uniform.
+        const double u = std::clamp(uniform01(rng), 1e-15, 1.0 - 1e-15);
+        proposal[i] = current[i] + sigma * stats::normal_quantile(u);
+      }
+      proposal = problem.bounds.project(proposal);
+      const double f_proposal = problem.objective(proposal);
+      ++result.evaluations;
+      const double delta = f_proposal - f_current;
+      if (delta <= 0.0 ||
+          uniform01(rng) < std::exp(-delta / temperature)) {
+        current = std::move(proposal);
+        f_current = f_proposal;
+        if (f_current < f_best) {
+          best = current;
+          f_best = f_current;
+        }
+      }
+    }
+    temperature *= schedule_.cooling_factor;
+  }
+
+  result.argmin = std::move(best);
+  result.value = f_best;
+  result.converged = temperature <= schedule_.final_temperature;
+  result.message = result.converged ? "cooled to final temperature"
+                                    : "iteration budget exhausted";
+  return result;
+}
+
+}  // namespace safeopt::opt

@@ -1,0 +1,72 @@
+// Generic discrete-event simulation kernel: a simulated clock and a
+// time-ordered event queue with FIFO tie-breaking. Deliberately minimal —
+// processes are plain callbacks that reschedule themselves — which keeps
+// runs bit-for-bit reproducible under a fixed RNG seed (no wall-clock, no
+// thread scheduling).
+#ifndef SAFEOPT_SIM_SIMULATOR_H
+#define SAFEOPT_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace safeopt::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Schedules `callback` at absolute simulated time `time`.
+  /// Precondition: time >= now() (no scheduling into the past).
+  void schedule_at(double time, Callback callback);
+
+  /// Schedules `callback` `delay` time units from now. Precondition:
+  /// delay >= 0.
+  void schedule_in(double delay, Callback callback);
+
+  /// Current simulated time (0 before the first event).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Processes events in time order until the queue is empty.
+  void run();
+
+  /// Processes events with time <= end_time; the clock ends at
+  /// max(now, end_time). Events beyond the horizon stay queued.
+  void run_until(double end_time);
+
+  [[nodiscard]] std::uint64_t processed_events() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t sequence = 0;  // FIFO among same-time events
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace safeopt::sim
+
+#endif  // SAFEOPT_SIM_SIMULATOR_H

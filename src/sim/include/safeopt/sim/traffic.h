@@ -1,0 +1,101 @@
+// Discrete-event model of the Elbtunnel northern-entrance height control
+// (paper §IV, Fig. 4). This is the substitute for the real installation: the
+// simulator samples exactly the stochastic model the paper's closed-form
+// analysis integrates — Poisson vehicle streams, truncated-normal zone
+// transit times, Poisson sensor false detections — and plays them through
+// the control logic, so simulated hazard rates must agree with the analytic
+// parameterized probabilities (asserted by tests and the
+// `montecarlo_validation` bench).
+//
+// Modelled behaviour:
+//  * OHV passes LBpre -> LBpost armed for timer1 minutes (arming is counted,
+//    i.e. the *fixed* design of the paper's §IV-A; the flawed single-flag
+//    design lives in src/modelcheck where its counterexample is found);
+//  * OHV passes LBpost while armed -> ODfinal armed per design variant:
+//      kBaseline          for timer2 minutes,
+//      kWithLB4           until the OHV crosses the new light barrier at the
+//                         tube-4 entrance (timer2 remains the upper bound),
+//      kLightBarrierAtODfinal only while an OHV physically passes the
+//                         barrier at ODfinal (lb_passage_window_min);
+//  * high vehicle on a left lane under an armed ODfinal -> false alarm
+//    (the paper's dominating HVODfinal cut set);
+//  * light-barrier false detections arm the system spuriously (the
+//    FDLBpre·FDLBpost path of the paper's constraint probability);
+//  * a wrongly-routed OHV reaching the old tubes with ODfinal disarmed is a
+//    collision-possible event (the OT1/OT2 cut sets).
+#ifndef SAFEOPT_SIM_TRAFFIC_H
+#define SAFEOPT_SIM_TRAFFIC_H
+
+#include <cstdint>
+
+namespace safeopt::sim {
+
+enum class DesignVariant {
+  kBaseline,              // paper's deployed design
+  kWithLB4,               // fix 1: light barrier at tube-4 entrance
+  kLightBarrierAtODfinal  // fix 2: light barrier at ODfinal
+};
+
+struct TrafficConfig {
+  /// Simulated horizon in minutes.
+  double horizon_minutes = 60.0 * 24.0 * 30.0;
+
+  /// OHV arrivals at LBpre (Poisson rate per minute).
+  double ohv_arrival_rate_per_min = 0.01;
+  /// Fraction of OHVs illegally heading for the west/mid tubes
+  /// (the paper's P(OHV critical) as a per-passage fraction).
+  double ohv_wrong_route_fraction = 0.0;
+
+  /// Zone transit times: Normal(mean, sigma) truncated to [0, inf) —
+  /// paper §IV-C: µ = 4 min, σ = 2 min for both zones.
+  double zone_transit_mean_min = 4.0;
+  double zone_transit_sigma_min = 2.0;
+
+  /// Timer runtimes (the free parameters T1, T2).
+  double timer1_min = 30.0;
+  double timer2_min = 30.0;
+
+  /// High vehicles passing under ODfinal on a left lane (Poisson / minute).
+  double hv_left_lane_rate_per_min = 0.13;
+  /// False-detection rate of each light barrier (Poisson / minute).
+  double lb_false_detection_rate_per_min = 0.0;
+  /// Probability that an overhead detector misses a vehicle (MD failure).
+  double od_miss_detection_prob = 0.0;
+  /// How long an OHV occupies the ODfinal light barrier (minutes), for
+  /// kLightBarrierAtODfinal.
+  double lb_passage_window_min = 0.3;
+
+  DesignVariant variant = DesignVariant::kBaseline;
+};
+
+struct TrafficStatistics {
+  std::uint64_t ohv_arrivals = 0;
+  std::uint64_t correct_ohvs = 0;
+  /// Correct OHVs whose armed window contained at least one (false) alarm.
+  std::uint64_t correct_ohvs_alarmed = 0;
+  std::uint64_t wrong_ohvs = 0;
+  std::uint64_t wrong_ohvs_stopped = 0;
+  /// Wrong OHVs that reached the old tubes with the system disarmed.
+  std::uint64_t collision_possible = 0;
+  /// OHVs whose zone-1 transit exceeded timer1 (own-timer basis).
+  std::uint64_t overtime1 = 0;
+  /// OHVs whose zone-2 transit exceeded timer2 (own-timer basis).
+  std::uint64_t overtime2 = 0;
+  /// OHVs finding LBpost disarmed on arrival (global arming, i.e. another
+  /// OHV's timer may still cover them).
+  std::uint64_t unprotected_at_lbpost = 0;
+  std::uint64_t false_alarms = 0;
+  std::uint64_t hv_left_lane_passages = 0;
+
+  [[nodiscard]] double correct_ohv_alarm_fraction() const noexcept;
+  [[nodiscard]] double overtime1_fraction() const noexcept;
+  [[nodiscard]] double overtime2_fraction() const noexcept;
+};
+
+/// Runs one simulation. Deterministic for a fixed (config, seed) pair.
+[[nodiscard]] TrafficStatistics simulate_height_control(
+    const TrafficConfig& config, std::uint64_t seed = 0xe1b7u);
+
+}  // namespace safeopt::sim
+
+#endif  // SAFEOPT_SIM_TRAFFIC_H

@@ -1,0 +1,40 @@
+#include "safeopt/sim/simulator.h"
+
+#include <utility>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::sim {
+
+void Simulator::schedule_at(double time, Callback callback) {
+  SAFEOPT_EXPECTS(time >= now_);
+  SAFEOPT_EXPECTS(static_cast<bool>(callback));
+  queue_.push(Event{time, sequence_++, std::move(callback)});
+}
+
+void Simulator::schedule_in(double delay, Callback callback) {
+  SAFEOPT_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+void Simulator::step() {
+  // Move the event out of the queue before invoking: the callback may
+  // schedule new events, invalidating the queue top.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) step();
+}
+
+void Simulator::run_until(double end_time) {
+  SAFEOPT_EXPECTS(end_time >= now_);
+  while (!queue_.empty() && queue_.top().time <= end_time) step();
+  now_ = std::max(now_, end_time);
+}
+
+}  // namespace safeopt::sim

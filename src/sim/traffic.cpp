@@ -1,0 +1,248 @@
+#include "safeopt/sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "safeopt/sim/simulator.h"
+#include "safeopt/stats/distribution.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::sim {
+
+double TrafficStatistics::correct_ohv_alarm_fraction() const noexcept {
+  return correct_ohvs == 0 ? 0.0
+                           : static_cast<double>(correct_ohvs_alarmed) /
+                                 static_cast<double>(correct_ohvs);
+}
+
+double TrafficStatistics::overtime1_fraction() const noexcept {
+  return ohv_arrivals == 0 ? 0.0
+                           : static_cast<double>(overtime1) /
+                                 static_cast<double>(ohv_arrivals);
+}
+
+double TrafficStatistics::overtime2_fraction() const noexcept {
+  return ohv_arrivals == 0 ? 0.0
+                           : static_cast<double>(overtime2) /
+                                 static_cast<double>(ohv_arrivals);
+}
+
+namespace {
+
+/// The whole simulated world: control state, statistics, and the stochastic
+/// processes, wired into the DES kernel via self-rescheduling callbacks.
+class HeightControlWorld {
+ public:
+  HeightControlWorld(const TrafficConfig& config, std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        transit_(stats::TruncatedNormal::nonnegative(
+            config.zone_transit_mean_min, config.zone_transit_sigma_min)) {
+    SAFEOPT_EXPECTS(config.horizon_minutes > 0.0);
+    SAFEOPT_EXPECTS(config.ohv_arrival_rate_per_min > 0.0);
+    SAFEOPT_EXPECTS(config.ohv_wrong_route_fraction >= 0.0 &&
+                    config.ohv_wrong_route_fraction <= 1.0);
+    SAFEOPT_EXPECTS(config.timer1_min > 0.0 && config.timer2_min > 0.0);
+  }
+
+  TrafficStatistics run() {
+    schedule_next_ohv();
+    if (config_.hv_left_lane_rate_per_min > 0.0) schedule_next_hv();
+    if (config_.lb_false_detection_rate_per_min > 0.0) {
+      schedule_next_lbpre_fd();
+      schedule_next_lbpost_fd();
+    }
+    simulator_.run_until(config_.horizon_minutes);
+    return stats_;
+  }
+
+ private:
+  struct OdWindow {
+    double close_time = 0.0;
+    // Index into correct_ohv_alarmed_, or SIZE_MAX for windows opened by
+    // wrong OHVs / false detections (nobody to attribute a false alarm to).
+    std::size_t owner = SIZE_MAX;
+  };
+
+  double exponential_delay(double rate) {
+    SAFEOPT_ASSERT(rate > 0.0);
+    double u = uniform01(rng_);
+    if (u <= 0.0) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  void schedule_next_ohv() {
+    simulator_.schedule_in(
+        exponential_delay(config_.ohv_arrival_rate_per_min),
+        [this] {
+          ohv_enters_zone1();
+          schedule_next_ohv();
+        });
+  }
+
+  void schedule_next_hv() {
+    simulator_.schedule_in(
+        exponential_delay(config_.hv_left_lane_rate_per_min), [this] {
+          hv_passes_odfinal();
+          schedule_next_hv();
+        });
+  }
+
+  void schedule_next_lbpre_fd() {
+    simulator_.schedule_in(
+        exponential_delay(config_.lb_false_detection_rate_per_min), [this] {
+          // Spurious LBpre trigger arms LBpost, exactly like a real OHV.
+          arm_lbpost();
+          schedule_next_lbpre_fd();
+        });
+  }
+
+  void schedule_next_lbpost_fd() {
+    simulator_.schedule_in(
+        exponential_delay(config_.lb_false_detection_rate_per_min), [this] {
+          // A spurious LBpost trigger only matters while LBpost is armed;
+          // then it arms ODfinal with no owner (paper's FDpre·FDpost path).
+          if (lbpost_armed_count_ > 0) {
+            open_od_window(simulator_.now() + config_.timer2_min, SIZE_MAX);
+          }
+          schedule_next_lbpost_fd();
+        });
+  }
+
+  void arm_lbpost() {
+    ++lbpost_armed_count_;
+    simulator_.schedule_in(config_.timer1_min,
+                           [this] { --lbpost_armed_count_; });
+  }
+
+  void open_od_window(double close_time, std::size_t owner) {
+    od_windows_.push_back(OdWindow{close_time, owner});
+  }
+
+  void prune_od_windows() {
+    const double now = simulator_.now();
+    std::erase_if(od_windows_,
+                  [now](const OdWindow& w) { return w.close_time <= now; });
+  }
+
+  [[nodiscard]] bool od_armed() {
+    prune_od_windows();
+    return !od_windows_.empty();
+  }
+
+  void ohv_enters_zone1() {
+    ++stats_.ohv_arrivals;
+    const bool correct =
+        !bernoulli(rng_, config_.ohv_wrong_route_fraction);
+    std::size_t owner = SIZE_MAX;
+    if (correct) {
+      ++stats_.correct_ohvs;
+      owner = correct_ohv_alarmed_.size();
+      correct_ohv_alarmed_.push_back(false);
+    } else {
+      ++stats_.wrong_ohvs;
+    }
+
+    arm_lbpost();
+    const double d1 = transit_.sample(rng_);
+    if (d1 > config_.timer1_min) ++stats_.overtime1;
+    const double d2 = transit_.sample(rng_);
+    if (d2 > config_.timer2_min) ++stats_.overtime2;
+
+    simulator_.schedule_in(
+        d1, [this, correct, owner, d2] { ohv_at_lbpost(correct, owner, d2); });
+  }
+
+  void ohv_at_lbpost(bool correct, std::size_t owner, double d2) {
+    const bool armed = lbpost_armed_count_ > 0;
+    if (!armed) {
+      ++stats_.unprotected_at_lbpost;
+      // ODfinal is never armed for this OHV: a wrong-headed one proceeds
+      // towards the old tubes unprotected (the OT1 cut set).
+      simulator_.schedule_in(
+          d2, [this, correct] { ohv_at_odfinal(correct, false); });
+      return;
+    }
+    const double now = simulator_.now();
+    switch (config_.variant) {
+      case DesignVariant::kBaseline:
+        open_od_window(now + config_.timer2_min, owner);
+        break;
+      case DesignVariant::kWithLB4:
+        // The new light barrier at the tube-4 entrance stops timer 2 when
+        // the OHV leaves zone 2; a wrong OHV never crosses it, so its
+        // window runs the full timer2.
+        open_od_window(
+            correct ? now + std::min(d2, config_.timer2_min)
+                    : now + config_.timer2_min,
+            owner);
+        break;
+      case DesignVariant::kLightBarrierAtODfinal:
+        // ODfinal is consulted only while an OHV occupies the barrier at
+        // its location: the window opens when this OHV arrives there.
+        open_od_window(now + d2 + config_.lb_passage_window_min, owner,
+                       /*defer_open=*/now + d2);
+        break;
+    }
+    simulator_.schedule_in(
+        d2, [this, correct] { ohv_at_odfinal(correct, true); });
+  }
+
+  /// Overload used by the deferred-window variant.
+  void open_od_window(double close_time, std::size_t owner,
+                      double open_time) {
+    simulator_.schedule_at(open_time, [this, close_time, owner] {
+      open_od_window(close_time, owner);
+    });
+  }
+
+  void ohv_at_odfinal(bool correct, bool was_armed_at_lbpost) {
+    if (correct) return;  // right lane into tube 4; ODfinal does not see it
+    // Wrong-headed OHV on a left lane under ODfinal.
+    const bool detected =
+        od_armed() && !bernoulli(rng_, config_.od_miss_detection_prob);
+    if (detected) {
+      ++stats_.wrong_ohvs_stopped;
+    } else {
+      ++stats_.collision_possible;
+      (void)was_armed_at_lbpost;
+    }
+  }
+
+  void hv_passes_odfinal() {
+    ++stats_.hv_left_lane_passages;
+    prune_od_windows();
+    if (od_windows_.empty()) return;
+    if (bernoulli(rng_, config_.od_miss_detection_prob)) return;
+    ++stats_.false_alarms;
+    for (const OdWindow& window : od_windows_) {
+      if (window.owner != SIZE_MAX && !correct_ohv_alarmed_[window.owner]) {
+        correct_ohv_alarmed_[window.owner] = true;
+        ++stats_.correct_ohvs_alarmed;
+      }
+    }
+  }
+
+  TrafficConfig config_;
+  Rng rng_;
+  stats::TruncatedNormal transit_;
+  Simulator simulator_;
+  TrafficStatistics stats_;
+
+  int lbpost_armed_count_ = 0;
+  std::vector<OdWindow> od_windows_;
+  std::vector<bool> correct_ohv_alarmed_;
+};
+
+}  // namespace
+
+TrafficStatistics simulate_height_control(const TrafficConfig& config,
+                                          std::uint64_t seed) {
+  HeightControlWorld world(config, seed);
+  return world.run();
+}
+
+}  // namespace safeopt::sim

@@ -1,0 +1,345 @@
+#include "safeopt/stats/distribution.h"
+
+#include <cmath>
+#include <limits>
+
+#include "safeopt/stats/special_functions.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::stats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Generic monotone-cdf inversion: bisection to ~1e-13 relative width.
+/// Used when no closed-form quantile exists (Gamma, TruncatedNormal interior).
+double invert_cdf(const Distribution& dist, double p, double lo,
+                  double hi) noexcept {
+  // Expand brackets if the support is unbounded.
+  if (!std::isfinite(lo)) {
+    lo = dist.mean() - 2.0 * std::sqrt(dist.variance()) - 1.0;
+    while (dist.cdf(lo) > p) lo = lo * 2.0 - 1.0;
+  }
+  if (!std::isfinite(hi)) {
+    hi = dist.mean() + 2.0 * std::sqrt(dist.variance()) + 1.0;
+    while (dist.cdf(hi) < p) hi = hi * 2.0 + 1.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (dist.cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double Distribution::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return support_lower();
+  if (p >= 1.0) return support_upper();
+  return invert_cdf(*this, p, support_lower(), support_upper());
+}
+
+double Distribution::sample(Rng& rng) const noexcept {
+  // Inverse transform: one uniform draw per variate, fully reproducible.
+  double u = uniform01(rng);
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return quantile(u);
+}
+
+double Distribution::survival(double x) const noexcept {
+  return 1.0 - cdf(x);
+}
+
+double Distribution::support_lower() const noexcept { return -kInf; }
+double Distribution::support_upper() const noexcept { return kInf; }
+
+// ---------------------------------------------------------------- Normal
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  SAFEOPT_EXPECTS(sigma > 0.0);
+}
+
+double Normal::pdf(double x) const noexcept {
+  return normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Normal::cdf(double x) const noexcept {
+  return normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::survival(double x) const noexcept {
+  return normal_survival((x - mu_) / sigma_);
+}
+
+double Normal::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return -kInf;
+  if (p >= 1.0) return kInf;
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+std::string Normal::name() const {
+  return "Normal(" + format_double(mu_) + ", " + format_double(sigma_) + ")";
+}
+
+// ------------------------------------------------------- TruncatedNormal
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma, double lo, double hi)
+    : mu_(mu), sigma_(sigma), lo_(lo), hi_(hi) {
+  SAFEOPT_EXPECTS(sigma > 0.0);
+  SAFEOPT_EXPECTS(lo < hi);
+  cdf_lo_ = std::isfinite(lo) ? normal_cdf((lo - mu) / sigma) : 0.0;
+  const double cdf_hi =
+      std::isfinite(hi) ? normal_cdf((hi - mu) / sigma) : 1.0;
+  mass_ = cdf_hi - cdf_lo_;
+  SAFEOPT_ENSURES(mass_ > 0.0);
+}
+
+TruncatedNormal TruncatedNormal::nonnegative(double mu, double sigma) {
+  return TruncatedNormal(mu, sigma, 0.0, kInf);
+}
+
+double TruncatedNormal::pdf(double x) const noexcept {
+  if (x < lo_ || x > hi_) return 0.0;
+  return normal_pdf((x - mu_) / sigma_) / (sigma_ * mass_);
+}
+
+double TruncatedNormal::cdf(double x) const noexcept {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (normal_cdf((x - mu_) / sigma_) - cdf_lo_) / mass_;
+}
+
+double TruncatedNormal::survival(double x) const noexcept {
+  if (x <= lo_) return 1.0;
+  if (x >= hi_) return 0.0;
+  // (Φc(z) − Φc(β)) / mass, computed tail-to-tail so no cancellation: this
+  // is what keeps P(OT)(T) meaningful at 30-minute timers (≈ 13σ).
+  const double sf_x = normal_survival((x - mu_) / sigma_);
+  const double sf_hi =
+      std::isfinite(hi_) ? normal_survival((hi_ - mu_) / sigma_) : 0.0;
+  return (sf_x - sf_hi) / mass_;
+}
+
+double TruncatedNormal::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return lo_;
+  if (p >= 1.0) return hi_;
+  return mu_ + sigma_ * normal_quantile(cdf_lo_ + p * mass_);
+}
+
+double TruncatedNormal::mean() const noexcept {
+  const double alpha = std::isfinite(lo_) ? (lo_ - mu_) / sigma_ : -kInf;
+  const double beta = std::isfinite(hi_) ? (hi_ - mu_) / sigma_ : kInf;
+  const double phi_a = std::isfinite(alpha) ? normal_pdf(alpha) : 0.0;
+  const double phi_b = std::isfinite(beta) ? normal_pdf(beta) : 0.0;
+  return mu_ + sigma_ * (phi_a - phi_b) / mass_;
+}
+
+double TruncatedNormal::variance() const noexcept {
+  const double alpha = std::isfinite(lo_) ? (lo_ - mu_) / sigma_ : -kInf;
+  const double beta = std::isfinite(hi_) ? (hi_ - mu_) / sigma_ : kInf;
+  const double phi_a = std::isfinite(alpha) ? normal_pdf(alpha) : 0.0;
+  const double phi_b = std::isfinite(beta) ? normal_pdf(beta) : 0.0;
+  const double a_phi_a = std::isfinite(alpha) ? alpha * phi_a : 0.0;
+  const double b_phi_b = std::isfinite(beta) ? beta * phi_b : 0.0;
+  const double z = mass_;
+  const double delta = (phi_a - phi_b) / z;
+  return sigma_ * sigma_ * (1.0 + (a_phi_a - b_phi_b) / z - delta * delta);
+}
+
+std::string TruncatedNormal::name() const {
+  return "TruncatedNormal(" + format_double(mu_) + ", " +
+         format_double(sigma_) + ", [" + format_double(lo_) + ", " +
+         format_double(hi_) + "])";
+}
+
+// ----------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  SAFEOPT_EXPECTS(rate > 0.0);
+}
+
+double Exponential::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::survival(double x) const noexcept {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return kInf;
+  return -std::log1p(-p) / rate_;
+}
+
+std::string Exponential::name() const {
+  return "Exponential(" + format_double(rate_) + ")";
+}
+
+// --------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  SAFEOPT_EXPECTS(shape > 0.0 && scale > 0.0);
+}
+
+double Weibull::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return shape_ >= 1.0 ? (shape_ == 1.0 ? 1.0 / scale_ : 0.0)
+                                     : kInf;
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::survival(double x) const noexcept {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return kInf;
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const noexcept {
+  return scale_ * std::exp(log_gamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const noexcept {
+  const double g1 = std::exp(log_gamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(log_gamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const {
+  return "Weibull(" + format_double(shape_) + ", " + format_double(scale_) +
+         ")";
+}
+
+// ------------------------------------------------------------- LogNormal
+
+LogNormal::LogNormal(double mu_log, double sigma_log)
+    : mu_log_(mu_log), sigma_log_(sigma_log) {
+  SAFEOPT_EXPECTS(sigma_log > 0.0);
+}
+
+double LogNormal::pdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_pdf((std::log(x) - mu_log_) / sigma_log_) / (x * sigma_log_);
+}
+
+double LogNormal::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_log_) / sigma_log_);
+}
+
+double LogNormal::survival(double x) const noexcept {
+  if (x <= 0.0) return 1.0;
+  return normal_survival((std::log(x) - mu_log_) / sigma_log_);
+}
+
+double LogNormal::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return kInf;
+  return std::exp(mu_log_ + sigma_log_ * normal_quantile(p));
+}
+
+double LogNormal::mean() const noexcept {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LogNormal::variance() const noexcept {
+  const double s2 = sigma_log_ * sigma_log_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_log_ + s2);
+}
+
+std::string LogNormal::name() const {
+  return "LogNormal(" + format_double(mu_log_) + ", " +
+         format_double(sigma_log_) + ")";
+}
+
+// --------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  SAFEOPT_EXPECTS(lo < hi);
+}
+
+double Uniform::pdf(double x) const noexcept {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const noexcept {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const noexcept {
+  SAFEOPT_EXPECTS(p >= 0.0 && p <= 1.0);
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::variance() const noexcept {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+std::string Uniform::name() const {
+  return "Uniform(" + format_double(lo_) + ", " + format_double(hi_) + ")";
+}
+
+// ----------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  SAFEOPT_EXPECTS(shape > 0.0 && scale > 0.0);
+}
+
+double Gamma::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return kInf;
+  }
+  const double log_p = (shape_ - 1.0) * std::log(x / scale_) - x / scale_ -
+                       log_gamma(shape_) - std::log(scale_);
+  return std::exp(log_p);
+}
+
+double Gamma::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, x / scale_);
+}
+
+std::string Gamma::name() const {
+  return "Gamma(" + format_double(shape_) + ", " + format_double(scale_) +
+         ")";
+}
+
+}  // namespace safeopt::stats

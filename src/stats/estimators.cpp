@@ -1,0 +1,123 @@
+#include "safeopt/stats/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "safeopt/stats/distribution.h"
+#include "safeopt/stats/special_functions.h"
+#include "safeopt/support/contracts.h"
+
+namespace safeopt::stats {
+namespace {
+
+double z_for_level(double level) {
+  SAFEOPT_EXPECTS(level > 0.0 && level < 1.0);
+  return normal_quantile(0.5 + 0.5 * level);
+}
+
+}  // namespace
+
+void RunningMoments::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const noexcept {
+  SAFEOPT_EXPECTS(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double RunningMoments::standard_error() const noexcept {
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+ConfidenceInterval RunningMoments::mean_confidence(double level) const {
+  SAFEOPT_EXPECTS(n_ >= 2);
+  const double z = z_for_level(level);
+  const double half = z * standard_error();
+  return {mean_ - half, mean_ + half};
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void ProportionEstimator::add(bool success) noexcept {
+  ++n_;
+  if (success) ++k_;
+}
+
+double ProportionEstimator::estimate() const noexcept {
+  SAFEOPT_EXPECTS(n_ > 0);
+  return static_cast<double>(k_) / static_cast<double>(n_);
+}
+
+ConfidenceInterval ProportionEstimator::wilson(double level) const {
+  SAFEOPT_EXPECTS(n_ > 0);
+  const double z = z_for_level(level);
+  const auto n = static_cast<double>(n_);
+  const double p = estimate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+ConfidenceInterval ProportionEstimator::wald(double level) const {
+  SAFEOPT_EXPECTS(n_ > 0);
+  const double z = z_for_level(level);
+  const auto n = static_cast<double>(n_);
+  const double p = estimate();
+  const double half = z * std::sqrt(p * (1.0 - p) / n);
+  return {std::max(0.0, p - half), std::min(1.0, p + half)};
+}
+
+double ks_statistic(std::span<const double> sample,
+                    const Distribution& reference) {
+  SAFEOPT_EXPECTS(!sample.empty());
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = reference.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double ks_critical_value_1pct(std::size_t n) noexcept {
+  return 1.63 / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace safeopt::stats

@@ -1,0 +1,204 @@
+// Probability distributions for parameterized failure probabilities
+// (paper §II-D.2: "In practice P(PF) is usually a (continuous) probabilistic
+// distribution") and for the statistical environment model (§IV-B/C).
+//
+// The paper's driving-time model is a normal distribution with µ = 4 min,
+// σ = 2 min *renormalized over [0, ∞)* — exactly `TruncatedNormal` below;
+// its Eq. for P_OHV(Time <= T) is TruncatedNormal::cdf.
+//
+// Every distribution supplies pdf, cdf, quantile (inverse cdf), mean,
+// variance and deterministic sampling from a safeopt::Rng. Sampling defaults
+// to inverse-transform so one uniform draw maps to one variate — important
+// for reproducible discrete-event simulation.
+#ifndef SAFEOPT_STATS_DISTRIBUTION_H
+#define SAFEOPT_STATS_DISTRIBUTION_H
+
+#include <memory>
+#include <string>
+
+#include "safeopt/support/rng.h"
+
+namespace safeopt::stats {
+
+/// Abstract interface for a univariate distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density at x (0 outside the support).
+  [[nodiscard]] virtual double pdf(double x) const noexcept = 0;
+  /// P(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const noexcept = 0;
+  /// P(X > x). Default is 1 − cdf(x); concrete distributions override with
+  /// cancellation-free tail formulas, which quantitative FTA needs: overtime
+  /// probabilities such as the paper's P(OT1)(T1) ARE survival values, and
+  /// 1 − cdf rounds to 0 past ~8σ.
+  [[nodiscard]] virtual double survival(double x) const noexcept;
+  /// Inverse cdf. Precondition: 0 < p < 1 (0/1 map to the support bounds).
+  [[nodiscard]] virtual double quantile(double p) const noexcept;
+  [[nodiscard]] virtual double mean() const noexcept = 0;
+  [[nodiscard]] virtual double variance() const noexcept = 0;
+  /// Draws one variate; default is inverse-transform sampling.
+  [[nodiscard]] virtual double sample(Rng& rng) const noexcept;
+  /// Human-readable name including parameters, e.g. "Normal(4, 2)".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Support bounds (may be ±infinity).
+  [[nodiscard]] virtual double support_lower() const noexcept;
+  [[nodiscard]] virtual double support_upper() const noexcept;
+
+ protected:
+  Distribution() = default;
+  Distribution(const Distribution&) = default;
+  Distribution& operator=(const Distribution&) = default;
+};
+
+/// Normal(µ, σ), σ > 0.
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double survival(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override { return mu_; }
+  [[nodiscard]] double variance() const noexcept override {
+    return sigma_ * sigma_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Normal(µ, σ) conditioned on [lo, hi] — the paper's driving-time model uses
+/// lo = 0, hi = +infinity. Requires lo < hi and positive mass on [lo, hi].
+class TruncatedNormal final : public Distribution {
+ public:
+  TruncatedNormal(double mu, double sigma, double lo, double hi);
+  /// Convenience factory for the paper's [0, ∞) truncation.
+  [[nodiscard]] static TruncatedNormal nonnegative(double mu, double sigma);
+
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double survival(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override;
+  [[nodiscard]] double variance() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return lo_; }
+  [[nodiscard]] double support_upper() const noexcept override { return hi_; }
+
+ private:
+  double mu_;
+  double sigma_;
+  double lo_;
+  double hi_;
+  double cdf_lo_;    // Φ((lo-µ)/σ)
+  double mass_;      // Φ((hi-µ)/σ) − Φ((lo-µ)/σ)
+};
+
+/// Exponential(λ), λ > 0. Memoryless; used for Poisson failure processes
+/// (sensor false-detection inter-arrival times in the Elbtunnel model).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double survival(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const noexcept override {
+    return 1.0 / (rate_ * rate_);
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return 0.0; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(k, λ): shape k > 0, scale λ > 0. The standard wear-out model for
+/// hardware failure probabilities over a maintenance interval.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double survival(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override;
+  [[nodiscard]] double variance() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return 0.0; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// LogNormal: ln X ~ Normal(µ, σ).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu_log, double sigma_log);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double survival(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override;
+  [[nodiscard]] double variance() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return 0.0; }
+
+ private:
+  double mu_log_;
+  double sigma_log_;
+};
+
+/// Uniform(lo, hi), lo < hi.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double quantile(double p) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override {
+    return 0.5 * (lo_ + hi_);
+  }
+  [[nodiscard]] double variance() const noexcept override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return lo_; }
+  [[nodiscard]] double support_upper() const noexcept override { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Gamma(k, θ): shape k > 0, scale θ > 0. Sum of exponential phases; models
+/// multi-stage degradation and Erlang driving-time alternatives.
+class Gamma final : public Distribution {
+ public:
+  Gamma(double shape, double scale);
+  [[nodiscard]] double pdf(double x) const noexcept override;
+  [[nodiscard]] double cdf(double x) const noexcept override;
+  [[nodiscard]] double mean() const noexcept override {
+    return shape_ * scale_;
+  }
+  [[nodiscard]] double variance() const noexcept override {
+    return shape_ * scale_ * scale_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double support_lower() const noexcept override { return 0.0; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace safeopt::stats
+
+#endif  // SAFEOPT_STATS_DISTRIBUTION_H

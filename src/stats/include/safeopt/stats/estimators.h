@@ -1,0 +1,85 @@
+// Statistical estimators used by the Monte Carlo engine and the discrete-event
+// simulator: numerically stable online moments (Welford), confidence intervals
+// for means and proportions, and empirical-cdf goodness-of-fit utilities used
+// in tests to validate samplers against their analytic distributions.
+#ifndef SAFEOPT_STATS_ESTIMATORS_H
+#define SAFEOPT_STATS_ESTIMATORS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace safeopt::stats {
+
+class Distribution;
+
+/// A two-sided confidence interval [lo, hi] around a point estimate.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return lo <= x && x <= hi;
+  }
+};
+
+/// Welford's online algorithm for mean and variance; O(1) memory, stable for
+/// billions of observations.
+class RunningMoments {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance. Precondition: count() >= 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean. Precondition: count() >= 2.
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Normal-approximation CI for the mean at the given confidence level.
+  [[nodiscard]] ConfidenceInterval mean_confidence(double level = 0.95) const;
+
+  /// Merges another accumulator (parallel reduction), Chan et al. formula.
+  void merge(const RunningMoments& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counts Bernoulli successes; provides Wald and Wilson interval estimates.
+/// Wilson is preferred for the rare-event probabilities FTA deals in.
+class ProportionEstimator {
+ public:
+  void add(bool success) noexcept;
+  [[nodiscard]] std::uint64_t trials() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return k_; }
+  /// Point estimate k/n. Precondition: trials() > 0.
+  [[nodiscard]] double estimate() const noexcept;
+  /// Wilson score interval; well-behaved even when k is 0 or n.
+  [[nodiscard]] ConfidenceInterval wilson(double level = 0.95) const;
+  /// Classical Wald interval (for comparison / large-sample use).
+  [[nodiscard]] ConfidenceInterval wald(double level = 0.95) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  std::uint64_t k_ = 0;
+};
+
+/// Kolmogorov–Smirnov statistic sup_x |F_empirical(x) − F(x)| of a sample
+/// against a reference distribution. The sample is copied and sorted.
+[[nodiscard]] double ks_statistic(std::span<const double> sample,
+                                  const Distribution& reference);
+
+/// Critical KS value at ~1% significance for sample size n (asymptotic
+/// 1.63/sqrt(n)); samples from the correct distribution exceed it with
+/// probability ~0.01.
+[[nodiscard]] double ks_critical_value_1pct(std::size_t n) noexcept;
+
+}  // namespace safeopt::stats
+
+#endif  // SAFEOPT_STATS_ESTIMATORS_H

@@ -1,0 +1,16 @@
+#include "safeopt/support/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace safeopt {
+
+void contract_violation(const char* kind, const char* condition,
+                        const char* file, int line) noexcept {
+  std::fprintf(stderr, "%s:%d: safeopt %s violation: %s\n", file, line, kind,
+               condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace safeopt

@@ -1,0 +1,34 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6/I.8):
+// preconditions via SAFEOPT_EXPECTS, postconditions via SAFEOPT_ENSURES and
+// internal invariants via SAFEOPT_ASSERT. A violated contract is a programming
+// error: the handler prints a diagnostic with source location and aborts.
+//
+// The checks stay enabled in release builds: this library computes safety
+// figures, and a silently wrong number is strictly worse than a crash.
+#ifndef SAFEOPT_SUPPORT_CONTRACTS_H
+#define SAFEOPT_SUPPORT_CONTRACTS_H
+
+namespace safeopt {
+
+/// Prints `<file>:<line>: <kind> violation: <condition>` to stderr and aborts.
+/// Used by the contract macros below; never returns.
+[[noreturn]] void contract_violation(const char* kind, const char* condition,
+                                     const char* file, int line) noexcept;
+
+}  // namespace safeopt
+
+#define SAFEOPT_CONTRACT_CHECK_(kind, cond)                           \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::safeopt::contract_violation(kind, #cond, __FILE__, __LINE__); \
+    }                                                                 \
+  } while (false)
+
+/// Precondition: the caller must establish `cond` before the call.
+#define SAFEOPT_EXPECTS(cond) SAFEOPT_CONTRACT_CHECK_("precondition", cond)
+/// Postcondition: the callee guarantees `cond` on normal return.
+#define SAFEOPT_ENSURES(cond) SAFEOPT_CONTRACT_CHECK_("postcondition", cond)
+/// Internal invariant that must hold at this program point.
+#define SAFEOPT_ASSERT(cond) SAFEOPT_CONTRACT_CHECK_("assertion", cond)
+
+#endif  // SAFEOPT_SUPPORT_CONTRACTS_H

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation for every stochastic component
+// in safeopt (Monte Carlo estimation, discrete-event simulation, stochastic
+// optimizers). We implement xoshiro256++ seeded through splitmix64 rather than
+// relying on std::mt19937 so that results are reproducible bit-for-bit across
+// standard libraries, which the test suite and the experiment harness rely on.
+#ifndef SAFEOPT_SUPPORT_RNG_H
+#define SAFEOPT_SUPPORT_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace safeopt {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0: fast, high-quality 64-bit generator with 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+/// Reference: Blackman & Vigna, http://prng.di.unimi.it/xoshiro256plusplus.c
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit constexpr Xoshiro256pp(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept
+      : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the generator 2^128 steps; use to derive independent streams
+  /// (e.g. one per simulated component) from a common seed.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((word & (1ULL << bit)) != 0) {
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Default generator type used throughout safeopt.
+using Rng = Xoshiro256pp;
+
+/// Uniform double in [0, 1) with 53 random bits (never returns 1.0).
+[[nodiscard]] inline double uniform01(Rng& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+[[nodiscard]] double uniform(Rng& rng, double lo, double hi) noexcept;
+
+/// Bernoulli trial with success probability p (clamped to [0,1]).
+[[nodiscard]] bool bernoulli(Rng& rng, double p) noexcept;
+
+/// Uniform integer in [0, n). Precondition: n > 0.
+[[nodiscard]] std::uint64_t uniform_index(Rng& rng, std::uint64_t n) noexcept;
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_RNG_H

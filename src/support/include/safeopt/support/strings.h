@@ -1,0 +1,33 @@
+// Small string utilities shared across modules (parser diagnostics, report
+// formatting). Kept deliberately minimal; anything heavier belongs in <format>
+// once universally available.
+#ifndef SAFEOPT_SUPPORT_STRINGS_H
+#define SAFEOPT_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safeopt {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a single character separator; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Formats a double with enough digits to round-trip, trimming trailing zeros
+/// ("0.25", "1e-06", "19.2").
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_STRINGS_H

@@ -1,0 +1,28 @@
+#include "safeopt/support/rng.h"
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt {
+
+double uniform(Rng& rng, double lo, double hi) noexcept {
+  SAFEOPT_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+bool bernoulli(Rng& rng, double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01(rng) < p;
+}
+
+std::uint64_t uniform_index(Rng& rng, std::uint64_t n) noexcept {
+  SAFEOPT_EXPECTS(n > 0);
+  // Lemire-style rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = rng();
+    if (r >= threshold) return r % n;
+  }
+}
+
+}  // namespace safeopt

@@ -1,0 +1,168 @@
+#include "safeopt/bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil/random_tree.h"
+
+namespace safeopt::bdd {
+namespace {
+
+TEST(BddManagerTest, TerminalsAndVariables) {
+  BddManager manager(3);
+  const BddRef x = manager.variable(0);
+  EXPECT_NE(x, kFalse);
+  EXPECT_NE(x, kTrue);
+  // Hash-consing: the same variable is the same node.
+  EXPECT_EQ(x, manager.variable(0));
+}
+
+TEST(BddManagerTest, BasicBooleanIdentities) {
+  BddManager m(2);
+  const BddRef x = m.variable(0);
+  const BddRef y = m.variable(1);
+  EXPECT_EQ(m.apply_and(x, kTrue), x);
+  EXPECT_EQ(m.apply_and(x, kFalse), kFalse);
+  EXPECT_EQ(m.apply_or(x, kFalse), x);
+  EXPECT_EQ(m.apply_or(x, kTrue), kTrue);
+  EXPECT_EQ(m.apply_and(x, x), x);
+  EXPECT_EQ(m.apply_or(x, x), x);
+  EXPECT_EQ(m.apply_xor(x, x), kFalse);
+  EXPECT_EQ(m.apply_not(m.apply_not(x)), x);
+  // Canonicity: equivalent formulas share one node.
+  EXPECT_EQ(m.apply_and(x, y), m.apply_and(y, x));
+  EXPECT_EQ(m.apply_or(m.apply_and(x, y), x), x);  // absorption
+}
+
+TEST(BddManagerTest, EvaluateFollowsAssignment) {
+  BddManager m(2);
+  const BddRef f = m.apply_or(m.variable(0),
+                              m.apply_not(m.variable(1)));
+  EXPECT_TRUE(m.evaluate(f, {true, true}));
+  EXPECT_TRUE(m.evaluate(f, {false, false}));
+  EXPECT_FALSE(m.evaluate(f, {false, true}));
+}
+
+TEST(BddManagerTest, AtLeastMatchesNaiveCount) {
+  BddManager m(4);
+  std::vector<BddRef> vars;
+  for (std::uint32_t i = 0; i < 4; ++i) vars.push_back(m.variable(i));
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    const BddRef f = m.at_least(vars, k);
+    for (std::uint32_t mask = 0; mask < 16; ++mask) {
+      std::vector<bool> assignment(4);
+      std::uint32_t count = 0;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        assignment[i] = (mask & (1u << i)) != 0;
+        count += assignment[i] ? 1 : 0;
+      }
+      EXPECT_EQ(m.evaluate(f, assignment), count >= k)
+          << "k=" << k << " mask=" << mask;
+    }
+  }
+}
+
+TEST(BddManagerTest, ProbabilityShannonExactOnSmallFormula) {
+  BddManager m(2);
+  const BddRef f = m.apply_or(m.variable(0), m.variable(1));
+  // P(x ∪ y) = 0.1 + 0.2 − 0.02.
+  EXPECT_NEAR(m.probability(f, {0.1, 0.2}), 0.28, 1e-15);
+}
+
+TEST(BddManagerTest, StatisticsTrackCacheAndNodes) {
+  BddManager m(8);
+  std::vector<BddRef> vars;
+  for (std::uint32_t i = 0; i < 8; ++i) vars.push_back(m.variable(i));
+  (void)m.at_least(vars, 4);
+  EXPECT_GT(m.statistics().node_count, 8u);
+  EXPECT_GT(m.statistics().ite_calls, 0u);
+}
+
+TEST(CompileTest, XorCompilesAsExactlyOne) {
+  fta::FaultTree tree("xor3");
+  const auto a = tree.add_basic_event("a");
+  const auto b = tree.add_basic_event("b");
+  const auto c = tree.add_basic_event("c");
+  tree.set_top(tree.add_xor("top", {a, b, c}));
+  CompiledFaultTree compiled = compile(tree);
+  // P(exactly one of three fair coins) = 3/8.
+  fta::QuantificationInput input =
+      fta::QuantificationInput::for_tree(tree, 0.5);
+  EXPECT_NEAR(compiled.probability(input), 0.375, 1e-15);
+}
+
+TEST(CompileTest, InhibitBehavesAsAnd) {
+  fta::FaultTree tree("inh");
+  const auto pf = tree.add_basic_event("pf");
+  const auto env = tree.add_condition("env");
+  tree.set_top(tree.add_inhibit("top", pf, env));
+  CompiledFaultTree compiled = compile(tree);
+  fta::QuantificationInput input = fta::QuantificationInput::for_tree(tree, 0.0);
+  input.set(tree, "pf", 0.3);
+  input.set(tree, "env", 0.5);
+  EXPECT_NEAR(compiled.probability(input), 0.15, 1e-15);
+}
+
+// --------------------------------------------------------------- properties
+
+class BddVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddVsBruteForce, ProbabilityMatchesEnumeration) {
+  const fta::FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 7, .conditions = 1, .gates = 6});
+  const fta::QuantificationInput input =
+      testutil::random_probabilities(tree, GetParam());
+  CompiledFaultTree compiled = compile(tree);
+  EXPECT_NEAR(compiled.probability(input),
+              fta::exact_probability_bruteforce(tree, input), 1e-12)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+class BddEvaluationAgreement : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BddEvaluationAgreement, StructureFunctionMatchesTree) {
+  const fta::FaultTree tree = testutil::random_tree(
+      GetParam(),
+      {.basic_events = 5, .conditions = 1, .gates = 5, .allow_xor = true});
+  CompiledFaultTree compiled = compile(tree);
+  const std::size_t n_events = tree.basic_event_count();
+  const std::size_t n_cond = tree.condition_count();
+  for (std::uint32_t mask = 0; mask < (1u << (n_events + n_cond)); ++mask) {
+    std::vector<bool> basic(n_events);
+    std::vector<bool> cond(n_cond);
+    std::vector<bool> bdd_assignment(compiled.manager.variable_count());
+    for (std::size_t i = 0; i < n_events; ++i) {
+      basic[i] = (mask & (1u << i)) != 0;
+      bdd_assignment[compiled.var_of_basic_event[i]] = basic[i];
+    }
+    for (std::size_t i = 0; i < n_cond; ++i) {
+      cond[i] = (mask & (1u << (n_events + i))) != 0;
+      bdd_assignment[compiled.var_of_condition[i]] = cond[i];
+    }
+    EXPECT_EQ(compiled.manager.evaluate(compiled.root, bdd_assignment),
+              tree.evaluate(basic, cond))
+        << "seed " << GetParam() << " mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddEvaluationAgreement,
+                         ::testing::Range<std::uint64_t>(50, 80));
+
+class RauzyVsMocus : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RauzyVsMocus, MinimalCutSetsAgree) {
+  const fta::FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 7, .conditions = 2, .gates = 6});
+  const fta::CutSetCollection mocus = fta::minimal_cut_sets(tree);
+  const fta::CutSetCollection rauzy = minimal_cut_sets_bdd(tree);
+  EXPECT_EQ(mocus.sets(), rauzy.sets()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RauzyVsMocus,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace safeopt::bdd

@@ -1,0 +1,79 @@
+#include "safeopt/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::core {
+namespace {
+
+using expr::constant;
+using expr::parameter;
+
+CostModel two_hazards() {
+  CostModel model;
+  // The paper's Eq. 5 with the Elbtunnel weights: collisions cost 100000
+  // false alarms.
+  model.add_hazard({"HCol", constant(2e-8) + 0.01 * parameter("x"), 100000.0});
+  model.add_hazard({"HAlr", 0.5 * parameter("y"), 1.0});
+  return model;
+}
+
+TEST(CostModelTest, HazardAccess) {
+  const CostModel model = two_hazards();
+  EXPECT_EQ(model.hazard_count(), 2u);
+  EXPECT_EQ(model.hazard(0).name, "HCol");
+  EXPECT_DOUBLE_EQ(model.hazard(0).cost, 100000.0);
+  EXPECT_EQ(model.hazard_by_name("HAlr").name, "HAlr");
+}
+
+TEST(CostModelTest, CostIsWeightedSumOfHazardProbabilities) {
+  const CostModel model = two_hazards();
+  const expr::ParameterAssignment env{{"x", 0.001}, {"y", 0.01}};
+  // Eq. 5: f_cost = Σ Cost_Hi · P(Hi).
+  const double expected =
+      100000.0 * (2e-8 + 0.01 * 0.001) + 1.0 * (0.5 * 0.01);
+  EXPECT_NEAR(model.cost(env), expected, 1e-12);
+}
+
+TEST(CostModelTest, HazardProbabilitiesInOrder) {
+  const CostModel model = two_hazards();
+  const expr::ParameterAssignment env{{"x", 0.002}, {"y", 0.2}};
+  const auto probs = model.hazard_probabilities(env);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0], 2e-8 + 2e-5, 1e-15);
+  EXPECT_NEAR(probs[1], 0.1, 1e-15);
+}
+
+TEST(CostModelTest, CostExpressionIsSymbolic) {
+  const CostModel model = two_hazards();
+  const auto params = model.cost_expression().parameters();
+  EXPECT_TRUE(params.contains("x"));
+  EXPECT_TRUE(params.contains("y"));
+}
+
+TEST(CostModelTest, ZeroCostHazardContributesNothing) {
+  CostModel model;
+  model.add_hazard({"free", parameter("x"), 0.0});
+  model.add_hazard({"paid", parameter("x"), 2.0});
+  EXPECT_NEAR(model.cost({{"x", 0.25}}), 0.5, 1e-15);
+}
+
+TEST(CostModelDeathTest, RejectsDuplicateHazardNames) {
+  CostModel model;
+  model.add_hazard({"H", constant(0.0), 1.0});
+  EXPECT_DEATH(model.add_hazard({"H", constant(0.0), 1.0}), "precondition");
+}
+
+TEST(CostModelDeathTest, RejectsNegativeCost) {
+  CostModel model;
+  EXPECT_DEATH(model.add_hazard({"H", constant(0.0), -1.0}), "precondition");
+}
+
+TEST(CostModelDeathTest, CostExpressionNeedsAtLeastOneHazard) {
+  const CostModel model;
+  EXPECT_DEATH((void)model.cost_expression(), "precondition");
+}
+
+}  // namespace
+}  // namespace safeopt::core

@@ -1,0 +1,65 @@
+#include "safeopt/core/environment_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::core {
+namespace {
+
+using expr::parameter;
+
+TEST(EnvironmentSweepTest, TabulatesEvenGridAndSeries) {
+  const std::vector<SweepSeries> series{
+      {"linear", 2.0 * parameter("t")},
+      {"quadratic", parameter("t") * parameter("t")}};
+  const SweepTable table =
+      sweep_parameter("t", 0.0, 10.0, 11, {}, series);
+
+  EXPECT_EQ(table.parameter, "t");
+  ASSERT_EQ(table.xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(table.xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(table.xs.back(), 10.0);
+  EXPECT_DOUBLE_EQ(table.xs[5], 5.0);
+
+  ASSERT_EQ(table.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.values[0][5], 10.0);
+  EXPECT_DOUBLE_EQ(table.values[1][5], 25.0);
+  EXPECT_EQ(table.labels[0], "linear");
+  EXPECT_EQ(table.labels[1], "quadratic");
+}
+
+TEST(EnvironmentSweepTest, BaseAssignmentHoldsOtherParametersFixed) {
+  const std::vector<SweepSeries> series{
+      {"sum", parameter("t") + parameter("fixed")}};
+  const SweepTable table =
+      sweep_parameter("t", 0.0, 1.0, 3, {{"fixed", 100.0}}, series);
+  EXPECT_DOUBLE_EQ(table.values[0][0], 100.0);
+  EXPECT_DOUBLE_EQ(table.values[0][2], 101.0);
+}
+
+TEST(EnvironmentSweepTest, Fig6StyleSweepIsMonotone) {
+  // The Fig. 6 pattern: P(alarm | OHV present)(T2) = 1 − e^{−0.13 T2} is
+  // increasing in the sweep parameter.
+  const std::vector<SweepSeries> series{
+      {"without_LB4", expr::poisson_exposure(0.13, parameter("T2"))}};
+  const SweepTable table = sweep_parameter("T2", 5.0, 25.0, 21, {}, series);
+  for (std::size_t k = 1; k < table.xs.size(); ++k) {
+    EXPECT_GT(table.values[0][k], table.values[0][k - 1]);
+  }
+  // Paper's reported anchor points.
+  EXPECT_GT(table.values[0].back(), 0.95);   // ≈ 96% at 25 min
+  EXPECT_GT(table.values[0].front(), 0.45);  // ≈ 48% at 5 min
+}
+
+TEST(EnvironmentSweepTest, CsvHasHeaderAndRows) {
+  const std::vector<SweepSeries> series{{"s", parameter("t")}};
+  const SweepTable table = sweep_parameter("t", 0.0, 1.0, 2, {}, series);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("t,s\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace safeopt::core

@@ -1,0 +1,183 @@
+#include "safeopt/core/parameterized_fta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "safeopt/stats/distribution.h"
+
+namespace safeopt::core {
+namespace {
+
+using expr::constant;
+using expr::parameter;
+using expr::ParameterAssignment;
+
+/// The paper's §IV-B.2 collision shape: OR(residual, INHIBIT(OT1|crit),
+/// INHIBIT(OT2|crit)) with parameterized overtime probabilities.
+struct CollisionFixture {
+  CollisionFixture() : tree("HCol") {
+    const auto residual = tree.add_basic_event("residual");
+    const auto ot1 = tree.add_basic_event("OT1");
+    const auto ot2 = tree.add_basic_event("OT2");
+    const auto crit = tree.add_condition("OHVcritical");
+    const auto g1 = tree.add_inhibit("g1", ot1, crit);
+    const auto g2 = tree.add_inhibit("g2", ot2, crit);
+    tree.set_top(tree.add_or("top", {residual, g1, g2}));
+  }
+  fta::FaultTree tree;
+};
+
+TEST(ParameterizedQuantificationTest, DefaultsAreWorstCase) {
+  const CollisionFixture f;
+  const ParameterizedQuantification q(f.tree);
+  // Events default to probability 0, conditions to 1 (classical FTA).
+  EXPECT_DOUBLE_EQ(q.event_probability(0).evaluate({}), 0.0);
+  EXPECT_DOUBLE_EQ(q.condition_probability(0).evaluate({}), 1.0);
+}
+
+TEST(ParameterizedQuantificationTest, CutSetExpressionIsEq2) {
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  const auto transit = std::make_shared<stats::TruncatedNormal>(
+      stats::TruncatedNormal::nonnegative(4.0, 2.0));
+  q.set_event_probability("OT1", expr::survival(transit, parameter("T1")));
+  q.set_condition_probability("OHVcritical", constant(0.011));
+
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(f.tree);
+  // Find the {OT1 | crit} cut set (order 1, with a condition).
+  const fta::CutSet* ot1_cs = nullptr;
+  for (const auto& cs : mcs.sets()) {
+    if (!cs.conditions.empty() &&
+        cs.events == std::vector<fta::BasicEventOrdinal>{1}) {
+      ot1_cs = &cs;
+    }
+  }
+  ASSERT_NE(ot1_cs, nullptr);
+  const expr::Expr p = q.cut_set_expression(*ot1_cs);
+  const ParameterAssignment env{{"T1", 19.0}};
+  // Eq. 2: P(CS) = P(Constraints)·∏P(PF).
+  EXPECT_NEAR(p.evaluate(env), 0.011 * (1.0 - transit->cdf(19.0)), 1e-15);
+}
+
+TEST(ParameterizedQuantificationTest, HazardExpressionRareEventIsSum) {
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  q.set_event_probability("residual", constant(1e-4));
+  q.set_event_probability("OT1", parameter("p1"));
+  q.set_event_probability("OT2", parameter("p2"));
+  q.set_condition_probability("OHVcritical", constant(0.5));
+  const expr::Expr hazard = q.hazard_expression(HazardFormula::kRareEvent);
+  const ParameterAssignment env{{"p1", 0.01}, {"p2", 0.02}};
+  EXPECT_NEAR(hazard.evaluate(env), 1e-4 + 0.5 * 0.01 + 0.5 * 0.02, 1e-15);
+}
+
+TEST(ParameterizedQuantificationTest, McubIsOneMinusProduct) {
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  q.set_event_probability("residual", constant(0.1));
+  q.set_event_probability("OT1", constant(0.2));
+  q.set_event_probability("OT2", constant(0.3));
+  q.set_condition_probability("OHVcritical", constant(1.0));
+  const expr::Expr hazard =
+      q.hazard_expression(HazardFormula::kMinCutUpperBound);
+  EXPECT_NEAR(hazard.evaluate({}), 1.0 - 0.9 * 0.8 * 0.7, 1e-15);
+}
+
+TEST(ParameterizedQuantificationTest, RareEventClampsToOne) {
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  q.set_event_probability("residual", constant(0.9));
+  q.set_event_probability("OT1", constant(0.9));
+  q.set_event_probability("OT2", constant(0.9));
+  const expr::Expr hazard = q.hazard_expression(HazardFormula::kRareEvent);
+  EXPECT_DOUBLE_EQ(hazard.evaluate({}), 1.0);
+}
+
+TEST(ParameterizedQuantificationTest, EvaluateBridgesToNumericEngine) {
+  // Symbolic-then-evaluate must equal evaluate-then-numeric (Eqs. 3-4
+  // commute with substitution).
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  const auto transit = std::make_shared<stats::TruncatedNormal>(
+      stats::TruncatedNormal::nonnegative(4.0, 2.0));
+  q.set_event_probability("residual", constant(1e-4));
+  q.set_event_probability("OT1", expr::survival(transit, parameter("T1")));
+  q.set_event_probability("OT2", expr::survival(transit, parameter("T2")));
+  q.set_condition_probability("OHVcritical", constant(0.011));
+
+  const ParameterAssignment env{{"T1", 12.0}, {"T2", 9.0}};
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(f.tree);
+
+  const double symbolic = q.hazard_expression(mcs).evaluate(env);
+  const fta::QuantificationInput numeric_input = q.evaluate(env);
+  const double numeric = fta::top_event_probability(
+      mcs, numeric_input, fta::ProbabilityMethod::kRareEvent);
+  EXPECT_NEAR(symbolic, numeric, 1e-14);
+}
+
+TEST(ParameterizedQuantificationTest, BirnbaumExpressionMatchesNumeric) {
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  const auto transit = std::make_shared<stats::TruncatedNormal>(
+      stats::TruncatedNormal::nonnegative(4.0, 2.0));
+  q.set_event_probability("residual", constant(1e-4));
+  q.set_event_probability("OT1", expr::survival(transit, parameter("T1")));
+  q.set_event_probability("OT2", expr::survival(transit, parameter("T2")));
+  q.set_condition_probability("OHVcritical", constant(0.011));
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(f.tree);
+  const ParameterAssignment at{{"T1", 8.0}, {"T2", 12.0}};
+
+  // OT1 is basic-event ordinal 1 in the fixture.
+  const expr::Expr symbolic = q.birnbaum_expression(mcs, 1);
+  // Numeric reference via the classical definition on the evaluated input.
+  fta::QuantificationInput with = q.evaluate(at);
+  with.basic_event_probability[1] = 1.0;
+  fta::QuantificationInput without = q.evaluate(at);
+  without.basic_event_probability[1] = 0.0;
+  const double numeric = fta::top_event_probability(mcs, with) -
+                         fta::top_event_probability(mcs, without);
+  EXPECT_NEAR(symbolic.evaluate(at), numeric, 1e-14);
+  // For the single-point-of-failure cut set {OT1 | crit}, Birnbaum is just
+  // the constraint probability.
+  EXPECT_NEAR(symbolic.evaluate(at), 0.011, 1e-12);
+}
+
+TEST(ParameterizedQuantificationTest, BirnbaumRankingCanFlipWithParameters) {
+  // Two hazard paths: e0 constant, e1 scaling with x; the dominant failure
+  // depends on x — visible only with parameterized importance.
+  fta::FaultTree tree("flip");
+  const auto e0 = tree.add_basic_event("e0");
+  const auto e1 = tree.add_basic_event("e1");
+  const auto shared = tree.add_basic_event("shared");
+  const auto g0 = tree.add_and("g0", {e0, shared});
+  const auto g1 = tree.add_and("g1", {e1, shared});
+  tree.set_top(tree.add_or("top", {g0, g1}));
+  ParameterizedQuantification q(tree);
+  q.set_event_probability("e0", constant(0.05));
+  q.set_event_probability("e1", 0.01 * parameter("x"));
+  q.set_event_probability("shared", constant(0.5));
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(tree);
+  const expr::Expr b0 = q.birnbaum_expression(mcs, 0);
+  const expr::Expr b1 = q.birnbaum_expression(mcs, 1);
+  // Birnbaum of e0 and e1 is P(shared) regardless (symmetric structure);
+  // the *shared* event's importance grows with x.
+  const expr::Expr b_shared = q.birnbaum_expression(mcs, 2);
+  EXPECT_NEAR(b0.evaluate({{"x", 1.0}}), b1.evaluate({{"x", 1.0}}), 1e-12);
+  EXPECT_LT(b_shared.evaluate({{"x", 1.0}}),
+            b_shared.evaluate({{"x", 8.0}}));
+}
+
+TEST(ParameterizedQuantificationTest, HazardDependsOnlyOnItsParameters) {
+  // Paper footnote 2: each hazard depends only on a subset of X_1..X_l.
+  const CollisionFixture f;
+  ParameterizedQuantification q(f.tree);
+  q.set_event_probability("OT1", parameter("T1"));
+  const auto params = q.hazard_expression().parameters();
+  EXPECT_TRUE(params.contains("T1"));
+  EXPECT_FALSE(params.contains("T2"));
+}
+
+}  // namespace
+}  // namespace safeopt::core

@@ -1,0 +1,104 @@
+#include "safeopt/core/robust_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::core {
+namespace {
+
+using expr::parameter;
+
+/// Scenario family: cost_k(x) = a_k·e^{−x} + 0.01·x with uncertain a_k.
+/// Each scenario's own optimum is x_k* = ln(100·a_k).
+expr::Expr scenario_cost(double a) {
+  return a * expr::exp(-parameter("x")) + 0.01 * parameter("x");
+}
+
+ParameterSpace x_space() {
+  return ParameterSpace{{"x", 0.1, 20.0, "", ""}};
+}
+
+TEST(ScenarioSetTest, ExpectedCostAveragesScenarios) {
+  const ScenarioSet set(
+      std::vector<expr::Expr>{scenario_cost(10.0), scenario_cost(30.0)});
+  const expr::ParameterAssignment at{{"x", 2.0}};
+  const double expected =
+      0.5 * (10.0 + 30.0) * std::exp(-2.0) + 0.01 * 2.0;
+  EXPECT_NEAR(set.expected_cost().evaluate(at), expected, 1e-12);
+}
+
+TEST(ScenarioSetTest, WorstCasePicksTheMaximum) {
+  const ScenarioSet set(
+      std::vector<expr::Expr>{scenario_cost(10.0), scenario_cost(30.0)});
+  const expr::ParameterAssignment at{{"x", 2.0}};
+  EXPECT_NEAR(set.worst_case_cost().evaluate(at),
+              30.0 * std::exp(-2.0) + 0.02, 1e-12);
+}
+
+TEST(ScenarioSetTest, GeneratorIsDeterministicPerSeed) {
+  const auto generator = [](Rng& rng) {
+    return scenario_cost(uniform(rng, 10.0, 50.0));
+  };
+  const ScenarioSet a(5, generator, 7);
+  const ScenarioSet b(5, generator, 7);
+  const expr::ParameterAssignment at{{"x", 1.0}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].evaluate(at), b[i].evaluate(at));
+  }
+}
+
+TEST(RobustOptimizerTest, ExpectedValueMatchesAnalyticOptimum) {
+  // E[cost](x) = ā·e^{−x} + 0.01·x with ā = 20 -> x* = ln(2000).
+  const ScenarioSet set(
+      std::vector<expr::Expr>{scenario_cost(10.0), scenario_cost(30.0)});
+  const RobustSafetyOptimizer optimizer(set, x_space());
+  const auto result = optimizer.optimize(RobustCriterion::kExpectedValue);
+  EXPECT_NEAR(result.optimization.argmin[0], std::log(2000.0), 0.05);
+  ASSERT_EQ(result.scenario_costs.size(), 2u);
+  EXPECT_LT(result.scenario_costs[0], result.scenario_costs[1]);
+  EXPECT_NEAR(result.expected_cost,
+              0.5 * (result.scenario_costs[0] + result.scenario_costs[1]),
+              1e-12);
+}
+
+TEST(RobustOptimizerTest, WorstCaseHedgesAgainstTheBadScenario) {
+  // Minimax follows the worst (a = 30) scenario: x* = ln(3000).
+  const ScenarioSet set(
+      std::vector<expr::Expr>{scenario_cost(10.0), scenario_cost(30.0)});
+  const RobustSafetyOptimizer optimizer(set, x_space());
+  const auto expected =
+      optimizer.optimize(RobustCriterion::kExpectedValue);
+  const auto worst = optimizer.optimize(RobustCriterion::kWorstCase);
+  EXPECT_NEAR(worst.optimization.argmin[0], std::log(3000.0), 0.05);
+  // The hedge costs something in expectation but buys worst-case safety.
+  EXPECT_LE(worst.worst_case_cost, expected.worst_case_cost + 1e-9);
+  EXPECT_GE(worst.expected_cost, expected.expected_cost - 1e-9);
+}
+
+TEST(RobustOptimizerTest, MaxRegretIsNonnegativeAndZeroForSoleScenario) {
+  const ScenarioSet solo(std::vector<expr::Expr>{scenario_cost(20.0)});
+  const RobustSafetyOptimizer optimizer(solo, x_space());
+  // At the scenario's own optimum the regret vanishes.
+  const expr::ParameterAssignment at{{"x", std::log(2000.0)}};
+  EXPECT_NEAR(optimizer.max_regret(at), 0.0, 1e-4);
+  // Away from it, regret is positive.
+  const expr::ParameterAssignment off{{"x", 1.0}};
+  EXPECT_GT(optimizer.max_regret(off), 0.1);
+}
+
+TEST(RobustOptimizerTest, RegretOfRobustSolutionBeatsNaiveSolution) {
+  const auto generator = [](Rng& rng) {
+    return scenario_cost(uniform(rng, 5.0, 60.0));
+  };
+  const ScenarioSet set(8, generator, 11);
+  const RobustSafetyOptimizer optimizer(set, x_space());
+  const auto robust = optimizer.optimize(RobustCriterion::kExpectedValue);
+  // A naive configuration optimized for the most optimistic scenario.
+  const expr::ParameterAssignment naive{{"x", std::log(100.0 * 5.0)}};
+  EXPECT_LT(optimizer.max_regret(robust.optimal_parameters),
+            optimizer.max_regret(naive));
+}
+
+}  // namespace
+}  // namespace safeopt::core

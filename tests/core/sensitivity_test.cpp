@@ -1,0 +1,77 @@
+#include "safeopt/core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::core {
+namespace {
+
+using expr::constant;
+using expr::parameter;
+
+TEST(SensitivityTest, GradientsMatchAnalytic) {
+  CostModel model;
+  model.add_hazard({"H1", expr::exp(-parameter("x")), 10.0});
+  model.add_hazard({"H2", 0.5 * parameter("y"), 2.0});
+  const ParameterSpace space{{"x", 0.0, 10.0, "", ""},
+                             {"y", 0.0, 10.0, "", ""}};
+  const expr::ParameterAssignment at{{"x", 1.0}, {"y", 3.0}};
+
+  const auto report = sensitivity_analysis(model, space, at);
+  ASSERT_EQ(report.size(), 2u);
+
+  // ∂f/∂x = −10 e^{−x}; ∂f/∂y = 1.
+  EXPECT_EQ(report[0].parameter, "x");
+  EXPECT_NEAR(report[0].cost_gradient, -10.0 * std::exp(-1.0), 1e-12);
+  EXPECT_EQ(report[1].parameter, "y");
+  EXPECT_NEAR(report[1].cost_gradient, 1.0, 1e-12);
+
+  // Per-hazard gradients.
+  ASSERT_EQ(report[0].hazard_gradients.size(), 2u);
+  EXPECT_NEAR(report[0].hazard_gradients[0], -std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(report[0].hazard_gradients[1], 0.0, 1e-12);
+  EXPECT_NEAR(report[1].hazard_gradients[0], 0.0, 1e-12);
+  EXPECT_NEAR(report[1].hazard_gradients[1], 0.5, 1e-12);
+}
+
+TEST(SensitivityTest, ElasticityIsDimensionless) {
+  CostModel model;
+  // f = 4·x² — elasticity (x/f)·f' = x·8x/(4x²) = 2 for every x.
+  model.add_hazard({"H", parameter("x") * parameter("x"), 4.0});
+  const ParameterSpace space{{"x", 0.0, 10.0, "", ""}};
+  for (const double x : {0.5, 1.0, 3.0, 7.0}) {
+    const auto report =
+        sensitivity_analysis(model, space, {{"x", x}});
+    EXPECT_NEAR(report[0].cost_elasticity, 2.0, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(SensitivityTest, AsymmetryDetectsLessCriticalParameter) {
+  // The paper's §IV-C.2 observation: "the dependency of the risk is not
+  // symmetric in the free parameters ... timer 1 may be chosen more
+  // conservatively than timer 2". Model that asymmetry directly.
+  CostModel model;
+  model.add_hazard(
+      {"H", expr::exp(-5.0 * parameter("T1")) + expr::exp(-parameter("T2")),
+       1.0});
+  const ParameterSpace space{{"T1", 0.0, 10.0, "", ""},
+                             {"T2", 0.0, 10.0, "", ""}};
+  const auto report =
+      sensitivity_analysis(model, space, {{"T1", 1.0}, {"T2", 1.0}});
+  // T1's hazard term has already decayed (factor 5 in the exponent), so the
+  // cost is much flatter along T1: |∂f/∂T1| << |∂f/∂T2|.
+  EXPECT_LT(10.0 * std::abs(report[0].cost_gradient),
+            std::abs(report[1].cost_gradient));
+}
+
+TEST(SensitivityTest, ZeroCostGuardsElasticity) {
+  CostModel model;
+  model.add_hazard({"H", constant(0.0) * parameter("x"), 1.0});
+  const ParameterSpace space{{"x", 0.0, 1.0, "", ""}};
+  const auto report = sensitivity_analysis(model, space, {{"x", 0.5}});
+  EXPECT_DOUBLE_EQ(report[0].cost_elasticity, 0.0);
+}
+
+}  // namespace
+}  // namespace safeopt::core

@@ -1,0 +1,60 @@
+#include "safeopt/core/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::core {
+namespace {
+
+using expr::parameter;
+
+TEST(TradeoffCurveTest, TracesOpposedRisks) {
+  // The paper's §IV-B.1 opposition in miniature: raising x lowers H1 and
+  // raises H2; "it is not possible to minimize both risks at the same
+  // time".
+  CostModel model;
+  model.add_hazard({"H1", expr::exp(-parameter("x")), 1.0});
+  model.add_hazard({"H2", 0.05 * parameter("x"), 1.0});
+  const ParameterSpace space{{"x", 0.1, 15.0, "", ""}};
+
+  const auto curve =
+      tradeoff_curve(model, space, "H1", "H2", 0.1, 1000.0, 9);
+  ASSERT_EQ(curve.size(), 9u);
+
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].cost_ratio, curve[i - 1].cost_ratio);
+    // As H1 gets more expensive, its optimal probability can only fall and
+    // the opposed H2's can only rise (weak monotonicity of the frontier).
+    EXPECT_LE(curve[i].probability_a, curve[i - 1].probability_a + 1e-9);
+    EXPECT_GE(curve[i].probability_b, curve[i - 1].probability_b - 1e-9);
+  }
+}
+
+TEST(TradeoffCurveTest, RatiosAreLogSpaced) {
+  CostModel model;
+  model.add_hazard({"H1", expr::exp(-parameter("x")), 1.0});
+  model.add_hazard({"H2", 0.05 * parameter("x"), 1.0});
+  const ParameterSpace space{{"x", 0.1, 15.0, "", ""}};
+  const auto curve = tradeoff_curve(model, space, "H1", "H2", 1.0, 100.0, 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0].cost_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(curve[1].cost_ratio, 10.0, 1e-9);
+  EXPECT_NEAR(curve[2].cost_ratio, 100.0, 1e-9);
+}
+
+TEST(TradeoffCurveTest, ParametersStayInBox) {
+  CostModel model;
+  model.add_hazard({"H1", expr::exp(-parameter("x")), 1.0});
+  model.add_hazard({"H2", 0.05 * parameter("x"), 1.0});
+  const ParameterSpace space{{"x", 0.5, 4.0, "", ""}};
+  for (const auto& point :
+       tradeoff_curve(model, space, "H1", "H2", 0.01, 1e4, 7)) {
+    ASSERT_EQ(point.parameters.size(), 1u);
+    EXPECT_GE(point.parameters[0], 0.5);
+    EXPECT_LE(point.parameters[0], 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::core

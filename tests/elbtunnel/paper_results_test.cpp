@@ -1,0 +1,176 @@
+// The paper-reported results of §IV, asserted end to end: every number the
+// paper states about the Elbtunnel case study must come out of the library.
+// This is the regression suite behind EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "safeopt/core/environment_sweep.h"
+#include "safeopt/core/sensitivity.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+
+namespace safeopt::elbtunnel {
+namespace {
+
+using expr::ParameterAssignment;
+
+class PaperResults : public ::testing::Test {
+ protected:
+  ElbtunnelModel model_;
+};
+
+TEST_F(PaperResults, OptimalTimerRuntimesAreApprox19And15_6) {
+  // §IV-C.2: "optimal parameters for the timer runtimes of approximately
+  // 19 resp. 15.6 minutes for timer 1 resp. 2".
+  const auto result =
+      model_.optimizer().optimize(core::Algorithm::kMultiStartNelderMead);
+  EXPECT_NEAR(result.optimization.argmin[0], 19.0, 1.0);
+  EXPECT_NEAR(result.optimization.argmin[1], 15.6, 0.7);
+}
+
+TEST_F(PaperResults, GridSearchAgreesWithSimplexOnTheOptimum) {
+  // §III-B: even plain combination testing finds the optimum; the paper
+  // located it by zooming into a 3-D plot (Fig. 5). The surface is nearly
+  // flat along T1 (that is the paper's own observation about timer 1), so
+  // agreement is asserted on T2 and on the cost, with a loose T1 band.
+  const auto simplex =
+      model_.optimizer().optimize(core::Algorithm::kMultiStartNelderMead);
+  const auto grid = model_.optimizer().optimize(core::Algorithm::kGridSearch);
+  EXPECT_NEAR(grid.optimization.argmin[0], simplex.optimization.argmin[0],
+              2.0);
+  EXPECT_NEAR(grid.optimization.argmin[1], simplex.optimization.argmin[1],
+              0.5);
+  EXPECT_NEAR(grid.cost, simplex.cost, 1e-4 * simplex.cost);
+}
+
+TEST_F(PaperResults, CostNearOptimumLiesInFig5Band) {
+  // Fig. 5's vertical axis spans ≈ 0.0046 .. 0.0047 over
+  // T1 ∈ [15, 20] × T2 ∈ [15, 18].
+  const auto cost = model_.cost_model().cost_expression();
+  for (double t1 = 15.0; t1 <= 20.0; t1 += 1.0) {
+    for (double t2 = 15.0; t2 <= 18.0; t2 += 0.5) {
+      const double value = cost.evaluate({{"T1", t1}, {"T2", t2}});
+      EXPECT_GT(value, 0.0045) << "T1=" << t1 << " T2=" << t2;
+      EXPECT_LT(value, 0.0048) << "T1=" << t1 << " T2=" << t2;
+    }
+  }
+}
+
+TEST_F(PaperResults, FalseAlarmRiskImprovesByAboutTenPercent) {
+  // §IV-C.2: "results in an improvement of about 10% in false alarm risk".
+  const auto optimizer = model_.optimizer();
+  const auto optimal =
+      optimizer.optimize(core::Algorithm::kMultiStartNelderMead);
+  const auto report = optimizer.compare(model_.engineers_guess(), optimal);
+  ASSERT_EQ(report.hazards.size(), 2u);
+  const auto& alarm = report.hazards[1];
+  EXPECT_EQ(alarm.hazard, "HAlr");
+  EXPECT_LT(alarm.relative_change, -0.08);  // at least 8% better
+  EXPECT_GT(alarm.relative_change, -0.13);  // but ~10%, not 30%
+}
+
+TEST_F(PaperResults, CollisionRiskChangesByLessThanZeroPointOnePercent) {
+  // §IV-C.2: "while the risk for collision does not change (less then
+  // 0.1%)".
+  const auto optimizer = model_.optimizer();
+  const auto optimal =
+      optimizer.optimize(core::Algorithm::kMultiStartNelderMead);
+  const auto report = optimizer.compare(model_.engineers_guess(), optimal);
+  const auto& collision = report.hazards[0];
+  EXPECT_EQ(collision.hazard, "HCol");
+  EXPECT_LT(std::abs(collision.relative_change), 0.001);
+}
+
+TEST_F(PaperResults, Timer1IsLessCriticalThanTimer2AtTheOptimum) {
+  // §IV-C.2: "timer 1 may be chosen more conservatively than timer 2" —
+  // the cost is much flatter along T1 than along T2 near the optimum.
+  const auto result =
+      model_.optimizer().optimize(core::Algorithm::kMultiStartNelderMead);
+  const auto cost = model_.cost_model().cost_expression();
+  const ParameterAssignment at = result.optimal_parameters;
+  const double base = cost.evaluate(at);
+
+  // Push each timer up by 5 minutes and compare the cost increase.
+  ParameterAssignment t1_up = at;
+  t1_up.set("T1", at.get("T1") + 5.0);
+  ParameterAssignment t2_up = at;
+  t2_up.set("T2", at.get("T2") + 5.0);
+  const double dt1 = cost.evaluate(t1_up) - base;
+  const double dt2 = cost.evaluate(t2_up) - base;
+  EXPECT_LT(dt1 * 10.0, dt2);
+}
+
+TEST_F(PaperResults, Fig6WithoutLb4MatchesReportedLevels) {
+  const auto fig6 = model_.false_alarm_given_ohv(Design::kBaseline);
+  // "even with the suggested, reduced runtime of 15.6 minutes for timer 2
+  // more than 80% of the correct driving OHVs will trigger an alarm".
+  EXPECT_GT(fig6.evaluate({{"T2", 15.6}}), 0.80);
+  // Footnote 4: "For a runtime of 30 minutes it is more than 95%."
+  EXPECT_GT(fig6.evaluate({{"T2", 30.0}}), 0.95);
+}
+
+TEST_F(PaperResults, Fig6WithLb4IsRoughlyFortyPercent) {
+  // "The system will still ring the bell for a very high number (≈ 40%) of
+  // correct driving OHV".
+  const auto lb4 = model_.false_alarm_given_ohv(Design::kWithLB4);
+  const double at_optimum = lb4.evaluate({{"T2", 15.6}});
+  EXPECT_GT(at_optimum, 0.33);
+  EXPECT_LT(at_optimum, 0.47);
+}
+
+TEST_F(PaperResults, LightBarrierAtOdfinalDropsToAboutFourPercent) {
+  // "This would lower the false alarm rate to approx. 4% of the OHVs".
+  const auto fixed = model_.false_alarm_given_ohv(
+      Design::kLightBarrierAtODfinal);
+  const double value = fixed.evaluate({{"T2", 15.6}});
+  EXPECT_GT(value, 0.02);
+  EXPECT_LT(value, 0.06);
+}
+
+TEST_F(PaperResults, Fig6SweepIsSigmoidRisingTowardsOne) {
+  // Fig. 6's visual shape: from ≈ 0.5 at 5 minutes towards 1.0 at 25.
+  const core::SweepTable table = core::sweep_parameter(
+      "T2", 5.0, 25.0, 21, {},
+      {{"without_LB4", model_.false_alarm_given_ohv(Design::kBaseline)},
+       {"with_LB4", model_.false_alarm_given_ohv(Design::kWithLB4)}});
+  const auto& without = table.values[0];
+  const auto& with = table.values[1];
+  EXPECT_NEAR(without.front(), 0.48, 0.05);
+  EXPECT_GT(without.back(), 0.95);
+  for (std::size_t k = 0; k < table.xs.size(); ++k) {
+    EXPECT_LE(with[k], without[k] + 1e-12);  // the fix only helps
+  }
+  // with_LB4 flattens: its total rise is much smaller.
+  EXPECT_LT(with.back() - with.front(), 0.25);
+}
+
+TEST_F(PaperResults, TenMinuteTimer2MakesCollisionRiskUnacceptable) {
+  // "a runtime of less than 10 minutes will make the risk for a collision
+  // unacceptably high": at T2 = 10 the collision cost term dwarfs the
+  // false-alarm cost; the optimizer is pushed away from short timers.
+  const auto cost = model_.cost_model().cost_expression();
+  const double at_ten = cost.evaluate({{"T1", 19.0}, {"T2", 10.0}});
+  const double at_optimum = cost.evaluate({{"T1", 19.0}, {"T2", 15.6}});
+  EXPECT_GT(at_ten, 5.0 * at_optimum);
+}
+
+TEST_F(PaperResults, SensitivityGradientVanishesAtTheOptimum) {
+  const auto result =
+      model_.optimizer().optimize(core::Algorithm::kMultiStartNelderMead);
+  const auto report = core::sensitivity_analysis(
+      model_.cost_model(), model_.parameter_space(),
+      result.optimal_parameters);
+  // Interior optimum: both partial derivatives ≈ 0 relative to the cost
+  // curvature scale (cost changes ~1e-4 per minute nearby).
+  EXPECT_LT(std::abs(report[0].cost_gradient), 2e-5);
+  EXPECT_LT(std::abs(report[1].cost_gradient), 2e-5);
+}
+
+TEST_F(PaperResults, EngineersGuessIsThirtyMinutes) {
+  const ParameterAssignment guess = model_.engineers_guess();
+  EXPECT_DOUBLE_EQ(guess.get("T1"), 30.0);
+  EXPECT_DOUBLE_EQ(guess.get("T2"), 30.0);
+}
+
+}  // namespace
+}  // namespace safeopt::elbtunnel

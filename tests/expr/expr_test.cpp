@@ -1,0 +1,140 @@
+#include "safeopt/expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "safeopt/stats/distribution.h"
+
+namespace safeopt::expr {
+namespace {
+
+TEST(ParameterAssignmentTest, SetGetContains) {
+  ParameterAssignment env;
+  EXPECT_FALSE(env.contains("T1"));
+  env.set("T1", 19.0);
+  env.set("T2", 15.6);
+  EXPECT_TRUE(env.contains("T1"));
+  EXPECT_DOUBLE_EQ(env.get("T1"), 19.0);
+  EXPECT_DOUBLE_EQ(env.get("T2"), 15.6);
+  env.set("T1", 30.0);  // overwrite
+  EXPECT_DOUBLE_EQ(env.get("T1"), 30.0);
+  EXPECT_EQ(env.size(), 2u);
+}
+
+TEST(ParameterAssignmentTest, InitializerList) {
+  const ParameterAssignment env{{"a", 1.0}, {"b", 2.0}};
+  EXPECT_DOUBLE_EQ(env.get("a"), 1.0);
+  EXPECT_DOUBLE_EQ(env.get("b"), 2.0);
+}
+
+TEST(ExprTest, ConstantEvaluates) {
+  EXPECT_DOUBLE_EQ(constant(3.5).evaluate({}), 3.5);
+  EXPECT_TRUE(constant(1.0).is_constant());
+}
+
+TEST(ExprTest, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Expr().evaluate({}), 0.0);
+}
+
+TEST(ExprTest, ParameterEvaluates) {
+  const Expr x = parameter("x");
+  EXPECT_DOUBLE_EQ(x.evaluate({{"x", 7.0}}), 7.0);
+  EXPECT_FALSE(x.is_constant());
+}
+
+TEST(ExprTest, ArithmeticWorks) {
+  const Expr x = parameter("x");
+  const Expr y = parameter("y");
+  const ParameterAssignment env{{"x", 3.0}, {"y", 4.0}};
+  EXPECT_DOUBLE_EQ((x + y).evaluate(env), 7.0);
+  EXPECT_DOUBLE_EQ((x - y).evaluate(env), -1.0);
+  EXPECT_DOUBLE_EQ((x * y).evaluate(env), 12.0);
+  EXPECT_DOUBLE_EQ((x / y).evaluate(env), 0.75);
+  EXPECT_DOUBLE_EQ((-x).evaluate(env), -3.0);
+  EXPECT_DOUBLE_EQ((2.0 * x + 1.0).evaluate(env), 7.0);
+  EXPECT_DOUBLE_EQ((1.0 - x).evaluate(env), -2.0);
+  EXPECT_DOUBLE_EQ((12.0 / y).evaluate(env), 3.0);
+}
+
+TEST(ExprTest, FunctionsWork) {
+  const Expr x = parameter("x");
+  const ParameterAssignment env{{"x", 2.0}};
+  EXPECT_NEAR(exp(x).evaluate(env), std::exp(2.0), 1e-15);
+  EXPECT_NEAR(log(x).evaluate(env), std::log(2.0), 1e-15);
+  EXPECT_NEAR(sqrt(x).evaluate(env), std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(pow(x, 3.0).evaluate(env), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(min(x, constant(1.5)).evaluate(env), 1.5);
+  EXPECT_DOUBLE_EQ(max(x, constant(1.5)).evaluate(env), 2.0);
+  EXPECT_DOUBLE_EQ(clamp(x, 0.0, 1.0).evaluate(env), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(x, 0.0, 5.0).evaluate(env), 2.0);
+}
+
+TEST(ExprTest, ConstantFoldingCollapsesPureConstants) {
+  const Expr folded = constant(2.0) * constant(3.0) + constant(1.0);
+  EXPECT_TRUE(folded.is_constant());
+  EXPECT_DOUBLE_EQ(folded.evaluate({}), 7.0);
+}
+
+TEST(ExprTest, ParameterCollection) {
+  const Expr e = parameter("T1") * parameter("T2") + parameter("T1");
+  const auto params = e.parameters();
+  EXPECT_EQ(params.size(), 2u);
+  EXPECT_TRUE(params.contains("T1"));
+  EXPECT_TRUE(params.contains("T2"));
+}
+
+TEST(ExprTest, CdfAndSurvivalNodes) {
+  const auto dist = std::make_shared<stats::TruncatedNormal>(
+      stats::TruncatedNormal::nonnegative(4.0, 2.0));
+  const Expr t = parameter("T");
+  const Expr below = cdf(dist, t);
+  const Expr above = survival(dist, t);
+  const ParameterAssignment env{{"T", 15.6}};
+  EXPECT_NEAR(below.evaluate(env), dist->cdf(15.6), 1e-15);
+  EXPECT_NEAR(above.evaluate(env), 1.0 - dist->cdf(15.6), 1e-15);
+  EXPECT_NEAR((below + above).evaluate(env), 1.0, 1e-15);
+}
+
+TEST(ExprTest, PoissonExposureMatchesClosedForm) {
+  const Expr p = poisson_exposure(0.13, parameter("T2"));
+  const ParameterAssignment env{{"T2", 15.6}};
+  EXPECT_NEAR(p.evaluate(env), 1.0 - std::exp(-0.13 * 15.6), 1e-15);
+  // The paper's Fig. 6 value: >80% of correct OHVs alarm at T2 = 15.6.
+  EXPECT_GT(p.evaluate(env), 0.8);
+}
+
+TEST(ExprTest, Function1EvaluatesAndPrints) {
+  const Expr f = function1(
+      "square", [](double x) { return x * x; },
+      [](double x) { return 2.0 * x; }, parameter("x"));
+  EXPECT_DOUBLE_EQ(f.evaluate({{"x", 5.0}}), 25.0);
+  EXPECT_EQ(f.to_string(), "square(x)");
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  const Expr e = parameter("a") + constant(2.0) * parameter("b");
+  EXPECT_EQ(e.to_string(), "(a + (2 * b))");
+}
+
+TEST(ExprTest, SharedSubexpressionsEvaluateConsistently) {
+  const Expr x = parameter("x");
+  const Expr shared = x * x;
+  const Expr e = shared + shared;
+  EXPECT_DOUBLE_EQ(e.evaluate({{"x", 3.0}}), 18.0);
+}
+
+// The paper's Eq. 4 shape: P(H)(X) = Σ ∏ P(PF)(X).
+TEST(ExprTest, HazardShapedExpression) {
+  const Expr p1 = poisson_exposure(0.1, parameter("T1"));
+  const Expr p2 = poisson_exposure(0.2, parameter("T2"));
+  const Expr hazard = p1 * p2 + 0.5 * p1;
+  const ParameterAssignment env{{"T1", 2.0}, {"T2", 3.0}};
+  const double v1 = 1.0 - std::exp(-0.2);
+  const double v2 = 1.0 - std::exp(-0.6);
+  EXPECT_NEAR(hazard.evaluate(env), v1 * v2 + 0.5 * v1, 1e-14);
+}
+
+}  // namespace
+}  // namespace safeopt::expr

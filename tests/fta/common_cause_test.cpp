@@ -1,0 +1,144 @@
+#include "safeopt/fta/common_cause.h"
+
+#include <gtest/gtest.h>
+
+#include "safeopt/fta/cut_sets.h"
+
+namespace safeopt::fta {
+namespace {
+
+/// Redundant pump pair: hazard = AND(pumpA, pumpB), both p = 0.01.
+struct RedundantPair {
+  RedundantPair() : tree("pumps") {
+    const NodeId a = tree.add_basic_event("pumpA");
+    const NodeId b = tree.add_basic_event("pumpB");
+    tree.set_top(tree.add_and("both", {a, b}));
+    input = QuantificationInput::for_tree(tree, 0.01);
+  }
+  FaultTree tree;
+  QuantificationInput input;
+};
+
+TEST(BetaFactorTest, RewritesStructure) {
+  const RedundantPair base;
+  const CommonCauseModel model = apply_beta_factor(
+      base.tree, base.input, {{"pumps", {"pumpA", "pumpB"}, 0.1}});
+  EXPECT_TRUE(model.tree.validate().empty());
+  // New leaves: pumps.ccf + 2 independent parts.
+  EXPECT_EQ(model.tree.basic_event_count(), 3u);
+  ASSERT_TRUE(model.tree.find("pumps.ccf").has_value());
+  ASSERT_TRUE(model.tree.find("pumpA.indep").has_value());
+  // The member position keeps its original name (now an OR gate).
+  ASSERT_TRUE(model.tree.find("pumpA").has_value());
+  EXPECT_EQ(model.tree.kind(*model.tree.find("pumpA")), NodeKind::kGate);
+}
+
+TEST(BetaFactorTest, CcfBecomesASingleCutSet) {
+  const RedundantPair base;
+  const CommonCauseModel model = apply_beta_factor(
+      base.tree, base.input, {{"pumps", {"pumpA", "pumpB"}, 0.1}});
+  const CutSetCollection mcs = minimal_cut_sets(model.tree);
+  // {ccf} alone defeats the redundancy; {A.indep, B.indep} remains.
+  ASSERT_EQ(mcs.size(), 2u);
+  EXPECT_EQ(mcs[0].order(), 1u);
+  EXPECT_EQ(mcs[1].order(), 2u);
+  EXPECT_NE(mcs.to_string(model.tree).find("pumps.ccf"), std::string::npos);
+}
+
+TEST(BetaFactorTest, ProbabilitiesFollowTheBetaSplit) {
+  const RedundantPair base;
+  const double beta = 0.1;
+  const CommonCauseModel model = apply_beta_factor(
+      base.tree, base.input, {{"pumps", {"pumpA", "pumpB"}, beta}});
+  const CutSetCollection mcs = minimal_cut_sets(model.tree);
+  const double p = top_event_probability(mcs, model.probabilities);
+  // Rare-event: β·p + ((1−β)·p)² = 1e-3 + (9e-3)² = 1.081e-3.
+  EXPECT_NEAR(p, beta * 0.01 + (0.9 * 0.01) * (0.9 * 0.01), 1e-12);
+}
+
+TEST(BetaFactorTest, CommonCauseDominatesRedundancy) {
+  // The engineering point of CCF analysis: with independence the pair looks
+  // 1e-4-safe; a 10% beta factor makes it 1e-3 — an order of magnitude
+  // worse, dominated by the shared cause.
+  const RedundantPair base;
+  const double independent = top_event_probability(
+      minimal_cut_sets(base.tree), base.input);
+  const CommonCauseModel model = apply_beta_factor(
+      base.tree, base.input, {{"pumps", {"pumpA", "pumpB"}, 0.1}});
+  const double with_ccf = top_event_probability(
+      minimal_cut_sets(model.tree), model.probabilities);
+  EXPECT_NEAR(independent, 1e-4, 1e-12);
+  EXPECT_GT(with_ccf, 9.0 * independent);
+}
+
+TEST(BetaFactorTest, BetaOneMeansFullyCommon) {
+  const RedundantPair base;
+  const CommonCauseModel model = apply_beta_factor(
+      base.tree, base.input, {{"pumps", {"pumpA", "pumpB"}, 1.0}});
+  const double p = top_event_probability(minimal_cut_sets(model.tree),
+                                          model.probabilities);
+  // Everything is the shared cause: P = β·p = 0.01 (independent parts 0).
+  EXPECT_NEAR(p, 0.01, 1e-12);
+}
+
+TEST(BetaFactorTest, MultipleDisjointGroups) {
+  FaultTree tree("two-groups");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  const NodeId c = tree.add_basic_event("c");
+  const NodeId d = tree.add_basic_event("d");
+  const NodeId ab = tree.add_and("ab", {a, b});
+  const NodeId cd = tree.add_and("cd", {c, d});
+  tree.set_top(tree.add_or("top", {ab, cd}));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.02);
+  const CommonCauseModel model = apply_beta_factor(
+      tree, input,
+      {{"g1", {"a", "b"}, 0.2}, {"g2", {"c", "d"}, 0.5}});
+  EXPECT_TRUE(model.tree.validate().empty());
+  const CutSetCollection mcs = minimal_cut_sets(model.tree);
+  // {g1.ccf}, {g2.ccf}, {a.indep, b.indep}, {c.indep, d.indep}.
+  EXPECT_EQ(mcs.size(), 4u);
+  const double p = top_event_probability(mcs, model.probabilities);
+  const double expected = 0.2 * 0.02 + 0.5 * 0.02 +
+                          (0.8 * 0.02) * (0.8 * 0.02) +
+                          (0.5 * 0.02) * (0.5 * 0.02);
+  EXPECT_NEAR(p, expected, 1e-12);
+}
+
+TEST(BetaFactorTest, PreservesInhibitStructure) {
+  FaultTree tree("guarded");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  const NodeId both = tree.add_and("both", {a, b});
+  const NodeId env = tree.add_condition("env");
+  tree.set_top(tree.add_inhibit("top", both, env));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.1);
+  input.set(tree, "env", 0.5);
+  const CommonCauseModel model =
+      apply_beta_factor(tree, input, {{"g", {"a", "b"}, 0.25}});
+  const CutSetCollection mcs = minimal_cut_sets(model.tree);
+  // Both cut sets stay constrained by the condition.
+  for (const CutSet& cs : mcs.sets()) {
+    EXPECT_EQ(cs.conditions.size(), 1u);
+  }
+  const double p = top_event_probability(mcs, model.probabilities);
+  EXPECT_NEAR(p, 0.5 * (0.25 * 0.1 + 0.075 * 0.075), 1e-12);
+}
+
+TEST(BetaFactorDeathTest, RejectsOverlappingGroups) {
+  const RedundantPair base;
+  EXPECT_DEATH(apply_beta_factor(base.tree, base.input,
+                                 {{"g1", {"pumpA", "pumpB"}, 0.1},
+                                  {"g2", {"pumpB", "pumpA"}, 0.1}}),
+               "precondition");
+}
+
+TEST(BetaFactorDeathTest, RejectsUnknownMembers) {
+  const RedundantPair base;
+  EXPECT_DEATH(apply_beta_factor(base.tree, base.input,
+                                 {{"g", {"pumpA", "ghost"}, 0.1}}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace safeopt::fta

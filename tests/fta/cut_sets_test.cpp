@@ -1,0 +1,254 @@
+#include "safeopt/fta/cut_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil/random_tree.h"
+
+namespace safeopt::fta {
+namespace {
+
+TEST(CutSetTest, SubsumptionIsSubsetRelation) {
+  const CutSet small{{0, 2}, {}};
+  const CutSet big{{0, 1, 2}, {}};
+  EXPECT_TRUE(small.subsumes(big));
+  EXPECT_FALSE(big.subsumes(small));
+  EXPECT_TRUE(small.subsumes(small));
+}
+
+TEST(CutSetTest, SubsumptionRespectsConditions) {
+  const CutSet unconditioned{{0}, {}};
+  const CutSet conditioned{{0}, {0}};
+  EXPECT_TRUE(unconditioned.subsumes(conditioned));
+  EXPECT_FALSE(conditioned.subsumes(unconditioned));
+}
+
+TEST(CutSetCollectionTest, MinimizeDropsSupersets) {
+  CutSetCollection collection({CutSet{{0}, {}}, CutSet{{0, 1}, {}},
+                               CutSet{{1, 2}, {}}});
+  collection.minimize();
+  EXPECT_EQ(collection.size(), 2u);
+  EXPECT_TRUE(collection.is_minimal());
+}
+
+TEST(MocusTest, SingleOrGate) {
+  FaultTree tree("or");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  tree.set_top(tree.add_or("top", {a, b}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 2u);
+  EXPECT_EQ(mcs[0].events, (std::vector<BasicEventOrdinal>{0}));
+  EXPECT_EQ(mcs[1].events, (std::vector<BasicEventOrdinal>{1}));
+  EXPECT_EQ(mcs.count_of_order(1), 2u);
+}
+
+TEST(MocusTest, SingleAndGate) {
+  FaultTree tree("and");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  tree.set_top(tree.add_and("top", {a, b}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 1u);
+  EXPECT_EQ(mcs[0].events, (std::vector<BasicEventOrdinal>{0, 1}));
+}
+
+TEST(MocusTest, TwoOutOfThreeVote) {
+  FaultTree tree("vote");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  const NodeId c = tree.add_basic_event("c");
+  tree.set_top(tree.add_k_of_n("top", 2, {a, b, c}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  EXPECT_EQ(mcs.size(), 3u);  // {a,b}, {a,c}, {b,c}
+  EXPECT_EQ(mcs.count_of_order(2), 3u);
+}
+
+TEST(MocusTest, SharedEventAbsorbs) {
+  // top = AND(OR(s, a), OR(s, b)): MCS = {s}, {a, b}.
+  FaultTree tree("diamond");
+  const NodeId s = tree.add_basic_event("s");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  const NodeId or1 = tree.add_or("or1", {s, a});
+  const NodeId or2 = tree.add_or("or2", {s, b});
+  tree.set_top(tree.add_and("top", {or1, or2}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 2u);
+  EXPECT_EQ(mcs[0].events, (std::vector<BasicEventOrdinal>{0}));        // {s}
+  EXPECT_EQ(mcs[1].events, (std::vector<BasicEventOrdinal>{1, 2}));    // {a,b}
+}
+
+TEST(MocusTest, InhibitConditionsLandInCutSetConditions) {
+  // The Elbtunnel §IV-B.2 shape: OR(residual, INHIBIT(OT1|crit),
+  // INHIBIT(OT2|crit)).
+  FaultTree tree("HCol");
+  const NodeId residual = tree.add_basic_event("residual");
+  const NodeId ot1 = tree.add_basic_event("OT1");
+  const NodeId ot2 = tree.add_basic_event("OT2");
+  const NodeId crit = tree.add_condition("OHVcritical");
+  const NodeId g1 = tree.add_inhibit("g1", ot1, crit);
+  const NodeId g2 = tree.add_inhibit("g2", ot2, crit);
+  tree.set_top(tree.add_or("top", {residual, g1, g2}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 3u);
+  // {residual} is unconstrained; {OT1} and {OT2} carry the condition.
+  EXPECT_TRUE(mcs[0].conditions.empty());
+  EXPECT_EQ(mcs[1].conditions, (std::vector<ConditionOrdinal>{0}));
+  EXPECT_EQ(mcs[2].conditions, (std::vector<ConditionOrdinal>{0}));
+  // All three are single points of failure — the paper's §IV-B.2 finding.
+  EXPECT_EQ(mcs.single_points_of_failure().size(), 3u);
+}
+
+TEST(MocusTest, XorExpandsAsOr) {
+  FaultTree tree("xor");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  tree.set_top(tree.add_xor("top", {a, b}));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  EXPECT_EQ(mcs.size(), 2u);  // coherent hull: {a}, {b}
+}
+
+TEST(MocusTest, ToStringNamesEventsAndConditions) {
+  FaultTree tree("t");
+  const NodeId a = tree.add_basic_event("failure_a");
+  const NodeId c = tree.add_condition("env_cond");
+  tree.set_top(tree.add_inhibit("top", a, c));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  EXPECT_EQ(mcs.to_string(tree), "{failure_a | env_cond}");
+}
+
+// ------------------------------------------------------------- path sets
+
+TEST(PathSetTest, AndOrDuality) {
+  // OR(a, b): only path set is {a, b} (prevent both). AND(a, b): paths
+  // {a} and {b} (prevent either).
+  FaultTree or_tree("or");
+  const NodeId oa = or_tree.add_basic_event("a");
+  const NodeId ob = or_tree.add_basic_event("b");
+  or_tree.set_top(or_tree.add_or("top", {oa, ob}));
+  const CutSetCollection or_paths = minimal_path_sets(or_tree);
+  ASSERT_EQ(or_paths.size(), 1u);
+  EXPECT_EQ(or_paths[0].events, (std::vector<BasicEventOrdinal>{0, 1}));
+
+  FaultTree and_tree("and");
+  const NodeId aa = and_tree.add_basic_event("a");
+  const NodeId ab = and_tree.add_basic_event("b");
+  and_tree.set_top(and_tree.add_and("top", {aa, ab}));
+  const CutSetCollection and_paths = minimal_path_sets(and_tree);
+  ASSERT_EQ(and_paths.size(), 2u);
+  EXPECT_EQ(and_paths.count_of_order(1), 2u);
+}
+
+TEST(PathSetTest, VoteGateDualizesToComplementThreshold) {
+  // 2-of-3 fails when 2 fail; it survives when 2 are healthy: path sets
+  // are all pairs.
+  FaultTree tree("vote");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  const NodeId c = tree.add_basic_event("c");
+  tree.set_top(tree.add_k_of_n("top", 2, {a, b, c}));
+  const CutSetCollection paths = minimal_path_sets(tree);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths.count_of_order(2), 3u);
+}
+
+TEST(PathSetTest, ConditionsCanBreakConstrainedCutSets) {
+  FaultTree tree("inh");
+  const NodeId pf = tree.add_basic_event("pf");
+  const NodeId env = tree.add_condition("env");
+  tree.set_top(tree.add_inhibit("top", pf, env));
+  const CutSetCollection paths = minimal_path_sets(tree);
+  // Prevent the failure itself, OR prevent the enabling condition.
+  ASSERT_EQ(paths.size(), 2u);
+  // Canonical order puts the smaller event set first.
+  EXPECT_EQ(paths.to_string(tree), "{ | env}, {pf}");
+}
+
+class PathSetProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathSetProperties, EveryPathSetIntersectsEveryCutSet) {
+  // The defining duality: a path set must hit every cut set (otherwise a
+  // cut set could fire with the whole path set healthy), over combined
+  // event/condition identities.
+  const FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 6, .conditions = 1, .gates = 5});
+  const CutSetCollection cuts = minimal_cut_sets(tree);
+  const CutSetCollection paths = minimal_path_sets(tree);
+  ASSERT_FALSE(paths.empty());
+  for (const CutSet& path : paths.sets()) {
+    for (const CutSet& cut : cuts.sets()) {
+      bool intersects = false;
+      for (const BasicEventOrdinal e : path.events) {
+        intersects = intersects ||
+                     std::binary_search(cut.events.begin(), cut.events.end(),
+                                        e);
+      }
+      for (const ConditionOrdinal c : path.conditions) {
+        intersects = intersects ||
+                     std::binary_search(cut.conditions.begin(),
+                                        cut.conditions.end(), c);
+      }
+      EXPECT_TRUE(intersects)
+          << "seed " << GetParam() << ": path {" << paths.to_string(tree)
+          << "} misses cut {" << cuts.to_string(tree) << "}";
+    }
+  }
+}
+
+TEST_P(PathSetProperties, BlockingAPathSetPreventsTheHazard) {
+  // Semantics check through the structure function: set every leaf outside
+  // one path set to true — the hazard must still be impossible.
+  const FaultTree tree = testutil::random_tree(
+      GetParam() + 1000, {.basic_events = 6, .conditions = 1, .gates = 5});
+  const CutSetCollection paths = minimal_path_sets(tree);
+  for (const CutSet& path : paths.sets()) {
+    std::vector<bool> basic(tree.basic_event_count(), true);
+    std::vector<bool> cond(tree.condition_count(), true);
+    for (const BasicEventOrdinal e : path.events) basic[e] = false;
+    for (const ConditionOrdinal c : path.conditions) cond[c] = false;
+    EXPECT_FALSE(tree.evaluate(basic, cond)) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathSetProperties,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// -------------------------------------------------------------- properties
+
+class MocusVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MocusVsBruteForce, AgreeOnRandomTrees) {
+  const fta::FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 6, .conditions = 1, .gates = 5});
+  const CutSetCollection mocus = minimal_cut_sets(tree);
+  const CutSetCollection brute = minimal_cut_sets_bruteforce(tree);
+  EXPECT_EQ(mocus.sets(), brute.sets()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MocusVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+class MocusInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MocusInvariants, ResultIsMinimalAndCausesHazard) {
+  const fta::FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 8, .conditions = 2, .gates = 7});
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  EXPECT_TRUE(mcs.is_minimal());
+  // Every cut set, with its conditions enabled, must actually trigger the
+  // hazard through the structure function (soundness of MOCUS).
+  for (const CutSet& cs : mcs) {
+    std::vector<bool> basic(tree.basic_event_count(), false);
+    std::vector<bool> cond(tree.condition_count(), false);
+    for (const BasicEventOrdinal e : cs.events) basic[e] = true;
+    for (const ConditionOrdinal c : cs.conditions) cond[c] = true;
+    EXPECT_TRUE(tree.evaluate(basic, cond))
+        << "seed " << GetParam() << " cut set " << mcs.to_string(tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MocusInvariants,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace safeopt::fta

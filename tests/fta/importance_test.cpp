@@ -1,0 +1,114 @@
+#include "safeopt/fta/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../testutil/random_tree.h"
+
+namespace safeopt::fta {
+namespace {
+
+/// top = OR(a, AND(b, c)); P(a)=0.01, P(b)=0.1, P(c)=0.2; rare-event
+/// P(top) = 0.03.
+struct Model {
+  Model() : tree("imp") {
+    const NodeId a = tree.add_basic_event("a");
+    const NodeId b = tree.add_basic_event("b");
+    const NodeId c = tree.add_basic_event("c");
+    const NodeId g = tree.add_and("g", {b, c});
+    tree.set_top(tree.add_or("top", {a, g}));
+    mcs = minimal_cut_sets(tree);
+    input = QuantificationInput::for_tree(tree, 0.0);
+    input.set(tree, "a", 0.01);
+    input.set(tree, "b", 0.1);
+    input.set(tree, "c", 0.2);
+  }
+  FaultTree tree;
+  CutSetCollection mcs;
+  QuantificationInput input;
+};
+
+TEST(ImportanceTest, BirnbaumByHand) {
+  const Model m;
+  const auto measures = importance_measures(m.tree, m.mcs, m.input);
+  ASSERT_EQ(measures.size(), 3u);
+  // I_B(a) = P(top|a=1) − P(top|a=0) = (1 + 0.02) clamped − 0.02... the
+  // rare-event sum is 1.02 -> clamped to 1, so I_B(a) = 1 − 0.02 = 0.98.
+  EXPECT_NEAR(measures[0].birnbaum, 0.98, 1e-12);
+  // I_B(b) = (0.01 + 0.2) − 0.01 = 0.2.
+  EXPECT_NEAR(measures[1].birnbaum, 0.2, 1e-12);
+  EXPECT_NEAR(measures[2].birnbaum, 0.1, 1e-12);
+}
+
+TEST(ImportanceTest, FussellVeselyByHand) {
+  const Model m;
+  const auto measures = importance_measures(m.tree, m.mcs, m.input);
+  // FV(a) = P({a}) / P(top) = 0.01 / 0.03.
+  EXPECT_NEAR(measures[0].fussell_vesely, 0.01 / 0.03, 1e-12);
+  // FV(b) = P({b,c}) / P(top) = 0.02 / 0.03.
+  EXPECT_NEAR(measures[1].fussell_vesely, 0.02 / 0.03, 1e-12);
+  EXPECT_NEAR(measures[2].fussell_vesely, 0.02 / 0.03, 1e-12);
+}
+
+TEST(ImportanceTest, CriticalityRelatesBirnbaumAndProbability) {
+  const Model m;
+  const auto measures = importance_measures(m.tree, m.mcs, m.input);
+  const double p_top = 0.03;
+  EXPECT_NEAR(measures[0].criticality, 0.98 * 0.01 / p_top, 1e-12);
+  EXPECT_NEAR(measures[1].criticality, 0.2 * 0.1 / p_top, 1e-12);
+}
+
+TEST(ImportanceTest, RawAndRrw) {
+  const Model m;
+  const auto measures = importance_measures(m.tree, m.mcs, m.input);
+  // RAW(b) = P(top|b=1)/P(top) = 0.21/0.03 = 7.
+  EXPECT_NEAR(measures[1].risk_achievement_worth, 7.0, 1e-12);
+  // RRW(b) = P(top)/P(top|b=0) = 0.03/0.01 = 3.
+  EXPECT_NEAR(measures[1].risk_reduction_worth, 3.0, 1e-12);
+}
+
+TEST(ImportanceTest, RrwInfiniteForSolePointOfFailure) {
+  FaultTree tree("single");
+  const NodeId a = tree.add_basic_event("a");
+  tree.set_top(tree.add_or("top", {a}));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.1);
+  const auto measures =
+      importance_measures(tree, minimal_cut_sets(tree), input);
+  EXPECT_TRUE(std::isinf(measures[0].risk_reduction_worth));
+}
+
+TEST(ImportanceTest, RankingSortsByFussellVesely) {
+  const Model m;
+  const auto ranking = importance_ranking(m.tree, m.mcs, m.input);
+  ASSERT_EQ(ranking.size(), 3u);
+  // b and c dominate a (FV 2/3 vs 1/3) — b first by stable order.
+  EXPECT_EQ(ranking[0].event_name, "b");
+  EXPECT_EQ(ranking[1].event_name, "c");
+  EXPECT_EQ(ranking[2].event_name, "a");
+}
+
+class ImportanceProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImportanceProperties, MeasuresAreWellFormed) {
+  const FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 6, .conditions = 1, .gates = 5});
+  const QuantificationInput input =
+      testutil::random_probabilities(tree, GetParam());
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  const double p_top = top_event_probability(mcs, input);
+  if (p_top <= 0.0) GTEST_SKIP();
+  for (const auto& m : importance_measures(tree, mcs, input)) {
+    EXPECT_GE(m.birnbaum, -1e-12) << m.event_name;
+    EXPECT_GE(m.fussell_vesely, 0.0) << m.event_name;
+    EXPECT_LE(m.fussell_vesely, 1.0 + 1e-12) << m.event_name;
+    EXPECT_GE(m.risk_achievement_worth, 1.0 - 1e-12) << m.event_name;
+    EXPECT_GE(m.risk_reduction_worth, 1.0 - 1e-12) << m.event_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImportanceProperties,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace safeopt::fta

@@ -1,0 +1,238 @@
+#include "safeopt/fta/probability.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil/random_tree.h"
+
+namespace safeopt::fta {
+namespace {
+
+/// top = OR(a, AND(b, c)) with P(a)=0.01, P(b)=0.1, P(c)=0.2.
+struct SmallModel {
+  SmallModel() : tree("small") {
+    const NodeId a = tree.add_basic_event("a");
+    const NodeId b = tree.add_basic_event("b");
+    const NodeId c = tree.add_basic_event("c");
+    const NodeId g = tree.add_and("g", {b, c});
+    tree.set_top(tree.add_or("top", {a, g}));
+    input = QuantificationInput::for_tree(tree, 0.0);
+    input.set(tree, "a", 0.01);
+    input.set(tree, "b", 0.1);
+    input.set(tree, "c", 0.2);
+  }
+  FaultTree tree;
+  QuantificationInput input;
+};
+
+TEST(CutSetProbabilityTest, ProductOfEventProbabilities) {
+  const SmallModel m;
+  const CutSetCollection mcs = minimal_cut_sets(m.tree);
+  ASSERT_EQ(mcs.size(), 2u);
+  // Paper Eq. 1: P(MCS) = ∏ P(PF).
+  EXPECT_NEAR(cut_set_probability(mcs[0], m.input), 0.01, 1e-15);   // {a}
+  EXPECT_NEAR(cut_set_probability(mcs[1], m.input), 0.02, 1e-15);   // {b,c}
+}
+
+TEST(CutSetProbabilityTest, ConstraintProbabilityMultiplies) {
+  // Paper Eq. 2: P(CS) = P(Constraints) · ∏ P(PF).
+  FaultTree tree("inhibit");
+  const NodeId cause = tree.add_basic_event("cooling_failure");
+  const NodeId condition = tree.add_condition("system_running");
+  tree.set_top(tree.add_inhibit("top", cause, condition));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.0);
+  input.set(tree, "cooling_failure", 0.05);
+  input.set(tree, "system_running", 0.6);
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 1u);
+  EXPECT_NEAR(cut_set_probability(mcs[0], input), 0.05 * 0.6, 1e-15);
+  // Worst-case constraints (P=1) recover classical quantitative FTA.
+  input.set(tree, "system_running", 1.0);
+  EXPECT_NEAR(cut_set_probability(mcs[0], input), 0.05, 1e-15);
+}
+
+TEST(TopEventProbabilityTest, RareEventIsSumOfCutSets) {
+  const SmallModel m;
+  const CutSetCollection mcs = minimal_cut_sets(m.tree);
+  EXPECT_NEAR(top_event_probability(mcs, m.input,
+                                    ProbabilityMethod::kRareEvent),
+              0.03, 1e-15);
+}
+
+TEST(TopEventProbabilityTest, McubIsOneMinusProduct) {
+  const SmallModel m;
+  const CutSetCollection mcs = minimal_cut_sets(m.tree);
+  EXPECT_NEAR(top_event_probability(mcs, m.input,
+                                    ProbabilityMethod::kMinCutUpperBound),
+              1.0 - 0.99 * 0.98, 1e-15);
+}
+
+TEST(TopEventProbabilityTest, InclusionExclusionIsExact) {
+  const SmallModel m;
+  const CutSetCollection mcs = minimal_cut_sets(m.tree);
+  const double exact = exact_probability_bruteforce(m.tree, m.input);
+  EXPECT_NEAR(top_event_probability(mcs, m.input,
+                                    ProbabilityMethod::kInclusionExclusion),
+              exact, 1e-14);
+  // P(a ∪ bc) = 0.01 + 0.02 − 0.01·0.02.
+  EXPECT_NEAR(exact, 0.03 - 0.0002, 1e-14);
+}
+
+TEST(TopEventProbabilityTest, RareEventClampsAtOne) {
+  FaultTree tree("big");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  tree.set_top(tree.add_or("top", {a, b}));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.9);
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  EXPECT_DOUBLE_EQ(
+      top_event_probability(mcs, input, ProbabilityMethod::kRareEvent), 1.0);
+}
+
+TEST(ExactBruteForceTest, HandlesConditionsAsBernoulli) {
+  FaultTree tree("inhibit");
+  const NodeId cause = tree.add_basic_event("pf");
+  const NodeId condition = tree.add_condition("env");
+  tree.set_top(tree.add_inhibit("top", cause, condition));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.0);
+  input.set(tree, "pf", 0.3);
+  input.set(tree, "env", 0.5);
+  EXPECT_NEAR(exact_probability_bruteforce(tree, input), 0.15, 1e-15);
+}
+
+TEST(ExactBruteForceTest, XorIsExactlyOne) {
+  FaultTree tree("xor");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId b = tree.add_basic_event("b");
+  tree.set_top(tree.add_xor("top", {a, b}));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.5);
+  // P(exactly one of two fair coins) = 0.5.
+  EXPECT_NEAR(exact_probability_bruteforce(tree, input), 0.5, 1e-15);
+}
+
+TEST(ConstraintCombinationTest, DependentBoundUsesTheMinimum) {
+  // Paper §II-D.1: with possibly dependent constraints, the product is no
+  // longer valid but min P(condition) still bounds P(∩ conditions).
+  FaultTree tree("two-cond");
+  const NodeId pf = tree.add_basic_event("pf");
+  const NodeId c1 = tree.add_condition("c1");
+  const NodeId c2 = tree.add_condition("c2");
+  const NodeId inner = tree.add_inhibit("inner", pf, c1);
+  tree.set_top(tree.add_inhibit("top", inner, c2));
+  QuantificationInput input = QuantificationInput::for_tree(tree, 0.0);
+  input.set(tree, "pf", 0.1);
+  input.set(tree, "c1", 0.5);
+  input.set(tree, "c2", 0.3);
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  ASSERT_EQ(mcs.size(), 1u);
+  EXPECT_NEAR(cut_set_probability(mcs[0], input,
+                                  ConstraintCombination::kIndependentProduct),
+              0.1 * 0.5 * 0.3, 1e-15);
+  EXPECT_NEAR(cut_set_probability(mcs[0], input,
+                                  ConstraintCombination::kDependentUpperBound),
+              0.1 * 0.3, 1e-15);
+}
+
+TEST(ConstraintCombinationTest, DependentBoundDominatesProduct) {
+  // min >= product for probabilities, so the dependent bound is always the
+  // more conservative quantification.
+  FaultTree tree("cmp");
+  const NodeId pf = tree.add_basic_event("pf");
+  const NodeId c1 = tree.add_condition("c1");
+  const NodeId c2 = tree.add_condition("c2");
+  const NodeId inner = tree.add_inhibit("inner", pf, c1);
+  tree.set_top(tree.add_inhibit("top", inner, c2));
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  for (const double p1 : {0.1, 0.5, 0.9}) {
+    for (const double p2 : {0.2, 0.6, 1.0}) {
+      QuantificationInput input = QuantificationInput::for_tree(tree, 0.05);
+      input.set(tree, "c1", p1);
+      input.set(tree, "c2", p2);
+      EXPECT_GE(
+          top_event_probability(mcs, input, ProbabilityMethod::kRareEvent,
+                                ConstraintCombination::kDependentUpperBound),
+          top_event_probability(mcs, input, ProbabilityMethod::kRareEvent,
+                                ConstraintCombination::kIndependentProduct) -
+              1e-15);
+    }
+  }
+}
+
+TEST(QuantificationInputTest, ForTreeDefaults) {
+  FaultTree tree("defaults");
+  const NodeId a = tree.add_basic_event("a");
+  const NodeId c = tree.add_condition("c");
+  tree.set_top(tree.add_inhibit("top", a, c));
+  const QuantificationInput input = QuantificationInput::for_tree(tree, 0.25);
+  EXPECT_TRUE(input.is_valid_for(tree));
+  EXPECT_DOUBLE_EQ(input.basic_event_probability[0], 0.25);
+  // Conditions default to 1 — the paper's worst-case environment.
+  EXPECT_DOUBLE_EQ(input.condition_probability[0], 1.0);
+}
+
+// --------------------------------------------------------------- properties
+
+class MethodOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+// For coherent trees with independent leaves:
+//   exact <= MCUB <= rare-event sum (first Bonferroni bound).
+TEST_P(MethodOrdering, ExactBelowMcubBelowRareEvent) {
+  const FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 6, .conditions = 1, .gates = 5});
+  const QuantificationInput input =
+      testutil::random_probabilities(tree, GetParam());
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  const double exact = exact_probability_bruteforce(tree, input);
+  const double mcub = top_event_probability(
+      mcs, input, ProbabilityMethod::kMinCutUpperBound);
+  const double rare =
+      top_event_probability(mcs, input, ProbabilityMethod::kRareEvent);
+  EXPECT_LE(exact, mcub + 1e-12) << "seed " << GetParam();
+  EXPECT_LE(mcub, rare + 1e-12) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MethodOrdering,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+class InclusionExclusionExactness
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InclusionExclusionExactness, MatchesBruteForce) {
+  const FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 5, .conditions = 0, .gates = 4});
+  const QuantificationInput input =
+      testutil::random_probabilities(tree, GetParam());
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  if (mcs.size() > 20) GTEST_SKIP() << "too many cut sets for IE";
+  const double exact = exact_probability_bruteforce(tree, input);
+  const double ie = top_event_probability(
+      mcs, input, ProbabilityMethod::kInclusionExclusion);
+  EXPECT_NEAR(ie, exact, 1e-10) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InclusionExclusionExactness,
+                         ::testing::Range<std::uint64_t>(200, 230));
+
+class RareEventAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+// With small failure probabilities the rare-event approximation is tight —
+// the regime justifying the paper's Eq. 1 ("failure probabilities are very
+// small").
+TEST_P(RareEventAccuracy, TightForSmallProbabilities) {
+  const FaultTree tree = testutil::random_tree(
+      GetParam(), {.basic_events = 6, .conditions = 1, .gates = 5});
+  const QuantificationInput input =
+      testutil::random_probabilities(tree, GetParam(), 1e-5, 1e-3);
+  const CutSetCollection mcs = minimal_cut_sets(tree);
+  const double exact = exact_probability_bruteforce(tree, input);
+  const double rare =
+      top_event_probability(mcs, input, ProbabilityMethod::kRareEvent);
+  if (exact > 0.0) {
+    EXPECT_NEAR(rare / exact, 1.0, 1e-2) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RareEventAccuracy,
+                         ::testing::Range<std::uint64_t>(300, 320));
+
+}  // namespace
+}  // namespace safeopt::fta

@@ -1,0 +1,124 @@
+#include "safeopt/mc/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "safeopt/stats/distribution.h"
+
+namespace safeopt::mc {
+namespace {
+
+/// top = OR(a, b), point estimates P(a) = P(b) = 1e-3.
+struct Fixture {
+  Fixture() : tree("u") {
+    const auto a = tree.add_basic_event("a");
+    const auto b = tree.add_basic_event("b");
+    tree.set_top(tree.add_or("top", {a, b}));
+    mcs = fta::minimal_cut_sets(tree);
+  }
+  fta::FaultTree tree;
+  fta::CutSetCollection mcs;
+};
+
+TEST(UncertainQuantificationTest, ExactLeavesSampleToPointEstimates) {
+  const Fixture f;
+  const UncertainQuantification u(
+      f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+  Rng rng(1);
+  const fta::QuantificationInput sampled = u.sample(rng);
+  EXPECT_DOUBLE_EQ(sampled.basic_event_probability[0], 1e-3);
+  EXPECT_DOUBLE_EQ(sampled.basic_event_probability[1], 1e-3);
+}
+
+TEST(UncertainQuantificationTest, UncertainLeavesVaryAcrossSamples) {
+  const Fixture f;
+  UncertainQuantification u(
+      f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+  u.set_lognormal_error_factor("a", 1e-3, 3.0);
+  Rng rng(2);
+  const double first = u.sample(rng).basic_event_probability[0];
+  const double second = u.sample(rng).basic_event_probability[0];
+  EXPECT_NE(first, second);
+  // Samples are probabilities.
+  for (int i = 0; i < 1000; ++i) {
+    const double p = u.sample(rng).basic_event_probability[0];
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(UncertainQuantificationTest, ErrorFactorPinsMedianAndP95) {
+  const Fixture f;
+  UncertainQuantification u(
+      f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+  u.set_lognormal_error_factor("a", 1e-3, 3.0);
+  Rng rng(3);
+  std::vector<double> draws(40000);
+  for (double& d : draws) d = u.sample(rng).basic_event_probability[0];
+  std::sort(draws.begin(), draws.end());
+  // Median ≈ the point estimate, 95th percentile ≈ EF·median.
+  EXPECT_NEAR(draws[draws.size() / 2], 1e-3, 1e-4);
+  EXPECT_NEAR(draws[static_cast<std::size_t>(0.95 * draws.size())], 3e-3,
+              3e-4);
+}
+
+TEST(PropagateUncertaintyTest, ExactModelHasZeroSpread) {
+  const Fixture f;
+  const UncertainQuantification u(
+      f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+  const UncertaintyResult result = propagate_uncertainty(u, f.mcs, 500);
+  EXPECT_DOUBLE_EQ(result.p05, result.p95);
+  EXPECT_DOUBLE_EQ(result.median, result.point_estimate);
+  EXPECT_NEAR(result.point_estimate, 2e-3, 1e-12);
+}
+
+TEST(PropagateUncertaintyTest, SpreadGrowsWithErrorFactor) {
+  const Fixture f;
+  double previous_span = 1.0;
+  for (const double error_factor : {1.5, 3.0, 10.0}) {
+    UncertainQuantification u(
+        f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+    u.set_lognormal_error_factor("a", 1e-3, error_factor);
+    u.set_lognormal_error_factor("b", 1e-3, error_factor);
+    const UncertaintyResult result = propagate_uncertainty(u, f.mcs, 4000);
+    EXPECT_GT(result.uncertainty_span(), previous_span);
+    previous_span = result.uncertainty_span();
+    // The median stays near the point estimate; the mean is pulled up by
+    // the lognormal's right tail.
+    EXPECT_GT(result.mean, result.median);
+    EXPECT_LE(result.p05, result.median);
+    EXPECT_LE(result.median, result.p95);
+  }
+}
+
+TEST(PropagateUncertaintyTest, IsDeterministicPerSeed) {
+  const Fixture f;
+  UncertainQuantification u(
+      f.tree, fta::QuantificationInput::for_tree(f.tree, 1e-3));
+  u.set_lognormal_error_factor("a", 1e-3, 3.0);
+  const auto r1 = propagate_uncertainty(u, f.mcs, 1000, 42);
+  const auto r2 = propagate_uncertainty(u, f.mcs, 1000, 42);
+  EXPECT_DOUBLE_EQ(r1.median, r2.median);
+  EXPECT_DOUBLE_EQ(r1.p95, r2.p95);
+}
+
+TEST(PropagateUncertaintyTest, ConditionsCanBeUncertainToo) {
+  fta::FaultTree tree("c");
+  const auto pf = tree.add_basic_event("pf");
+  const auto env = tree.add_condition("env");
+  tree.set_top(tree.add_inhibit("top", pf, env));
+  fta::QuantificationInput point = fta::QuantificationInput::for_tree(tree, 0.01);
+  point.set(tree, "env", 0.5);
+  UncertainQuantification u(tree, point);
+  u.set_uncertainty("env", std::make_shared<stats::Uniform>(0.2, 0.8));
+  const auto mcs = fta::minimal_cut_sets(tree);
+  const UncertaintyResult result = propagate_uncertainty(u, mcs, 4000);
+  // E[P(top)] = 0.01 · E[env] = 0.01 · 0.5.
+  EXPECT_NEAR(result.mean, 0.005, 3e-4);
+  EXPECT_GT(result.p95, result.p05);
+}
+
+}  // namespace
+}  // namespace safeopt::mc

@@ -1,0 +1,86 @@
+#include "safeopt/modelcheck/height_control_model.h"
+
+#include <gtest/gtest.h>
+
+namespace safeopt::modelcheck {
+namespace {
+
+TEST(HeightControlTest, OriginalDesignSafeWithSingleOhv) {
+  // The paper's flaw needs *two* OHVs: with one vehicle the original
+  // control is logically sound.
+  const HeightControlModel model(ControlDesign::kOriginal, 1);
+  const CheckResult result = model.verify();
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.exhausted_budget);
+}
+
+TEST(HeightControlTest, OriginalDesignFailsWithTwoOhvs) {
+  // Paper §IV-A: "a design flaw, which resulted in a possible hazard if
+  // two OHVs passed LBpre simultaneously" — found here by explicit BFS
+  // instead of SMV.
+  const HeightControlModel model(ControlDesign::kOriginal, 2);
+  const CheckResult result = model.verify();
+  EXPECT_FALSE(result.holds);
+  ASSERT_FALSE(result.counterexample.empty());
+  // The violating state has a vehicle inside an old tube.
+  EXPECT_FALSE(
+      HeightControlModel::no_collision(result.counterexample.back()));
+  // The trace is genuinely a two-vehicle interleaving: both vehicles must
+  // have left the approach position by the end.
+  const State& final = result.counterexample.back();
+  EXPECT_NE(final[0], 0);
+  EXPECT_NE(final[1], 0);
+}
+
+TEST(HeightControlTest, CounterexampleIsTheDocumentedScenario) {
+  const HeightControlModel model(ControlDesign::kOriginal, 2);
+  const CheckResult result = model.verify();
+  ASSERT_FALSE(result.holds);
+  const std::string trace = format_trace(model, result.counterexample);
+  // The rendered trace must show the collision.
+  EXPECT_NE(trace.find("COLLISION"), std::string::npos);
+  // BFS gives a shortest trace; the documented scenario needs 6 steps
+  // (two LBpre passages, the first LBpost passage that disarms, the
+  // second vehicle slipping through, then the collision).
+  EXPECT_LE(result.counterexample.size(), 7u);
+}
+
+TEST(HeightControlTest, RevisedDesignSafeWithTwoOhvs) {
+  // Paper §IV-A: "After presenting solutions to this problem, we could
+  // proof functional correctness for the collision hazards."
+  const HeightControlModel model(ControlDesign::kRevised, 2);
+  const CheckResult result = model.verify();
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.exhausted_budget);
+}
+
+TEST(HeightControlTest, RevisedDesignSafeWithThreeOhvs) {
+  const HeightControlModel model(ControlDesign::kRevised, 3);
+  const CheckResult result = model.verify();
+  EXPECT_TRUE(result.holds);
+}
+
+TEST(HeightControlTest, OriginalDesignStillFailsWithThreeOhvs) {
+  // More vehicles cannot mask the flaw.
+  const HeightControlModel model(ControlDesign::kOriginal, 3);
+  EXPECT_FALSE(model.verify().holds);
+}
+
+TEST(HeightControlTest, DescribeRendersControlState) {
+  const HeightControlModel model(ControlDesign::kRevised, 2);
+  const std::string text = model.describe(model.initial());
+  EXPECT_NE(text.find("OHV0=approach"), std::string::npos);
+  EXPECT_NE(text.find("OHV1=approach"), std::string::npos);
+  EXPECT_NE(text.find("LBpost:off"), std::string::npos);
+  EXPECT_NE(text.find("ODfinal:off"), std::string::npos);
+}
+
+TEST(HeightControlTest, StateSpaceIsSmall) {
+  // Sanity bound: the models stay well within explicit-state reach.
+  const HeightControlModel model(ControlDesign::kRevised, 3);
+  const CheckResult result = model.verify();
+  EXPECT_LT(result.states_explored, 100000u);
+}
+
+}  // namespace
+}  // namespace safeopt::modelcheck

@@ -1,0 +1,90 @@
+#include "safeopt/modelcheck/transition_system.h"
+
+#include <gtest/gtest.h>
+
+namespace safeopt::modelcheck {
+namespace {
+
+/// A counter that increments by 1 or 2 up to a cap — simple, fully known
+/// reachability structure for exercising the checker.
+class Counter final : public TransitionSystem {
+ public:
+  explicit Counter(int cap) : cap_(cap) {}
+  State initial() const override { return {0}; }
+  std::vector<State> successors(const State& s) const override {
+    std::vector<State> next;
+    if (s[0] + 1 <= cap_) next.push_back({s[0] + 1});
+    if (s[0] + 2 <= cap_) next.push_back({s[0] + 2});
+    return next;
+  }
+  std::string describe(const State& s) const override {
+    return "count=" + std::to_string(s[0]);
+  }
+
+ private:
+  int cap_;
+};
+
+TEST(CheckInvariantTest, HoldsOnSafeSystem) {
+  const Counter system(10);
+  const CheckResult result =
+      check_invariant(system, [](const State& s) { return s[0] <= 10; });
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.exhausted_budget);
+  EXPECT_EQ(result.states_explored, 11u);  // 0..10
+  EXPECT_TRUE(result.counterexample.empty());
+}
+
+TEST(CheckInvariantTest, FindsViolationWithTrace) {
+  const Counter system(10);
+  const CheckResult result =
+      check_invariant(system, [](const State& s) { return s[0] != 7; });
+  EXPECT_FALSE(result.holds);
+  ASSERT_FALSE(result.counterexample.empty());
+  EXPECT_EQ(result.counterexample.front()[0], 0);
+  EXPECT_EQ(result.counterexample.back()[0], 7);
+  // Every step is a real transition (increment by 1 or 2).
+  for (std::size_t i = 1; i < result.counterexample.size(); ++i) {
+    const int delta =
+        result.counterexample[i][0] - result.counterexample[i - 1][0];
+    EXPECT_TRUE(delta == 1 || delta == 2);
+  }
+}
+
+TEST(CheckInvariantTest, BfsFindsShortestCounterexample) {
+  const Counter system(10);
+  const CheckResult result =
+      check_invariant(system, [](const State& s) { return s[0] != 8; });
+  // Shortest path to 8 uses four +2 steps: trace length 5 (incl. initial).
+  ASSERT_FALSE(result.holds);
+  EXPECT_EQ(result.counterexample.size(), 5u);
+}
+
+TEST(CheckInvariantTest, ViolatedInitialStateGivesLengthOneTrace) {
+  const Counter system(3);
+  const CheckResult result =
+      check_invariant(system, [](const State& s) { return s[0] != 0; });
+  ASSERT_FALSE(result.holds);
+  EXPECT_EQ(result.counterexample.size(), 1u);
+}
+
+TEST(CheckInvariantTest, BudgetCutoffIsReported) {
+  const Counter system(1000000);
+  const CheckResult result = check_invariant(
+      system, [](const State& s) { return s[0] >= 0; }, 100);
+  EXPECT_TRUE(result.holds);  // no violation found...
+  EXPECT_TRUE(result.exhausted_budget);  // ...but exploration was cut off
+  EXPECT_EQ(result.states_explored, 100u);
+}
+
+TEST(FormatTraceTest, RendersOneLinePerStep) {
+  const Counter system(4);
+  const CheckResult result =
+      check_invariant(system, [](const State& s) { return s[0] != 2; });
+  const std::string text = format_trace(system, result.counterexample);
+  EXPECT_NE(text.find("step 0: count=0"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace safeopt::modelcheck

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "safeopt/opt/coordinate_descent.h"
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/golden_section.h"
+#include "safeopt/opt/gradient_descent.h"
+#include "safeopt/opt/grid_search.h"
+#include "safeopt/opt/hooke_jeeves.h"
+#include "safeopt/opt/multi_start.h"
+#include "safeopt/opt/nelder_mead.h"
+#include "safeopt/opt/simulated_annealing.h"
+
+namespace safeopt::opt {
+namespace {
+
+/// All solvers applicable to >= 2 dimensions, constructed fresh per test.
+std::unique_ptr<Optimizer> make_solver(const std::string& name) {
+  if (name == "GridSearch") return std::make_unique<GridSearch>(17, 5);
+  if (name == "NelderMead") return std::make_unique<NelderMead>();
+  if (name == "GradientDescent") {
+    return std::make_unique<ProjectedGradientDescent>(
+        StoppingCriteria{5000, 1e-12});
+  }
+  if (name == "HookeJeeves") return std::make_unique<HookeJeeves>();
+  if (name == "CoordinateDescent") return std::make_unique<CoordinateDescent>();
+  if (name == "SimulatedAnnealing") {
+    SimulatedAnnealing::Schedule schedule;
+    schedule.initial_temperature = 2.0;
+    schedule.cooling_factor = 0.92;
+    schedule.steps_per_epoch = 120;
+    return std::make_unique<SimulatedAnnealing>(schedule);
+  }
+  if (name == "DifferentialEvolution") {
+    DifferentialEvolution::Settings settings;
+    settings.generations = 400;
+    return std::make_unique<DifferentialEvolution>(settings);
+  }
+  if (name == "MultiStartNelderMead") {
+    return std::make_unique<MultiStart>(
+        [](std::vector<double> start) -> std::unique_ptr<Optimizer> {
+          return std::make_unique<NelderMead>(StoppingCriteria{},
+                                              std::move(start));
+        },
+        6);
+  }
+  return nullptr;
+}
+
+const std::string kAllSolvers[] = {
+    "GridSearch",         "NelderMead",         "GradientDescent",
+    "HookeJeeves",        "CoordinateDescent",  "SimulatedAnnealing",
+    "DifferentialEvolution", "MultiStartNelderMead"};
+
+class EverySolver : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EverySolver, SolvesShiftedQuadratic) {
+  // f(x, y) = (x − 0.7)² + 2(y + 1.2)², argmin (0.7, −1.2), min 0.
+  Problem problem;
+  problem.bounds = Box({-3.0, -3.0}, {3.0, 3.0});
+  problem.objective = [](std::span<const double> x) {
+    return (x[0] - 0.7) * (x[0] - 0.7) + 2.0 * (x[1] + 1.2) * (x[1] + 1.2);
+  };
+  const auto solver = make_solver(GetParam());
+  ASSERT_NE(solver, nullptr);
+  const OptimizationResult result = solver->minimize(problem);
+  EXPECT_NEAR(result.argmin[0], 0.7, 2e-2) << solver->name();
+  EXPECT_NEAR(result.argmin[1], -1.2, 2e-2) << solver->name();
+  EXPECT_LT(result.value, 1e-3) << solver->name();
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST_P(EverySolver, RespectsBoxWhenMinimumIsOutside) {
+  // Unconstrained argmin at (5, 5) — outside the box: solution must be the
+  // box corner (1, 1).
+  Problem problem;
+  problem.bounds = Box({-1.0, -1.0}, {1.0, 1.0});
+  problem.objective = [](std::span<const double> x) {
+    return (x[0] - 5.0) * (x[0] - 5.0) + (x[1] - 5.0) * (x[1] - 5.0);
+  };
+  const auto solver = make_solver(GetParam());
+  const OptimizationResult result = solver->minimize(problem);
+  EXPECT_TRUE(problem.bounds.contains(result.argmin)) << solver->name();
+  EXPECT_NEAR(result.argmin[0], 1.0, 5e-2) << solver->name();
+  EXPECT_NEAR(result.argmin[1], 1.0, 5e-2) << solver->name();
+}
+
+TEST_P(EverySolver, HandlesRosenbrockValley) {
+  // Banana function in a box containing the optimum (1, 1).
+  Problem problem;
+  problem.bounds = Box({-2.0, -1.0}, {2.0, 3.0});
+  problem.objective = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto solver = make_solver(GetParam());
+  const OptimizationResult result = solver->minimize(problem);
+  // The curved valley is hard for coarse/annealing methods; accept any
+  // point well inside the valley (f < 0.1 is far below typical plateaus),
+  // and tight accuracy from the strong local methods.
+  EXPECT_LT(result.value, 0.1) << solver->name() << ": " << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EverySolver, ::testing::ValuesIn(kAllSolvers),
+                         [](const auto& param_info) { return param_info.param; });
+
+// ------------------------------------------------------------- specifics
+
+TEST(GoldenSectionTest, FindsUnimodalMinimum) {
+  Problem problem;
+  problem.bounds = Box::interval(0.0, 10.0);
+  problem.objective = [](std::span<const double> x) {
+    return (x[0] - 3.3) * (x[0] - 3.3) + 1.5;
+  };
+  const GoldenSection solver;
+  const auto result = solver.minimize(problem);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.argmin[0], 3.3, 1e-7);
+  EXPECT_NEAR(result.value, 1.5, 1e-10);
+}
+
+TEST(GoldenSectionTest, AsymmetricCostLikeAviationExample) {
+  // The paper's §III pre-flight tolerance intuition: crash risk falls and
+  // cancel risk rises with the tolerance; the optimum is interior.
+  Problem problem;
+  problem.bounds = Box::interval(0.01, 5.0);
+  problem.objective = [](std::span<const double> x) {
+    const double crash = 1000.0 * std::exp(-3.0 / x[0]);
+    const double cancel = 2.0 / x[0];
+    return crash + cancel;
+  };
+  const GoldenSection solver;
+  const auto result = solver.minimize(problem);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.argmin[0], 0.02);
+  EXPECT_LT(result.argmin[0], 4.9);
+  // Interior stationarity: neighbours are worse.
+  const double at = result.argmin[0];
+  for (const double delta : {-1e-3, 1e-3}) {
+    EXPECT_GE(problem.objective(std::vector<double>{at + delta}),
+              result.value - 1e-12);
+  }
+}
+
+TEST(GridSearchTest, TabulateMatchesObjective) {
+  const Objective f = [](std::span<const double> x) {
+    return x[0] * 10.0 + x[1];
+  };
+  const GridTable table = tabulate_2d(f, Box({0.0, 0.0}, {1.0, 1.0}), 3, 5);
+  ASSERT_EQ(table.xs.size(), 3u);
+  ASSERT_EQ(table.ys.size(), 5u);
+  EXPECT_DOUBLE_EQ(table.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(table.value(2, 4), 11.0);
+  EXPECT_DOUBLE_EQ(table.value(1, 2), 5.5);
+  const auto [i, j] = table.argmin();
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(j, 0u);
+}
+
+TEST(GridSearchTest, RefinementSharpensTheMinimum) {
+  Problem problem;
+  problem.bounds = Box({0.0}, {1.0});
+  problem.objective = [](std::span<const double> x) {
+    return std::abs(x[0] - 0.337);
+  };
+  const GridSearch coarse(11, 1);
+  const GridSearch refined(11, 5);
+  const double coarse_error =
+      std::abs(coarse.minimize(problem).argmin[0] - 0.337);
+  const double refined_error =
+      std::abs(refined.minimize(problem).argmin[0] - 0.337);
+  EXPECT_LT(refined_error, coarse_error);
+  EXPECT_LT(refined_error, 1e-4);
+}
+
+TEST(GradientDescentTest, UsesProvidedExactGradient) {
+  Problem problem;
+  problem.bounds = Box({-5.0, -5.0}, {5.0, 5.0});
+  problem.objective = [](std::span<const double> x) {
+    return x[0] * x[0] + 4.0 * x[1] * x[1];
+  };
+  std::size_t gradient_calls = 0;
+  problem.gradient = [&gradient_calls](std::span<const double> x) {
+    ++gradient_calls;
+    return std::vector<double>{2.0 * x[0], 8.0 * x[1]};
+  };
+  const ProjectedGradientDescent solver(StoppingCriteria{2000, 1e-12},
+                                        {4.0, 4.0});
+  const auto result = solver.minimize(problem);
+  EXPECT_GT(gradient_calls, 0u);
+  EXPECT_NEAR(result.argmin[0], 0.0, 1e-5);
+  EXPECT_NEAR(result.argmin[1], 0.0, 1e-5);
+}
+
+TEST(StochasticSolversTest, AreDeterministicPerSeed) {
+  Problem problem;
+  problem.bounds = Box({-2.0, -2.0}, {2.0, 2.0});
+  problem.objective = [](std::span<const double> x) {
+    return std::cos(3.0 * x[0]) + x[0] * x[0] + std::sin(2.0 * x[1]) +
+           x[1] * x[1];
+  };
+  const SimulatedAnnealing sa1(SimulatedAnnealing::Schedule{}, 1234);
+  const SimulatedAnnealing sa2(SimulatedAnnealing::Schedule{}, 1234);
+  const auto r1 = sa1.minimize(problem);
+  const auto r2 = sa2.minimize(problem);
+  EXPECT_EQ(r1.argmin, r2.argmin);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+
+  const DifferentialEvolution de1(DifferentialEvolution::Settings{}, 99);
+  const DifferentialEvolution de2(DifferentialEvolution::Settings{}, 99);
+  EXPECT_EQ(de1.minimize(problem).argmin, de2.minimize(problem).argmin);
+}
+
+TEST(MultiStartTest, EscapesLocalMinimumThatTrapsSingleStart) {
+  // Double well: local minimum near x=−1 (f=0.5), global near x=+1 (f=0).
+  Problem problem;
+  problem.bounds = Box({-2.0}, {2.0});
+  problem.objective = [](std::span<const double> x) {
+    const double left = (x[0] + 1.0) * (x[0] + 1.0) + 0.5;
+    const double right = 4.0 * (x[0] - 1.0) * (x[0] - 1.0);
+    return std::min(left, right);
+  };
+  // A single Nelder-Mead from −1.8 falls into the left well.
+  const NelderMead single(StoppingCriteria{}, {-1.8});
+  EXPECT_GT(single.minimize(problem).value, 0.4);
+  // Multi-start finds the global one.
+  const MultiStart multi(
+      [](std::vector<double> start) -> std::unique_ptr<Optimizer> {
+        return std::make_unique<NelderMead>(StoppingCriteria{},
+                                            std::move(start));
+      },
+      12);
+  EXPECT_LT(multi.minimize(problem).value, 1e-4);
+}
+
+TEST(EvaluationCountingTest, EvaluationsAreReported) {
+  Problem problem;
+  problem.bounds = Box({0.0}, {1.0});
+  std::size_t actual_calls = 0;
+  problem.objective = [&actual_calls](std::span<const double> x) {
+    ++actual_calls;
+    return x[0];
+  };
+  const GridSearch solver(11, 2);
+  const auto result = solver.minimize(problem);
+  EXPECT_EQ(result.evaluations, actual_calls);
+  EXPECT_EQ(result.evaluations, 22u);
+}
+
+}  // namespace
+}  // namespace safeopt::opt

@@ -1,0 +1,83 @@
+#include "safeopt/opt/problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::opt {
+namespace {
+
+TEST(BoxTest, ConstructionAndQueries) {
+  const Box box({0.0, -1.0}, {2.0, 1.0});
+  EXPECT_EQ(box.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(box.width(0), 2.0);
+  EXPECT_DOUBLE_EQ(box.width(1), 2.0);
+  const auto center = box.center();
+  EXPECT_DOUBLE_EQ(center[0], 1.0);
+  EXPECT_DOUBLE_EQ(center[1], 0.0);
+}
+
+TEST(BoxTest, ContainsChecksAllAxes) {
+  const Box box({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(box.contains(std::vector<double>{0.5, 0.5}));
+  EXPECT_TRUE(box.contains(std::vector<double>{0.0, 1.0}));
+  EXPECT_FALSE(box.contains(std::vector<double>{-0.1, 0.5}));
+  EXPECT_FALSE(box.contains(std::vector<double>{0.5, 1.1}));
+  EXPECT_FALSE(box.contains(std::vector<double>{0.5}));  // wrong dimension
+}
+
+TEST(BoxTest, ProjectClampsComponentwise) {
+  const Box box({0.0, 0.0}, {1.0, 1.0});
+  const auto projected = box.project(std::vector<double>{-3.0, 0.4});
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_DOUBLE_EQ(projected[1], 0.4);
+}
+
+TEST(BoxTest, IntervalFactory) {
+  const Box box = Box::interval(5.0, 40.0);
+  EXPECT_EQ(box.dimension(), 1u);
+  EXPECT_DOUBLE_EQ(box.lower[0], 5.0);
+  EXPECT_DOUBLE_EQ(box.upper[0], 40.0);
+}
+
+TEST(BoxTest, DegenerateIntervalAllowed) {
+  const Box box({1.0}, {1.0});
+  EXPECT_TRUE(box.contains(std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(box.width(0), 0.0);
+}
+
+TEST(FiniteDifferenceGradientTest, MatchesAnalyticOnQuadratic) {
+  const Box box({-10.0, -10.0}, {10.0, 10.0});
+  const Objective f = [](std::span<const double> x) {
+    return 2.0 * x[0] * x[0] + 3.0 * x[1] * x[1] + x[0] * x[1];
+  };
+  const std::vector<double> at{1.5, -2.0};
+  std::size_t evals = 0;
+  const auto grad = finite_difference_gradient(f, box, at, &evals);
+  EXPECT_NEAR(grad[0], 4.0 * 1.5 + (-2.0), 1e-4);
+  EXPECT_NEAR(grad[1], 6.0 * (-2.0) + 1.5, 1e-4);
+  EXPECT_EQ(evals, 4u);
+}
+
+TEST(FiniteDifferenceGradientTest, OneSidedAtTheBoundary) {
+  const Box box({0.0}, {1.0});
+  const Objective f = [](std::span<const double> x) { return x[0] * x[0]; };
+  // At the boundary the scheme must not step outside the box.
+  const auto grad = finite_difference_gradient(f, box, std::vector<double>{0.0});
+  EXPECT_NEAR(grad[0], 0.0, 1e-4);
+  const auto grad_hi =
+      finite_difference_gradient(f, box, std::vector<double>{1.0});
+  EXPECT_NEAR(grad_hi[0], 2.0, 1e-4);
+}
+
+TEST(ProblemTest, HasGradientReflectsAssignment) {
+  Problem p;
+  EXPECT_FALSE(p.has_gradient());
+  p.gradient = [](std::span<const double> x) {
+    return std::vector<double>(x.size(), 0.0);
+  };
+  EXPECT_TRUE(p.has_gradient());
+}
+
+}  // namespace
+}  // namespace safeopt::opt

@@ -1,0 +1,99 @@
+#include "safeopt/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace safeopt::sim {
+namespace {
+
+TEST(SimulatorTest, ProcessesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleFollowUps) {
+  Simulator sim;
+  int chain = 0;
+  // A self-rescheduling process: the standard DES idiom.
+  std::function<void()> process = [&] {
+    ++chain;
+    if (chain < 5) sim.schedule_in(1.0, process);
+  };
+  sim.schedule_at(0.0, process);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulatorTest, RunUntilLeavesFutureEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilProcessesBoundaryEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(5.0);  // inclusive horizon
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(SimulatorDeathTest, RefusesSchedulingIntoThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    // now() == 5; scheduling at 3 must violate the precondition.
+  });
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(3.0, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace safeopt::sim

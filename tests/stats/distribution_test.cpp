@@ -1,0 +1,229 @@
+#include "safeopt/stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "safeopt/stats/estimators.h"
+
+namespace safeopt::stats {
+namespace {
+
+/// Factory so TEST_P suites can sweep across all distributions.
+std::shared_ptr<const Distribution> make_distribution(int index) {
+  switch (index) {
+    case 0: return std::make_shared<Normal>(0.0, 1.0);
+    case 1: return std::make_shared<Normal>(4.0, 2.0);
+    case 2:
+      return std::make_shared<TruncatedNormal>(
+          TruncatedNormal::nonnegative(4.0, 2.0));
+    case 3: return std::make_shared<TruncatedNormal>(0.0, 1.0, -1.0, 2.0);
+    case 4: return std::make_shared<Exponential>(0.13);
+    case 5: return std::make_shared<Weibull>(1.5, 2.0);
+    case 6: return std::make_shared<LogNormal>(0.0, 0.5);
+    case 7: return std::make_shared<Uniform>(-2.0, 5.0);
+    case 8: return std::make_shared<Gamma>(3.0, 2.0);
+    default: return nullptr;
+  }
+}
+constexpr int kDistributionCount = 9;
+
+class AllDistributions : public ::testing::TestWithParam<int> {
+ protected:
+  std::shared_ptr<const Distribution> dist_ = make_distribution(GetParam());
+};
+
+TEST_P(AllDistributions, CdfIsMonotoneNondecreasing) {
+  const double lo = dist_->quantile(0.001);
+  const double hi = dist_->quantile(0.999);
+  double prev = -1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = lo + (hi - lo) * i / 200.0;
+    const double f = dist_->cdf(x);
+    EXPECT_GE(f, prev - 1e-12) << dist_->name() << " at x=" << x;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_P(AllDistributions, PdfIsNonnegative) {
+  const double lo = dist_->quantile(0.001);
+  const double hi = dist_->quantile(0.999);
+  for (int i = 0; i <= 200; ++i) {
+    const double x = lo + (hi - lo) * i / 200.0;
+    EXPECT_GE(dist_->pdf(x), 0.0) << dist_->name() << " at x=" << x;
+  }
+}
+
+TEST_P(AllDistributions, QuantileInvertsCdf) {
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = dist_->quantile(p);
+    EXPECT_NEAR(dist_->cdf(x), p, 1e-8)
+        << dist_->name() << " at p=" << p;
+  }
+}
+
+TEST_P(AllDistributions, PdfIntegratesToCdfDifferences) {
+  // Trapezoid integral of pdf over [q(0.1), q(0.9)] ≈ 0.8.
+  const double lo = dist_->quantile(0.1);
+  const double hi = dist_->quantile(0.9);
+  const int n = 4000;
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double a = lo + (hi - lo) * i / n;
+    const double b = lo + (hi - lo) * (i + 1) / n;
+    integral += 0.5 * (dist_->pdf(a) + dist_->pdf(b)) * (b - a);
+  }
+  EXPECT_NEAR(integral, dist_->cdf(hi) - dist_->cdf(lo), 2e-4)
+      << dist_->name();
+}
+
+TEST_P(AllDistributions, SampleMomentsMatchAnalytic) {
+  Rng rng(0xd15 + static_cast<std::uint64_t>(GetParam()));
+  RunningMoments moments;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) moments.add(dist_->sample(rng));
+  const double sd = std::sqrt(dist_->variance());
+  EXPECT_NEAR(moments.mean(), dist_->mean(), 5.0 * sd / std::sqrt(kSamples))
+      << dist_->name();
+  EXPECT_NEAR(moments.variance(), dist_->variance(),
+              0.05 * dist_->variance() + 1e-12)
+      << dist_->name();
+}
+
+TEST_P(AllDistributions, SurvivalComplementsCdf) {
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double x = dist_->quantile(p);
+    EXPECT_NEAR(dist_->survival(x), 1.0 - dist_->cdf(x), 1e-12)
+        << dist_->name() << " at p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllDistributions,
+                         ::testing::Range(0, kDistributionCount));
+
+class KsDistributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsDistributions, SamplerMatchesCdf) {
+  const auto dist = make_distribution(GetParam());
+  Rng rng(0xabc + static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> sample(20000);
+  for (double& x : sample) x = dist->sample(rng);
+  EXPECT_LT(ks_statistic(sample, *dist),
+            ks_critical_value_1pct(sample.size()))
+      << dist->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KsDistributions,
+                         ::testing::Range(0, kDistributionCount));
+
+// ---------------------------------------------------------------- specifics
+
+TEST(NormalTest, StandardValues) {
+  const Normal n(0.0, 1.0);
+  EXPECT_NEAR(n.cdf(1.96), 0.975, 1e-3);
+  EXPECT_DOUBLE_EQ(n.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(n.variance(), 1.0);
+  EXPECT_EQ(n.name(), "Normal(0, 1)");
+}
+
+TEST(TruncatedNormalTest, MatchesPaperDrivingTimeModel) {
+  // Paper §IV-C: driving time ~ Normal(µ=4, σ=2) renormalized over [0, ∞).
+  const TruncatedNormal t = TruncatedNormal::nonnegative(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.cdf(-1.0), 0.0);
+  // P(Time <= 4) = (Φ(0) − Φ(−2)) / (1 − Φ(−2)).
+  const double phi_m2 = 0.022750131948179195;
+  EXPECT_NEAR(t.cdf(4.0), (0.5 - phi_m2) / (1.0 - phi_m2), 1e-12);
+  // The truncation shifts the mean above 4.
+  EXPECT_GT(t.mean(), 4.0);
+  EXPECT_LT(t.mean(), 4.12);
+  // Deep overtime tail used by P(OT2): survival at 15.6 minutes.
+  const double survival = 1.0 - t.cdf(15.6);
+  EXPECT_GT(survival, 1e-9);
+  EXPECT_LT(survival, 1e-8);
+}
+
+TEST(TruncatedNormalTest, SurvivalIsAccurateDeepInTheTail) {
+  // P(OT)(T) at the engineers' 30-minute timers is a 13σ event. The naive
+  // 1 − cdf() rounds to 0 there; survival() must not.
+  const TruncatedNormal t = TruncatedNormal::nonnegative(4.0, 2.0);
+  const double sf30 = t.survival(30.0);
+  EXPECT_GT(sf30, 0.0);
+  EXPECT_LT(sf30, 1e-37);
+  EXPECT_GT(sf30, 1e-40);
+  // Monotone decrease even far out.
+  EXPECT_GT(t.survival(30.0), t.survival(35.0));
+  EXPECT_GT(t.survival(35.0), 0.0);
+  // Where both representations are exact, they agree.
+  EXPECT_NEAR(t.survival(10.0), 1.0 - t.cdf(10.0), 1e-15);
+}
+
+TEST(NormalTest, SurvivalMatchesKnownTailValues) {
+  const Normal n(0.0, 1.0);
+  EXPECT_NEAR(n.survival(10.0), 7.619853024160495e-24, 1e-36);
+  EXPECT_NEAR(n.survival(-10.0), 1.0, 1e-15);
+}
+
+TEST(TruncatedNormalTest, MeanVarianceAgainstSampling) {
+  const TruncatedNormal t(1.0, 2.0, -0.5, 3.0);
+  Rng rng(77);
+  RunningMoments m;
+  for (int i = 0; i < 300000; ++i) m.add(t.sample(rng));
+  EXPECT_NEAR(m.mean(), t.mean(), 0.01);
+  EXPECT_NEAR(m.variance(), t.variance(), 0.01);
+  EXPECT_GE(m.min(), -0.5);
+  EXPECT_LE(m.max(), 3.0);
+}
+
+TEST(ExponentialTest, MemorylessCdf) {
+  const Exponential e(0.13);
+  EXPECT_NEAR(e.cdf(15.6), 1.0 - std::exp(-0.13 * 15.6), 1e-12);
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_NEAR(e.mean(), 1.0 / 0.13, 1e-12);
+  EXPECT_NEAR(e.quantile(0.5), std::log(2.0) / 0.13, 1e-9);
+}
+
+TEST(WeibullTest, ShapeOneIsExponential) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(WeibullTest, MeanUsesGamma) {
+  const Weibull w(2.0, 1.0);
+  // E = λ·Γ(1 + 1/2) = √π/2.
+  EXPECT_NEAR(w.mean(), std::sqrt(M_PI) / 2.0, 1e-12);
+}
+
+TEST(LogNormalTest, MedianIsExpMu) {
+  const LogNormal ln(1.0, 0.5);
+  EXPECT_NEAR(ln.quantile(0.5), std::exp(1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
+}
+
+TEST(UniformTest, LinearCdf) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(u.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.cdf(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+  EXPECT_NEAR(u.variance(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(GammaTest, SumOfExponentialsCdf) {
+  // Gamma(k=2, θ): cdf(x) = 1 − e^{−x/θ}(1 + x/θ).
+  const Gamma g(2.0, 3.0);
+  for (const double x : {0.5, 2.0, 7.0}) {
+    const double z = x / 3.0;
+    EXPECT_NEAR(g.cdf(x), 1.0 - std::exp(-z) * (1.0 + z), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::stats

@@ -1,0 +1,153 @@
+#include "safeopt/stats/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "safeopt/stats/distribution.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::stats {
+namespace {
+
+TEST(RunningMomentsTest, MatchesDirectComputation) {
+  const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningMoments m;
+  for (const double x : data) m.add(x);
+  EXPECT_EQ(m.count(), data.size());
+  EXPECT_DOUBLE_EQ(m.mean(), 6.2);
+  // Unbiased sample variance computed by hand: Σ(x−x̄)²/(n−1) = 37.2.
+  EXPECT_NEAR(m.variance(), 37.2, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 16.0);
+}
+
+TEST(RunningMomentsTest, IsNumericallyStableForLargeOffsets) {
+  RunningMoments m;
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  for (int i = 0; i < 10000; ++i) {
+    m.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  EXPECT_NEAR(m.mean(), 1e9, 1e-3);
+  // Unbiased estimator: 0.25·n/(n−1); the point is no catastrophic
+  // cancellation, so demand it to near machine precision.
+  EXPECT_NEAR(m.variance(), 0.25 * 10000.0 / 9999.0, 1e-9);
+}
+
+TEST(RunningMomentsTest, MergeEqualsSequential) {
+  Rng rng(42);
+  RunningMoments all;
+  RunningMoments left;
+  RunningMoments right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = uniform(rng, -5.0, 5.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmptyIsIdentity) {
+  RunningMoments a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningMoments empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningMomentsTest, ConfidenceIntervalContainsTrueMean) {
+  // 95% CI should cover the true mean in roughly 95% of repetitions.
+  Rng rng(7);
+  int covered = 0;
+  constexpr int kRepetitions = 400;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    RunningMoments m;
+    for (int i = 0; i < 200; ++i) m.add(uniform(rng, 0.0, 1.0));
+    if (m.mean_confidence(0.95).contains(0.5)) ++covered;
+  }
+  EXPECT_GT(covered, kRepetitions * 0.90);
+  EXPECT_LT(covered, kRepetitions * 0.99);
+}
+
+TEST(ProportionEstimatorTest, PointEstimate) {
+  ProportionEstimator p;
+  for (int i = 0; i < 30; ++i) p.add(i < 12);
+  EXPECT_EQ(p.trials(), 30u);
+  EXPECT_EQ(p.successes(), 12u);
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.4);
+}
+
+TEST(ProportionEstimatorTest, WilsonIsSaneAtZeroSuccesses) {
+  ProportionEstimator p;
+  for (int i = 0; i < 100; ++i) p.add(false);
+  const auto ci = p.wilson(0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);   // still admits a small positive probability
+  EXPECT_LT(ci.hi, 0.05);  // ... but a bounded one
+  // Wald collapses to a zero-width interval here — the known pathology.
+  EXPECT_DOUBLE_EQ(p.wald(0.95).width(), 0.0);
+}
+
+TEST(ProportionEstimatorTest, WilsonNarrowerThanWaldNearHalfIsFalse) {
+  // Near p = 0.5 with large n the two intervals nearly coincide.
+  ProportionEstimator p;
+  for (int i = 0; i < 10000; ++i) p.add(i % 2 == 0);
+  EXPECT_NEAR(p.wilson().width(), p.wald().width(), 1e-4);
+}
+
+TEST(ProportionEstimatorTest, WilsonCoverage) {
+  Rng rng(13);
+  constexpr double kTrueP = 0.03;  // rare events, the FTA regime
+  int covered = 0;
+  constexpr int kRepetitions = 300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    ProportionEstimator p;
+    for (int i = 0; i < 500; ++i) p.add(bernoulli(rng, kTrueP));
+    if (p.wilson(0.95).contains(kTrueP)) ++covered;
+  }
+  EXPECT_GT(covered, kRepetitions * 0.90);
+}
+
+TEST(KsStatisticTest, PerfectSampleHasSmallStatistic) {
+  // Quantile-spaced points are the best possible 'sample'.
+  const Uniform u(0.0, 1.0);
+  std::vector<double> sample;
+  constexpr int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    sample.push_back((i + 0.5) / n);
+  }
+  EXPECT_LT(ks_statistic(sample, u), 1.0 / n);
+}
+
+TEST(KsStatisticTest, WrongDistributionIsDetected) {
+  const Normal standard(0.0, 1.0);
+  const Normal shifted(1.0, 1.0);
+  Rng rng(3);
+  std::vector<double> sample(5000);
+  for (double& x : sample) x = shifted.sample(rng);
+  EXPECT_GT(ks_statistic(sample, standard),
+            ks_critical_value_1pct(sample.size()));
+}
+
+TEST(ConfidenceIntervalTest, ContainsAndWidth) {
+  const ConfidenceInterval ci{0.2, 0.6};
+  EXPECT_TRUE(ci.contains(0.2));
+  EXPECT_TRUE(ci.contains(0.4));
+  EXPECT_TRUE(ci.contains(0.6));
+  EXPECT_FALSE(ci.contains(0.61));
+  EXPECT_DOUBLE_EQ(ci.width(), 0.4);
+}
+
+}  // namespace
+}  // namespace safeopt::stats

@@ -1,0 +1,99 @@
+#include "safeopt/stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace safeopt::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-3.0), 0.0013498980316300933, 1e-14);
+}
+
+TEST(NormalCdfTest, DeepTailStaysPositive) {
+  // Rare-event analysis needs tail probabilities far beyond double's naive
+  // reach of 1 − Φ; erfc keeps them meaningful.
+  EXPECT_GT(normal_cdf(-8.0), 0.0);
+  EXPECT_NEAR(normal_cdf(-8.0), 6.22096057427178e-16, 1e-20);
+  EXPECT_LT(normal_cdf(-8.0), 1e-15);
+}
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-18);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, InvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilityGrid, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 1.0 - 1e-6,
+                                           1.0 - 1e-10));
+
+TEST(LogGammaTest, MatchesFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-14);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(RegularizedGammaTest, ComplementarityHolds) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 − e^{−x}.
+  for (const double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_p(3.0, 1e3), 1.0, 1e-12);
+}
+
+TEST(RegularizedBetaTest, SymmetryAndKnownValues) {
+  // I_x(a, b) = 1 − I_{1−x}(b, a).
+  for (const double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(regularized_beta(2.0, 3.0, x),
+                1.0 - regularized_beta(3.0, 2.0, 1.0 - x), 1e-12);
+  }
+  // I_x(1, 1) = x (uniform cdf).
+  EXPECT_NEAR(regularized_beta(1.0, 1.0, 0.42), 0.42, 1e-12);
+  // I_x(1, b) = 1 − (1 − x)^b.
+  EXPECT_NEAR(regularized_beta(1.0, 4.0, 0.25),
+              1.0 - std::pow(0.75, 4.0), 1e-12);
+}
+
+TEST(RegularizedBetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(regularized_beta(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_beta(2.0, 2.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace safeopt::stats

@@ -1,0 +1,73 @@
+#include "safeopt/support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace safeopt {
+namespace {
+
+TEST(JoinTest, EmptyListYieldsEmptyString) {
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(JoinTest, SingleElementHasNoSeparator) {
+  EXPECT_EQ(join({"a"}, ", "), "a");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(TrimTest, KeepsInteriorWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(SplitTest, SplitsOnSeparator) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto fields = split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWholeString) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("toplevel X", "toplevel"));
+  EXPECT_FALSE(starts_with("top", "toplevel"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (const double value : {0.25, 1.0, -3.75, 1e-9, 19.212, 0.0046118}) {
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(FormatDoubleTest, IntegersStayCompact) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-2.0), "-2");
+}
+
+}  // namespace
+}  // namespace safeopt

@@ -1,0 +1,127 @@
+// Test-only helper: deterministic random fault-tree generation for property
+// tests (MOCUS vs brute force vs BDD, probability method orderings, parser
+// round-trips). Trees are coherent (AND/OR/k-of-n/INHIBIT) unless XOR gates
+// are requested, and every leaf is reachable from the top event.
+#ifndef SAFEOPT_TESTS_TESTUTIL_RANDOM_TREE_H
+#define SAFEOPT_TESTS_TESTUTIL_RANDOM_TREE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::testutil {
+
+struct RandomTreeOptions {
+  std::size_t basic_events = 6;
+  std::size_t conditions = 1;   // 0 disables INHIBIT gates
+  std::size_t gates = 5;
+  bool allow_xor = false;
+  bool allow_kofn = true;
+};
+
+/// Builds a random tree: leaves first, then `gates` random gates whose
+/// children are drawn from all previously created nodes, and finally an OR
+/// root over every node that is not yet referenced (so everything is
+/// reachable).
+inline fta::FaultTree random_tree(std::uint64_t seed,
+                                  const RandomTreeOptions& options = {}) {
+  Rng rng(seed);
+  fta::FaultTree tree("random-" + std::to_string(seed));
+
+  std::vector<fta::NodeId> pool;
+  for (std::size_t i = 0; i < options.basic_events; ++i) {
+    pool.push_back(tree.add_basic_event("e" + std::to_string(i)));
+  }
+  // Condition leaves are created lazily on first INHIBIT use so the tree
+  // never contains unreachable conditions (the parser round-trip rejects
+  // unreferenced leaves, and reachability is a validate() invariant).
+  std::vector<std::optional<fta::NodeId>> condition_pool(options.conditions);
+  const auto condition_at = [&](std::size_t i) {
+    if (!condition_pool[i].has_value()) {
+      condition_pool[i] = tree.add_condition("c" + std::to_string(i));
+    }
+    return *condition_pool[i];
+  };
+
+  std::vector<bool> referenced(pool.size(), false);
+  const auto pick_child = [&](std::vector<fta::NodeId>& chosen) {
+    for (int attempts = 0; attempts < 16; ++attempts) {
+      const auto idx =
+          static_cast<std::size_t>(uniform_index(rng, pool.size()));
+      const fta::NodeId candidate = pool[idx];
+      bool duplicate = false;
+      for (const fta::NodeId c : chosen) duplicate = duplicate || c == candidate;
+      if (!duplicate) {
+        chosen.push_back(candidate);
+        referenced[idx] = true;
+        return;
+      }
+    }
+  };
+
+  for (std::size_t g = 0; g < options.gates; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    // Choose the gate kind before picking children: an INHIBIT gate takes
+    // exactly one cause, and every picked child must end up in the gate
+    // (picking marks it referenced, which drives root construction below).
+    const std::uint64_t kind = uniform_index(rng, 10);
+    const bool want_inhibit = kind >= 9 && !condition_pool.empty();
+
+    std::vector<fta::NodeId> children;
+    const std::uint64_t arity =
+        want_inhibit ? 1 : 2 + uniform_index(rng, 2);  // inhibit: 1, else 2..3
+    for (std::uint64_t c = 0; c < arity; ++c) pick_child(children);
+    if (children.empty()) continue;
+
+    fta::NodeId gate = 0;
+    if (want_inhibit) {
+      const auto cond = condition_at(static_cast<std::size_t>(
+          uniform_index(rng, condition_pool.size())));
+      gate = tree.add_inhibit(name, children.front(), cond);
+    } else if (kind < 4) {
+      gate = tree.add_or(name, std::move(children));
+    } else if (kind < 7 || children.size() < 2) {
+      gate = tree.add_and(name, std::move(children));
+    } else if (kind < 8 && options.allow_kofn) {
+      const auto k = 1 + uniform_index(rng, children.size());
+      gate = tree.add_k_of_n(name, static_cast<std::uint32_t>(k),
+                             std::move(children));
+    } else if (kind < 9 && options.allow_xor) {
+      gate = tree.add_xor(name, std::move(children));
+    } else {
+      gate = tree.add_and(name, std::move(children));
+    }
+    pool.push_back(gate);
+    referenced.push_back(false);
+  }
+
+  // Root: OR over every unreferenced node so the whole DAG is reachable.
+  std::vector<fta::NodeId> roots;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!referenced[i]) roots.push_back(pool[i]);
+  }
+  if (roots.empty()) roots.push_back(pool.back());
+  tree.set_top(roots.size() == 1 ? roots.front()
+                                 : tree.add_or("root", std::move(roots)));
+  return tree;
+}
+
+/// Random leaf probabilities in [lo, hi], conditions in [0.3, 1].
+inline fta::QuantificationInput random_probabilities(
+    const fta::FaultTree& tree, std::uint64_t seed, double lo = 0.01,
+    double hi = 0.3) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  fta::QuantificationInput input =
+      fta::QuantificationInput::for_tree(tree, 0.0);
+  for (double& p : input.basic_event_probability) p = uniform(rng, lo, hi);
+  for (double& p : input.condition_probability) p = uniform(rng, 0.3, 1.0);
+  return input;
+}
+
+}  // namespace safeopt::testutil
+
+#endif  // SAFEOPT_TESTS_TESTUTIL_RANDOM_TREE_H
