@@ -1,0 +1,226 @@
+// Experiment: compiled-tape evaluation vs the recursive expression walk on
+// the paper's Fig. 5 cost surface f_cost(T1, T2).
+//
+// Three evaluation strategies over the same grid workload:
+//   tree    — the pre-compilation objective path: build a
+//             ParameterAssignment, walk the Expr DAG (what every optimizer
+//             called before this subsystem existed);
+//   tape    — CompiledExpr::evaluate, one point at a time;
+//   batch   — CompiledExpr::evaluate_batch, single-threaded (workspace memo
+//             active) and fanned out over a ThreadPool.
+//
+// Besides timing, the run *verifies* the architectural contract: every
+// strategy must produce bitwise-identical surfaces, and GridSearch /
+// DifferentialEvolution must return bitwise-identical optima on the tree
+// and compiled paths.
+//
+// Usage: bench_compiled_eval [--repeats N] [--grid N] [--json PATH]
+//   --repeats  timing repetitions per strategy (default 5; CI smoke uses 1)
+//   --grid     points per grid axis (default 301)
+//   --json     write machine-readable results to PATH
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "safeopt/core/safety_optimizer.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/expr/compiled.h"
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/grid_search.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-N wall time for `body` in seconds.
+template <typename F>
+double best_time(int repeats, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    body();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safeopt;
+
+  int repeats = 5;
+  std::size_t grid = 301;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+      grid = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  repeats = std::max(repeats, 1);
+  grid = std::max<std::size_t>(grid, 2);
+
+  const elbtunnel::ElbtunnelModel model;
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  const expr::Expr cost = model.cost_model().cost_expression();
+  const core::ParameterSpace space = model.parameter_space();
+  const auto compiled = expr::CompiledExpr::compile(cost, space.names());
+
+  std::printf("=== compiled expression tape vs recursive walk ===\n\n");
+  std::printf("tape: %zu instructions\n%s\n", compiled.tape_size(),
+              compiled.disassemble().c_str());
+
+  // The Fig. 5 grid workload: T1 × T2 over the figure box, T1 fastest.
+  const std::size_t rows = grid * grid;
+  std::vector<double> points(rows * 2);
+  {
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < grid; ++j) {
+      for (std::size_t i = 0; i < grid; ++i) {
+        points[2 * k] =
+            15.0 + 5.0 * static_cast<double>(i) / static_cast<double>(grid - 1);
+        points[2 * k + 1] =
+            15.0 + 3.0 * static_cast<double>(j) / static_cast<double>(grid - 1);
+        ++k;
+      }
+    }
+  }
+
+  // --- strategy 1: recursive tree walk (the pre-compilation objective) ----
+  std::vector<double> tree_values(rows);
+  const double tree_s = best_time(repeats, [&] {
+    std::vector<double> x(2);
+    for (std::size_t r = 0; r < rows; ++r) {
+      x[0] = points[2 * r];
+      x[1] = points[2 * r + 1];
+      tree_values[r] = cost.evaluate(space.assignment(x));
+    }
+  });
+
+  // --- strategy 2: compiled tape, scalar calls ---------------------------
+  std::vector<double> tape_values(rows);
+  const double tape_s = best_time(repeats, [&] {
+    for (std::size_t r = 0; r < rows; ++r) {
+      tape_values[r] =
+          compiled.evaluate(std::span<const double>(&points[2 * r], 2));
+    }
+  });
+
+  // --- strategy 3: compiled batch, one thread ----------------------------
+  std::vector<double> batch_values(rows);
+  const double batch1_s = best_time(
+      repeats, [&] { compiled.evaluate_batch(points, batch_values); });
+
+  // --- strategy 4: compiled batch over the thread pool -------------------
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<double> parallel_values(rows);
+  const double batchn_s = best_time(repeats, [&] {
+    compiled.evaluate_batch(points, parallel_values, pool);
+  });
+
+  const bool surfaces_identical = tree_values == tape_values &&
+                                  tree_values == batch_values &&
+                                  tree_values == parallel_values;
+
+  const double tree_ns = 1e9 * tree_s / static_cast<double>(rows);
+  const double tape_ns = 1e9 * tape_s / static_cast<double>(rows);
+  const double batch1_ns = 1e9 * batch1_s / static_cast<double>(rows);
+  const double batchn_ns = 1e9 * batchn_s / static_cast<double>(rows);
+
+  std::printf("grid workload: %zu points (%zu x %zu), best of %d\n", rows,
+              grid, grid, repeats);
+  std::printf("  tree walk          : %8.1f ns/eval   1.00x\n", tree_ns);
+  std::printf("  compiled tape      : %8.1f ns/eval   %.2fx\n", tape_ns,
+              tree_ns / tape_ns);
+  std::printf("  batch, 1 thread    : %8.1f ns/eval   %.2fx\n", batch1_ns,
+              tree_ns / batch1_ns);
+  std::printf("  batch, %2zu threads  : %8.1f ns/eval   %.2fx\n",
+              pool.thread_count(), batchn_ns, tree_ns / batchn_ns);
+  std::printf("  surfaces bitwise-identical: %s\n\n",
+              surfaces_identical ? "yes" : "NO — BUG");
+
+  // --- identical optima through the solvers ------------------------------
+  opt::Problem tree_problem;
+  tree_problem.bounds = space.box();
+  tree_problem.objective = [&space, &cost](std::span<const double> x) {
+    return cost.evaluate(space.assignment(x));
+  };
+  const opt::Problem compiled_problem = optimizer.problem();
+
+  const opt::GridSearch grid_search(33, 5);
+  const auto grid_tree = grid_search.minimize(tree_problem);
+  const auto grid_compiled = grid_search.minimize(compiled_problem);
+  const bool grid_identical = grid_tree.value == grid_compiled.value &&
+                              grid_tree.argmin == grid_compiled.argmin;
+
+  opt::DifferentialEvolution::Settings de_settings;
+  de_settings.generations = 100;
+  const opt::DifferentialEvolution de(de_settings);
+  const auto de_tree = de.minimize(tree_problem);
+  const auto de_compiled = de.minimize(compiled_problem);
+  const bool de_identical = de_tree.value == de_compiled.value &&
+                            de_tree.argmin == de_compiled.argmin;
+
+  std::printf("GridSearch optimum  (tree)     T1=%.6f T2=%.6f cost=%.10g\n",
+              grid_tree.argmin[0], grid_tree.argmin[1], grid_tree.value);
+  std::printf("GridSearch optimum  (compiled) T1=%.6f T2=%.6f cost=%.10g\n",
+              grid_compiled.argmin[0], grid_compiled.argmin[1],
+              grid_compiled.value);
+  std::printf("  bitwise-identical: %s\n", grid_identical ? "yes" : "NO");
+  std::printf("DE optimum          (tree)     T1=%.6f T2=%.6f cost=%.10g\n",
+              de_tree.argmin[0], de_tree.argmin[1], de_tree.value);
+  std::printf("DE optimum          (compiled) T1=%.6f T2=%.6f cost=%.10g\n",
+              de_compiled.argmin[0], de_compiled.argmin[1], de_compiled.value);
+  std::printf("  bitwise-identical: %s\n", de_identical ? "yes" : "NO");
+  std::printf("paper optimum:                 T1=19       T2=15.6\n");
+
+  const bool tape_fast_enough = tree_ns / batch1_ns >= 3.0;
+  std::printf("\nsingle-threaded compiled speedup >= 3x: %s\n",
+              tape_fast_enough ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"grid_points\": %zu,\n"
+                 "  \"repeats\": %d,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"tree_ns_per_eval\": %.3f,\n"
+                 "  \"tape_ns_per_eval\": %.3f,\n"
+                 "  \"batch1_ns_per_eval\": %.3f,\n"
+                 "  \"batchn_ns_per_eval\": %.3f,\n"
+                 "  \"speedup_tape\": %.3f,\n"
+                 "  \"speedup_batch1\": %.3f,\n"
+                 "  \"speedup_batchn\": %.3f,\n"
+                 "  \"surfaces_identical\": %s,\n"
+                 "  \"grid_search_identical\": %s,\n"
+                 "  \"de_identical\": %s\n"
+                 "}\n",
+                 rows, repeats, pool.thread_count(), tree_ns, tape_ns,
+                 batch1_ns, batchn_ns, tree_ns / tape_ns, tree_ns / batch1_ns,
+                 tree_ns / batchn_ns, surfaces_identical ? "true" : "false",
+                 grid_identical ? "true" : "false",
+                 de_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  const bool ok = surfaces_identical && grid_identical && de_identical;
+  return ok ? 0 : 1;
+}

@@ -18,12 +18,13 @@ int main() {
 
   std::printf("=== Fig. 5: cost surface around the minimum ===\n\n");
 
-  // The figure's plotting box.
-  const opt::Box figure_box({15.0, 15.0}, {20.0, 18.0});
+  // The figure's plotting box, tabulated through the batched compiled path
+  // (bitwise-identical to per-point recursive evaluation).
+  opt::Problem figure_problem = problem;
+  figure_problem.bounds = opt::Box({15.0, 15.0}, {20.0, 18.0});
   constexpr std::size_t kNx = 11;  // T1 axis
   constexpr std::size_t kNy = 13;  // T2 axis
-  const opt::GridTable table =
-      opt::tabulate_2d(problem.objective, figure_box, kNx, kNy);
+  const opt::GridTable table = opt::tabulate_2d(figure_problem, kNx, kNy);
 
   std::printf("--- surface CSV (rows: T1, columns: T2) ---\nT1\\T2");
   for (std::size_t j = 0; j < table.ys.size(); ++j) {

@@ -1,7 +1,11 @@
 #include "safeopt/core/environment_sweep.h"
 
+#include <optional>
+
+#include "safeopt/expr/compiled.h"
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/strings.h"
+#include "safeopt/support/thread_pool.h"
 
 namespace safeopt::core {
 
@@ -23,10 +27,13 @@ std::string SweepTable::to_csv() const {
   return out;
 }
 
-SweepTable sweep_parameter(const std::string& parameter, double lo, double hi,
-                           std::size_t steps,
-                           const expr::ParameterAssignment& base,
-                           const std::vector<SweepSeries>& series) {
+namespace {
+
+SweepTable sweep_impl(const std::string& parameter, double lo, double hi,
+                      std::size_t steps,
+                      const expr::ParameterAssignment& base,
+                      const std::vector<SweepSeries>& series,
+                      ThreadPool* pool) {
   SAFEOPT_EXPECTS(steps >= 2);
   SAFEOPT_EXPECTS(lo < hi);
   SAFEOPT_EXPECTS(!series.empty());
@@ -36,18 +43,70 @@ SweepTable sweep_parameter(const std::string& parameter, double lo, double hi,
   table.xs.resize(steps);
   table.values.assign(series.size(), std::vector<double>(steps, 0.0));
   for (const SweepSeries& s : series) table.labels.push_back(s.label);
-
-  expr::ParameterAssignment at = base;
   for (std::size_t k = 0; k < steps; ++k) {
     const double t = static_cast<double>(k) / static_cast<double>(steps - 1);
-    const double x = lo + t * (hi - lo);
-    table.xs[k] = x;
-    at.set(parameter, x);
-    for (std::size_t s = 0; s < series.size(); ++s) {
-      table.values[s][k] = series[s].value.evaluate(at);
+    table.xs[k] = lo + t * (hi - lo);
+  }
+
+  // One compiled tape per series; the swept parameter mutates in place in a
+  // prebuilt slot vector (a series need not mention it — e.g. a baseline
+  // curve — in which case its row is constant over the sweep).
+  struct CompiledSeries {
+    expr::CompiledExpr tape;
+    std::vector<double> slots;
+    std::optional<std::size_t> swept_slot;
+  };
+  std::vector<CompiledSeries> compiled;
+  compiled.reserve(series.size());
+  for (const SweepSeries& s : series) {
+    CompiledSeries cs{expr::CompiledExpr::compile(s.value), {}, {}};
+    const std::vector<std::string>& order = cs.tape.parameter_order();
+    cs.slots.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == parameter) {
+        cs.swept_slot = i;
+      } else {
+        cs.slots[i] = base.get(order[i]);
+      }
     }
+    compiled.push_back(std::move(cs));
+  }
+
+  const auto run_series = [&](std::size_t begin, std::size_t end) {
+    // parallel_for hands each series index to exactly one chunk, so
+    // mutating compiled[s] in place is race-free.
+    for (std::size_t s = begin; s < end; ++s) {
+      CompiledSeries& cs = compiled[s];
+      expr::CompiledExpr::Workspace workspace;
+      for (std::size_t k = 0; k < steps; ++k) {
+        if (cs.swept_slot.has_value()) cs.slots[*cs.swept_slot] = table.xs[k];
+        table.values[s][k] = cs.tape.evaluate(cs.slots, workspace);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(series.size(), run_series);
+  } else {
+    run_series(0, series.size());
   }
   return table;
+}
+
+}  // namespace
+
+SweepTable sweep_parameter(const std::string& parameter, double lo, double hi,
+                           std::size_t steps,
+                           const expr::ParameterAssignment& base,
+                           const std::vector<SweepSeries>& series) {
+  return sweep_impl(parameter, lo, hi, steps, base, series, nullptr);
+}
+
+SweepTable sweep_parameter(const std::string& parameter, double lo, double hi,
+                           std::size_t steps,
+                           const expr::ParameterAssignment& base,
+                           const std::vector<SweepSeries>& series,
+                           ThreadPool& pool) {
+  return sweep_impl(parameter, lo, hi, steps, base, series, &pool);
 }
 
 }  // namespace safeopt::core

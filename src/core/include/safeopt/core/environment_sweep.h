@@ -12,6 +12,10 @@
 
 #include "safeopt/expr/expr.h"
 
+namespace safeopt {
+class ThreadPool;
+}
+
 namespace safeopt::core {
 
 /// One curve of a sweep: a label ("without_LB4") and the expression whose
@@ -34,12 +38,22 @@ struct SweepTable {
 };
 
 /// Evaluates `series` at `steps` evenly spaced values of `parameter` in
-/// [lo, hi], all other parameters taken from `base`.
+/// [lo, hi], all other parameters taken from `base`. Each series runs on a
+/// compiled tape (values identical to Expr::evaluate); the per-instruction
+/// memo makes the fixed-parameter subtrees nearly free across steps.
 /// Precondition: steps >= 2, lo < hi.
 [[nodiscard]] SweepTable sweep_parameter(
     const std::string& parameter, double lo, double hi, std::size_t steps,
     const expr::ParameterAssignment& base,
     const std::vector<SweepSeries>& series);
+
+/// Same sweep with the (series × steps) work fanned out over `pool`.
+/// Results are bitwise-identical to the sequential overload for any thread
+/// count.
+[[nodiscard]] SweepTable sweep_parameter(
+    const std::string& parameter, double lo, double hi, std::size_t steps,
+    const expr::ParameterAssignment& base,
+    const std::vector<SweepSeries>& series, ThreadPool& pool);
 
 }  // namespace safeopt::core
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/thread_pool.h"
 
 namespace safeopt::core {
 
@@ -85,15 +86,23 @@ RobustOptimizationResult RobustSafetyOptimizer::optimize(
 double RobustSafetyOptimizer::max_regret(
     const expr::ParameterAssignment& configuration,
     Algorithm algorithm) const {
+  // Each scenario's own optimum is an independent solve; fan them out over
+  // the shared pool and reduce afterwards (max is order-independent, so the
+  // result does not depend on the thread count).
+  std::vector<double> regrets(scenarios_.size(), 0.0);
+  ThreadPool::shared().parallel_for(
+      scenarios_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          CostModel model;
+          model.add_hazard({"scenario", scenarios_[i], 1.0});
+          const SafetyOptimizer solo(std::move(model), space_);
+          const double scenario_best = solo.optimize(algorithm).cost;
+          const double here = scenarios_[i].evaluate(configuration);
+          regrets[i] = here - scenario_best;
+        }
+      });
   double regret = 0.0;
-  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
-    CostModel model;
-    model.add_hazard({"scenario", scenarios_[i], 1.0});
-    const SafetyOptimizer solo(std::move(model), space_);
-    const double scenario_best = solo.optimize(algorithm).cost;
-    const double here = scenarios_[i].evaluate(configuration);
-    regret = std::max(regret, here - scenario_best);
-  }
+  for (const double r : regrets) regret = std::max(regret, r);
   return regret;
 }
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "safeopt/expr/compiled.h"
 #include "safeopt/opt/coordinate_descent.h"
 #include "safeopt/opt/differential_evolution.h"
 #include "safeopt/opt/gradient_descent.h"
@@ -11,6 +12,7 @@
 #include "safeopt/opt/nelder_mead.h"
 #include "safeopt/opt/simulated_annealing.h"
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/thread_pool.h"
 
 namespace safeopt::core {
 
@@ -43,14 +45,34 @@ opt::Problem SafetyOptimizer::problem() const {
   const std::vector<std::string> names = space_.names();
   opt::Problem problem;
   problem.bounds = space_.box();
+  // The scalar objective runs on the compiled tape — bitwise-identical to
+  // cost.evaluate() (see compiled.h) and ~3× faster, so every solver in
+  // src/opt gets the compiled path without knowing it exists. The exact
+  // forward-mode dual gradient is kept as-is: reverse-over-tape gradients
+  // are equal only up to rounding, and gradient descent trajectories should
+  // not move under a performance change.
+  const auto compiled = std::make_shared<const expr::CompiledExpr>(
+      expr::CompiledExpr::compile(cost, names));
+  problem.objective = [compiled](std::span<const double> x) {
+    return compiled->evaluate(x);
+  };
   // Capture the space by value: the returned Problem must stay valid after
   // this SafetyOptimizer is gone (e.g. when built from a temporary).
   const ParameterSpace space = space_;
-  problem.objective = [space, cost](std::span<const double> x) {
-    return cost.evaluate(space.assignment(x));
-  };
   problem.gradient = [space, cost, names](std::span<const double> x) {
     return cost.evaluate_dual(space.assignment(x), names).grad();
+  };
+  // Large batches (grid rounds, synchronous DE generations) fan out over
+  // the shared pool; each row writes only its own output slot, so results
+  // do not depend on the thread count.
+  problem.batch_objective = [compiled](std::span<const double> points,
+                                       std::span<double> out) {
+    constexpr std::size_t kParallelThreshold = 256;
+    if (out.size() >= kParallelThreshold) {
+      compiled->evaluate_batch(points, out, ThreadPool::shared());
+    } else {
+      compiled->evaluate_batch(points, out);
+    }
   };
   return problem;
 }

@@ -1,0 +1,760 @@
+#include "safeopt/expr/compiled.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <typeinfo>
+#include <unordered_map>
+#include <utility>
+
+#include "node.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::expr {
+
+namespace {
+
+// Scratch buffers reused across evaluations. Per-thread so concurrent
+// evaluation of the same CompiledExpr (the batch path) needs no locking.
+thread_local std::vector<double> t_slots;
+thread_local std::vector<double> t_adjoint;
+thread_local std::vector<double> t_memo_arg;
+thread_local std::vector<double> t_memo_val;
+
+double* scratch(std::vector<double>& buffer, std::size_t size) {
+  if (buffer.size() < size) buffer.resize(size);
+  return buffer.data();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Builder
+
+/// Flattens the node DAG into the tape. Three layers of sharing:
+///   1. node identity — a subtree reached through two shared_ptr paths is
+///      emitted once (memo on the node address);
+///   2. structural identity — distinct nodes computing the same operation on
+///      the same slots collapse into one instruction (hash on the
+///      instruction tuple), which is what dedupes model code that rebuilds
+///      the same subexpression twice;
+///   3. constant folding — operations whose operands are constants are
+///      evaluated now with the exact scalar code run() would use, so folding
+///      never changes results.
+class CompiledExpr::Builder {
+ public:
+  Builder(CompiledExpr& out,
+          const std::vector<std::string>& parameter_order) {
+    out_ = &out;
+    for (std::size_t i = 0; i < parameter_order.size(); ++i) {
+      parameter_slots_.emplace(parameter_order[i],
+                               static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::uint32_t emit_node(const std::shared_ptr<const detail::Node>& node) {
+    const auto memo = node_slots_.find(node.get());
+    if (memo != node_slots_.end()) return memo->second;
+    const std::uint32_t slot = emit_uncached(node);
+    node_slots_.emplace(node.get(), slot);
+    return slot;
+  }
+
+ private:
+  using OpCode = CompiledExpr::OpCode;
+  using Instruction = CompiledExpr::Instruction;
+
+  std::uint32_t emit_uncached(
+      const std::shared_ptr<const detail::Node>& handle) {
+    using detail::NodeKind;
+    const detail::Node& node = *handle;
+    switch (node.kind()) {
+      case NodeKind::kConst:
+        return emit_constant(
+            static_cast<const detail::ConstNode&>(node).constant());
+      case NodeKind::kParam: {
+        const auto& param = static_cast<const detail::ParamNode&>(node);
+        const auto it = parameter_slots_.find(param.name());
+        SAFEOPT_EXPECTS(it != parameter_slots_.end());
+        return emit({OpCode::kParam, it->second, 0, 0, 0.0});
+      }
+      case NodeKind::kBinary: {
+        const auto& binary = static_cast<const detail::BinaryNode&>(node);
+        const std::uint32_t a = emit_node(binary.lhs());
+        const std::uint32_t b = emit_node(binary.rhs());
+        OpCode op = OpCode::kAdd;
+        switch (binary.op()) {
+          case detail::BinaryOp::kAdd: op = OpCode::kAdd; break;
+          case detail::BinaryOp::kSub: op = OpCode::kSub; break;
+          case detail::BinaryOp::kMul: op = OpCode::kMul; break;
+          case detail::BinaryOp::kDiv: op = OpCode::kDiv; break;
+          case detail::BinaryOp::kMin: op = OpCode::kMin; break;
+          case detail::BinaryOp::kMax: op = OpCode::kMax; break;
+        }
+        return emit_binary(op, a, b);
+      }
+      case NodeKind::kUnary: {
+        const auto& unary = static_cast<const detail::UnaryNode&>(node);
+        const std::uint32_t a = emit_node(unary.operand());
+        OpCode op = OpCode::kNeg;
+        switch (unary.op()) {
+          case detail::UnaryOp::kNeg: op = OpCode::kNeg; break;
+          case detail::UnaryOp::kExp: op = OpCode::kExp; break;
+          case detail::UnaryOp::kLog: op = OpCode::kLog; break;
+          case detail::UnaryOp::kSqrt: op = OpCode::kSqrt; break;
+        }
+        if (is_constant(a)) {
+          return emit_constant(
+              CompiledExpr::apply_unary(op, constant_of(a), 0.0));
+        }
+        return emit({op, a, 0, 0, 0.0});
+      }
+      case NodeKind::kPow: {
+        const auto& pow_node = static_cast<const detail::PowNode&>(node);
+        const std::uint32_t a = emit_node(pow_node.operand());
+        if (is_constant(a)) {
+          return emit_constant(CompiledExpr::apply_unary(
+              OpCode::kPow, constant_of(a), pow_node.exponent()));
+        }
+        // pow(x, 1) == x bitwise for every x (IEC 60559), including NaN.
+        if (pow_node.exponent() == 1.0) return a;
+        return emit({OpCode::kPow, a, 0, 0, pow_node.exponent()});
+      }
+      case NodeKind::kCdf: {
+        const auto& cdf = static_cast<const detail::CdfNode&>(node);
+        const std::uint32_t a = emit_node(cdf.operand());
+        const std::uint32_t dist = distribution_index(cdf.distribution());
+        const OpCode op =
+            cdf.is_survival() ? OpCode::kSurvival : OpCode::kCdf;
+        if (is_constant(a)) {
+          const double x = constant_of(a);
+          return emit_constant(cdf.is_survival()
+                                   ? cdf.distribution()->survival(x)
+                                   : cdf.distribution()->cdf(x));
+        }
+        return emit({op, a, dist, 0, 0.0});
+      }
+      case NodeKind::kFunction: {
+        const auto& call = static_cast<const detail::FunctionNode&>(node);
+        const std::uint32_t a = emit_node(call.operand());
+        // Opaque std::functions cannot be compared, so kCall instructions
+        // are shared by node identity only (the memo in emit_node) and
+        // never folded.
+        const auto index = static_cast<std::uint32_t>(out_->calls_.size());
+        out_->calls_.push_back(handle);
+        const auto slot = static_cast<std::uint32_t>(out_->tape_.size());
+        out_->tape_.push_back({OpCode::kCall, a, index, 0, 0.0});
+        return slot;
+      }
+    }
+    SAFEOPT_ASSERT(false);
+    return 0;
+  }
+
+  [[nodiscard]] bool is_constant(std::uint32_t slot) const {
+    return out_->tape_[slot].op == OpCode::kConst;
+  }
+  [[nodiscard]] double constant_of(std::uint32_t slot) const {
+    return out_->tape_[slot].imm;
+  }
+
+  std::uint32_t emit_constant(double value) {
+    return emit({OpCode::kConst, 0, 0, 0, value});
+  }
+
+  /// Binary emission with three strength levels, all value-preserving:
+  /// full fold (both operands constant), exact algebraic identity (x+0,
+  /// x−0, x·1, 1·x, x/1 — see the header caveat on −0.0), and immediate
+  /// fusion (one constant operand moves into the instruction).
+  std::uint32_t emit_binary(OpCode op, std::uint32_t a, std::uint32_t b) {
+    const bool ca = is_constant(a);
+    const bool cb = is_constant(b);
+    if (ca && cb) {
+      return emit_constant(
+          CompiledExpr::apply_binary(op, constant_of(a), constant_of(b)));
+    }
+    const auto is_pos_zero = [](double c) {
+      return std::bit_cast<std::uint64_t>(c) == 0;
+    };
+    if (cb) {
+      const double c = constant_of(b);
+      if ((op == OpCode::kAdd || op == OpCode::kSub) && is_pos_zero(c)) {
+        return a;
+      }
+      if ((op == OpCode::kMul || op == OpCode::kDiv) && c == 1.0) return a;
+      switch (op) {
+        case OpCode::kAdd: return emit({OpCode::kAddImm, a, 0, 0, c});
+        case OpCode::kSub: return emit({OpCode::kSubImm, a, 0, 0, c});
+        case OpCode::kMul: return emit({OpCode::kMulImm, a, 0, 0, c});
+        case OpCode::kDiv: return emit({OpCode::kDivImm, a, 0, 0, c});
+        default: break;  // min/max stay slot-based (tie rules are positional)
+      }
+    } else if (ca) {
+      const double c = constant_of(a);
+      if (op == OpCode::kAdd && is_pos_zero(c)) return b;
+      if (op == OpCode::kMul && c == 1.0) return b;
+      switch (op) {
+        case OpCode::kAdd: return emit({OpCode::kAddImm, b, 0, 0, c});
+        case OpCode::kSub: return emit({OpCode::kRsubImm, b, 0, 0, c});
+        case OpCode::kMul: return emit({OpCode::kMulImm, b, 0, 0, c});
+        case OpCode::kDiv: return emit({OpCode::kRdivImm, b, 0, 0, c});
+        default: break;
+      }
+    }
+    return emit({op, a, b, 0, 0.0});
+  }
+
+  /// Structurally deduplicating emit: an identical (op, a, b, imm) tuple
+  /// reuses its existing slot. The memo index `c` is assigned on first
+  /// emission and shared by deduplicated uses.
+  std::uint32_t emit(Instruction instruction) {
+    const Key key{static_cast<std::uint8_t>(instruction.op), instruction.a,
+                  instruction.b, std::bit_cast<std::uint64_t>(instruction.imm)};
+    const auto it = structural_.find(key);
+    if (it != structural_.end()) return it->second;
+    if (instruction.op == OpCode::kCdf ||
+        instruction.op == OpCode::kSurvival) {
+      instruction.c = out_->memo_count_++;
+    }
+    const auto slot = static_cast<std::uint32_t>(out_->tape_.size());
+    out_->tape_.push_back(instruction);
+    structural_.emplace(key, slot);
+    return slot;
+  }
+
+  /// Index into the distribution table, deduplicated first by object
+  /// identity and then by canonical (type, name) — name() embeds the
+  /// distribution's parameters, so two independently constructed
+  /// TruncatedNormal(4, 2) instances share one table entry and their cdf
+  /// applications become CSE-able.
+  std::uint32_t distribution_index(
+      const std::shared_ptr<const stats::Distribution>& dist) {
+    const auto by_ptr = distributions_by_ptr_.find(dist.get());
+    if (by_ptr != distributions_by_ptr_.end()) return by_ptr->second;
+    std::string canonical = typeid(*dist).name();
+    canonical += '|';
+    canonical += dist->name();
+    const auto by_name = distributions_by_name_.find(canonical);
+    if (by_name != distributions_by_name_.end()) {
+      distributions_by_ptr_.emplace(dist.get(), by_name->second);
+      return by_name->second;
+    }
+    const auto index = static_cast<std::uint32_t>(out_->distributions_.size());
+    out_->distributions_.push_back(dist);
+    distributions_by_ptr_.emplace(dist.get(), index);
+    distributions_by_name_.emplace(std::move(canonical), index);
+    return index;
+  }
+
+  CompiledExpr* out_ = nullptr;
+  std::unordered_map<std::string, std::uint32_t> parameter_slots_;
+  std::unordered_map<const detail::Node*, std::uint32_t> node_slots_;
+
+  struct Key {
+    std::uint8_t op;
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint64_t imm_bits;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = key.op;
+      h = h * 0x9e3779b97f4a7c15ULL + key.a;
+      h = h * 0x9e3779b97f4a7c15ULL + key.b;
+      h = h * 0x9e3779b97f4a7c15ULL + key.imm_bits;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  std::unordered_map<Key, std::uint32_t, KeyHash> structural_;
+  std::unordered_map<const stats::Distribution*, std::uint32_t>
+      distributions_by_ptr_;
+  std::unordered_map<std::string, std::uint32_t> distributions_by_name_;
+};
+
+// ------------------------------------------------------------- CompiledExpr
+
+CompiledExpr CompiledExpr::compile(const Expr& source) {
+  const std::set<std::string> mentioned = source.parameters();
+  return compile(source,
+                 std::vector<std::string>(mentioned.begin(), mentioned.end()));
+}
+
+CompiledExpr CompiledExpr::compile(const Expr& source,
+                                   std::vector<std::string> parameter_order) {
+  CompiledExpr compiled;
+  static std::atomic<std::uint64_t> next_id{1};
+  compiled.id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  compiled.parameter_order_ = std::move(parameter_order);
+  Builder builder(compiled, compiled.parameter_order_);
+  const std::uint32_t root = builder.emit_node(source.node());
+  compiled.eliminate_dead_code(root);
+  SAFEOPT_ENSURES(!compiled.tape_.empty());
+  return compiled;
+}
+
+void CompiledExpr::eliminate_dead_code(std::uint32_t root) {
+  // Slot operand count; kParam's `a` and the table indices in `b` are not
+  // slot references.
+  const auto slot_operands = [](OpCode op) -> int {
+    switch (op) {
+      case OpCode::kConst:
+      case OpCode::kParam:
+        return 0;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMin:
+      case OpCode::kMax:
+        return 2;
+      default:
+        return 1;
+    }
+  };
+
+  std::vector<bool> live(tape_.size(), false);
+  live[root] = true;
+  for (std::size_t i = root + 1; i-- > 0;) {
+    if (!live[i]) continue;
+    const Instruction& ins = tape_[i];
+    const int operands = slot_operands(ins.op);
+    if (operands >= 1) live[ins.a] = true;
+    if (operands >= 2) live[ins.b] = true;
+  }
+
+  std::vector<std::uint32_t> remap(tape_.size(), 0);
+  std::vector<Instruction> compacted;
+  compacted.reserve(tape_.size());
+  std::uint32_t memo_count = 0;
+  for (std::size_t i = 0; i <= root; ++i) {
+    if (!live[i]) continue;
+    Instruction ins = tape_[i];
+    const int operands = slot_operands(ins.op);
+    if (operands >= 1) ins.a = remap[ins.a];
+    if (operands >= 2) ins.b = remap[ins.b];
+    if (ins.op == OpCode::kCdf || ins.op == OpCode::kSurvival) {
+      ins.c = memo_count++;
+    }
+    remap[i] = static_cast<std::uint32_t>(compacted.size());
+    compacted.push_back(ins);
+  }
+  tape_ = std::move(compacted);
+  memo_count_ = memo_count;
+  // Postorder emission puts every operand before its consumer, so the root
+  // compacts to the final slot — which is what run() returns.
+  SAFEOPT_ENSURES(!tape_.empty());
+}
+
+// Tapes at or below this size evaluate on a stack buffer; a thread_local
+// heap scratch (with its per-access TLS guard) only backs the rare giants.
+constexpr std::size_t kStackSlots = 256;
+
+void CompiledExpr::bind(Workspace& workspace) const {
+  if (workspace.bound_id == id_) return;
+  workspace.bound_id = id_;
+  workspace.slots.assign(tape_.size(), 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  workspace.memo_arg.assign(memo_count_, nan);
+  workspace.memo_val.assign(memo_count_, nan);
+}
+
+double CompiledExpr::evaluate(std::span<const double> parameters) const {
+  SAFEOPT_EXPECTS(parameters.size() == parameter_order_.size());
+  if (tape_.size() <= kStackSlots && memo_count_ <= kStackSlots) {
+    double slots[kStackSlots];
+    double memo_arg[kStackSlots];
+    double memo_val[kStackSlots];
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (std::uint32_t m = 0; m < memo_count_; ++m) memo_arg[m] = nan;
+    return run(parameters, slots, memo_arg, memo_val);
+  }
+  // Giant tapes reuse the per-thread heap scratch; the memo is cold per
+  // call (it cannot be trusted across calls without a Workspace binding).
+  double* slots = scratch(t_slots, tape_.size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  double* memo_arg = scratch(t_memo_arg, memo_count_);
+  double* memo_val = scratch(t_memo_val, memo_count_);
+  std::fill(memo_arg, memo_arg + memo_count_, nan);
+  return run(parameters, slots, memo_arg, memo_val);
+}
+
+double CompiledExpr::evaluate(std::span<const double> parameters,
+                              Workspace& workspace) const {
+  SAFEOPT_EXPECTS(parameters.size() == parameter_order_.size());
+  bind(workspace);
+  return run(parameters, workspace.slots.data(), workspace.memo_arg.data(),
+             workspace.memo_val.data());
+}
+
+double CompiledExpr::evaluate(const ParameterAssignment& env) const {
+  std::vector<double> parameters(parameter_order_.size());
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    parameters[i] = env.get(parameter_order_[i]);
+  }
+  return evaluate(parameters);
+}
+
+void CompiledExpr::evaluate_batch(std::span<const double> points,
+                                  std::span<double> out) const {
+  const std::size_t dim = parameter_order_.size();
+  SAFEOPT_EXPECTS(points.size() == out.size() * dim);
+  Workspace workspace;
+  bind(workspace);
+  for (std::size_t row = 0; row < out.size(); ++row) {
+    out[row] = run(points.subspan(row * dim, dim), workspace.slots.data(),
+                   workspace.memo_arg.data(), workspace.memo_val.data());
+  }
+}
+
+void CompiledExpr::evaluate_batch(std::span<const double> points,
+                                  std::span<double> out,
+                                  ThreadPool& pool) const {
+  const std::size_t dim = parameter_order_.size();
+  SAFEOPT_EXPECTS(points.size() == out.size() * dim);
+  // Grain keeps per-task work above scheduling noise for tiny tapes.
+  const std::size_t grain =
+      std::max<std::size_t>(1, 256 / std::max<std::size_t>(1, tape_.size()));
+  pool.parallel_for(
+      out.size(),
+      [&](std::size_t begin, std::size_t end) {
+        Workspace workspace;
+        bind(workspace);
+        for (std::size_t row = begin; row < end; ++row) {
+          out[row] =
+              run(points.subspan(row * dim, dim), workspace.slots.data(),
+                  workspace.memo_arg.data(), workspace.memo_val.data());
+        }
+      },
+      grain);
+}
+
+double CompiledExpr::run(std::span<const double> parameters, double* slots,
+                         double* memo_arg, double* memo_val) const {
+  const Instruction* const tape = tape_.data();
+  const std::size_t n = tape_.size();
+#if defined(__GNUC__) || defined(__clang__)
+  // Direct-threaded dispatch: each handler jumps straight to the next
+  // opcode's label, giving the branch predictor one indirect-jump site per
+  // opcode instead of one shared switch. Label order must match OpCode.
+  static const void* const kDispatch[] = {
+      &&op_const,   &&op_param,   &&op_add,    &&op_sub,   &&op_mul,
+      &&op_div,     &&op_min,     &&op_max,    &&op_addi,  &&op_subi,
+      &&op_rsubi,   &&op_muli,    &&op_divi,   &&op_rdivi, &&op_neg,
+      &&op_exp,     &&op_log,     &&op_sqrt,   &&op_pow,   &&op_cdf,
+      &&op_survival, &&op_call,
+  };
+  std::size_t i = 0;
+#define SAFEOPT_TAPE_NEXT()                                       \
+  do {                                                            \
+    if (++i == n) return slots[n - 1];                            \
+    goto* kDispatch[static_cast<std::size_t>(tape[i].op)];        \
+  } while (false)
+  goto* kDispatch[static_cast<std::size_t>(tape[0].op)];
+op_const:
+  slots[i] = tape[i].imm;
+  SAFEOPT_TAPE_NEXT();
+op_param:
+  slots[i] = parameters[tape[i].a];
+  SAFEOPT_TAPE_NEXT();
+op_add:
+  slots[i] = slots[tape[i].a] + slots[tape[i].b];
+  SAFEOPT_TAPE_NEXT();
+op_sub:
+  slots[i] = slots[tape[i].a] - slots[tape[i].b];
+  SAFEOPT_TAPE_NEXT();
+op_mul:
+  slots[i] = slots[tape[i].a] * slots[tape[i].b];
+  SAFEOPT_TAPE_NEXT();
+op_div:
+  slots[i] = slots[tape[i].a] / slots[tape[i].b];
+  SAFEOPT_TAPE_NEXT();
+op_min:
+  slots[i] = std::min(slots[tape[i].a], slots[tape[i].b]);
+  SAFEOPT_TAPE_NEXT();
+op_max:
+  slots[i] = std::max(slots[tape[i].a], slots[tape[i].b]);
+  SAFEOPT_TAPE_NEXT();
+op_addi:
+  slots[i] = slots[tape[i].a] + tape[i].imm;
+  SAFEOPT_TAPE_NEXT();
+op_subi:
+  slots[i] = slots[tape[i].a] - tape[i].imm;
+  SAFEOPT_TAPE_NEXT();
+op_rsubi:
+  slots[i] = tape[i].imm - slots[tape[i].a];
+  SAFEOPT_TAPE_NEXT();
+op_muli:
+  slots[i] = slots[tape[i].a] * tape[i].imm;
+  SAFEOPT_TAPE_NEXT();
+op_divi:
+  slots[i] = slots[tape[i].a] / tape[i].imm;
+  SAFEOPT_TAPE_NEXT();
+op_rdivi:
+  slots[i] = tape[i].imm / slots[tape[i].a];
+  SAFEOPT_TAPE_NEXT();
+op_neg:
+  slots[i] = -slots[tape[i].a];
+  SAFEOPT_TAPE_NEXT();
+op_exp:
+  slots[i] = std::exp(slots[tape[i].a]);
+  SAFEOPT_TAPE_NEXT();
+op_log:
+  slots[i] = std::log(slots[tape[i].a]);
+  SAFEOPT_TAPE_NEXT();
+op_sqrt:
+  slots[i] = std::sqrt(slots[tape[i].a]);
+  SAFEOPT_TAPE_NEXT();
+op_pow:
+  slots[i] = std::pow(slots[tape[i].a], tape[i].imm);
+  SAFEOPT_TAPE_NEXT();
+op_cdf: {
+  const double x = slots[tape[i].a];
+  const std::uint32_t m = tape[i].c;
+  // Last-argument memo: a hit replays the previous result bit-for-bit (the
+  // cdf is a pure function of x), so caching cannot perturb values. NaN
+  // sentinels never match (NaN != NaN), so a cold memo is just a miss.
+  slots[i] = memo_arg[m] == x
+                 ? memo_val[m]
+                 : (memo_arg[m] = x,
+                    memo_val[m] = distributions_[tape[i].b]->cdf(x));
+  SAFEOPT_TAPE_NEXT();
+}
+op_survival: {
+  const double x = slots[tape[i].a];
+  const std::uint32_t m = tape[i].c;
+  slots[i] = memo_arg[m] == x
+                 ? memo_val[m]
+                 : (memo_arg[m] = x,
+                    memo_val[m] = distributions_[tape[i].b]->survival(x));
+  SAFEOPT_TAPE_NEXT();
+}
+op_call:
+  slots[i] = static_cast<const detail::FunctionNode*>(calls_[tape[i].b].get())
+                 ->fn()(slots[tape[i].a]);
+  SAFEOPT_TAPE_NEXT();
+#undef SAFEOPT_TAPE_NEXT
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& ins = tape[i];
+    double v = 0.0;
+    switch (ins.op) {
+      case OpCode::kConst: v = ins.imm; break;
+      case OpCode::kParam: v = parameters[ins.a]; break;
+      case OpCode::kAdd: v = slots[ins.a] + slots[ins.b]; break;
+      case OpCode::kSub: v = slots[ins.a] - slots[ins.b]; break;
+      case OpCode::kMul: v = slots[ins.a] * slots[ins.b]; break;
+      case OpCode::kDiv: v = slots[ins.a] / slots[ins.b]; break;
+      case OpCode::kMin: v = std::min(slots[ins.a], slots[ins.b]); break;
+      case OpCode::kMax: v = std::max(slots[ins.a], slots[ins.b]); break;
+      case OpCode::kAddImm: v = slots[ins.a] + ins.imm; break;
+      case OpCode::kSubImm: v = slots[ins.a] - ins.imm; break;
+      case OpCode::kRsubImm: v = ins.imm - slots[ins.a]; break;
+      case OpCode::kMulImm: v = slots[ins.a] * ins.imm; break;
+      case OpCode::kDivImm: v = slots[ins.a] / ins.imm; break;
+      case OpCode::kRdivImm: v = ins.imm / slots[ins.a]; break;
+      case OpCode::kNeg: v = -slots[ins.a]; break;
+      case OpCode::kExp: v = std::exp(slots[ins.a]); break;
+      case OpCode::kLog: v = std::log(slots[ins.a]); break;
+      case OpCode::kSqrt: v = std::sqrt(slots[ins.a]); break;
+      case OpCode::kPow: v = std::pow(slots[ins.a], ins.imm); break;
+      case OpCode::kCdf: {
+        const double x = slots[ins.a];
+        v = memo_arg[ins.c] == x
+                ? memo_val[ins.c]
+                : (memo_arg[ins.c] = x,
+                   memo_val[ins.c] = distributions_[ins.b]->cdf(x));
+        break;
+      }
+      case OpCode::kSurvival: {
+        const double x = slots[ins.a];
+        v = memo_arg[ins.c] == x
+                ? memo_val[ins.c]
+                : (memo_arg[ins.c] = x,
+                   memo_val[ins.c] = distributions_[ins.b]->survival(x));
+        break;
+      }
+      case OpCode::kCall:
+        v = static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
+                ->fn()(slots[ins.a]);
+        break;
+    }
+    slots[i] = v;
+  }
+  return slots[n - 1];
+#endif
+}
+
+double CompiledExpr::evaluate_with_gradient(
+    std::span<const double> parameters, std::span<double> gradient_out) const {
+  SAFEOPT_EXPECTS(parameters.size() == parameter_order_.size());
+  SAFEOPT_EXPECTS(gradient_out.size() == parameter_order_.size());
+  const std::size_t n = tape_.size();
+  double* slots = scratch(t_slots, n);
+  double* memo_arg = scratch(t_memo_arg, memo_count_);
+  double* memo_val = scratch(t_memo_val, memo_count_);
+  std::fill(memo_arg, memo_arg + memo_count_,
+            std::numeric_limits<double>::quiet_NaN());
+  const double value = run(parameters, slots, memo_arg, memo_val);
+
+  double* adjoint = scratch(t_adjoint, n);
+  std::fill(adjoint, adjoint + n, 0.0);
+  std::fill(gradient_out.begin(), gradient_out.end(), 0.0);
+  adjoint[n - 1] = 1.0;
+
+  for (std::size_t i = n; i-- > 0;) {
+    const Instruction& ins = tape_[i];
+    const double w = adjoint[i];
+    switch (ins.op) {
+      case OpCode::kConst: break;
+      case OpCode::kParam: gradient_out[ins.a] += w; break;
+      case OpCode::kAdd:
+        adjoint[ins.a] += w;
+        adjoint[ins.b] += w;
+        break;
+      case OpCode::kSub:
+        adjoint[ins.a] += w;
+        adjoint[ins.b] -= w;
+        break;
+      case OpCode::kMul:
+        adjoint[ins.a] += w * slots[ins.b];
+        adjoint[ins.b] += w * slots[ins.a];
+        break;
+      case OpCode::kDiv:
+        adjoint[ins.a] += w / slots[ins.b];
+        adjoint[ins.b] -= w * slots[i] / slots[ins.b];
+        break;
+      case OpCode::kMin:
+        // Subgradient at ties: first argument, matching Dual's min/max.
+        adjoint[slots[ins.a] <= slots[ins.b] ? ins.a : ins.b] += w;
+        break;
+      case OpCode::kMax:
+        adjoint[slots[ins.a] >= slots[ins.b] ? ins.a : ins.b] += w;
+        break;
+      case OpCode::kAddImm:
+      case OpCode::kSubImm:
+        adjoint[ins.a] += w;
+        break;
+      case OpCode::kRsubImm: adjoint[ins.a] -= w; break;
+      case OpCode::kMulImm: adjoint[ins.a] += w * ins.imm; break;
+      case OpCode::kDivImm: adjoint[ins.a] += w / ins.imm; break;
+      case OpCode::kRdivImm:
+        // d(c/x)/dx = −c/x² = −(c/x)/x, reusing this slot's value.
+        adjoint[ins.a] -= w * slots[i] / slots[ins.a];
+        break;
+      case OpCode::kNeg: adjoint[ins.a] -= w; break;
+      case OpCode::kExp: adjoint[ins.a] += w * slots[i]; break;
+      case OpCode::kLog: adjoint[ins.a] += w / slots[ins.a]; break;
+      case OpCode::kSqrt: adjoint[ins.a] += w * 0.5 / slots[i]; break;
+      case OpCode::kPow:
+        adjoint[ins.a] +=
+            w * ins.imm * std::pow(slots[ins.a], ins.imm - 1.0);
+        break;
+      case OpCode::kCdf:
+        adjoint[ins.a] += w * distributions_[ins.b]->pdf(slots[ins.a]);
+        break;
+      case OpCode::kSurvival:
+        adjoint[ins.a] -= w * distributions_[ins.b]->pdf(slots[ins.a]);
+        break;
+      case OpCode::kCall:
+        adjoint[ins.a] +=
+            w *
+            static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
+                ->derivative_at(slots[ins.a]);
+        break;
+    }
+  }
+  return value;
+}
+
+double CompiledExpr::apply_binary(OpCode op, double x, double y) {
+  switch (op) {
+    case OpCode::kAdd: return x + y;
+    case OpCode::kSub: return x - y;
+    case OpCode::kMul: return x * y;
+    case OpCode::kDiv: return x / y;
+    case OpCode::kMin: return std::min(x, y);
+    case OpCode::kMax: return std::max(x, y);
+    default: break;
+  }
+  SAFEOPT_ASSERT(false);
+  return 0.0;
+}
+
+double CompiledExpr::apply_unary(OpCode op, double x, double imm) {
+  switch (op) {
+    case OpCode::kNeg: return -x;
+    case OpCode::kExp: return std::exp(x);
+    case OpCode::kLog: return std::log(x);
+    case OpCode::kSqrt: return std::sqrt(x);
+    case OpCode::kPow: return std::pow(x, imm);
+    default: break;
+  }
+  SAFEOPT_ASSERT(false);
+  return 0.0;
+}
+
+std::string CompiledExpr::disassemble() const {
+  std::string out;
+  for (std::size_t i = 0; i < tape_.size(); ++i) {
+    const Instruction& ins = tape_[i];
+    out += "%" + std::to_string(i) + " = ";
+    const auto slot = [](std::uint32_t s) { return "%" + std::to_string(s); };
+    switch (ins.op) {
+      case OpCode::kConst: out += "const " + format_double(ins.imm); break;
+      case OpCode::kParam:
+        out += "param " + parameter_order_[ins.a];
+        break;
+      case OpCode::kAdd: out += "add " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kSub: out += "sub " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kMul: out += "mul " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kDiv: out += "div " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kMin: out += "min " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kMax: out += "max " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kAddImm:
+        out += "add " + slot(ins.a) + " " + format_double(ins.imm);
+        break;
+      case OpCode::kSubImm:
+        out += "sub " + slot(ins.a) + " " + format_double(ins.imm);
+        break;
+      case OpCode::kRsubImm:
+        out += "rsub " + format_double(ins.imm) + " " + slot(ins.a);
+        break;
+      case OpCode::kMulImm:
+        out += "mul " + slot(ins.a) + " " + format_double(ins.imm);
+        break;
+      case OpCode::kDivImm:
+        out += "div " + slot(ins.a) + " " + format_double(ins.imm);
+        break;
+      case OpCode::kRdivImm:
+        out += "rdiv " + format_double(ins.imm) + " " + slot(ins.a);
+        break;
+      case OpCode::kNeg: out += "neg " + slot(ins.a); break;
+      case OpCode::kExp: out += "exp " + slot(ins.a); break;
+      case OpCode::kLog: out += "log " + slot(ins.a); break;
+      case OpCode::kSqrt: out += "sqrt " + slot(ins.a); break;
+      case OpCode::kPow:
+        out += "pow " + slot(ins.a) + " " + format_double(ins.imm);
+        break;
+      case OpCode::kCdf:
+        out += "cdf[" + distributions_[ins.b]->name() + "] " + slot(ins.a);
+        break;
+      case OpCode::kSurvival:
+        out += "survival[" + distributions_[ins.b]->name() + "] " +
+               slot(ins.a);
+        break;
+      case OpCode::kCall:
+        out += static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
+                   ->name() +
+               " " + slot(ins.a);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace safeopt::expr

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "node.h"
 #include "safeopt/support/contracts.h"
-#include "safeopt/support/strings.h"
 
 namespace safeopt::expr {
 
@@ -48,286 +48,18 @@ bool ParameterAssignment::contains(std::string_view name) const noexcept {
 }
 
 // ------------------------------------------------------------------ Nodes
+//
+// The node classes themselves live in node.h so the tape compiler
+// (compiled.cpp) can flatten the DAG; this file keeps construction.
 
 namespace detail {
-
-class Node {
- public:
-  virtual ~Node() = default;
-  [[nodiscard]] virtual double value(const ParameterAssignment& env) const = 0;
-  [[nodiscard]] virtual Dual dual(const ParameterAssignment& env,
-                                  const std::vector<std::string>& wrt)
-      const = 0;
-  virtual void collect_parameters(std::set<std::string>& out) const = 0;
-  [[nodiscard]] virtual std::string print() const = 0;
-};
-
 namespace {
-
-class ConstNode final : public Node {
- public:
-  explicit ConstNode(double c) : c_(c) {}
-  double value(const ParameterAssignment&) const override { return c_; }
-  Dual dual(const ParameterAssignment&,
-            const std::vector<std::string>& wrt) const override {
-    return Dual(c_, wrt.size());
-  }
-  void collect_parameters(std::set<std::string>&) const override {}
-  std::string print() const override { return format_double(c_); }
-  [[nodiscard]] double constant() const noexcept { return c_; }
-
- private:
-  double c_;
-};
-
-class ParamNode final : public Node {
- public:
-  explicit ParamNode(std::string name) : name_(std::move(name)) {}
-  double value(const ParameterAssignment& env) const override {
-    return env.get(name_);
-  }
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    const double v = env.get(name_);
-    const auto it = std::find(wrt.begin(), wrt.end(), name_);
-    if (it == wrt.end()) return Dual(v, wrt.size());
-    return Dual::variable(v, wrt.size(),
-                          static_cast<std::size_t>(it - wrt.begin()));
-  }
-  void collect_parameters(std::set<std::string>& out) const override {
-    out.insert(name_);
-  }
-  std::string print() const override { return name_; }
-
- private:
-  std::string name_;
-};
-
-enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMin, kMax };
-
-class BinaryNode final : public Node {
- public:
-  BinaryNode(BinaryOp op, std::shared_ptr<const Node> a,
-             std::shared_ptr<const Node> b)
-      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
-
-  double value(const ParameterAssignment& env) const override {
-    const double x = a_->value(env);
-    const double y = b_->value(env);
-    switch (op_) {
-      case BinaryOp::kAdd: return x + y;
-      case BinaryOp::kSub: return x - y;
-      case BinaryOp::kMul: return x * y;
-      case BinaryOp::kDiv: return x / y;
-      case BinaryOp::kMin: return std::min(x, y);
-      case BinaryOp::kMax: return std::max(x, y);
-    }
-    SAFEOPT_ASSERT(false);
-    return 0.0;
-  }
-
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    const Dual x = a_->dual(env, wrt);
-    const Dual y = b_->dual(env, wrt);
-    switch (op_) {
-      case BinaryOp::kAdd: return x + y;
-      case BinaryOp::kSub: return x - y;
-      case BinaryOp::kMul: return x * y;
-      case BinaryOp::kDiv: return x / y;
-      case BinaryOp::kMin: return min(x, y);
-      case BinaryOp::kMax: return max(x, y);
-    }
-    SAFEOPT_ASSERT(false);
-    return Dual(0.0, wrt.size());
-  }
-
-  void collect_parameters(std::set<std::string>& out) const override {
-    a_->collect_parameters(out);
-    b_->collect_parameters(out);
-  }
-
-  std::string print() const override {
-    switch (op_) {
-      case BinaryOp::kAdd: return "(" + a_->print() + " + " + b_->print() + ")";
-      case BinaryOp::kSub: return "(" + a_->print() + " - " + b_->print() + ")";
-      case BinaryOp::kMul: return "(" + a_->print() + " * " + b_->print() + ")";
-      case BinaryOp::kDiv: return "(" + a_->print() + " / " + b_->print() + ")";
-      case BinaryOp::kMin: return "min(" + a_->print() + ", " + b_->print() + ")";
-      case BinaryOp::kMax: return "max(" + a_->print() + ", " + b_->print() + ")";
-    }
-    SAFEOPT_ASSERT(false);
-    return {};
-  }
-
- private:
-  BinaryOp op_;
-  std::shared_ptr<const Node> a_;
-  std::shared_ptr<const Node> b_;
-};
-
-enum class UnaryOp { kNeg, kExp, kLog, kSqrt };
-
-class UnaryNode final : public Node {
- public:
-  UnaryNode(UnaryOp op, std::shared_ptr<const Node> a)
-      : op_(op), a_(std::move(a)) {}
-
-  double value(const ParameterAssignment& env) const override {
-    const double x = a_->value(env);
-    switch (op_) {
-      case UnaryOp::kNeg: return -x;
-      case UnaryOp::kExp: return std::exp(x);
-      case UnaryOp::kLog: return std::log(x);
-      case UnaryOp::kSqrt: return std::sqrt(x);
-    }
-    SAFEOPT_ASSERT(false);
-    return 0.0;
-  }
-
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    const Dual x = a_->dual(env, wrt);
-    switch (op_) {
-      case UnaryOp::kNeg: return -x;
-      case UnaryOp::kExp: return exp(x);
-      case UnaryOp::kLog: return log(x);
-      case UnaryOp::kSqrt: return sqrt(x);
-    }
-    SAFEOPT_ASSERT(false);
-    return Dual(0.0, wrt.size());
-  }
-
-  void collect_parameters(std::set<std::string>& out) const override {
-    a_->collect_parameters(out);
-  }
-
-  std::string print() const override {
-    switch (op_) {
-      case UnaryOp::kNeg: return "(-" + a_->print() + ")";
-      case UnaryOp::kExp: return "exp(" + a_->print() + ")";
-      case UnaryOp::kLog: return "log(" + a_->print() + ")";
-      case UnaryOp::kSqrt: return "sqrt(" + a_->print() + ")";
-    }
-    SAFEOPT_ASSERT(false);
-    return {};
-  }
-
- private:
-  UnaryOp op_;
-  std::shared_ptr<const Node> a_;
-};
-
-class PowNode final : public Node {
- public:
-  PowNode(std::shared_ptr<const Node> a, double p) : a_(std::move(a)), p_(p) {}
-  double value(const ParameterAssignment& env) const override {
-    return std::pow(a_->value(env), p_);
-  }
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    return pow(a_->dual(env, wrt), p_);
-  }
-  void collect_parameters(std::set<std::string>& out) const override {
-    a_->collect_parameters(out);
-  }
-  std::string print() const override {
-    return "pow(" + a_->print() + ", " + format_double(p_) + ")";
-  }
-
- private:
-  std::shared_ptr<const Node> a_;
-  double p_;
-};
-
-/// F(arg) or 1 − F(arg) for a distribution F; derivative is ±pdf(arg).
-class CdfNode final : public Node {
- public:
-  CdfNode(std::shared_ptr<const stats::Distribution> dist,
-          std::shared_ptr<const Node> arg, bool survival)
-      : dist_(std::move(dist)), arg_(std::move(arg)), survival_(survival) {
-    SAFEOPT_EXPECTS(dist_ != nullptr);
-  }
-
-  double value(const ParameterAssignment& env) const override {
-    const double x = arg_->value(env);
-    // survival() is cancellation-free deep in the tail, where 1 − cdf()
-    // would round to zero — the regime hazard probabilities live in.
-    return survival_ ? dist_->survival(x) : dist_->cdf(x);
-  }
-
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    const Dual x = arg_->dual(env, wrt);
-    const double density = dist_->pdf(x.value());
-    return survival_ ? x.chain(dist_->survival(x.value()), -density)
-                     : x.chain(dist_->cdf(x.value()), density);
-  }
-
-  void collect_parameters(std::set<std::string>& out) const override {
-    arg_->collect_parameters(out);
-  }
-
-  std::string print() const override {
-    const std::string fn = survival_ ? "survival" : "cdf";
-    return fn + "[" + dist_->name() + "](" + arg_->print() + ")";
-  }
-
- private:
-  std::shared_ptr<const stats::Distribution> dist_;
-  std::shared_ptr<const Node> arg_;
-  bool survival_;
-};
-
-/// Opaque numeric function with optional analytic derivative.
-class FunctionNode final : public Node {
- public:
-  FunctionNode(std::string name, std::function<double(double)> fn,
-               std::function<double(double)> derivative,
-               std::shared_ptr<const Node> arg)
-      : name_(std::move(name)),
-        fn_(std::move(fn)),
-        derivative_(std::move(derivative)),
-        arg_(std::move(arg)) {
-    SAFEOPT_EXPECTS(static_cast<bool>(fn_));
-  }
-
-  double value(const ParameterAssignment& env) const override {
-    return fn_(arg_->value(env));
-  }
-
-  Dual dual(const ParameterAssignment& env,
-            const std::vector<std::string>& wrt) const override {
-    const Dual x = arg_->dual(env, wrt);
-    const double f = fn_(x.value());
-    double df = 0.0;
-    if (derivative_) {
-      df = derivative_(x.value());
-    } else {
-      const double h = 1e-6 * std::max(1.0, std::abs(x.value()));
-      df = (fn_(x.value() + h) - fn_(x.value() - h)) / (2.0 * h);
-    }
-    return x.chain(f, df);
-  }
-
-  void collect_parameters(std::set<std::string>& out) const override {
-    arg_->collect_parameters(out);
-  }
-
-  std::string print() const override {
-    return name_ + "(" + arg_->print() + ")";
-  }
-
- private:
-  std::string name_;
-  std::function<double(double)> fn_;
-  std::function<double(double)> derivative_;
-  std::shared_ptr<const Node> arg_;
-};
 
 /// Returns the folded constant if the node is a ConstNode, else nullptr.
 const ConstNode* as_constant(const std::shared_ptr<const Node>& node) {
-  return dynamic_cast<const ConstNode*>(node.get());
+  return node->kind() == NodeKind::kConst
+             ? static_cast<const ConstNode*>(node.get())
+             : nullptr;
 }
 
 Expr make_binary(BinaryOp op, Expr a, Expr b) {

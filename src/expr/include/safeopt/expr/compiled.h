@@ -1,0 +1,191 @@
+// Compiled evaluation of expression DAGs.
+//
+// Expr::evaluate() walks the shared-pointer DAG with one virtual dispatch,
+// one ParameterAssignment binary search per parameter mention, and repeated
+// recomputation of structurally identical subtrees. That is fine for a
+// report; it is not fine for optimizers that call the cost function tens of
+// thousands of times per solve.
+//
+// CompiledExpr flattens the DAG once into a postorder instruction tape:
+//   * common subexpressions are shared (structural hashing — two calls to
+//     ElbtunnelModel::p_overtime1() build distinct nodes but compile to one
+//     tape slot, so the expensive truncated-normal survival runs once),
+//   * constant subtrees are folded at compile time,
+//   * parameters become slot loads from a flat vector (no name lookups),
+//   * evaluation is a tight loop over plain structs — no virtual calls.
+//
+// The tape supports three access patterns:
+//   value     — evaluate(parameters)
+//   gradient  — evaluate_with_gradient(): one reverse (adjoint) sweep over
+//               the tape, O(tape) regardless of dimension count
+//   batch     — evaluate_batch(): many parameter vectors in one call,
+//               optionally fanned out over a support ThreadPool
+//
+// Evaluation is bitwise-identical to Expr::evaluate(): the tape performs the
+// same floating-point operations on the same values (sharing only removes
+// *re*-computation, immediate fusion only changes where an operand is loaded
+// from, and the algebraic identities x+0 / x−0 / x·1 / x/1 / x^1 are exact
+// in IEEE arithmetic), which is what lets optimizers switch paths without
+// perturbing results. The single caveat: an identity can surface a −0.0
+// where the tree produced +0.0 (−0.0 + 0 rounds to +0.0); the two compare
+// equal, so optima remain ==-comparable. Opaque function1 nodes are assumed
+// pure (same input, same output) — the same contract the tree walk's
+// memo-free recursion already implies for shared subtrees.
+#ifndef SAFEOPT_EXPR_COMPILED_H
+#define SAFEOPT_EXPR_COMPILED_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "safeopt/expr/expr.h"
+
+namespace safeopt {
+class ThreadPool;
+}
+
+namespace safeopt::expr {
+
+class CompiledExpr {
+ public:
+  /// Reusable per-thread evaluation state: the value slots plus a
+  /// last-argument memo for the expensive distribution instructions (cdf /
+  /// survival). Sweep- and grid-shaped workloads repeat arguments along
+  /// axes, and a memo hit replays the bitwise-identical previous result, so
+  /// caching never perturbs values. A Workspace binds to the CompiledExpr it
+  /// first evaluates; handing it to a different one resets it.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class CompiledExpr;
+    // Identity of the bound tape — a process-unique compilation serial, not
+    // an address (a recompiled CompiledExpr at a reused address must not
+    // look bound, or stale undersized buffers would be reused).
+    std::uint64_t bound_id = 0;
+    std::vector<double> slots;
+    std::vector<double> memo_arg;
+    std::vector<double> memo_val;
+  };
+
+  /// Compiles `source` with the parameter slots ordered alphabetically
+  /// (== the iteration order of source.parameters()).
+  [[nodiscard]] static CompiledExpr compile(const Expr& source);
+
+  /// Compiles with an explicit slot order — the order optimizer vectors use.
+  /// Every parameter the expression mentions must appear in
+  /// `parameter_order`; extra names are allowed (their slots are ignored).
+  [[nodiscard]] static CompiledExpr compile(
+      const Expr& source, std::vector<std::string> parameter_order);
+
+  /// The names bound to evaluation slots, in slot order.
+  [[nodiscard]] const std::vector<std::string>& parameter_order()
+      const noexcept {
+    return parameter_order_;
+  }
+  /// Number of tape instructions (== value slots used by one evaluation).
+  [[nodiscard]] std::size_t tape_size() const noexcept { return tape_.size(); }
+
+  /// Evaluates at one point. Precondition: parameters.size() ==
+  /// parameter_order().size(). Thread-safe: concurrent calls on the same
+  /// CompiledExpr are fine (scratch is per-call / per-thread).
+  [[nodiscard]] double evaluate(std::span<const double> parameters) const;
+
+  /// Same, with caller-owned state: the workspace's memo carries over
+  /// between calls, which is the fast path for sweeps that hold some
+  /// parameters fixed. One workspace per thread.
+  [[nodiscard]] double evaluate(std::span<const double> parameters,
+                                Workspace& workspace) const;
+
+  /// Name-based convenience; every parameter slot must be bound in `env`.
+  [[nodiscard]] double evaluate(const ParameterAssignment& env) const;
+
+  /// Value plus d(value)/d(parameter_i) for every slot, via one reverse
+  /// sweep over the tape. `gradient_out.size()` must equal the slot count;
+  /// it is overwritten. Agrees with Expr::evaluate_dual up to floating-point
+  /// reassociation of the chain rule.
+  double evaluate_with_gradient(std::span<const double> parameters,
+                                std::span<double> gradient_out) const;
+
+  /// Evaluates `out.size()` points in one call. `points` is row-major with
+  /// one parameter vector of length parameter_order().size() per row:
+  /// points.size() == out.size() * parameter_order().size().
+  void evaluate_batch(std::span<const double> points,
+                      std::span<double> out) const;
+
+  /// Same, with rows fanned out over `pool`. Each output element depends
+  /// only on its own row, so results are bitwise-independent of the thread
+  /// count.
+  void evaluate_batch(std::span<const double> points, std::span<double> out,
+                      ThreadPool& pool) const;
+
+  /// Human-readable tape listing, one instruction per line (debugging aid).
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  enum class OpCode : std::uint8_t {
+    kConst,     // imm
+    kParam,     // parameter slot a
+    kAdd, kSub, kMul, kDiv, kMin, kMax,  // value slots a, b
+    // Immediate-fused binaries: one operand was a compile-time constant.
+    // Same floating-point operation, one slot load and one instruction less.
+    kAddImm,    // slot a + imm
+    kSubImm,    // slot a - imm
+    kRsubImm,   // imm - slot a
+    kMulImm,    // slot a * imm
+    kDivImm,    // slot a / imm
+    kRdivImm,   // imm / slot a
+    kNeg, kExp, kLog, kSqrt,             // value slot a
+    kPow,       // value slot a, exponent imm
+    kCdf,       // value slot a, distribution table index b
+    kSurvival,  // value slot a, distribution table index b
+    kCall,      // value slot a, function table index b
+  };
+
+  struct Instruction {
+    OpCode op;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;  // memo index (kCdf / kSurvival only)
+    double imm = 0.0;
+  };
+
+  class Builder;
+
+  CompiledExpr() = default;
+
+  /// Executes the tape over `slots` (length >= tape_size()) and returns the
+  /// final slot's value. `memo_arg` / `memo_val` (length memo_count_, NaN
+  /// args == empty) cache the last (argument, result) pair of each cdf /
+  /// survival instruction.
+  double run(std::span<const double> parameters, double* slots,
+             double* memo_arg, double* memo_val) const;
+
+  /// Points `workspace`'s buffers at this tape, resetting stale state.
+  void bind(Workspace& workspace) const;
+
+  // Scalar op semantics shared by run() and compile-time constant folding,
+  // so folding is guaranteed bit-identical to deferred evaluation.
+  static double apply_binary(OpCode op, double x, double y);
+  static double apply_unary(OpCode op, double x, double imm);
+
+  /// Mark-and-sweep from `root`: drops instructions whose value cannot reach
+  /// the root (constants orphaned by immediate fusion, mostly) and compacts
+  /// slot numbering so the root ends up in the final slot.
+  void eliminate_dead_code(std::uint32_t root);
+
+  std::vector<std::string> parameter_order_;
+  std::vector<Instruction> tape_;
+  std::uint32_t memo_count_ = 0;
+  std::uint64_t id_ = 0;  // process-unique per compile(); copies share it
+  std::vector<std::shared_ptr<const stats::Distribution>> distributions_;
+  // FunctionNode handles (opaque std::function payloads), kept alive here.
+  std::vector<std::shared_ptr<const detail::Node>> calls_;
+};
+
+}  // namespace safeopt::expr
+
+#endif  // SAFEOPT_EXPR_COMPILED_H

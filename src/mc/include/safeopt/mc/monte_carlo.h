@@ -17,6 +17,10 @@
 #include "safeopt/fta/probability.h"
 #include "safeopt/stats/estimators.h"
 
+namespace safeopt {
+class ThreadPool;
+}
+
 namespace safeopt::mc {
 
 /// Result of a Monte Carlo hazard estimation.
@@ -38,6 +42,18 @@ struct MonteCarloResult {
 [[nodiscard]] MonteCarloResult estimate_hazard_probability(
     const fta::FaultTree& tree, const fta::QuantificationInput& input,
     std::uint64_t trials, std::uint64_t seed = 0x5a4e0u);
+
+/// Parallel fixed-budget estimation. Trials are partitioned into fixed-size
+/// chunks, each driven by its own xoshiro256++ stream derived from `seed`
+/// by repeated jump() (2^128 steps apart, so streams never overlap), and
+/// chunk counts are summed afterwards. The chunk layout depends only on
+/// `trials`, so the result is identical for every thread count — including
+/// a single-threaded pool — though it differs from the single-stream
+/// sequential function above. Precondition: input.is_valid_for(tree),
+/// trials >= 1.
+[[nodiscard]] MonteCarloResult estimate_hazard_probability(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input,
+    std::uint64_t trials, ThreadPool& pool, std::uint64_t seed = 0x5a4e0u);
 
 /// Adaptive estimation: runs until the 95% Wilson interval half-width drops
 /// below `relative_halfwidth · estimate` (or `max_trials` is reached, in

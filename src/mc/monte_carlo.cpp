@@ -1,7 +1,11 @@
 #include "safeopt/mc/monte_carlo.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/rng.h"
+#include "safeopt/support/thread_pool.h"
 
 namespace safeopt::mc {
 namespace {
@@ -36,6 +40,59 @@ MonteCarloResult estimate_hazard_probability(
       condition[i] = bernoulli(rng, input.condition_probability[i]);
     }
     estimator.add(tree.evaluate(basic, condition));
+  }
+  return from_estimator(estimator);
+}
+
+MonteCarloResult estimate_hazard_probability(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input,
+    std::uint64_t trials, ThreadPool& pool, std::uint64_t seed) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  SAFEOPT_EXPECTS(input.is_valid_for(tree));
+  SAFEOPT_EXPECTS(trials >= 1);
+
+  // Fixed chunking: the trial → chunk mapping depends only on `trials`, so
+  // the occurrence total (a sum, order-independent) is the same no matter
+  // how chunks land on threads.
+  constexpr std::uint64_t kChunkTrials = 1u << 14;
+  const std::uint64_t chunks = (trials + kChunkTrials - 1) / kChunkTrials;
+
+  // One generator stream per chunk, spaced 2^128 states apart.
+  std::vector<Rng> streams;
+  streams.reserve(chunks);
+  Rng stream(seed);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    streams.push_back(stream);
+    stream.jump();
+  }
+
+  std::vector<std::uint64_t> occurrences(chunks, 0);
+  pool.parallel_for(chunks, [&](std::size_t begin, std::size_t end) {
+    std::vector<bool> basic(tree.basic_event_count());
+    std::vector<bool> condition(tree.condition_count());
+    for (std::size_t c = begin; c < end; ++c) {
+      Rng rng = streams[c];
+      const std::uint64_t chunk_trials =
+          std::min<std::uint64_t>(kChunkTrials, trials - c * kChunkTrials);
+      std::uint64_t hits = 0;
+      for (std::uint64_t t = 0; t < chunk_trials; ++t) {
+        for (std::size_t i = 0; i < basic.size(); ++i) {
+          basic[i] = bernoulli(rng, input.basic_event_probability[i]);
+        }
+        for (std::size_t i = 0; i < condition.size(); ++i) {
+          condition[i] = bernoulli(rng, input.condition_probability[i]);
+        }
+        if (tree.evaluate(basic, condition)) ++hits;
+      }
+      occurrences[c] = hits;
+    }
+  });
+
+  stats::ProportionEstimator estimator;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t chunk_trials =
+        std::min<std::uint64_t>(kChunkTrials, trials - c * kChunkTrials);
+    estimator.add_batch(chunk_trials, occurrences[c]);
   }
   return from_estimator(estimator);
 }

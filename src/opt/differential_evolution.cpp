@@ -33,13 +33,28 @@ OptimizationResult DifferentialEvolution::minimize(
   std::vector<std::vector<double>> population(population_size,
                                               std::vector<double>(dim));
   std::vector<double> fitness(population_size);
-  for (std::size_t p = 0; p < population_size; ++p) {
-    for (std::size_t i = 0; i < dim; ++i) {
-      population[p][i] =
-          uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+  if (settings_.synchronous_batch) {
+    // Same RNG draw order as the scalar loop (draws happen point by point,
+    // evaluation consumes no randomness), one batched evaluation.
+    std::vector<double> flat(population_size * dim);
+    for (std::size_t p = 0; p < population_size; ++p) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        population[p][i] =
+            uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+        flat[p * dim + i] = population[p][i];
+      }
     }
-    fitness[p] = problem.objective(population[p]);
-    ++result.evaluations;
+    problem.evaluate_batch(flat, fitness);
+    result.evaluations += population_size;
+  } else {
+    for (std::size_t p = 0; p < population_size; ++p) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        population[p][i] =
+            uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
+      }
+      fitness[p] = problem.objective(population[p]);
+      ++result.evaluations;
+    }
   }
 
   const auto spread = [&] {
@@ -48,6 +63,11 @@ OptimizationResult DifferentialEvolution::minimize(
   };
 
   std::vector<double> trial(dim);
+  std::vector<double> trials_flat(settings_.synchronous_batch
+                                      ? population_size * dim
+                                      : 0);
+  std::vector<double> trial_fitness(
+      settings_.synchronous_batch ? population_size : 0);
   for (std::size_t generation = 0; generation < settings_.generations;
        ++generation) {
     ++result.iterations;
@@ -85,11 +105,28 @@ OptimizationResult DifferentialEvolution::minimize(
             std::clamp(trial[i], problem.bounds.lower[i],
                        problem.bounds.upper[i]);
       }
+      if (settings_.synchronous_batch) {
+        // Stash the trial; the whole generation evaluates at once below.
+        std::copy(trial.begin(), trial.end(),
+                  trials_flat.begin() + static_cast<std::ptrdiff_t>(p * dim));
+        continue;
+      }
       const double f_trial = problem.objective(trial);
       ++result.evaluations;
       if (f_trial <= fitness[p]) {
         population[p] = trial;
         fitness[p] = f_trial;
+      }
+    }
+    if (settings_.synchronous_batch) {
+      problem.evaluate_batch(trials_flat, trial_fitness);
+      result.evaluations += population_size;
+      for (std::size_t p = 0; p < population_size; ++p) {
+        if (trial_fitness[p] <= fitness[p]) {
+          const auto* begin = trials_flat.data() + p * dim;
+          population[p].assign(begin, begin + dim);
+          fitness[p] = trial_fitness[p];
+        }
       }
     }
   }

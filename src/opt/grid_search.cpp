@@ -23,30 +23,49 @@ OptimizationResult GridSearch::minimize(const Problem& problem) const {
   OptimizationResult result;
   result.value = std::numeric_limits<double>::infinity();
 
+  // Points are enumerated odometer-style (axis 0 fastest) into fixed-size
+  // blocks and handed to the problem's batch path — which is where compiled
+  // tapes and the thread pool come in. The argmin scan walks each block in
+  // enumeration order with a strict '<', so the incumbent (and therefore the
+  // refinement trajectory) is identical to one-at-a-time evaluation.
+  constexpr std::size_t kBlockRows = 4096;
+  std::vector<double> block;
+  block.reserve(kBlockRows * dim);
+  std::vector<double> values(kBlockRows);
+  std::vector<std::size_t> index(dim);
+
   for (std::size_t round = 0; round < refinement_rounds_; ++round) {
-    // Enumerate the full cartesian grid with an odometer counter.
-    std::vector<std::size_t> index(dim, 0);
-    std::vector<double> point(dim, 0.0);
+    std::fill(index.begin(), index.end(), 0);
     bool done = false;
     while (!done) {
-      for (std::size_t i = 0; i < dim; ++i) {
-        const double t = static_cast<double>(index[i]) /
-                         static_cast<double>(points_per_dimension_ - 1);
-        point[i] = box.lower[i] + t * (box.upper[i] - box.lower[i]);
+      block.clear();
+      std::size_t rows = 0;
+      while (!done && rows < kBlockRows) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          const double t = static_cast<double>(index[i]) /
+                           static_cast<double>(points_per_dimension_ - 1);
+          block.push_back(box.lower[i] +
+                          t * (box.upper[i] - box.lower[i]));
+        }
+        ++rows;
+        // Advance the odometer.
+        std::size_t axis = 0;
+        for (; axis < dim; ++axis) {
+          if (++index[axis] < points_per_dimension_) break;
+          index[axis] = 0;
+        }
+        done = axis == dim;
       }
-      const double value = problem.objective(point);
-      ++result.evaluations;
-      if (value < result.value) {
-        result.value = value;
-        result.argmin = point;
+      problem.evaluate_batch(block,
+                             std::span<double>(values.data(), rows));
+      result.evaluations += rows;
+      for (std::size_t row = 0; row < rows; ++row) {
+        if (values[row] < result.value) {
+          result.value = values[row];
+          const auto* begin = block.data() + row * dim;
+          result.argmin.assign(begin, begin + dim);
+        }
       }
-      // Advance the odometer.
-      std::size_t axis = 0;
-      for (; axis < dim; ++axis) {
-        if (++index[axis] < points_per_dimension_) break;
-        index[axis] = 0;
-      }
-      done = axis == dim;
     }
     ++result.iterations;
 
@@ -81,10 +100,11 @@ std::pair<std::size_t, std::size_t> GridTable::argmin() const {
   return {flat / ys.size(), flat % ys.size()};
 }
 
-GridTable tabulate_2d(const Objective& objective, const Box& bounds,
-                      std::size_t nx, std::size_t ny) {
-  SAFEOPT_EXPECTS(bounds.dimension() == 2);
+GridTable tabulate_2d(const Problem& problem, std::size_t nx,
+                      std::size_t ny) {
+  SAFEOPT_EXPECTS(problem.bounds.dimension() == 2);
   SAFEOPT_EXPECTS(nx >= 2 && ny >= 2);
+  const Box& bounds = problem.bounds;
   GridTable table;
   table.xs.resize(nx);
   table.ys.resize(ny);
@@ -97,15 +117,26 @@ GridTable tabulate_2d(const Objective& objective, const Box& bounds,
     const double t = static_cast<double>(j) / static_cast<double>(ny - 1);
     table.ys[j] = bounds.lower[1] + t * (bounds.upper[1] - bounds.lower[1]);
   }
-  std::vector<double> point(2);
+  std::vector<double> points;
+  points.reserve(nx * ny * 2);
   for (std::size_t i = 0; i < nx; ++i) {
     for (std::size_t j = 0; j < ny; ++j) {
-      point[0] = table.xs[i];
-      point[1] = table.ys[j];
-      table.values[i * ny + j] = objective(point);
+      points.push_back(table.xs[i]);
+      points.push_back(table.ys[j]);
     }
   }
+  problem.evaluate_batch(points, table.values);
   return table;
+}
+
+GridTable tabulate_2d(const Objective& objective, const Box& bounds,
+                      std::size_t nx, std::size_t ny) {
+  // Same layout, serial evaluation: Problem::evaluate_batch without a
+  // batch_objective loops over the objective in row order.
+  Problem problem;
+  problem.objective = objective;
+  problem.bounds = bounds;
+  return tabulate_2d(problem, nx, ny);
 }
 
 }  // namespace safeopt::opt

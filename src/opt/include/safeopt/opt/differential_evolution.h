@@ -21,6 +21,16 @@ class DifferentialEvolution final : public Optimizer {
     /// Stop early when the population's best-to-worst value spread falls
     /// below this.
     double spread_tolerance = 1e-12;
+    /// Generation-synchronous evaluation: every generation's trials are
+    /// produced first and then evaluated in one Problem::evaluate_batch
+    /// call (the compiled-tape / thread-pool fast path), with selection
+    /// against the *previous* generation — textbook synchronous DE. The
+    /// default (false) keeps the steady-state variant above, where an
+    /// accepted trial can serve as a donor later in the same generation;
+    /// the two trajectories differ, so this is an explicit opt-in. For a
+    /// fixed seed the synchronous result is bitwise-independent of how
+    /// the batch is parallelized.
+    bool synchronous_batch = false;
   };
 
   DifferentialEvolution() : DifferentialEvolution(Settings{}) {}

@@ -47,6 +47,12 @@ struct GridTable {
                                     const Box& bounds, std::size_t nx,
                                     std::size_t ny);
 
+/// Same surface through the problem's batch path (compiled tapes, thread
+/// pool) — use this for large figure-quality grids. Values are identical to
+/// the Objective overload over problem.bounds.
+[[nodiscard]] GridTable tabulate_2d(const Problem& problem, std::size_t nx,
+                                    std::size_t ny);
+
 }  // namespace safeopt::opt
 
 #endif  // SAFEOPT_OPT_GRID_SEARCH_H

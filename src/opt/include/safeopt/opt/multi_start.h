@@ -2,6 +2,13 @@
 // quasi-random starting points and keeps the best result. Turns any local
 // method (Nelder–Mead, gradient descent, ...) into a practical global one on
 // the compact boxes safety optimization works with.
+//
+// Starts are independent solves, so they parallelize embarrassingly: pass a
+// ThreadPool and they run concurrently. Start points are drawn before any
+// solver runs and the reduction is by (value, start index), so the result is
+// identical to the sequential run for any thread count — provided the
+// problem's objective/gradient are thread-safe (expression evaluation and
+// compiled tapes both are).
 #ifndef SAFEOPT_OPT_MULTI_START_H
 #define SAFEOPT_OPT_MULTI_START_H
 
@@ -11,6 +18,10 @@
 
 #include "safeopt/opt/problem.h"
 
+namespace safeopt {
+class ThreadPool;
+}
+
 namespace safeopt::opt {
 
 class MultiStart final : public Optimizer {
@@ -19,8 +30,10 @@ class MultiStart final : public Optimizer {
   using LocalSolverFactory =
       std::function<std::unique_ptr<Optimizer>(std::vector<double> initial)>;
 
+  /// `pool` (optional, not owned, must outlive the optimizer) runs the
+  /// starts concurrently; nullptr keeps them sequential.
   MultiStart(LocalSolverFactory factory, std::size_t starts,
-             std::uint64_t seed = 0x5eedbed);
+             std::uint64_t seed = 0x5eedbed, ThreadPool* pool = nullptr);
 
   [[nodiscard]] OptimizationResult minimize(
       const Problem& problem) const override;
@@ -30,6 +43,7 @@ class MultiStart final : public Optimizer {
   LocalSolverFactory factory_;
   std::size_t starts_;
   std::uint64_t seed_;
+  ThreadPool* pool_;
 };
 
 }  // namespace safeopt::opt

@@ -43,15 +43,36 @@ using Objective = std::function<double(std::span<const double>)>;
 /// fall back to central finite differences when absent.
 using Gradient = std::function<std::vector<double>(std::span<const double>)>;
 
+/// Evaluates many points in one call: `points` holds out.size() parameter
+/// vectors row-major (points.size() == out.size() * dimension) and the
+/// objective value of row i is written to out[i]. Contract: produces exactly
+/// the values `objective` produces (bitwise), each out[i] depending only on
+/// row i — implementations may evaluate rows concurrently, and callers may
+/// rely on the result being independent of that choice. The batched
+/// call sites (GridSearch rounds, DE generations, sweeps) are where the
+/// compiled-expression engine and the thread pool plug into the solvers.
+using BatchObjective =
+    std::function<void(std::span<const double> points, std::span<double> out)>;
+
 /// A minimization problem: minimize `objective` over `bounds`.
 struct Problem {
   Objective objective;
   Box bounds;
-  Gradient gradient;  // may be empty
+  Gradient gradient;                // may be empty
+  BatchObjective batch_objective;   // may be empty; must agree with objective
 
   [[nodiscard]] bool has_gradient() const noexcept {
     return static_cast<bool>(gradient);
   }
+  [[nodiscard]] bool has_batch_objective() const noexcept {
+    return static_cast<bool>(batch_objective);
+  }
+
+  /// Batch evaluation through `batch_objective` when present, else a serial
+  /// loop over `objective`. Precondition: points.size() == out.size() *
+  /// bounds.dimension() and objective is callable.
+  void evaluate_batch(std::span<const double> points,
+                      std::span<double> out) const;
 };
 
 /// Outcome of one solver run.

@@ -2,12 +2,13 @@
 
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/rng.h"
+#include "safeopt/support/thread_pool.h"
 
 namespace safeopt::opt {
 
 MultiStart::MultiStart(LocalSolverFactory factory, std::size_t starts,
-                       std::uint64_t seed)
-    : factory_(std::move(factory)), starts_(starts), seed_(seed) {
+                       std::uint64_t seed, ThreadPool* pool)
+    : factory_(std::move(factory)), starts_(starts), seed_(seed), pool_(pool) {
   SAFEOPT_EXPECTS(starts >= 1);
   SAFEOPT_EXPECTS(static_cast<bool>(factory_));
 }
@@ -17,32 +18,53 @@ OptimizationResult MultiStart::minimize(const Problem& problem) const {
   SAFEOPT_EXPECTS(dim >= 1);
   Rng rng(seed_);
 
-  OptimizationResult best;
-  bool first = true;
-  for (std::size_t s = 0; s < starts_; ++s) {
-    // Start 0 is the box center (the "engineer's default"); the rest are
-    // uniform random points in the box.
-    std::vector<double> start(dim);
-    if (s == 0) {
-      start = problem.bounds.center();
-    } else {
-      for (std::size_t i = 0; i < dim; ++i) {
-        start[i] =
-            uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
-      }
+  // Draw every start before any solve runs, so the start list (and with it
+  // the whole result) does not depend on scheduling. Start 0 is the box
+  // center (the "engineer's default"); the rest are uniform random points.
+  std::vector<std::vector<double>> starts(starts_,
+                                          std::vector<double>(dim));
+  starts[0] = problem.bounds.center();
+  for (std::size_t s = 1; s < starts_; ++s) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      starts[s][i] =
+          uniform(rng, problem.bounds.lower[i], problem.bounds.upper[i]);
     }
-    const std::unique_ptr<Optimizer> solver = factory_(std::move(start));
-    SAFEOPT_ASSERT(solver != nullptr);
-    OptimizationResult result = solver->minimize(problem);
-    const std::size_t combined_evals = best.evaluations + result.evaluations;
-    const std::size_t combined_iters = best.iterations + result.iterations;
+  }
+  // Factories may be stateful, so build the solvers sequentially too.
+  std::vector<std::unique_ptr<Optimizer>> solvers(starts_);
+  for (std::size_t s = 0; s < starts_; ++s) {
+    solvers[s] = factory_(std::move(starts[s]));
+    SAFEOPT_ASSERT(solvers[s] != nullptr);
+  }
+
+  std::vector<OptimizationResult> results(starts_);
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      results[s] = solvers[s]->minimize(problem);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(starts_, run_range);
+  } else {
+    run_range(0, starts_);
+  }
+
+  // Sequential reduction with a strict '<' — same winner (first best) as
+  // the original one-at-a-time loop.
+  OptimizationResult best;
+  std::size_t total_evaluations = 0;
+  std::size_t total_iterations = 0;
+  bool first = true;
+  for (OptimizationResult& result : results) {
+    total_evaluations += result.evaluations;
+    total_iterations += result.iterations;
     if (first || result.value < best.value) {
       best = std::move(result);
       first = false;
     }
-    best.evaluations = combined_evals;
-    best.iterations = combined_iters;
   }
+  best.evaluations = total_evaluations;
+  best.iterations = total_iterations;
   best.message = "best of " + std::to_string(starts_) + " starts: " +
                  best.message;
   return best;

@@ -48,6 +48,20 @@ double Box::width(std::size_t i) const {
   return upper[i] - lower[i];
 }
 
+void Problem::evaluate_batch(std::span<const double> points,
+                             std::span<double> out) const {
+  const std::size_t dim = bounds.dimension();
+  SAFEOPT_EXPECTS(points.size() == out.size() * dim);
+  if (batch_objective) {
+    batch_objective(points, out);
+    return;
+  }
+  SAFEOPT_EXPECTS(static_cast<bool>(objective));
+  for (std::size_t row = 0; row < out.size(); ++row) {
+    out[row] = objective(points.subspan(row * dim, dim));
+  }
+}
+
 std::vector<double> finite_difference_gradient(const Objective& objective,
                                                const Box& bounds,
                                                std::span<const double> x,

@@ -56,6 +56,12 @@ class RunningMoments {
 class ProportionEstimator {
  public:
   void add(bool success) noexcept;
+  /// Folds in a pre-counted batch (e.g. one Monte Carlo chunk evaluated on
+  /// another thread). Precondition: successes <= trials.
+  void add_batch(std::uint64_t trials, std::uint64_t successes) noexcept {
+    n_ += trials;
+    k_ += successes;
+  }
   [[nodiscard]] std::uint64_t trials() const noexcept { return n_; }
   [[nodiscard]] std::uint64_t successes() const noexcept { return k_; }
   /// Point estimate k/n. Precondition: trials() > 0.

@@ -1,0 +1,82 @@
+// A small fixed-size thread pool for the batched evaluation paths
+// (compiled-expression batches, grid rounds, DE generations, Monte Carlo
+// chunks). Deliberately work-stealing-free: one mutex-guarded FIFO queue is
+// plenty for the coarse, similarly-sized chunks those call sites submit, and
+// keeps the scheduling deterministic enough to reason about.
+//
+// Determinism contract: parallel_for's chunk boundaries depend only on `n`
+// and grain, never on timing; callers that write results into index-addressed
+// slots therefore produce output that is bitwise-independent of the thread
+// count (including 0-thread inline execution).
+//
+// Nested use is safe: a parallel_for issued from inside a pool worker runs
+// inline in that worker instead of enqueueing (which could deadlock a pool
+// whose every worker is waiting on subtasks).
+#ifndef SAFEOPT_SUPPORT_THREAD_POOL_H
+#define SAFEOPT_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safeopt {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1). The pool never uses the calling thread for queued tasks.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues one task. Fire-and-forget; pair with wait_idle() or use
+  /// parallel_for for joinable work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Splits [0, n) into contiguous chunks of at least `grain` indices,
+  /// runs body(begin, end) for each, and blocks until all complete. Chunk
+  /// boundaries depend only on n, grain and thread_count() — not on timing.
+  /// Runs inline when n is small, the pool is single-threaded, or the
+  /// caller is itself a pool worker (nested parallelism). Exceptions thrown
+  /// by `body` are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide shared pool, created on first use with the default thread
+  /// count. Use for call sites that want parallelism without plumbing a pool
+  /// through their API.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// True when called from inside one of this process's pool workers (any
+  /// pool) — parallel sections use it to fall back to inline execution.
+  [[nodiscard]] static bool inside_worker() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+};
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_THREAD_POOL_H

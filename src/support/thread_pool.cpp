@@ -1,0 +1,124 @@
+#include "safeopt/support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "safeopt/support/contracts.h"
+
+namespace safeopt {
+
+namespace {
+thread_local bool t_inside_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SAFEOPT_EXPECTS(static_cast<bool>(task));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SAFEOPT_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  SAFEOPT_EXPECTS(static_cast<bool>(body));
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  // Chunk layout depends only on (n, grain, thread_count): ceil-divide into
+  // at most thread_count chunks of at least `grain` indices each.
+  const std::size_t max_chunks =
+      std::min(thread_count(), (n + grain - 1) / grain);
+  if (max_chunks <= 1 || thread_count() <= 1 || t_inside_worker) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done;
+
+  std::size_t chunks = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk) ++chunks;
+  remaining.store(chunks, std::memory_order_relaxed);
+
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::inside_worker() noexcept { return t_inside_worker; }
+
+}  // namespace safeopt

@@ -1,0 +1,90 @@
+// Acceptance tests for the compiled-evaluation path on the paper's own
+// optimization problem: running a solver against the compiled tape must give
+// exactly (bitwise) the optimum the recursive expression walk gives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "safeopt/core/safety_optimizer.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/expr/compiled.h"
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/grid_search.h"
+
+namespace safeopt::elbtunnel {
+namespace {
+
+/// The pre-compilation objective: assignment construction + tree walk.
+opt::Problem tree_walk_problem(const core::SafetyOptimizer& optimizer) {
+  opt::Problem problem;
+  problem.bounds = optimizer.space().box();
+  const core::ParameterSpace space = optimizer.space();
+  const expr::Expr cost = optimizer.model().cost_expression();
+  problem.objective = [space, cost](std::span<const double> x) {
+    return cost.evaluate(space.assignment(x));
+  };
+  return problem;
+}
+
+TEST(CompiledPathTest, CompiledCostMatchesTreeWalkAcrossTheBox) {
+  const ElbtunnelModel model;
+  const expr::Expr cost = model.cost_model().cost_expression();
+  const auto compiled = expr::CompiledExpr::compile(cost, {"T1", "T2"});
+  for (double t1 = 5.0; t1 <= 40.0; t1 += 1.7) {
+    for (double t2 = 5.0; t2 <= 40.0; t2 += 2.3) {
+      const double tree = cost.evaluate({{"T1", t1}, {"T2", t2}});
+      EXPECT_EQ(tree, compiled.evaluate(std::vector<double>{t1, t2}));
+    }
+  }
+}
+
+TEST(CompiledPathTest, GridSearchOptimumIsBitwiseIdentical) {
+  const ElbtunnelModel model;
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  const opt::GridSearch search(33, 5);
+
+  const opt::OptimizationResult tree =
+      search.minimize(tree_walk_problem(optimizer));
+  // optimizer.problem() carries the compiled scalar + batch objectives.
+  const opt::OptimizationResult compiled =
+      search.minimize(optimizer.problem());
+
+  EXPECT_EQ(tree.value, compiled.value);
+  EXPECT_EQ(tree.argmin, compiled.argmin);
+  EXPECT_EQ(tree.evaluations, compiled.evaluations);
+}
+
+TEST(CompiledPathTest, DifferentialEvolutionOptimumIsBitwiseIdentical) {
+  const ElbtunnelModel model;
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  opt::DifferentialEvolution::Settings settings;
+  settings.generations = 60;
+  const opt::DifferentialEvolution solver(settings, 0xd1ffe);
+
+  const opt::OptimizationResult tree =
+      solver.minimize(tree_walk_problem(optimizer));
+  const opt::OptimizationResult compiled =
+      solver.minimize(optimizer.problem());
+
+  EXPECT_EQ(tree.value, compiled.value);
+  EXPECT_EQ(tree.argmin, compiled.argmin);
+}
+
+TEST(CompiledPathTest, BatchedTabulationMatchesScalarSurface) {
+  const ElbtunnelModel model;
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  const opt::Problem problem = optimizer.problem();
+
+  // The Fig. 5 plotting box.
+  opt::Problem figure = problem;
+  figure.bounds = opt::Box({15.0, 15.0}, {20.0, 18.0});
+  const opt::GridTable batched = opt::tabulate_2d(figure, 21, 25);
+  const opt::GridTable scalar =
+      opt::tabulate_2d(problem.objective, figure.bounds, 21, 25);
+  EXPECT_EQ(batched.xs, scalar.xs);
+  EXPECT_EQ(batched.ys, scalar.ys);
+  EXPECT_EQ(batched.values, scalar.values);
+}
+
+}  // namespace
+}  // namespace safeopt::elbtunnel

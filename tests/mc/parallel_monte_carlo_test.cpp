@@ -1,0 +1,68 @@
+// Parallel Monte Carlo estimation: per-chunk xoshiro jump() streams must
+// make the result a pure function of (tree, input, trials, seed) — never of
+// the thread count — and the estimate must still agree with the analytic
+// probability.
+#include <gtest/gtest.h>
+
+#include "safeopt/bdd/bdd.h"
+#include "safeopt/mc/monte_carlo.h"
+#include "safeopt/support/thread_pool.h"
+#include "testutil/random_tree.h"
+
+namespace safeopt::mc {
+namespace {
+
+TEST(ParallelMonteCarloTest, ResultIndependentOfThreadCount) {
+  const fta::FaultTree tree = testutil::random_tree(21);
+  const auto input = fta::QuantificationInput::for_tree(tree, 0.05);
+
+  ThreadPool one(1);
+  const MonteCarloResult reference =
+      estimate_hazard_probability(tree, input, 100000, one, 0xabcd);
+  for (const std::size_t threads : {2u, 5u}) {
+    ThreadPool pool(threads);
+    const MonteCarloResult result =
+        estimate_hazard_probability(tree, input, 100000, pool, 0xabcd);
+    EXPECT_EQ(result.occurrences, reference.occurrences)
+        << threads << " threads";
+    EXPECT_EQ(result.trials, reference.trials);
+    EXPECT_EQ(result.estimate, reference.estimate);
+  }
+}
+
+TEST(ParallelMonteCarloTest, SeedChangesTheSample) {
+  const fta::FaultTree tree = testutil::random_tree(22);
+  const auto input = fta::QuantificationInput::for_tree(tree, 0.05);
+  ThreadPool pool(2);
+  const MonteCarloResult a =
+      estimate_hazard_probability(tree, input, 50000, pool, 1);
+  const MonteCarloResult b =
+      estimate_hazard_probability(tree, input, 50000, pool, 2);
+  EXPECT_NE(a.occurrences, b.occurrences);
+}
+
+TEST(ParallelMonteCarloTest, PartialFinalChunkCountsAllTrials) {
+  const fta::FaultTree tree = testutil::random_tree(23);
+  const auto input = fta::QuantificationInput::for_tree(tree, 0.1);
+  ThreadPool pool(3);
+  // 40000 is not a multiple of the 16384-trial chunk size.
+  const MonteCarloResult result =
+      estimate_hazard_probability(tree, input, 40000, pool);
+  EXPECT_EQ(result.trials, 40000u);
+  EXPECT_LE(result.occurrences, result.trials);
+}
+
+TEST(ParallelMonteCarloTest, EstimateIsConsistentWithExactProbability) {
+  const fta::FaultTree tree = testutil::random_tree(24);
+  const auto input = fta::QuantificationInput::for_tree(tree, 0.05);
+  const double exact = bdd::compile(tree).probability(input);
+
+  ThreadPool pool(4);
+  const MonteCarloResult result =
+      estimate_hazard_probability(tree, input, 400000, pool);
+  EXPECT_TRUE(result.consistent_with(exact))
+      << "estimate " << result.estimate << " vs exact " << exact;
+}
+
+}  // namespace
+}  // namespace safeopt::mc

@@ -1,0 +1,151 @@
+// Batched evaluation through opt::Problem: the fallback loop, the GridSearch
+// block path, synchronous differential evolution, and parallel multi-start
+// must all produce results that are bitwise-independent of how (and whether)
+// evaluation is batched or threaded.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "safeopt/opt/differential_evolution.h"
+#include "safeopt/opt/grid_search.h"
+#include "safeopt/opt/multi_start.h"
+#include "safeopt/opt/nelder_mead.h"
+#include "safeopt/opt/problem.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::opt {
+namespace {
+
+double himmelblau(std::span<const double> x) {
+  const double a = x[0] * x[0] + x[1] - 11.0;
+  const double b = x[0] + x[1] * x[1] - 7.0;
+  return a * a + b * b;
+}
+
+Problem himmelblau_problem() {
+  Problem problem;
+  problem.objective = himmelblau;
+  problem.bounds = Box({-5.0, -5.0}, {5.0, 5.0});
+  return problem;
+}
+
+TEST(ProblemBatchTest, FallbackLoopMatchesObjective) {
+  const Problem problem = himmelblau_problem();
+  ASSERT_FALSE(problem.has_batch_objective());
+  std::vector<double> points{1.0, 2.0, -3.0, 0.5, 4.0, -4.0};
+  std::vector<double> out(3);
+  problem.evaluate_batch(points, out);
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    EXPECT_EQ(out[r], himmelblau(std::span<const double>(&points[r * 2], 2)));
+  }
+}
+
+TEST(ProblemBatchTest, BatchObjectiveIsPreferred) {
+  Problem problem = himmelblau_problem();
+  std::atomic<int> batch_calls{0};
+  problem.batch_objective = [&batch_calls](std::span<const double> points,
+                                           std::span<double> out) {
+    ++batch_calls;
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      out[r] = himmelblau(points.subspan(r * 2, 2));
+    }
+  };
+  std::vector<double> points{0.0, 0.0, 3.0, 2.0};
+  std::vector<double> out(2);
+  problem.evaluate_batch(points, out);
+  EXPECT_EQ(batch_calls.load(), 1);
+  EXPECT_EQ(out[1], 0.0);  // (3, 2) is a Himmelblau minimum
+}
+
+TEST(GridSearchBatchTest, BatchedProblemGivesIdenticalResult) {
+  const Problem scalar = himmelblau_problem();
+  Problem batched = himmelblau_problem();
+  ThreadPool pool(3);
+  batched.batch_objective = [&pool](std::span<const double> points,
+                                    std::span<double> out) {
+    pool.parallel_for(out.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        out[r] = himmelblau(points.subspan(r * 2, 2));
+      }
+    });
+  };
+
+  const GridSearch search(41, 4);
+  const OptimizationResult a = search.minimize(scalar);
+  const OptimizationResult b = search.minimize(batched);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.argmin, b.argmin);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(GridSearchBatchTest, BlockedScanKeepsFirstOfTiedMinima) {
+  // A constant objective ties everywhere; the incumbent must be the first
+  // enumerated grid point (axis 0 fastest from the lower corner), exactly
+  // as the pre-batching scalar loop behaved.
+  Problem problem;
+  problem.objective = [](std::span<const double>) { return 1.0; };
+  problem.bounds = Box({0.0, 0.0}, {1.0, 1.0});
+  const OptimizationResult result = GridSearch(5, 1).minimize(problem);
+  EXPECT_EQ(result.argmin, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(DifferentialEvolutionBatchTest, SynchronousModeIsDeterministic) {
+  DifferentialEvolution::Settings settings;
+  settings.generations = 40;
+  settings.synchronous_batch = true;
+  const DifferentialEvolution solver(settings, 0xfeed);
+
+  const Problem scalar = himmelblau_problem();
+  const OptimizationResult reference = solver.minimize(scalar);
+
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Problem batched = himmelblau_problem();
+    batched.batch_objective = [&pool](std::span<const double> points,
+                                      std::span<double> out) {
+      pool.parallel_for(out.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = himmelblau(points.subspan(r * 2, 2));
+        }
+      });
+    };
+    const OptimizationResult result = solver.minimize(batched);
+    EXPECT_EQ(result.value, reference.value) << threads << " threads";
+    EXPECT_EQ(result.argmin, reference.argmin) << threads << " threads";
+  }
+}
+
+TEST(DifferentialEvolutionBatchTest, SynchronousModeFindsTheMinimum) {
+  DifferentialEvolution::Settings settings;
+  settings.synchronous_batch = true;
+  const OptimizationResult result =
+      DifferentialEvolution(settings).minimize(himmelblau_problem());
+  EXPECT_NEAR(result.value, 0.0, 1e-8);
+}
+
+TEST(MultiStartParallelTest, PoolGivesIdenticalResultToSequential) {
+  const Problem problem = himmelblau_problem();
+  const auto factory = [](std::vector<double> start) {
+    return std::make_unique<NelderMead>(StoppingCriteria{}, std::move(start));
+  };
+
+  const MultiStart sequential(factory, 8, 0xabc);
+  const OptimizationResult reference = sequential.minimize(problem);
+
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const MultiStart parallel(factory, 8, 0xabc, &pool);
+    const OptimizationResult result = parallel.minimize(problem);
+    EXPECT_EQ(result.value, reference.value) << threads << " threads";
+    EXPECT_EQ(result.argmin, reference.argmin) << threads << " threads";
+    EXPECT_EQ(result.evaluations, reference.evaluations)
+        << threads << " threads";
+    EXPECT_EQ(result.message, reference.message) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::opt
