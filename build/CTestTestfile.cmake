@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/safeopt_bdd_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_core_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_elbtunnel_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_expr_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_fta_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_ftio_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_mc_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_modelcheck_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_opt_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_sim_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_stats_tests[1]_include.cmake")
+include("/root/repo/build/safeopt_support_tests[1]_include.cmake")
