@@ -1,18 +1,23 @@
 // Experiment: compiled-tape evaluation vs the recursive expression walk on
 // the paper's Fig. 5 cost surface f_cost(T1, T2).
 //
-// Three evaluation strategies over the same grid workload:
+// Evaluation strategies over the same grid workload:
 //   tree    — the pre-compilation objective path: build a
 //             ParameterAssignment, walk the Expr DAG (what every optimizer
 //             called before this subsystem existed);
 //   tape    — CompiledExpr::evaluate, one point at a time;
-//   batch   — CompiledExpr::evaluate_batch, single-threaded (workspace memo
-//             active) and fanned out over a ThreadPool.
+//   lane L  — CompiledExpr::evaluate_batch at lane width L ∈ {1, 4, 8}.
+//             L = 1 is the single-lane reference loop (the PR 1 batch
+//             path); L = 4/8 run the SoA lane kernel;
+//   batch N — the lane kernel fanned out over a ThreadPool;
+//   grad    — per-point evaluate_with_gradient vs the lane-batched
+//             evaluate_batch_with_gradients (values + gradients per row).
 //
-// Besides timing, the run *verifies* the architectural contract: every
-// strategy must produce bitwise-identical surfaces, and GridSearch /
-// DifferentialEvolution must return bitwise-identical optima on the tree
-// and compiled paths.
+// Besides timing, the run *verifies* the architectural contracts: every
+// strategy must produce bitwise-identical surfaces (lane-count and
+// thread-count invariance), batched gradients must equal the per-point
+// reverse sweep bitwise, and GridSearch / DifferentialEvolution must return
+// bitwise-identical optima on the tree and compiled paths.
 //
 // Usage: bench_compiled_eval [--repeats N] [--grid N] [--json PATH]
 //   --repeats  timing repetitions per strategy (default 5; CI smoke uses 1)
@@ -118,38 +123,84 @@ int main(int argc, char** argv) {
     }
   });
 
-  // --- strategy 3: compiled batch, one thread ----------------------------
-  std::vector<double> batch_values(rows);
-  const double batch1_s = best_time(
-      repeats, [&] { compiled.evaluate_batch(points, batch_values); });
+  // --- strategies 3-5: batch at lane widths 1 (reference), 4, 8 ----------
+  std::vector<double> lane1_values(rows);
+  const double lane1_s = best_time(
+      repeats, [&] { compiled.evaluate_batch(points, lane1_values, 1); });
+  std::vector<double> lane4_values(rows);
+  const double lane4_s = best_time(
+      repeats, [&] { compiled.evaluate_batch(points, lane4_values, 4); });
+  std::vector<double> lane8_values(rows);
+  const double lane8_s = best_time(
+      repeats, [&] { compiled.evaluate_batch(points, lane8_values, 8); });
 
-  // --- strategy 4: compiled batch over the thread pool -------------------
+  // --- strategy 6: lane kernel over the thread pool ----------------------
   ThreadPool& pool = ThreadPool::shared();
   std::vector<double> parallel_values(rows);
   const double batchn_s = best_time(repeats, [&] {
     compiled.evaluate_batch(points, parallel_values, pool);
   });
 
-  const bool surfaces_identical = tree_values == tape_values &&
-                                  tree_values == batch_values &&
+  // Lane-count invariance: every width must reproduce the scalar surface
+  // bit for bit; thread-count invariance: so must the pooled run.
+  const bool lanes_invariant = tree_values == lane1_values &&
+                               tree_values == lane4_values &&
+                               tree_values == lane8_values;
+  const bool surfaces_identical = lanes_invariant &&
+                                  tree_values == tape_values &&
                                   tree_values == parallel_values;
 
-  const double tree_ns = 1e9 * tree_s / static_cast<double>(rows);
-  const double tape_ns = 1e9 * tape_s / static_cast<double>(rows);
-  const double batch1_ns = 1e9 * batch1_s / static_cast<double>(rows);
-  const double batchn_ns = 1e9 * batchn_s / static_cast<double>(rows);
+  // --- gradients: per-point reverse sweep vs lane-batched sweep ----------
+  std::vector<double> grad_point_values(rows);
+  std::vector<double> grad_point(rows * 2);
+  const double gradp_s = best_time(repeats, [&] {
+    for (std::size_t r = 0; r < rows; ++r) {
+      grad_point_values[r] = compiled.evaluate_with_gradient(
+          std::span<const double>(&points[2 * r], 2),
+          std::span<double>(&grad_point[2 * r], 2));
+    }
+  });
+  std::vector<double> grad_batch_values(rows);
+  std::vector<double> grad_batch(rows * 2);
+  const double gradb_s = best_time(repeats, [&] {
+    compiled.evaluate_batch_with_gradients(points, grad_batch_values,
+                                           grad_batch);
+  });
+  const bool gradients_identical = grad_point_values == grad_batch_values &&
+                                   grad_point == grad_batch;
+
+  const auto per_eval = [rows](double s) {
+    return 1e9 * s / static_cast<double>(rows);
+  };
+  const double tree_ns = per_eval(tree_s);
+  const double tape_ns = per_eval(tape_s);
+  const double lane1_ns = per_eval(lane1_s);
+  const double lane4_ns = per_eval(lane4_s);
+  const double lane8_ns = per_eval(lane8_s);
+  const double batchn_ns = per_eval(batchn_s);
+  const double gradp_ns = per_eval(gradp_s);
+  const double gradb_ns = per_eval(gradb_s);
 
   std::printf("grid workload: %zu points (%zu x %zu), best of %d\n", rows,
               grid, grid, repeats);
   std::printf("  tree walk          : %8.1f ns/eval   1.00x\n", tree_ns);
   std::printf("  compiled tape      : %8.1f ns/eval   %.2fx\n", tape_ns,
               tree_ns / tape_ns);
-  std::printf("  batch, 1 thread    : %8.1f ns/eval   %.2fx\n", batch1_ns,
-              tree_ns / batch1_ns);
+  std::printf("  batch, 1 lane      : %8.1f ns/eval   %.2fx\n", lane1_ns,
+              tree_ns / lane1_ns);
+  std::printf("  batch, 4 lanes     : %8.1f ns/eval   %.2fx\n", lane4_ns,
+              tree_ns / lane4_ns);
+  std::printf("  batch, 8 lanes     : %8.1f ns/eval   %.2fx\n", lane8_ns,
+              tree_ns / lane8_ns);
   std::printf("  batch, %2zu threads  : %8.1f ns/eval   %.2fx\n",
               pool.thread_count(), batchn_ns, tree_ns / batchn_ns);
-  std::printf("  surfaces bitwise-identical: %s\n\n",
+  std::printf("  gradient, per point: %8.1f ns/eval\n", gradp_ns);
+  std::printf("  gradient, 8 lanes  : %8.1f ns/eval   %.2fx vs per-point\n",
+              gradb_ns, gradp_ns / gradb_ns);
+  std::printf("  surfaces bitwise-identical (lane/thread invariant): %s\n",
               surfaces_identical ? "yes" : "NO — BUG");
+  std::printf("  batched gradients bitwise-identical: %s\n\n",
+              gradients_identical ? "yes" : "NO — BUG");
 
   // --- identical optima through the solvers ------------------------------
   opt::Problem tree_problem;
@@ -186,9 +237,10 @@ int main(int argc, char** argv) {
   std::printf("  bitwise-identical: %s\n", de_identical ? "yes" : "NO");
   std::printf("paper optimum:                 T1=19       T2=15.6\n");
 
-  const bool tape_fast_enough = tree_ns / batch1_ns >= 3.0;
-  std::printf("\nsingle-threaded compiled speedup >= 3x: %s\n",
-              tape_fast_enough ? "yes" : "NO");
+  const bool lane_fast_enough = lane1_ns / lane8_ns >= 2.0;
+  std::printf("\n8-lane kernel speedup over single-lane batch >= 2x: %s "
+              "(%.2fx)\n",
+              lane_fast_enough ? "yes" : "NO", lane1_ns / lane8_ns);
 
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
@@ -203,24 +255,35 @@ int main(int argc, char** argv) {
                  "  \"threads\": %zu,\n"
                  "  \"tree_ns_per_eval\": %.3f,\n"
                  "  \"tape_ns_per_eval\": %.3f,\n"
-                 "  \"batch1_ns_per_eval\": %.3f,\n"
+                 "  \"lane1_ns_per_eval\": %.3f,\n"
+                 "  \"lane4_ns_per_eval\": %.3f,\n"
+                 "  \"lane8_ns_per_eval\": %.3f,\n"
                  "  \"batchn_ns_per_eval\": %.3f,\n"
+                 "  \"grad_point_ns_per_eval\": %.3f,\n"
+                 "  \"grad_lane_ns_per_eval\": %.3f,\n"
                  "  \"speedup_tape\": %.3f,\n"
-                 "  \"speedup_batch1\": %.3f,\n"
-                 "  \"speedup_batchn\": %.3f,\n"
+                 "  \"speedup_lane8\": %.3f,\n"
+                 "  \"speedup_lane8_vs_lane1\": %.3f,\n"
+                 "  \"speedup_grad_lane_vs_point\": %.3f,\n"
                  "  \"surfaces_identical\": %s,\n"
+                 "  \"lanes_invariant\": %s,\n"
+                 "  \"gradients_identical\": %s,\n"
                  "  \"grid_search_identical\": %s,\n"
                  "  \"de_identical\": %s\n"
                  "}\n",
                  rows, repeats, pool.thread_count(), tree_ns, tape_ns,
-                 batch1_ns, batchn_ns, tree_ns / tape_ns, tree_ns / batch1_ns,
-                 tree_ns / batchn_ns, surfaces_identical ? "true" : "false",
+                 lane1_ns, lane4_ns, lane8_ns, batchn_ns, gradp_ns, gradb_ns,
+                 tree_ns / tape_ns, tree_ns / lane8_ns, lane1_ns / lane8_ns,
+                 gradp_ns / gradb_ns, surfaces_identical ? "true" : "false",
+                 lanes_invariant ? "true" : "false",
+                 gradients_identical ? "true" : "false",
                  grid_identical ? "true" : "false",
                  de_identical ? "true" : "false");
     std::fclose(f);
     std::printf("json written to %s\n", json_path.c_str());
   }
 
-  const bool ok = surfaces_identical && grid_identical && de_identical;
+  const bool ok = surfaces_identical && gradients_identical &&
+                  grid_identical && de_identical;
   return ok ? 0 : 1;
 }

@@ -19,7 +19,7 @@ fta::FaultTree vote_tree(std::uint32_t n, std::uint32_t k) {
   std::vector<fta::NodeId> leaves;
   leaves.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+    leaves.push_back(tree.add_basic_event(concat("e", std::to_string(i))));
   }
   tree.set_top(tree.add_k_of_n("top", k, std::move(leaves)));
   return tree;
@@ -29,10 +29,10 @@ fta::FaultTree ladder_tree(std::uint32_t rungs) {
   fta::FaultTree tree("ladder");
   fta::NodeId previous = tree.add_basic_event("seed");
   for (std::uint32_t i = 0; i < rungs; ++i) {
-    const auto a = tree.add_basic_event("a" + std::to_string(i));
-    const auto b = tree.add_basic_event("b" + std::to_string(i));
-    const auto pair = tree.add_and("and" + std::to_string(i), {a, b});
-    previous = tree.add_or("or" + std::to_string(i), {previous, pair});
+    const auto a = tree.add_basic_event(concat("a", std::to_string(i)));
+    const auto b = tree.add_basic_event(concat("b", std::to_string(i)));
+    const auto pair = tree.add_and(concat("and", std::to_string(i)), {a, b});
+    previous = tree.add_or(concat("or", std::to_string(i)), {previous, pair});
   }
   tree.set_top(previous);
   return tree;

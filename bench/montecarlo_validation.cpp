@@ -10,10 +10,12 @@
 #include <cstdio>
 
 #include "safeopt/bdd/bdd.h"
+#include "safeopt/core/compiled_quantification.h"
 #include "safeopt/elbtunnel/elbtunnel_model.h"
 #include "safeopt/mc/monte_carlo.h"
 #include "safeopt/sim/traffic.h"
 #include "safeopt/stats/distribution.h"
+#include "safeopt/support/thread_pool.h"
 
 int main() {
   using namespace safeopt;
@@ -25,16 +27,20 @@ int main() {
               "Monte Carlo", "in CI?");
   const fta::FaultTree alarm_tree = model.false_alarm_tree();
   const auto quantification = model.false_alarm_quantification(alarm_tree);
+  // Leaf probabilities come off compiled tapes (bitwise-identical to the
+  // symbolic walk) and the MC trials run on the deterministic parallel
+  // estimator — the compiled quantification seam end to end.
+  const core::CompiledQuantification compiled_q(quantification);
+  const fta::CutSetCollection alarm_mcs = fta::minimal_cut_sets(alarm_tree);
   for (const double t2 : {5.0, 10.0, 15.6, 20.0, 30.0}) {
     fta::QuantificationInput input =
-        quantification.evaluate({{"T1", 30.0}, {"T2", t2}});
+        compiled_q.input_at({{"T1", 30.0}, {"T2", t2}});
     input.condition_probability[0] = 1.0;  // OHV present
-    const double rare = fta::top_event_probability(
-        fta::minimal_cut_sets(alarm_tree), input);
+    const double rare = fta::top_event_probability(alarm_mcs, input);
     bdd::CompiledFaultTree compiled = bdd::compile(alarm_tree);
     const double exact = compiled.probability(input);
-    const auto sampled =
-        mc::estimate_hazard_probability(alarm_tree, input, 400000);
+    const auto sampled = mc::estimate_hazard_probability(
+        alarm_tree, input, 1000000, ThreadPool::shared());
     std::printf("%6.1f %14.6e %14.6e %14.6e %10s\n", t2, rare, exact,
                 sampled.estimate,
                 sampled.consistent_with(exact) ? "yes" : "NO");

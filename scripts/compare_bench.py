@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate for bench_compiled_eval: fail on performance or contract regressions.
+
+Usage: compare_bench.py BASELINE.json FRESH.json
+
+Compares the fresh benchmark JSON against the committed baseline
+(BENCH_compiled_eval.json). Two kinds of checks:
+
+  * contracts — every bitwise-identity boolean in the fresh run must be
+    true (lane/thread invariance, gradient identity, identical optima), and
+    the 8-lane kernel must keep its >= 2x speedup over the single-lane
+    batch path;
+  * throughput — each ns/eval metric, *normalized by the same run's
+    tree-walk ns/eval*, must not regress more than REGRESSION_LIMIT versus
+    the baseline. Normalizing by the tree walk (a fixed workload measured
+    in the same process) calibrates away machine-speed differences between
+    the baseline host and the CI runner, so the gate measures the compiled
+    engine's speedup, not the runner's clock.
+
+Exit status: 0 clean, 1 regression or violated contract, 2 usage error.
+"""
+
+import json
+import sys
+
+REGRESSION_LIMIT = 0.25  # fail when normalized ns/eval grows by more than 25%
+
+CONTRACT_FLAGS = [
+    "surfaces_identical",
+    "lanes_invariant",
+    "gradients_identical",
+    "grid_search_identical",
+    "de_identical",
+]
+
+# Gated metrics (ns/eval, lower is better). The threaded batch is reported
+# but not gated: CI runner core counts vary run to run.
+GATED_METRICS = [
+    "tape_ns_per_eval",
+    "lane1_ns_per_eval",
+    "lane4_ns_per_eval",
+    "lane8_ns_per_eval",
+    "grad_point_ns_per_eval",
+    "grad_lane_ns_per_eval",
+]
+REPORT_ONLY_METRICS = ["batchn_ns_per_eval"]
+
+MIN_LANE8_SPEEDUP = 2.0  # acceptance criterion: 8 lanes vs single-lane batch
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        fresh = json.load(f)
+
+    failures = []
+
+    for flag in CONTRACT_FLAGS:
+        if fresh.get(flag) is not True:
+            failures.append(f"contract violated: {flag} = {fresh.get(flag)}")
+
+    lane8_speedup = fresh.get("speedup_lane8_vs_lane1", 0.0)
+    if lane8_speedup < MIN_LANE8_SPEEDUP:
+        failures.append(
+            f"8-lane kernel speedup over single-lane batch fell to "
+            f"{lane8_speedup:.2f}x (minimum {MIN_LANE8_SPEEDUP:.1f}x)"
+        )
+
+    base_tree = baseline["tree_ns_per_eval"]
+    fresh_tree = fresh["tree_ns_per_eval"]
+    print(f"{'metric':<28}{'baseline':>12}{'fresh':>12}{'norm Δ':>10}  gate")
+    for metric in GATED_METRICS + REPORT_ONLY_METRICS:
+        base_norm = baseline[metric] / base_tree
+        fresh_norm = fresh[metric] / fresh_tree
+        delta = fresh_norm / base_norm - 1.0
+        gated = metric in GATED_METRICS
+        verdict = "ok"
+        if gated and delta > REGRESSION_LIMIT:
+            verdict = "FAIL"
+            failures.append(
+                f"{metric}: normalized ns/eval regressed {delta:+.1%} "
+                f"(limit {REGRESSION_LIMIT:+.0%})"
+            )
+        elif not gated:
+            verdict = "info"
+        print(
+            f"{metric:<28}{baseline[metric]:>12.1f}{fresh[metric]:>12.1f}"
+            f"{delta:>+9.1%}  {verdict}"
+        )
+
+    if failures:
+        print("\nbenchmark gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark gate passed (lane8 {lane8_speedup:.2f}x vs lane1)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,46 +48,36 @@ SweepTable sweep_impl(const std::string& parameter, double lo, double hi,
     table.xs[k] = lo + t * (hi - lo);
   }
 
-  // One compiled tape per series; the swept parameter mutates in place in a
-  // prebuilt slot vector (a series need not mention it — e.g. a baseline
-  // curve — in which case its row is constant over the sweep).
-  struct CompiledSeries {
-    expr::CompiledExpr tape;
-    std::vector<double> slots;
+  // One compiled tape per series; the whole sweep of a series is laid out
+  // as a row-major point matrix (one row per step, the swept parameter's
+  // slot varying, every other slot pinned to `base`) and handed to the
+  // lane-blocked batch kernel in one call. A series need not mention the
+  // swept parameter — e.g. a baseline curve — in which case its rows are
+  // identical and the lane kernel's uniform/memo paths collapse the work.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const expr::CompiledExpr tape =
+        expr::CompiledExpr::compile(series[s].value);
+    const std::vector<std::string>& order = tape.parameter_order();
+    const std::size_t dim = order.size();
+    std::vector<double> row(dim, 0.0);
     std::optional<std::size_t> swept_slot;
-  };
-  std::vector<CompiledSeries> compiled;
-  compiled.reserve(series.size());
-  for (const SweepSeries& s : series) {
-    CompiledSeries cs{expr::CompiledExpr::compile(s.value), {}, {}};
-    const std::vector<std::string>& order = cs.tape.parameter_order();
-    cs.slots.resize(order.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t i = 0; i < dim; ++i) {
       if (order[i] == parameter) {
-        cs.swept_slot = i;
+        swept_slot = i;
       } else {
-        cs.slots[i] = base.get(order[i]);
+        row[i] = base.get(order[i]);
       }
     }
-    compiled.push_back(std::move(cs));
-  }
-
-  const auto run_series = [&](std::size_t begin, std::size_t end) {
-    // parallel_for hands each series index to exactly one chunk, so
-    // mutating compiled[s] in place is race-free.
-    for (std::size_t s = begin; s < end; ++s) {
-      CompiledSeries& cs = compiled[s];
-      expr::CompiledExpr::Workspace workspace;
-      for (std::size_t k = 0; k < steps; ++k) {
-        if (cs.swept_slot.has_value()) cs.slots[*cs.swept_slot] = table.xs[k];
-        table.values[s][k] = cs.tape.evaluate(cs.slots, workspace);
-      }
+    std::vector<double> points(steps * dim);
+    for (std::size_t k = 0; k < steps; ++k) {
+      if (swept_slot.has_value()) row[*swept_slot] = table.xs[k];
+      std::copy(row.begin(), row.end(), points.begin() + k * dim);
     }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(series.size(), run_series);
-  } else {
-    run_series(0, series.size());
+    if (pool != nullptr) {
+      tape.evaluate_batch(points, table.values[s], *pool);
+    } else {
+      tape.evaluate_batch(points, table.values[s]);
+    }
   }
   return table;
 }

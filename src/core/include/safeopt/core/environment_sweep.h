@@ -38,16 +38,17 @@ struct SweepTable {
 };
 
 /// Evaluates `series` at `steps` evenly spaced values of `parameter` in
-/// [lo, hi], all other parameters taken from `base`. Each series runs on a
-/// compiled tape (values identical to Expr::evaluate); the per-instruction
-/// memo makes the fixed-parameter subtrees nearly free across steps.
+/// [lo, hi], all other parameters taken from `base`. Each series compiles
+/// to a tape and its whole sweep runs through the lane-blocked batch
+/// kernel (values identical to Expr::evaluate); the kernel's argument memo
+/// makes the fixed-parameter subtrees nearly free across steps.
 /// Precondition: steps >= 2, lo < hi.
 [[nodiscard]] SweepTable sweep_parameter(
     const std::string& parameter, double lo, double hi, std::size_t steps,
     const expr::ParameterAssignment& base,
     const std::vector<SweepSeries>& series);
 
-/// Same sweep with the (series × steps) work fanned out over `pool`.
+/// Same sweep with each series' step batch fanned out over `pool`.
 /// Results are bitwise-identical to the sequential overload for any thread
 /// count.
 [[nodiscard]] SweepTable sweep_parameter(

@@ -72,6 +72,9 @@ RobustOptimizationResult RobustSafetyOptimizer::optimize(
   result.scenario_costs.reserve(scenarios_.size());
   double sum = 0.0;
   double worst = 0.0;
+  // One-point-per-scenario reporting stays on the tree walk: the inner
+  // solve above runs on the compiled lane-batched objective, but compiling
+  // a tape to evaluate it exactly once costs more than it saves.
   for (std::size_t i = 0; i < scenarios_.size(); ++i) {
     const double cost = scenarios_[i].evaluate(result.optimal_parameters);
     result.scenario_costs.push_back(cost);
@@ -88,7 +91,10 @@ double RobustSafetyOptimizer::max_regret(
     Algorithm algorithm) const {
   // Each scenario's own optimum is an independent solve; fan them out over
   // the shared pool and reduce afterwards (max is order-independent, so the
-  // result does not depend on the thread count).
+  // result does not depend on the thread count). The dominant work — every
+  // inner solve — runs on its problem()'s compiled lane-batched objective;
+  // the single cost lookup at `configuration` stays on the tree walk
+  // (compiling for one evaluation costs more than it saves).
   std::vector<double> regrets(scenarios_.size(), 0.0);
   ThreadPool::shared().parallel_for(
       scenarios_.size(), [&](std::size_t begin, std::size_t end) {

@@ -74,6 +74,22 @@ opt::Problem SafetyOptimizer::problem() const {
       compiled->evaluate_batch(points, out);
     }
   };
+  // Population-shaped gradient consumers get lane-batched reverse-mode
+  // sweeps (values bitwise-equal to the objective; gradients exact, equal
+  // to the dual gradient up to reassociation of the chain rule).
+  problem.batch_gradient = [compiled](std::span<const double> points,
+                                      std::span<double> values_out,
+                                      std::span<double> gradients_out) {
+    constexpr std::size_t kParallelThreshold = 128;
+    if (values_out.size() >= kParallelThreshold) {
+      compiled->evaluate_batch_with_gradients(points, values_out,
+                                              gradients_out,
+                                              ThreadPool::shared());
+    } else {
+      compiled->evaluate_batch_with_gradients(points, values_out,
+                                              gradients_out);
+    }
+  };
   return problem;
 }
 

@@ -30,6 +30,35 @@ double* scratch(std::vector<double>& buffer, std::size_t size) {
   return buffer.data();
 }
 
+// Direct-mapped memo index for a distribution argument: multiplicative hash
+// on the bit pattern, top bits as the table slot. kMemoMask must track
+// CompiledExpr::kMemoEntries (static_assert at the use site).
+constexpr std::size_t kMemoMask = 2047;
+inline std::size_t memo_index(double x) noexcept {
+  const std::uint64_t bits =
+      std::bit_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(bits >> 53) & kMemoMask;
+}
+
+/// Applies a deterministic unary function across L lanes. When every lane
+/// holds the same bit pattern (the slow-axis subexpressions of grid-shaped
+/// blocks), one evaluation is broadcast — identical to per-lane calls
+/// because f is a pure function of the argument bits.
+template <std::size_t L, typename F>
+inline void map_lanes_uniform(const double* a, double* lane, F&& f) {
+  const std::uint64_t first = std::bit_cast<std::uint64_t>(a[0]);
+  bool uniform = true;
+  for (std::size_t l = 1; l < L; ++l) {
+    uniform &= std::bit_cast<std::uint64_t>(a[l]) == first;
+  }
+  if (uniform) {
+    const double v = f(a[0]);
+    for (std::size_t l = 0; l < L; ++l) lane[l] = v;
+    return;
+  }
+  for (std::size_t l = 0; l < L; ++l) lane[l] = f(a[l]);
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- Builder
@@ -398,15 +427,197 @@ double CompiledExpr::evaluate(const ParameterAssignment& env) const {
   return evaluate(parameters);
 }
 
+void CompiledExpr::bind_lanes(LaneScratch& scratch, std::size_t lanes,
+                              bool with_adjoint) const {
+  static_assert(kMemoEntries == kMemoMask + 1);
+  scratch.slab.assign(tape_.size() * lanes, 0.0);
+  if (with_adjoint) scratch.adjoint.assign(tape_.size() * lanes, 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::size_t memo_size =
+      static_cast<std::size_t>(memo_count_) * kMemoEntries;
+  scratch.memo_arg.assign(memo_size, nan);
+  scratch.memo_val.assign(memo_size, nan);
+}
+
+template <std::size_t L>
+void CompiledExpr::run_lane_block(const double* points, std::size_t dim,
+                                  double* out, LaneScratch& scratch) const {
+  const Instruction* const tape = tape_.data();
+  const std::size_t n = tape_.size();
+  double* const slab = scratch.slab.data();
+  // For kConst/kParam `a` is an immediate/parameter index, not a slot;
+  // clamping keeps the (unused) operand pointers inside the slab so the
+  // unconditional setup below is never out-of-bounds pointer arithmetic.
+  const auto slot_of = [n](std::uint32_t s) {
+    return std::min<std::size_t>(s, n - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& ins = tape[i];
+    double* const lane = slab + i * L;
+    const double* const a = slab + slot_of(ins.a) * L;
+    const double* const b = slab + slot_of(ins.b) * L;
+    switch (ins.op) {
+      case OpCode::kConst:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = ins.imm;
+        break;
+      case OpCode::kParam:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = points[l * dim + ins.a];
+        break;
+      case OpCode::kAdd:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] + b[l];
+        break;
+      case OpCode::kSub:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] - b[l];
+        break;
+      case OpCode::kMul:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] * b[l];
+        break;
+      case OpCode::kDiv:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] / b[l];
+        break;
+      case OpCode::kMin:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = std::min(a[l], b[l]);
+        break;
+      case OpCode::kMax:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = std::max(a[l], b[l]);
+        break;
+      case OpCode::kAddImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] + ins.imm;
+        break;
+      case OpCode::kSubImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] - ins.imm;
+        break;
+      case OpCode::kRsubImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = ins.imm - a[l];
+        break;
+      case OpCode::kMulImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] * ins.imm;
+        break;
+      case OpCode::kDivImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = a[l] / ins.imm;
+        break;
+      case OpCode::kRdivImm:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = ins.imm / a[l];
+        break;
+      case OpCode::kNeg:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = -a[l];
+        break;
+      case OpCode::kSqrt:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = std::sqrt(a[l]);
+        break;
+      case OpCode::kExp:
+        map_lanes_uniform<L>(a, lane, [](double x) { return std::exp(x); });
+        break;
+      case OpCode::kLog:
+        map_lanes_uniform<L>(a, lane, [](double x) { return std::log(x); });
+        break;
+      case OpCode::kPow:
+        map_lanes_uniform<L>(a, lane, [imm = ins.imm](double x) {
+          return std::pow(x, imm);
+        });
+        break;
+      case OpCode::kCdf:
+      case OpCode::kSurvival: {
+        const stats::Distribution& dist = *distributions_[ins.b];
+        const bool survival = ins.op == OpCode::kSurvival;
+        double* const site_arg =
+            scratch.memo_arg.data() +
+            static_cast<std::size_t>(ins.c) * kMemoEntries;
+        double* const site_val =
+            scratch.memo_val.data() +
+            static_cast<std::size_t>(ins.c) * kMemoEntries;
+        for (std::size_t l = 0; l < L; ++l) {
+          const double x = a[l];
+          const std::size_t slot = memo_index(x);
+          // A hit replays the bit-identical stored result of this exact
+          // argument (NaN sentinels never compare equal, so cold slots and
+          // NaN arguments always recompute).
+          if (site_arg[slot] == x) {
+            lane[l] = site_val[slot];
+            continue;
+          }
+          const double v = survival ? dist.survival(x) : dist.cdf(x);
+          site_arg[slot] = x;
+          site_val[slot] = v;
+          lane[l] = v;
+        }
+        break;
+      }
+      case OpCode::kCall: {
+        // No uniform-lane broadcast here: opaque callbacks are assumed pure
+        // for value purposes, but broadcasting would also change how often
+        // they are *invoked* versus the scalar loop — keep the per-row call
+        // pattern identical instead.
+        const auto& fn =
+            static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
+                ->fn();
+        for (std::size_t l = 0; l < L; ++l) lane[l] = fn(a[l]);
+        break;
+      }
+    }
+  }
+  const double* const root = slab + (n - 1) * L;
+  for (std::size_t l = 0; l < L; ++l) out[l] = root[l];
+}
+
+template <std::size_t L>
+void CompiledExpr::evaluate_batch_lanes(std::span<const double> points,
+                                        std::span<double> out) const {
+  const std::size_t dim = parameter_order_.size();
+  const std::size_t rows = out.size();
+  const std::size_t blocks = rows / L;
+  if (blocks == 0) {
+    // Sub-block batches (finite-difference stencils, tiny populations)
+    // would pay the slab/memo setup without ever running the kernel; the
+    // scalar loop produces the identical values with no scratch at all.
+    for (std::size_t row = 0; row < rows; ++row) {
+      out[row] = evaluate(points.subspan(row * dim, dim));
+    }
+    return;
+  }
+  LaneScratch scratch;
+  bind_lanes(scratch, L, /*with_adjoint=*/false);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    run_lane_block<L>(points.data() + blk * L * dim, dim,
+                      out.data() + blk * L, scratch);
+  }
+  // Scalar tail: the reference loop, bitwise-identical per row.
+  for (std::size_t row = blocks * L; row < rows; ++row) {
+    out[row] = evaluate(points.subspan(row * dim, dim));
+  }
+}
+
 void CompiledExpr::evaluate_batch(std::span<const double> points,
                                   std::span<double> out) const {
+  evaluate_batch(points, out, kDefaultLaneWidth);
+}
+
+void CompiledExpr::evaluate_batch(std::span<const double> points,
+                                  std::span<double> out,
+                                  std::size_t lane_width) const {
   const std::size_t dim = parameter_order_.size();
   SAFEOPT_EXPECTS(points.size() == out.size() * dim);
-  Workspace workspace;
-  bind(workspace);
-  for (std::size_t row = 0; row < out.size(); ++row) {
-    out[row] = run(points.subspan(row * dim, dim), workspace.slots.data(),
-                   workspace.memo_arg.data(), workspace.memo_val.data());
+  SAFEOPT_EXPECTS(lane_width == 1 || lane_width == 4 || lane_width == 8);
+  switch (lane_width) {
+    case 4:
+      evaluate_batch_lanes<4>(points, out);
+      break;
+    case 8:
+      evaluate_batch_lanes<8>(points, out);
+      break;
+    default: {
+      // Single-lane reference path: one run() per row with a carried
+      // Workspace (the last-argument memo), exactly the pre-lane batch
+      // loop. This is the oracle the lane kernel is benched and tested
+      // against.
+      Workspace workspace;
+      bind(workspace);
+      for (std::size_t row = 0; row < out.size(); ++row) {
+        out[row] = run(points.subspan(row * dim, dim), workspace.slots.data(),
+                       workspace.memo_arg.data(), workspace.memo_val.data());
+      }
+      break;
+    }
   }
 }
 
@@ -415,19 +626,204 @@ void CompiledExpr::evaluate_batch(std::span<const double> points,
                                   ThreadPool& pool) const {
   const std::size_t dim = parameter_order_.size();
   SAFEOPT_EXPECTS(points.size() == out.size() * dim);
-  // Grain keeps per-task work above scheduling noise for tiny tapes.
-  const std::size_t grain =
-      std::max<std::size_t>(1, 256 / std::max<std::size_t>(1, tape_.size()));
+  // Grain keeps per-task work above scheduling noise for tiny tapes and
+  // leaves every chunk at least one full lane block.
+  const std::size_t grain = std::max<std::size_t>(
+      kDefaultLaneWidth, 256 / std::max<std::size_t>(1, tape_.size()));
   pool.parallel_for(
       out.size(),
       [&](std::size_t begin, std::size_t end) {
-        Workspace workspace;
-        bind(workspace);
-        for (std::size_t row = begin; row < end; ++row) {
-          out[row] =
-              run(points.subspan(row * dim, dim), workspace.slots.data(),
-                  workspace.memo_arg.data(), workspace.memo_val.data());
+        evaluate_batch(points.subspan(begin * dim, (end - begin) * dim),
+                       out.subspan(begin, end - begin), kDefaultLaneWidth);
+      },
+      grain);
+}
+
+template <std::size_t L>
+void CompiledExpr::run_lane_block_with_gradients(const double* points,
+                                                 std::size_t dim,
+                                                 double* values,
+                                                 double* gradients,
+                                                 LaneScratch& scratch) const {
+  // Forward sweep fills the slab; the adjoint sweep below mirrors the
+  // scalar evaluate_with_gradient() instruction-for-instruction, so each
+  // lane's gradient is bitwise-identical to the per-point call.
+  run_lane_block<L>(points, dim, values, scratch);
+
+  const Instruction* const tape = tape_.data();
+  const std::size_t n = tape_.size();
+  const double* const slab = scratch.slab.data();
+  double* const adj = scratch.adjoint.data();
+  std::fill(adj, adj + n * L, 0.0);
+  std::fill(gradients, gradients + L * dim, 0.0);
+  for (std::size_t l = 0; l < L; ++l) adj[(n - 1) * L + l] = 1.0;
+
+  // Same clamp as the forward sweep: keeps the unconditionally-built
+  // operand pointers in-bounds for kConst/kParam instructions.
+  const auto slot_of = [n](std::uint32_t s) {
+    return std::min<std::size_t>(s, n - 1);
+  };
+  for (std::size_t i = n; i-- > 0;) {
+    const Instruction& ins = tape[i];
+    const double* const w = adj + i * L;
+    double* const aa = adj + slot_of(ins.a) * L;
+    double* const ab = adj + slot_of(ins.b) * L;
+    const double* const va = slab + slot_of(ins.a) * L;
+    const double* const vb = slab + slot_of(ins.b) * L;
+    const double* const vi = slab + i * L;
+    switch (ins.op) {
+      case OpCode::kConst:
+        break;
+      case OpCode::kParam:
+        for (std::size_t l = 0; l < L; ++l) {
+          gradients[l * dim + ins.a] += w[l];
         }
+        break;
+      case OpCode::kAdd:
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l];
+          ab[l] += w[l];
+        }
+        break;
+      case OpCode::kSub:
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l];
+          ab[l] -= w[l];
+        }
+        break;
+      case OpCode::kMul:
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l] * vb[l];
+          ab[l] += w[l] * va[l];
+        }
+        break;
+      case OpCode::kDiv:
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l] / vb[l];
+          ab[l] -= w[l] * vi[l] / vb[l];
+        }
+        break;
+      case OpCode::kMin:
+        // Subgradient at ties: first argument, matching Dual's min/max.
+        for (std::size_t l = 0; l < L; ++l) {
+          (va[l] <= vb[l] ? aa : ab)[l] += w[l];
+        }
+        break;
+      case OpCode::kMax:
+        for (std::size_t l = 0; l < L; ++l) {
+          (va[l] >= vb[l] ? aa : ab)[l] += w[l];
+        }
+        break;
+      case OpCode::kAddImm:
+      case OpCode::kSubImm:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l];
+        break;
+      case OpCode::kRsubImm:
+        for (std::size_t l = 0; l < L; ++l) aa[l] -= w[l];
+        break;
+      case OpCode::kMulImm:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l] * ins.imm;
+        break;
+      case OpCode::kDivImm:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l] / ins.imm;
+        break;
+      case OpCode::kRdivImm:
+        // d(c/x)/dx = −c/x² = −(c/x)/x, reusing this slot's value.
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] -= w[l] * vi[l] / va[l];
+        }
+        break;
+      case OpCode::kNeg:
+        for (std::size_t l = 0; l < L; ++l) aa[l] -= w[l];
+        break;
+      case OpCode::kExp:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l] * vi[l];
+        break;
+      case OpCode::kLog:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l] / va[l];
+        break;
+      case OpCode::kSqrt:
+        for (std::size_t l = 0; l < L; ++l) aa[l] += w[l] * 0.5 / vi[l];
+        break;
+      case OpCode::kPow:
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l] * ins.imm * std::pow(va[l], ins.imm - 1.0);
+        }
+        break;
+      case OpCode::kCdf: {
+        const stats::Distribution& dist = *distributions_[ins.b];
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l] * dist.pdf(va[l]);
+        }
+        break;
+      }
+      case OpCode::kSurvival: {
+        const stats::Distribution& dist = *distributions_[ins.b];
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] -= w[l] * dist.pdf(va[l]);
+        }
+        break;
+      }
+      case OpCode::kCall: {
+        const auto* call =
+            static_cast<const detail::FunctionNode*>(calls_[ins.b].get());
+        for (std::size_t l = 0; l < L; ++l) {
+          aa[l] += w[l] * call->derivative_at(va[l]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CompiledExpr::evaluate_batch_with_gradients(
+    std::span<const double> points, std::span<double> values_out,
+    std::span<double> gradients_out) const {
+  const std::size_t dim = parameter_order_.size();
+  const std::size_t rows = values_out.size();
+  SAFEOPT_EXPECTS(points.size() == rows * dim);
+  SAFEOPT_EXPECTS(gradients_out.size() == rows * dim);
+  constexpr std::size_t L = kDefaultLaneWidth;
+  const std::size_t blocks = rows / L;
+  if (blocks == 0) {
+    for (std::size_t row = 0; row < rows; ++row) {
+      values_out[row] =
+          evaluate_with_gradient(points.subspan(row * dim, dim),
+                                 gradients_out.subspan(row * dim, dim));
+    }
+    return;
+  }
+  LaneScratch scratch;
+  bind_lanes(scratch, L, /*with_adjoint=*/true);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    run_lane_block_with_gradients<L>(
+        points.data() + blk * L * dim, dim, values_out.data() + blk * L,
+        gradients_out.data() + blk * L * dim, scratch);
+  }
+  for (std::size_t row = blocks * L; row < rows; ++row) {
+    values_out[row] =
+        evaluate_with_gradient(points.subspan(row * dim, dim),
+                               gradients_out.subspan(row * dim, dim));
+  }
+}
+
+void CompiledExpr::evaluate_batch_with_gradients(
+    std::span<const double> points, std::span<double> values_out,
+    std::span<double> gradients_out, ThreadPool& pool) const {
+  const std::size_t dim = parameter_order_.size();
+  const std::size_t rows = values_out.size();
+  SAFEOPT_EXPECTS(points.size() == rows * dim);
+  SAFEOPT_EXPECTS(gradients_out.size() == rows * dim);
+  const std::size_t grain = std::max<std::size_t>(
+      kDefaultLaneWidth, 128 / std::max<std::size_t>(1, tape_.size()));
+  pool.parallel_for(
+      rows,
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t count = end - begin;
+        evaluate_batch_with_gradients(
+            points.subspan(begin * dim, count * dim),
+            values_out.subspan(begin, count),
+            gradients_out.subspan(begin * dim, count * dim));
       },
       grain);
 }
@@ -440,6 +836,13 @@ double CompiledExpr::run(std::span<const double> parameters, double* slots,
   // Direct-threaded dispatch: each handler jumps straight to the next
   // opcode's label, giving the branch predictor one indirect-jump site per
   // opcode instead of one shared switch. Label order must match OpCode.
+  // Computed goto is a deliberate GNU extension (both compilers support
+  // it); the pragma keeps -Wpedantic builds -Werror-clean.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+#if defined(__clang__)
+#pragma GCC diagnostic ignored "-Wgnu-label-as-value"
+#endif
   static const void* const kDispatch[] = {
       &&op_const,   &&op_param,   &&op_add,    &&op_sub,   &&op_mul,
       &&op_div,     &&op_min,     &&op_max,    &&op_addi,  &&op_subi,
@@ -537,6 +940,7 @@ op_call:
                  ->fn()(slots[tape[i].a]);
   SAFEOPT_TAPE_NEXT();
 #undef SAFEOPT_TAPE_NEXT
+#pragma GCC diagnostic pop
 #else
   for (std::size_t i = 0; i < n; ++i) {
     const Instruction& ins = tape[i];
@@ -701,50 +1105,53 @@ std::string CompiledExpr::disassemble() const {
   std::string out;
   for (std::size_t i = 0; i < tape_.size(); ++i) {
     const Instruction& ins = tape_[i];
-    out += "%" + std::to_string(i) + " = ";
-    const auto slot = [](std::uint32_t s) { return "%" + std::to_string(s); };
+    out += concat("%", std::to_string(i), " = ");
+    const auto slot = [](std::uint32_t s) {
+      return concat("%", std::to_string(s));
+    };
     switch (ins.op) {
-      case OpCode::kConst: out += "const " + format_double(ins.imm); break;
+      case OpCode::kConst: out += concat("const ", format_double(ins.imm)); break;
       case OpCode::kParam:
-        out += "param " + parameter_order_[ins.a];
+        out += concat("param ", parameter_order_[ins.a]);
         break;
-      case OpCode::kAdd: out += "add " + slot(ins.a) + " " + slot(ins.b); break;
-      case OpCode::kSub: out += "sub " + slot(ins.a) + " " + slot(ins.b); break;
-      case OpCode::kMul: out += "mul " + slot(ins.a) + " " + slot(ins.b); break;
-      case OpCode::kDiv: out += "div " + slot(ins.a) + " " + slot(ins.b); break;
-      case OpCode::kMin: out += "min " + slot(ins.a) + " " + slot(ins.b); break;
-      case OpCode::kMax: out += "max " + slot(ins.a) + " " + slot(ins.b); break;
+      case OpCode::kAdd: out += concat("add ", slot(ins.a), " ", slot(ins.b)); break;
+      case OpCode::kSub: out += concat("sub ", slot(ins.a), " ", slot(ins.b)); break;
+      case OpCode::kMul: out += concat("mul ", slot(ins.a), " ", slot(ins.b)); break;
+      case OpCode::kDiv: out += concat("div ", slot(ins.a), " ", slot(ins.b)); break;
+      case OpCode::kMin: out += concat("min ", slot(ins.a), " ", slot(ins.b)); break;
+      case OpCode::kMax: out += concat("max ", slot(ins.a), " ", slot(ins.b)); break;
       case OpCode::kAddImm:
-        out += "add " + slot(ins.a) + " " + format_double(ins.imm);
+        out += concat("add ", slot(ins.a), " ", format_double(ins.imm));
         break;
       case OpCode::kSubImm:
-        out += "sub " + slot(ins.a) + " " + format_double(ins.imm);
+        out += concat("sub ", slot(ins.a), " ", format_double(ins.imm));
         break;
       case OpCode::kRsubImm:
-        out += "rsub " + format_double(ins.imm) + " " + slot(ins.a);
+        out += concat("rsub ", format_double(ins.imm), " ", slot(ins.a));
         break;
       case OpCode::kMulImm:
-        out += "mul " + slot(ins.a) + " " + format_double(ins.imm);
+        out += concat("mul ", slot(ins.a), " ", format_double(ins.imm));
         break;
       case OpCode::kDivImm:
-        out += "div " + slot(ins.a) + " " + format_double(ins.imm);
+        out += concat("div ", slot(ins.a), " ", format_double(ins.imm));
         break;
       case OpCode::kRdivImm:
-        out += "rdiv " + format_double(ins.imm) + " " + slot(ins.a);
+        out += concat("rdiv ", format_double(ins.imm), " ", slot(ins.a));
         break;
-      case OpCode::kNeg: out += "neg " + slot(ins.a); break;
-      case OpCode::kExp: out += "exp " + slot(ins.a); break;
-      case OpCode::kLog: out += "log " + slot(ins.a); break;
-      case OpCode::kSqrt: out += "sqrt " + slot(ins.a); break;
+      case OpCode::kNeg: out += concat("neg ", slot(ins.a)); break;
+      case OpCode::kExp: out += concat("exp ", slot(ins.a)); break;
+      case OpCode::kLog: out += concat("log ", slot(ins.a)); break;
+      case OpCode::kSqrt: out += concat("sqrt ", slot(ins.a)); break;
       case OpCode::kPow:
-        out += "pow " + slot(ins.a) + " " + format_double(ins.imm);
+        out += concat("pow ", slot(ins.a), " ", format_double(ins.imm));
         break;
       case OpCode::kCdf:
-        out += "cdf[" + distributions_[ins.b]->name() + "] " + slot(ins.a);
+        out += concat("cdf[", distributions_[ins.b]->name(), "] ",
+                      slot(ins.a));
         break;
       case OpCode::kSurvival:
-        out += "survival[" + distributions_[ins.b]->name() + "] " +
-               slot(ins.a);
+        out += concat("survival[", distributions_[ins.b]->name(), "] ",
+                      slot(ins.a));
         break;
       case OpCode::kCall:
         out += static_cast<const detail::FunctionNode*>(calls_[ins.b].get())

@@ -14,12 +14,22 @@
 //   * parameters become slot loads from a flat vector (no name lookups),
 //   * evaluation is a tight loop over plain structs — no virtual calls.
 //
-// The tape supports three access patterns:
+// The tape supports four access patterns:
 //   value     — evaluate(parameters)
 //   gradient  — evaluate_with_gradient(): one reverse (adjoint) sweep over
 //               the tape, O(tape) regardless of dimension count
 //   batch     — evaluate_batch(): many parameter vectors in one call,
-//               optionally fanned out over a support ThreadPool
+//               optionally fanned out over a support ThreadPool. Batches run
+//               on a lane-blocked structure-of-arrays kernel: L = 4 or 8
+//               points advance through every instruction together, so the
+//               interpreter dispatch amortizes L-fold and the per-lane
+//               arithmetic loops are plain fixed-size arrays the compiler
+//               auto-vectorizes. The scalar loop remains the tail handler,
+//               the lane_width == 1 path, and the bitwise-identity oracle.
+//   gradient batch — evaluate_batch_with_gradients(): one forward + one
+//               adjoint lane sweep yields L values *and* L gradients per
+//               pass, feeding population-based solvers without per-point
+//               tape traversals.
 //
 // Evaluation is bitwise-identical to Expr::evaluate(): the tape performs the
 // same floating-point operations on the same values (sharing only removes
@@ -110,17 +120,47 @@ class CompiledExpr {
   double evaluate_with_gradient(std::span<const double> parameters,
                                 std::span<double> gradient_out) const;
 
-  /// Evaluates `out.size()` points in one call. `points` is row-major with
-  /// one parameter vector of length parameter_order().size() per row:
+  /// Default lane width of the SoA batch kernel (points per instruction).
+  static constexpr std::size_t kDefaultLaneWidth = 8;
+
+  /// Evaluates `out.size()` points in one call on the lane-blocked SoA
+  /// kernel (kDefaultLaneWidth lanes). `points` is row-major with one
+  /// parameter vector of length parameter_order().size() per row:
   /// points.size() == out.size() * parameter_order().size().
   void evaluate_batch(std::span<const double> points,
                       std::span<double> out) const;
 
+  /// Same with an explicit lane width. Supported widths: 1 (the scalar
+  /// reference loop — the oracle the lane kernel is tested against), 4, 8.
+  /// Lane-invariance contract: results are bitwise-identical for every
+  /// supported width and any batch size (each row's value is the exact
+  /// operation sequence of evaluate(); the lane memo only ever *replays*
+  /// bit-identical results, see below).
+  void evaluate_batch(std::span<const double> points, std::span<double> out,
+                      std::size_t lane_width) const;
+
   /// Same, with rows fanned out over `pool`. Each output element depends
   /// only on its own row, so results are bitwise-independent of the thread
-  /// count.
+  /// count (and, per the contract above, of the lane width).
   void evaluate_batch(std::span<const double> points, std::span<double> out,
                       ThreadPool& pool) const;
+
+  /// Lane-batched value + gradient: one forward and one adjoint SoA sweep
+  /// yield values_out.size() rows at once. `gradients_out` is row-major,
+  /// gradients_out.size() == values_out.size() * parameter_order().size().
+  /// Each row is bitwise-identical to a evaluate_with_gradient() call on
+  /// that row (the lane kernel performs the same per-point operation
+  /// sequence); like evaluate_with_gradient it agrees with
+  /// Expr::evaluate_dual up to floating-point reassociation.
+  void evaluate_batch_with_gradients(std::span<const double> points,
+                                     std::span<double> values_out,
+                                     std::span<double> gradients_out) const;
+
+  /// Same, fanned out over `pool`; results are thread-count-invariant.
+  void evaluate_batch_with_gradients(std::span<const double> points,
+                                     std::span<double> values_out,
+                                     std::span<double> gradients_out,
+                                     ThreadPool& pool) const;
 
   /// Human-readable tape listing, one instruction per line (debugging aid).
   [[nodiscard]] std::string disassemble() const;
@@ -155,6 +195,24 @@ class CompiledExpr {
 
   class Builder;
 
+  /// Per-call state of the lane kernel: the SoA value/adjoint slabs
+  /// (tape_size() × L doubles, slot-major so each instruction's lanes are
+  /// contiguous) plus the distribution-argument memo tables. Where the
+  /// scalar Workspace memo remembers only the *last* argument of each cdf /
+  /// survival site, the lane kernel keeps a small direct-mapped table per
+  /// site (kMemoEntries (argument, result) pairs hashed on the argument's
+  /// bit pattern). Grid- and sweep-shaped batches revisit the same argument
+  /// values row after row, and a table hit replays the bitwise-identical
+  /// stored result — so the memo, like the scalar one, can never perturb a
+  /// value, only skip recomputing it.
+  struct LaneScratch {
+    std::vector<double> slab;
+    std::vector<double> adjoint;
+    std::vector<double> memo_arg;
+    std::vector<double> memo_val;
+  };
+  static constexpr std::size_t kMemoEntries = 2048;  // per cdf/survival site
+
   CompiledExpr() = default;
 
   /// Executes the tape over `slots` (length >= tape_size()) and returns the
@@ -166,6 +224,28 @@ class CompiledExpr {
 
   /// Points `workspace`'s buffers at this tape, resetting stale state.
   void bind(Workspace& workspace) const;
+
+  /// Sizes `scratch` for this tape (cold memo) and L lanes.
+  void bind_lanes(LaneScratch& scratch, std::size_t lanes,
+                  bool with_adjoint) const;
+
+  /// Evaluates one block of exactly L rows through the SoA kernel;
+  /// `points` holds L row-major parameter vectors, `out` L values.
+  template <std::size_t L>
+  void run_lane_block(const double* points, std::size_t dim, double* out,
+                      LaneScratch& scratch) const;
+
+  /// Forward + adjoint lane sweep over one block of exactly L rows;
+  /// `gradients` receives L row-major gradient vectors of length dim.
+  template <std::size_t L>
+  void run_lane_block_with_gradients(const double* points, std::size_t dim,
+                                     double* values, double* gradients,
+                                     LaneScratch& scratch) const;
+
+  /// Lane-blocked batch over `rows` rows with width L (scalar tail).
+  template <std::size_t L>
+  void evaluate_batch_lanes(std::span<const double> points,
+                            std::span<double> out) const;
 
   // Scalar op semantics shared by run() and compile-time constant folding,
   // so folding is guaranteed bit-identical to deferred evaluation.

@@ -128,12 +128,12 @@ class BinaryNode final : public Node {
 
   std::string print() const override {
     switch (op_) {
-      case BinaryOp::kAdd: return "(" + a_->print() + " + " + b_->print() + ")";
-      case BinaryOp::kSub: return "(" + a_->print() + " - " + b_->print() + ")";
-      case BinaryOp::kMul: return "(" + a_->print() + " * " + b_->print() + ")";
-      case BinaryOp::kDiv: return "(" + a_->print() + " / " + b_->print() + ")";
-      case BinaryOp::kMin: return "min(" + a_->print() + ", " + b_->print() + ")";
-      case BinaryOp::kMax: return "max(" + a_->print() + ", " + b_->print() + ")";
+      case BinaryOp::kAdd: return concat("(", a_->print(), " + ", b_->print(), ")");
+      case BinaryOp::kSub: return concat("(", a_->print(), " - ", b_->print(), ")");
+      case BinaryOp::kMul: return concat("(", a_->print(), " * ", b_->print(), ")");
+      case BinaryOp::kDiv: return concat("(", a_->print(), " / ", b_->print(), ")");
+      case BinaryOp::kMin: return concat("min(", a_->print(), ", ", b_->print(), ")");
+      case BinaryOp::kMax: return concat("max(", a_->print(), ", ", b_->print(), ")");
     }
     SAFEOPT_ASSERT(false);
     return {};
@@ -189,10 +189,10 @@ class UnaryNode final : public Node {
 
   std::string print() const override {
     switch (op_) {
-      case UnaryOp::kNeg: return "(-" + a_->print() + ")";
-      case UnaryOp::kExp: return "exp(" + a_->print() + ")";
-      case UnaryOp::kLog: return "log(" + a_->print() + ")";
-      case UnaryOp::kSqrt: return "sqrt(" + a_->print() + ")";
+      case UnaryOp::kNeg: return concat("(-", a_->print(), ")");
+      case UnaryOp::kExp: return concat("exp(", a_->print(), ")");
+      case UnaryOp::kLog: return concat("log(", a_->print(), ")");
+      case UnaryOp::kSqrt: return concat("sqrt(", a_->print(), ")");
     }
     SAFEOPT_ASSERT(false);
     return {};
@@ -223,7 +223,7 @@ class PowNode final : public Node {
     a_->collect_parameters(out);
   }
   std::string print() const override {
-    return "pow(" + a_->print() + ", " + format_double(p_) + ")";
+    return concat("pow(", a_->print(), ", ", format_double(p_), ")");
   }
 
   [[nodiscard]] const std::shared_ptr<const Node>& operand() const noexcept {
@@ -269,7 +269,7 @@ class CdfNode final : public Node {
 
   std::string print() const override {
     const std::string fn = survival_ ? "survival" : "cdf";
-    return fn + "[" + dist_->name() + "](" + arg_->print() + ")";
+    return concat(fn, "[", dist_->name(), "](", arg_->print(), ")");
   }
 
   [[nodiscard]] const std::shared_ptr<const stats::Distribution>& distribution()
@@ -317,7 +317,7 @@ class FunctionNode final : public Node {
   }
 
   std::string print() const override {
-    return name_ + "(" + arg_->print() + ")";
+    return concat(name_, "(", arg_->print(), ")");
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

@@ -36,13 +36,15 @@ class Lexer {
     if (c == ';') {
       advance();
       token.kind = Token::Kind::kSemicolon;
-      token.text = ";";
+      // Char assignment sidesteps gcc 12's -Wrestrict false positive on
+      // basic_string::operator=(const char*) (PR105651 family).
+      token.text = ';';
       return token;
     }
     if (c == '=') {
       advance();
       token.kind = Token::Kind::kEquals;
-      token.text = "=";
+      token.text = '=';
       return token;
     }
     if (is_word_char(c)) {

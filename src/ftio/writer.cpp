@@ -164,7 +164,7 @@ std::string to_json(const fta::FaultTree& tree,
         const auto children = tree.children(id);
         for (std::size_t c = 0; c < children.size(); ++c) {
           if (c > 0) out += ", ";
-          out += "\"" + json_escape(tree.node_name(children[c])) + "\"";
+          out += concat("\"", json_escape(tree.node_name(children[c])), "\"");
         }
         out += "]";
         break;

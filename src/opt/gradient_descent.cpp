@@ -40,11 +40,14 @@ OptimizationResult ProjectedGradientDescent::minimize(
 
   while (result.iterations < stopping_.max_iterations) {
     ++result.iterations;
+    // The finite-difference fallback evaluates its whole 2·dim stencil in
+    // one batch call, so compiled lane-batched objectives serve it without
+    // per-point traversals; values (and hence the trajectory) are identical
+    // to the per-point loop by the BatchObjective contract.
     const std::vector<double> grad =
         problem.has_gradient()
             ? problem.gradient(x)
-            : finite_difference_gradient(problem.objective, problem.bounds, x,
-                                         &result.evaluations);
+            : finite_difference_gradient(problem, x, &result.evaluations);
     SAFEOPT_ASSERT(grad.size() == dim);
 
     double grad_norm = 0.0;

@@ -54,12 +54,28 @@ using Gradient = std::function<std::vector<double>(std::span<const double>)>;
 using BatchObjective =
     std::function<void(std::span<const double> points, std::span<double> out)>;
 
+/// Evaluates values *and* gradients at many points in one call: `points` is
+/// row-major as in BatchObjective, `values_out[i]` receives the objective at
+/// row i and `gradients_out` (row-major, values_out.size() × dimension) the
+/// gradient there. The compiled-expression engine implements this as one
+/// forward + one adjoint lane sweep per block of rows, which is what feeds
+/// population-based gradient consumers without per-point tape traversals.
+/// Values must agree bitwise with `objective`; gradients must agree with
+/// `gradient` up to floating-point reassociation (both are exact
+/// derivatives — forward-mode duals and reverse-mode adjoints associate the
+/// chain rule differently).
+using BatchGradient =
+    std::function<void(std::span<const double> points,
+                       std::span<double> values_out,
+                       std::span<double> gradients_out)>;
+
 /// A minimization problem: minimize `objective` over `bounds`.
 struct Problem {
   Objective objective;
   Box bounds;
   Gradient gradient;                // may be empty
   BatchObjective batch_objective;   // may be empty; must agree with objective
+  BatchGradient batch_gradient;     // may be empty; see BatchGradient
 
   [[nodiscard]] bool has_gradient() const noexcept {
     return static_cast<bool>(gradient);
@@ -67,12 +83,23 @@ struct Problem {
   [[nodiscard]] bool has_batch_objective() const noexcept {
     return static_cast<bool>(batch_objective);
   }
+  [[nodiscard]] bool has_batch_gradient() const noexcept {
+    return static_cast<bool>(batch_gradient);
+  }
 
   /// Batch evaluation through `batch_objective` when present, else a serial
   /// loop over `objective`. Precondition: points.size() == out.size() *
   /// bounds.dimension() and objective is callable.
   void evaluate_batch(std::span<const double> points,
                       std::span<double> out) const;
+
+  /// Batched values + gradients through `batch_gradient` when present, else
+  /// a serial loop over `objective` + `gradient` (finite differences when
+  /// no gradient is available either). Preconditions as above plus
+  /// gradients_out.size() == values_out.size() * bounds.dimension().
+  void evaluate_batch_with_gradients(std::span<const double> points,
+                                     std::span<double> values_out,
+                                     std::span<double> gradients_out) const;
 };
 
 /// Outcome of one solver run.
@@ -114,6 +141,15 @@ class Optimizer {
 /// boundary). Adds 2·dim evaluations to `evaluations` if non-null.
 [[nodiscard]] std::vector<double> finite_difference_gradient(
     const Objective& objective, const Box& bounds, std::span<const double> x,
+    std::size_t* evaluations = nullptr);
+
+/// Same estimate — identical perturbation points, identical values — but the
+/// 2·dim probes are evaluated in one Problem::evaluate_batch call, so a
+/// problem with a batched (compiled, lane-parallel) objective computes the
+/// whole stencil per sweep instead of per point. Bitwise-equal to the
+/// Objective overload by the BatchObjective contract.
+[[nodiscard]] std::vector<double> finite_difference_gradient(
+    const Problem& problem, std::span<const double> x,
     std::size_t* evaluations = nullptr);
 
 }  // namespace safeopt::opt

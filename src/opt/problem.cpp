@@ -62,6 +62,30 @@ void Problem::evaluate_batch(std::span<const double> points,
   }
 }
 
+void Problem::evaluate_batch_with_gradients(
+    std::span<const double> points, std::span<double> values_out,
+    std::span<double> gradients_out) const {
+  const std::size_t dim = bounds.dimension();
+  const std::size_t rows = values_out.size();
+  SAFEOPT_EXPECTS(points.size() == rows * dim);
+  SAFEOPT_EXPECTS(gradients_out.size() == rows * dim);
+  if (batch_gradient) {
+    batch_gradient(points, values_out, gradients_out);
+    return;
+  }
+  SAFEOPT_EXPECTS(static_cast<bool>(objective));
+  for (std::size_t row = 0; row < rows; ++row) {
+    const auto x = points.subspan(row * dim, dim);
+    values_out[row] = objective(x);
+    const std::vector<double> g = gradient
+                                      ? gradient(x)
+                                      : finite_difference_gradient(
+                                            objective, bounds, x);
+    SAFEOPT_ASSERT(g.size() == dim);
+    std::copy(g.begin(), g.end(), gradients_out.begin() + row * dim);
+  }
+}
+
 std::vector<double> finite_difference_gradient(const Objective& objective,
                                                const Box& bounds,
                                                std::span<const double> x,
@@ -83,6 +107,40 @@ std::vector<double> finite_difference_gradient(const Objective& objective,
     grad[i] = (f_hi - f_lo) / (hi - lo);
     if (evaluations != nullptr) *evaluations += 2;
   }
+  return grad;
+}
+
+std::vector<double> finite_difference_gradient(const Problem& problem,
+                                               std::span<const double> x,
+                                               std::size_t* evaluations) {
+  const Box& bounds = problem.bounds;
+  const std::size_t dim = bounds.dimension();
+  SAFEOPT_EXPECTS(x.size() == dim);
+  // The same stencil as the Objective overload — axis i perturbed to hi/lo
+  // with everything else at x — laid out as 2·dim rows for one batch call.
+  std::vector<double> points(2 * dim * dim);
+  std::vector<double> spacing(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double width = std::max(bounds.width(i), 1e-12);
+    const double h = std::max(1e-7 * width, 1e-9 * std::abs(x[i]) + 1e-12);
+    const double hi = std::min(x[i] + h, bounds.upper[i]);
+    const double lo = std::max(x[i] - h, bounds.lower[i]);
+    SAFEOPT_ASSERT(hi > lo);
+    spacing[i] = hi - lo;
+    double* const row_hi = points.data() + (2 * i) * dim;
+    double* const row_lo = points.data() + (2 * i + 1) * dim;
+    std::copy(x.begin(), x.end(), row_hi);
+    std::copy(x.begin(), x.end(), row_lo);
+    row_hi[i] = hi;
+    row_lo[i] = lo;
+  }
+  std::vector<double> values(2 * dim);
+  problem.evaluate_batch(points, values);
+  std::vector<double> grad(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    grad[i] = (values[2 * i] - values[2 * i + 1]) / spacing[i];
+  }
+  if (evaluations != nullptr) *evaluations += 2 * dim;
   return grad;
 }
 

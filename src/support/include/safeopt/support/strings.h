@@ -14,6 +14,20 @@ namespace safeopt {
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
 
+/// Concatenates string-like parts (std::string, string literals,
+/// string_view) into one string with a single allocation. Use this instead
+/// of `"literal" + std::string(...)` chains: besides saving the
+/// intermediate strings, gcc 12's -Wrestrict reports a false-positive
+/// overlap inside operator+(const char*, std::string&&) (GCC PR105651),
+/// and routing concatenation through append() keeps -Werror viable.
+template <typename... Parts>
+[[nodiscard]] std::string concat(const Parts&... parts) {
+  std::string out;
+  out.reserve((std::string_view(parts).size() + ...));
+  (out.append(std::string_view(parts)), ...);
+  return out;
+}
+
 /// Strips ASCII whitespace from both ends.
 [[nodiscard]] std::string_view trim(std::string_view text) noexcept;
 

@@ -1,0 +1,167 @@
+// CompiledQuantification vs the symbolic ParameterizedQuantification walk
+// on the paper's Fig. 2 collision-tree shape: hazard and Birnbaum tapes
+// must reproduce the hazard_expression / birnbaum_expression tree walks bit
+// for bit under both HazardFormula variants, and input_at must match
+// evaluate().
+#include "safeopt/core/compiled_quantification.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "safeopt/core/parameterized_fta.h"
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/stats/distribution.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::core {
+namespace {
+
+using expr::constant;
+using expr::parameter;
+using expr::ParameterAssignment;
+
+/// The paper's §IV-B.2 collision shape: OR(residual, INHIBIT(OT1|crit),
+/// INHIBIT(OT2|crit)) with parameterized overtime probabilities.
+struct Fig2Fixture {
+  Fig2Fixture() : tree(make_tree()), quantification(tree) {
+    const auto transit = std::make_shared<stats::TruncatedNormal>(
+        stats::TruncatedNormal::nonnegative(4.0, 2.0));
+    quantification.set_event_probability("residual", constant(4.19e-8));
+    quantification.set_event_probability(
+        "OT1", expr::survival(transit, parameter("T1")));
+    quantification.set_event_probability(
+        "OT2", expr::survival(transit, parameter("T2")) *
+                   (1.0 - expr::survival(transit, parameter("T1"))));
+    quantification.set_condition_probability("OHVcritical", constant(0.011));
+  }
+
+  static fta::FaultTree make_tree() {
+    fta::FaultTree tree("HCol");
+    const auto residual = tree.add_basic_event("residual");
+    const auto ot1 = tree.add_basic_event("OT1");
+    const auto ot2 = tree.add_basic_event("OT2");
+    const auto crit = tree.add_condition("OHVcritical");
+    const auto g1 = tree.add_inhibit("g1", ot1, crit);
+    const auto g2 = tree.add_inhibit("g2", ot2, crit);
+    tree.set_top(tree.add_or("top", {residual, g1, g2}));
+    return tree;
+  }
+
+  fta::FaultTree tree;
+  ParameterizedQuantification quantification;
+};
+
+const std::vector<std::pair<double, double>> kProbePoints = {
+    {15.0, 15.0}, {17.3, 16.1}, {19.0, 15.6}, {20.0, 18.0}, {30.0, 30.0}};
+
+TEST(CompiledQuantificationTest, HazardTapeMatchesSymbolicWalkBothFormulas) {
+  const Fig2Fixture f;
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(f.tree);
+  for (const HazardFormula formula :
+       {HazardFormula::kRareEvent, HazardFormula::kMinCutUpperBound}) {
+    const CompiledQuantification compiled(f.quantification, mcs,
+                                          {"T1", "T2"}, formula);
+    const expr::Expr symbolic =
+        f.quantification.hazard_expression(mcs, formula);
+    for (const auto& [t1, t2] : kProbePoints) {
+      const double tree_walk =
+          symbolic.evaluate(ParameterAssignment{{"T1", t1}, {"T2", t2}});
+      EXPECT_EQ(tree_walk, compiled.hazard(std::vector<double>{t1, t2}))
+          << "T1=" << t1 << " T2=" << t2;
+    }
+  }
+}
+
+TEST(CompiledQuantificationTest, BirnbaumTapesMatchSymbolicWalkBothFormulas) {
+  const Fig2Fixture f;
+  const fta::CutSetCollection mcs = fta::minimal_cut_sets(f.tree);
+  for (const HazardFormula formula :
+       {HazardFormula::kRareEvent, HazardFormula::kMinCutUpperBound}) {
+    const CompiledQuantification compiled(f.quantification, mcs,
+                                          {"T1", "T2"}, formula);
+    for (std::size_t e = 0; e < f.tree.basic_event_count(); ++e) {
+      const auto ordinal = static_cast<fta::BasicEventOrdinal>(e);
+      const expr::Expr symbolic =
+          f.quantification.birnbaum_expression(mcs, ordinal, formula);
+      for (const auto& [t1, t2] : kProbePoints) {
+        const double tree_walk =
+            symbolic.evaluate(ParameterAssignment{{"T1", t1}, {"T2", t2}});
+        EXPECT_EQ(tree_walk,
+                  compiled.birnbaum(ordinal, std::vector<double>{t1, t2}))
+            << "event " << e << " T1=" << t1 << " T2=" << t2;
+      }
+    }
+  }
+}
+
+TEST(CompiledQuantificationTest, InputAtMatchesSymbolicEvaluate) {
+  const Fig2Fixture f;
+  const CompiledQuantification compiled(f.quantification);
+  ASSERT_EQ(compiled.parameter_order(),
+            (std::vector<std::string>{"T1", "T2"}));
+  for (const auto& [t1, t2] : kProbePoints) {
+    const ParameterAssignment env{{"T1", t1}, {"T2", t2}};
+    const fta::QuantificationInput symbolic = f.quantification.evaluate(env);
+    const fta::QuantificationInput tape = compiled.input_at(env);
+    EXPECT_EQ(symbolic.basic_event_probability,
+              tape.basic_event_probability);
+    EXPECT_EQ(symbolic.condition_probability, tape.condition_probability);
+    EXPECT_TRUE(tape.is_valid_for(f.tree));
+  }
+}
+
+TEST(CompiledQuantificationTest, HazardBatchIsLaneAndThreadInvariant) {
+  const Fig2Fixture f;
+  const CompiledQuantification compiled(f.quantification);
+  const std::size_t nx = 23;
+  const std::size_t ny = 9;
+  std::vector<double> points(nx * ny * 2);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      points[2 * (j * nx + i)] = 15.0 + 0.2 * static_cast<double>(i);
+      points[2 * (j * nx + i) + 1] = 15.0 + 0.3 * static_cast<double>(j);
+    }
+  }
+  std::vector<double> batch(nx * ny);
+  compiled.hazard_batch(points, batch);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    EXPECT_EQ(batch[r], compiled.hazard(std::span<const double>(
+                            &points[2 * r], 2)));
+  }
+  ThreadPool pool(3);
+  std::vector<double> parallel(nx * ny);
+  compiled.hazard_batch(points, parallel, pool);
+  EXPECT_EQ(batch, parallel);
+}
+
+TEST(CompiledQuantificationTest, HazardGradientsMatchSymbolicDual) {
+  const Fig2Fixture f;
+  const CompiledQuantification compiled(f.quantification);
+  const expr::Expr symbolic = f.quantification.hazard_expression();
+  const std::vector<std::string> order = {"T1", "T2"};
+  std::vector<double> points;
+  for (const auto& [t1, t2] : kProbePoints) {
+    points.push_back(t1);
+    points.push_back(t2);
+  }
+  const std::size_t rows = kProbePoints.size();
+  std::vector<double> values(rows);
+  std::vector<double> gradients(rows * 2);
+  compiled.hazard_batch_with_gradients(points, values, gradients);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const ParameterAssignment env{{"T1", points[2 * r]},
+                                  {"T2", points[2 * r + 1]}};
+    const expr::Dual dual = symbolic.evaluate_dual(env, order);
+    EXPECT_EQ(values[r], symbolic.evaluate(env));
+    for (std::size_t i = 0; i < 2; ++i) {
+      const double scale = std::max(1.0, std::abs(dual.grad(i)));
+      EXPECT_NEAR(gradients[r * 2 + i], dual.grad(i), 1e-9 * scale);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::core

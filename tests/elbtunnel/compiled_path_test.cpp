@@ -5,9 +5,11 @@
 
 #include <vector>
 
+#include "safeopt/core/compiled_quantification.h"
 #include "safeopt/core/safety_optimizer.h"
 #include "safeopt/elbtunnel/elbtunnel_model.h"
 #include "safeopt/expr/compiled.h"
+#include "safeopt/fta/cut_sets.h"
 #include "safeopt/opt/differential_evolution.h"
 #include "safeopt/opt/grid_search.h"
 
@@ -68,6 +70,66 @@ TEST(CompiledPathTest, DifferentialEvolutionOptimumIsBitwiseIdentical) {
 
   EXPECT_EQ(tree.value, compiled.value);
   EXPECT_EQ(tree.argmin, compiled.argmin);
+}
+
+/// Both Elbtunnel fault trees, both hazard-assembly formulas: the compiled
+/// quantification's hazard and Birnbaum tapes must reproduce the symbolic
+/// expression walks bit for bit across the timer box.
+TEST(CompiledPathTest, CompiledQuantificationMatchesSymbolicWalk) {
+  const ElbtunnelModel model;
+  const fta::FaultTree collision = model.collision_tree();
+  const fta::FaultTree alarm = model.false_alarm_tree();
+  const std::vector<
+      std::pair<const fta::FaultTree*, core::ParameterizedQuantification>>
+      cases = {{&collision, model.collision_quantification(collision)},
+               {&alarm, model.false_alarm_quantification(alarm)}};
+
+  for (const auto& [tree, quantification] : cases) {
+    const fta::CutSetCollection mcs = fta::minimal_cut_sets(*tree);
+    for (const core::HazardFormula formula :
+         {core::HazardFormula::kRareEvent,
+          core::HazardFormula::kMinCutUpperBound}) {
+      const core::CompiledQuantification compiled(quantification, mcs,
+                                                  {"T1", "T2"}, formula);
+      const expr::Expr hazard =
+          quantification.hazard_expression(mcs, formula);
+      for (double t1 = 15.0; t1 <= 30.0; t1 += 3.7) {
+        for (double t2 = 15.0; t2 <= 30.0; t2 += 4.3) {
+          const expr::ParameterAssignment env{{"T1", t1}, {"T2", t2}};
+          EXPECT_EQ(hazard.evaluate(env),
+                    compiled.hazard(std::vector<double>{t1, t2}))
+              << tree->name() << " T1=" << t1 << " T2=" << t2;
+        }
+      }
+      for (std::size_t e = 0; e < tree->basic_event_count(); ++e) {
+        const auto ordinal = static_cast<fta::BasicEventOrdinal>(e);
+        const expr::Expr birnbaum =
+            quantification.birnbaum_expression(mcs, ordinal, formula);
+        const expr::ParameterAssignment env{{"T1", 19.0}, {"T2", 15.6}};
+        EXPECT_EQ(birnbaum.evaluate(env),
+                  compiled.birnbaum(ordinal, std::vector<double>{19.0, 15.6}))
+            << tree->name() << " event " << e;
+      }
+    }
+  }
+}
+
+/// The compiled leaf tapes must produce the same numeric quantification
+/// input the symbolic walk produces — the seam Monte Carlo validation and
+/// the classical fta/bdd engines consume.
+TEST(CompiledPathTest, CompiledInputMatchesSymbolicEvaluate) {
+  const ElbtunnelModel model;
+  const fta::FaultTree alarm = model.false_alarm_tree();
+  const core::ParameterizedQuantification quantification =
+      model.false_alarm_quantification(alarm);
+  const core::CompiledQuantification compiled(quantification);
+  for (double t2 = 5.0; t2 <= 30.0; t2 += 4.9) {
+    const expr::ParameterAssignment env{{"T1", 30.0}, {"T2", t2}};
+    const fta::QuantificationInput symbolic = quantification.evaluate(env);
+    const fta::QuantificationInput tape = compiled.input_at(env);
+    EXPECT_EQ(symbolic.basic_event_probability, tape.basic_event_probability);
+    EXPECT_EQ(symbolic.condition_probability, tape.condition_probability);
+  }
 }
 
 TEST(CompiledPathTest, BatchedTabulationMatchesScalarSurface) {

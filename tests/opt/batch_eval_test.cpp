@@ -126,6 +126,76 @@ TEST(DifferentialEvolutionBatchTest, SynchronousModeFindsTheMinimum) {
   EXPECT_NEAR(result.value, 0.0, 1e-8);
 }
 
+double himmelblau_dx(std::span<const double> x) {
+  const double a = x[0] * x[0] + x[1] - 11.0;
+  const double b = x[0] + x[1] * x[1] - 7.0;
+  return 4.0 * a * x[0] + 2.0 * b;
+}
+
+double himmelblau_dy(std::span<const double> x) {
+  const double a = x[0] * x[0] + x[1] - 11.0;
+  const double b = x[0] + x[1] * x[1] - 7.0;
+  return 2.0 * a + 4.0 * b * x[1];
+}
+
+TEST(ProblemBatchGradientTest, FallbackUsesObjectiveAndGradient) {
+  Problem problem = himmelblau_problem();
+  problem.gradient = [](std::span<const double> x) {
+    return std::vector<double>{himmelblau_dx(x), himmelblau_dy(x)};
+  };
+  ASSERT_FALSE(problem.has_batch_gradient());
+  const std::vector<double> points{1.0, 2.0, -3.0, 0.5, 4.0, -4.0};
+  std::vector<double> values(3);
+  std::vector<double> gradients(6);
+  problem.evaluate_batch_with_gradients(points, values, gradients);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto x = std::span<const double>(&points[r * 2], 2);
+    EXPECT_EQ(values[r], himmelblau(x));
+    EXPECT_EQ(gradients[r * 2], himmelblau_dx(x));
+    EXPECT_EQ(gradients[r * 2 + 1], himmelblau_dy(x));
+  }
+}
+
+TEST(ProblemBatchGradientTest, BatchGradientIsPreferred) {
+  Problem problem = himmelblau_problem();
+  std::atomic<int> calls{0};
+  problem.batch_gradient = [&calls](std::span<const double> points,
+                                    std::span<double> values,
+                                    std::span<double> gradients) {
+    ++calls;
+    for (std::size_t r = 0; r < values.size(); ++r) {
+      const auto x = points.subspan(r * 2, 2);
+      values[r] = himmelblau(x);
+      gradients[r * 2] = himmelblau_dx(x);
+      gradients[r * 2 + 1] = himmelblau_dy(x);
+    }
+  };
+  const std::vector<double> points{0.5, -1.5, 3.0, 2.0};
+  std::vector<double> values(2);
+  std::vector<double> gradients(4);
+  problem.evaluate_batch_with_gradients(points, values, gradients);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(values[1], 0.0);
+  EXPECT_EQ(gradients[2], 0.0);  // (3, 2) is a stationary minimum
+  EXPECT_EQ(gradients[3], 0.0);
+}
+
+TEST(ProblemBatchGradientTest, BatchedFiniteDifferencesMatchScalarStencil) {
+  // The Problem overload evaluates its whole 2·dim stencil through
+  // evaluate_batch; values and hence the gradient must be bitwise-equal to
+  // the per-point Objective overload.
+  const Problem problem = himmelblau_problem();
+  const std::vector<double> x{1.3, -2.1};
+  std::size_t scalar_evals = 0;
+  std::size_t batch_evals = 0;
+  const std::vector<double> scalar = finite_difference_gradient(
+      problem.objective, problem.bounds, x, &scalar_evals);
+  const std::vector<double> batched =
+      finite_difference_gradient(problem, x, &batch_evals);
+  EXPECT_EQ(scalar, batched);
+  EXPECT_EQ(scalar_evals, batch_evals);
+}
+
 TEST(MultiStartParallelTest, PoolGivesIdenticalResultToSequential) {
   const Problem problem = himmelblau_problem();
   const auto factory = [](std::vector<double> start) {

@@ -12,6 +12,7 @@
 #include "safeopt/fta/fault_tree.h"
 #include "safeopt/fta/probability.h"
 #include "safeopt/support/rng.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::testutil {
 
@@ -30,11 +31,11 @@ struct RandomTreeOptions {
 inline fta::FaultTree random_tree(std::uint64_t seed,
                                   const RandomTreeOptions& options = {}) {
   Rng rng(seed);
-  fta::FaultTree tree("random-" + std::to_string(seed));
+  fta::FaultTree tree(concat("random-", std::to_string(seed)));
 
   std::vector<fta::NodeId> pool;
   for (std::size_t i = 0; i < options.basic_events; ++i) {
-    pool.push_back(tree.add_basic_event("e" + std::to_string(i)));
+    pool.push_back(tree.add_basic_event(concat("e", std::to_string(i))));
   }
   // Condition leaves are created lazily on first INHIBIT use so the tree
   // never contains unreachable conditions (the parser round-trip rejects
@@ -42,7 +43,7 @@ inline fta::FaultTree random_tree(std::uint64_t seed,
   std::vector<std::optional<fta::NodeId>> condition_pool(options.conditions);
   const auto condition_at = [&](std::size_t i) {
     if (!condition_pool[i].has_value()) {
-      condition_pool[i] = tree.add_condition("c" + std::to_string(i));
+      condition_pool[i] = tree.add_condition(concat("c", std::to_string(i)));
     }
     return *condition_pool[i];
   };
@@ -64,7 +65,7 @@ inline fta::FaultTree random_tree(std::uint64_t seed,
   };
 
   for (std::size_t g = 0; g < options.gates; ++g) {
-    const std::string name = "g" + std::to_string(g);
+    const std::string name = concat("g", std::to_string(g));
     // Choose the gate kind before picking children: an INHIBIT gate takes
     // exactly one cause, and every picked child must end up in the gate
     // (picking marks it referenced, which drives root construction below).
