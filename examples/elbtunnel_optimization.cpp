@@ -2,32 +2,69 @@
 //   1. evaluate the engineers' initial 30/30-minute configuration,
 //   2. optimize the timer runtimes against the 100000:1 cost function,
 //   3. compare risks before/after (§IV-C.2),
-//   4. run the sensitivity analysis at the optimum,
-//   5. sweep the "OHV present" environment to expose the ODfinal design
+//   4. cross-check the optimum's hazard probabilities with the
+//      quantification engines (fta / bdd / mc) on the fault-tree derivation,
+//   5. run the sensitivity analysis at the optimum,
+//   6. sweep the "OHV present" environment to expose the ODfinal design
 //      flaw and evaluate both fixes (Fig. 6 methodology).
+//
+// Usage: example_elbtunnel_optimization [SOLVER]
+//   SOLVER is a registry name (nelder_mead, multi_start, grid_search, ...)
+//   or a legacy display name ("MultiStart(NelderMead)"). Default:
+//   multi_start. Run with an unknown name to list what is available.
 #include <cstdio>
+#include <exception>
+#include <string>
 
 #include "safeopt/core/environment_sweep.h"
 #include "safeopt/core/sensitivity.h"
+#include "safeopt/core/study.h"
 #include "safeopt/elbtunnel/elbtunnel_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safeopt;
   const elbtunnel::ElbtunnelModel model;
 
+  // argv -> (registry name, config): registry names and legacy display
+  // names both resolve; enum-equivalent names keep their legacy knobs.
+  core::SolverSelection selection =
+      *core::resolve_solver("MultiStart(NelderMead)");
+  if (argc > 1) {
+    const auto chosen = core::resolve_solver(argv[1]);
+    if (!chosen.has_value()) {
+      std::fprintf(stderr, "unknown solver \"%s\"; available:", argv[1]);
+      for (const std::string& known : opt::SolverRegistry::available()) {
+        std::fprintf(stderr, " %s", known.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    selection = *chosen;
+  }
+  const std::string& solver_name = selection.name;
+
+  // The study: one compiled problem, solver and engine chosen by name.
+  core::Study study(model.cost_model(), model.parameter_space());
+  study.solver(selection.name, selection.config);
+
   // 1. The engineers' guess.
-  const core::SafetyOptimizer optimizer = model.optimizer();
-  const auto baseline = optimizer.evaluate_at(model.engineers_guess());
+  const auto baseline = study.evaluate_at(model.engineers_guess());
   std::printf("engineers' configuration: T1 = T2 = 30 min\n");
   std::printf("  P(HCol) = %.4e, P(HAlr) = %.4e, cost = %.7f\n\n",
               baseline.hazard_probabilities[0],
               baseline.hazard_probabilities[1], baseline.cost);
 
-  // 2. Safety optimization (paper §III).
-  const auto optimal =
-      optimizer.optimize(core::Algorithm::kMultiStartNelderMead);
-  std::printf("optimized configuration (%s, %zu evaluations):\n",
-              optimal.optimization.message.c_str(),
+  // 2. Safety optimization (paper §III). Solver/problem mismatches (e.g.
+  // golden_section on the 2-D timer box) surface as std::invalid_argument.
+  core::SafetyOptimizationResult optimal;
+  try {
+    optimal = study.run();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cannot optimize: %s\n", error.what());
+    return 1;
+  }
+  std::printf("optimized configuration (%s; %s, %zu evaluations):\n",
+              solver_name.c_str(), optimal.optimization.message.c_str(),
               optimal.optimization.evaluations);
   std::printf("  T1* = %.2f min, T2* = %.2f min, cost = %.7f\n",
               optimal.optimization.argmin[0], optimal.optimization.argmin[1],
@@ -35,7 +72,7 @@ int main() {
   std::printf("  (paper: approximately 19 resp. 15.6 minutes)\n\n");
 
   // 3. Risk comparison (§IV-C.2's reported improvements).
-  const auto report = optimizer.compare(model.engineers_guess(), optimal);
+  const auto report = study.compare(model.engineers_guess(), optimal);
   for (const auto& hazard : report.hazards) {
     std::printf("  %-5s %.6e -> %.6e  (%+.3f%%)\n", hazard.hazard.c_str(),
                 hazard.baseline_probability, hazard.optimal_probability,
@@ -45,8 +82,33 @@ int main() {
               report.baseline_cost, report.optimal_cost,
               100.0 * report.cost_relative_change);
 
-  // 4. Sensitivity at the optimum: which timer is critical?
-  std::printf("sensitivity at the optimum:\n");
+  // 4. Cross-check P(HCol)(T1*,T2*) on the fault-tree derivation with every
+  // registered quantification engine — the closed form above and the three
+  // backends must agree (rare-event within its bound, bdd exactly, mc
+  // within its confidence interval).
+  const fta::FaultTree collision_tree = model.collision_tree();
+  const core::ParameterizedQuantification collision_quant =
+      model.collision_quantification(collision_tree);
+  study.hazard_tree("HCol", collision_tree, collision_quant);
+  std::printf("P(HCol) at the optimum, by quantification engine:\n");
+  for (const std::string& engine : core::EngineRegistry::available()) {
+    study.engine(engine);
+    try {
+      const auto q = study.quantify("HCol", optimal.optimal_parameters);
+      if (q.ci95.has_value()) {
+        std::printf("  %-4s %.6e  (95%% CI [%.3e, %.3e], %llu trials)\n",
+                    engine.c_str(), q.probability, q.ci95->lo, q.ci95->hi,
+                    static_cast<unsigned long long>(q.trials));
+      } else {
+        std::printf("  %-4s %.6e\n", engine.c_str(), q.probability);
+      }
+    } catch (const std::exception& error) {
+      std::printf("  %-4s unavailable: %s\n", engine.c_str(), error.what());
+    }
+  }
+
+  // 5. Sensitivity at the optimum: which timer is critical?
+  std::printf("\nsensitivity at the optimum:\n");
   for (const auto& s : core::sensitivity_analysis(
            model.cost_model(), model.parameter_space(),
            optimal.optimal_parameters)) {
@@ -54,7 +116,7 @@ int main() {
                 s.parameter.c_str(), s.cost_gradient, s.cost_elasticity);
   }
 
-  // 5. The Fig. 6 environment study: how does the design behave when an
+  // 6. The Fig. 6 environment study: how does the design behave when an
   // OHV is actually present in the controlled area?
   std::printf("\nP(false alarm | correct OHV present), by design:\n");
   const core::SweepTable sweep = core::sweep_parameter(

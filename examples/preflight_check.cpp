@@ -15,7 +15,7 @@
 
 #include "safeopt/core/cost_model.h"
 #include "safeopt/core/parameter_space.h"
-#include "safeopt/core/safety_optimizer.h"
+#include "safeopt/core/study.h"
 #include "safeopt/core/tradeoff.h"
 #include "safeopt/stats/distribution.h"
 
@@ -46,10 +46,17 @@ int main() {
   core::ParameterSpace space{
       {"tolerance", 0.5, 20.0, "kt", "accepted air-speed aberration"}};
 
-  const core::SafetyOptimizer optimizer(model, space);
-  const auto result = optimizer.optimize(core::Algorithm::kGridSearch);
-  std::printf("optimal tolerance: %.2f kt (expected cost %.2f $/flight)\n",
-              result.optimization.argmin[0], result.cost);
+  // A single free parameter: golden-section search — reachable only by
+  // registry name, the legacy Algorithm enum never exposed it — brackets
+  // the optimum on the interval. grid_search cross-checks it below.
+  core::Study study(model, space);
+  const auto result = study.solver("golden_section").run();
+  const auto on_grid =
+      study.algorithm(core::Algorithm::kGridSearch).run();
+  std::printf("optimal tolerance: %.2f kt (expected cost %.2f $/flight; "
+              "grid_search agrees at %.2f kt)\n",
+              result.optimization.argmin[0], result.cost,
+              on_grid.optimization.argmin[0]);
   std::printf("  P(crash)        = %.3e per flight\n",
               result.hazard_probabilities[0]);
   std::printf("  P(cancellation) = %.3e per flight\n\n",

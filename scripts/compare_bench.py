@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI gate for bench_compiled_eval: fail on performance or contract regressions.
 
-Usage: compare_bench.py BASELINE.json FRESH.json
+Usage: compare_bench.py BASELINE.json FRESH.json [--overhead OVERHEAD.json]
 
 Compares the fresh benchmark JSON against the committed baseline
 (BENCH_compiled_eval.json). Two kinds of checks:
@@ -17,6 +17,12 @@ Compares the fresh benchmark JSON against the committed baseline
     the baseline host and the CI runner, so the gate measures the compiled
     engine's speedup, not the runner's clock.
 
+With --overhead, additionally gates the solver-registry report written by
+`bench_optimizers --overhead-json`: every solver's registry-dispatched solve
+must produce bit-identical results to the direct construction and add less
+than OVERHEAD_LIMIT wall-clock overhead. Both paths are timed in the same
+process on the same problem, so no normalization is needed.
+
 Exit status: 0 clean, 1 regression or violated contract, 2 usage error.
 """
 
@@ -24,6 +30,7 @@ import json
 import sys
 
 REGRESSION_LIMIT = 0.25  # fail when normalized ns/eval grows by more than 25%
+OVERHEAD_LIMIT = 0.05  # registry dispatch may cost at most 5% per solve
 
 CONTRACT_FLAGS = [
     "surfaces_identical",
@@ -48,7 +55,35 @@ REPORT_ONLY_METRICS = ["batchn_ns_per_eval"]
 MIN_LANE8_SPEEDUP = 2.0  # acceptance criterion: 8 lanes vs single-lane batch
 
 
+def check_overhead(path, failures):
+    with open(path) as f:
+        report = json.load(f)
+    print(f"\n{'solver':<26}{'direct ns':>14}{'registry ns':>14}{'overhead':>10}  gate")
+    for row in report["solvers"]:
+        overhead = row["registry_ns_per_solve"] / row["direct_ns_per_solve"] - 1.0
+        verdict = "ok"
+        if not row["identical"]:
+            verdict = "FAIL"
+            failures.append(
+                f"{row['name']}: registry path result differs from direct call"
+            )
+        if overhead > OVERHEAD_LIMIT:
+            verdict = "FAIL"
+            failures.append(
+                f"{row['name']}: registry dispatch adds {overhead:+.1%} "
+                f"(limit {OVERHEAD_LIMIT:+.0%})"
+            )
+        print(
+            f"{row['name']:<26}{row['direct_ns_per_solve']:>14.0f}"
+            f"{row['registry_ns_per_solve']:>14.0f}{overhead:>+9.1%}  {verdict}"
+        )
+
+
 def main(argv):
+    overhead_path = None
+    if len(argv) >= 3 and argv[-2] == "--overhead":
+        overhead_path = argv[-1]
+        argv = argv[:-2]
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -91,6 +126,9 @@ def main(argv):
             f"{metric:<28}{baseline[metric]:>12.1f}{fresh[metric]:>12.1f}"
             f"{delta:>+9.1%}  {verdict}"
         )
+
+    if overhead_path is not None:
+        check_overhead(overhead_path, failures)
 
     if failures:
         print("\nbenchmark gate FAILED:", file=sys.stderr)

@@ -1,0 +1,144 @@
+// The pluggable quantification seam: one interface over every way this
+// library turns leaf probabilities into a top-event probability.
+//
+// The paper treats quantification as exchangeable machinery — Eq. 1/2 via
+// minimal cut sets is "the" formula, but §II-C notes the bounds involved and
+// the validation story (BDD Shannon decomposition is exact, Monte Carlo
+// sampling checks the independence assumptions). `QuantificationEngine`
+// makes that exchangeability a first-class API: every engine consumes the
+// same numeric `fta::QuantificationInput` (produced on the compiled-tape hot
+// path by `CompiledQuantification::input_at`) and reports a
+// `QuantificationResult` plus capability flags, so callers — `core::Study`,
+// cross-validation benches, future sharded backends — can pick a backend by
+// name at runtime:
+//
+//   "fta"  cut-set engine (rare-event / min-cut upper bound /
+//          inclusion-exclusion; importance measures supported)
+//   "bdd"  exact Shannon decomposition over the compiled ROBDD
+//   "mc"   Monte Carlo estimation with Wilson confidence intervals
+//
+// `EngineRegistry` is the name -> factory table behind
+// `Study::engine("bdd")`; `EngineRegistrar` self-registers user engines
+// (see docs/extending.md).
+#ifndef SAFEOPT_CORE_QUANTIFICATION_ENGINE_H
+#define SAFEOPT_CORE_QUANTIFICATION_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/stats/estimators.h"
+
+namespace safeopt {
+class ThreadPool;
+}
+
+namespace safeopt::core {
+
+/// What one engine can and cannot do; checked by callers, not enforced.
+struct EngineCapabilities {
+  /// No method error: the reported probability is the exact top-event
+  /// probability under leaf independence (bdd; fta with inclusion-exclusion).
+  bool exact = false;
+  /// The result carries sampling error (and a confidence interval).
+  bool sampled = false;
+  /// The backing method can also rank importance measures (the cut-set
+  /// engine: fta::importance_measures shares its mcs + method).
+  bool importance = false;
+  /// quantify_batch has a real batched implementation (not the base-class
+  /// loop); batching is where sharded/distributed engines plug in.
+  bool batch = false;
+};
+
+/// Outcome of one quantification.
+struct QuantificationResult {
+  double probability = 0.0;
+  /// 95% confidence interval; engines with capabilities().sampled only.
+  std::optional<stats::ConfidenceInterval> ci95;
+  /// Trials drawn (sampled engines), 0 otherwise.
+  std::uint64_t trials = 0;
+};
+
+/// Shared engine configuration; each engine reads the fields it understands.
+struct EngineConfig {
+  /// Cut-set engine: the probability method (rare-event by default — the
+  /// paper's Eq. 1/2 — or min-cut upper bound / inclusion-exclusion).
+  fta::ProbabilityMethod method = fta::ProbabilityMethod::kRareEvent;
+  /// Cut-set engine: how multiple INHIBIT constraints combine.
+  fta::ConstraintCombination combination =
+      fta::ConstraintCombination::kIndependentProduct;
+  /// Monte Carlo engine: trials per quantify() call and base seed.
+  std::uint64_t mc_trials = 200000;
+  std::uint64_t seed = 0x5a4e0u;
+  /// Monte Carlo engine: optional worker pool (chunked jump() streams;
+  /// result independent of the thread count). Not owned.
+  ThreadPool* pool = nullptr;
+};
+
+/// One quantification backend bound to one fault tree. Construction does the
+/// per-tree work exactly once (MOCUS, BDD compilation); quantify() is then a
+/// per-point evaluation sharing that preprocessing. Engines are not
+/// thread-safe (the BDD path memoizes); use one instance per thread.
+class QuantificationEngine {
+ public:
+  virtual ~QuantificationEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual EngineCapabilities capabilities() const noexcept = 0;
+  [[nodiscard]] virtual const fta::FaultTree& tree() const noexcept = 0;
+
+  /// P(top event) under `input`. Precondition: input.is_valid_for(tree()).
+  [[nodiscard]] virtual QuantificationResult quantify(
+      const fta::QuantificationInput& input) = 0;
+
+  /// Quantifies many inputs. The base implementation is a serial loop;
+  /// engines with capabilities().batch override it with a real batched path.
+  [[nodiscard]] virtual std::vector<QuantificationResult> quantify_batch(
+      const std::vector<fta::QuantificationInput>& inputs);
+
+ protected:
+  QuantificationEngine() = default;
+  QuantificationEngine(const QuantificationEngine&) = default;
+  QuantificationEngine& operator=(const QuantificationEngine&) = default;
+};
+
+/// Process-wide name -> factory table for quantification engines. "fta",
+/// "bdd" and "mc" are pre-registered; add() extends it at runtime (last
+/// registration wins). All methods are thread-safe.
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<QuantificationEngine>(
+      const fta::FaultTree& tree, const EngineConfig& config)>;
+
+  /// Registers `factory` under `name`; returns false when it replaced an
+  /// existing registration. Precondition: name non-empty, factory callable.
+  static bool add(std::string name, Factory factory);
+
+  /// Creates the named engine over `tree` (which must outlive the engine).
+  /// Throws std::invalid_argument listing available() for unknown names.
+  [[nodiscard]] static std::unique_ptr<QuantificationEngine> create(
+      std::string_view name, const fta::FaultTree& tree,
+      const EngineConfig& config = {});
+
+  [[nodiscard]] static bool contains(std::string_view name);
+
+  /// Sorted names of every registered engine.
+  [[nodiscard]] static std::vector<std::string> available();
+};
+
+/// Self-registration helper for user engines, mirroring SolverRegistrar.
+struct EngineRegistrar {
+  EngineRegistrar(std::string name, EngineRegistry::Factory factory) {
+    EngineRegistry::add(std::move(name), std::move(factory));
+  }
+};
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_QUANTIFICATION_ENGINE_H

@@ -2,19 +2,32 @@
 // such that the cost function is minimized". Glues the symbolic cost model
 // to the numeric solvers of src/opt; the exact autodiff gradient of the cost
 // expression is handed to gradient-based methods.
+//
+// Solvers are selected by registry name (opt::SolverRegistry) — prefer the
+// fluent core::Study front door (study.h) for new code. The `Algorithm`
+// enum below survives as a deprecated shim: each value maps onto a registry
+// name + SolverConfig and produces bit-identical results to the historic
+// enum-switch dispatch.
 #ifndef SAFEOPT_CORE_SAFETY_OPTIMIZER_H
 #define SAFEOPT_CORE_SAFETY_OPTIMIZER_H
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "safeopt/core/cost_model.h"
 #include "safeopt/core/parameter_space.h"
 #include "safeopt/opt/problem.h"
+#include "safeopt/opt/solver.h"
 
 namespace safeopt::core {
 
-/// Solver selection. All methods honour the parameter box.
+/// Deprecated: solver selection by closed enum. Prefer registry names
+/// ("nelder_mead", "multi_start", ... — opt::SolverRegistry::available());
+/// the enum cannot reach registered extensions (or even golden_section).
+/// Kept as a shim so existing call sites compile unchanged.
 enum class Algorithm {
   kGridSearch,
   kNelderMead,
@@ -27,6 +40,39 @@ enum class Algorithm {
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm algorithm) noexcept;
+
+/// Parses either a to_string(Algorithm) display name ("MultiStart(
+/// NelderMead)") or the equivalent registry name ("multi_start") back into
+/// the enum; nullopt for anything else. Lets examples and benches take the
+/// solver from argv. Registry names without an enum equivalent (e.g.
+/// "golden_section") parse as nullopt — pass those to Study::solver /
+/// SafetyOptimizer::optimize(name) directly.
+[[nodiscard]] std::optional<Algorithm> parse_algorithm(
+    std::string_view name) noexcept;
+
+/// The registry name each enum value dispatches to.
+[[nodiscard]] std::string_view algorithm_registry_name(
+    Algorithm algorithm) noexcept;
+
+/// The SolverConfig reproducing the historic enum-switch construction for
+/// `algorithm` (e.g. grid_search with 33 points x 5 rounds). Solving with
+/// algorithm_registry_name(a) under this config is bit-identical to the
+/// legacy enum path.
+[[nodiscard]] opt::SolverConfig algorithm_solver_config(Algorithm algorithm);
+
+/// A solver choice resolved from user input (argv, config files).
+struct SolverSelection {
+  std::string name;          // registry name
+  opt::SolverConfig config;  // legacy-equivalent knobs where applicable
+};
+
+/// Resolves a user-facing solver argument — a legacy display name
+/// ("MultiStart(NelderMead)") or any registry name — to the registry name
+/// plus the config reproducing the legacy defaults for enum-equivalent
+/// names. nullopt when the argument matches neither; callers print
+/// opt::SolverRegistry::available() in their error message.
+[[nodiscard]] std::optional<SolverSelection> resolve_solver(
+    std::string_view argument);
 
 /// Result of a safety optimization run: the solver outcome plus the
 /// safety-level interpretation (per-hazard probabilities at the optimum).
@@ -53,12 +99,23 @@ struct ComparisonReport {
   std::vector<HazardComparison> hazards;
 };
 
+/// The classic optimization entry point. New code should prefer core::Study,
+/// which wraps this machinery behind a fluent builder and adds engine-backed
+/// quantification; SafetyOptimizer remains the shared implementation.
 class SafetyOptimizer {
  public:
   /// The cost model's expressions may only mention parameters of `space`.
   SafetyOptimizer(CostModel model, ParameterSpace space);
 
-  /// Minimizes f_cost over the parameter box.
+  /// Minimizes f_cost over the parameter box with the named registry solver.
+  /// Throws std::invalid_argument for unknown names or solver/problem
+  /// mismatches (e.g. golden_section on a multi-dimensional box).
+  [[nodiscard]] SafetyOptimizationResult optimize(
+      std::string_view solver, const opt::SolverConfig& config = {}) const;
+
+  /// Deprecated: enum shim over the registry path. Equivalent to
+  /// optimize(algorithm_registry_name(a), algorithm_solver_config(a)) and
+  /// bit-identical to the historic enum-switch dispatch.
   [[nodiscard]] SafetyOptimizationResult optimize(
       Algorithm algorithm = Algorithm::kMultiStartNelderMead) const;
 
@@ -74,15 +131,27 @@ class SafetyOptimizer {
       const SafetyOptimizationResult& optimal) const;
 
   /// The underlying numeric problem (objective + box + exact gradient);
-  /// exposed for benches and custom solvers.
-  [[nodiscard]] opt::Problem problem() const;
+  /// exposed for benches and custom solvers. Compiled lazily exactly once
+  /// per optimizer — every optimize()/run() call reuses the same tape —
+  /// and shared by copies. Thread-safe. The reference is valid while this
+  /// optimizer (or a copy) is alive; take a copy of the Problem (cheap, it
+  /// shares the tape) to outlive it. On temporaries
+  /// (model.optimizer().problem()) the rvalue overload hands out that copy
+  /// directly, so the reference-binding pattern cannot dangle.
+  [[nodiscard]] const opt::Problem& problem() const&;
+  [[nodiscard]] opt::Problem problem() const&&;
 
   [[nodiscard]] const CostModel& model() const noexcept { return model_; }
   [[nodiscard]] const ParameterSpace& space() const noexcept { return space_; }
 
  private:
+  /// Lazily-built compiled problem, shared across copies (the tape is
+  /// immutable once built).
+  struct ProblemCache;
+
   CostModel model_;
   ParameterSpace space_;
+  std::shared_ptr<ProblemCache> cache_;
 };
 
 }  // namespace safeopt::core

@@ -1,0 +1,141 @@
+// core::Study — the front door of the library (ROADMAP: "multi-model
+// quantification service layer").
+//
+// The paper's core idea is that safety optimization is a *combination*: any
+// fault-tree quantification backend glued to any numeric solver over the
+// free parameters X_1..X_l (§III). Study makes the combination explicit and
+// swappable at runtime:
+//
+//   core::Study study(model.cost_model(), model.parameter_space());
+//   const auto result = study.solver("multi_start", config)
+//                            .observe(progress_callback)
+//                            .run();
+//
+// and, when hazards carry their fault-tree derivations, quantification by
+// any registered engine on the compiled-tape hot path:
+//
+//   study.hazard_tree("HCol", tree, quantification)
+//        .engine("bdd");
+//   const auto exact = study.quantify("HCol", result.optimal_parameters);
+//
+// Study subsumes SafetyOptimizer::optimize/evaluate_at/compare (it wraps a
+// SafetyOptimizer and shares its once-compiled problem, so repeated run()
+// calls reuse one tape) and produces bit-identical results to the legacy
+// enum path for equivalent solver selections.
+#ifndef SAFEOPT_CORE_STUDY_H
+#define SAFEOPT_CORE_STUDY_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/core/compiled_quantification.h"
+#include "safeopt/core/parameterized_fta.h"
+#include "safeopt/core/quantification_engine.h"
+#include "safeopt/core/safety_optimizer.h"
+#include "safeopt/opt/solver.h"
+
+namespace safeopt::core {
+
+class Study {
+ public:
+  /// The cost model's expressions may only mention parameters of `space`.
+  Study(CostModel model, ParameterSpace space);
+
+  // ---- fluent configuration (each returns *this) ---------------------------
+
+  /// Selects the numeric solver by registry name. Unknown names surface as
+  /// std::invalid_argument from run(). Default: "multi_start" (the legacy
+  /// default, multi-start Nelder–Mead).
+  Study& solver(std::string name, opt::SolverConfig config = {});
+
+  /// Deprecated-enum convenience: equivalent to solver() with the shim
+  /// mapping of safety_optimizer.h.
+  Study& algorithm(Algorithm algorithm);
+
+  /// Progress observer for run(); overridden by an observer already present
+  /// in the solver config.
+  Study& observe(opt::ProgressObserver observer);
+
+  /// Selects the quantification engine (by registry name) used by
+  /// quantify(). Default: "fta". Resets engines already built for attached
+  /// hazard trees.
+  Study& engine(std::string name, EngineConfig config = {});
+
+  /// Attaches the fault-tree derivation of the named hazard so engines can
+  /// quantify it. `tree` and `quantification` are referenced, not copied —
+  /// they must outlive the Study. The leaf tapes are compiled once (shared
+  /// CompiledQuantification) so every engine evaluates parameter points on
+  /// the compiled hot path.
+  Study& hazard_tree(std::string hazard, const fta::FaultTree& tree,
+                     const ParameterizedQuantification& quantification);
+
+  // ---- execution -----------------------------------------------------------
+
+  /// Minimizes f_cost over the parameter box with the configured solver.
+  [[nodiscard]] SafetyOptimizationResult run() const;
+
+  /// Evaluates cost and hazard probabilities at a configuration.
+  [[nodiscard]] SafetyOptimizationResult evaluate_at(
+      const expr::ParameterAssignment& configuration) const;
+
+  /// Baseline-vs-optimum comparison (paper §IV-C.2 reporting).
+  [[nodiscard]] ComparisonReport compare(
+      const expr::ParameterAssignment& baseline,
+      const SafetyOptimizationResult& optimal) const;
+
+  /// Quantifies the named hazard at `at` with the configured engine: leaf
+  /// probabilities come off the compiled tapes (CompiledQuantification::
+  /// input_at), the engine turns them into a top-event probability. The
+  /// hazard must have been attached via hazard_tree() (throws
+  /// std::invalid_argument otherwise). Not thread-safe: engines and tapes
+  /// are built lazily per Study.
+  [[nodiscard]] QuantificationResult quantify(
+      std::string_view hazard, const expr::ParameterAssignment& at) const;
+
+  // ---- access --------------------------------------------------------------
+
+  /// The compiled numeric problem; one tape per Study, address-stable.
+  /// The rvalue overload returns a copy so a temporary Study cannot hand
+  /// out a dangling reference.
+  [[nodiscard]] const opt::Problem& problem() const& {
+    return optimizer_.problem();
+  }
+  [[nodiscard]] opt::Problem problem() const&& { return problem(); }
+  [[nodiscard]] const CostModel& model() const noexcept {
+    return optimizer_.model();
+  }
+  [[nodiscard]] const ParameterSpace& space() const noexcept {
+    return optimizer_.space();
+  }
+  [[nodiscard]] const std::string& solver_name() const noexcept {
+    return solver_name_;
+  }
+  [[nodiscard]] const std::string& engine_name() const noexcept {
+    return engine_name_;
+  }
+
+ private:
+  struct TreeHazard {
+    std::string hazard;
+    const fta::FaultTree* tree = nullptr;
+    const ParameterizedQuantification* quantification = nullptr;
+    // Lazily built; mutable state of the (single-threaded) quantify path.
+    mutable std::unique_ptr<CompiledQuantification> compiled;
+    mutable std::unique_ptr<QuantificationEngine> engine;
+  };
+
+  SafetyOptimizer optimizer_;
+  std::string solver_name_ = "multi_start";
+  opt::SolverConfig solver_config_ =
+      algorithm_solver_config(Algorithm::kMultiStartNelderMead);
+  std::string engine_name_ = "fta";
+  EngineConfig engine_config_;
+  opt::ProgressObserver observer_;
+  std::vector<TreeHazard> tree_hazards_;
+};
+
+}  // namespace safeopt::core
+
+#endif  // SAFEOPT_CORE_STUDY_H

@@ -55,6 +55,13 @@ RobustSafetyOptimizer::RobustSafetyOptimizer(ScenarioSet scenarios,
 
 RobustOptimizationResult RobustSafetyOptimizer::optimize(
     RobustCriterion criterion, Algorithm algorithm) const {
+  return optimize(criterion, algorithm_registry_name(algorithm),
+                  algorithm_solver_config(algorithm));
+}
+
+RobustOptimizationResult RobustSafetyOptimizer::optimize(
+    RobustCriterion criterion, std::string_view solver,
+    const opt::SolverConfig& config) const {
   // Reuse the deterministic machinery: wrap the scenario objective as a
   // single-hazard cost model (cost weight 1).
   CostModel model;
@@ -64,7 +71,7 @@ RobustOptimizationResult RobustSafetyOptimizer::optimize(
                         : scenarios_.worst_case_cost(),
                     1.0});
   const SafetyOptimizer inner(std::move(model), space_);
-  const SafetyOptimizationResult inner_result = inner.optimize(algorithm);
+  const SafetyOptimizationResult inner_result = inner.optimize(solver, config);
 
   RobustOptimizationResult result;
   result.optimization = inner_result.optimization;
@@ -89,6 +96,13 @@ RobustOptimizationResult RobustSafetyOptimizer::optimize(
 double RobustSafetyOptimizer::max_regret(
     const expr::ParameterAssignment& configuration,
     Algorithm algorithm) const {
+  return max_regret(configuration, algorithm_registry_name(algorithm),
+                    algorithm_solver_config(algorithm));
+}
+
+double RobustSafetyOptimizer::max_regret(
+    const expr::ParameterAssignment& configuration, std::string_view solver,
+    const opt::SolverConfig& config) const {
   // Each scenario's own optimum is an independent solve; fan them out over
   // the shared pool and reduce afterwards (max is order-independent, so the
   // result does not depend on the thread count). The dominant work — every
@@ -102,7 +116,7 @@ double RobustSafetyOptimizer::max_regret(
           CostModel model;
           model.add_hazard({"scenario", scenarios_[i], 1.0});
           const SafetyOptimizer solo(std::move(model), space_);
-          const double scenario_best = solo.optimize(algorithm).cost;
+          const double scenario_best = solo.optimize(solver, config).cost;
           const double here = scenarios_[i].evaluate(configuration);
           regrets[i] = here - scenario_best;
         }

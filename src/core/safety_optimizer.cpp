@@ -1,16 +1,10 @@
 #include "safeopt/core/safety_optimizer.h"
 
 #include <memory>
+#include <mutex>
+#include <utility>
 
 #include "safeopt/expr/compiled.h"
-#include "safeopt/opt/coordinate_descent.h"
-#include "safeopt/opt/differential_evolution.h"
-#include "safeopt/opt/gradient_descent.h"
-#include "safeopt/opt/grid_search.h"
-#include "safeopt/opt/hooke_jeeves.h"
-#include "safeopt/opt/multi_start.h"
-#include "safeopt/opt/nelder_mead.h"
-#include "safeopt/opt/simulated_annealing.h"
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/thread_pool.h"
 
@@ -30,8 +24,73 @@ std::string_view to_string(Algorithm algorithm) noexcept {
   return "?";
 }
 
+std::string_view algorithm_registry_name(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kGridSearch: return "grid_search";
+    case Algorithm::kNelderMead: return "nelder_mead";
+    case Algorithm::kMultiStartNelderMead: return "multi_start";
+    case Algorithm::kGradientDescent: return "gradient_descent";
+    case Algorithm::kHookeJeeves: return "hooke_jeeves";
+    case Algorithm::kCoordinateDescent: return "coordinate_descent";
+    case Algorithm::kSimulatedAnnealing: return "simulated_annealing";
+    case Algorithm::kDifferentialEvolution: return "differential_evolution";
+  }
+  return "?";
+}
+
+opt::SolverConfig algorithm_solver_config(Algorithm algorithm) {
+  opt::SolverConfig config;
+  switch (algorithm) {
+    case Algorithm::kGridSearch:
+      // The historic enum switch ran a finer grid than the class default.
+      config.set("points_per_dimension", 33).set("refinement_rounds", 5);
+      break;
+    case Algorithm::kMultiStartNelderMead:
+      config.set("inner", "nelder_mead").set("starts", 8);
+      break;
+    default:
+      break;  // class defaults already match the enum path
+  }
+  return config;
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) noexcept {
+  constexpr Algorithm kAll[] = {
+      Algorithm::kGridSearch,       Algorithm::kNelderMead,
+      Algorithm::kMultiStartNelderMead, Algorithm::kGradientDescent,
+      Algorithm::kHookeJeeves,      Algorithm::kCoordinateDescent,
+      Algorithm::kSimulatedAnnealing,
+      Algorithm::kDifferentialEvolution,
+  };
+  for (const Algorithm algorithm : kAll) {
+    if (name == to_string(algorithm) ||
+        name == algorithm_registry_name(algorithm)) {
+      return algorithm;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SolverSelection> resolve_solver(std::string_view argument) {
+  if (const auto algorithm = parse_algorithm(argument)) {
+    return SolverSelection{std::string(algorithm_registry_name(*algorithm)),
+                           algorithm_solver_config(*algorithm)};
+  }
+  if (opt::SolverRegistry::contains(argument)) {
+    return SolverSelection{std::string(argument), opt::SolverConfig{}};
+  }
+  return std::nullopt;
+}
+
+struct SafetyOptimizer::ProblemCache {
+  std::once_flag once;
+  opt::Problem problem;
+};
+
 SafetyOptimizer::SafetyOptimizer(CostModel model, ParameterSpace space)
-    : model_(std::move(model)), space_(std::move(space)) {
+    : model_(std::move(model)),
+      space_(std::move(space)),
+      cache_(std::make_shared<ProblemCache>()) {
   SAFEOPT_EXPECTS(model_.hazard_count() >= 1);
   SAFEOPT_EXPECTS(space_.size() >= 1);
   // Every parameter the cost expression mentions must be optimizable.
@@ -40,103 +99,87 @@ SafetyOptimizer::SafetyOptimizer(CostModel model, ParameterSpace space)
   }
 }
 
-opt::Problem SafetyOptimizer::problem() const {
-  const expr::Expr cost = model_.cost_expression();
-  const std::vector<std::string> names = space_.names();
-  opt::Problem problem;
-  problem.bounds = space_.box();
-  // The scalar objective runs on the compiled tape — bitwise-identical to
-  // cost.evaluate() (see compiled.h) and ~3× faster, so every solver in
-  // src/opt gets the compiled path without knowing it exists. The exact
-  // forward-mode dual gradient is kept as-is: reverse-over-tape gradients
-  // are equal only up to rounding, and gradient descent trajectories should
-  // not move under a performance change.
-  const auto compiled = std::make_shared<const expr::CompiledExpr>(
-      expr::CompiledExpr::compile(cost, names));
-  problem.objective = [compiled](std::span<const double> x) {
-    return compiled->evaluate(x);
-  };
-  // Capture the space by value: the returned Problem must stay valid after
-  // this SafetyOptimizer is gone (e.g. when built from a temporary).
-  const ParameterSpace space = space_;
-  problem.gradient = [space, cost, names](std::span<const double> x) {
-    return cost.evaluate_dual(space.assignment(x), names).grad();
-  };
-  // Large batches (grid rounds, synchronous DE generations) fan out over
-  // the shared pool; each row writes only its own output slot, so results
-  // do not depend on the thread count.
-  problem.batch_objective = [compiled](std::span<const double> points,
-                                       std::span<double> out) {
-    constexpr std::size_t kParallelThreshold = 256;
-    if (out.size() >= kParallelThreshold) {
-      compiled->evaluate_batch(points, out, ThreadPool::shared());
-    } else {
-      compiled->evaluate_batch(points, out);
-    }
-  };
-  // Population-shaped gradient consumers get lane-batched reverse-mode
-  // sweeps (values bitwise-equal to the objective; gradients exact, equal
-  // to the dual gradient up to reassociation of the chain rule).
-  problem.batch_gradient = [compiled](std::span<const double> points,
-                                      std::span<double> values_out,
-                                      std::span<double> gradients_out) {
-    constexpr std::size_t kParallelThreshold = 128;
-    if (values_out.size() >= kParallelThreshold) {
-      compiled->evaluate_batch_with_gradients(points, values_out,
-                                              gradients_out,
-                                              ThreadPool::shared());
-    } else {
-      compiled->evaluate_batch_with_gradients(points, values_out,
-                                              gradients_out);
-    }
-  };
-  return problem;
+opt::Problem SafetyOptimizer::problem() const&& {
+  return problem();  // *this is an lvalue here: builds, then copies out
 }
 
-SafetyOptimizationResult SafetyOptimizer::optimize(Algorithm algorithm) const {
-  const opt::Problem numeric = problem();
+const opt::Problem& SafetyOptimizer::problem() const& {
+  std::call_once(cache_->once, [this] {
+    const expr::Expr cost = model_.cost_expression();
+    const std::vector<std::string> names = space_.names();
+    opt::Problem problem;
+    problem.bounds = space_.box();
+    // The scalar objective runs on the compiled tape — bitwise-identical to
+    // cost.evaluate() (see compiled.h) and ~3× faster, so every solver in
+    // src/opt gets the compiled path without knowing it exists. The tape is
+    // compiled exactly once per SafetyOptimizer (and shared by copies):
+    // repeated optimize()/run() calls reuse it. The exact forward-mode dual
+    // gradient is kept as-is: reverse-over-tape gradients are equal only up
+    // to rounding, and gradient descent trajectories should not move under
+    // a performance change.
+    const auto compiled = std::make_shared<const expr::CompiledExpr>(
+        expr::CompiledExpr::compile(cost, names));
+    problem.objective = [compiled](std::span<const double> x) {
+      return compiled->evaluate(x);
+    };
+    // Capture the space by value: callers may *copy* the returned Problem
+    // and keep using it after this SafetyOptimizer is gone (benches do).
+    // The reference problem() hands out is only valid while an optimizer
+    // sharing this cache lives — copy before the optimizer dies.
+    const ParameterSpace space = space_;
+    problem.gradient = [space, cost, names](std::span<const double> x) {
+      return cost.evaluate_dual(space.assignment(x), names).grad();
+    };
+    // Large batches (grid rounds, synchronous DE generations) fan out over
+    // the shared pool; each row writes only its own output slot, so results
+    // do not depend on the thread count.
+    problem.batch_objective = [compiled](std::span<const double> points,
+                                         std::span<double> out) {
+      constexpr std::size_t kParallelThreshold = 256;
+      if (out.size() >= kParallelThreshold) {
+        compiled->evaluate_batch(points, out, ThreadPool::shared());
+      } else {
+        compiled->evaluate_batch(points, out);
+      }
+    };
+    // Population-shaped gradient consumers get lane-batched reverse-mode
+    // sweeps (values bitwise-equal to the objective; gradients exact, equal
+    // to the dual gradient up to reassociation of the chain rule).
+    problem.batch_gradient = [compiled](std::span<const double> points,
+                                        std::span<double> values_out,
+                                        std::span<double> gradients_out) {
+      constexpr std::size_t kParallelThreshold = 128;
+      if (values_out.size() >= kParallelThreshold) {
+        compiled->evaluate_batch_with_gradients(points, values_out,
+                                                gradients_out,
+                                                ThreadPool::shared());
+      } else {
+        compiled->evaluate_batch_with_gradients(points, values_out,
+                                                gradients_out);
+      }
+    };
+    cache_->problem = std::move(problem);
+  });
+  return cache_->problem;
+}
 
-  std::unique_ptr<opt::Optimizer> solver;
-  switch (algorithm) {
-    case Algorithm::kGridSearch:
-      solver = std::make_unique<opt::GridSearch>(33, 5);
-      break;
-    case Algorithm::kNelderMead:
-      solver = std::make_unique<opt::NelderMead>();
-      break;
-    case Algorithm::kMultiStartNelderMead:
-      solver = std::make_unique<opt::MultiStart>(
-          [](std::vector<double> start) -> std::unique_ptr<opt::Optimizer> {
-            return std::make_unique<opt::NelderMead>(opt::StoppingCriteria{},
-                                                     std::move(start));
-          },
-          8);
-      break;
-    case Algorithm::kGradientDescent:
-      solver = std::make_unique<opt::ProjectedGradientDescent>();
-      break;
-    case Algorithm::kHookeJeeves:
-      solver = std::make_unique<opt::HookeJeeves>();
-      break;
-    case Algorithm::kCoordinateDescent:
-      solver = std::make_unique<opt::CoordinateDescent>();
-      break;
-    case Algorithm::kSimulatedAnnealing:
-      solver = std::make_unique<opt::SimulatedAnnealing>();
-      break;
-    case Algorithm::kDifferentialEvolution:
-      solver = std::make_unique<opt::DifferentialEvolution>();
-      break;
-  }
-  SAFEOPT_ASSERT(solver != nullptr);
+SafetyOptimizationResult SafetyOptimizer::optimize(
+    std::string_view solver, const opt::SolverConfig& config) const {
+  const opt::Problem& numeric = problem();
 
   SafetyOptimizationResult result;
-  result.optimization = solver->minimize(numeric);
+  result.optimization =
+      opt::SolverRegistry::create(solver)->solve(numeric, config);
   result.optimal_parameters = space_.assignment(result.optimization.argmin);
   result.hazard_probabilities =
       model_.hazard_probabilities(result.optimal_parameters);
   result.cost = result.optimization.value;
   return result;
+}
+
+SafetyOptimizationResult SafetyOptimizer::optimize(Algorithm algorithm) const {
+  return optimize(algorithm_registry_name(algorithm),
+                  algorithm_solver_config(algorithm));
 }
 
 SafetyOptimizationResult SafetyOptimizer::evaluate_at(

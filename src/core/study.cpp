@@ -1,0 +1,89 @@
+#include "safeopt/core/study.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "safeopt/support/strings.h"
+
+namespace safeopt::core {
+
+Study::Study(CostModel model, ParameterSpace space)
+    : optimizer_(std::move(model), std::move(space)) {}
+
+Study& Study::solver(std::string name, opt::SolverConfig config) {
+  solver_name_ = std::move(name);
+  solver_config_ = std::move(config);
+  return *this;
+}
+
+Study& Study::algorithm(Algorithm algorithm) {
+  return solver(std::string(algorithm_registry_name(algorithm)),
+                algorithm_solver_config(algorithm));
+}
+
+Study& Study::observe(opt::ProgressObserver observer) {
+  observer_ = std::move(observer);
+  return *this;
+}
+
+Study& Study::engine(std::string name, EngineConfig config) {
+  engine_name_ = std::move(name);
+  engine_config_ = config;
+  // Engines are per-(tree, config); drop the ones built for the old choice.
+  for (const TreeHazard& entry : tree_hazards_) entry.engine.reset();
+  return *this;
+}
+
+Study& Study::hazard_tree(std::string hazard, const fta::FaultTree& tree,
+                          const ParameterizedQuantification& quantification) {
+  // Validate eagerly — the hazard must exist in the cost model so the
+  // engine-quantified probability has an expression-path counterpart.
+  (void)model().hazard_by_name(hazard);
+  TreeHazard entry;
+  entry.hazard = std::move(hazard);
+  entry.tree = &tree;
+  entry.quantification = &quantification;
+  tree_hazards_.push_back(std::move(entry));
+  return *this;
+}
+
+SafetyOptimizationResult Study::run() const {
+  if (!observer_ || solver_config_.observer) {
+    return optimizer_.optimize(solver_name_, solver_config_);
+  }
+  opt::SolverConfig config = solver_config_;
+  config.observer = observer_;
+  return optimizer_.optimize(solver_name_, config);
+}
+
+SafetyOptimizationResult Study::evaluate_at(
+    const expr::ParameterAssignment& configuration) const {
+  return optimizer_.evaluate_at(configuration);
+}
+
+ComparisonReport Study::compare(
+    const expr::ParameterAssignment& baseline,
+    const SafetyOptimizationResult& optimal) const {
+  return optimizer_.compare(baseline, optimal);
+}
+
+QuantificationResult Study::quantify(
+    std::string_view hazard, const expr::ParameterAssignment& at) const {
+  for (const TreeHazard& entry : tree_hazards_) {
+    if (entry.hazard != hazard) continue;
+    if (!entry.compiled) {
+      entry.compiled =
+          std::make_unique<CompiledQuantification>(*entry.quantification);
+    }
+    if (!entry.engine) {
+      entry.engine =
+          EngineRegistry::create(engine_name_, *entry.tree, engine_config_);
+    }
+    return entry.engine->quantify(entry.compiled->input_at(at));
+  }
+  throw std::invalid_argument(
+      concat("no fault tree attached for hazard \"", hazard,
+             "\"; call Study::hazard_tree first"));
+}
+
+}  // namespace safeopt::core

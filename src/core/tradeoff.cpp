@@ -13,6 +13,16 @@ std::vector<TradeoffPoint> tradeoff_curve(const CostModel& model,
                                           double ratio_lo, double ratio_hi,
                                           std::size_t steps,
                                           Algorithm algorithm) {
+  return tradeoff_curve(model, space, hazard_a, hazard_b, ratio_lo, ratio_hi,
+                        steps, algorithm_registry_name(algorithm),
+                        algorithm_solver_config(algorithm));
+}
+
+std::vector<TradeoffPoint> tradeoff_curve(
+    const CostModel& model, const ParameterSpace& space,
+    std::string_view hazard_a, std::string_view hazard_b, double ratio_lo,
+    double ratio_hi, std::size_t steps, std::string_view solver,
+    const opt::SolverConfig& config) {
   SAFEOPT_EXPECTS(ratio_lo > 0.0 && ratio_lo < ratio_hi);
   SAFEOPT_EXPECTS(steps >= 2);
   const Hazard& a = model.hazard_by_name(hazard_a);
@@ -30,7 +40,7 @@ std::vector<TradeoffPoint> tradeoff_curve(const CostModel& model,
     weighted.add_hazard(Hazard{a.name, a.probability, ratio});
     weighted.add_hazard(Hazard{b.name, b.probability, 1.0});
     const SafetyOptimizer optimizer(std::move(weighted), space);
-    const SafetyOptimizationResult result = optimizer.optimize(algorithm);
+    const SafetyOptimizationResult result = optimizer.optimize(solver, config);
 
     TradeoffPoint point;
     point.cost_ratio = ratio;

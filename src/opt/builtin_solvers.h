@@ -1,0 +1,29 @@
+// Private bridge between the registry (solver.cpp) and the nine solver
+// translation units. Each solver .cpp defines its make_*_solver() factory
+// next to the numeric method it adapts; solver.cpp references them all when
+// seeding the registry. Routing the references through named functions (not
+// static registrar objects) keeps registration reliable under static-archive
+// linking, where an object file whose only content is a self-registering
+// global would be dropped.
+#ifndef SAFEOPT_OPT_BUILTIN_SOLVERS_H
+#define SAFEOPT_OPT_BUILTIN_SOLVERS_H
+
+#include <memory>
+
+#include "safeopt/opt/solver.h"
+
+namespace safeopt::opt::detail {
+
+std::unique_ptr<Solver> make_coordinate_descent_solver();
+std::unique_ptr<Solver> make_differential_evolution_solver();
+std::unique_ptr<Solver> make_golden_section_solver();
+std::unique_ptr<Solver> make_gradient_descent_solver();
+std::unique_ptr<Solver> make_grid_search_solver();
+std::unique_ptr<Solver> make_hooke_jeeves_solver();
+std::unique_ptr<Solver> make_multi_start_solver();
+std::unique_ptr<Solver> make_nelder_mead_solver();
+std::unique_ptr<Solver> make_simulated_annealing_solver();
+
+}  // namespace safeopt::opt::detail
+
+#endif  // SAFEOPT_OPT_BUILTIN_SOLVERS_H

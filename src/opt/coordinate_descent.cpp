@@ -1,5 +1,7 @@
 #include "safeopt/opt/coordinate_descent.h"
 
+#include "builtin_solvers.h"
+
 #include <cmath>
 
 #include "safeopt/support/contracts.h"
@@ -87,6 +89,32 @@ OptimizationResult CoordinateDescent::minimize(const Problem& problem) const {
   result.argmin = std::move(x);
   result.value = fx;
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "line_search_iterations" (default 60) per golden-section sweep.
+class CoordinateDescentSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "coordinate_descent";
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    return CoordinateDescent(config.stopping(), config.initial,
+                             config.count_or("line_search_iterations", 60))
+        .minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_coordinate_descent_solver() {
+  return std::make_unique<CoordinateDescentSolver>();
 }
 
 }  // namespace safeopt::opt

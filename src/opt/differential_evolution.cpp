@@ -1,5 +1,7 @@
 #include "safeopt/opt/differential_evolution.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -140,6 +142,49 @@ OptimizationResult DifferentialEvolution::minimize(
     result.message = "generation budget exhausted";
   }
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "population" (0 = auto), "differential_weight", "crossover_rate",
+/// "generations", "spread_tolerance", "synchronous_batch" (0/1; nonzero
+/// selects the generation-synchronous batched variant — see Settings).
+/// Honors config.seed.
+class DifferentialEvolutionSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "differential_evolution";
+  }
+  [[nodiscard]] SolverTraits traits() const noexcept override {
+    return SolverTraits{.max_dimension = 0, .stochastic = true};
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    DifferentialEvolution::Settings settings;
+    settings.population = config.count_or("population", settings.population);
+    settings.differential_weight =
+        config.number_or("differential_weight", settings.differential_weight);
+    settings.crossover_rate =
+        config.number_or("crossover_rate", settings.crossover_rate);
+    settings.generations =
+        config.count_or("generations", settings.generations);
+    settings.spread_tolerance =
+        config.number_or("spread_tolerance", settings.spread_tolerance);
+    settings.synchronous_batch =
+        config.number_or("synchronous_batch", 0.0) != 0.0;
+    return DifferentialEvolution(settings, config.seed.value_or(0xd1ffe))
+        .minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_differential_evolution_solver() {
+  return std::make_unique<DifferentialEvolutionSolver>();
 }
 
 }  // namespace safeopt::opt

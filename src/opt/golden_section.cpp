@@ -1,5 +1,7 @@
 #include "safeopt/opt/golden_section.h"
 
+#include "builtin_solvers.h"
+
 #include <cmath>
 
 #include "safeopt/support/contracts.h"
@@ -52,6 +54,35 @@ OptimizationResult GoldenSection::minimize(const Problem& problem) const {
   result.message = result.converged ? "interval collapsed below tolerance"
                                     : "iteration budget exhausted";
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// 1-D only (traits().max_dimension == 1): Solver::solve rejects
+/// multi-dimensional boxes with std::invalid_argument before running, since
+/// the golden-section bracketing argument only exists on an interval.
+class GoldenSectionSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "golden_section";
+  }
+  [[nodiscard]] SolverTraits traits() const noexcept override {
+    return SolverTraits{.max_dimension = 1, .stochastic = false};
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    return GoldenSection(config.stopping()).minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_golden_section_solver() {
+  return std::make_unique<GoldenSectionSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,5 +1,7 @@
 #include "safeopt/opt/gradient_descent.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -101,6 +103,32 @@ OptimizationResult ProjectedGradientDescent::minimize(
   result.argmin = std::move(x);
   result.value = fx;
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "initial_step" (default 0.1, relative to the largest box width).
+class GradientDescentSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "gradient_descent";
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    return ProjectedGradientDescent(config.stopping(), config.initial,
+                                    config.number_or("initial_step", 0.1))
+        .minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_gradient_descent_solver() {
+  return std::make_unique<GradientDescentSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,5 +1,7 @@
 #include "safeopt/opt/grid_search.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -137,6 +139,33 @@ GridTable tabulate_2d(const Objective& objective, const Box& bounds,
   problem.objective = objective;
   problem.bounds = bounds;
   return tabulate_2d(problem, nx, ny);
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "points_per_dimension" (default 21), "refinement_rounds" (4).
+/// Deterministic and start-point-free; config.initial is ignored.
+class GridSearchSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "grid_search";
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    const std::size_t points = config.count_or("points_per_dimension", 21);
+    const std::size_t rounds = config.count_or("refinement_rounds", 4);
+    return GridSearch(points, rounds).minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_grid_search_solver() {
+  return std::make_unique<GridSearchSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,5 +1,7 @@
 #include "safeopt/opt/hooke_jeeves.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -92,6 +94,32 @@ OptimizationResult HookeJeeves::minimize(const Problem& problem) const {
   result.message = result.converged ? "pattern step below tolerance"
                                     : "iteration budget exhausted";
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "initial_step" (default 0.25, relative to each axis' box width).
+class HookeJeevesSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hooke_jeeves";
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    return HookeJeeves(config.stopping(), config.initial,
+                       config.number_or("initial_step", 0.25))
+        .minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_hooke_jeeves_solver() {
+  return std::make_unique<HookeJeevesSolver>();
 }
 
 }  // namespace safeopt::opt

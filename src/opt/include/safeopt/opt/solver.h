@@ -1,0 +1,225 @@
+// The pluggable solver seam (paper §III-B: "This problem can then be solved
+// with different methods").
+//
+// `Solver` is the name-keyed, configuration-driven interface over the
+// numeric methods of src/opt. Where `Optimizer` (problem.h) is the minimal
+// "minimize this problem" vtable each method implements, `Solver` adds the
+// pieces a composable optimization *service* needs:
+//
+//   * one shared `SolverConfig` (budget / tolerance / seed / threads /
+//     starting point) plus name-keyed typed extras for per-solver knobs, so
+//     callers can select and tune any method without naming its type;
+//   * a progress observer (iteration, evaluations used, best-so-far) honored
+//     uniformly by every solver — instrumentation wraps the problem, so the
+//     numeric trajectory is bitwise-unchanged whether or not anyone listens;
+//   * an evaluation budget enforced uniformly (at batch granularity), with
+//     the best-so-far point returned when the budget runs out;
+//   * capability traits (dimension limits, seed consumption) validated
+//     before the run, failing fast with std::invalid_argument — e.g.
+//     golden_section on a multi-dimensional box;
+//   * `SolverRegistry`, the name -> factory table behind
+//     `core::Study::solver("nelder_mead")`, extensible at runtime via
+//     `SolverRegistrar` (see docs/extending.md).
+//
+// Every solver in src/opt registers itself here; meta-solvers (multi_start)
+// are registry consumers that wrap any inner solver by name.
+#ifndef SAFEOPT_OPT_SOLVER_H
+#define SAFEOPT_OPT_SOLVER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/opt/problem.h"
+
+namespace safeopt {
+class ThreadPool;
+}
+
+namespace safeopt::opt {
+
+/// One progress report. `best_point` is only valid during the callback.
+struct ProgressEvent {
+  std::size_t iteration = 0;    // monotone observer-event index (0-based)
+  std::size_t evaluations = 0;  // objective evaluations used so far
+  double best_value = 0.0;      // best objective value seen so far
+  std::span<const double> best_point;
+};
+
+/// Called whenever the best-so-far value improves (per evaluation on the
+/// scalar path, per batch on the batched path). Invoked under the
+/// instrumentation lock: keep it cheap and do not call back into the solver.
+/// With a thread pool attached, events from concurrent evaluations arrive in
+/// a scheduling-dependent order, but `best_value` is monotone regardless.
+using ProgressObserver = std::function<void(const ProgressEvent&)>;
+
+/// The shared configuration every registered solver consumes. Common knobs
+/// are public fields; per-solver settings travel as name-keyed typed extras
+/// (unknown keys are ignored, so one config can parameterize a whole sweep
+/// of solvers). Default-constructed, it reproduces each solver's legacy
+/// defaults bit for bit.
+struct SolverConfig {
+  /// Outer-iteration cap (maps onto StoppingCriteria::max_iterations).
+  std::size_t max_iterations = 1000;
+  /// Convergence tolerance (maps onto StoppingCriteria::tolerance).
+  double tolerance = 1e-10;
+  /// Objective-evaluation budget; 0 = unlimited. Enforced uniformly by the
+  /// instrumentation layer at batch granularity: a batch that begins under
+  /// budget runs to completion, the reported evaluation count never exceeds
+  /// the budget, and an exhausted run returns the best point seen with
+  /// converged = false.
+  std::size_t max_evaluations = 0;
+  /// Seed for stochastic solvers; nullopt keeps the solver's default seed
+  /// (which is what the legacy enum path used).
+  std::optional<std::uint64_t> seed;
+  /// Optional worker pool for solvers that parallelize (multi_start). Not
+  /// owned; must outlive the solve call.
+  ThreadPool* pool = nullptr;
+  /// Starting point; empty = solver default (the box center). When set, it
+  /// must match the problem dimension — solve() rejects mismatches even
+  /// for solvers without a start-point concept (grid_search,
+  /// golden_section, which do not read it): a wrong-sized point is a
+  /// caller mistake worth surfacing, not ignoring.
+  std::vector<double> initial;
+  /// Progress observer; empty = no instrumentation (zero overhead).
+  ProgressObserver observer;
+
+  /// Sets a numeric per-solver extra (e.g. "points_per_dimension" for
+  /// grid_search). Returns *this for chaining.
+  SolverConfig& set(std::string_view key, double value);
+  /// Sets a string per-solver extra (e.g. "inner" for multi_start).
+  SolverConfig& set(std::string_view key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+  /// The numeric extra under `key`, or `fallback` when absent.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+  /// The numeric extra under `key` as a count (sizes, iterations, starts).
+  /// Throws std::invalid_argument — naming the key — when the stored value
+  /// is not a finite non-negative integer, so a config-file typo surfaces
+  /// as a clear error instead of a double→unsigned cast gone wrong.
+  [[nodiscard]] std::size_t count_or(std::string_view key,
+                                     std::size_t fallback) const;
+  /// The string extra under `key`, or `fallback` when absent.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+
+  /// The classic stopping rule this config describes.
+  [[nodiscard]] StoppingCriteria stopping() const noexcept {
+    return StoppingCriteria{max_iterations, tolerance};
+  }
+
+ private:
+  std::map<std::string, double, std::less<>> numbers_;
+  std::map<std::string, std::string, std::less<>> strings_;
+};
+
+/// Static capabilities of one solver, validated before every run.
+struct SolverTraits {
+  /// Largest supported problem dimension; 0 = unlimited. golden_section
+  /// sets 1: its bracketing argument only exists on an interval.
+  std::size_t max_dimension = 0;
+  /// True when the solver draws random numbers (honors SolverConfig::seed).
+  bool stochastic = false;
+};
+
+/// The polymorphic solver interface. Instances are cheap, stateless
+/// configuration-to-run adapters: all run state lives on the stack of
+/// solve(), so one instance may be used from several threads.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// The registry name ("nelder_mead", "grid_search", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual SolverTraits traits() const noexcept { return {}; }
+
+  /// Validates the problem against traits() and the config (throws
+  /// std::invalid_argument with an actionable message on mismatch — e.g.
+  /// golden_section on a multi-dimensional box), instruments the problem
+  /// when an observer or evaluation budget is configured, and runs the
+  /// numeric method. Without observer/budget the problem is passed through
+  /// untouched, so results are bit-identical to calling the underlying
+  /// Optimizer directly with the same settings.
+  [[nodiscard]] OptimizationResult solve(const Problem& problem,
+                                         const SolverConfig& config = {}) const;
+
+  /// The validation half of solve(): throws std::invalid_argument when this
+  /// solver cannot run on `problem`. Meta-solvers call it on their inner
+  /// solver before fanning out.
+  void check(const Problem& problem) const;
+
+ protected:
+  Solver() = default;
+  Solver(const Solver&) = default;
+  Solver& operator=(const Solver&) = default;
+
+ private:
+  /// The numeric method. `problem` is pre-validated (and instrumented when
+  /// the config asks for observation or budgeting).
+  [[nodiscard]] virtual OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const = 0;
+};
+
+/// Process-wide name -> factory table. The nine solvers of src/opt are
+/// pre-registered; add() extends it at runtime (last registration wins, so
+/// applications can override a built-in). All methods are thread-safe.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// Registers `factory` under `name`; returns false when it replaced an
+  /// existing registration. Precondition: name non-empty, factory callable.
+  static bool add(std::string name, Factory factory);
+
+  /// Creates the named solver. Throws std::invalid_argument listing
+  /// available() when the name is unknown.
+  [[nodiscard]] static std::unique_ptr<Solver> create(std::string_view name);
+
+  [[nodiscard]] static bool contains(std::string_view name);
+
+  /// Sorted names of every registered solver.
+  [[nodiscard]] static std::vector<std::string> available();
+};
+
+/// Self-registration helper for user solvers:
+///   const opt::SolverRegistrar reg("my_solver", [] { ... });
+/// at namespace scope of the application registers before main() runs.
+/// (The built-in solvers are registered eagerly by the registry itself —
+/// static initializers in a static library member would be dropped by the
+/// linker unless their object file is otherwise referenced.)
+struct SolverRegistrar {
+  SolverRegistrar(std::string name, SolverRegistry::Factory factory) {
+    SolverRegistry::add(std::move(name), std::move(factory));
+  }
+};
+
+/// Bridges a Solver + config back onto the classic Optimizer vtable, e.g.
+/// for MultiStart's per-start local-solver factory.
+class SolverAdapter final : public Optimizer {
+ public:
+  SolverAdapter(std::unique_ptr<Solver> solver, SolverConfig config)
+      : solver_(std::move(solver)), config_(std::move(config)) {}
+
+  [[nodiscard]] OptimizationResult minimize(
+      const Problem& problem) const override {
+    return solver_->solve(problem, config_);
+  }
+  [[nodiscard]] std::string name() const override {
+    return std::string(solver_->name());
+  }
+
+ private:
+  std::unique_ptr<Solver> solver_;
+  SolverConfig config_;
+};
+
+}  // namespace safeopt::opt
+
+#endif  // SAFEOPT_OPT_SOLVER_H

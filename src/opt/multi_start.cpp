@@ -1,5 +1,9 @@
 #include "safeopt/opt/multi_start.h"
 
+#include <stdexcept>
+
+#include "builtin_solvers.h"
+
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/rng.h"
 #include "safeopt/support/thread_pool.h"
@@ -68,6 +72,65 @@ OptimizationResult MultiStart::minimize(const Problem& problem) const {
   best.message = "best of " + std::to_string(starts_) + " starts: " +
                  best.message;
   return best;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// The meta-solver: wraps *any* registered solver by name. Extras: "inner"
+/// (registry name of the local solver, default "nelder_mead") and "starts"
+/// (default 8). Honors config.seed (start-point stream) and config.pool
+/// (concurrent starts). The inner solver inherits the stopping rule and the
+/// remaining extras; observer/budget instrumentation stays at the outer
+/// level, where it already wraps the problem every start evaluates.
+class MultiStartSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "multi_start";
+  }
+  [[nodiscard]] SolverTraits traits() const noexcept override {
+    return SolverTraits{.max_dimension = 0, .stochastic = true};
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    const std::string inner_name = config.string_or("inner", "nelder_mead");
+    const std::size_t starts = config.count_or("starts", 8);
+    if (starts == 0) {
+      throw std::invalid_argument("multi_start: \"starts\" must be >= 1");
+    }
+    if (inner_name == name()) {
+      // The inner config inherits this config's extras — including "inner"
+      // — so self-nesting would recurse with 8^depth fan-out.
+      throw std::invalid_argument(
+          "multi_start cannot wrap itself as the \"inner\" solver");
+    }
+    // Validate the inner solver against this problem up front: a clear
+    // error here beats one thrown later from inside a pool worker.
+    SolverRegistry::create(inner_name)->check(problem);
+    SolverConfig inner_config = config;
+    inner_config.observer = nullptr;
+    inner_config.max_evaluations = 0;
+    inner_config.pool = nullptr;
+    MultiStart multi(
+        [&inner_name, &inner_config](
+            std::vector<double> start) -> std::unique_ptr<Optimizer> {
+          SolverConfig start_config = inner_config;
+          start_config.initial = std::move(start);
+          return std::make_unique<SolverAdapter>(
+              SolverRegistry::create(inner_name), std::move(start_config));
+        },
+        starts, config.seed.value_or(0x5eedbed), config.pool);
+    return multi.minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_multi_start_solver() {
+  return std::make_unique<MultiStartSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,5 +1,7 @@
 #include "safeopt/opt/nelder_mead.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -134,6 +136,29 @@ OptimizationResult NelderMead::minimize(const Problem& problem) const {
   result.message = result.converged ? "simplex spread below tolerance"
                                     : "iteration budget exhausted";
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+class NelderMeadSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "nelder_mead";
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    return NelderMead(config.stopping(), config.initial).minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_nelder_mead_solver() {
+  return std::make_unique<NelderMeadSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,5 +1,7 @@
 #include "safeopt/opt/simulated_annealing.h"
 
+#include "builtin_solvers.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -75,6 +77,45 @@ OptimizationResult SimulatedAnnealing::minimize(const Problem& problem) const {
   result.message = result.converged ? "cooled to final temperature"
                                     : "iteration budget exhausted";
   return result;
+}
+
+// ---- registry adapter -------------------------------------------------------
+
+namespace {
+
+/// Extras: "initial_temperature", "cooling_factor", "steps_per_epoch",
+/// "final_temperature" (defaults = Schedule{}). Honors config.seed.
+class SimulatedAnnealingSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "simulated_annealing";
+  }
+  [[nodiscard]] SolverTraits traits() const noexcept override {
+    return SolverTraits{.max_dimension = 0, .stochastic = true};
+  }
+
+ private:
+  [[nodiscard]] OptimizationResult run(
+      const Problem& problem, const SolverConfig& config) const override {
+    SimulatedAnnealing::Schedule schedule;
+    schedule.initial_temperature =
+        config.number_or("initial_temperature", schedule.initial_temperature);
+    schedule.cooling_factor =
+        config.number_or("cooling_factor", schedule.cooling_factor);
+    schedule.steps_per_epoch =
+        config.count_or("steps_per_epoch", schedule.steps_per_epoch);
+    schedule.final_temperature =
+        config.number_or("final_temperature", schedule.final_temperature);
+    return SimulatedAnnealing(schedule, config.seed.value_or(0x5afe0u),
+                              config.stopping())
+        .minimize(problem);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> detail::make_simulated_annealing_solver() {
+  return std::make_unique<SimulatedAnnealingSolver>();
 }
 
 }  // namespace safeopt::opt

@@ -1,0 +1,296 @@
+#include "safeopt/opt/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "builtin_solvers.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/registry.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::opt {
+
+// ------------------------------------------------------------ SolverConfig
+
+SolverConfig& SolverConfig::set(std::string_view key, double value) {
+  numbers_.insert_or_assign(std::string(key), value);
+  return *this;
+}
+
+SolverConfig& SolverConfig::set(std::string_view key, std::string value) {
+  strings_.insert_or_assign(std::string(key), std::move(value));
+  return *this;
+}
+
+bool SolverConfig::has(std::string_view key) const noexcept {
+  return numbers_.find(key) != numbers_.end() ||
+         strings_.find(key) != strings_.end();
+}
+
+double SolverConfig::number_or(std::string_view key,
+                               double fallback) const noexcept {
+  const auto it = numbers_.find(key);
+  return it != numbers_.end() ? it->second : fallback;
+}
+
+std::size_t SolverConfig::count_or(std::string_view key,
+                                   std::size_t fallback) const {
+  const auto it = numbers_.find(key);
+  if (it == numbers_.end()) return fallback;
+  const double value = it->second;
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (!(value >= 0.0) || value > kMaxExact ||
+      value != std::floor(value)) {  // rejects NaN, negatives, fractions
+    throw std::invalid_argument(concat("extra \"", key,
+                                       "\" must be a non-negative integer"));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::string SolverConfig::string_or(std::string_view key,
+                                    std::string_view fallback) const {
+  const auto it = strings_.find(key);
+  return it != strings_.end() ? it->second : std::string(fallback);
+}
+
+// ---------------------------------------------------------- instrumentation
+
+namespace {
+
+/// Wraps a Problem to count evaluations, track the best point, fire the
+/// progress observer, and enforce the evaluation budget. All shared state is
+/// guarded by one mutex (multi_start may evaluate from pool workers); the
+/// wrapped calls produce exactly the values the original problem produces,
+/// so instrumentation never changes a trajectory — it can only cut one short
+/// when the budget runs out, after which the objective reports +inf without
+/// evaluating (the solver then winds down on its own and the best point seen
+/// within budget is returned).
+class Instrument {
+ public:
+  explicit Instrument(const SolverConfig& config)
+      : budget_(config.max_evaluations), observer_(config.observer) {}
+
+  [[nodiscard]] Problem wrap(const Problem& original) {
+    Problem wrapped;
+    wrapped.bounds = original.bounds;
+    wrapped.gradient = original.gradient;  // exact gradients are not billed
+    wrapped.objective = [this, &original](std::span<const double> x) {
+      if (!reserve(1)) return std::numeric_limits<double>::infinity();
+      const double value = original.objective(x);
+      record(x, value);
+      return value;
+    };
+    // Batch paths are decided at batch granularity: a batch that starts
+    // under budget runs to completion (values identical to the unwrapped
+    // problem for any thread count), and only the in-budget prefix is
+    // counted. Capability flags must not change — solvers pick code paths
+    // by has_batch_objective()/has_batch_gradient().
+    if (original.has_batch_objective()) {
+      wrapped.batch_objective = [this, &original](
+                                    std::span<const double> points,
+                                    std::span<double> out) {
+        if (!reserve(out.size())) {
+          std::fill(out.begin(), out.end(),
+                    std::numeric_limits<double>::infinity());
+          return;
+        }
+        original.evaluate_batch(points, out);
+        record_batch(points, out);
+      };
+    }
+    if (original.has_batch_gradient()) {
+      wrapped.batch_gradient = [this, &original](
+                                   std::span<const double> points,
+                                   std::span<double> values_out,
+                                   std::span<double> gradients_out) {
+        if (!reserve(values_out.size())) {
+          std::fill(values_out.begin(), values_out.end(),
+                    std::numeric_limits<double>::infinity());
+          std::fill(gradients_out.begin(), gradients_out.end(), 0.0);
+          return;
+        }
+        original.evaluate_batch_with_gradients(points, values_out,
+                                               gradients_out);
+        record_batch(points, values_out);
+      };
+    }
+    return wrapped;
+  }
+
+  /// Applies the instrumented accounting to the solver's raw result.
+  [[nodiscard]] OptimizationResult finalize(OptimizationResult result) {
+    const std::scoped_lock lock(mutex_);
+    if (exhausted_) {
+      result.evaluations = evaluations_;
+      result.converged = false;
+      result.message = concat("evaluation budget exhausted after ",
+                              std::to_string(evaluations_), " evaluations");
+      if (!best_point_.empty()) {
+        result.argmin = best_point_;
+        result.value = best_value_;
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Books `n` evaluations against the budget. Returns false when the
+  /// budget was already spent (the caller must then report +inf without
+  /// evaluating). A request that straddles the boundary is granted in full
+  /// but billed only up to the budget, keeping the reported count <= budget.
+  [[nodiscard]] bool reserve(std::size_t n) {
+    const std::scoped_lock lock(mutex_);
+    if (budget_ == 0) {
+      evaluations_ += n;
+      return true;
+    }
+    if (evaluations_ >= budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (evaluations_ + n > budget_) {
+      // Granted in full, billed up to the budget. A run that finishes using
+      // *exactly* the budget is a normal completion — exhausted_ is only
+      // set when a request overruns or is refused.
+      evaluations_ = budget_;
+      exhausted_ = true;
+    } else {
+      evaluations_ += n;
+    }
+    return true;
+  }
+
+  void record(std::span<const double> x, double value) {
+    const std::scoped_lock lock(mutex_);
+    if (!(value < best_value_)) return;
+    best_value_ = value;
+    best_point_.assign(x.begin(), x.end());
+    notify();
+  }
+
+  void record_batch(std::span<const double> points,
+                    std::span<double> values) {
+    if (values.empty()) return;
+    const std::size_t dim = points.size() / values.size();
+    const std::scoped_lock lock(mutex_);
+    bool improved = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] < best_value_) {
+        best_value_ = values[i];
+        best_point_.assign(points.begin() + static_cast<std::ptrdiff_t>(i * dim),
+                           points.begin() +
+                               static_cast<std::ptrdiff_t>((i + 1) * dim));
+        improved = true;
+      }
+    }
+    if (improved) notify();  // one event per improving batch
+  }
+
+  void notify() {
+    if (!observer_) return;
+    ProgressEvent event;
+    event.iteration = events_++;
+    event.evaluations = evaluations_;
+    event.best_value = best_value_;
+    event.best_point = best_point_;
+    observer_(event);
+  }
+
+  std::mutex mutex_;
+  std::size_t budget_;
+  const ProgressObserver& observer_;
+  std::size_t evaluations_ = 0;
+  std::size_t events_ = 0;
+  double best_value_ = std::numeric_limits<double>::infinity();
+  std::vector<double> best_point_;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- Solver
+
+void Solver::check(const Problem& problem) const {
+  if (!problem.objective) {
+    throw std::invalid_argument(
+        concat(name(), ": the problem has no objective"));
+  }
+  const std::size_t dim = problem.bounds.dimension();
+  if (dim == 0) {
+    throw std::invalid_argument(
+        concat(name(), ": the problem's bounds are empty (dimension 0)"));
+  }
+  const SolverTraits t = traits();
+  if (t.max_dimension != 0 && dim > t.max_dimension) {
+    throw std::invalid_argument(concat(
+        name(), " handles at most ", std::to_string(t.max_dimension),
+        "-dimensional problems, but the box has ", std::to_string(dim),
+        " dimensions; pick another solver from SolverRegistry::available()"));
+  }
+}
+
+OptimizationResult Solver::solve(const Problem& problem,
+                                 const SolverConfig& config) const {
+  check(problem);
+  if (!config.initial.empty() &&
+      config.initial.size() != problem.bounds.dimension()) {
+    throw std::invalid_argument(concat(
+        name(), ": initial point has ", std::to_string(config.initial.size()),
+        " coordinates for a ", std::to_string(problem.bounds.dimension()),
+        "-dimensional box"));
+  }
+  if (!config.observer && config.max_evaluations == 0) {
+    return run(problem, config);  // untouched fast path, bit-identical
+  }
+  Instrument instrument(config);
+  const Problem wrapped = instrument.wrap(problem);
+  return instrument.finalize(run(wrapped, config));
+}
+
+// --------------------------------------------------------- SolverRegistry
+
+namespace {
+
+/// The shared registry scaffolding, seeded with the nine built-in solvers
+/// on first use (via named factory functions the linker cannot drop — see
+/// builtin_solvers.h).
+NameRegistry<SolverRegistry::Factory>& registry() {
+  static NameRegistry<SolverRegistry::Factory> instance(
+      "solver",
+      {{"coordinate_descent", &detail::make_coordinate_descent_solver},
+       {"differential_evolution", &detail::make_differential_evolution_solver},
+       {"golden_section", &detail::make_golden_section_solver},
+       {"gradient_descent", &detail::make_gradient_descent_solver},
+       {"grid_search", &detail::make_grid_search_solver},
+       {"hooke_jeeves", &detail::make_hooke_jeeves_solver},
+       {"multi_start", &detail::make_multi_start_solver},
+       {"nelder_mead", &detail::make_nelder_mead_solver},
+       {"simulated_annealing", &detail::make_simulated_annealing_solver}});
+  return instance;
+}
+
+}  // namespace
+
+bool SolverRegistry::add(std::string name, Factory factory) {
+  return registry().add(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(std::string_view name) {
+  std::unique_ptr<Solver> solver = registry().find(name)();
+  SAFEOPT_ENSURES(solver != nullptr);
+  return solver;
+}
+
+bool SolverRegistry::contains(std::string_view name) {
+  return registry().contains(name);
+}
+
+std::vector<std::string> SolverRegistry::available() {
+  return registry().available();
+}
+
+}  // namespace safeopt::opt

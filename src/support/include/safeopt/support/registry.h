@@ -1,0 +1,84 @@
+// Name-keyed factory registry: the shared scaffolding behind
+// opt::SolverRegistry and core::EngineRegistry. One mutex-guarded sorted
+// map; last registration under a name wins (applications may override
+// built-ins); unknown names throw std::invalid_argument listing what is
+// available. All methods are thread-safe.
+#ifndef SAFEOPT_SUPPORT_REGISTRY_H
+#define SAFEOPT_SUPPORT_REGISTRY_H
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt {
+
+template <typename Factory>
+class NameRegistry {
+ public:
+  /// `kind` names the registered thing in error messages ("solver",
+  /// "quantification engine"); `seed` populates the built-ins.
+  NameRegistry(std::string kind,
+               std::vector<std::pair<std::string, Factory>> seed)
+      : kind_(std::move(kind)) {
+    for (auto& [name, factory] : seed) {
+      factories_.insert_or_assign(std::move(name), std::move(factory));
+    }
+  }
+
+  /// Registers `factory` under `name`; returns false when it replaced an
+  /// existing registration. Precondition: name non-empty, factory callable.
+  bool add(std::string name, Factory factory) {
+    SAFEOPT_EXPECTS(!name.empty());
+    SAFEOPT_EXPECTS(static_cast<bool>(factory));
+    const std::scoped_lock lock(mutex_);
+    return factories_.insert_or_assign(std::move(name), std::move(factory))
+        .second;
+  }
+
+  /// The factory registered under `name`; throws std::invalid_argument
+  /// listing available() for unknown names.
+  [[nodiscard]] Factory find(std::string_view name) const {
+    const std::scoped_lock lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      throw std::invalid_argument(concat("unknown ", kind_, " \"", name,
+                                         "\"; available: ",
+                                         join(names_locked(), ", ")));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    const std::scoped_lock lock(mutex_);
+    return factories_.find(name) != factories_.end();
+  }
+
+  /// Sorted names of every registration.
+  [[nodiscard]] std::vector<std::string> available() const {
+    const std::scoped_lock lock(mutex_);
+    return names_locked();
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::string> names_locked() const {
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) names.push_back(name);
+    return names;  // std::map iteration order is already sorted
+  }
+
+  std::string kind_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_REGISTRY_H

@@ -1,0 +1,186 @@
+#include "safeopt/core/quantification_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::core {
+namespace {
+
+/// The quickstart pump train: redundancy, a single point of failure, and an
+/// INHIBIT condition — exercises every leaf kind an engine must handle.
+struct PumpSystem {
+  fta::FaultTree tree{"LossOfCoolantFlow"};
+  fta::QuantificationInput input;
+
+  PumpSystem() {
+    const auto pump_a = tree.add_basic_event("PumpA");
+    const auto pump_b = tree.add_basic_event("PumpB");
+    const auto valve = tree.add_basic_event("Valve");
+    const auto trip = tree.add_basic_event("Trip");
+    const auto maintenance = tree.add_condition("Maintenance", "");
+    const auto both = tree.add_and("BothPumps", {pump_a, pump_b});
+    const auto spurious = tree.add_inhibit("Spurious", trip, maintenance);
+    tree.set_top(tree.add_or("Loss", {both, valve, spurious}));
+
+    input = fta::QuantificationInput::for_tree(tree, 0.0);
+    input.set(tree, "PumpA", 3e-3);
+    input.set(tree, "PumpB", 3e-3);
+    input.set(tree, "Valve", 1e-4);
+    input.set(tree, "Trip", 2e-3);
+    input.set(tree, "Maintenance", 0.05);
+  }
+};
+
+TEST(EngineRegistryTest, ListsTheThreeBuiltinEngines) {
+  for (const char* name : {"fta", "bdd", "mc"}) {
+    EXPECT_TRUE(EngineRegistry::contains(name)) << name;
+  }
+  const auto available = EngineRegistry::available();
+  EXPECT_GE(available.size(), 3u);
+}
+
+TEST(EngineRegistryTest, UnknownEngineNamesThrow) {
+  const PumpSystem system;
+  try {
+    (void)EngineRegistry::create("no_such_engine", system.tree);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("available"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("bdd"), std::string::npos);
+  }
+}
+
+TEST(EngineRegistryTest, CapabilityFlagsDescribeTheBackends) {
+  const PumpSystem system;
+  const auto fta_engine = EngineRegistry::create("fta", system.tree);
+  EXPECT_FALSE(fta_engine->capabilities().exact);  // rare-event default
+  EXPECT_TRUE(fta_engine->capabilities().importance);
+  EXPECT_FALSE(fta_engine->capabilities().sampled);
+
+  EngineConfig exact_config;
+  exact_config.method = fta::ProbabilityMethod::kInclusionExclusion;
+  EXPECT_TRUE(EngineRegistry::create("fta", system.tree, exact_config)
+                  ->capabilities()
+                  .exact);
+
+  const auto bdd_engine = EngineRegistry::create("bdd", system.tree);
+  EXPECT_TRUE(bdd_engine->capabilities().exact);
+  EXPECT_FALSE(bdd_engine->capabilities().sampled);
+
+  const auto mc_engine = EngineRegistry::create("mc", system.tree);
+  EXPECT_TRUE(mc_engine->capabilities().sampled);
+  EXPECT_FALSE(mc_engine->capabilities().exact);
+}
+
+TEST(EngineConformanceTest, EnginesAgreeOnThePumpSystem) {
+  const PumpSystem system;
+  // Oracle: exact integration of the structure function.
+  const double oracle =
+      fta::exact_probability_bruteforce(system.tree, system.input);
+
+  // The exact engines reproduce the oracle to rounding.
+  EngineConfig exact_config;
+  exact_config.method = fta::ProbabilityMethod::kInclusionExclusion;
+  const double via_ie =
+      EngineRegistry::create("fta", system.tree, exact_config)
+          ->quantify(system.input)
+          .probability;
+  const double via_bdd = EngineRegistry::create("bdd", system.tree)
+                             ->quantify(system.input)
+                             .probability;
+  EXPECT_NEAR(via_ie, oracle, 1e-15);
+  EXPECT_NEAR(via_bdd, oracle, 1e-15);
+
+  // The bounding methods bound from above.
+  const double rare_event = EngineRegistry::create("fta", system.tree)
+                                ->quantify(system.input)
+                                .probability;
+  EXPECT_GE(rare_event, oracle);
+  EXPECT_NEAR(rare_event, oracle, 1e-6);  // rare events: bound is tight
+
+  // Monte Carlo brackets the exact value in its confidence interval.
+  EngineConfig mc_config;
+  mc_config.mc_trials = 400000;
+  const auto sampled = EngineRegistry::create("mc", system.tree, mc_config)
+                           ->quantify(system.input);
+  ASSERT_TRUE(sampled.ci95.has_value());
+  EXPECT_TRUE(sampled.ci95->contains(oracle))
+      << "estimate " << sampled.probability << " CI [" << sampled.ci95->lo
+      << ", " << sampled.ci95->hi << "] oracle " << oracle;
+  EXPECT_EQ(sampled.trials, mc_config.mc_trials);
+}
+
+TEST(EngineConformanceTest, McIsDeterministicUnderAFixedSeed) {
+  const PumpSystem system;
+  EngineConfig config;
+  config.mc_trials = 20000;
+  config.seed = 123;
+  const auto first = EngineRegistry::create("mc", system.tree, config)
+                         ->quantify(system.input);
+  const auto again = EngineRegistry::create("mc", system.tree, config)
+                         ->quantify(system.input);
+  EXPECT_EQ(first.probability, again.probability);
+}
+
+TEST(EngineConformanceTest, QuantifyBatchMatchesPerPointQuantify) {
+  const PumpSystem system;
+  const auto engine = EngineRegistry::create("bdd", system.tree);
+  std::vector<fta::QuantificationInput> inputs(3, system.input);
+  inputs[1].set(system.tree, "Valve", 5e-4);
+  inputs[2].set(system.tree, "Maintenance", 0.5);
+  const auto batch = engine->quantify_batch(inputs);
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(batch[i].probability,
+              engine->quantify(inputs[i]).probability);
+  }
+}
+
+TEST(EngineRegistryTest, RegistrarRegistersACustomEngine) {
+  // A "pessimist" engine that always reports certainty — 30 lines in user
+  // code buy a fully pluggable backend (see docs/extending.md).
+  class PessimistEngine final : public QuantificationEngine {
+   public:
+    explicit PessimistEngine(const fta::FaultTree& tree) : tree_(tree) {}
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "test_pessimist";
+    }
+    [[nodiscard]] EngineCapabilities capabilities() const noexcept override {
+      return {};
+    }
+    [[nodiscard]] const fta::FaultTree& tree() const noexcept override {
+      return tree_;
+    }
+    [[nodiscard]] QuantificationResult quantify(
+        const fta::QuantificationInput&) override {
+      QuantificationResult result;
+      result.probability = 1.0;
+      return result;
+    }
+
+   private:
+    const fta::FaultTree& tree_;
+  };
+  const EngineRegistrar registrar(
+      "test_pessimist",
+      [](const fta::FaultTree& tree, const EngineConfig&) {
+        return std::make_unique<PessimistEngine>(tree);
+      });
+  ASSERT_TRUE(EngineRegistry::contains("test_pessimist"));
+  const PumpSystem system;
+  EXPECT_EQ(EngineRegistry::create("test_pessimist", system.tree)
+                ->quantify(system.input)
+                .probability,
+            1.0);
+}
+
+}  // namespace
+}  // namespace safeopt::core

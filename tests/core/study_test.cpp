@@ -1,0 +1,211 @@
+#include "safeopt/core/study.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::core {
+namespace {
+
+using expr::parameter;
+
+/// The synthetic two-hazard system of safety_optimizer_test:
+///   f_cost = 50·e^{-x} + 0.01·x, argmin x* = ln(5000).
+CostModel synthetic_model() {
+  CostModel model;
+  model.add_hazard({"H1", expr::exp(-parameter("x")), 50.0});
+  model.add_hazard({"H2", 0.01 * parameter("x"), 1.0});
+  return model;
+}
+
+ParameterSpace synthetic_space() {
+  return ParameterSpace{{"x", 0.1, 20.0, "", "free parameter"}};
+}
+
+void expect_identical(const SafetyOptimizationResult& a,
+                      const SafetyOptimizationResult& b) {
+  EXPECT_EQ(a.optimization.argmin, b.optimization.argmin);
+  EXPECT_EQ(a.optimization.value, b.optimization.value);
+  EXPECT_EQ(a.optimization.evaluations, b.optimization.evaluations);
+  EXPECT_EQ(a.hazard_probabilities, b.hazard_probabilities);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(StudyTest, DefaultRunMatchesTheLegacyDefaultBitwise) {
+  const SafetyOptimizer legacy(synthetic_model(), synthetic_space());
+  Study study(synthetic_model(), synthetic_space());
+  expect_identical(study.run(), legacy.optimize());
+  EXPECT_EQ(study.solver_name(), "multi_start");
+}
+
+TEST(StudyTest, SolverByNameMatchesTheEnumPathBitwise) {
+  const SafetyOptimizer legacy(synthetic_model(), synthetic_space());
+  for (const Algorithm algorithm :
+       {Algorithm::kGridSearch, Algorithm::kNelderMead,
+        Algorithm::kHookeJeeves, Algorithm::kDifferentialEvolution}) {
+    Study by_enum(synthetic_model(), synthetic_space());
+    by_enum.algorithm(algorithm);
+    Study by_name(synthetic_model(), synthetic_space());
+    by_name.solver(std::string(algorithm_registry_name(algorithm)),
+                   algorithm_solver_config(algorithm));
+    const auto expected = legacy.optimize(algorithm);
+    expect_identical(by_enum.run(), expected);
+    expect_identical(by_name.run(), expected);
+  }
+}
+
+TEST(StudyTest, GoldenSectionIsReachableByName) {
+  Study study(synthetic_model(), synthetic_space());
+  const auto result = study.solver("golden_section").run();
+  EXPECT_NEAR(result.optimization.argmin[0], std::log(5000.0), 1e-6);
+}
+
+TEST(StudyTest, UnknownSolverNameThrowsFromRun) {
+  Study study(synthetic_model(), synthetic_space());
+  study.solver("definitely_not_registered");
+  EXPECT_THROW((void)study.run(), std::invalid_argument);
+}
+
+TEST(StudyTest, CompiledProblemIsCachedPerInstance) {
+  Study study(synthetic_model(), synthetic_space());
+  // One tape per study: problem() is address-stable ...
+  const opt::Problem& first = study.problem();
+  const opt::Problem& second = study.problem();
+  EXPECT_EQ(&first, &second);
+  // ... and consecutive runs (which use it) are reproducible.
+  study.solver("nelder_mead");
+  const auto run_a = study.run();
+  const auto run_b = study.run();
+  expect_identical(run_a, run_b);
+
+  const SafetyOptimizer optimizer(synthetic_model(), synthetic_space());
+  EXPECT_EQ(&optimizer.problem(), &optimizer.problem());
+}
+
+TEST(StudyTest, ProblemFromATemporaryIsASafeCopy) {
+  // The rvalue overload returns a copy sharing the tape, so binding a
+  // reference to a temporary's problem() cannot dangle.
+  const auto& from_temporary =
+      SafetyOptimizer(synthetic_model(), synthetic_space()).problem();
+  const std::vector<double> at{3.0};
+  EXPECT_NEAR(from_temporary.objective(at), 50.0 * std::exp(-3.0) + 0.03,
+              1e-12);
+  const opt::Problem from_study =
+      Study(synthetic_model(), synthetic_space()).problem();
+  EXPECT_EQ(from_study.objective(at), from_temporary.objective(at));
+}
+
+TEST(StudyTest, ObserverReceivesMonotoneProgress) {
+  Study study(synthetic_model(), synthetic_space());
+  std::size_t events = 0;
+  double last_best = std::numeric_limits<double>::infinity();
+  study.solver("hooke_jeeves").observe([&](const opt::ProgressEvent& event) {
+    EXPECT_LE(event.best_value, last_best);
+    last_best = event.best_value;
+    ++events;
+  });
+  const auto result = study.run();
+  EXPECT_GT(events, 0u);
+  EXPECT_LE(last_best, result.cost + 1e-15);
+}
+
+TEST(StudyTest, EvaluateAtAndCompareMatchSafetyOptimizer) {
+  const SafetyOptimizer legacy(synthetic_model(), synthetic_space());
+  Study study(synthetic_model(), synthetic_space());
+  const expr::ParameterAssignment baseline{{"x", 2.0}};
+  expect_identical(study.evaluate_at(baseline), legacy.evaluate_at(baseline));
+  const auto optimal = study.solver("nelder_mead").run();
+  const auto report = study.compare(baseline, optimal);
+  const auto legacy_report =
+      legacy.compare(baseline, legacy.optimize(Algorithm::kNelderMead));
+  EXPECT_EQ(report.baseline_cost, legacy_report.baseline_cost);
+  EXPECT_EQ(report.optimal_cost, legacy_report.optimal_cost);
+}
+
+TEST(StudyTest, QuantifyRequiresAnAttachedTree) {
+  Study study(synthetic_model(), synthetic_space());
+  EXPECT_THROW((void)study.quantify("H1", {{"x", 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(StudyTest, QuantifyRunsEveryEngineOnTheCompiledLeafTapes) {
+  // A redundant pair whose failure probability depends on the free
+  // parameter x, quantified through the fault tree.
+  fta::FaultTree tree("Loss");
+  const auto a = tree.add_basic_event("A");
+  const auto b = tree.add_basic_event("B");
+  tree.set_top(tree.add_and("Both", {a, b}));
+  ParameterizedQuantification quant(tree);
+  const expr::Expr p_leaf = 0.1 * parameter("x");
+  quant.set_event_probability("A", p_leaf);
+  quant.set_event_probability("B", p_leaf);
+
+  CostModel model;
+  model.add_hazard({"Loss", quant.hazard_expression(), 10.0});
+  model.add_hazard({"Burden", 0.001 * parameter("x"), 1.0});
+  ParameterSpace space{{"x", 0.1, 1.0, "", ""}};
+
+  Study study(std::move(model), std::move(space));
+  study.hazard_tree("Loss", tree, quant);
+  const expr::ParameterAssignment at{{"x", 0.5}};
+  // P(Loss) = (0.05)^2 exactly; both deterministic engines nail it, and the
+  // expression path (rare event over the single cut set {A, B}) agrees.
+  const double expected = 0.05 * 0.05;
+  EXPECT_NEAR(study.engine("fta").quantify("Loss", at).probability, expected,
+              1e-15);
+  EXPECT_NEAR(study.engine("bdd").quantify("Loss", at).probability, expected,
+              1e-15);
+  const auto sampled = study.engine("mc").quantify("Loss", at);
+  ASSERT_TRUE(sampled.ci95.has_value());
+  EXPECT_TRUE(sampled.ci95->contains(expected));
+  EXPECT_GT(sampled.trials, 0u);
+  // Attaching a hazard the cost model does not know is a contract violation
+  // caught eagerly (hazard_by_name aborts); unknown hazards at quantify
+  // time throw.
+  EXPECT_THROW((void)study.quantify("NotAttached", at),
+               std::invalid_argument);
+}
+
+TEST(ParseAlgorithmTest, RoundTripsDisplayAndRegistryNames) {
+  constexpr Algorithm kAll[] = {
+      Algorithm::kGridSearch,       Algorithm::kNelderMead,
+      Algorithm::kMultiStartNelderMead, Algorithm::kGradientDescent,
+      Algorithm::kHookeJeeves,      Algorithm::kCoordinateDescent,
+      Algorithm::kSimulatedAnnealing,
+      Algorithm::kDifferentialEvolution,
+  };
+  for (const Algorithm algorithm : kAll) {
+    EXPECT_EQ(parse_algorithm(to_string(algorithm)), algorithm);
+    EXPECT_EQ(parse_algorithm(algorithm_registry_name(algorithm)), algorithm);
+  }
+  EXPECT_EQ(parse_algorithm("golden_section"), std::nullopt);
+  EXPECT_EQ(parse_algorithm("rubbish"), std::nullopt);
+  EXPECT_EQ(parse_algorithm(""), std::nullopt);
+}
+
+TEST(ParseAlgorithmTest, ResolveSolverCoversDisplayRegistryAndUnknownNames) {
+  // Legacy display name -> registry name + the legacy knobs.
+  const auto legacy = resolve_solver("GridSearch");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->name, "grid_search");
+  EXPECT_EQ(legacy->config.number_or("points_per_dimension", 0.0), 33.0);
+  // Enum-equivalent registry names keep the legacy knobs too.
+  const auto by_registry_name = resolve_solver("multi_start");
+  ASSERT_TRUE(by_registry_name.has_value());
+  EXPECT_EQ(by_registry_name->name, "multi_start");
+  EXPECT_EQ(by_registry_name->config.number_or("starts", 0.0), 8.0);
+  // Registry-only names resolve with a default config.
+  const auto registry_only = resolve_solver("golden_section");
+  ASSERT_TRUE(registry_only.has_value());
+  EXPECT_EQ(registry_only->name, "golden_section");
+  EXPECT_FALSE(registry_only->config.has("starts"));
+  EXPECT_EQ(resolve_solver("rubbish"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace safeopt::core

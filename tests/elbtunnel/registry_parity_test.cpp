@@ -1,0 +1,130 @@
+// Registry-completeness acceptance test on the paper's own problem (Fig. 5
+// Elbtunnel cost surface): every solver reachable through the registry, the
+// deprecated Algorithm enum shim bit-identical to the registry path, and the
+// quantification engines agreeing at the optimum.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "safeopt/core/study.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/fta/probability.h"
+#include "safeopt/opt/solver.h"
+
+namespace safeopt::elbtunnel {
+namespace {
+
+constexpr core::Algorithm kAllAlgorithms[] = {
+    core::Algorithm::kGridSearch,
+    core::Algorithm::kNelderMead,
+    core::Algorithm::kMultiStartNelderMead,
+    core::Algorithm::kGradientDescent,
+    core::Algorithm::kHookeJeeves,
+    core::Algorithm::kCoordinateDescent,
+    core::Algorithm::kSimulatedAnnealing,
+    core::Algorithm::kDifferentialEvolution,
+};
+
+TEST(RegistryParityTest, EnumShimIsBitIdenticalToTheRegistryPath) {
+  const ElbtunnelModel model;
+  const core::SafetyOptimizer optimizer = model.optimizer();
+  core::Study study(model.cost_model(), model.parameter_space());
+  for (const core::Algorithm algorithm : kAllAlgorithms) {
+    const auto via_enum = optimizer.optimize(algorithm);
+    const auto via_name =
+        optimizer.optimize(core::algorithm_registry_name(algorithm),
+                           core::algorithm_solver_config(algorithm));
+    const auto via_study = study.algorithm(algorithm).run();
+    for (const auto* result : {&via_name, &via_study}) {
+      EXPECT_EQ(via_enum.optimization.argmin, result->optimization.argmin)
+          << to_string(algorithm);
+      EXPECT_EQ(via_enum.optimization.value, result->optimization.value)
+          << to_string(algorithm);
+      EXPECT_EQ(via_enum.optimization.evaluations,
+                result->optimization.evaluations)
+          << to_string(algorithm);
+      EXPECT_EQ(via_enum.hazard_probabilities, result->hazard_probabilities)
+          << to_string(algorithm);
+    }
+  }
+}
+
+TEST(RegistryParityTest, EveryRegisteredSolverRunsOnTheElbtunnelProblem) {
+  const ElbtunnelModel model;
+  core::Study study(model.cost_model(), model.parameter_space());
+  for (const std::string& name : opt::SolverRegistry::available()) {
+    opt::SolverConfig config;
+    if (const auto algorithm = core::parse_algorithm(name)) {
+      config = core::algorithm_solver_config(*algorithm);
+    }
+    if (opt::SolverRegistry::create(name)->traits().max_dimension == 1) {
+      // 1-D-only solvers must refuse the 2-D timer box with a clear error.
+      EXPECT_THROW((void)study.solver(name, config).run(),
+                   std::invalid_argument)
+          << name;
+      continue;
+    }
+    const auto result = study.solver(name, config).run();
+    ASSERT_EQ(result.optimization.argmin.size(), 2u) << name;
+    // Every solver must improve on the engineers' guess (cost 0.0046615).
+    EXPECT_LT(result.cost, 0.004650) << name;
+    if (name == "gradient_descent") continue;
+    // The derivative-free and global methods all land on the paper's cost
+    // basin (T2* ~ 15.6; the surface is flat along T1, so only the cost is
+    // pinned tightly). Projected gradient descent is exempt: it stalls on
+    // the plateau partway down — the documented weakness that motivates the
+    // other methods (and it behaves identically through the enum path).
+    EXPECT_NEAR(result.cost, 0.00462, 5e-5) << name;
+    EXPECT_NEAR(result.optimization.argmin[1], 15.76, 0.5) << name;
+  }
+}
+
+TEST(RegistryParityTest, EnginesAgreeAtThePaperOptimum) {
+  const ElbtunnelModel model;
+  const fta::FaultTree collision = model.collision_tree();
+  const core::ParameterizedQuantification quant =
+      model.collision_quantification(collision);
+
+  core::Study study(model.cost_model(), model.parameter_space());
+  study.hazard_tree("HCol", collision, quant);
+  const auto optimal = study.run();
+
+  // The cut-set engine under the rare-event default reproduces the closed
+  // form the optimizer minimized (HCol is assembled rare-event too).
+  const double via_fta =
+      study.engine("fta").quantify("HCol", optimal.optimal_parameters)
+          .probability;
+  EXPECT_NEAR(via_fta, optimal.hazard_probabilities[0],
+              1e-12 * optimal.hazard_probabilities[0] + 1e-18);
+
+  // The exact BDD value agrees to the rare-event bound's accuracy (the
+  // probabilities involved are ~1e-8, so the bound is extremely tight).
+  const double via_bdd =
+      study.engine("bdd").quantify("HCol", optimal.optimal_parameters)
+          .probability;
+  EXPECT_NEAR(via_bdd, via_fta, 1e-12);
+  EXPECT_LE(via_bdd, via_fta);  // rare event bounds from above
+
+  // Monte Carlo: P(HCol) ~ 4e-8 needs more trials than a unit test should
+  // burn, so sample the much likelier false-alarm hazard instead.
+  const fta::FaultTree false_alarm = model.false_alarm_tree();
+  const core::ParameterizedQuantification alarm_quant =
+      model.false_alarm_quantification(false_alarm);
+  core::Study alarm_study(model.cost_model(), model.parameter_space());
+  alarm_study.hazard_tree("HAlr", false_alarm, alarm_quant);
+  core::EngineConfig mc_config;
+  mc_config.mc_trials = 400000;
+  const auto sampled = alarm_study.engine("mc", mc_config)
+                           .quantify("HAlr", optimal.optimal_parameters);
+  const double alarm_exact = alarm_study.engine("bdd")
+                                 .quantify("HAlr", optimal.optimal_parameters)
+                                 .probability;
+  ASSERT_TRUE(sampled.ci95.has_value());
+  EXPECT_TRUE(sampled.ci95->contains(alarm_exact))
+      << "estimate " << sampled.probability << " CI [" << sampled.ci95->lo
+      << ", " << sampled.ci95->hi << "] exact " << alarm_exact;
+}
+
+}  // namespace
+}  // namespace safeopt::elbtunnel
