@@ -19,20 +19,34 @@
 // reverse sweep bitwise, and GridSearch / DifferentialEvolution must return
 // bitwise-identical optima on the tree and compiled paths.
 //
+// Besides the evaluation strategies, the run times the declarative
+// pipeline's load-to-first-eval latency: ftio::load_study on the shipped
+// elbtunnel document + core::Study::from_document (MOCUS, expression
+// assembly) + the first compiled-problem evaluation. compare_bench.py
+// tracks the metric (report-only) so document-parser regressions show up
+// next to the kernel numbers.
+//
 // Usage: bench_compiled_eval [--repeats N] [--grid N] [--json PATH]
+//                            [--model PATH]
 //   --repeats  timing repetitions per strategy (default 5; CI smoke uses 1)
 //   --grid     points per grid axis (default 301)
 //   --json     write machine-readable results to PATH
+//   --model    study document for the load benchmark
+//              (default examples/models/elbtunnel.ft, as in CI's repo-root
+//              working directory)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "safeopt/core/safety_optimizer.h"
+#include "safeopt/core/study.h"
 #include "safeopt/elbtunnel/elbtunnel_model.h"
 #include "safeopt/expr/compiled.h"
+#include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/differential_evolution.h"
 #include "safeopt/opt/grid_search.h"
 #include "safeopt/support/thread_pool.h"
@@ -65,6 +79,7 @@ int main(int argc, char** argv) {
   int repeats = 5;
   std::size_t grid = 301;
   std::string json_path;
+  std::string model_path = "examples/models/elbtunnel.ft";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = std::atoi(argv[++i]);
@@ -72,6 +87,8 @@ int main(int argc, char** argv) {
       grid = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
     }
   }
   repeats = std::max(repeats, 1);
@@ -242,6 +259,35 @@ int main(int argc, char** argv) {
               "(%.2fx)\n",
               lane_fast_enough ? "yes" : "NO", lane1_ns / lane8_ns);
 
+  // --- declarative pipeline: document load -> first compiled eval --------
+  // CI runs from the repo root; a build-directory invocation finds the
+  // model one level up. 0 in the JSON means "skipped" (compare_bench.py
+  // ignores non-positive raw metrics), so the kernel gates still run
+  // anywhere.
+  double load_ns = 0.0;
+  if (!std::ifstream(model_path).good() &&
+      std::ifstream("../" + model_path).good()) {
+    model_path = "../" + model_path;
+  }
+  if (std::ifstream(model_path).good()) {
+    double first_eval_value = 0.0;
+    const double load_s = best_time(repeats, [&] {
+      const ftio::StudyDocument doc = ftio::load_study(model_path);
+      const core::Study study = core::Study::from_document(doc);
+      const opt::Problem& problem = study.problem();
+      const std::vector<double> center = problem.bounds.center();
+      first_eval_value = problem.objective(center);
+    });
+    load_ns = 1e9 * load_s;
+    std::printf("\nload-to-first-eval (%s): %.1f us  (parse + Study compile "
+                "+ 1 eval, cost %.6g)\n",
+                model_path.c_str(), load_ns / 1e3, first_eval_value);
+  } else {
+    std::printf("\nload-to-first-eval skipped: %s not found "
+                "(pass --model PATH)\n",
+                model_path.c_str());
+  }
+
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -261,6 +307,7 @@ int main(int argc, char** argv) {
                  "  \"batchn_ns_per_eval\": %.3f,\n"
                  "  \"grad_point_ns_per_eval\": %.3f,\n"
                  "  \"grad_lane_ns_per_eval\": %.3f,\n"
+                 "  \"load_to_first_eval_ns\": %.3f,\n"
                  "  \"speedup_tape\": %.3f,\n"
                  "  \"speedup_lane8\": %.3f,\n"
                  "  \"speedup_lane8_vs_lane1\": %.3f,\n"
@@ -273,6 +320,7 @@ int main(int argc, char** argv) {
                  "}\n",
                  rows, repeats, pool.thread_count(), tree_ns, tape_ns,
                  lane1_ns, lane4_ns, lane8_ns, batchn_ns, gradp_ns, gradb_ns,
+                 load_ns,
                  tree_ns / tape_ns, tree_ns / lane8_ns, lane1_ns / lane8_ns,
                  gradp_ns / gradb_ns, surfaces_identical ? "true" : "false",
                  lanes_invariant ? "true" : "false",

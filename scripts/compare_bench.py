@@ -52,6 +52,11 @@ GATED_METRICS = [
 ]
 REPORT_ONLY_METRICS = ["batchn_ns_per_eval"]
 
+# One-shot latencies (not per-eval): reported raw, never normalized or
+# gated. load_to_first_eval_ns tracks the declarative pipeline — document
+# parse + Study::from_document + first compiled evaluation.
+RAW_REPORT_METRICS = ["load_to_first_eval_ns"]
+
 MIN_LANE8_SPEEDUP = 2.0  # acceptance criterion: 8 lanes vs single-lane batch
 
 
@@ -125,6 +130,16 @@ def main(argv):
         print(
             f"{metric:<28}{baseline[metric]:>12.1f}{fresh[metric]:>12.1f}"
             f"{delta:>+9.1%}  {verdict}"
+        )
+    for metric in RAW_REPORT_METRICS:
+        base_value = baseline.get(metric)
+        fresh_value = fresh.get(metric)
+        if not base_value or not fresh_value:
+            continue  # absent (older JSON) or 0 (skipped: model not found)
+        delta = fresh_value / base_value - 1.0
+        print(
+            f"{metric:<28}{base_value:>12.1f}{fresh_value:>12.1f}"
+            f"{delta:>+9.1%}  info"
         )
 
     if overhead_path is not None:

@@ -34,6 +34,7 @@
 #include "safeopt/core/parameterized_fta.h"
 #include "safeopt/core/quantification_engine.h"
 #include "safeopt/core/safety_optimizer.h"
+#include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/solver.h"
 
 namespace safeopt::core {
@@ -42,6 +43,31 @@ class Study {
  public:
   /// The cost model's expressions may only mention parameters of `space`.
   Study(CostModel model, ParameterSpace space);
+
+  // ---- declarative construction (ftio grammar v2) --------------------------
+
+  /// Assembles a runnable study from a parsed document: the ParameterSpace
+  /// from its `param` declarations, one ParameterizedQuantification per
+  /// `hazard` tree, the CostModel from Σ cost_i · P(H_i)(X) with each hazard
+  /// probability derived from the tree's minimal cut sets (the document's
+  /// `formula`, rare-event by default), and hazard_tree registrations so
+  /// quantify() works out of the box. The document's `solver`/`engine`
+  /// selections are applied when present (reserved solver options
+  /// max_iterations / tolerance / max_evaluations / seed map onto the typed
+  /// SolverConfig fields, everything else becomes a typed extra; engine
+  /// options method / combination / trials / seed map onto EngineConfig).
+  /// The returned Study owns copies of the document's trees — it does not
+  /// reference `document` after returning. Throws std::invalid_argument on
+  /// semantic problems (no hazards, unknown engine option, ...).
+  [[nodiscard]] static Study from_document(const ftio::StudyDocument& document);
+
+  /// load_study(path) + from_document — the whole pipeline from one file.
+  /// Throws ftio::ParseError (with the file name) on parse problems.
+  [[nodiscard]] static Study from_file(const std::string& path);
+
+  // (See also the free functions document_solver_selection /
+  // document_engine_selection below — the same section mappings
+  // from_document applies, exposed for validators and engine-only callers.)
 
   // ---- fluent configuration (each returns *this) ---------------------------
 
@@ -112,8 +138,19 @@ class Study {
   [[nodiscard]] const std::string& solver_name() const noexcept {
     return solver_name_;
   }
+  /// The active solver configuration (document selections included) —
+  /// callers layering overrides on top (the CLI's --extra/--seed) start
+  /// from this instead of silently dropping document options.
+  [[nodiscard]] const opt::SolverConfig& solver_config() const noexcept {
+    return solver_config_;
+  }
   [[nodiscard]] const std::string& engine_name() const noexcept {
     return engine_name_;
+  }
+  /// The active engine configuration (document options and the formula-
+  /// derived cut-set method included).
+  [[nodiscard]] const EngineConfig& engine_config() const noexcept {
+    return engine_config_;
   }
 
  private:
@@ -124,8 +161,35 @@ class Study {
     // Lazily built; mutable state of the (single-threaded) quantify path.
     mutable std::unique_ptr<CompiledQuantification> compiled;
     mutable std::unique_ptr<QuantificationEngine> engine;
+
+    // Copying a Study copies the attachment, not the lazily built caches
+    // (each copy rebuilds its own engine — engines memoize and are
+    // documented single-threaded).
+    TreeHazard() = default;
+    TreeHazard(TreeHazard&&) noexcept = default;
+    TreeHazard& operator=(TreeHazard&&) noexcept = default;
+    TreeHazard(const TreeHazard& other)
+        : hazard(other.hazard),
+          tree(other.tree),
+          quantification(other.quantification) {}
+    TreeHazard& operator=(const TreeHazard& other) {
+      if (this != &other) {
+        hazard = other.hazard;
+        tree = other.tree;
+        quantification = other.quantification;
+        compiled.reset();
+        engine.reset();
+      }
+      return *this;
+    }
   };
 
+  /// Backing storage for document-loaded studies: the fault trees and
+  /// quantifications the TreeHazard entries reference. Shared (and
+  /// address-stable) so Study copies stay cheap and valid.
+  struct OwnedModel;
+
+  std::shared_ptr<const OwnedModel> owned_;
   SafetyOptimizer optimizer_;
   std::string solver_name_ = "multi_start";
   opt::SolverConfig solver_config_ =
@@ -135,6 +199,24 @@ class Study {
   opt::ProgressObserver observer_;
   std::vector<TreeHazard> tree_hazards_;
 };
+
+/// The solver selection a document's `solver` section requests: the name
+/// resolved through resolve_solver (legacy-equivalent defaults preserved),
+/// reserved option keys mapped onto the typed SolverConfig fields, the rest
+/// stored as typed extras. nullopt when the document has no solver section.
+/// Throws std::invalid_argument on unknown names or malformed options —
+/// `safeopt validate` surfaces these without building a Study.
+[[nodiscard]] std::optional<SolverSelection> document_solver_selection(
+    const ftio::StudyDocument& document);
+
+/// The engine selection a document requests: its `engine` section when
+/// present, otherwise the default cut-set engine — either way with the
+/// `formula`-derived probability method (overridable by an explicit method
+/// option). Throws std::invalid_argument on unknown names or malformed
+/// options. Lets engine-only callers (quantifying a constant model) share
+/// from_document's mapping.
+[[nodiscard]] std::pair<std::string, EngineConfig> document_engine_selection(
+    const ftio::StudyDocument& document);
 
 }  // namespace safeopt::core
 

@@ -1,14 +1,244 @@
 #include "safeopt/core/study.h"
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "safeopt/support/strings.h"
 
 namespace safeopt::core {
+namespace {
+
+/// A document option that must be numeric (counts, seeds, tolerances).
+double require_number(const std::string& key, const ftio::OptionValue& value,
+                      const char* where) {
+  if (value.kind != ftio::OptionValue::Kind::kNumber) {
+    throw std::invalid_argument(concat(where, " option \"", key,
+                                       "\" must be numeric, got \"",
+                                       value.text, "\""));
+  }
+  return value.number;
+}
+
+/// A numeric option that must be a non-negative integer (count_or-grade).
+std::size_t require_count(const std::string& key,
+                          const ftio::OptionValue& value, const char* where) {
+  const double number = require_number(key, value, where);
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (!(number >= 0.0) || number > kMaxExact || number != std::floor(number)) {
+    throw std::invalid_argument(concat(where, " option \"", key,
+                                       "\" must be a non-negative integer"));
+  }
+  return static_cast<std::size_t>(number);
+}
+
+/// An unquoted text value that *looks* numeric ("8x", "1_000") is a typo,
+/// not a string extra — storing it would make count_or/number_or silently
+/// fall back to their defaults (same rule as SolverConfig::
+/// set_extra_argument; quoted strings are explicitly text and exempt).
+void reject_numeric_looking_text(const std::string& key,
+                                 const ftio::OptionValue& value,
+                                 const char* where) {
+  if (value.kind == ftio::OptionValue::Kind::kText && !value.quoted &&
+      opt::SolverConfig::numeric_looking(value.text)) {
+    throw std::invalid_argument(
+        concat(where, " option \"", key, "\" has a malformed numeric value \"",
+               value.text, "\""));
+  }
+}
+
+/// The HazardFormula a document's `formula` statement selects.
+HazardFormula document_formula(const ftio::StudyDocument& document) {
+  return document.formula.value_or("rare_event") == "min_cut_upper_bound"
+             ? HazardFormula::kMinCutUpperBound
+             : HazardFormula::kRareEvent;
+}
+
+}  // namespace
+
+std::optional<SolverSelection> document_solver_selection(
+    const ftio::StudyDocument& document) {
+  if (!document.solver.has_value()) return std::nullopt;
+  const ftio::SelectionDecl& selection = *document.solver;
+  auto resolved = resolve_solver(selection.name);
+  if (!resolved.has_value()) {
+    throw std::invalid_argument(
+        concat("document selects unknown solver \"", selection.name,
+               "\"; available: ",
+               join(opt::SolverRegistry::available(), ", ")));
+  }
+  for (const auto& [key, value] : selection.options) {
+    if (key == "max_iterations") {
+      resolved->config.max_iterations = require_count(key, value, "solver");
+    } else if (key == "tolerance") {
+      resolved->config.tolerance = require_number(key, value, "solver");
+    } else if (key == "max_evaluations") {
+      resolved->config.max_evaluations = require_count(key, value, "solver");
+    } else if (key == "seed") {
+      resolved->config.seed =
+          static_cast<std::uint64_t>(require_count(key, value, "solver"));
+    } else if (value.kind == ftio::OptionValue::Kind::kNumber) {
+      resolved->config.set(key, value.number);
+    } else {
+      reject_numeric_looking_text(key, value, "solver");
+      resolved->config.set(key, value.text);
+    }
+  }
+  return resolved;
+}
+
+std::pair<std::string, EngineConfig> document_engine_selection(
+    const ftio::StudyDocument& document) {
+  const HazardFormula formula = document_formula(document);
+  EngineConfig config;
+  config.method = formula == HazardFormula::kMinCutUpperBound
+                      ? fta::ProbabilityMethod::kMinCutUpperBound
+                      : fta::ProbabilityMethod::kRareEvent;
+  if (!document.engine.has_value()) return {"fta", config};
+  const ftio::SelectionDecl& selection = *document.engine;
+  if (!EngineRegistry::contains(selection.name)) {
+    throw std::invalid_argument(
+        concat("document selects unknown engine \"", selection.name,
+               "\"; available: ", join(EngineRegistry::available(), ", ")));
+  }
+  for (const auto& [key, value] : selection.options) {
+    if (key == "method") {
+      const std::string& method =
+          value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
+      if (method == "rare_event") {
+        config.method = fta::ProbabilityMethod::kRareEvent;
+      } else if (method == "min_cut_upper_bound") {
+        config.method = fta::ProbabilityMethod::kMinCutUpperBound;
+      } else if (method == "inclusion_exclusion") {
+        config.method = fta::ProbabilityMethod::kInclusionExclusion;
+      } else {
+        throw std::invalid_argument(concat(
+            "engine option \"method\" must be rare_event, "
+            "min_cut_upper_bound or inclusion_exclusion, got \"",
+            value.kind == ftio::OptionValue::Kind::kText
+                ? value.text
+                : format_double(value.number),
+            "\""));
+      }
+    } else if (key == "combination") {
+      const std::string& combination =
+          value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
+      if (combination == "independent_product") {
+        config.combination = fta::ConstraintCombination::kIndependentProduct;
+      } else if (combination == "dependent_upper_bound") {
+        config.combination = fta::ConstraintCombination::kDependentUpperBound;
+      } else {
+        throw std::invalid_argument(
+            concat("engine option \"combination\" must be "
+                   "independent_product or dependent_upper_bound"));
+      }
+    } else if (key == "trials") {
+      config.mc_trials =
+          static_cast<std::uint64_t>(require_count(key, value, "engine"));
+    } else if (key == "seed") {
+      config.seed =
+          static_cast<std::uint64_t>(require_count(key, value, "engine"));
+    } else {
+      throw std::invalid_argument(
+          concat("unknown engine option \"", key,
+                 "\" (supported: method, combination, trials, seed)"));
+    }
+  }
+  return {selection.name, config};
+}
+
+/// Backing storage for document-loaded studies. Entries are pointer-stable:
+/// TreeHazard, ParameterizedQuantification and the engines hold references
+/// into them for the Study's lifetime (including copies, via shared_ptr).
+struct Study::OwnedModel {
+  struct Entry {
+    std::unique_ptr<fta::FaultTree> tree;
+    std::unique_ptr<ParameterizedQuantification> quantification;
+  };
+  std::vector<Entry> entries;
+};
 
 Study::Study(CostModel model, ParameterSpace space)
     : optimizer_(std::move(model), std::move(space)) {}
+
+Study Study::from_document(const ftio::StudyDocument& document) {
+  if (document.hazards.empty()) {
+    throw std::invalid_argument(
+        concat("study document", document.source.empty() ? "" : " ",
+               document.source,
+               " declares no hazards; add \"hazard <tree> cost = <c>;\""));
+  }
+
+  if (document.parameters.empty()) {
+    throw std::invalid_argument(
+        concat("study document", document.source.empty() ? "" : " ",
+               document.source,
+               " declares no free parameters; add \"param <name> in "
+               "[<lo>, <hi>];\""));
+  }
+  ParameterSpace space;
+  for (const ftio::ParameterDecl& parameter : document.parameters) {
+    space.add({parameter.name, parameter.lower, parameter.upper,
+               parameter.unit, parameter.description});
+  }
+
+  const HazardFormula formula = document_formula(document);
+
+  auto owned = std::make_shared<OwnedModel>();
+  CostModel model;
+  for (const ftio::HazardDecl& hazard : document.hazards) {
+    const ftio::TreeModel* source = document.find_tree(hazard.tree);
+    if (source == nullptr) {
+      throw std::invalid_argument(
+          concat("hazard names unknown tree \"", hazard.tree, "\""));
+    }
+    if (model.hazards().end() !=
+        std::find_if(model.hazards().begin(), model.hazards().end(),
+                     [&](const Hazard& h) { return h.name == hazard.tree; })) {
+      throw std::invalid_argument(
+          concat("duplicate hazard for tree \"", hazard.tree, "\""));
+    }
+    OwnedModel::Entry entry;
+    entry.tree = std::make_unique<fta::FaultTree>(source->tree);
+    auto quantification =
+        std::make_unique<ParameterizedQuantification>(*entry.tree);
+    for (const ftio::LeafProbability& leaf : source->leaves) {
+      if (leaf.is_condition) {
+        quantification->set_condition_probability(leaf.name,
+                                                  leaf.probability);
+      } else {
+        quantification->set_event_probability(leaf.name, leaf.probability);
+      }
+    }
+    entry.quantification = std::move(quantification);
+    model.add_hazard({hazard.tree,
+                      entry.quantification->hazard_expression(formula),
+                      hazard.cost});
+    owned->entries.push_back(std::move(entry));
+  }
+
+  Study study(std::move(model), std::move(space));
+  study.owned_ = owned;
+  for (std::size_t i = 0; i < document.hazards.size(); ++i) {
+    study.hazard_tree(document.hazards[i].tree, *owned->entries[i].tree,
+                      *owned->entries[i].quantification);
+  }
+  if (auto selection = document_solver_selection(document)) {
+    study.solver(std::move(selection->name), std::move(selection->config));
+  }
+  {
+    auto [name, config] = document_engine_selection(document);
+    study.engine(std::move(name), config);
+  }
+  return study;
+}
+
+Study Study::from_file(const std::string& path) {
+  return from_document(ftio::load_study(path));
+}
 
 Study& Study::solver(std::string name, opt::SolverConfig config) {
   solver_name_ = std::move(name);

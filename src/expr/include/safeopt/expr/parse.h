@@ -1,0 +1,100 @@
+// Textual expression parsing — the inverse of Expr::to_string().
+//
+// The printer (node.h print()) emits a fully parenthesized arithmetic
+// dialect: "(0.00042 + (9.9958e-05 * (1 - exp((-1.68e-06 * T1)))))",
+// "survival[TruncatedNormal(4, 2, [0, inf])](T1)". `parse` turns that text
+// (and the natural hand-written forms: precedence without forced parens,
+// min/max/pow/clamp calls) back into an expression DAG, so parameterized
+// models can live in files instead of C++ (ftio grammar v2, §II-D.2).
+//
+// Round trip: for every expression built from constants, parameters,
+// arithmetic, exp/log/sqrt/pow/min/max and distribution cdf/survival nodes,
+// parse(e.to_string(), symbols) is structurally identical to e (see
+// structurally_equal). Two deliberate normalizations: a constant
+// subexpression folds exactly as the Expr operator overloads fold it, and a
+// printed negated constant "(-c)" parses as the constant -c. function1
+// nodes are opaque numeric procedures and cannot be parsed back; parse
+// reports an unknown function instead.
+#ifndef SAFEOPT_EXPR_PARSE_H
+#define SAFEOPT_EXPR_PARSE_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safeopt/expr/expr.h"
+
+namespace safeopt::expr {
+
+/// Expression-parse failure. `offset` is the 0-based character offset into
+/// the parsed text where the problem was detected; embedding parsers (the
+/// ftio study parser) map it back onto document line:column positions.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t offset, const std::string& what);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// The free parameters an expression may mention — a name set, typically
+/// built from core::ParameterSpace::names(). Unknown identifiers surface as
+/// ParseError rather than silently becoming new parameters, so a model-file
+/// typo ("T3" for "T2") fails at load, not at evaluation.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(std::initializer_list<std::string> names);
+  explicit SymbolTable(std::vector<std::string> names);
+
+  void add(std::string name);
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;  // sorted, unique
+};
+
+/// Parses the printer dialect plus the obvious hand-written relaxations:
+///
+///   expression := term (('+' | '-') term)*
+///   term       := factor (('*' | '/') factor)*
+///   factor     := '-' factor | primary
+///   primary    := NUMBER | 'inf' | 'nan' | parameter
+///               | '(' expression ')'
+///               | ('exp'|'log'|'sqrt') '(' expression ')'
+///               | ('min'|'max') '(' expression ',' expression ')'
+///               | 'pow' '(' expression ',' constant-expression ')'
+///               | 'clamp' '(' expression ',' const ',' const ')'
+///               | ('cdf'|'survival') '[' distribution ']' '(' expression ')'
+///   distribution := Name '(' args ')' with the stats constructors:
+///       Normal(mu, sigma)            TruncatedNormal(mu, sigma, [lo, hi])
+///       Exponential(rate)            Weibull(shape, scale)
+///       LogNormal(mu, sigma)         Uniform(lo, hi)
+///       Gamma(shape, scale)
+///
+/// Constant folding matches the Expr operator overloads, so expressions
+/// built through this function compile to the same tapes as the equivalent
+/// C++ construction. Throws ParseError on any lexical, syntactic, or
+/// semantic problem (unknown parameter/function/distribution, invalid
+/// distribution parameters, trailing input).
+[[nodiscard]] Expr parse(std::string_view text, const SymbolTable& symbols);
+
+/// Structural identity of two expression DAGs: same node kinds, operators,
+/// bit-identical constants, equal parameter names, and distributions with
+/// equal name() renderings (which embed their parameters). function1 nodes
+/// compare by name and operand only (the procedures are opaque). This is
+/// the "parse ∘ print = id" relation the round-trip tests assert; it is
+/// stronger than numeric equivalence.
+[[nodiscard]] bool structurally_equal(const Expr& a, const Expr& b) noexcept;
+
+}  // namespace safeopt::expr
+
+#endif  // SAFEOPT_EXPR_PARSE_H

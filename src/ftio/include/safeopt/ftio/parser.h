@@ -32,15 +32,22 @@
 
 namespace safeopt::ftio {
 
-/// Parse failure: message includes "line:column: ..." context.
+/// Parse failure: message includes "line:column: ..." context — prefixed
+/// with the source file name ("models/a.ft:12:3: ...") when the document
+/// was loaded from a path.
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, std::size_t column, const std::string& what);
+  ParseError(std::string_view file, std::size_t line, std::size_t column,
+             const std::string& what);
 
+  /// The source file name; empty for in-memory text.
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
   [[nodiscard]] std::size_t line() const noexcept { return line_; }
   [[nodiscard]] std::size_t column() const noexcept { return column_; }
 
  private:
+  std::string file_;
   std::size_t line_;
   std::size_t column_;
 };

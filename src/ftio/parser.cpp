@@ -1,411 +1,31 @@
+// ParseError rendering. The parsing machinery itself lives in study.cpp:
+// grammar v1 (parse_fault_tree) runs on the grammar-v2 document parser, so
+// there is exactly one lexer, one statement grammar, and one tree builder.
 #include "safeopt/ftio/parser.h"
 
-#include <cctype>
-#include <charconv>
-#include <map>
-#include <optional>
-#include <set>
-#include <vector>
+#include "safeopt/support/strings.h"
 
 namespace safeopt::ftio {
 namespace {
 
-struct Token {
-  enum class Kind { kIdentifier, kNumber, kEquals, kSemicolon, kEnd };
-  Kind kind = Kind::kEnd;
-  std::string text;
-  double number = 0.0;
-  std::size_t line = 1;
-  std::size_t column = 1;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view text) : text_(text) {}
-
-  Token next() {
-    skip_whitespace_and_comments();
-    Token token;
-    token.line = line_;
-    token.column = column_;
-    if (pos_ >= text_.size()) {
-      token.kind = Token::Kind::kEnd;
-      return token;
-    }
-    const char c = text_[pos_];
-    if (c == ';') {
-      advance();
-      token.kind = Token::Kind::kSemicolon;
-      // Char assignment sidesteps gcc 12's -Wrestrict false positive on
-      // basic_string::operator=(const char*) (PR105651 family).
-      token.text = ';';
-      return token;
-    }
-    if (c == '=') {
-      advance();
-      token.kind = Token::Kind::kEquals;
-      token.text = '=';
-      return token;
-    }
-    if (is_word_char(c)) {
-      // One maximal word of [A-Za-z0-9_.+-]; decide number vs identifier by
-      // whether the whole word parses as a double. This keeps "1e-3" a
-      // number while "2of3" (vote gates) and "timer-1" stay identifiers.
-      const std::size_t start = pos_;
-      while (pos_ < text_.size() && is_word_char(text_[pos_])) advance();
-      const std::string_view slice = text_.substr(start, pos_ - start);
-      token.text = std::string(slice);
-      const auto [end, ec] = std::from_chars(
-          slice.data(), slice.data() + slice.size(), token.number);
-      if (ec == std::errc{} && end == slice.data() + slice.size()) {
-        token.kind = Token::Kind::kNumber;
-        return token;
-      }
-      if (is_identifier_start(slice.front()) ||
-          std::isdigit(static_cast<unsigned char>(slice.front())) != 0) {
-        token.kind = Token::Kind::kIdentifier;
-        return token;
-      }
-      throw ParseError(token.line, token.column,
-                       "malformed token '" + token.text + "'");
-    }
-    throw ParseError(line_, column_,
-                     std::string("unexpected character '") + c + "'");
-  }
-
- private:
-  static bool is_identifier_start(char c) {
-    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-  }
-  static bool is_word_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
-           c == '.' || c == '+' || c == '-';
-  }
-
-  void advance() {
-    if (text_[pos_] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    ++pos_;
-  }
-
-  void skip_whitespace_and_comments() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        advance();
-      } else if (c == '#') {
-        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
-      } else {
-        break;
-      }
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-  std::size_t column_ = 1;
-};
-
-/// "2of3" -> (2, 3); anything else -> nullopt.
-std::optional<std::pair<std::uint32_t, std::uint32_t>> parse_vote(
-    std::string_view word) {
-  const std::size_t of = word.find("of");
-  if (of == std::string_view::npos || of == 0 ||
-      of + 2 >= word.size()) {
-    return std::nullopt;
-  }
-  std::uint32_t k = 0;
-  std::uint32_t n = 0;
-  const auto head = word.substr(0, of);
-  const auto tail = word.substr(of + 2);
-  const auto r1 = std::from_chars(head.data(), head.data() + head.size(), k);
-  const auto r2 = std::from_chars(tail.data(), tail.data() + tail.size(), n);
-  if (r1.ec != std::errc{} || r1.ptr != head.data() + head.size() ||
-      r2.ec != std::errc{} || r2.ptr != tail.data() + tail.size()) {
-    return std::nullopt;
-  }
-  return std::pair{k, n};
+std::string render(std::string_view file, std::size_t line,
+                   std::size_t column, const std::string& what) {
+  const std::string position =
+      concat(std::to_string(line), ":", std::to_string(column), ": ", what);
+  return file.empty() ? position : concat(file, ":", position);
 }
-
-struct GateDecl {
-  fta::GateType type = fta::GateType::kOr;
-  std::uint32_t k = 0;
-  std::vector<std::string> children;
-  std::size_t line = 0;
-  std::size_t column = 0;
-};
-
-struct LeafDecl {
-  bool is_condition = false;
-  double probability = 0.0;
-  std::size_t line = 0;
-  std::size_t column = 0;
-};
-
-/// Statement-level parse state gathered in the first pass.
-struct Declarations {
-  std::string tree_name = "fault-tree";
-  std::string toplevel;
-  std::size_t toplevel_line = 0;
-  std::map<std::string, GateDecl> gates;
-  std::map<std::string, LeafDecl> leaves;
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : lexer_(text) { consume(); }
-
-  Declarations parse() {
-    Declarations decls;
-    while (current_.kind != Token::Kind::kEnd) {
-      parse_statement(decls);
-    }
-    if (decls.toplevel.empty()) {
-      throw ParseError(1, 1, "missing 'toplevel' declaration");
-    }
-    return decls;
-  }
-
- private:
-  void consume() { current_ = lexer_.next(); }
-
-  Token expect_identifier(const char* what) {
-    if (current_.kind != Token::Kind::kIdentifier) {
-      throw ParseError(current_.line, current_.column,
-                       std::string("expected ") + what + ", got '" +
-                           current_.text + "'");
-    }
-    Token token = current_;
-    consume();
-    return token;
-  }
-
-  void expect_semicolon() {
-    if (current_.kind != Token::Kind::kSemicolon) {
-      throw ParseError(current_.line, current_.column,
-                       "expected ';' before '" + current_.text + "'");
-    }
-    consume();
-  }
-
-  double expect_probability() {
-    if (current_.kind != Token::Kind::kEquals) {
-      throw ParseError(current_.line, current_.column,
-                       "expected '=' after 'prob'");
-    }
-    consume();
-    if (current_.kind != Token::Kind::kNumber) {
-      throw ParseError(current_.line, current_.column,
-                       "expected a probability value");
-    }
-    const double p = current_.number;
-    if (p < 0.0 || p > 1.0) {
-      throw ParseError(current_.line, current_.column,
-                       "probability must lie in [0, 1], got " +
-                           current_.text);
-    }
-    consume();
-    return p;
-  }
-
-  void parse_statement(Declarations& decls) {
-    const Token head = expect_identifier("a statement");
-    if (head.text == "tree") {
-      decls.tree_name = expect_identifier("the tree name").text;
-      expect_semicolon();
-      return;
-    }
-    if (head.text == "toplevel") {
-      if (!decls.toplevel.empty()) {
-        throw ParseError(head.line, head.column,
-                         "duplicate 'toplevel' declaration");
-      }
-      const Token top = expect_identifier("the toplevel node name");
-      decls.toplevel = top.text;
-      decls.toplevel_line = top.line;
-      expect_semicolon();
-      return;
-    }
-
-    // "<name> <kind> ...": gate definition or leaf declaration.
-    const Token kind = expect_identifier("a gate kind or 'prob'/'condition'");
-    if (kind.text == "prob") {
-      declare_leaf(decls, head, /*is_condition=*/false);
-      return;
-    }
-    if (kind.text == "condition") {
-      const Token prob_kw = expect_identifier("'prob'");
-      if (prob_kw.text != "prob") {
-        throw ParseError(prob_kw.line, prob_kw.column,
-                         "expected 'prob' after 'condition'");
-      }
-      declare_leaf(decls, head, /*is_condition=*/true);
-      return;
-    }
-
-    GateDecl gate;
-    gate.line = head.line;
-    gate.column = head.column;
-    if (kind.text == "or") {
-      gate.type = fta::GateType::kOr;
-    } else if (kind.text == "and") {
-      gate.type = fta::GateType::kAnd;
-    } else if (kind.text == "xor") {
-      gate.type = fta::GateType::kXor;
-    } else if (kind.text == "inhibit") {
-      gate.type = fta::GateType::kInhibit;
-    } else if (const auto vote = parse_vote(kind.text)) {
-      gate.type = fta::GateType::kKofN;
-      gate.k = vote->first;
-      if (vote->first < 1) {
-        throw ParseError(kind.line, kind.column,
-                         "vote threshold must be >= 1");
-      }
-    } else {
-      throw ParseError(kind.line, kind.column,
-                       "unknown gate kind '" + kind.text + "'");
-    }
-    while (current_.kind == Token::Kind::kIdentifier) {
-      gate.children.push_back(current_.text);
-      consume();
-    }
-    expect_semicolon();
-    if (gate.children.empty()) {
-      throw ParseError(kind.line, kind.column,
-                       "gate '" + head.text + "' has no children");
-    }
-    if (gate.type == fta::GateType::kInhibit && gate.children.size() != 2) {
-      throw ParseError(kind.line, kind.column,
-                       "inhibit gate '" + head.text +
-                           "' needs exactly two operands (cause, condition)");
-    }
-    if (gate.type == fta::GateType::kKofN &&
-        gate.k > gate.children.size()) {
-      throw ParseError(kind.line, kind.column,
-                       "vote gate '" + head.text +
-                           "' has fewer children than its threshold");
-    }
-    if (!decls.gates.emplace(head.text, std::move(gate)).second) {
-      throw ParseError(head.line, head.column,
-                       "duplicate definition of gate '" + head.text + "'");
-    }
-  }
-
-  void declare_leaf(Declarations& decls, const Token& name,
-                    bool is_condition) {
-    LeafDecl leaf;
-    leaf.is_condition = is_condition;
-    leaf.probability = expect_probability();
-    leaf.line = name.line;
-    leaf.column = name.column;
-    expect_semicolon();
-    if (!decls.leaves.emplace(name.text, leaf).second) {
-      throw ParseError(name.line, name.column,
-                       "duplicate declaration of leaf '" + name.text + "'");
-    }
-  }
-
-  Lexer lexer_;
-  Token current_;
-};
-
-/// Second pass: build the FaultTree bottom-up from the declarations,
-/// detecting cycles and undefined references.
-class TreeBuilder {
- public:
-  explicit TreeBuilder(const Declarations& decls)
-      : decls_(decls), tree_(decls.tree_name) {}
-
-  ParsedFaultTree build() {
-    const fta::NodeId top = build_node(decls_.toplevel, decls_.toplevel_line);
-    tree_.set_top(top);
-    fta::QuantificationInput input =
-        fta::QuantificationInput::for_tree(tree_, 0.0);
-    for (const auto& [name, leaf] : decls_.leaves) {
-      if (!tree_.find(name).has_value()) {
-        throw ParseError(leaf.line, leaf.column,
-                         "leaf '" + name +
-                             "' is declared but not reachable from toplevel");
-      }
-      input.set(tree_, name, leaf.probability);
-    }
-    return ParsedFaultTree{std::move(tree_), std::move(input)};
-  }
-
- private:
-  fta::NodeId build_node(const std::string& name, std::size_t ref_line) {
-    if (const auto existing = tree_.find(name)) return *existing;
-    if (in_progress_.contains(name)) {
-      throw ParseError(ref_line, 1,
-                       "cycle through node '" + name + "'");
-    }
-
-    const auto gate_it = decls_.gates.find(name);
-    if (gate_it != decls_.gates.end()) {
-      const GateDecl& gate = gate_it->second;
-      in_progress_.insert(name);
-      std::vector<fta::NodeId> children;
-      children.reserve(gate.children.size());
-      for (const std::string& child : gate.children) {
-        children.push_back(build_node(child, gate.line));
-      }
-      in_progress_.erase(name);
-      switch (gate.type) {
-        case fta::GateType::kOr:
-          return tree_.add_or(name, std::move(children));
-        case fta::GateType::kAnd:
-          return tree_.add_and(name, std::move(children));
-        case fta::GateType::kXor:
-          return tree_.add_xor(name, std::move(children));
-        case fta::GateType::kKofN:
-          return tree_.add_k_of_n(name, gate.k, std::move(children));
-        case fta::GateType::kInhibit: {
-          const fta::NodeId cause = children[0];
-          const fta::NodeId condition = children[1];
-          if (tree_.kind(condition) != fta::NodeKind::kCondition) {
-            throw ParseError(gate.line, gate.column,
-                             "second operand of inhibit gate '" + name +
-                                 "' must be a condition leaf");
-          }
-          return tree_.add_inhibit(name, cause, condition);
-        }
-      }
-      throw ParseError(gate.line, gate.column, "unreachable gate kind");
-    }
-
-    const auto leaf_it = decls_.leaves.find(name);
-    if (leaf_it != decls_.leaves.end()) {
-      return leaf_it->second.is_condition
-                 ? tree_.add_condition(name)
-                 : tree_.add_basic_event(name);
-    }
-    throw ParseError(ref_line, 1, "undefined node '" + name + "'");
-  }
-
-  const Declarations& decls_;
-  fta::FaultTree tree_;
-  std::set<std::string> in_progress_;
-};
 
 }  // namespace
 
 ParseError::ParseError(std::size_t line, std::size_t column,
                        const std::string& what)
-    : std::runtime_error(std::to_string(line) + ":" + std::to_string(column) +
-                         ": " + what),
+    : ParseError({}, line, column, what) {}
+
+ParseError::ParseError(std::string_view file, std::size_t line,
+                       std::size_t column, const std::string& what)
+    : std::runtime_error(render(file, line, column, what)),
+      file_(file),
       line_(line),
       column_(column) {}
-
-ParsedFaultTree parse_fault_tree(std::string_view text) {
-  Parser parser(text);
-  const Declarations decls = parser.parse();
-  TreeBuilder builder(decls);
-  return builder.build();
-}
 
 }  // namespace safeopt::ftio

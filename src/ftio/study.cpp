@@ -1,0 +1,983 @@
+// Grammar v2 parser/writer (study_document.h) and the v1 entry point
+// parse_fault_tree, which runs on the same machinery: one grammar, one
+// lexer, one tree builder. The v1 dialect is the subset of v2 with a single
+// tree and constant probabilities, and its diagnostics (messages and
+// line:column positions) are pinned by tests/ftio/parser_test.cpp.
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "safeopt/expr/parse.h"
+#include "safeopt/ftio/parser.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::ftio {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+struct Token {
+  enum class Kind {
+    kIdentifier,
+    kNumber,
+    kString,
+    kEquals,
+    kSemicolon,
+    kLBracket,
+    kRBracket,
+    kComma,
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// A captured raw expression slice: everything between '=' and ';', with
+/// comments blanked to spaces so expr::ParseError offsets still map onto
+/// document positions.
+struct RawExpression {
+  std::string text;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view text, std::string_view source)
+      : text_(text), source_(source) {}
+
+  Token next() {
+    skip_whitespace_and_comments();
+    Token token;
+    token.line = line_;
+    token.column = column_;
+    if (pos_ >= text_.size()) {
+      token.kind = Token::Kind::kEnd;
+      return token;
+    }
+    const char c = text_[pos_];
+    const auto single = [&](Token::Kind kind) {
+      advance();
+      token.kind = kind;
+      // Char assignment sidesteps gcc 12's -Wrestrict false positive on
+      // basic_string::operator=(const char*) (PR105651 family).
+      token.text = c;
+      return token;
+    };
+    switch (c) {
+      case ';': return single(Token::Kind::kSemicolon);
+      case '=': return single(Token::Kind::kEquals);
+      case '[': return single(Token::Kind::kLBracket);
+      case ']': return single(Token::Kind::kRBracket);
+      case ',': return single(Token::Kind::kComma);
+      case '"': {
+        advance();
+        std::string contents;
+        while (pos_ < text_.size() && text_[pos_] != '"' &&
+               text_[pos_] != '\n') {
+          // \" and \\ escapes, so the writer can round-trip arbitrary
+          // unit/desc strings; any other backslash is literal.
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size() &&
+              (text_[pos_ + 1] == '"' || text_[pos_ + 1] == '\\')) {
+            advance();
+          }
+          contents += text_[pos_];
+          advance();
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+          throw ParseError(source_, token.line, token.column,
+                           "unterminated string literal");
+        }
+        token.kind = Token::Kind::kString;
+        token.text = std::move(contents);
+        advance();  // closing quote
+        return token;
+      }
+      default: break;
+    }
+    if (is_word_char(c)) {
+      // One maximal word of [A-Za-z0-9_.+-]; decide number vs identifier by
+      // whether the whole word parses as a double. This keeps "1e-3" a
+      // number while "2of3" (vote gates) and "timer-1" stay identifiers.
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && is_word_char(text_[pos_])) advance();
+      const std::string_view slice = text_.substr(start, pos_ - start);
+      token.text = std::string(slice);
+      const auto [end, ec] = std::from_chars(
+          slice.data(), slice.data() + slice.size(), token.number);
+      if (ec == std::errc{} && end == slice.data() + slice.size()) {
+        token.kind = Token::Kind::kNumber;
+        return token;
+      }
+      if (is_identifier_start(slice.front()) ||
+          std::isdigit(static_cast<unsigned char>(slice.front())) != 0) {
+        token.kind = Token::Kind::kIdentifier;
+        return token;
+      }
+      throw ParseError(source_, token.line, token.column,
+                       "malformed token '" + token.text + "'");
+    }
+    throw ParseError(source_, line_, column_,
+                     std::string("unexpected character '") + c + "'");
+  }
+
+  /// Captures raw text up to (not including) the next ';' at the current
+  /// position — called right after the '=' of "prob = <expression>", while
+  /// no token has been lexed past it. Comments are blanked with spaces so
+  /// the slice's character offsets still line up with the document.
+  RawExpression capture_expression() {
+    skip_whitespace_and_comments();
+    RawExpression raw;
+    raw.line = line_;
+    raw.column = column_;
+    while (pos_ < text_.size() && text_[pos_] != ';') {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          raw.text += ' ';
+          advance();
+        }
+        continue;
+      }
+      raw.text += c;
+      advance();
+    }
+    return raw;
+  }
+
+ private:
+  static bool is_identifier_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+  static bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '.' || c == '+' || c == '-';
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+// ---------------------------------------------------- declaration capture
+
+/// "2of3" -> (2, 3); anything else -> nullopt.
+std::optional<std::pair<std::uint32_t, std::uint32_t>> parse_vote(
+    std::string_view word) {
+  const std::size_t of = word.find("of");
+  if (of == std::string_view::npos || of == 0 || of + 2 >= word.size()) {
+    return std::nullopt;
+  }
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  const auto head = word.substr(0, of);
+  const auto tail = word.substr(of + 2);
+  const auto r1 = std::from_chars(head.data(), head.data() + head.size(), k);
+  const auto r2 = std::from_chars(tail.data(), tail.data() + tail.size(), n);
+  if (r1.ec != std::errc{} || r1.ptr != head.data() + head.size() ||
+      r2.ec != std::errc{} || r2.ptr != tail.data() + tail.size()) {
+    return std::nullopt;
+  }
+  return std::pair{k, n};
+}
+
+struct GateDecl {
+  fta::GateType type = fta::GateType::kOr;
+  std::uint32_t k = 0;
+  std::vector<std::string> children;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+struct LeafDecl {
+  bool is_condition = false;
+  RawExpression probability;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// One tree section's statement-level state.
+struct SectionDecl {
+  std::string name = "fault-tree";
+  bool explicit_stmt = false;  // introduced by a `tree` statement
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::string toplevel;
+  std::size_t toplevel_line = 0;
+  std::map<std::string, GateDecl> gates;
+  std::map<std::string, LeafDecl> leaves;
+
+  [[nodiscard]] bool has_declarations() const noexcept {
+    return !toplevel.empty() || !gates.empty() || !leaves.empty();
+  }
+};
+
+struct ParamRaw {
+  ParameterDecl decl;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+struct HazardRaw {
+  HazardDecl decl;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Statement-level parse state gathered in the first pass.
+struct Declarations {
+  std::vector<ParamRaw> parameters;
+  std::vector<SectionDecl> sections;
+  std::vector<HazardRaw> hazards;
+  std::optional<SelectionDecl> solver;
+  std::optional<SelectionDecl> engine;
+  std::optional<std::string> formula;
+};
+
+class DocumentParser {
+ public:
+  DocumentParser(std::string_view text, std::string_view source)
+      : lexer_(text, source), source_(source) {
+    consume();
+  }
+
+  Declarations parse() {
+    decls_.sections.emplace_back();  // the implicit first section
+    while (current_.kind != Token::Kind::kEnd) {
+      parse_statement();
+    }
+    // An implicit section that never received a declaration is no tree at
+    // all (e.g. a parameters-only document).
+    auto& sections = decls_.sections;
+    sections.erase(std::remove_if(sections.begin(), sections.end(),
+                                  [](const SectionDecl& s) {
+                                    return !s.explicit_stmt &&
+                                           !s.has_declarations();
+                                  }),
+                   sections.end());
+    return std::move(decls_);
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t line, std::size_t column,
+                         std::string message) const {
+    throw ParseError(source_, line, column, message);
+  }
+
+  void consume() { current_ = lexer_.next(); }
+
+  Token expect_identifier(const char* what) {
+    if (current_.kind != Token::Kind::kIdentifier) {
+      fail(current_.line, current_.column,
+           concat("expected ", what, ", got '", current_.text, "'"));
+    }
+    Token token = current_;
+    consume();
+    return token;
+  }
+
+  Token expect_number(const char* what) {
+    if (current_.kind != Token::Kind::kNumber) {
+      fail(current_.line, current_.column,
+           concat("expected ", what, ", got '", current_.text, "'"));
+    }
+    Token token = current_;
+    consume();
+    return token;
+  }
+
+  Token expect_string(const char* what) {
+    if (current_.kind != Token::Kind::kString) {
+      fail(current_.line, current_.column,
+           concat("expected ", what, ", got '", current_.text, "'"));
+    }
+    Token token = current_;
+    consume();
+    return token;
+  }
+
+  void expect_semicolon() {
+    if (current_.kind != Token::Kind::kSemicolon) {
+      fail(current_.line, current_.column,
+           "expected ';' before '" + current_.text + "'");
+    }
+    consume();
+  }
+
+  void expect_token(Token::Kind kind, const char* what) {
+    if (current_.kind != kind) {
+      fail(current_.line, current_.column,
+           concat("expected ", what, ", got '", current_.text, "'"));
+    }
+    consume();
+  }
+
+  SectionDecl& section() { return decls_.sections.back(); }
+
+  void parse_statement() {
+    const Token head = expect_identifier("a statement");
+    if (head.text == "tree") {
+      const Token name = expect_identifier("the tree name");
+      expect_semicolon();
+      if (section().has_declarations() || section().explicit_stmt) {
+        decls_.sections.emplace_back();  // a new tree section begins
+      }
+      section().name = name.text;
+      section().explicit_stmt = true;
+      section().line = head.line;
+      section().column = head.column;
+      return;
+    }
+    if (head.text == "toplevel") {
+      if (!section().toplevel.empty()) {
+        fail(head.line, head.column, "duplicate 'toplevel' declaration");
+      }
+      const Token top = expect_identifier("the toplevel node name");
+      section().toplevel = top.text;
+      section().toplevel_line = top.line;
+      expect_semicolon();
+      return;
+    }
+    if (head.text == "param") {
+      parse_param();
+      return;
+    }
+    if (head.text == "hazard") {
+      parse_hazard();
+      return;
+    }
+    if (head.text == "solver" || head.text == "engine") {
+      parse_selection(head);
+      return;
+    }
+    if (head.text == "formula") {
+      if (decls_.formula.has_value()) {
+        fail(head.line, head.column, "duplicate 'formula' declaration");
+      }
+      const Token name = expect_identifier("a formula name");
+      if (name.text != "rare_event" && name.text != "min_cut_upper_bound") {
+        fail(name.line, name.column,
+             concat("unknown formula '", name.text,
+                    "' (expected rare_event or min_cut_upper_bound)"));
+      }
+      decls_.formula = name.text;
+      expect_semicolon();
+      return;
+    }
+
+    // "<name> <kind> ...": gate definition or leaf declaration.
+    const Token kind = expect_identifier("a gate kind or 'prob'/'condition'");
+    if (kind.text == "prob") {
+      declare_leaf(head, /*is_condition=*/false);
+      return;
+    }
+    if (kind.text == "condition") {
+      const Token prob_kw = expect_identifier("'prob'");
+      if (prob_kw.text != "prob") {
+        fail(prob_kw.line, prob_kw.column,
+             "expected 'prob' after 'condition'");
+      }
+      declare_leaf(head, /*is_condition=*/true);
+      return;
+    }
+
+    GateDecl gate;
+    gate.line = head.line;
+    gate.column = head.column;
+    if (kind.text == "or") {
+      gate.type = fta::GateType::kOr;
+    } else if (kind.text == "and") {
+      gate.type = fta::GateType::kAnd;
+    } else if (kind.text == "xor") {
+      gate.type = fta::GateType::kXor;
+    } else if (kind.text == "inhibit") {
+      gate.type = fta::GateType::kInhibit;
+    } else if (const auto vote = parse_vote(kind.text)) {
+      gate.type = fta::GateType::kKofN;
+      gate.k = vote->first;
+      if (vote->first < 1) {
+        fail(kind.line, kind.column, "vote threshold must be >= 1");
+      }
+    } else {
+      fail(kind.line, kind.column,
+           "unknown gate kind '" + kind.text + "'");
+    }
+    while (current_.kind == Token::Kind::kIdentifier) {
+      gate.children.push_back(current_.text);
+      consume();
+    }
+    expect_semicolon();
+    if (gate.children.empty()) {
+      fail(kind.line, kind.column,
+           "gate '" + head.text + "' has no children");
+    }
+    if (gate.type == fta::GateType::kInhibit && gate.children.size() != 2) {
+      fail(kind.line, kind.column,
+           "inhibit gate '" + head.text +
+               "' needs exactly two operands (cause, condition)");
+    }
+    if (gate.type == fta::GateType::kKofN &&
+        gate.k > gate.children.size()) {
+      fail(kind.line, kind.column,
+           "vote gate '" + head.text +
+               "' has fewer children than its threshold");
+    }
+    if (!section().gates.emplace(head.text, std::move(gate)).second) {
+      fail(head.line, head.column,
+           "duplicate definition of gate '" + head.text + "'");
+    }
+  }
+
+  void declare_leaf(const Token& name, bool is_condition) {
+    LeafDecl leaf;
+    leaf.is_condition = is_condition;
+    leaf.line = name.line;
+    leaf.column = name.column;
+    if (current_.kind != Token::Kind::kEquals) {
+      fail(current_.line, current_.column, "expected '=' after 'prob'");
+    }
+    // The expression is captured raw (to the terminating ';') and parsed in
+    // the semantic pass, once every `param` of the document is known.
+    leaf.probability = lexer_.capture_expression();
+    consume();
+    expect_semicolon();
+    if (!section().leaves.emplace(name.text, std::move(leaf)).second) {
+      fail(name.line, name.column,
+           "duplicate declaration of leaf '" + name.text + "'");
+    }
+  }
+
+  void parse_param() {
+    ParamRaw param;
+    const Token name = expect_identifier("the parameter name");
+    param.decl.name = name.text;
+    param.line = name.line;
+    param.column = name.column;
+    const Token in = expect_identifier("'in' after the parameter name");
+    if (in.text != "in") {
+      fail(in.line, in.column, "expected 'in' after the parameter name");
+    }
+    expect_token(Token::Kind::kLBracket, "'[' before the parameter domain");
+    const Token lower = expect_number("the lower bound");
+    expect_token(Token::Kind::kComma, "','");
+    const Token upper = expect_number("the upper bound");
+    expect_token(Token::Kind::kRBracket, "']' after the parameter domain");
+    param.decl.lower = lower.number;
+    param.decl.upper = upper.number;
+    if (!std::isfinite(param.decl.lower) || !std::isfinite(param.decl.upper) ||
+        param.decl.lower > param.decl.upper) {
+      fail(lower.line, lower.column,
+           concat("parameter '", param.decl.name,
+                  "' needs a finite domain with lower <= upper"));
+    }
+    while (current_.kind == Token::Kind::kIdentifier) {
+      const Token clause = current_;
+      consume();
+      if (clause.text == "unit") {
+        param.decl.unit = expect_string("a quoted unit").text;
+      } else if (clause.text == "desc") {
+        param.decl.description = expect_string("a quoted description").text;
+      } else {
+        fail(clause.line, clause.column,
+             concat("unknown parameter clause '", clause.text,
+                    "' (expected unit or desc)"));
+      }
+    }
+    expect_semicolon();
+    for (const ParamRaw& existing : decls_.parameters) {
+      if (existing.decl.name == param.decl.name) {
+        fail(param.line, param.column,
+             "duplicate declaration of parameter '" + param.decl.name + "'");
+      }
+    }
+    decls_.parameters.push_back(std::move(param));
+  }
+
+  void parse_hazard() {
+    HazardRaw hazard;
+    const Token tree = expect_identifier("the hazard's tree name");
+    hazard.decl.tree = tree.text;
+    hazard.line = tree.line;
+    hazard.column = tree.column;
+    const Token cost = expect_identifier("'cost' after the tree name");
+    if (cost.text != "cost") {
+      fail(cost.line, cost.column, "expected 'cost' after the tree name");
+    }
+    if (current_.kind != Token::Kind::kEquals) {
+      fail(current_.line, current_.column, "expected '=' after 'cost'");
+    }
+    consume();
+    const Token value = expect_number("the hazard cost");
+    if (!std::isfinite(value.number) || value.number < 0.0) {
+      fail(value.line, value.column,
+           "hazard cost must be a finite non-negative number, got " +
+               value.text);
+    }
+    hazard.decl.cost = value.number;
+    expect_semicolon();
+    for (const HazardRaw& existing : decls_.hazards) {
+      if (existing.decl.tree == hazard.decl.tree) {
+        fail(hazard.line, hazard.column,
+             "duplicate hazard for tree '" + hazard.decl.tree + "'");
+      }
+    }
+    decls_.hazards.push_back(std::move(hazard));
+  }
+
+  void parse_selection(const Token& head) {
+    auto& slot = head.text == "solver" ? decls_.solver : decls_.engine;
+    if (slot.has_value()) {
+      fail(head.line, head.column,
+           concat("duplicate '", head.text, "' declaration"));
+    }
+    SelectionDecl selection;
+    selection.name = expect_identifier("a registry name").text;
+    while (current_.kind == Token::Kind::kIdentifier) {
+      const Token key = current_;
+      consume();
+      if (current_.kind != Token::Kind::kEquals) {
+        fail(current_.line, current_.column,
+             concat("expected '=' after option '", key.text, "'"));
+      }
+      consume();
+      OptionValue value;
+      if (current_.kind == Token::Kind::kNumber) {
+        value = OptionValue::of(current_.number);
+      } else if (current_.kind == Token::Kind::kIdentifier) {
+        value = OptionValue::of(current_.text);
+      } else if (current_.kind == Token::Kind::kString) {
+        value = OptionValue::of(current_.text, /*quoted=*/true);
+      } else {
+        fail(current_.line, current_.column,
+             concat("expected a value for option '", key.text, "', got '",
+                    current_.text, "'"));
+      }
+      consume();
+      if (selection.find_option(key.text) != nullptr) {
+        fail(key.line, key.column,
+             concat("duplicate option '", key.text, "'"));
+      }
+      selection.options.emplace_back(key.text, std::move(value));
+    }
+    expect_semicolon();
+    slot = std::move(selection);
+  }
+
+  Lexer lexer_;
+  std::string_view source_;
+  Token current_;
+  Declarations decls_;
+};
+
+// ------------------------------------------------------------ tree builder
+
+/// Second pass: build the FaultTree bottom-up from one section's
+/// declarations, detecting cycles and undefined references.
+class TreeBuilder {
+ public:
+  TreeBuilder(const SectionDecl& section, std::string_view source)
+      : section_(section), source_(source), tree_(section.name) {}
+
+  fta::FaultTree build() {
+    const fta::NodeId top =
+        build_node(section_.toplevel, section_.toplevel_line);
+    tree_.set_top(top);
+    for (const auto& [name, leaf] : section_.leaves) {
+      if (!tree_.find(name).has_value()) {
+        throw ParseError(source_, leaf.line, leaf.column,
+                         "leaf '" + name +
+                             "' is declared but not reachable from toplevel");
+      }
+    }
+    return std::move(tree_);
+  }
+
+ private:
+  fta::NodeId build_node(const std::string& name, std::size_t ref_line) {
+    if (const auto existing = tree_.find(name)) return *existing;
+    if (in_progress_.contains(name)) {
+      throw ParseError(source_, ref_line, 1,
+                       "cycle through node '" + name + "'");
+    }
+
+    const auto gate_it = section_.gates.find(name);
+    if (gate_it != section_.gates.end()) {
+      const GateDecl& gate = gate_it->second;
+      in_progress_.insert(name);
+      std::vector<fta::NodeId> children;
+      children.reserve(gate.children.size());
+      for (const std::string& child : gate.children) {
+        children.push_back(build_node(child, gate.line));
+      }
+      in_progress_.erase(name);
+      switch (gate.type) {
+        case fta::GateType::kOr:
+          return tree_.add_or(name, std::move(children));
+        case fta::GateType::kAnd:
+          return tree_.add_and(name, std::move(children));
+        case fta::GateType::kXor:
+          return tree_.add_xor(name, std::move(children));
+        case fta::GateType::kKofN:
+          return tree_.add_k_of_n(name, gate.k, std::move(children));
+        case fta::GateType::kInhibit: {
+          const fta::NodeId cause = children[0];
+          const fta::NodeId condition = children[1];
+          if (tree_.kind(condition) != fta::NodeKind::kCondition) {
+            throw ParseError(source_, gate.line, gate.column,
+                             "second operand of inhibit gate '" + name +
+                                 "' must be a condition leaf");
+          }
+          return tree_.add_inhibit(name, cause, condition);
+        }
+      }
+      throw ParseError(source_, gate.line, gate.column,
+                       "unreachable gate kind");
+    }
+
+    const auto leaf_it = section_.leaves.find(name);
+    if (leaf_it != section_.leaves.end()) {
+      return leaf_it->second.is_condition ? tree_.add_condition(name)
+                                          : tree_.add_basic_event(name);
+    }
+    throw ParseError(source_, ref_line, 1, "undefined node '" + name + "'");
+  }
+
+  const SectionDecl& section_;
+  std::string_view source_;
+  fta::FaultTree tree_;
+  std::set<std::string> in_progress_;
+};
+
+// --------------------------------------------------------- semantic pass
+
+/// Maps an expr::ParseError offset (into the captured slice, comments
+/// blanked) back onto document line:column.
+std::pair<std::size_t, std::size_t> position_at_offset(
+    const RawExpression& raw, std::size_t offset) {
+  std::size_t line = raw.line;
+  std::size_t column = raw.column;
+  const std::size_t end = std::min(offset, raw.text.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    if (raw.text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return {line, column};
+}
+
+expr::Expr parse_leaf_expression(const RawExpression& raw,
+                                 const expr::SymbolTable& symbols,
+                                 std::string_view source) {
+  const std::string_view trimmed = trim(raw.text);
+  if (trimmed.empty()) {
+    throw ParseError(source, raw.line, raw.column,
+                     "expected a probability expression");
+  }
+  try {
+    return expr::parse(raw.text, symbols);
+  } catch (const expr::ParseError& error) {
+    const auto [line, column] = position_at_offset(raw, error.offset());
+    throw ParseError(source, line, column, error.what());
+  }
+}
+
+/// Leaf-expression parsing, the constant [0, 1] range check, and the
+/// ordinal-ordered LeafProbability list for one built tree.
+std::vector<LeafProbability> resolve_leaves(const SectionDecl& section,
+                                            const fta::FaultTree& tree,
+                                            const expr::SymbolTable& symbols,
+                                            std::string_view source) {
+  std::map<std::string, expr::Expr> parsed;
+  for (const auto& [name, leaf] : section.leaves) {
+    expr::Expr probability =
+        parse_leaf_expression(leaf.probability, symbols, source);
+    if (probability.is_constant()) {
+      const double p = probability.evaluate({});
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw ParseError(
+            source, leaf.probability.line, leaf.probability.column,
+            concat("probability must lie in [0, 1], got ",
+                   trim(leaf.probability.text)));
+      }
+    }
+    parsed.emplace(name, std::move(probability));
+  }
+  std::vector<LeafProbability> leaves;
+  leaves.reserve(parsed.size());
+  const auto append = [&](fta::NodeId id, bool is_condition) {
+    const std::string& name = tree.node_name(id);
+    leaves.push_back(
+        LeafProbability{name, is_condition, parsed.at(name)});
+  };
+  for (const fta::NodeId id : tree.basic_events()) append(id, false);
+  for (const fta::NodeId id : tree.conditions()) append(id, true);
+  return leaves;
+}
+
+StudyDocument build_document(Declarations decls, std::string_view source) {
+  StudyDocument doc;
+  doc.source = std::string(source);
+
+  expr::SymbolTable symbols;
+  for (ParamRaw& param : decls.parameters) {
+    symbols.add(param.decl.name);
+    doc.parameters.push_back(std::move(param.decl));
+  }
+
+  for (const SectionDecl& section : decls.sections) {
+    if (section.toplevel.empty()) {
+      // An explicit `tree` statement anchors the error; a v1 document
+      // without one reports at the document head, as the v1 parser did.
+      if (section.explicit_stmt) {
+        throw ParseError(source, section.line, section.column,
+                         "missing 'toplevel' declaration for tree '" +
+                             section.name + "'");
+      }
+      throw ParseError(source, 1, 1, "missing 'toplevel' declaration");
+    }
+    for (const TreeModel& existing : doc.trees) {
+      if (existing.tree.name() == section.name) {
+        throw ParseError(source, section.line, section.column,
+                         "duplicate tree '" + section.name + "'");
+      }
+    }
+    TreeModel model{TreeBuilder(section, source).build(), {}};
+    model.leaves = resolve_leaves(section, model.tree, symbols, source);
+    doc.trees.push_back(std::move(model));
+  }
+
+  for (HazardRaw& hazard : decls.hazards) {
+    if (doc.find_tree(hazard.decl.tree) == nullptr) {
+      throw ParseError(source, hazard.line, hazard.column,
+                       "hazard names unknown tree '" + hazard.decl.tree +
+                           "'");
+    }
+    doc.hazards.push_back(std::move(hazard.decl));
+  }
+
+  doc.solver = std::move(decls.solver);
+  doc.engine = std::move(decls.engine);
+  doc.formula = std::move(decls.formula);
+  return doc;
+}
+
+StudyDocument parse_document(std::string_view text,
+                             std::string_view source_name) {
+  DocumentParser parser(text, source_name);
+  return build_document(parser.parse(), source_name);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public API
+
+const LeafProbability* TreeModel::find_leaf(
+    std::string_view name) const noexcept {
+  for (const LeafProbability& leaf : leaves) {
+    if (leaf.name == name) return &leaf;
+  }
+  return nullptr;
+}
+
+const OptionValue* SelectionDecl::find_option(
+    std::string_view key) const noexcept {
+  for (const auto& [name, value] : options) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const TreeModel* StudyDocument::find_tree(
+    std::string_view name) const noexcept {
+  for (const TreeModel& model : trees) {
+    if (model.tree.name() == name) return &model;
+  }
+  return nullptr;
+}
+
+const ParameterDecl* StudyDocument::find_parameter(
+    std::string_view name) const noexcept {
+  for (const ParameterDecl& parameter : parameters) {
+    if (parameter.name == name) return &parameter;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> StudyDocument::parameter_names() const {
+  std::vector<std::string> names;
+  names.reserve(parameters.size());
+  for (const ParameterDecl& parameter : parameters) {
+    names.push_back(parameter.name);
+  }
+  return names;
+}
+
+StudyDocument parse_study(std::string_view text,
+                          std::string_view source_name) {
+  return parse_document(text, source_name);
+}
+
+StudyDocument load_study(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error(concat("cannot read model file '", path, "'"));
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return parse_document(contents.str(), path);
+}
+
+ParsedFaultTree parse_fault_tree(std::string_view text) {
+  StudyDocument doc = parse_document(text, {});
+  if (doc.trees.empty()) {
+    throw ParseError(1, 1, "missing 'toplevel' declaration");
+  }
+  if (doc.trees.size() > 1) {
+    throw ParseError(1, 1,
+                     "document declares multiple trees; load it with "
+                     "parse_study");
+  }
+  TreeModel& model = doc.trees.front();
+  fta::QuantificationInput input =
+      fta::QuantificationInput::for_tree(model.tree, 0.0);
+  for (const LeafProbability& leaf : model.leaves) {
+    if (!leaf.probability.is_constant()) {
+      throw ParseError(1, 1,
+                       concat("leaf '", leaf.name,
+                              "' has a parameterized probability; load the "
+                              "document with parse_study"));
+    }
+    input.set(model.tree, leaf.name, leaf.probability.evaluate({}));
+  }
+  return ParsedFaultTree{std::move(model.tree), std::move(input)};
+}
+
+namespace {
+
+/// Inverse of the lexer's \" / \\ escapes.
+std::string quote_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string write_study(const StudyDocument& doc) {
+  std::string out;
+  for (const ParameterDecl& parameter : doc.parameters) {
+    out += concat("param ", parameter.name, " in [",
+                  format_double(parameter.lower), ", ",
+                  format_double(parameter.upper), "]");
+    if (!parameter.unit.empty()) {
+      out += concat(" unit ", quote_string(parameter.unit));
+    }
+    if (!parameter.description.empty()) {
+      out += concat(" desc ", quote_string(parameter.description));
+    }
+    out += ";\n";
+  }
+  if (!doc.parameters.empty()) out += "\n";
+
+  for (const TreeModel& model : doc.trees) {
+    const fta::FaultTree& tree = model.tree;
+    out += concat("tree ", tree.name(), ";\n");
+    out += concat("toplevel ", tree.node_name(tree.top()), ";\n");
+    for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
+      if (tree.kind(id) != fta::NodeKind::kGate) continue;
+      out += tree.node_name(id);
+      switch (tree.gate_type(id)) {
+        case fta::GateType::kAnd: out += " and"; break;
+        case fta::GateType::kOr: out += " or"; break;
+        case fta::GateType::kXor: out += " xor"; break;
+        case fta::GateType::kInhibit: out += " inhibit"; break;
+        case fta::GateType::kKofN:
+          out += concat(" ", std::to_string(tree.vote_threshold(id)), "of",
+                        std::to_string(tree.children(id).size()));
+          break;
+      }
+      for (const fta::NodeId child : tree.children(id)) {
+        out += concat(" ", tree.node_name(child));
+      }
+      out += ";\n";
+    }
+    for (const LeafProbability& leaf : model.leaves) {
+      out += concat(leaf.name, leaf.is_condition ? " condition prob = "
+                                                 : " prob = ",
+                    leaf.probability.to_string(), ";\n");
+    }
+    out += "\n";
+  }
+
+  for (const HazardDecl& hazard : doc.hazards) {
+    out += concat("hazard ", hazard.tree, " cost = ",
+                  format_double(hazard.cost), ";\n");
+  }
+  const auto write_selection = [&out](const char* keyword,
+                                      const SelectionDecl& selection) {
+    out += concat(keyword, " ", selection.name);
+    for (const auto& [key, value] : selection.options) {
+      out += concat(" ", key, " = ");
+      if (value.kind == OptionValue::Kind::kNumber) {
+        out += format_double(value.number);
+      } else if (value.quoted) {
+        out += quote_string(value.text);
+      } else {
+        out += value.text;
+      }
+    }
+    out += ";\n";
+  };
+  if (doc.solver.has_value()) write_selection("solver", *doc.solver);
+  if (doc.engine.has_value()) write_selection("engine", *doc.engine);
+  if (doc.formula.has_value()) {
+    out += concat("formula ", *doc.formula, ";\n");
+  }
+  return out;
+}
+
+}  // namespace safeopt::ftio

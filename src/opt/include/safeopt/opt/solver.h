@@ -95,6 +95,20 @@ struct SolverConfig {
   SolverConfig& set(std::string_view key, double value);
   /// Sets a string per-solver extra (e.g. "inner" for multi_start).
   SolverConfig& set(std::string_view key, std::string value);
+  /// Parses a command-line extra of the form "key=value" (the safeopt CLI's
+  /// `--extra starts=16`). A value that parses entirely as a double becomes
+  /// a numeric extra, anything else a string extra — matching the two set()
+  /// overloads, so count_or/number_or validation applies at consumption
+  /// ("starts=-3" stores -3 and count_or("starts") then rejects it with a
+  /// message naming the key). Throws std::invalid_argument when the
+  /// argument has no '=', an empty key, or an empty value.
+  SolverConfig& set_extra_argument(std::string_view key_equals_value);
+
+  /// True when `value` *starts* like a number ([0-9.+-]) — used by
+  /// set_extra_argument and the document-option mapping to reject typos
+  /// such as "8x"/"1_000" instead of silently storing them as string
+  /// extras that count_or/number_or would ignore.
+  [[nodiscard]] static bool numeric_looking(std::string_view value) noexcept;
 
   [[nodiscard]] bool has(std::string_view key) const noexcept;
   /// The numeric extra under `key`, or `fallback` when absent.

@@ -1,6 +1,7 @@
 #include "safeopt/opt/solver.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 #include <mutex>
@@ -24,6 +25,43 @@ SolverConfig& SolverConfig::set(std::string_view key, double value) {
 SolverConfig& SolverConfig::set(std::string_view key, std::string value) {
   strings_.insert_or_assign(std::string(key), std::move(value));
   return *this;
+}
+
+SolverConfig& SolverConfig::set_extra_argument(
+    std::string_view key_equals_value) {
+  const std::size_t equals = key_equals_value.find('=');
+  if (equals == std::string_view::npos) {
+    throw std::invalid_argument(concat("solver extra must be key=value, got \"",
+                                       key_equals_value, "\""));
+  }
+  const std::string_view key = key_equals_value.substr(0, equals);
+  const std::string_view value = key_equals_value.substr(equals + 1);
+  if (key.empty() || value.empty()) {
+    throw std::invalid_argument(concat("solver extra must be key=value, got \"",
+                                       key_equals_value, "\""));
+  }
+  double number = 0.0;
+  const auto [end, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), number);
+  if (ec == std::errc{} && end == value.data() + value.size()) {
+    return set(key, number);
+  }
+  // "starts=4x" / "starts=1_000": a value that *starts* numeric but fails
+  // the full parse is a typo, not a string extra — storing it as a string
+  // would make count_or/number_or silently fall back to their defaults.
+  if (numeric_looking(value)) {
+    throw std::invalid_argument(
+        concat("solver extra \"", key, "\" has a malformed numeric value \"",
+               value, "\""));
+  }
+  return set(key, std::string(value));
+}
+
+bool SolverConfig::numeric_looking(std::string_view value) noexcept {
+  if (value.empty()) return false;
+  const char first = value.front();
+  return (first >= '0' && first <= '9') || first == '-' || first == '+' ||
+         first == '.';
 }
 
 bool SolverConfig::has(std::string_view key) const noexcept {

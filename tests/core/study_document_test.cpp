@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "safeopt/core/study.h"
+#include "safeopt/ftio/study_document.h"
+
+namespace safeopt::core {
+namespace {
+
+constexpr const char* kDocument = R"(
+param M in [4, 52] unit "weeks";
+param S in [1, 26] unit "weeks";
+
+tree Overheat;
+toplevel Overheat_top;
+Overheat_top or CoolingLost Sensors;
+CoolingLost inhibit CoolingFailed ProcessRunning;
+CoolingFailed 2of3 PumpA PumpB PumpC;
+Sensors and TempSensor1 TempSensor2;
+PumpA prob = cdf[Weibull(2, 60)](M);
+PumpB prob = cdf[Weibull(2, 60)](M);
+PumpC prob = cdf[Weibull(2, 60)](M);
+TempSensor1 prob = cdf[Weibull(1.5, 80)](S);
+TempSensor2 prob = cdf[Weibull(1.5, 80)](S);
+ProcessRunning condition prob = 0.7;
+
+tree Shutdown;
+toplevel Shutdown_top;
+Shutdown_top or MaintenanceTrip TestTrip;
+MaintenanceTrip prob = 1 - exp(-0.4 / M);
+TestTrip prob = 1 - exp(-0.1 / S);
+
+hazard Overheat cost = 25e6;
+hazard Shutdown cost = 150000;
+solver differential_evolution seed = 7 max_iterations = 60;
+engine fta method = min_cut_upper_bound;
+formula rare_event;
+)";
+
+TEST(StudyDocumentTest, AssemblesSpaceCostModelAndSelections) {
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const Study study = Study::from_document(doc);
+
+  ASSERT_EQ(study.space().size(), 2u);
+  EXPECT_EQ(study.space()[0].name, "M");
+  EXPECT_EQ(study.space()[0].lower, 4.0);
+  EXPECT_EQ(study.space()[0].upper, 52.0);
+  EXPECT_EQ(study.space()[0].unit, "weeks");
+  EXPECT_EQ(study.space()[1].name, "S");
+
+  ASSERT_EQ(study.model().hazard_count(), 2u);
+  EXPECT_EQ(study.model().hazard(0).name, "Overheat");
+  EXPECT_EQ(study.model().hazard(0).cost, 25e6);
+  EXPECT_EQ(study.model().hazard(1).name, "Shutdown");
+
+  EXPECT_EQ(study.solver_name(), "differential_evolution");
+  EXPECT_EQ(study.engine_name(), "fta");
+}
+
+TEST(StudyDocumentTest, CostModelMatchesTheDocumentExpressions) {
+  // The cost model's hazard probabilities must equal the hazard expression
+  // assembled from the document's own trees and leaves.
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const Study study = Study::from_document(doc);
+
+  const expr::ParameterAssignment at{{"M", 26.0}, {"S", 8.0}};
+  const ftio::TreeModel* shutdown = doc.find_tree("Shutdown");
+  ASSERT_NE(shutdown, nullptr);
+  // Shutdown is a pure OR of two events: rare-event P = p1 + p2.
+  const double p1 =
+      shutdown->find_leaf("MaintenanceTrip")->probability.evaluate(at);
+  const double p2 = shutdown->find_leaf("TestTrip")->probability.evaluate(at);
+  EXPECT_DOUBLE_EQ(
+      study.model().hazard_by_name("Shutdown").probability.evaluate(at),
+      p1 + p2);
+
+  const auto result = study.evaluate_at(at);
+  EXPECT_EQ(result.hazard_probabilities.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.cost,
+                   study.model().cost_expression().evaluate(at));
+}
+
+TEST(StudyDocumentTest, QuantifyWorksOutOfTheBoxOnEveryEngine) {
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const expr::ParameterAssignment at{{"M", 20.0}, {"S", 5.0}};
+
+  // The document selects "fta" with the min-cut upper bound.
+  Study study = Study::from_document(doc);
+  const double expression_value =
+      study.model().hazard_by_name("Overheat").probability.evaluate(at);
+  const auto fta = study.quantify("Overheat", at);
+  EXPECT_GT(fta.probability, 0.0);
+
+  // Swap to the exact BDD engine — same attached trees, no re-assembly.
+  study.engine("bdd");
+  const auto bdd = study.quantify("Overheat", at);
+  // Rare-event expression vs exact Shannon: close but not equal (the
+  // rare-event sum overestimates; at these leaf probabilities by a few %).
+  EXPECT_NEAR(bdd.probability, expression_value, 0.1 * expression_value);
+  EXPECT_LE(bdd.probability, fta.probability);
+}
+
+TEST(StudyDocumentTest, CopiesShareTheOwnedModel) {
+  std::optional<Study> copy;
+  {
+    const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+    const Study original = Study::from_document(doc);
+    copy = original;
+    // `doc` and `original` die here; the copy must keep the trees alive.
+  }
+  const auto q =
+      copy->quantify("Shutdown", {{"M", 10.0}, {"S", 4.0}});
+  EXPECT_GT(q.probability, 0.0);
+  EXPECT_LT(q.probability, 1.0);
+}
+
+TEST(StudyDocumentTest, RunUsesTheDocumentSolver) {
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const Study study = Study::from_document(doc);
+  const auto result = study.run();
+  // DE with seed 7, 60 generations: an interior optimum exists (wear-out
+  // risk grows with the intervals, trip risk shrinks).
+  EXPECT_GT(result.optimal_parameters.get("M"), 4.0);
+  EXPECT_LT(result.optimal_parameters.get("M"), 52.0);
+  EXPECT_GT(result.cost, 0.0);
+  EXPECT_EQ(result.hazard_probabilities.size(), 2u);
+}
+
+TEST(StudyDocumentTest, MinCutFormulaChangesTheAssembledExpression) {
+  std::string text(kDocument);
+  const auto pos = text.find("formula rare_event");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("formula rare_event").size(),
+               "formula min_cut_upper_bound");
+  const Study rare = Study::from_document(ftio::parse_study(kDocument));
+  const Study mcub = Study::from_document(ftio::parse_study(text));
+  const expr::ParameterAssignment at{{"M", 40.0}, {"S", 20.0}};
+  const double p_rare =
+      rare.model().hazard_by_name("Overheat").probability.evaluate(at);
+  const double p_mcub =
+      mcub.model().hazard_by_name("Overheat").probability.evaluate(at);
+  // Rare-event sums cut probabilities; the min-cut bound is tighter.
+  EXPECT_LT(p_mcub, p_rare);
+  EXPECT_NEAR(p_mcub, p_rare, 0.15 * p_rare);
+}
+
+TEST(StudyDocumentTest, RejectsDocumentsWithoutHazards) {
+  const ftio::StudyDocument doc = ftio::parse_study(
+      "toplevel t;\nt or a;\na prob = 0.1;\n");
+  try {
+    (void)Study::from_document(doc);
+    FAIL();
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("no hazards"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StudyDocumentTest, DocumentOptionsSurviveInTheStudyConfigs) {
+  // The CLI layers --extra/--seed/--engine overrides on top of
+  // solver_config()/engine_config(); the document's options must be
+  // visible there.
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const Study study = Study::from_document(doc);
+  EXPECT_EQ(study.solver_config().seed.value_or(0), 7u);
+  EXPECT_EQ(study.solver_config().max_iterations, 60u);
+  EXPECT_EQ(study.engine_config().method,
+            fta::ProbabilityMethod::kMinCutUpperBound);
+}
+
+TEST(StudyDocumentTest, FormulaSeedsTheEngineMethodWithoutAnEngineSection) {
+  // `formula min_cut_upper_bound;` with no engine section: quantify()
+  // must use the same bound the cost model was assembled with.
+  const std::string text =
+      "param X in [0, 1];\ntoplevel t;\nt or a b;\n"
+      "a prob = 0.3 * X;\nb prob = 0.4 * X;\n"
+      "hazard fault-tree cost = 1;\nformula min_cut_upper_bound;\n";
+  const Study study = Study::from_document(ftio::parse_study(text));
+  EXPECT_EQ(study.engine_config().method,
+            fta::ProbabilityMethod::kMinCutUpperBound);
+  const expr::ParameterAssignment at{{"X", 1.0}};
+  // fta engine with MCUB on {a}, {b}: 1 - (1-0.3)(1-0.4) = 0.58 — equal to
+  // the document's own cost-model expression, not the rare-event 0.7.
+  const auto q = study.quantify("fault-tree", at);
+  EXPECT_DOUBLE_EQ(q.probability,
+                   study.model().hazard(0).probability.evaluate(at));
+  EXPECT_DOUBLE_EQ(q.probability, 1.0 - 0.7 * 0.6);
+}
+
+TEST(StudyDocumentTest, RejectsDocumentsWithoutParameters) {
+  const ftio::StudyDocument doc = ftio::parse_study(
+      "toplevel t;\nt or a;\na prob = 0.1;\nhazard fault-tree cost = 1;\n");
+  try {
+    (void)Study::from_document(doc);
+    FAIL();
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("no free parameters"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StudyDocumentTest, RejectsUnknownSolverAndEngine) {
+  const std::string base =
+      "param X in [0, 1];\ntoplevel t;\nt or a;\na prob = 0.1 * X;\n"
+      "hazard fault-tree cost = 1;\n";
+  EXPECT_THROW((void)Study::from_document(
+                   ftio::parse_study(base + "solver warp_drive;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Study::from_document(
+                   ftio::parse_study(base + "engine quantum;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Study::from_document(ftio::parse_study(
+                   base + "engine fta method = exact;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Study::from_document(ftio::parse_study(
+                   base + "engine mc trials = 3.5;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)Study::from_document(ftio::parse_study(
+                   base + "solver nelder_mead seed = -1;\n")),
+               std::invalid_argument);
+  // A numeric-looking typo must not silently become an ignored string
+  // extra ("8x" lexes as an identifier in the document grammar).
+  EXPECT_THROW((void)Study::from_document(ftio::parse_study(
+                   base + "solver multi_start starts = 8x;\n")),
+               std::invalid_argument);
+}
+
+TEST(StudyDocumentTest, SelectionHelpersMirrorFromDocument) {
+  const ftio::StudyDocument doc = ftio::parse_study(kDocument);
+  const auto solver = document_solver_selection(doc);
+  ASSERT_TRUE(solver.has_value());
+  EXPECT_EQ(solver->name, "differential_evolution");
+  EXPECT_EQ(solver->config.seed.value_or(0), 7u);
+  const auto [engine_name, engine_config] = document_engine_selection(doc);
+  EXPECT_EQ(engine_name, "fta");
+  EXPECT_EQ(engine_config.method,
+            fta::ProbabilityMethod::kMinCutUpperBound);
+
+  // No sections at all: nullopt solver, default engine with the formula-
+  // derived method — usable by engine-only callers (constant models).
+  const ftio::StudyDocument bare = ftio::parse_study(
+      "toplevel t;\nt or a;\na prob = 0.1;\nformula min_cut_upper_bound;\n");
+  EXPECT_FALSE(document_solver_selection(bare).has_value());
+  const auto [bare_name, bare_config] = document_engine_selection(bare);
+  EXPECT_EQ(bare_name, "fta");
+  EXPECT_EQ(bare_config.method,
+            fta::ProbabilityMethod::kMinCutUpperBound);
+}
+
+TEST(StudyDocumentTest, SolverOptionsMapOntoTypedConfigFields) {
+  // Reserved keys land in the typed fields (seed consumed by DE), extras
+  // in the typed extras (starts consumed by multi_start).
+  const std::string base =
+      "param X in [0, 1];\ntoplevel t;\nt or a;\na prob = 0.2 * X;\n"
+      "hazard fault-tree cost = 1;\n";
+  const Study a = Study::from_document(
+      ftio::parse_study(base + "solver differential_evolution seed = 3;\n"));
+  const Study b = Study::from_document(
+      ftio::parse_study(base + "solver differential_evolution seed = 4;\n"));
+  const auto result_a = a.run();
+  const auto result_a2 = a.run();
+  const auto result_b = b.run();
+  // Same seed: identical trajectory; both find the boundary optimum X = 0.
+  EXPECT_EQ(result_a.optimization.value, result_a2.optimization.value);
+  EXPECT_NEAR(result_a.optimal_parameters.get("X"),
+              result_b.optimal_parameters.get("X"), 1e-6);
+}
+
+}  // namespace
+}  // namespace safeopt::core

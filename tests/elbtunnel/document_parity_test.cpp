@@ -1,0 +1,161 @@
+// Acceptance gate for the declarative pipeline: the shipped
+// examples/models/elbtunnel.ft, loaded through ftio::load_study +
+// core::Study::from_document, must be *bit-identical* to the compiled-in
+// elbtunnel::ElbtunnelModel fault-tree derivation — the same minimal cut
+// sets, the same hazard expression values at every probed point, and the
+// same optimum from the same solver and seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "safeopt/core/parameterized_fta.h"
+#include "safeopt/core/study.h"
+#include "safeopt/elbtunnel/elbtunnel_model.h"
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/ftio/study_document.h"
+
+namespace safeopt::elbtunnel {
+namespace {
+
+std::string model_path() {
+  return std::string(SAFEOPT_SOURCE_DIR) + "/examples/models/elbtunnel.ft";
+}
+
+/// The compiled-in reference: both trees with their parameterized
+/// quantifications, and the cost model assembled from the *fault-tree*
+/// hazard expressions (the same construction from_document uses).
+struct Reference {
+  ElbtunnelModel model;
+  fta::FaultTree collision;
+  fta::FaultTree false_alarm;
+  core::ParameterizedQuantification collision_q;
+  core::ParameterizedQuantification false_alarm_q;
+
+  Reference()
+      : collision(model.collision_tree()),
+        false_alarm(model.false_alarm_tree()),
+        collision_q(model.collision_quantification(collision)),
+        false_alarm_q(model.false_alarm_quantification(false_alarm)) {}
+
+  [[nodiscard]] core::Study study() const {
+    core::CostModel cost;
+    cost.add_hazard({"HCol", collision_q.hazard_expression(),
+                     model.parameters().cost_collision});
+    cost.add_hazard({"HAlr", false_alarm_q.hazard_expression(),
+                     model.parameters().cost_false_alarm});
+    return core::Study(std::move(cost), model.parameter_space());
+  }
+};
+
+std::vector<expr::ParameterAssignment> probe_points() {
+  std::vector<expr::ParameterAssignment> points;
+  for (double t1 = 5.0; t1 <= 40.0; t1 += 3.5) {
+    for (double t2 = 5.0; t2 <= 40.0; t2 += 3.5) {
+      points.push_back({{"T1", t1}, {"T2", t2}});
+    }
+  }
+  return points;
+}
+
+TEST(DocumentParityTest, SameMinimalCutSets) {
+  const ftio::StudyDocument doc = ftio::load_study(model_path());
+  const Reference ref;
+
+  const ftio::TreeModel* hcol = doc.find_tree("HCol");
+  const ftio::TreeModel* halr = doc.find_tree("HAlr");
+  ASSERT_NE(hcol, nullptr);
+  ASSERT_NE(halr, nullptr);
+
+  const auto mcs_doc_col = fta::minimal_cut_sets(hcol->tree);
+  const auto mcs_ref_col = fta::minimal_cut_sets(ref.collision);
+  // Ordinal-level equality (not just names): the document was authored so
+  // leaf creation order matches the C++ construction, which is what makes
+  // the assembled expressions — and their floating-point evaluation order —
+  // identical.
+  EXPECT_EQ(mcs_doc_col.sets(), mcs_ref_col.sets());
+  EXPECT_EQ(mcs_doc_col.to_string(hcol->tree),
+            mcs_ref_col.to_string(ref.collision));
+
+  const auto mcs_doc_alr = fta::minimal_cut_sets(halr->tree);
+  const auto mcs_ref_alr = fta::minimal_cut_sets(ref.false_alarm);
+  EXPECT_EQ(mcs_doc_alr.sets(), mcs_ref_alr.sets());
+  EXPECT_EQ(mcs_doc_alr.to_string(halr->tree),
+            mcs_ref_alr.to_string(ref.false_alarm));
+}
+
+TEST(DocumentParityTest, HazardExpressionValuesAreBitIdentical) {
+  const core::Study loaded = core::Study::from_file(model_path());
+  const Reference ref;
+  const core::Study reference = ref.study();
+
+  for (const auto& at : probe_points()) {
+    const auto loaded_result = loaded.evaluate_at(at);
+    const auto reference_result = reference.evaluate_at(at);
+    ASSERT_EQ(loaded_result.hazard_probabilities.size(), 2u);
+    // Bitwise: same expression structure, same evaluation order.
+    EXPECT_EQ(loaded_result.hazard_probabilities,
+              reference_result.hazard_probabilities)
+        << "T1=" << at.get("T1") << " T2=" << at.get("T2");
+    EXPECT_EQ(loaded_result.cost, reference_result.cost);
+  }
+}
+
+TEST(DocumentParityTest, SameOptimumFromTheSameSolverAndSeed) {
+  const core::Study loaded = core::Study::from_file(model_path());
+  const Reference ref;
+  const core::Study reference = ref.study();
+
+  opt::SolverConfig config;
+  config.seed = 42;
+  const auto loaded_opt =
+      core::Study(loaded).solver("differential_evolution", config).run();
+  const auto reference_opt =
+      core::Study(reference).solver("differential_evolution", config).run();
+
+  EXPECT_EQ(loaded_opt.optimization.value, reference_opt.optimization.value);
+  EXPECT_EQ(loaded_opt.optimization.argmin,
+            reference_opt.optimization.argmin);
+  EXPECT_EQ(loaded_opt.cost, reference_opt.cost);
+  EXPECT_EQ(loaded_opt.hazard_probabilities,
+            reference_opt.hazard_probabilities);
+
+  // And the optimum is the paper's: T1 ≈ 19, T2 ≈ 15.6.
+  EXPECT_NEAR(loaded_opt.optimal_parameters.get("T1"), 19.0, 1.0);
+  EXPECT_NEAR(loaded_opt.optimal_parameters.get("T2"), 15.6, 1.0);
+}
+
+TEST(DocumentParityTest, EngineQuantificationMatchesAtTheOptimum) {
+  core::Study loaded = core::Study::from_file(model_path());
+  const Reference ref;
+
+  core::Study reference = ref.study();
+  reference.hazard_tree("HCol", ref.collision, ref.collision_q)
+      .hazard_tree("HAlr", ref.false_alarm, ref.false_alarm_q);
+
+  const expr::ParameterAssignment optimum{{"T1", 19.0}, {"T2", 15.6}};
+  for (const char* engine : {"fta", "bdd"}) {
+    loaded.engine(engine);
+    reference.engine(engine);
+    for (const char* hazard : {"HCol", "HAlr"}) {
+      const auto a = loaded.quantify(hazard, optimum);
+      const auto b = reference.quantify(hazard, optimum);
+      EXPECT_EQ(a.probability, b.probability)
+          << engine << "/" << hazard;  // bitwise
+    }
+  }
+}
+
+TEST(DocumentParityTest, DocumentDefaultsMatchTheCompiledInDefaults) {
+  const ftio::StudyDocument doc = ftio::load_study(model_path());
+  ASSERT_TRUE(doc.solver.has_value());
+  EXPECT_EQ(doc.solver->name, "multi_start");
+  const core::Study loaded = core::Study::from_document(doc);
+  EXPECT_EQ(loaded.solver_name(), "multi_start");
+  EXPECT_EQ(loaded.engine_name(), "fta");
+  EXPECT_EQ(loaded.space().names(),
+            ElbtunnelModel().parameter_space().names());
+}
+
+}  // namespace
+}  // namespace safeopt::elbtunnel

@@ -1,0 +1,189 @@
+// Property test: parse_study ∘ write_study = id over randomly generated
+// documents — random fault trees covering AND/OR/XOR/k-of-n/INHIBIT with
+// shared subtrees, plus the grammar-v2 forms (param declarations,
+// expression-valued leaves, hazards, solver/engine/formula sections).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testutil/random_tree.h"
+#include "safeopt/expr/parse.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/stats/distribution.h"
+#include "safeopt/support/rng.h"
+
+namespace safeopt::ftio {
+namespace {
+
+/// A random leaf-probability expression over the declared parameters:
+/// exercises every parseable node kind (constants, parameters, arithmetic,
+/// exp/min/max/pow, distribution cdf/survival).
+expr::Expr random_probability_expression(Rng& rng,
+                                         const std::vector<std::string>&
+                                             params) {
+  const expr::Expr p =
+      expr::parameter(params[static_cast<std::size_t>(
+          uniform_index(rng, params.size()))]);
+  switch (uniform_index(rng, 6)) {
+    case 0: return expr::constant(uniform(rng, 0.01, 0.3));
+    case 1:
+      return expr::survival(
+          std::make_shared<stats::TruncatedNormal>(
+              stats::TruncatedNormal::nonnegative(uniform(rng, 2.0, 6.0),
+                                                  uniform(rng, 1.0, 3.0))),
+          p);
+    case 2:
+      return 1.0 - expr::exp(expr::constant(-uniform(rng, 0.01, 0.2)) * p);
+    case 3:
+      return expr::cdf(
+          std::make_shared<stats::Weibull>(uniform(rng, 1.0, 3.0),
+                                           uniform(rng, 20.0, 60.0)),
+          p);
+    case 4:
+      return expr::min(expr::constant(uniform(rng, 0.1, 0.9)),
+                       expr::pow(p / 50.0, 2.0));
+    default:
+      return expr::clamp(uniform(rng, 0.001, 0.01) * expr::sqrt(p), 0.0,
+                         1.0);
+  }
+}
+
+StudyDocument random_document(std::uint64_t seed) {
+  Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  StudyDocument doc;
+  doc.parameters = {
+      {"T1", 5.0, 40.0, "min", "runtime of timer 1"},
+      {"T2", 5.0, 40.0, "min", ""},
+      {"M", 1.0, 52.0, "", "maintenance interval"},
+  };
+  const std::vector<std::string> params = {"T1", "T2", "M"};
+
+  const std::size_t tree_count = 1 + uniform_index(rng, 2);
+  for (std::size_t t = 0; t < tree_count; ++t) {
+    testutil::RandomTreeOptions options;
+    options.basic_events = 4 + uniform_index(rng, 4);
+    options.conditions = uniform_index(rng, 3);
+    options.gates = 3 + uniform_index(rng, 4);
+    options.allow_xor = uniform_index(rng, 2) == 0;
+    options.allow_kofn = true;
+    TreeModel model{testutil::random_tree(seed * 7 + t, options), {}};
+    for (const fta::NodeId id : model.tree.basic_events()) {
+      model.leaves.push_back({model.tree.node_name(id), false,
+                              random_probability_expression(rng, params)});
+    }
+    for (const fta::NodeId id : model.tree.conditions()) {
+      model.leaves.push_back({model.tree.node_name(id), true,
+                              expr::constant(uniform(rng, 0.3, 1.0))});
+    }
+    doc.trees.push_back(std::move(model));
+    doc.hazards.push_back(
+        {doc.trees.back().tree.name(), uniform(rng, 1.0, 1e6)});
+  }
+
+  SelectionDecl solver;
+  solver.name = "multi_start";
+  solver.options.emplace_back(
+      "starts",
+      OptionValue::of(static_cast<double>(2 + uniform_index(rng, 6))));
+  solver.options.emplace_back("inner", OptionValue::of("nelder_mead"));
+  doc.solver = std::move(solver);
+  SelectionDecl engine;
+  engine.name = uniform_index(rng, 2) == 0 ? "fta" : "bdd";
+  doc.engine = std::move(engine);
+  doc.formula = uniform_index(rng, 2) == 0
+                    ? std::string("rare_event")
+                    : std::string("min_cut_upper_bound");
+  return doc;
+}
+
+/// Structural tree equality by names — node ordinals may permute between a
+/// document and its reparse, so compare the name-keyed structure.
+void expect_same_tree(const fta::FaultTree& a, const fta::FaultTree& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.basic_event_count(), b.basic_event_count());
+  EXPECT_EQ(a.condition_count(), b.condition_count());
+  ASSERT_TRUE(a.has_top() && b.has_top());
+  EXPECT_EQ(a.node_name(a.top()), b.node_name(b.top()));
+  for (fta::NodeId id = 0; id < a.node_count(); ++id) {
+    const auto other = b.find(a.node_name(id));
+    ASSERT_TRUE(other.has_value()) << "missing node " << a.node_name(id);
+    EXPECT_EQ(a.kind(id), b.kind(*other));
+    if (a.kind(id) != fta::NodeKind::kGate) continue;
+    EXPECT_EQ(a.gate_type(id), b.gate_type(*other));
+    if (a.gate_type(id) == fta::GateType::kKofN) {
+      EXPECT_EQ(a.vote_threshold(id), b.vote_threshold(*other));
+    }
+    const auto children_a = a.children(id);
+    const auto children_b = b.children(*other);
+    ASSERT_EQ(children_a.size(), children_b.size());
+    for (std::size_t c = 0; c < children_a.size(); ++c) {
+      EXPECT_EQ(a.node_name(children_a[c]), b.node_name(children_b[c]));
+    }
+  }
+}
+
+class StudyRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StudyRoundTrip, ParseOfWriteReproducesTheDocument) {
+  const StudyDocument original = random_document(GetParam());
+  const std::string text = write_study(original);
+  const StudyDocument reparsed = parse_study(text);
+
+  // Parameters: equal in order and metadata.
+  ASSERT_EQ(reparsed.parameters.size(), original.parameters.size());
+  for (std::size_t i = 0; i < original.parameters.size(); ++i) {
+    EXPECT_EQ(reparsed.parameters[i].name, original.parameters[i].name);
+    EXPECT_EQ(reparsed.parameters[i].lower, original.parameters[i].lower);
+    EXPECT_EQ(reparsed.parameters[i].upper, original.parameters[i].upper);
+    EXPECT_EQ(reparsed.parameters[i].unit, original.parameters[i].unit);
+    EXPECT_EQ(reparsed.parameters[i].description,
+              original.parameters[i].description);
+  }
+
+  // Trees: same structure, and every leaf expression structurally
+  // identical (parse ∘ print on the expression layer).
+  ASSERT_EQ(reparsed.trees.size(), original.trees.size());
+  for (const TreeModel& tree : original.trees) {
+    const TreeModel* other = reparsed.find_tree(tree.tree.name());
+    ASSERT_NE(other, nullptr) << tree.tree.name();
+    expect_same_tree(tree.tree, other->tree);
+    for (const LeafProbability& leaf : tree.leaves) {
+      const LeafProbability* counterpart = other->find_leaf(leaf.name);
+      ASSERT_NE(counterpart, nullptr) << leaf.name;
+      EXPECT_EQ(counterpart->is_condition, leaf.is_condition);
+      EXPECT_TRUE(expr::structurally_equal(counterpart->probability,
+                                           leaf.probability))
+          << leaf.name << ": " << leaf.probability.to_string() << " vs "
+          << counterpart->probability.to_string();
+    }
+  }
+
+  // Hazards and selections.
+  ASSERT_EQ(reparsed.hazards.size(), original.hazards.size());
+  for (std::size_t i = 0; i < original.hazards.size(); ++i) {
+    EXPECT_EQ(reparsed.hazards[i].tree, original.hazards[i].tree);
+    EXPECT_EQ(reparsed.hazards[i].cost, original.hazards[i].cost);
+  }
+  ASSERT_EQ(reparsed.solver.has_value(), original.solver.has_value());
+  EXPECT_EQ(reparsed.solver->name, original.solver->name);
+  EXPECT_EQ(reparsed.solver->options, original.solver->options);
+  ASSERT_EQ(reparsed.engine.has_value(), original.engine.has_value());
+  EXPECT_EQ(reparsed.engine->name, original.engine->name);
+  EXPECT_EQ(reparsed.engine->options, original.engine->options);
+  EXPECT_EQ(reparsed.formula, original.formula);
+
+  // Idempotence: a second write/parse trip is stable textually (the first
+  // trip canonicalizes node order to the builder's discovery order).
+  const std::string canonical = write_study(reparsed);
+  const StudyDocument again = parse_study(canonical);
+  EXPECT_EQ(write_study(again), canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StudyRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace safeopt::ftio

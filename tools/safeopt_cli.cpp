@@ -1,0 +1,475 @@
+// safeopt — drive the whole optimization pipeline from the shell.
+//
+//   safeopt validate <model.ft>               parse + semantic summary
+//   safeopt quantify <model.ft> [options]     quantify hazards at a point
+//   safeopt run      <model.ft> [options]     optimize, report the optimum
+//
+// Options (run/quantify):
+//   --solver NAME     override the document's solver (registry name)
+//   --engine NAME     override the document's engine (fta | bdd | mc | ...)
+//   --extra K=V       solver extra (repeatable; e.g. --extra starts=16)
+//   --seed N          solver seed (shorthand for a reserved extra)
+//   --at NAME=VALUE   evaluation point (repeatable; quantify defaults to
+//                     the box center, run evaluates at the found optimum)
+//   --json            machine-readable output on stdout
+//
+// Every engine × solver × model combination the registries know is
+// reachable from here; models are files, not binaries (docs/model_format.md).
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "safeopt/core/quantification_engine.h"
+#include "safeopt/core/study.h"
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/ftio/parser.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/opt/solver.h"
+#include "safeopt/support/strings.h"
+
+namespace {
+
+using namespace safeopt;
+
+struct Options {
+  std::string command;
+  std::string model;
+  std::optional<std::string> solver;
+  std::optional<std::string> engine;
+  std::vector<std::string> extras;          // key=value
+  std::optional<std::uint64_t> seed;
+  std::vector<std::pair<std::string, double>> at;
+  bool json = false;
+};
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "safeopt: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: safeopt <command> <model.ft> [options]\n"
+      "\n"
+      "commands:\n"
+      "  validate   parse the model and report its structure\n"
+      "  quantify   quantify every hazard at a parameter point\n"
+      "  run        minimize the cost function, report the optimum\n"
+      "\n"
+      "options:\n"
+      "  --solver NAME     solver registry name (overrides the document)\n"
+      "  --engine NAME     quantification engine (overrides the document)\n"
+      "  --extra K=V       solver extra, repeatable (e.g. starts=16)\n"
+      "  --seed N          solver seed\n"
+      "  --at NAME=VALUE   evaluation point component, repeatable\n"
+      "  --json            machine-readable output\n");
+  return 2;
+}
+
+std::optional<Options> parse_arguments(int argc, char** argv) {
+  if (argc < 3) return std::nullopt;
+  Options options;
+  options.command = argv[1];
+  options.model = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(concat(arg, " expects a value"));
+      }
+      return argv[++i];
+    };
+    if (arg == "--solver") {
+      options.solver = value();
+    } else if (arg == "--engine") {
+      options.engine = value();
+    } else if (arg == "--extra") {
+      options.extras.emplace_back(value());
+    } else if (arg == "--seed") {
+      // std::from_chars, not strtoull: strtoull silently negates "-1" and
+      // clamps overflow to ULLONG_MAX, so the reported-reproducible seed
+      // would not be the one the user passed.
+      const std::string_view text = value();
+      std::uint64_t seed = 0;
+      const auto [end, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), seed);
+      if (ec != std::errc{} || end != text.data() + text.size()) {
+        throw std::invalid_argument(
+            concat("--seed expects a non-negative 64-bit integer, got \"",
+                   text, "\""));
+      }
+      options.seed = seed;
+    } else if (arg == "--at") {
+      const std::string_view pair = value();
+      const std::size_t equals = pair.find('=');
+      if (equals == std::string_view::npos || equals == 0 ||
+          equals + 1 == pair.size()) {
+        throw std::invalid_argument(
+            concat("--at expects NAME=VALUE, got \"", pair, "\""));
+      }
+      char* end = nullptr;
+      const std::string value_text(pair.substr(equals + 1));
+      const double v = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        throw std::invalid_argument(
+            concat("--at expects a numeric value, got \"", pair, "\""));
+      }
+      options.at.emplace_back(std::string(pair.substr(0, equals)), v);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else {
+      throw std::invalid_argument(concat("unknown option \"", arg, "\""));
+    }
+  }
+  return options;
+}
+
+/// Applies --solver/--extra/--seed on top of the document's selections.
+core::Study configure_study(const ftio::StudyDocument& doc,
+                            const Options& options) {
+  core::Study study = core::Study::from_document(doc);
+  if (options.solver.has_value() || !options.extras.empty() ||
+      options.seed.has_value()) {
+    std::string name;
+    opt::SolverConfig config;
+    if (options.solver.has_value()) {
+      // A fresh solver choice starts from that solver's legacy-equivalent
+      // defaults, not from another solver's document options.
+      const auto resolved = core::resolve_solver(*options.solver);
+      if (!resolved.has_value()) {
+        throw std::invalid_argument(
+            concat("unknown solver \"", *options.solver, "\"; available: ",
+                   join(opt::SolverRegistry::available(), ", ")));
+      }
+      name = resolved->name;
+      config = resolved->config;
+    } else {
+      // Only extras/seed given: layer them on the document's selection.
+      name = study.solver_name();
+      config = study.solver_config();
+    }
+    for (const std::string& extra : options.extras) {
+      config.set_extra_argument(extra);
+    }
+    if (options.seed.has_value()) config.seed = *options.seed;
+    study.solver(std::move(name), std::move(config));
+  }
+  if (options.engine.has_value()) {
+    if (!core::EngineRegistry::contains(*options.engine)) {
+      throw std::invalid_argument(
+          concat("unknown engine \"", *options.engine, "\"; available: ",
+                 join(core::EngineRegistry::available(), ", ")));
+    }
+    // Keep the document's engine options (trials, seed, formula-derived
+    // method); only the backend changes.
+    study.engine(*options.engine, study.engine_config());
+  }
+  return study;
+}
+
+expr::ParameterAssignment evaluation_point(const core::Study& study,
+                                           const Options& options) {
+  // Default: the box center; --at components override per axis.
+  expr::ParameterAssignment at;
+  for (std::size_t i = 0; i < study.space().size(); ++i) {
+    const auto& parameter = study.space()[i];
+    at.set(parameter.name, 0.5 * (parameter.lower + parameter.upper));
+  }
+  for (const auto& [name, value] : options.at) {
+    if (!study.space().index_of(name).has_value()) {
+      throw std::invalid_argument(
+          concat("--at names unknown parameter \"", name, "\" (declared: ",
+                 join(study.space().names(), ", "), ")"));
+    }
+    at.set(name, value);
+  }
+  return at;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+using HazardResults =
+    std::vector<std::pair<std::string, core::QuantificationResult>>;
+
+void print_hazard_results(const HazardResults& results,
+                          std::string_view engine_name, bool json) {
+  bool first = true;
+  if (json) std::printf("  \"hazards\": [");
+  for (const auto& [hazard, result] : results) {
+    if (json) {
+      std::printf("%s\n    {\"hazard\": \"%s\", \"probability\": %.17g",
+                  first ? "" : ",", json_escape(hazard).c_str(),
+                  result.probability);
+      if (result.ci95.has_value()) {
+        std::printf(", \"ci95\": [%.17g, %.17g], \"trials\": %" PRIu64,
+                    result.ci95->lo, result.ci95->hi, result.trials);
+      }
+      std::printf("}");
+    } else {
+      std::printf("  P(%s) = %.6e", hazard.c_str(), result.probability);
+      if (result.ci95.has_value()) {
+        std::printf("   95%% CI [%.6e, %.6e], %" PRIu64 " trials",
+                    result.ci95->lo, result.ci95->hi, result.trials);
+      }
+      std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("\n  ],\n");
+}
+
+HazardResults quantify_hazards(const core::Study& study,
+                               const ftio::StudyDocument& doc,
+                               const expr::ParameterAssignment& at) {
+  HazardResults results;
+  for (const ftio::HazardDecl& hazard : doc.hazards) {
+    results.emplace_back(hazard.tree, study.quantify(hazard.tree, at));
+  }
+  return results;
+}
+
+/// Quantification for a constant (parameter-less, v1-style) model: no
+/// Study, just the engines on the numeric leaf probabilities.
+int quantify_constant_model(const ftio::StudyDocument& doc,
+                            const Options& options) {
+  if (!options.at.empty()) {
+    throw std::invalid_argument(
+        "--at given, but the model declares no free parameters");
+  }
+  if (options.solver.has_value() || !options.extras.empty() ||
+      options.seed.has_value()) {
+    throw std::invalid_argument(
+        "--solver/--extra/--seed have no effect when quantifying a "
+        "constant model (no free parameters, nothing to optimize)");
+  }
+  auto [engine_name, engine_config] = core::document_engine_selection(doc);
+  if (options.engine.has_value()) {
+    if (!core::EngineRegistry::contains(*options.engine)) {
+      throw std::invalid_argument(
+          concat("unknown engine \"", *options.engine, "\"; available: ",
+                 join(core::EngineRegistry::available(), ", ")));
+    }
+    engine_name = *options.engine;
+  }
+  HazardResults results;
+  double cost = 0.0;
+  for (const ftio::HazardDecl& hazard : doc.hazards) {
+    const ftio::TreeModel* model = doc.find_tree(hazard.tree);
+    fta::QuantificationInput input =
+        fta::QuantificationInput::for_tree(model->tree, 0.0);
+    for (const ftio::LeafProbability& leaf : model->leaves) {
+      input.set(model->tree, leaf.name, leaf.probability.evaluate({}));
+    }
+    const auto engine = core::EngineRegistry::create(engine_name, model->tree,
+                                                     engine_config);
+    results.emplace_back(hazard.tree, engine->quantify(input));
+    cost += hazard.cost * results.back().second.probability;
+  }
+  if (options.json) {
+    std::printf("{\n  \"model\": \"%s\",\n  \"engine\": \"%s\",\n",
+                json_escape(doc.source).c_str(), engine_name.c_str());
+    print_hazard_results(results, engine_name, true);
+    std::printf("  \"cost\": %.17g\n}\n", cost);
+  } else {
+    std::printf("%s (constant model):\n",
+                doc.source.empty() ? "<memory>" : doc.source.c_str());
+    print_hazard_results(results, engine_name, false);
+    std::printf("  expected cost = %.6e\n", cost);
+  }
+  return 0;
+}
+
+int run_validate(const ftio::StudyDocument& doc, const Options& options) {
+  // Structural validation beyond the parser's own checks.
+  std::vector<std::string> problems;
+  for (const ftio::TreeModel& model : doc.trees) {
+    for (const std::string& problem : model.tree.validate()) {
+      problems.push_back(concat("tree ", model.tree.name(), ": ", problem));
+    }
+  }
+  if (doc.hazards.empty()) {
+    problems.emplace_back(
+        "no hazards declared; `safeopt run` needs at least one "
+        "\"hazard <tree> cost = <c>;\"");
+  }
+  // The document must also *assemble*: section names resolve against the
+  // registries and, with parameters and hazards present, the whole Study
+  // builds — so `safeopt run` on a validated parameterized model cannot
+  // fail to load. A constant model (no params) is valid for `quantify`
+  // only; that limitation is surfaced as a note, not a failure.
+  std::vector<std::string> notes;
+  try {
+    (void)core::document_solver_selection(doc);
+    (void)core::document_engine_selection(doc);
+    if (!doc.parameters.empty() && !doc.hazards.empty()) {
+      (void)core::Study::from_document(doc);
+    } else if (doc.parameters.empty() && !doc.hazards.empty()) {
+      notes.emplace_back(
+          "constant model (no `param` declarations): `safeopt quantify` "
+          "works, `safeopt run` needs free parameters");
+    }
+  } catch (const std::invalid_argument& error) {
+    problems.emplace_back(error.what());
+  }
+  if (options.json) {
+    std::printf("{\n  \"model\": \"%s\",\n  \"parameters\": %zu,\n"
+                "  \"trees\": %zu,\n  \"hazards\": %zu,\n  \"problems\": [",
+                json_escape(doc.source).c_str(), doc.parameters.size(),
+                doc.trees.size(), doc.hazards.size());
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      std::printf("%s\n    \"%s\"", i > 0 ? "," : "",
+                  json_escape(problems[i]).c_str());
+    }
+    std::printf("%s],\n  \"valid\": %s\n}\n", problems.empty() ? "" : "\n  ",
+                problems.empty() ? "true" : "false");
+  } else {
+    std::printf("%s: %zu parameter(s), %zu tree(s), %zu hazard(s)\n",
+                doc.source.empty() ? "<memory>" : doc.source.c_str(),
+                doc.parameters.size(), doc.trees.size(), doc.hazards.size());
+    for (const ftio::ParameterDecl& parameter : doc.parameters) {
+      std::printf("  param %s in [%g, %g]%s%s\n", parameter.name.c_str(),
+                  parameter.lower, parameter.upper,
+                  parameter.unit.empty() ? "" : " ",
+                  parameter.unit.c_str());
+    }
+    for (const ftio::TreeModel& model : doc.trees) {
+      const auto mcs = fta::minimal_cut_sets(model.tree);
+      std::printf("  tree %s: %zu nodes, %zu minimal cut sets\n",
+                  model.tree.name().c_str(), model.tree.node_count(),
+                  mcs.size());
+    }
+    for (const ftio::HazardDecl& hazard : doc.hazards) {
+      std::printf("  hazard %s cost = %g\n", hazard.tree.c_str(),
+                  hazard.cost);
+    }
+    if (doc.solver.has_value()) {
+      std::printf("  solver %s\n", doc.solver->name.c_str());
+    }
+    if (doc.engine.has_value()) {
+      std::printf("  engine %s\n", doc.engine->name.c_str());
+    }
+    for (const std::string& note : notes) {
+      std::printf("  note: %s\n", note.c_str());
+    }
+    for (const std::string& problem : problems) {
+      std::printf("  PROBLEM: %s\n", problem.c_str());
+    }
+    std::printf(problems.empty() ? "OK\n" : "INVALID\n");
+  }
+  return problems.empty() ? 0 : 1;
+}
+
+int run_quantify(const ftio::StudyDocument& doc, const Options& options) {
+  if (doc.hazards.empty()) {
+    throw std::invalid_argument(
+        "document declares no hazards; nothing to quantify");
+  }
+  if (doc.parameters.empty()) return quantify_constant_model(doc, options);
+  const core::Study study = configure_study(doc, options);
+  const expr::ParameterAssignment at = evaluation_point(study, options);
+  const auto evaluation = study.evaluate_at(at);
+  const HazardResults results = quantify_hazards(study, doc, at);
+  if (options.json) {
+    std::printf("{\n  \"model\": \"%s\",\n  \"engine\": \"%s\",\n  \"at\": {",
+                json_escape(doc.source).c_str(), study.engine_name().c_str());
+    for (std::size_t i = 0; i < at.entries().size(); ++i) {
+      std::printf("%s\"%s\": %.17g", i > 0 ? ", " : "",
+                  json_escape(at.entries()[i].first).c_str(),
+                  at.entries()[i].second);
+    }
+    std::printf("},\n");
+    print_hazard_results(results, study.engine_name(), true);
+    std::printf("  \"cost\": %.17g\n}\n", evaluation.cost);
+  } else {
+    std::printf("%s at", doc.source.empty() ? "<memory>" : doc.source.c_str());
+    for (const auto& [name, value] : at.entries()) {
+      std::printf(" %s=%g", name.c_str(), value);
+    }
+    std::printf(":\n");
+    print_hazard_results(results, study.engine_name(), false);
+    std::printf("  f_cost = %.6e\n", evaluation.cost);
+  }
+  return 0;
+}
+
+int run_optimize(const ftio::StudyDocument& doc, const Options& options) {
+  const core::Study study = configure_study(doc, options);
+  const auto result = study.run();
+  const expr::ParameterAssignment& optimum = result.optimal_parameters;
+  if (options.json) {
+    std::printf("{\n  \"model\": \"%s\",\n  \"solver\": \"%s\",\n"
+                "  \"engine\": \"%s\",\n  \"converged\": %s,\n"
+                "  \"evaluations\": %zu,\n  \"optimum\": {",
+                json_escape(doc.source).c_str(), study.solver_name().c_str(),
+                study.engine_name().c_str(),
+                result.optimization.converged ? "true" : "false",
+                result.optimization.evaluations);
+    for (std::size_t i = 0; i < optimum.entries().size(); ++i) {
+      std::printf("%s\"%s\": %.17g", i > 0 ? ", " : "",
+                  json_escape(optimum.entries()[i].first).c_str(),
+                  optimum.entries()[i].second);
+    }
+    std::printf("},\n");
+    print_hazard_results(quantify_hazards(study, doc, optimum),
+                         study.engine_name(), true);
+    std::printf("  \"cost\": %.17g\n}\n", result.cost);
+  } else {
+    std::printf("model  %s\n",
+                doc.source.empty() ? "<memory>" : doc.source.c_str());
+    std::printf("solver %s   engine %s\n", study.solver_name().c_str(),
+                study.engine_name().c_str());
+    std::printf("optimum:");
+    for (const auto& [name, value] : optimum.entries()) {
+      std::printf("  %s = %.6f", name.c_str(), value);
+    }
+    std::printf("\n");
+    std::printf("f_cost = %.10g  (%s after %zu evaluations)\n", result.cost,
+                result.optimization.converged ? "converged" : "budget hit",
+                result.optimization.evaluations);
+    print_hazard_results(quantify_hazards(study, doc, optimum),
+                         study.engine_name(), false);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto options = parse_arguments(argc, argv);
+    if (!options.has_value()) return usage();
+    if (options->command != "validate" && options->command != "quantify" &&
+        options->command != "run") {
+      return usage(
+          concat("unknown command \"", options->command, "\"").c_str());
+    }
+    const ftio::StudyDocument doc = ftio::load_study(options->model);
+    if (options->command == "validate") {
+      return run_validate(doc, *options);
+    }
+    if (options->command == "quantify") {
+      return run_quantify(doc, *options);
+    }
+    return run_optimize(doc, *options);
+  } catch (const ftio::ParseError& error) {
+    // Verbatim: the message already leads with file:line:column.
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "safeopt: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "safeopt: %s\n", error.what());
+    return 1;
+  }
+}
