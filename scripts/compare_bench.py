@@ -2,6 +2,8 @@
 """CI gate for bench_compiled_eval: fail on performance or contract regressions.
 
 Usage: compare_bench.py BASELINE.json FRESH.json [--overhead OVERHEAD.json]
+                        [--mc MC_BASELINE.json MC_FRESH.json]
+                        [--summary SUMMARY.md]
 
 Compares the fresh benchmark JSON against the committed baseline
 (BENCH_compiled_eval.json). Two kinds of checks:
@@ -22,6 +24,19 @@ With --overhead, additionally gates the solver-registry report written by
 must produce bit-identical results to the direct construction and add less
 than OVERHEAD_LIMIT wall-clock overhead. Both paths are timed in the same
 process on the same problem, so no normalization is needed.
+
+With --mc, additionally gates the adaptive Monte Carlo report written by
+`bench_mc_adaptive --json` against the committed BENCH_mc_adaptive.json:
+the determinism flags (thread_invariant, seed_reproducible) and the
+exact-within-CI check must hold, the adaptive run must converge, it must
+need at least MIN_IS_TRIALS_RATIO times fewer trials than crude fixed-N
+sampling would for the same CI at the reference point, and the stopped
+trial count must not regress more than REGRESSION_LIMIT vs the baseline
+(the run is seeded and thread-count-invariant, so growth means the
+estimator got worse, not the machine).
+
+With --summary, appends a GitHub-flavored markdown digest of every table to
+the given file (use $GITHUB_STEP_SUMMARY in CI).
 
 Exit status: 0 clean, 1 regression or violated contract, 2 usage error.
 """
@@ -59,11 +74,29 @@ RAW_REPORT_METRICS = ["load_to_first_eval_ns"]
 
 MIN_LANE8_SPEEDUP = 2.0  # acceptance criterion: 8 lanes vs single-lane batch
 
+# Acceptance criterion for the adaptive MC engine: importance sampling must
+# beat crude fixed-N sampling by at least this factor (trials for equal CI
+# half-width at the rare-event reference point).
+MIN_IS_TRIALS_RATIO = 10.0
+
+MC_CONTRACT_FLAGS = [
+    "thread_invariant",
+    "seed_reproducible",
+    "exact_within_ci",
+    "adaptive_converged",
+]
+
+# Markdown lines collected for --summary ($GITHUB_STEP_SUMMARY).
+summary_lines = []
+
 
 def check_overhead(path, failures):
     with open(path) as f:
         report = json.load(f)
     print(f"\n{'solver':<26}{'direct ns':>14}{'registry ns':>14}{'overhead':>10}  gate")
+    summary_lines.append("\n#### Solver-registry dispatch overhead\n")
+    summary_lines.append("| solver | direct ns | registry ns | overhead | gate |")
+    summary_lines.append("|---|---:|---:|---:|---|")
     for row in report["solvers"]:
         overhead = row["registry_ns_per_solve"] / row["direct_ns_per_solve"] - 1.0
         verdict = "ok"
@@ -82,19 +115,91 @@ def check_overhead(path, failures):
             f"{row['name']:<26}{row['direct_ns_per_solve']:>14.0f}"
             f"{row['registry_ns_per_solve']:>14.0f}{overhead:>+9.1%}  {verdict}"
         )
+        summary_lines.append(
+            f"| {row['name']} | {row['direct_ns_per_solve']:.0f} "
+            f"| {row['registry_ns_per_solve']:.0f} | {overhead:+.1%} "
+            f"| {verdict} |"
+        )
+
+
+def check_mc(baseline_path, fresh_path, failures):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    for flag in MC_CONTRACT_FLAGS:
+        if fresh.get(flag) is not True:
+            failures.append(f"mc_adaptive contract violated: {flag} = {fresh.get(flag)}")
+
+    ratio = fresh.get("trials_ratio_vs_crude", 0.0)
+    if ratio < MIN_IS_TRIALS_RATIO:
+        failures.append(
+            f"mc_adaptive importance sampling beats crude fixed-N by only "
+            f"{ratio:.1f}x (minimum {MIN_IS_TRIALS_RATIO:.0f}x for equal CI)"
+        )
+
+    # Seeded + thread-count-invariant: the stopped trial count only moves
+    # when the estimator itself changes. Small drift can come from libm
+    # differences shifting leaf probabilities by an ulp; growth beyond the
+    # regression limit means the proposal or stopping rule got worse.
+    base_trials = baseline.get("adaptive_trials", 0)
+    fresh_trials = fresh.get("adaptive_trials", 0)
+    if base_trials and fresh_trials > base_trials * (1.0 + REGRESSION_LIMIT):
+        failures.append(
+            f"mc_adaptive trials-to-target-CI regressed: {fresh_trials} vs "
+            f"baseline {base_trials} (limit {REGRESSION_LIMIT:+.0%}); "
+            f"regenerate BENCH_mc_adaptive.json if intentional"
+        )
+
+    print(f"\n{'mc_adaptive metric':<28}{'baseline':>14}{'fresh':>14}")
+    summary_lines.append("\n#### Adaptive Monte Carlo (rare-event gate)\n")
+    summary_lines.append("| metric | baseline | fresh |")
+    summary_lines.append("|---|---:|---:|")
+    for metric in [
+        "adaptive_trials",
+        "adaptive_halfwidth",
+        "adaptive_ess",
+        "trials_ratio_vs_crude",
+    ]:
+        base_value = baseline.get(metric, 0)
+        fresh_value = fresh.get(metric, 0)
+        print(f"{metric:<28}{base_value:>14.4g}{fresh_value:>14.4g}")
+        summary_lines.append(f"| {metric} | {base_value:.4g} | {fresh_value:.4g} |")
+    flags = ", ".join(
+        f"{flag}={'ok' if fresh.get(flag) is True else 'FAIL'}"
+        for flag in MC_CONTRACT_FLAGS
+    )
+    print(f"  {flags}")
+    summary_lines.append(f"\nContracts: {flags}")
 
 
 def main(argv):
     overhead_path = None
-    if len(argv) >= 3 and argv[-2] == "--overhead":
-        overhead_path = argv[-1]
-        argv = argv[:-2]
-    if len(argv) != 3:
+    mc_paths = None
+    summary_path = None
+    args = argv[1:]
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--overhead" and i + 1 < len(args):
+            overhead_path = args[i + 1]
+            i += 2
+        elif args[i] == "--mc" and i + 2 < len(args):
+            mc_paths = (args[i + 1], args[i + 2])
+            i += 3
+        elif args[i] == "--summary" and i + 1 < len(args):
+            summary_path = args[i + 1]
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1]) as f:
+    with open(positional[0]) as f:
         baseline = json.load(f)
-    with open(argv[2]) as f:
+    with open(positional[1]) as f:
         fresh = json.load(f)
 
     failures = []
@@ -113,6 +218,9 @@ def main(argv):
     base_tree = baseline["tree_ns_per_eval"]
     fresh_tree = fresh["tree_ns_per_eval"]
     print(f"{'metric':<28}{'baseline':>12}{'fresh':>12}{'norm Δ':>10}  gate")
+    summary_lines.append("#### Compiled-evaluation kernel\n")
+    summary_lines.append("| metric | baseline ns/eval | fresh ns/eval | norm Δ | gate |")
+    summary_lines.append("|---|---:|---:|---:|---|")
     for metric in GATED_METRICS + REPORT_ONLY_METRICS:
         base_norm = baseline[metric] / base_tree
         fresh_norm = fresh[metric] / fresh_tree
@@ -131,6 +239,10 @@ def main(argv):
             f"{metric:<28}{baseline[metric]:>12.1f}{fresh[metric]:>12.1f}"
             f"{delta:>+9.1%}  {verdict}"
         )
+        summary_lines.append(
+            f"| {metric} | {baseline[metric]:.1f} | {fresh[metric]:.1f} "
+            f"| {delta:+.1%} | {verdict} |"
+        )
     for metric in RAW_REPORT_METRICS:
         base_value = baseline.get(metric)
         fresh_value = fresh.get(metric)
@@ -141,17 +253,31 @@ def main(argv):
             f"{metric:<28}{base_value:>12.1f}{fresh_value:>12.1f}"
             f"{delta:>+9.1%}  info"
         )
+        summary_lines.append(
+            f"| {metric} | {base_value:.1f} | {fresh_value:.1f} "
+            f"| {delta:+.1%} | info |"
+        )
 
     if overhead_path is not None:
         check_overhead(overhead_path, failures)
+    if mc_paths is not None:
+        check_mc(mc_paths[0], mc_paths[1], failures)
 
     if failures:
         print("\nbenchmark gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
-        return 1
-    print(f"\nbenchmark gate passed (lane8 {lane8_speedup:.2f}x vs lane1)")
-    return 0
+        summary_lines.append("\n**benchmark gate FAILED:**\n")
+        summary_lines.extend(f"- {failure}" for failure in failures)
+    else:
+        print(f"\nbenchmark gate passed (lane8 {lane8_speedup:.2f}x vs lane1)")
+        summary_lines.append(
+            f"\nbenchmark gate **passed** (lane8 {lane8_speedup:.2f}x vs lane1)"
+        )
+    if summary_path is not None:
+        with open(summary_path, "a") as f:
+            f.write("\n".join(summary_lines) + "\n")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

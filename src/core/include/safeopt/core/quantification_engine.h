@@ -12,10 +12,13 @@
 // cross-validation benches, future sharded backends — can pick a backend by
 // name at runtime:
 //
-//   "fta"  cut-set engine (rare-event / min-cut upper bound /
-//          inclusion-exclusion; importance measures supported)
-//   "bdd"  exact Shannon decomposition over the compiled ROBDD
-//   "mc"   Monte Carlo estimation with Wilson confidence intervals
+//   "fta"         cut-set engine (rare-event / min-cut upper bound /
+//                 inclusion-exclusion; importance measures supported)
+//   "bdd"         exact Shannon decomposition over the compiled ROBDD
+//   "mc"          fixed-budget Monte Carlo estimation with Wilson intervals
+//   "mc_adaptive" adaptive Monte Carlo: sequential batched sampling to a
+//                 target CI half-width, with optional importance sampling
+//                 (per-leaf proposal tilting) for rare events
 //
 // `EngineRegistry` is the name -> factory table behind
 // `Study::engine("bdd")`; `EngineRegistrar` self-registers user engines
@@ -48,12 +51,16 @@ struct EngineCapabilities {
   bool exact = false;
   /// The result carries sampling error (and a confidence interval).
   bool sampled = false;
-  /// The backing method can also rank importance measures (the cut-set
+  /// The backing method can also rank importance *measures* (the cut-set
   /// engine: fta::importance_measures shares its mcs + method).
   bool importance = false;
   /// quantify_batch has a real batched implementation (not the base-class
   /// loop); batching is where sharded/distributed engines plug in.
   bool batch = false;
+  /// Sampling runs under a tilted proposal with likelihood-ratio
+  /// reweighting (the adaptive MC engine with tilt > 1); the result's `ess`
+  /// diagnostic is then meaningfully smaller than `trials`.
+  bool importance_sampling = false;
 };
 
 /// Outcome of one quantification.
@@ -63,6 +70,17 @@ struct QuantificationResult {
   std::optional<stats::ConfidenceInterval> ci95;
   /// Trials drawn (sampled engines), 0 otherwise.
   std::uint64_t trials = 0;
+  /// Effective sample size: `trials` for unweighted sampling, (Σw)²/Σw²
+  /// for importance-sampled estimates. Sampled engines only.
+  std::optional<double> ess;
+  /// Adaptive engines only: whether the target precision was reached
+  /// within the trial budget.
+  std::optional<bool> converged;
+
+  /// CI half-width, the adaptive stopping quantity; 0 without a ci95.
+  [[nodiscard]] double halfwidth() const noexcept {
+    return ci95.has_value() ? 0.5 * ci95->width() : 0.0;
+  }
 };
 
 /// Shared engine configuration; each engine reads the fields it understands.
@@ -73,12 +91,25 @@ struct EngineConfig {
   /// Cut-set engine: how multiple INHIBIT constraints combine.
   fta::ConstraintCombination combination =
       fta::ConstraintCombination::kIndependentProduct;
-  /// Monte Carlo engine: trials per quantify() call and base seed.
+  /// Monte Carlo engines: trials per quantify() call ("mc"), and the trial
+  /// budget cap for "mc_adaptive" (document/CLI option `trials` or
+  /// `budget`); base seed for both.
   std::uint64_t mc_trials = 200000;
   std::uint64_t seed = 0x5a4e0u;
-  /// Monte Carlo engine: optional worker pool (chunked jump() streams;
+  /// Monte Carlo engines: optional worker pool (chunked jump() streams;
   /// result independent of the thread count). Not owned.
   ThreadPool* pool = nullptr;
+  /// Adaptive MC engine: target 95% CI half-width — absolute, or relative
+  /// to the running estimate when `relative` is set.
+  double target_halfwidth = 0.05;
+  bool relative = true;
+  /// Adaptive MC engine: trials per adaptive round (the stopping rule runs
+  /// between rounds).
+  std::uint64_t batch = 1 << 16;
+  /// Adaptive MC engine: importance-sampling proposal tilt — every leaf
+  /// with p < 1/2 is sampled at q = min(1/2, tilt·p) and reweighted by the
+  /// exact likelihood ratio. Values <= 1 disable importance sampling.
+  double tilt = 0.0;
 };
 
 /// One quantification backend bound to one fault tree. Construction does the

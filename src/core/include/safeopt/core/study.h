@@ -218,6 +218,15 @@ class Study {
 [[nodiscard]] std::pair<std::string, EngineConfig> document_engine_selection(
     const ftio::StudyDocument& document);
 
+/// Applies one `KEY=VALUE` engine option onto `config` with exactly the
+/// document `engine` section's key mapping (method, combination, trials,
+/// budget, seed, target_halfwidth, relative, batch, tilt) — the CLI's
+/// `--engine-opt` surface. Numeric-looking values are typed numeric (typos
+/// like "8x" rejected); words pass through as text. Throws
+/// std::invalid_argument on unknown keys or malformed values.
+void set_engine_argument(EngineConfig& config,
+                         const std::string& key_equals_value);
+
 }  // namespace safeopt::core
 
 #endif  // SAFEOPT_CORE_STUDY_H

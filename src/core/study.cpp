@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -50,11 +51,98 @@ void reject_numeric_looking_text(const std::string& key,
   }
 }
 
+/// A flag option: numeric 0/1 or the words true/false.
+bool require_flag(const std::string& key, const ftio::OptionValue& value,
+                  const char* where) {
+  if (value.kind == ftio::OptionValue::Kind::kNumber) {
+    if (value.number == 0.0 || value.number == 1.0) return value.number != 0.0;
+  } else if (value.text == "true" || value.text == "false") {
+    return value.text == "true";
+  }
+  throw std::invalid_argument(concat(where, " option \"", key,
+                                     "\" must be 0/1 or true/false, got \"",
+                                     value.kind == ftio::OptionValue::Kind::kText
+                                         ? value.text
+                                         : format_double(value.number),
+                                     "\""));
+}
+
 /// The HazardFormula a document's `formula` statement selects.
 HazardFormula document_formula(const ftio::StudyDocument& document) {
   return document.formula.value_or("rare_event") == "min_cut_upper_bound"
              ? HazardFormula::kMinCutUpperBound
              : HazardFormula::kRareEvent;
+}
+
+/// One `key = value` engine option, the mapping shared by document `engine`
+/// sections and the CLI's --engine-opt overrides.
+void apply_engine_option(EngineConfig& config, const std::string& key,
+                         const ftio::OptionValue& value) {
+  if (key == "method") {
+    const std::string& method =
+        value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
+    if (method == "rare_event") {
+      config.method = fta::ProbabilityMethod::kRareEvent;
+    } else if (method == "min_cut_upper_bound") {
+      config.method = fta::ProbabilityMethod::kMinCutUpperBound;
+    } else if (method == "inclusion_exclusion") {
+      config.method = fta::ProbabilityMethod::kInclusionExclusion;
+    } else {
+      throw std::invalid_argument(concat(
+          "engine option \"method\" must be rare_event, "
+          "min_cut_upper_bound or inclusion_exclusion, got \"",
+          value.kind == ftio::OptionValue::Kind::kText
+              ? value.text
+              : format_double(value.number),
+          "\""));
+    }
+  } else if (key == "combination") {
+    const std::string& combination =
+        value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
+    if (combination == "independent_product") {
+      config.combination = fta::ConstraintCombination::kIndependentProduct;
+    } else if (combination == "dependent_upper_bound") {
+      config.combination = fta::ConstraintCombination::kDependentUpperBound;
+    } else {
+      throw std::invalid_argument(
+          concat("engine option \"combination\" must be "
+                 "independent_product or dependent_upper_bound"));
+    }
+  } else if (key == "trials" || key == "budget") {
+    // `trials` is the fixed-N count for "mc"; for "mc_adaptive" the same
+    // field caps the adaptive loop, aliased as `budget` for readability.
+    config.mc_trials =
+        static_cast<std::uint64_t>(require_count(key, value, "engine"));
+  } else if (key == "seed") {
+    config.seed =
+        static_cast<std::uint64_t>(require_count(key, value, "engine"));
+  } else if (key == "target_halfwidth") {
+    const double target = require_number(key, value, "engine");
+    if (!(target > 0.0)) {
+      throw std::invalid_argument(
+          "engine option \"target_halfwidth\" must be > 0");
+    }
+    config.target_halfwidth = target;
+  } else if (key == "relative") {
+    config.relative = require_flag(key, value, "engine");
+  } else if (key == "batch") {
+    const std::size_t batch = require_count(key, value, "engine");
+    if (batch == 0) {
+      throw std::invalid_argument("engine option \"batch\" must be >= 1");
+    }
+    config.batch = static_cast<std::uint64_t>(batch);
+  } else if (key == "tilt") {
+    const double tilt = require_number(key, value, "engine");
+    if (!(tilt >= 0.0)) {
+      throw std::invalid_argument("engine option \"tilt\" must be >= 0");
+    }
+    config.tilt = tilt;
+  } else {
+    throw std::invalid_argument(
+        concat("unknown engine option \"", key,
+               "\" (supported: method, combination, trials, budget, seed, "
+               "target_halfwidth, relative, batch, tilt)"));
+  }
 }
 
 }  // namespace
@@ -105,49 +193,36 @@ std::pair<std::string, EngineConfig> document_engine_selection(
                "\"; available: ", join(EngineRegistry::available(), ", ")));
   }
   for (const auto& [key, value] : selection.options) {
-    if (key == "method") {
-      const std::string& method =
-          value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
-      if (method == "rare_event") {
-        config.method = fta::ProbabilityMethod::kRareEvent;
-      } else if (method == "min_cut_upper_bound") {
-        config.method = fta::ProbabilityMethod::kMinCutUpperBound;
-      } else if (method == "inclusion_exclusion") {
-        config.method = fta::ProbabilityMethod::kInclusionExclusion;
-      } else {
-        throw std::invalid_argument(concat(
-            "engine option \"method\" must be rare_event, "
-            "min_cut_upper_bound or inclusion_exclusion, got \"",
-            value.kind == ftio::OptionValue::Kind::kText
-                ? value.text
-                : format_double(value.number),
-            "\""));
-      }
-    } else if (key == "combination") {
-      const std::string& combination =
-          value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
-      if (combination == "independent_product") {
-        config.combination = fta::ConstraintCombination::kIndependentProduct;
-      } else if (combination == "dependent_upper_bound") {
-        config.combination = fta::ConstraintCombination::kDependentUpperBound;
-      } else {
-        throw std::invalid_argument(
-            concat("engine option \"combination\" must be "
-                   "independent_product or dependent_upper_bound"));
-      }
-    } else if (key == "trials") {
-      config.mc_trials =
-          static_cast<std::uint64_t>(require_count(key, value, "engine"));
-    } else if (key == "seed") {
-      config.seed =
-          static_cast<std::uint64_t>(require_count(key, value, "engine"));
-    } else {
-      throw std::invalid_argument(
-          concat("unknown engine option \"", key,
-                 "\" (supported: method, combination, trials, seed)"));
-    }
+    apply_engine_option(config, key, value);
   }
   return {selection.name, config};
+}
+
+void set_engine_argument(EngineConfig& config,
+                         const std::string& key_equals_value) {
+  const std::size_t equals = key_equals_value.find('=');
+  if (equals == std::string::npos || equals == 0 ||
+      equals + 1 == key_equals_value.size()) {
+    throw std::invalid_argument(concat(
+        "engine option must be KEY=VALUE, got \"", key_equals_value, "\""));
+  }
+  const std::string key = key_equals_value.substr(0, equals);
+  const std::string text = key_equals_value.substr(equals + 1);
+  // Same typing rule as SolverConfig::set_extra_argument: parse a numeric
+  // value when it reads as one, reject numeric-looking typos ("8x"), and
+  // pass words (method names, true/false) through as text.
+  char* end = nullptr;
+  const double number = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() + text.size() && end != text.c_str()) {
+    apply_engine_option(config, key, ftio::OptionValue::of(number));
+    return;
+  }
+  if (opt::SolverConfig::numeric_looking(text)) {
+    throw std::invalid_argument(concat("engine option \"", key,
+                                       "\" has a malformed numeric value \"",
+                                       text, "\""));
+  }
+  apply_engine_option(config, key, ftio::OptionValue::of(text));
 }
 
 /// Backing storage for document-loaded studies. Entries are pointer-stable:

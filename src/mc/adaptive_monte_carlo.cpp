@@ -1,0 +1,290 @@
+#include "safeopt/mc/adaptive_monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "safeopt/stats/special_functions.h"
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/rng.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::mc {
+namespace {
+
+/// Chunk granularity of one round. The chunk layout depends only on the
+/// options (never on the pool), which is what makes the stopped trial count
+/// and every accumulated total thread-count-invariant.
+constexpr std::uint64_t kChunkTrials = 4096;
+
+/// Minimum raw hits before a relative-target or importance-sampled stopping
+/// decision is trusted: a relative target against a one-hit estimate, or a
+/// zero-hit weighted sample (whose observed variance is 0, not small), would
+/// otherwise stop on noise.
+constexpr std::uint64_t kMinHits = 8;
+
+/// The tilted per-leaf proposal: q = min(1/2, tilt·p) for rare leaves, with
+/// the exact per-leaf likelihood-ratio factors precomputed. Leaves at p = 0
+/// or p >= 1/2 are left untouched (factor 1): a zero-probability leaf cannot
+/// fire under the model, and boosting an already-likely leaf past 1/2 only
+/// adds weight variance.
+struct Proposal {
+  std::vector<double> basic_q, basic_w1, basic_w0;
+  std::vector<double> cond_q, cond_w1, cond_w0;
+};
+
+void tilt_leaves(const std::vector<double>& p, double tilt,
+                 std::vector<double>& q, std::vector<double>& w1,
+                 std::vector<double>& w0) {
+  q.resize(p.size());
+  w1.assign(p.size(), 1.0);
+  w0.assign(p.size(), 1.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    q[i] = p[i];
+    if (p[i] <= 0.0 || p[i] >= 0.5) continue;
+    q[i] = std::min(0.5, p[i] * tilt);
+    if (q[i] == p[i]) continue;
+    w1[i] = p[i] / q[i];
+    w0[i] = (1.0 - p[i]) / (1.0 - q[i]);
+  }
+}
+
+Proposal make_proposal(const fta::QuantificationInput& input, double tilt) {
+  Proposal proposal;
+  tilt_leaves(input.basic_event_probability, tilt, proposal.basic_q,
+              proposal.basic_w1, proposal.basic_w0);
+  tilt_leaves(input.condition_probability, tilt, proposal.cond_q,
+              proposal.cond_w1, proposal.cond_w0);
+  return proposal;
+}
+
+/// Partial sums of one chunk. Chunks are reduced in chunk order, so every
+/// total is a pure function of the chunk layout.
+struct ChunkSums {
+  std::uint64_t trials = 0;
+  std::uint64_t hits = 0;
+  double sum_w = 0.0;    // Σ W                (importance mode only)
+  double sum_w2 = 0.0;   // Σ W²
+  double sum_wi = 0.0;   // Σ W·1{top}
+  double sum_wi2 = 0.0;  // Σ (W·1{top})²
+};
+
+ChunkSums run_crude_chunk(const fta::FaultTree& tree,
+                          const fta::QuantificationInput& input, Rng rng,
+                          std::uint64_t trials, std::vector<bool>& basic,
+                          std::vector<bool>& condition) {
+  ChunkSums sums;
+  sums.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < basic.size(); ++i) {
+      basic[i] = bernoulli(rng, input.basic_event_probability[i]);
+    }
+    for (std::size_t i = 0; i < condition.size(); ++i) {
+      condition[i] = bernoulli(rng, input.condition_probability[i]);
+    }
+    if (tree.evaluate(basic, condition)) ++sums.hits;
+  }
+  return sums;
+}
+
+ChunkSums run_importance_chunk(const fta::FaultTree& tree,
+                               const Proposal& proposal, Rng rng,
+                               std::uint64_t trials, std::vector<bool>& basic,
+                               std::vector<bool>& condition) {
+  ChunkSums sums;
+  sums.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    double w = 1.0;
+    for (std::size_t i = 0; i < basic.size(); ++i) {
+      const bool x = bernoulli(rng, proposal.basic_q[i]);
+      basic[i] = x;
+      w *= x ? proposal.basic_w1[i] : proposal.basic_w0[i];
+    }
+    for (std::size_t i = 0; i < condition.size(); ++i) {
+      const bool x = bernoulli(rng, proposal.cond_q[i]);
+      condition[i] = x;
+      w *= x ? proposal.cond_w1[i] : proposal.cond_w0[i];
+    }
+    sums.sum_w += w;
+    sums.sum_w2 += w * w;
+    if (tree.evaluate(basic, condition)) {
+      ++sums.hits;
+      sums.sum_wi += w;
+      sums.sum_wi2 += w * w;
+    }
+  }
+  return sums;
+}
+
+/// Running totals and the chunk-stream cursor of one input's adaptive loop.
+struct AdaptiveState {
+  const fta::QuantificationInput* input = nullptr;
+  Proposal proposal;
+  Rng stream{0};  // the next chunk's generator; jump()ed per handout
+  std::uint64_t done = 0;
+  std::uint64_t hits = 0;
+  stats::ProportionEstimator crude;
+  double sum_w = 0.0, sum_w2 = 0.0, sum_wi = 0.0, sum_wi2 = 0.0;
+  bool finished = false;
+  AdaptiveResult result;
+};
+
+/// One chunk of one input's current round, with its result slot.
+struct ChunkJob {
+  AdaptiveState* state = nullptr;
+  Rng rng{0};
+  std::uint64_t trials = 0;
+  ChunkSums sums;
+};
+
+/// Updates the state's estimate/interval from its totals and applies the
+/// stopping rule. `z` is the 97.5% normal quantile (95% two-sided).
+void finish_round(AdaptiveState& s, const AdaptiveOptions& options,
+                  bool importance, double z) {
+  double estimate = 0.0;
+  double halfwidth = 0.0;
+  stats::ConfidenceInterval ci;
+  if (importance) {
+    const auto n = static_cast<double>(s.done);
+    estimate = s.sum_wi / n;
+    double variance = 0.0;
+    if (s.done >= 2) {
+      variance =
+          std::max(0.0, (s.sum_wi2 - n * estimate * estimate) /
+                            (n - 1.0));
+    }
+    halfwidth = z * std::sqrt(variance / n);
+    ci = {std::max(0.0, estimate - halfwidth),
+          std::min(1.0, estimate + halfwidth)};
+  } else {
+    estimate = s.crude.estimate();
+    ci = s.crude.wilson(0.95);
+    halfwidth = 0.5 * ci.width();
+  }
+
+  const double target = options.relative
+                            ? options.target_halfwidth * estimate
+                            : options.target_halfwidth;
+  // A relative target against estimate = 0 is unreachable by construction
+  // (target 0 < any honest half-width); the zero-hit importance sample is
+  // excluded by the kMinHits guard, not by a width test — its *observed*
+  // half-width is 0, which says nothing at all.
+  const bool trustworthy =
+      (!importance && !options.relative) || s.hits >= kMinHits;
+  const bool converged =
+      trustworthy && halfwidth <= target && (!options.relative || estimate > 0.0);
+
+  s.result.estimate = estimate;
+  s.result.ci95 = ci;
+  s.result.trials = s.done;
+  s.result.occurrences = s.hits;
+  s.result.converged = converged;
+  s.result.importance = importance;
+  s.result.ess =
+      importance
+          ? (s.sum_w2 > 0.0 ? s.sum_w * s.sum_w / s.sum_w2 : 0.0)
+          : static_cast<double>(s.done);
+  s.result.self_normalized =
+      importance ? (s.sum_w > 0.0 ? s.sum_wi / s.sum_w : 0.0) : estimate;
+  if (converged || s.done >= options.max_trials) s.finished = true;
+}
+
+}  // namespace
+
+AdaptiveMonteCarlo::AdaptiveMonteCarlo(AdaptiveOptions options)
+    : options_(options) {
+  SAFEOPT_EXPECTS(options_.target_halfwidth > 0.0);
+  SAFEOPT_EXPECTS(!options_.relative || options_.target_halfwidth < 1.0);
+  SAFEOPT_EXPECTS(options_.batch >= 1);
+  SAFEOPT_EXPECTS(options_.max_trials >= 1);
+  SAFEOPT_EXPECTS(!std::isnan(options_.tilt));
+}
+
+AdaptiveResult AdaptiveMonteCarlo::estimate(
+    const fta::FaultTree& tree, const fta::QuantificationInput& input) const {
+  return estimate_batch(tree, {input}).front();
+}
+
+std::vector<AdaptiveResult> AdaptiveMonteCarlo::estimate_batch(
+    const fta::FaultTree& tree,
+    const std::vector<fta::QuantificationInput>& inputs) const {
+  SAFEOPT_EXPECTS(tree.has_top());
+  const bool importance = options_.tilt > 1.0;
+  const double z = stats::normal_quantile(0.975);
+
+  std::vector<AdaptiveState> states(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    SAFEOPT_EXPECTS(inputs[i].is_valid_for(tree));
+    states[i].input = &inputs[i];
+    states[i].stream = Rng(options_.seed);
+    if (importance) states[i].proposal = make_proposal(inputs[i], options_.tilt);
+  }
+
+  std::vector<ChunkJob> jobs;
+  for (;;) {
+    // Hand out the next round of every unfinished input: per input, a run
+    // of kChunkTrials-sized chunks covering min(batch, budget left) trials,
+    // each chunk on its own jump() stream. The layout depends only on the
+    // options, never on the pool.
+    jobs.clear();
+    for (AdaptiveState& state : states) {
+      if (state.finished) continue;
+      std::uint64_t round =
+          std::min(options_.batch, options_.max_trials - state.done);
+      while (round > 0) {
+        ChunkJob job;
+        job.state = &state;
+        job.rng = state.stream;
+        state.stream.jump();
+        job.trials = std::min(kChunkTrials, round);
+        round -= job.trials;
+        jobs.push_back(job);
+      }
+    }
+    if (jobs.empty()) break;
+
+    const auto run_jobs = [&](std::size_t begin, std::size_t end) {
+      std::vector<bool> basic(tree.basic_event_count());
+      std::vector<bool> condition(tree.condition_count());
+      for (std::size_t j = begin; j < end; ++j) {
+        ChunkJob& job = jobs[j];
+        job.sums = importance
+                       ? run_importance_chunk(tree, job.state->proposal,
+                                              job.rng, job.trials, basic,
+                                              condition)
+                       : run_crude_chunk(tree, *job.state->input, job.rng,
+                                         job.trials, basic, condition);
+      }
+    };
+    if (options_.pool != nullptr && jobs.size() > 1) {
+      options_.pool->parallel_for(jobs.size(), run_jobs);
+    } else {
+      run_jobs(0, jobs.size());
+    }
+
+    // Reduce in job order — each input's jobs are contiguous and in chunk
+    // order, so its floating-point totals accumulate deterministically.
+    for (const ChunkJob& job : jobs) {
+      AdaptiveState& state = *job.state;
+      state.done += job.sums.trials;
+      state.hits += job.sums.hits;
+      state.crude.add_batch(job.sums.trials, job.sums.hits);
+      state.sum_w += job.sums.sum_w;
+      state.sum_w2 += job.sums.sum_w2;
+      state.sum_wi += job.sums.sum_wi;
+      state.sum_wi2 += job.sums.sum_wi2;
+    }
+    for (AdaptiveState& state : states) {
+      if (!state.finished && state.done > 0) {
+        finish_round(state, options_, importance, z);
+      }
+    }
+  }
+
+  std::vector<AdaptiveResult> results;
+  results.reserve(states.size());
+  for (const AdaptiveState& state : states) results.push_back(state.result);
+  return results;
+}
+
+}  // namespace safeopt::mc

@@ -39,12 +39,12 @@ struct PumpSystem {
   }
 };
 
-TEST(EngineRegistryTest, ListsTheThreeBuiltinEngines) {
-  for (const char* name : {"fta", "bdd", "mc"}) {
+TEST(EngineRegistryTest, ListsTheBuiltinEngines) {
+  for (const char* name : {"fta", "bdd", "mc", "mc_adaptive"}) {
     EXPECT_TRUE(EngineRegistry::contains(name)) << name;
   }
   const auto available = EngineRegistry::available();
-  EXPECT_GE(available.size(), 3u);
+  EXPECT_GE(available.size(), 4u);
 }
 
 TEST(EngineRegistryTest, UnknownEngineNamesThrow) {
@@ -78,6 +78,18 @@ TEST(EngineRegistryTest, CapabilityFlagsDescribeTheBackends) {
   const auto mc_engine = EngineRegistry::create("mc", system.tree);
   EXPECT_TRUE(mc_engine->capabilities().sampled);
   EXPECT_FALSE(mc_engine->capabilities().exact);
+
+  const auto adaptive = EngineRegistry::create("mc_adaptive", system.tree);
+  EXPECT_TRUE(adaptive->capabilities().sampled);
+  EXPECT_TRUE(adaptive->capabilities().batch);
+  EXPECT_FALSE(adaptive->capabilities().exact);
+  EXPECT_FALSE(adaptive->capabilities().importance_sampling);  // tilt unset
+
+  EngineConfig tilted;
+  tilted.tilt = 25.0;
+  EXPECT_TRUE(EngineRegistry::create("mc_adaptive", system.tree, tilted)
+                  ->capabilities()
+                  .importance_sampling);
 }
 
 TEST(EngineConformanceTest, EnginesAgreeOnThePumpSystem) {
@@ -116,6 +128,59 @@ TEST(EngineConformanceTest, EnginesAgreeOnThePumpSystem) {
       << "estimate " << sampled.probability << " CI [" << sampled.ci95->lo
       << ", " << sampled.ci95->hi << "] oracle " << oracle;
   EXPECT_EQ(sampled.trials, mc_config.mc_trials);
+}
+
+TEST(EngineConformanceTest, AdaptiveEngineReportsUniformDiagnostics) {
+  const PumpSystem system;
+  const double oracle =
+      fta::exact_probability_bruteforce(system.tree, system.input);
+
+  EngineConfig config;
+  config.target_halfwidth = 0.1;
+  config.relative = true;
+  config.mc_trials = 1u << 22;
+  config.seed = 1;  // a 95% interval misses 5% of seeds; this one covers
+  const auto result = EngineRegistry::create("mc_adaptive", system.tree, config)
+                          ->quantify(system.input);
+
+  ASSERT_TRUE(result.ci95.has_value());
+  ASSERT_TRUE(result.ess.has_value());
+  ASSERT_TRUE(result.converged.has_value());
+  EXPECT_TRUE(*result.converged);
+  EXPECT_EQ(*result.ess, static_cast<double>(result.trials));  // crude mode
+  EXPECT_LE(result.halfwidth(), 0.1 * result.probability);
+  EXPECT_TRUE(result.ci95->contains(oracle))
+      << result.probability << " vs " << oracle;
+
+  // The fixed-budget engine reports the same diagnostic surface (ESS ==
+  // trials; no convergence notion).
+  const auto fixed =
+      EngineRegistry::create("mc", system.tree)->quantify(system.input);
+  ASSERT_TRUE(fixed.ess.has_value());
+  EXPECT_EQ(*fixed.ess, static_cast<double>(fixed.trials));
+  EXPECT_FALSE(fixed.converged.has_value());
+}
+
+TEST(EngineConformanceTest, AdaptiveBatchMatchesSerialQuantify) {
+  const PumpSystem system;
+  EngineConfig config;
+  config.target_halfwidth = 0.1;
+  config.relative = true;
+  config.batch = 1u << 14;
+  const auto engine =
+      EngineRegistry::create("mc_adaptive", system.tree, config);
+
+  std::vector<fta::QuantificationInput> inputs(3, system.input);
+  inputs[1].set(system.tree, "Valve", 5e-3);
+  inputs[2].set(system.tree, "Maintenance", 0.5);
+  const auto batch = engine->quantify_batch(inputs);
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto serial = engine->quantify(inputs[i]);
+    EXPECT_EQ(batch[i].probability, serial.probability);
+    EXPECT_EQ(batch[i].trials, serial.trials);
+    EXPECT_EQ(*batch[i].ess, *serial.ess);
+  }
 }
 
 TEST(EngineConformanceTest, McIsDeterministicUnderAFixedSeed) {

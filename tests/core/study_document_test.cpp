@@ -254,6 +254,62 @@ TEST(StudyDocumentTest, SelectionHelpersMirrorFromDocument) {
             fta::ProbabilityMethod::kMinCutUpperBound);
 }
 
+TEST(StudyDocumentTest, AdaptiveEngineOptionsMapOntoEngineConfig) {
+  const std::string base =
+      "param X in [0, 1];\ntoplevel t;\nt or a;\na prob = 0.1 * X;\n"
+      "hazard fault-tree cost = 1;\n";
+  const auto [name, config] = document_engine_selection(ftio::parse_study(
+      base +
+      "engine mc_adaptive target_halfwidth = 0.02 relative = 1 "
+      "batch = 8192 tilt = 25 budget = 4000000 seed = 5;\n"));
+  EXPECT_EQ(name, "mc_adaptive");
+  EXPECT_EQ(config.target_halfwidth, 0.02);
+  EXPECT_TRUE(config.relative);
+  EXPECT_EQ(config.batch, 8192u);
+  EXPECT_EQ(config.tilt, 25.0);
+  EXPECT_EQ(config.mc_trials, 4000000u);  // `budget` aliases the cap
+  EXPECT_EQ(config.seed, 5u);
+
+  // relative accepts the words too.
+  const auto [_, words] = document_engine_selection(ftio::parse_study(
+      base + "engine mc_adaptive relative = false;\n"));
+  EXPECT_FALSE(words.relative);
+
+  // Malformed adaptive options are rejected at load, not at quantify.
+  EXPECT_THROW((void)document_engine_selection(ftio::parse_study(
+                   base + "engine mc_adaptive target_halfwidth = 0;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)document_engine_selection(ftio::parse_study(
+                   base + "engine mc_adaptive relative = maybe;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)document_engine_selection(ftio::parse_study(
+                   base + "engine mc_adaptive batch = 0;\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)document_engine_selection(ftio::parse_study(
+                   base + "engine mc_adaptive tilt = -2;\n")),
+               std::invalid_argument);
+}
+
+TEST(StudyDocumentTest, SetEngineArgumentMirrorsTheDocumentMapping) {
+  // The CLI's --engine-opt K=V surface: typed like document options.
+  EngineConfig config;
+  set_engine_argument(config, "tilt=25");
+  set_engine_argument(config, "target_halfwidth=0.02");
+  set_engine_argument(config, "relative=false");
+  set_engine_argument(config, "budget=1000000");
+  set_engine_argument(config, "method=inclusion_exclusion");
+  EXPECT_EQ(config.tilt, 25.0);
+  EXPECT_EQ(config.target_halfwidth, 0.02);
+  EXPECT_FALSE(config.relative);
+  EXPECT_EQ(config.mc_trials, 1000000u);
+  EXPECT_EQ(config.method, fta::ProbabilityMethod::kInclusionExclusion);
+
+  EXPECT_THROW(set_engine_argument(config, "tilt"), std::invalid_argument);
+  EXPECT_THROW(set_engine_argument(config, "warp=9"), std::invalid_argument);
+  EXPECT_THROW(set_engine_argument(config, "batch=8x"),
+               std::invalid_argument);
+}
+
 TEST(StudyDocumentTest, SolverOptionsMapOntoTypedConfigFields) {
   // Reserved keys land in the typed fields (seed consumed by DE), extras
   // in the typed extras (starts consumed by multi_start).

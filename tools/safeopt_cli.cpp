@@ -8,6 +8,8 @@
 //   --solver NAME     override the document's solver (registry name)
 //   --engine NAME     override the document's engine (fta | bdd | mc | ...)
 //   --extra K=V       solver extra (repeatable; e.g. --extra starts=16)
+//   --engine-opt K=V  engine option (repeatable; e.g. --engine-opt tilt=25),
+//                     layered on top of the document's engine section
 //   --seed N          solver seed (shorthand for a reserved extra)
 //   --at NAME=VALUE   evaluation point (repeatable; quantify defaults to
 //                     the box center, run evaluates at the found optimum)
@@ -43,6 +45,7 @@ struct Options {
   std::optional<std::string> solver;
   std::optional<std::string> engine;
   std::vector<std::string> extras;          // key=value
+  std::vector<std::string> engine_options;  // key=value
   std::optional<std::uint64_t> seed;
   std::vector<std::pair<std::string, double>> at;
   bool json = false;
@@ -63,6 +66,7 @@ int usage(const char* error = nullptr) {
       "  --solver NAME     solver registry name (overrides the document)\n"
       "  --engine NAME     quantification engine (overrides the document)\n"
       "  --extra K=V       solver extra, repeatable (e.g. starts=16)\n"
+      "  --engine-opt K=V  engine option, repeatable (e.g. tilt=25)\n"
       "  --seed N          solver seed\n"
       "  --at NAME=VALUE   evaluation point component, repeatable\n"
       "  --json            machine-readable output\n");
@@ -88,6 +92,8 @@ std::optional<Options> parse_arguments(int argc, char** argv) {
       options.engine = value();
     } else if (arg == "--extra") {
       options.extras.emplace_back(value());
+    } else if (arg == "--engine-opt") {
+      options.engine_options.emplace_back(value());
     } else if (arg == "--seed") {
       // std::from_chars, not strtoull: strtoull silently negates "-1" and
       // clamps overflow to ULLONG_MAX, so the reported-reproducible seed
@@ -157,15 +163,21 @@ core::Study configure_study(const ftio::StudyDocument& doc,
     if (options.seed.has_value()) config.seed = *options.seed;
     study.solver(std::move(name), std::move(config));
   }
-  if (options.engine.has_value()) {
-    if (!core::EngineRegistry::contains(*options.engine)) {
+  if (options.engine.has_value() || !options.engine_options.empty()) {
+    if (options.engine.has_value() &&
+        !core::EngineRegistry::contains(*options.engine)) {
       throw std::invalid_argument(
           concat("unknown engine \"", *options.engine, "\"; available: ",
                  join(core::EngineRegistry::available(), ", ")));
     }
     // Keep the document's engine options (trials, seed, formula-derived
-    // method); only the backend changes.
-    study.engine(*options.engine, study.engine_config());
+    // method); --engine only changes the backend, --engine-opt layers on
+    // individual options.
+    core::EngineConfig config = study.engine_config();
+    for (const std::string& option : options.engine_options) {
+      core::set_engine_argument(config, option);
+    }
+    study.engine(options.engine.value_or(study.engine_name()), config);
   }
   return study;
 }
@@ -206,20 +218,40 @@ void print_hazard_results(const HazardResults& results,
   bool first = true;
   if (json) std::printf("  \"hazards\": [");
   for (const auto& [hazard, result] : results) {
+    // Estimator diagnostics are reported uniformly for every sampled
+    // engine: trials drawn, the achieved 95% CI half-width, the effective
+    // sample size (== trials unless importance-sampled), and — for
+    // adaptive engines — whether the target precision was reached.
     if (json) {
       std::printf("%s\n    {\"hazard\": \"%s\", \"probability\": %.17g",
                   first ? "" : ",", json_escape(hazard).c_str(),
                   result.probability);
       if (result.ci95.has_value()) {
-        std::printf(", \"ci95\": [%.17g, %.17g], \"trials\": %" PRIu64,
-                    result.ci95->lo, result.ci95->hi, result.trials);
+        std::printf(", \"ci95\": [%.17g, %.17g], \"halfwidth\": %.17g"
+                    ", \"trials\": %" PRIu64,
+                    result.ci95->lo, result.ci95->hi, result.halfwidth(),
+                    result.trials);
+        if (result.ess.has_value()) {
+          std::printf(", \"ess\": %.17g", *result.ess);
+        }
+        if (result.converged.has_value()) {
+          std::printf(", \"converged\": %s",
+                      *result.converged ? "true" : "false");
+        }
       }
       std::printf("}");
     } else {
       std::printf("  P(%s) = %.6e", hazard.c_str(), result.probability);
       if (result.ci95.has_value()) {
-        std::printf("   95%% CI [%.6e, %.6e], %" PRIu64 " trials",
-                    result.ci95->lo, result.ci95->hi, result.trials);
+        std::printf("   95%% CI [%.6e, %.6e] (±%.2e), %" PRIu64 " trials",
+                    result.ci95->lo, result.ci95->hi, result.halfwidth(),
+                    result.trials);
+        if (result.ess.has_value()) {
+          std::printf(", ESS %.3g", *result.ess);
+        }
+        if (result.converged.has_value() && !*result.converged) {
+          std::printf(" [budget exhausted]");
+        }
       }
       std::printf("   (engine %s)\n", std::string(engine_name).c_str());
     }
@@ -260,6 +292,9 @@ int quantify_constant_model(const ftio::StudyDocument& doc,
                  join(core::EngineRegistry::available(), ", ")));
     }
     engine_name = *options.engine;
+  }
+  for (const std::string& option : options.engine_options) {
+    core::set_engine_argument(engine_config, option);
   }
   HazardResults results;
   double cost = 0.0;
