@@ -3,6 +3,7 @@
 
 Usage: compare_bench.py BASELINE.json FRESH.json [--overhead OVERHEAD.json]
                         [--mc MC_BASELINE.json MC_FRESH.json]
+                        [--large-trees LT_BASELINE.json LT_FRESH.json]
                         [--summary SUMMARY.md]
 
 Compares the fresh benchmark JSON against the committed baseline
@@ -34,6 +35,15 @@ sampling would for the same CI at the reference point, and the stopped
 trial count must not regress more than REGRESSION_LIMIT vs the baseline
 (the run is seeded and thread-count-invariant, so growth means the
 estimator got worse, not the machine).
+
+With --large-trees, additionally gates the scaling-corpus ablation written
+by `bench_large_trees --json` against the committed BENCH_large_trees.json:
+plain and preprocessed probabilities must agree (1e-9 relative), the
+preprocessed result must be bitwise invariant under ITE-cache shrinking,
+the best tier must keep at least a MIN_NODE_REDUCTION x decision-node
+reduction, and — the corpus being seeded and the algorithms deterministic —
+every tier's decision-node counts must match the baseline *exactly* on any
+machine. Wall-clock columns are reported but never gated.
 
 With --summary, appends a GitHub-flavored markdown digest of every table to
 the given file (use $GITHUB_STEP_SUMMARY in CI).
@@ -85,6 +95,11 @@ MC_CONTRACT_FLAGS = [
     "exact_within_ci",
     "adaptive_converged",
 ]
+
+# Acceptance criterion for the preprocessing pipeline: the best scaling-
+# corpus tier must shrink the BDD by at least this factor vs the monolithic
+# compile (decision nodes, machine-independent).
+MIN_NODE_REDUCTION = 10.0
 
 # Markdown lines collected for --summary ($GITHUB_STEP_SUMMARY).
 summary_lines = []
@@ -174,9 +189,89 @@ def check_mc(baseline_path, fresh_path, failures):
     summary_lines.append(f"\nContracts: {flags}")
 
 
+def check_large_trees(baseline_path, fresh_path, failures):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    for flag in ["all_agree", "cache_geometry_invariant"]:
+        if fresh.get(flag) is not True:
+            failures.append(f"large-trees contract violated: {flag} = {fresh.get(flag)}")
+
+    reduction = fresh.get("max_node_reduction", 0.0)
+    if reduction < MIN_NODE_REDUCTION:
+        failures.append(
+            f"preprocessing node reduction fell to {reduction:.1f}x on the "
+            f"best tier (minimum {MIN_NODE_REDUCTION:.0f}x)"
+        )
+
+    base_tiers = {t["name"]: t for t in baseline.get("tiers", [])}
+    print(f"\n{'tier':<7}{'events':>9}{'modules':>9}{'plain nodes':>13}"
+          f"{'prep nodes':>12}{'reduction':>11}{'time':>8}  gate")
+    summary_lines.append("\n#### Scaling corpus: preprocessing ablation\n")
+    summary_lines.append(
+        "| tier | events | modules | plain nodes | prep nodes "
+        "| node reduction | time ratio | gate |"
+    )
+    summary_lines.append("|---|---:|---:|---:|---:|---:|---:|---|")
+    for tier in fresh.get("tiers", []):
+        name = tier["name"]
+        base = base_tiers.get(name)
+        verdict = "ok"
+        # Seeded corpus + deterministic algorithms: node counts must match
+        # the committed baseline exactly, on any machine.
+        for metric in ["prep_decision_nodes", "plain_decision_nodes"]:
+            if base is None or metric not in base or metric not in tier:
+                continue
+            if tier[metric] != base[metric]:
+                verdict = "FAIL"
+                failures.append(
+                    f"tier {name}: {metric} changed {base[metric]} -> "
+                    f"{tier[metric]} (must match the committed baseline "
+                    f"exactly; regenerate BENCH_large_trees.json if "
+                    f"intentional)"
+                )
+        plain_nodes = (
+            f"{tier['plain_decision_nodes']}" if tier.get("plain_measured")
+            else "(skipped)"
+        )
+        reduction_text = (
+            f"{tier['node_reduction']:.1f}x" if tier.get("plain_measured")
+            else "-"
+        )
+        time_text = (
+            f"{tier['time_ratio']:.1f}x" if tier.get("plain_measured") else "-"
+        )
+        print(
+            f"{name:<7}{tier['events']:>9}{tier['modules']:>9}"
+            f"{plain_nodes:>13}{tier['prep_decision_nodes']:>12}"
+            f"{reduction_text:>11}{time_text:>8}  {verdict}"
+        )
+        summary_lines.append(
+            f"| {name} | {tier['events']} | {tier['modules']} "
+            f"| {plain_nodes} | {tier['prep_decision_nodes']} "
+            f"| {reduction_text} | {time_text} | {verdict} |"
+        )
+    print(
+        f"  agreement={'ok' if fresh.get('all_agree') else 'FAIL'}, "
+        f"cache_geometry_invariant="
+        f"{'ok' if fresh.get('cache_geometry_invariant') else 'FAIL'}, "
+        f"max reduction {reduction:.1f}x"
+    )
+    summary_lines.append(
+        f"\nContracts: agreement="
+        f"{'ok' if fresh.get('all_agree') else 'FAIL'}, "
+        f"cache_geometry_invariant="
+        f"{'ok' if fresh.get('cache_geometry_invariant') else 'FAIL'}; "
+        f"max node reduction {reduction:.1f}x"
+    )
+
+
 def main(argv):
     overhead_path = None
     mc_paths = None
+    large_trees_paths = None
     summary_path = None
     args = argv[1:]
     positional = []
@@ -187,6 +282,9 @@ def main(argv):
             i += 2
         elif args[i] == "--mc" and i + 2 < len(args):
             mc_paths = (args[i + 1], args[i + 2])
+            i += 3
+        elif args[i] == "--large-trees" and i + 2 < len(args):
+            large_trees_paths = (args[i + 1], args[i + 2])
             i += 3
         elif args[i] == "--summary" and i + 1 < len(args):
             summary_path = args[i + 1]
@@ -262,6 +360,8 @@ def main(argv):
         check_overhead(overhead_path, failures)
     if mc_paths is not None:
         check_mc(mc_paths[0], mc_paths[1], failures)
+    if large_trees_paths is not None:
+        check_large_trees(large_trees_paths[0], large_trees_paths[1], failures)
 
     if failures:
         print("\nbenchmark gate FAILED:", file=sys.stderr)

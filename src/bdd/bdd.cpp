@@ -1,6 +1,7 @@
 #include "safeopt/bdd/bdd.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "safeopt/support/contracts.h"
 
@@ -14,6 +15,13 @@ std::uint64_t mix64(std::uint64_t z) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Smallest power of two >= n (and >= 1).
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 std::size_t BddManager::NodeKeyHash::operator()(
@@ -23,18 +31,23 @@ std::size_t BddManager::NodeKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
-std::size_t BddManager::IteKeyHash::operator()(const IteKey& k) const noexcept {
-  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.f) << 32 | k.g);
-  h = mix64(h ^ k.h);
-  return static_cast<std::size_t>(h);
-}
-
 BddManager::BddManager(std::uint32_t variable_count)
+    : BddManager(variable_count, BddOptions{}) {}
+
+BddManager::BddManager(std::uint32_t variable_count, const BddOptions& options)
     : variable_count_(variable_count) {
   // Terminals occupy slots 0 (false) and 1 (true); their var field is a
   // sentinel one past the last real variable so top_var comparisons work.
   nodes_.push_back({variable_count_, kFalse, kFalse});
   nodes_.push_back({variable_count_, kTrue, kTrue});
+  unique_table_.reserve(std::max<std::size_t>(options.initial_table_size, 16));
+  const std::size_t slots =
+      round_up_pow2(std::max<std::size_t>(options.cache_size, 16));
+  ite_cache_.assign(slots, IteSlot{});
+  ite_mask_ = slots - 1;
+  stats_.cache_slots = slots;
+  stats_.node_count = nodes_.size();
+  stats_.peak_node_count = nodes_.size();
 }
 
 BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
@@ -45,13 +58,24 @@ BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
   const auto ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back({var, low, high});
   unique_table_.emplace(key, ref);
+  // No GC: nodes are only ever created, so live == peak by construction.
   stats_.node_count = nodes_.size();
+  stats_.peak_node_count = nodes_.size();
   return ref;
 }
 
 BddRef BddManager::variable(std::uint32_t var) {
   SAFEOPT_EXPECTS(var < variable_count_);
   return make_node(var, kFalse, kTrue);
+}
+
+const BddStatistics& BddManager::statistics() const noexcept {
+  // Documented invariants: terminals are counted (node_count >= 2), and
+  // without garbage collection the live node count is the peak node count.
+  SAFEOPT_ASSERT(stats_.node_count >= 2);
+  SAFEOPT_ASSERT(stats_.node_count == nodes_.size());
+  SAFEOPT_ASSERT(stats_.peak_node_count == stats_.node_count);
+  return stats_;
 }
 
 std::uint32_t BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
@@ -75,11 +99,15 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  const IteKey key{f, g, h};
-  const auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) {
+  // Direct-mapped cache probe. A mismatching occupied slot is a miss (the
+  // slot will be overwritten below); results are identical at any geometry
+  // because ITE is deterministic — the cache only saves recomputation.
+  const std::size_t slot_index = static_cast<std::size_t>(
+      mix64(mix64(static_cast<std::uint64_t>(f) << 32 | g) ^ h) & ite_mask_);
+  IteSlot& slot = ite_cache_[slot_index];
+  if (slot.f == f && slot.g == g && slot.h == h) {
     ++stats_.cache_hits;
-    return it->second;
+    return slot.result;
   }
 
   const std::uint32_t v = top_var(f, g, h);
@@ -89,7 +117,8 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   const BddRef high =
       ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
   const BddRef result = make_node(v, low, high);
-  ite_cache_.emplace(key, result);
+  if (slot.f != IteSlot::kEmpty) ++stats_.cache_evictions;
+  slot = IteSlot{f, g, h, result};
   return result;
 }
 
@@ -185,20 +214,48 @@ BddRef BddManager::node_high(BddRef f) const {
 
 namespace {
 
-/// Leaf -> BDD-variable maps computed by DFS first-visit order; keeping
-/// leaves in traversal order keeps structurally related variables adjacent,
-/// a classical ordering heuristic that bounds BDD growth on series-parallel
-/// trees.
+/// Leaf -> BDD-variable maps. kDfs numbers leaves by DFS first-visit order
+/// (keeps structurally related variables adjacent); kWeight visits every
+/// gate's children smallest-subtree-first, clustering small cones at low
+/// indices before wide subtrees spread out.
 struct VariableOrder {
   std::vector<std::uint32_t> var_of_basic;      // by BasicEventOrdinal
   std::vector<std::uint32_t> var_of_condition;  // by ConditionOrdinal
   std::uint32_t count = 0;
 };
 
-VariableOrder dfs_variable_order(const fta::FaultTree& tree) {
+/// Subtree leaf count per node (DAG-shared subtrees weigh once per
+/// reference), the kWeight visit key.
+std::vector<std::size_t> subtree_weights(const fta::FaultTree& tree) {
+  std::vector<std::size_t> weight(tree.node_count(), 0);
+  const auto visit = [&](auto&& self, fta::NodeId id) -> std::size_t {
+    if (weight[id] != 0) return weight[id];
+    std::size_t w = 1;
+    if (tree.kind(id) == fta::NodeKind::kGate) {
+      w = 0;
+      for (const fta::NodeId child : tree.children(id)) w += self(self, child);
+      w = std::max<std::size_t>(w, 1);
+    }
+    weight[id] = w;
+    return w;
+  };
+  (void)visit(visit, tree.top());
+  return weight;
+}
+
+VariableOrder ordered_variables(const fta::FaultTree& tree,
+                                VariableOrdering ordering) {
   VariableOrder order;
   order.var_of_basic.assign(tree.basic_event_count(), UINT32_MAX);
   order.var_of_condition.assign(tree.condition_count(), UINT32_MAX);
+  std::vector<std::size_t> weight;
+  if (ordering == VariableOrdering::kWeight) weight = subtree_weights(tree);
+  // First-visit semantics: re-entering a gate through a second parent can
+  // only reach leaves that are already numbered, so shared gates are pruned
+  // after one expansion. Without this the traversal walks every *path*
+  // through the DAG — combinatorial on heavily shared graphs like a
+  // normalized k-of-n network.
+  std::vector<bool> expanded(tree.node_count(), false);
   const auto visit = [&](auto&& self, fta::NodeId id) -> void {
     switch (tree.kind(id)) {
       case fta::NodeKind::kBasicEvent: {
@@ -211,9 +268,22 @@ VariableOrder dfs_variable_order(const fta::FaultTree& tree) {
         if (slot == UINT32_MAX) slot = order.count++;
         break;
       }
-      case fta::NodeKind::kGate:
-        for (const fta::NodeId child : tree.children(id)) self(self, child);
+      case fta::NodeKind::kGate: {
+        if (expanded[id]) break;
+        expanded[id] = true;
+        const std::span<const fta::NodeId> children = tree.children(id);
+        if (ordering == VariableOrdering::kWeight) {
+          std::vector<fta::NodeId> by_weight(children.begin(), children.end());
+          std::stable_sort(by_weight.begin(), by_weight.end(),
+                           [&](fta::NodeId a, fta::NodeId b) {
+                             return weight[a] < weight[b];
+                           });
+          for (const fta::NodeId child : by_weight) self(self, child);
+        } else {
+          for (const fta::NodeId child : children) self(self, child);
+        }
         break;
+      }
     }
   };
   visit(visit, tree.top());
@@ -257,10 +327,11 @@ double CompiledFaultTree::probability(const fta::QuantificationInput& input) {
   return manager.probability(root, probs);
 }
 
-CompiledFaultTree compile(const fta::FaultTree& tree) {
+CompiledFaultTree compile(const fta::FaultTree& tree,
+                          const BddOptions& options) {
   SAFEOPT_EXPECTS(tree.has_top());
-  const VariableOrder order = dfs_variable_order(tree);
-  CompiledFaultTree compiled{BddManager(order.count), kFalse,
+  const VariableOrder order = ordered_variables(tree, options.ordering);
+  CompiledFaultTree compiled{BddManager(order.count, options), kFalse,
                              static_cast<std::uint32_t>(
                                  tree.basic_event_count()),
                              static_cast<std::uint32_t>(
@@ -288,16 +359,27 @@ CompiledFaultTree compile(const fta::FaultTree& tree) {
         for (const fta::NodeId child : tree.children(id)) {
           children.push_back(self(self, child));
         }
+        // AND/OR chains fold right-to-left: children earlier in the gate
+        // also come earlier in the variable order (DFS numbering), so each
+        // step prepends *above* the accumulated diagram instead of
+        // rewriting its tail — O(|child|) fresh nodes per step where a
+        // left fold creates a quadratic trail of dead intermediates (there
+        // is no GC; every node ever made stays in the manager). The final
+        // diagram is the same either way — ROBDDs are canonical.
         switch (tree.gate_type(id)) {
           case fta::GateType::kAnd:
           case fta::GateType::kInhibit: {
             result = kTrue;
-            for (const BddRef c : children) result = manager.apply_and(result, c);
+            for (std::size_t i = children.size(); i-- > 0;) {
+              result = manager.apply_and(children[i], result);
+            }
             break;
           }
           case fta::GateType::kOr: {
             result = kFalse;
-            for (const BddRef c : children) result = manager.apply_or(result, c);
+            for (std::size_t i = children.size(); i-- > 0;) {
+              result = manager.apply_or(children[i], result);
+            }
             break;
           }
           case fta::GateType::kKofN:

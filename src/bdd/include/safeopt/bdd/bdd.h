@@ -9,9 +9,11 @@
 //     `mcs_algorithms` ablation bench measures the crossover).
 //
 // The manager owns a unique table (hash-consing guarantees canonicity: two
-// equivalent functions share one node) and a memoized ITE cache. Functions
-// are referenced by index; no reference counting or garbage collection is
-// performed — managers are intended to live for one analysis.
+// equivalent functions share one node) and a direct-mapped ITE result cache
+// whose geometry is tunable through BddOptions. Functions are referenced by
+// index; no reference counting or garbage collection is performed — managers
+// are intended to live for one analysis, so *live* node counts equal *peak*
+// node counts (BddStatistics documents and asserts that invariant).
 #ifndef SAFEOPT_BDD_BDD_H
 #define SAFEOPT_BDD_BDD_H
 
@@ -31,18 +33,72 @@ using BddRef = std::uint32_t;
 inline constexpr BddRef kFalse = 0;
 inline constexpr BddRef kTrue = 1;
 
+/// How compile() numbers the tree's leaves as BDD variables. The order is
+/// the single biggest lever on BDD size; both heuristics are structural
+/// (no dynamic reordering), so compilation stays deterministic.
+enum class VariableOrdering : std::uint8_t {
+  /// DFS first-visit order from the top event — keeps structurally related
+  /// leaves adjacent (the classical default; bounds growth on
+  /// series-parallel trees).
+  kDfs,
+  /// Weight-guided DFS: at every gate the children are *visited* in
+  /// ascending subtree-leaf-count order (smallest cone first), so tightly
+  /// coupled small clusters get contiguous low variable indices before wide
+  /// subtrees spread out. Gate compilation order is unchanged — only the
+  /// variable numbering moves.
+  kWeight,
+};
+
+/// Tuning knobs for one BddManager / one compile() call.
+struct BddOptions {
+  /// Leaf -> variable numbering used by compile(). Ignored by a raw
+  /// BddManager (its callers assign variables themselves).
+  VariableOrdering ordering = VariableOrdering::kDfs;
+  /// Buckets reserved in the unique (hash-consing) table up front; sized
+  /// to the expected node count it avoids rehash stalls on big trees.
+  std::size_t initial_table_size = 1u << 12;
+  /// Entries in the direct-mapped ITE result cache; rounded up to a power
+  /// of two. Bigger caches trade memory for fewer recomputations — results
+  /// are bitwise identical at any size (ITE is deterministic; the cache
+  /// only memoizes).
+  std::size_t cache_size = 1u << 16;
+};
+
 /// BDD node and operation counters for the ablation benches.
+///
+/// Invariants (asserted by the manager): `node_count` counts *unique nodes
+/// ever created including the 2 terminals*, so `node_count >= 2` always and
+/// `decision_node_count() == node_count - 2`. Because the manager performs
+/// no garbage collection, live nodes equal peak nodes: `peak_node_count ==
+/// node_count`. Bench gates that aggregate across managers (per-module
+/// compilation) must sum `decision_node_count()` so terminals are not
+/// counted once per manager — that is the "live vs peak, like with like"
+/// contract of BENCH_large_trees.json.
 struct BddStatistics {
-  std::size_t node_count = 0;       // live unique nodes incl. terminals
+  std::size_t node_count = 0;       // live unique nodes incl. 2 terminals
+  std::size_t peak_node_count = 0;  // high-water mark; == node_count (no GC)
   std::size_t ite_calls = 0;        // total ITE invocations
   std::size_t cache_hits = 0;       // ITE results served from cache
+  std::size_t cache_evictions = 0;  // direct-mapped slots overwritten
+  std::size_t cache_slots = 0;      // configured ITE cache geometry
+
+  /// Unique decision (non-terminal) nodes — the machine-independent size
+  /// measure the large-tree bench gates on.
+  [[nodiscard]] std::size_t decision_node_count() const noexcept {
+    return node_count >= 2 ? node_count - 2 : 0;
+  }
 };
 
 class BddManager {
  public:
   /// Creates a manager for `variable_count` variables; variable i is tested
   /// before variable j iff i < j (the order is fixed at construction).
+  /// Delegates to the BddOptions overload with default geometry.
   explicit BddManager(std::uint32_t variable_count);
+
+  /// Creates a manager with explicit table/cache geometry. `options.ordering`
+  /// is compile()'s concern and ignored here.
+  BddManager(std::uint32_t variable_count, const BddOptions& options);
 
   [[nodiscard]] std::uint32_t variable_count() const noexcept {
     return variable_count_;
@@ -72,9 +128,9 @@ class BddManager {
   /// Number of unique nodes reachable from f (including terminals).
   [[nodiscard]] std::size_t size(BddRef f) const;
 
-  [[nodiscard]] const BddStatistics& statistics() const noexcept {
-    return stats_;
-  }
+  /// Counter snapshot. Asserts the documented no-GC invariant
+  /// (peak_node_count == node_count, both including the 2 terminals).
+  [[nodiscard]] const BddStatistics& statistics() const noexcept;
 
   /// Structural access for algorithms layered on top (Rauzy MCS).
   [[nodiscard]] std::uint32_t node_var(BddRef f) const;
@@ -99,12 +155,14 @@ class BddManager {
   struct NodeKeyHash {
     std::size_t operator()(const NodeKey& k) const noexcept;
   };
-  struct IteKey {
-    BddRef f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const noexcept;
+  /// One direct-mapped ITE cache slot; kEmpty marks a never-written slot
+  /// (no valid BddRef is UINT32_MAX — the node vector cannot grow there).
+  struct IteSlot {
+    static constexpr BddRef kEmpty = UINT32_MAX;
+    BddRef f = kEmpty;
+    BddRef g = 0;
+    BddRef h = 0;
+    BddRef result = 0;
   };
 
   /// Hash-consing constructor: returns the canonical node for (var,low,high).
@@ -116,13 +174,14 @@ class BddManager {
   std::uint32_t variable_count_;
   std::vector<Node> nodes_;
   std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_table_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
-  BddStatistics stats_;
+  std::vector<IteSlot> ite_cache_;
+  std::size_t ite_mask_ = 0;
+  mutable BddStatistics stats_;
 };
 
 /// A fault tree compiled to a BDD: the manager, the root function, and the
-/// mapping from tree leaves to BDD variables (assigned in DFS first-visit
-/// order from the top event).
+/// mapping from tree leaves to BDD variables (assigned by the compile-time
+/// VariableOrdering heuristic).
 struct CompiledFaultTree {
   BddManager manager;
   BddRef root = kFalse;
@@ -138,11 +197,11 @@ struct CompiledFaultTree {
   [[nodiscard]] double probability(const fta::QuantificationInput& input);
 };
 
-/// Compiles the tree bottom-up (variable order: leaves by DFS-first-visit,
-/// a classical heuristic that keeps related leaves adjacent).
-/// XOR gates compile exactly (true XOR, not the coherent hull).
-/// Precondition: tree.has_top().
-[[nodiscard]] CompiledFaultTree compile(const fta::FaultTree& tree);
+/// Compiles the tree bottom-up under `options` (variable ordering heuristic,
+/// table/cache geometry). XOR gates compile exactly (true XOR, not the
+/// coherent hull). Precondition: tree.has_top().
+[[nodiscard]] CompiledFaultTree compile(const fta::FaultTree& tree,
+                                        const BddOptions& options = {});
 
 /// Minimal cut sets via Rauzy's BDD decomposition. Requires a *coherent*
 /// tree (no XOR gates): for non-coherent functions prime implicants with

@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "safeopt/bdd/bdd.h"
 #include "safeopt/fta/fault_tree.h"
 #include "safeopt/fta/probability.h"
 #include "safeopt/stats/estimators.h"
@@ -63,6 +64,23 @@ struct EngineCapabilities {
   bool importance_sampling = false;
 };
 
+/// What preprocessing did to the tree an engine quantifies — filled by the
+/// "fta"/"bdd" engines when EngineConfig::preprocess is set, surfaced by
+/// `safeopt quantify --json` next to the sampling diagnostics.
+struct PreprocessSummary {
+  /// Independent modules extracted (each quantified once per input and
+  /// substituted as a pseudo-leaf).
+  std::size_t modules = 0;
+  /// Leaves of the original tree vs. leaves of the final top-level tree
+  /// (module pseudo-leaves count as one each).
+  std::size_t events_before = 0;
+  std::size_t events_after = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  /// Pass names in execution order, e.g. {"propagate", "normalize", ...}.
+  std::vector<std::string> passes;
+};
+
 /// Outcome of one quantification.
 struct QuantificationResult {
   double probability = 0.0;
@@ -76,6 +94,9 @@ struct QuantificationResult {
   /// Adaptive engines only: whether the target precision was reached
   /// within the trial budget.
   std::optional<bool> converged;
+  /// Engines running the preprocessing pipeline only (fta/bdd with
+  /// EngineConfig::preprocess): what the pass pipeline did.
+  std::optional<PreprocessSummary> preprocess;
 
   /// CI half-width, the adaptive stopping quantity; 0 without a ci95.
   [[nodiscard]] double halfwidth() const noexcept {
@@ -110,6 +131,30 @@ struct EngineConfig {
   /// with p < 1/2 is sampled at q = min(1/2, tilt·p) and reweighted by the
   /// exact likelihood ratio. Values <= 1 disable importance sampling.
   double tilt = 0.0;
+  /// fta/bdd engines: run the preprocessing pass pipeline (normalize /
+  /// flatten / merge / propagate / modularize) before compilation. Off by
+  /// default: results are then bit-identical to the historical engines;
+  /// turn it on for large trees (document option `preprocess = true` or
+  /// `--engine-opt preprocess=true`).
+  bool preprocess = false;
+  /// With `preprocess`: extract independent modules (quantified once each
+  /// and substituted as pseudo-leaves), the big lever on industrial trees.
+  bool modularize = true;
+  /// With `modularize`: minimum leaf span for a detected module to be
+  /// worth extracting.
+  std::size_t module_min_leaves = 4;
+  /// bdd engine: structural variable-ordering heuristic for compilation.
+  bdd::VariableOrdering ordering = bdd::VariableOrdering::kDfs;
+  /// bdd engine: unique-table buckets reserved up front and direct-mapped
+  /// ITE cache entries (rounded up to a power of two).
+  std::size_t bdd_table_size = 1u << 12;
+  std::size_t bdd_cache_size = 1u << 16;
+
+  /// The BddOptions slice of this config (the bdd engine's constructor
+  /// argument for both the plain and the per-module compilation paths).
+  [[nodiscard]] bdd::BddOptions bdd_options() const noexcept {
+    return {ordering, bdd_table_size, bdd_cache_size};
+  }
 };
 
 /// One quantification backend bound to one fault tree. Construction does the

@@ -55,7 +55,8 @@ class Study {
   /// selections are applied when present (reserved solver options
   /// max_iterations / tolerance / max_evaluations / seed map onto the typed
   /// SolverConfig fields, everything else becomes a typed extra; engine
-  /// options method / combination / trials / seed map onto EngineConfig).
+  /// options resolve through the typed option schema — engine_option_docs()
+  /// lists every key — onto EngineConfig).
   /// The returned Study owns copies of the document's trees — it does not
   /// reference `document` after returning. Throws std::invalid_argument on
   /// semantic problems (no hazards, unknown engine option, ...).
@@ -219,13 +220,26 @@ class Study {
     const ftio::StudyDocument& document);
 
 /// Applies one `KEY=VALUE` engine option onto `config` with exactly the
-/// document `engine` section's key mapping (method, combination, trials,
-/// budget, seed, target_halfwidth, relative, batch, tilt) — the CLI's
-/// `--engine-opt` surface. Numeric-looking values are typed numeric (typos
-/// like "8x" rejected); words pass through as text. Throws
+/// document `engine` section's key mapping — the CLI's `--engine-opt`
+/// surface. Both resolve through one typed option schema (see
+/// engine_option_docs()), so unknown or mistyped keys fail with a uniform
+/// "did you mean" diagnostic. Numeric-looking values are typed numeric
+/// (typos like "8x" rejected); words pass through as text. Throws
 /// std::invalid_argument on unknown keys or malformed values.
 void set_engine_argument(EngineConfig& config,
                          const std::string& key_equals_value);
+
+/// One row of the engine option schema, for help text and tooling.
+struct EngineOptionDoc {
+  std::string_view name;
+  std::string_view type;  // "enum" | "count" | "number" | "flag"
+  std::string_view doc;
+};
+
+/// Every engine option the schema knows, in declaration order — the single
+/// source of truth behind apply_engine_option / set_engine_argument /
+/// `safeopt --engine-opt` diagnostics.
+[[nodiscard]] std::vector<EngineOptionDoc> engine_option_docs();
 
 }  // namespace safeopt::core
 

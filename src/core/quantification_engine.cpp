@@ -6,6 +6,7 @@
 #include "safeopt/fta/cut_sets.h"
 #include "safeopt/mc/adaptive_monte_carlo.h"
 #include "safeopt/mc/monte_carlo.h"
+#include "safeopt/prep/preprocess.h"
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/registry.h"
 
@@ -23,6 +24,29 @@ std::vector<QuantificationResult> QuantificationEngine::quantify_batch(
 
 namespace {
 
+/// The PreprocessOptions slice of an EngineConfig.
+prep::PreprocessOptions to_prep_options(const EngineConfig& config) {
+  prep::PreprocessOptions options;
+  options.modularize = config.modularize;
+  options.module_min_leaves = config.module_min_leaves;
+  return options;
+}
+
+/// The diagnostics sub-struct engines attach to every result when the
+/// pipeline ran.
+PreprocessSummary to_summary(const prep::PreprocessStatistics& statistics) {
+  PreprocessSummary summary;
+  summary.modules = statistics.modules;
+  summary.events_before = statistics.events_before;
+  summary.events_after = statistics.events_after;
+  summary.gates_before = statistics.gates_before;
+  summary.gates_after = statistics.gates_after;
+  for (const prep::PassStats& pass : statistics.passes) {
+    summary.passes.push_back(pass.name);
+  }
+  return summary;
+}
+
 /// "fta": the paper's own engine — minimal cut sets (MOCUS, run once at
 /// construction) evaluated by the configured probability method. Exact only
 /// for inclusion-exclusion under leaf independence; the two bounding methods
@@ -30,7 +54,19 @@ namespace {
 class CutSetEngine final : public QuantificationEngine {
  public:
   CutSetEngine(const fta::FaultTree& tree, const EngineConfig& config)
-      : tree_(tree), config_(config), mcs_(fta::minimal_cut_sets(tree)) {}
+      : tree_(tree), config_(config) {
+    if (config.preprocess) {
+      // Composed modular cut sets are mapped back to the original ordinals
+      // and minimize()d, so quantification below is bit-identical to the
+      // direct MOCUS path — the pipeline only changes how mcs_ is found.
+      const prep::PreprocessedTree preprocessed =
+          prep::preprocess(tree, to_prep_options(config));
+      mcs_ = prep::minimal_cut_sets(preprocessed);
+      summary_ = to_summary(preprocessed.statistics);
+    } else {
+      mcs_ = fta::minimal_cut_sets(tree);
+    }
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fta";
@@ -52,6 +88,7 @@ class CutSetEngine final : public QuantificationEngine {
     QuantificationResult result;
     result.probability = fta::top_event_probability(
         mcs_, input, config_.method, config_.combination);
+    result.preprocess = summary_;
     return result;
   }
 
@@ -63,6 +100,7 @@ class CutSetEngine final : public QuantificationEngine {
   const fta::FaultTree& tree_;
   EngineConfig config_;
   fta::CutSetCollection mcs_;
+  std::optional<PreprocessSummary> summary_;
 };
 
 /// "bdd": exact Shannon decomposition over the ROBDD compiled once at
@@ -70,8 +108,16 @@ class CutSetEngine final : public QuantificationEngine {
 /// linear-in-nodes oracle the other engines are validated against.
 class BddEngine final : public QuantificationEngine {
  public:
-  BddEngine(const fta::FaultTree& tree, const EngineConfig& /*config*/)
-      : tree_(tree), compiled_(bdd::compile(tree)) {}
+  BddEngine(const fta::FaultTree& tree, const EngineConfig& config)
+      : tree_(tree), options_(config.bdd_options()) {
+    if (config.preprocess) {
+      preprocessed_ = prep::preprocess(tree, to_prep_options(config));
+      modules_.emplace(*preprocessed_, options_);
+      summary_ = to_summary(preprocessed_->statistics);
+    } else {
+      compiled_.emplace(bdd::compile(tree, options_));
+    }
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "bdd";
@@ -89,13 +135,22 @@ class BddEngine final : public QuantificationEngine {
       const fta::QuantificationInput& input) override {
     SAFEOPT_EXPECTS(input.is_valid_for(tree_));
     QuantificationResult result;
-    result.probability = compiled_.probability(input);
+    result.probability = modules_.has_value()
+                             ? modules_->probability(input)
+                             : compiled_->probability(input);
+    result.preprocess = summary_;
     return result;
   }
 
  private:
   const fta::FaultTree& tree_;
-  bdd::CompiledFaultTree compiled_;
+  bdd::BddOptions options_;
+  std::optional<bdd::CompiledFaultTree> compiled_;
+  // `modules_` keeps a pointer into `preprocessed_`; both live and die with
+  // this engine (declaration order matters: preprocessed_ first).
+  std::optional<prep::PreprocessedTree> preprocessed_;
+  std::optional<prep::CompiledPreprocessedTree> modules_;
+  std::optional<PreprocessSummary> summary_;
 };
 
 /// "mc": Monte Carlo estimation straight off the structure function —

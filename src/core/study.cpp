@@ -74,78 +74,231 @@ HazardFormula document_formula(const ftio::StudyDocument& document) {
              : HazardFormula::kRareEvent;
 }
 
-/// One `key = value` engine option, the mapping shared by document `engine`
-/// sections and the CLI's --engine-opt overrides.
-void apply_engine_option(EngineConfig& config, const std::string& key,
-                         const ftio::OptionValue& value) {
-  if (key == "method") {
-    const std::string& method =
-        value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
-    if (method == "rare_event") {
-      config.method = fta::ProbabilityMethod::kRareEvent;
-    } else if (method == "min_cut_upper_bound") {
-      config.method = fta::ProbabilityMethod::kMinCutUpperBound;
-    } else if (method == "inclusion_exclusion") {
-      config.method = fta::ProbabilityMethod::kInclusionExclusion;
-    } else {
-      throw std::invalid_argument(concat(
-          "engine option \"method\" must be rare_event, "
-          "min_cut_upper_bound or inclusion_exclusion, got \"",
-          value.kind == ftio::OptionValue::Kind::kText
-              ? value.text
-              : format_double(value.number),
-          "\""));
+/// An enumerated text option; returns the matching index into `values` or
+/// throws listing the accepted spellings.
+std::size_t require_choice(const std::string& key,
+                           const ftio::OptionValue& value,
+                           std::initializer_list<std::string_view> values) {
+  const std::string& text =
+      value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
+  std::size_t index = 0;
+  std::string listed;
+  for (const std::string_view candidate : values) {
+    if (text == candidate) return index;
+    if (index > 0) {
+      listed += index + 1 == values.size() ? " or " : ", ";
     }
-  } else if (key == "combination") {
-    const std::string& combination =
-        value.kind == ftio::OptionValue::Kind::kText ? value.text : "";
-    if (combination == "independent_product") {
-      config.combination = fta::ConstraintCombination::kIndependentProduct;
-    } else if (combination == "dependent_upper_bound") {
-      config.combination = fta::ConstraintCombination::kDependentUpperBound;
-    } else {
-      throw std::invalid_argument(
-          concat("engine option \"combination\" must be "
-                 "independent_product or dependent_upper_bound"));
-    }
-  } else if (key == "trials" || key == "budget") {
+    listed += candidate;
+    ++index;
+  }
+  throw std::invalid_argument(
+      concat("engine option \"", key, "\" must be ", listed, ", got \"",
+             value.kind == ftio::OptionValue::Kind::kText
+                 ? value.text
+                 : format_double(value.number),
+             "\""));
+}
+
+/// A count option with a lower bound (batch sizes, cache geometries).
+std::size_t require_count_at_least(const std::string& key,
+                                   const ftio::OptionValue& value,
+                                   std::size_t minimum) {
+  const std::size_t count = require_count(key, value, "engine");
+  if (count < minimum) {
+    throw std::invalid_argument(concat("engine option \"", key,
+                                       "\" must be >= ",
+                                       std::to_string(minimum)));
+  }
+  return count;
+}
+
+/// One row of the engine option schema: the single source of truth shared
+/// by document `engine` sections (apply_engine_option), CLI overrides
+/// (set_engine_argument -> apply_engine_option) and the diagnostics both
+/// emit. `type` and `doc` feed the uniform error/help text; `set`
+/// validates and writes the typed EngineConfig field.
+struct EngineOptionSpec {
+  std::string_view name;
+  std::string_view type;  // "enum" | "count" | "number" | "flag"
+  std::string_view doc;
+  void (*set)(EngineConfig&, const std::string& key,
+              const ftio::OptionValue& value);
+};
+
+constexpr EngineOptionSpec kEngineOptionSchema[] = {
+    {"method", "enum",
+     "cut-set probability method: rare_event | min_cut_upper_bound | "
+     "inclusion_exclusion",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       constexpr fta::ProbabilityMethod kMethods[] = {
+           fta::ProbabilityMethod::kRareEvent,
+           fta::ProbabilityMethod::kMinCutUpperBound,
+           fta::ProbabilityMethod::kInclusionExclusion};
+       config.method = kMethods[require_choice(
+           key, value,
+           {"rare_event", "min_cut_upper_bound", "inclusion_exclusion"})];
+     }},
+    {"combination", "enum",
+     "INHIBIT constraint combination: independent_product | "
+     "dependent_upper_bound",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.combination =
+           require_choice(key, value,
+                          {"independent_product", "dependent_upper_bound"}) ==
+                   0
+               ? fta::ConstraintCombination::kIndependentProduct
+               : fta::ConstraintCombination::kDependentUpperBound;
+     }},
     // `trials` is the fixed-N count for "mc"; for "mc_adaptive" the same
     // field caps the adaptive loop, aliased as `budget` for readability.
-    config.mc_trials =
-        static_cast<std::uint64_t>(require_count(key, value, "engine"));
-  } else if (key == "seed") {
-    config.seed =
-        static_cast<std::uint64_t>(require_count(key, value, "engine"));
-  } else if (key == "target_halfwidth") {
-    const double target = require_number(key, value, "engine");
-    if (!(target > 0.0)) {
-      throw std::invalid_argument(
-          "engine option \"target_halfwidth\" must be > 0");
+    {"trials", "count", "Monte Carlo trials (\"mc\") / trial cap",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.mc_trials =
+           static_cast<std::uint64_t>(require_count(key, value, "engine"));
+     }},
+    {"budget", "count", "alias of trials for \"mc_adaptive\"",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.mc_trials =
+           static_cast<std::uint64_t>(require_count(key, value, "engine"));
+     }},
+    {"seed", "count", "Monte Carlo base seed",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.seed =
+           static_cast<std::uint64_t>(require_count(key, value, "engine"));
+     }},
+    {"target_halfwidth", "number", "adaptive MC target 95% CI half-width",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       const double target = require_number(key, value, "engine");
+       if (!(target > 0.0)) {
+         throw std::invalid_argument(
+             "engine option \"target_halfwidth\" must be > 0");
+       }
+       config.target_halfwidth = target;
+     }},
+    {"relative", "flag", "target half-width is relative to the estimate",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.relative = require_flag(key, value, "engine");
+     }},
+    {"batch", "count", "adaptive MC trials per round",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.batch = static_cast<std::uint64_t>(
+           require_count_at_least(key, value, 1));
+     }},
+    {"tilt", "number", "importance-sampling proposal tilt (<= 1 disables)",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       const double tilt = require_number(key, value, "engine");
+       if (!(tilt >= 0.0)) {
+         throw std::invalid_argument("engine option \"tilt\" must be >= 0");
+       }
+       config.tilt = tilt;
+     }},
+    {"preprocess", "flag",
+     "fta/bdd: run the preprocessing pass pipeline before compilation",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.preprocess = require_flag(key, value, "engine");
+     }},
+    {"modularize", "flag",
+     "with preprocess: extract independent modules as pseudo-leaves",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.modularize = require_flag(key, value, "engine");
+     }},
+    {"module_min_leaves", "count",
+     "with modularize: minimum leaf span worth extracting",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.module_min_leaves = require_count_at_least(key, value, 1);
+     }},
+    {"ordering", "enum",
+     "bdd: structural variable-ordering heuristic: dfs | weight",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.ordering = require_choice(key, value, {"dfs", "weight"}) == 0
+                             ? bdd::VariableOrdering::kDfs
+                             : bdd::VariableOrdering::kWeight;
+     }},
+    {"table_size", "count", "bdd: unique-table buckets reserved up front",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.bdd_table_size = require_count_at_least(key, value, 1);
+     }},
+    {"cache_size", "count",
+     "bdd: ITE cache entries (rounded up to a power of two)",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.bdd_cache_size = require_count_at_least(key, value, 1);
+     }},
+};
+
+/// Levenshtein distance, the "did you mean" metric (option names are short,
+/// so the quadratic DP is fine).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
     }
-    config.target_halfwidth = target;
-  } else if (key == "relative") {
-    config.relative = require_flag(key, value, "engine");
-  } else if (key == "batch") {
-    const std::size_t batch = require_count(key, value, "engine");
-    if (batch == 0) {
-      throw std::invalid_argument("engine option \"batch\" must be >= 1");
-    }
-    config.batch = static_cast<std::uint64_t>(batch);
-  } else if (key == "tilt") {
-    const double tilt = require_number(key, value, "engine");
-    if (!(tilt >= 0.0)) {
-      throw std::invalid_argument("engine option \"tilt\" must be >= 0");
-    }
-    config.tilt = tilt;
-  } else {
-    throw std::invalid_argument(
-        concat("unknown engine option \"", key,
-               "\" (supported: method, combination, trials, budget, seed, "
-               "target_halfwidth, relative, batch, tilt)"));
   }
+  return row[b.size()];
+}
+
+/// One `key = value` engine option, the mapping shared by document `engine`
+/// sections and the CLI's --engine-opt overrides — a schema lookup, with a
+/// uniform "did you mean" diagnostic for unknown names.
+void apply_engine_option(EngineConfig& config, const std::string& key,
+                         const ftio::OptionValue& value) {
+  for (const EngineOptionSpec& spec : kEngineOptionSchema) {
+    if (key == spec.name) {
+      spec.set(config, key, value);
+      return;
+    }
+  }
+  std::string_view nearest;
+  std::size_t nearest_distance = key.size();
+  std::string supported;
+  for (const EngineOptionSpec& spec : kEngineOptionSchema) {
+    if (!supported.empty()) supported += ", ";
+    supported += spec.name;
+    const std::size_t distance = edit_distance(key, spec.name);
+    if (distance < nearest_distance) {
+      nearest = spec.name;
+      nearest_distance = distance;
+    }
+  }
+  throw std::invalid_argument(concat(
+      "unknown engine option \"", key, "\"",
+      nearest.empty() || nearest_distance > 3
+          ? ""
+          : concat(" (did you mean \"", nearest, "\"?)"),
+      "; supported: ", supported));
 }
 
 }  // namespace
+
+std::vector<EngineOptionDoc> engine_option_docs() {
+  std::vector<EngineOptionDoc> docs;
+  docs.reserve(std::size(kEngineOptionSchema));
+  for (const EngineOptionSpec& spec : kEngineOptionSchema) {
+    docs.push_back({spec.name, spec.type, spec.doc});
+  }
+  return docs;
+}
 
 std::optional<SolverSelection> document_solver_selection(
     const ftio::StudyDocument& document) {

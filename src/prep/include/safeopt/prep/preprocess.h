@@ -1,0 +1,195 @@
+// Fault-tree preprocessing: the pass pipeline that makes industrial-scale
+// trees quantifiable. The paper's optimization loop re-quantifies the tree at
+// every candidate design point, so per-quantification cost is the hard
+// ceiling on scaling — and the classical levers (SCRAM reports up to 50×
+// from exactly these steps) are all *structural*, applied once per tree:
+//
+//   propagate   redundancy/constant propagation: duplicate AND/OR children
+//               collapse, single-child gates alias to their child, k-of-n
+//               degenerates to AND (k = n) or OR (k = 1), TRUE/FALSE
+//               constants (if a pass introduces them) short-circuit;
+//   normalize   recursive k-of-n expansion into shared AND/OR gates via the
+//               Shannon split  k/n(x1..xn) = (x1 AND (k-1)/(n-1)(x2..xn))
+//                                            OR k/(n-1)(x2..xn)
+//               — O(n·k) gates with sharing, never the C(n,k) blow-up;
+//   flatten     same-op gate flattening: an AND child of an AND (or OR of
+//               OR) with no other parent is spliced into its parent;
+//   merge       common-argument merging: gates of identical type, threshold
+//               and child list are hash-consed to one node;
+//   modularize  Dutuit–Rauzy linear-time module detection — a gate whose
+//               descendants are reachable *only* through it is an
+//               independent subtree that can be quantified once and
+//               substituted as a pseudo-leaf.
+//
+// Every pass except modularization preserves the structure function *and*
+// the DFS first-visit order of the leaves. Because BDD variable order is
+// that DFS order and the ROBDD is canonical, the preprocessed BDD is the
+// same decision diagram as the unpreprocessed one — top-event probabilities
+// agree bitwise (the property tests assert exactly that). Modularization is
+// exact under leaf independence but re-associates the floating-point
+// product, so it agrees to rounding, not bitwise — except through the
+// cut-set path, where composed modular MCS are canonicalized by
+// CutSetCollection::minimize() and Eq. 1/2 sums are again bitwise equal.
+//
+// The result of preprocess() is a PreprocessedTree: a list of Subtrees in
+// dependency order (innermost modules first, top last) with per-leaf origin
+// maps back to the original tree's ordinals, plus per-pass statistics. The
+// "fta"/"bdd" engines consume it via quantify_bdd() / minimal_cut_sets();
+// Study/CLI users opt in with the `preprocess` engine option.
+#ifndef SAFEOPT_PREP_PREPROCESS_H
+#define SAFEOPT_PREP_PREPROCESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "safeopt/bdd/bdd.h"
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/fta/fault_tree.h"
+#include "safeopt/fta/probability.h"
+
+namespace safeopt::prep {
+
+/// Which passes run, and the modularization granularity.
+struct PreprocessOptions {
+  bool propagate = true;
+  bool normalize = true;
+  bool flatten = true;
+  bool merge = true;
+  bool modularize = true;
+  /// A detected module is extracted only when its subtree spans at least
+  /// this many leaves — extracting tiny modules costs more bookkeeping than
+  /// the per-module quantification saves.
+  std::size_t module_min_leaves = 4;
+};
+
+/// Where a subtree leaf came from: an original basic event, an original
+/// condition, or a module pseudo-leaf standing for another subtree.
+struct LeafOrigin {
+  enum class Kind : std::uint8_t { kBasicEvent, kCondition, kModule };
+  Kind kind = Kind::kBasicEvent;
+  /// Original BasicEventOrdinal / ConditionOrdinal, or the index into
+  /// PreprocessedTree::subtrees() for kModule.
+  std::uint32_t index = 0;
+};
+
+/// One independent quantification unit after preprocessing. The top-level
+/// subtree is last in PreprocessedTree::subtrees(); every pseudo-leaf
+/// refers to an earlier subtree (dependency order).
+struct Subtree {
+  fta::FaultTree tree;
+  /// Name of the gate this module was extracted from; the module's
+  /// pseudo-leaf in its parent subtree reuses this name (the gate itself is
+  /// gone, so the name is free — and the ftio round-trip stays natural).
+  std::string name;
+  /// Origin of each basic event of `tree`, by its BasicEventOrdinal. Module
+  /// pseudo-leaves appear here with Kind::kModule.
+  std::vector<LeafOrigin> basic_origin;
+  /// Original ConditionOrdinal of each condition of `tree`.
+  std::vector<std::uint32_t> condition_origin;
+};
+
+/// What one pass did, for diagnostics ("passes applied" in
+/// QuantificationResult::preprocess and `safeopt quantify --json`).
+struct PassStats {
+  std::string name;
+  std::size_t nodes_before = 0;  // reachable nodes entering the pass
+  std::size_t nodes_after = 0;   // reachable nodes leaving it
+  std::size_t rewrites = 0;      // local rewrites the pass performed
+};
+
+/// Aggregate before/after picture of one preprocess() run.
+struct PreprocessStatistics {
+  /// Original leaf count (basic events + conditions).
+  std::size_t events_before = 0;
+  /// Leaf count of the final *top* subtree — module pseudo-leaves count as
+  /// one each, which is exactly the reduction the BDD engine sees.
+  std::size_t events_after = 0;
+  std::size_t gates_before = 0;
+  /// Total gates across all subtrees after every pass.
+  std::size_t gates_after = 0;
+  /// Extracted modules (subtree count minus the top).
+  std::size_t modules = 0;
+  std::vector<PassStats> passes;
+};
+
+/// Everything the engines need: the subtrees in dependency order, the origin
+/// maps, and the statistics. Produced by preprocess(); treat as immutable.
+struct PreprocessedTree {
+  std::vector<Subtree> subtrees;
+  PreprocessStatistics statistics;
+
+  [[nodiscard]] const Subtree& top() const { return subtrees.back(); }
+
+  /// Assembles the QuantificationInput of subtree `index` from the original
+  /// tree's input and the already-computed probabilities of earlier
+  /// subtrees (`module_probability[i]` for pseudo-leaves of subtree i;
+  /// only indices < `index` are read).
+  [[nodiscard]] fta::QuantificationInput input_for(
+      std::size_t index, const fta::QuantificationInput& original,
+      const std::vector<double>& module_probability) const;
+};
+
+/// Runs the configured passes over `tree`. Precondition: tree.has_top() and
+/// tree.validate() is clean. The input tree is not modified.
+[[nodiscard]] PreprocessedTree preprocess(const fta::FaultTree& tree,
+                                          const PreprocessOptions& options = {});
+
+/// Outcome of quantify_bdd: the exact probability plus the aggregated BDD
+/// counters of every per-subtree manager. Node counts sum
+/// decision_node_count() so the two terminals are not counted once per
+/// module (the "like with like" contract of the large-tree bench gates).
+struct ModularBddResult {
+  double probability = 0.0;
+  std::size_t decision_nodes = 0;
+  std::size_t ite_calls = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_evictions = 0;
+};
+
+/// Every subtree compiled to its own BDD once (modules become single
+/// variables in their parent); probability() is then a per-input bottom-up
+/// Shannon evaluation over the precompiled diagrams — the optimization-loop
+/// hot path, where the same tree is re-quantified at every design point.
+/// The PreprocessedTree must outlive this object.
+class CompiledPreprocessedTree {
+ public:
+  explicit CompiledPreprocessedTree(const PreprocessedTree& preprocessed,
+                                    const bdd::BddOptions& options = {});
+
+  /// Exact top-event probability under leaf independence (module leaf sets
+  /// are disjoint by construction). `input` is over the *original* tree's
+  /// ordinals. The `probability` field of compile_statistics() is not
+  /// touched — per-call results are returned, not stored.
+  [[nodiscard]] double probability(const fta::QuantificationInput& input);
+
+  /// Aggregated compile-time BDD counters (probability field is 0).
+  [[nodiscard]] const ModularBddResult& compile_statistics() const noexcept {
+    return statistics_;
+  }
+
+ private:
+  const PreprocessedTree* preprocessed_;
+  std::vector<bdd::CompiledFaultTree> compiled_;
+  ModularBddResult statistics_;
+};
+
+/// One-shot convenience over CompiledPreprocessedTree: compile every
+/// subtree, evaluate `input`, return probability + aggregated counters.
+[[nodiscard]] ModularBddResult quantify_bdd(
+    const PreprocessedTree& preprocessed,
+    const fta::QuantificationInput& input,
+    const bdd::BddOptions& options = {});
+
+/// Minimal cut sets in the *original* tree's ordinals: per-subtree MOCUS,
+/// then bottom-up substitution of every module pseudo-leaf by its module's
+/// cut sets (cartesian composition), then minimize(). Equal to MOCUS on the
+/// unpreprocessed tree for every coherent tree (and to its XOR-as-OR
+/// coherent hull otherwise).
+[[nodiscard]] fta::CutSetCollection minimal_cut_sets(
+    const PreprocessedTree& preprocessed);
+
+}  // namespace safeopt::prep
+
+#endif  // SAFEOPT_PREP_PREPROCESS_H

@@ -1,0 +1,761 @@
+#include "safeopt/prep/preprocess.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::prep {
+namespace {
+
+// ---------------------------------------------------------------- the IR
+//
+// Passes rewrite a small mutable mirror of the FaultTree rather than the
+// tree itself (FaultTree is append-only by design). Items are created
+// children-first; rewrites alias an item to its replacement instead of
+// erasing it, so ids stay stable and every pass resolves through the alias
+// chain. TRUE/FALSE constant items exist so constant propagation has
+// something to propagate (no source tree contains them, but a pass — or a
+// future pass, see docs/extending.md — may introduce them).
+
+enum class ItemKind : std::uint8_t {
+  kBasic,
+  kCondition,
+  kGate,
+  kTrue,
+  kFalse,
+};
+
+struct Item {
+  ItemKind kind = ItemKind::kBasic;
+  fta::GateType gate = fta::GateType::kAnd;
+  std::uint32_t k = 0;        // vote threshold for kKofN
+  std::uint32_t ordinal = 0;  // original leaf ordinal (leaves only)
+  std::vector<std::uint32_t> children;
+  std::string name;
+  std::string description;  // leaves only; gates are rebuilt bare
+};
+
+struct Ir {
+  std::vector<Item> items;
+  std::vector<std::uint32_t> alias;  // alias[i] == i when canonical
+  std::uint32_t root = 0;
+  std::unordered_set<std::string> names;
+
+  std::uint32_t add(Item item) {
+    const auto id = static_cast<std::uint32_t>(items.size());
+    names.insert(item.name);
+    items.push_back(std::move(item));
+    alias.push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] std::uint32_t resolve(std::uint32_t id) {
+    while (alias[id] != id) {
+      alias[id] = alias[alias[id]];  // path halving
+      id = alias[id];
+    }
+    return id;
+  }
+
+  /// A name not used by any existing node; `base` itself when free,
+  /// otherwise base.2, base.3, ... (dots are legal ftio identifier chars).
+  [[nodiscard]] std::string fresh_name(const std::string& base) {
+    if (!names.contains(base)) return base;
+    for (std::uint32_t suffix = 2;; ++suffix) {
+      std::string candidate = concat(base, ".", std::to_string(suffix));
+      if (!names.contains(candidate)) return candidate;
+    }
+  }
+
+  /// Number of items reachable from the root through resolved edges.
+  [[nodiscard]] std::size_t reachable_count() {
+    std::vector<bool> seen(items.size(), false);
+    std::vector<std::uint32_t> stack{resolve(root)};
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      ++count;
+      for (const std::uint32_t child : items[id].children) {
+        stack.push_back(resolve(child));
+      }
+    }
+    return count;
+  }
+};
+
+Ir build_ir(const fta::FaultTree& tree) {
+  Ir ir;
+  ir.items.reserve(tree.node_count());
+  for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
+    Item item;
+    item.name = tree.node_name(id);
+    switch (tree.kind(id)) {
+      case fta::NodeKind::kBasicEvent:
+        item.kind = ItemKind::kBasic;
+        item.ordinal = tree.basic_event_ordinal(id);
+        item.description = tree.description(id);
+        break;
+      case fta::NodeKind::kCondition:
+        item.kind = ItemKind::kCondition;
+        item.ordinal = tree.condition_ordinal(id);
+        item.description = tree.description(id);
+        break;
+      case fta::NodeKind::kGate:
+        item.kind = ItemKind::kGate;
+        item.gate = tree.gate_type(id);
+        if (item.gate == fta::GateType::kKofN) item.k = tree.vote_threshold(id);
+        item.children.assign(tree.children(id).begin(),
+                             tree.children(id).end());
+        break;
+    }
+    ir.add(std::move(item));
+  }
+  ir.root = tree.top();
+  return ir;
+}
+
+[[nodiscard]] bool is_constant(const Item& item) {
+  return item.kind == ItemKind::kTrue || item.kind == ItemKind::kFalse;
+}
+
+std::uint32_t constant(Ir& ir, bool value) {
+  Item item;
+  item.kind = value ? ItemKind::kTrue : ItemKind::kFalse;
+  item.name = ir.fresh_name(value ? "const.true" : "const.false");
+  return ir.add(std::move(item));
+}
+
+// ------------------------------------------------ redundancy/constants
+//
+// Bottom-up: duplicate AND/OR children collapse to the first occurrence,
+// single-child AND/OR/XOR gates alias to their child, degenerate k-of-n
+// becomes AND or OR, and TRUE/FALSE children short-circuit. INHIBIT is
+// opaque (its condition leaf must stay under it — a validate() invariant).
+// Every rewrite keeps the first DFS visit of every remaining leaf in place,
+// which is what makes the pass bitwise probability-preserving.
+PassStats run_propagate(Ir& ir) {
+  PassStats stats{.name = "propagate", .nodes_before = ir.reachable_count()};
+  for (std::uint32_t id = 0; id < ir.items.size(); ++id) {
+    Item& item = ir.items[id];
+    if (item.kind != ItemKind::kGate ||
+        item.gate == fta::GateType::kInhibit) {
+      continue;
+    }
+    std::vector<std::uint32_t> children;
+    children.reserve(item.children.size());
+    for (const std::uint32_t child : item.children) {
+      children.push_back(ir.resolve(child));
+    }
+
+    if (item.gate == fta::GateType::kKofN) {
+      // Fold constants into the threshold, then degrade to AND/OR.
+      std::vector<std::uint32_t> kept;
+      std::int64_t k = item.k;
+      for (const std::uint32_t child : children) {
+        if (ir.items[child].kind == ItemKind::kTrue) {
+          --k;
+          ++stats.rewrites;
+        } else if (ir.items[child].kind == ItemKind::kFalse) {
+          ++stats.rewrites;
+        } else {
+          kept.push_back(child);
+        }
+      }
+      children = std::move(kept);
+      if (k <= 0) {
+        ir.alias[id] = constant(ir, true);
+        ++stats.rewrites;
+        continue;
+      }
+      if (std::cmp_greater(k, children.size())) {
+        ir.alias[id] = constant(ir, false);
+        ++stats.rewrites;
+        continue;
+      }
+      if (std::cmp_equal(k, children.size())) {
+        item.gate = fta::GateType::kAnd;
+        item.k = 0;
+        ++stats.rewrites;
+      } else if (k == 1) {
+        item.gate = fta::GateType::kOr;
+        item.k = 0;
+        ++stats.rewrites;
+      } else {
+        item.k = static_cast<std::uint32_t>(k);
+        item.children = std::move(children);
+        continue;
+      }
+    }
+
+    if (item.gate == fta::GateType::kAnd || item.gate == fta::GateType::kOr) {
+      const bool is_and = item.gate == fta::GateType::kAnd;
+      std::vector<std::uint32_t> kept;
+      bool short_circuit = false;
+      for (const std::uint32_t child : children) {
+        const Item& c = ir.items[child];
+        if (is_constant(c)) {
+          // AND absorbs TRUE / dies on FALSE; OR dually.
+          if ((c.kind == ItemKind::kFalse) == is_and) short_circuit = true;
+          ++stats.rewrites;
+          continue;
+        }
+        if (std::find(kept.begin(), kept.end(), child) != kept.end()) {
+          ++stats.rewrites;  // idempotence: x AND x = x OR x = x
+          continue;
+        }
+        kept.push_back(child);
+      }
+      if (short_circuit) {
+        ir.alias[id] = constant(ir, !is_and);
+        continue;
+      }
+      if (kept.empty()) {
+        ir.alias[id] = constant(ir, is_and);  // empty AND = 1, empty OR = 0
+        ++stats.rewrites;
+        continue;
+      }
+      children = std::move(kept);
+    } else if (item.gate == fta::GateType::kXor) {
+      // exactly-one: FALSE children are inert; anything stronger (a TRUE
+      // child forces all siblings false) needs negation we cannot express.
+      std::erase_if(children, [&](std::uint32_t child) {
+        const bool drop = ir.items[child].kind == ItemKind::kFalse;
+        if (drop) ++stats.rewrites;
+        return drop;
+      });
+      if (children.empty()) {
+        ir.alias[id] = constant(ir, false);
+        ++stats.rewrites;
+        continue;
+      }
+    }
+
+    if (children.size() == 1 && item.gate != fta::GateType::kKofN) {
+      ir.alias[id] = children.front();
+      ++stats.rewrites;
+      continue;
+    }
+    item.children = std::move(children);
+  }
+  ir.root = ir.resolve(ir.root);
+  stats.nodes_after = ir.reachable_count();
+  return stats;
+}
+
+// ----------------------------------------------------- k-of-n expansion
+//
+// Recursive Shannon split with memoized suffix thresholds:
+//   ge(i, j) = "at least j of children[i..n)":
+//     ge(i, 1)     = OR(children[i..n))
+//     ge(i, n - i) = AND(children[i..n))
+//     ge(i, j)     = OR(AND(children[i], ge(i+1, j-1)), ge(i+1, j))
+// O(n·k) shared gates — never the C(n,k) sum-of-products blow-up — and the
+// leaves keep their DFS first-visit order (child i is always reached before
+// any gate that first touches child i+1).
+PassStats run_normalize(Ir& ir) {
+  PassStats stats{.name = "normalize", .nodes_before = ir.reachable_count()};
+  const auto gate_count = static_cast<std::uint32_t>(ir.items.size());
+  for (std::uint32_t id = 0; id < gate_count; ++id) {
+    if (ir.items[id].kind != ItemKind::kGate ||
+        ir.items[id].gate != fta::GateType::kKofN) {
+      continue;
+    }
+    std::vector<std::uint32_t> children;
+    for (const std::uint32_t child : ir.items[id].children) {
+      children.push_back(ir.resolve(child));
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(children.size());
+    const std::uint32_t k = ir.items[id].k;
+    SAFEOPT_ASSERT(k >= 1 && k <= n);
+    const std::string base = ir.items[id].name;
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> memo;
+    const auto ge = [&](auto&& self, std::uint32_t i,
+                        std::uint32_t j) -> std::uint32_t {
+      SAFEOPT_ASSERT(j >= 1 && j <= n - i);
+      if (j == 1 && n - i == 1) return children[i];
+      const auto key = std::make_pair(i, j);
+      const auto it = memo.find(key);
+      if (it != memo.end()) return it->second;
+      Item gate;
+      gate.kind = ItemKind::kGate;
+      gate.name = ir.fresh_name(
+          concat(base, ".ge", std::to_string(j), ".", std::to_string(i)));
+      if (j == 1) {
+        gate.gate = fta::GateType::kOr;
+        gate.children.assign(children.begin() + i, children.end());
+      } else if (j == n - i) {
+        gate.gate = fta::GateType::kAnd;
+        gate.children.assign(children.begin() + i, children.end());
+      } else {
+        Item take;
+        take.kind = ItemKind::kGate;
+        take.gate = fta::GateType::kAnd;
+        take.name = ir.fresh_name(
+            concat(base, ".take", std::to_string(j), ".", std::to_string(i)));
+        take.children = {children[i], self(self, i + 1, j - 1)};
+        const std::uint32_t take_id = ir.add(std::move(take));
+        gate.gate = fta::GateType::kOr;
+        gate.children = {take_id, self(self, i + 1, j)};
+      }
+      const std::uint32_t gate_id = ir.add(std::move(gate));
+      memo.emplace(key, gate_id);
+      return gate_id;
+    };
+    ir.alias[id] = ge(ge, 0, k);
+    ++stats.rewrites;
+  }
+  ir.root = ir.resolve(ir.root);
+  stats.nodes_after = ir.reachable_count();
+  return stats;
+}
+
+// --------------------------------------------------- same-op flattening
+//
+// AND(AND(a, b), c) -> AND(a, b, c) whenever the inner gate has no other
+// parent (a shared gate stays put: splicing it would duplicate structure
+// and lose the sharing modularization feeds on). Splicing in place keeps
+// the child order, hence the DFS leaf order. One ascending sweep cascades
+// through whole same-op chains because children have been flattened by the
+// time their parent is visited — except for gates synthesized *above* their
+// parents by normalization, which a second sweep in a later propagate/merge
+// round would catch; in practice normalization emits alternating AND/OR
+// levels, so there is nothing to flatten there anyway.
+PassStats run_flatten(Ir& ir) {
+  PassStats stats{.name = "flatten", .nodes_before = ir.reachable_count()};
+  // Reference counts over the resolved, reachable graph only.
+  std::vector<std::uint32_t> refs(ir.items.size(), 0);
+  {
+    std::vector<bool> seen(ir.items.size(), false);
+    std::vector<std::uint32_t> stack{ir.resolve(ir.root)};
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      for (const std::uint32_t raw : ir.items[id].children) {
+        const std::uint32_t child = ir.resolve(raw);
+        ++refs[child];
+        stack.push_back(child);
+      }
+    }
+  }
+  for (std::uint32_t id = 0; id < ir.items.size(); ++id) {
+    Item& item = ir.items[id];
+    if (item.kind != ItemKind::kGate) continue;
+    if (item.gate != fta::GateType::kAnd && item.gate != fta::GateType::kOr) {
+      continue;
+    }
+    std::vector<std::uint32_t> flat;
+    flat.reserve(item.children.size());
+    for (const std::uint32_t raw : item.children) {
+      const std::uint32_t child = ir.resolve(raw);
+      const Item& c = ir.items[child];
+      if (c.kind == ItemKind::kGate && c.gate == item.gate &&
+          refs[child] == 1) {
+        for (const std::uint32_t grand : c.children) {
+          flat.push_back(ir.resolve(grand));
+        }
+        ++stats.rewrites;
+      } else {
+        flat.push_back(child);
+      }
+    }
+    item.children = std::move(flat);
+  }
+  ir.root = ir.resolve(ir.root);
+  stats.nodes_after = ir.reachable_count();
+  return stats;
+}
+
+// ---------------------------------------------- common-argument merging
+//
+// Structural hash-consing: two gates with the same type, threshold and
+// child *list* become one node. Equal-as-sets-but-differently-ordered
+// gates are deliberately NOT merged — reordering children would permute
+// the DFS leaf first-visit order and break the bitwise-parity guarantee.
+PassStats run_merge(Ir& ir) {
+  PassStats stats{.name = "merge", .nodes_before = ir.reachable_count()};
+  std::map<std::tuple<fta::GateType, std::uint32_t,
+                      std::vector<std::uint32_t>>,
+           std::uint32_t>
+      canonical;
+  for (std::uint32_t id = 0; id < ir.items.size(); ++id) {
+    Item& item = ir.items[id];
+    if (item.kind != ItemKind::kGate) continue;
+    for (std::uint32_t& child : item.children) child = ir.resolve(child);
+    const auto [it, inserted] = canonical.try_emplace(
+        std::make_tuple(item.gate, item.k, item.children), id);
+    if (!inserted) {
+      ir.alias[id] = it->second;
+      ++stats.rewrites;
+    }
+  }
+  ir.root = ir.resolve(ir.root);
+  stats.nodes_after = ir.reachable_count();
+  return stats;
+}
+
+// --------------------------------------------------------- modularization
+//
+// Dutuit & Rauzy's linear-time module detection. One DFS with a global
+// clock stamps every node's first and last *touch*; children are expanded
+// only on first touch. A gate g is a module iff every strict descendant is
+// touched exclusively inside g's first traversal — i.e. the min first-touch
+// of its descendants is after g's own first touch and the max last-touch is
+// before the first traversal of g completed. Shared gates whose sharing is
+// entirely internal to the subtree still qualify; any edge from outside
+// moves a descendant's touch outside the window and disqualifies g.
+
+struct ModuleScan {
+  std::vector<std::uint32_t> postorder;  // reachable ids, children first
+  std::vector<bool> is_module;           // by item id
+  std::vector<std::size_t> leaf_refs;    // DAG leaf-reference weight
+};
+
+ModuleScan scan_modules(Ir& ir) {
+  const std::size_t n = ir.items.size();
+  constexpr std::uint64_t kUnset = 0;
+  std::vector<std::uint64_t> first(n, kUnset);
+  std::vector<std::uint64_t> last(n, kUnset);
+  std::vector<std::uint64_t> exit1(n, kUnset);
+  ModuleScan scan;
+  scan.is_module.assign(n, false);
+  scan.leaf_refs.assign(n, 0);
+
+  std::uint64_t clock = 0;
+  struct Frame {
+    std::uint32_t id;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  const auto touch = [&](std::uint32_t id) {
+    ++clock;
+    last[id] = clock;
+    if (first[id] == kUnset) {
+      first[id] = clock;
+      stack.push_back({id});
+    }
+  };
+  touch(ir.resolve(ir.root));
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Item& item = ir.items[frame.id];
+    if (frame.next_child < item.children.size()) {
+      const std::uint32_t child =
+          ir.resolve(item.children[frame.next_child++]);
+      touch(child);
+    } else {
+      ++clock;
+      exit1[frame.id] = clock;
+      last[frame.id] = clock;
+      scan.postorder.push_back(frame.id);
+      stack.pop_back();
+    }
+  }
+
+  // Strict-descendant touch windows, children-first over the DAG.
+  std::vector<std::uint64_t> desc_min(
+      n, std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::uint64_t> desc_max(n, 0);
+  for (const std::uint32_t id : scan.postorder) {
+    const Item& item = ir.items[id];
+    if (item.kind != ItemKind::kGate) {
+      scan.leaf_refs[id] = is_constant(item) ? 0 : 1;
+      continue;
+    }
+    std::size_t refs = 0;
+    for (const std::uint32_t raw : item.children) {
+      const std::uint32_t child = ir.resolve(raw);
+      desc_min[id] = std::min({desc_min[id], first[child], desc_min[child]});
+      desc_max[id] = std::max({desc_max[id], last[child], desc_max[child]});
+      refs += scan.leaf_refs[child];
+    }
+    scan.leaf_refs[id] = refs;
+    scan.is_module[id] =
+        desc_min[id] > first[id] && desc_max[id] < exit1[id];
+  }
+  return scan;
+}
+
+// ------------------------------------------------------------- rebuild
+
+/// Builds the FaultTree for the subtree rooted at `start`, stopping at
+/// chosen module boundaries (they become pseudo-leaf basic events named
+/// after the module gate). Leaves are created at their DFS first visit, so
+/// subtree ordinal order *is* DFS order — the BDD variable order.
+Subtree build_subtree(Ir& ir, std::uint32_t start, std::string tree_name,
+                      const std::vector<std::int64_t>& module_of) {
+  Subtree subtree{.tree = fta::FaultTree(std::move(tree_name)),
+                  .name = ir.items[start].name,
+                  .basic_origin = {},
+                  .condition_origin = {}};
+  std::unordered_map<std::uint32_t, fta::NodeId> built;
+  const auto build = [&](auto&& self, std::uint32_t id) -> fta::NodeId {
+    const auto it = built.find(id);
+    if (it != built.end()) return it->second;
+    const Item& item = ir.items[id];
+    fta::NodeId node = 0;
+    if (id != start && module_of[id] >= 0) {
+      node = subtree.tree.add_basic_event(item.name);
+      subtree.basic_origin.push_back(
+          {LeafOrigin::Kind::kModule,
+           static_cast<std::uint32_t>(module_of[id])});
+    } else {
+      switch (item.kind) {
+        case ItemKind::kBasic:
+          node = subtree.tree.add_basic_event(item.name, item.description);
+          subtree.basic_origin.push_back(
+              {LeafOrigin::Kind::kBasicEvent, item.ordinal});
+          break;
+        case ItemKind::kCondition:
+          node = subtree.tree.add_condition(item.name, item.description);
+          subtree.condition_origin.push_back(item.ordinal);
+          break;
+        case ItemKind::kTrue:
+        case ItemKind::kFalse:
+          // Constants reaching the rebuild would need TRUE/FALSE leaves the
+          // FaultTree model does not have. Constant-free inputs never get
+          // here: propagate() folds every constant a pass introduces.
+          SAFEOPT_ASSERT(false && "unfolded constant survived preprocessing");
+          break;
+        case ItemKind::kGate: {
+          std::vector<fta::NodeId> children;
+          children.reserve(item.children.size());
+          for (const std::uint32_t raw : item.children) {
+            children.push_back(self(self, ir.resolve(raw)));
+          }
+          switch (item.gate) {
+            case fta::GateType::kAnd:
+              node = subtree.tree.add_and(item.name, std::move(children));
+              break;
+            case fta::GateType::kOr:
+              node = subtree.tree.add_or(item.name, std::move(children));
+              break;
+            case fta::GateType::kKofN:
+              node = subtree.tree.add_k_of_n(item.name, item.k,
+                                             std::move(children));
+              break;
+            case fta::GateType::kXor:
+              node = subtree.tree.add_xor(item.name, std::move(children));
+              break;
+            case fta::GateType::kInhibit:
+              SAFEOPT_ASSERT(children.size() == 2);
+              node = subtree.tree.add_inhibit(item.name, children[0],
+                                              children[1]);
+              break;
+          }
+          break;
+        }
+      }
+    }
+    built.emplace(id, node);
+    return node;
+  };
+  subtree.tree.set_top(build(build, start));
+  return subtree;
+}
+
+}  // namespace
+
+PreprocessedTree preprocess(const fta::FaultTree& tree,
+                            const PreprocessOptions& options) {
+  SAFEOPT_EXPECTS(tree.has_top());
+  Ir ir = build_ir(tree);
+
+  PreprocessedTree result;
+  result.statistics.events_before =
+      tree.basic_event_count() + tree.condition_count();
+  result.statistics.gates_before = tree.gate_count();
+
+  if (options.propagate) result.statistics.passes.push_back(run_propagate(ir));
+  if (options.normalize) result.statistics.passes.push_back(run_normalize(ir));
+  if (options.flatten) result.statistics.passes.push_back(run_flatten(ir));
+  if (options.merge) result.statistics.passes.push_back(run_merge(ir));
+  // Normalization/flattening/merging expose fresh redundancy (e.g. a merged
+  // gate appearing twice under one AND); one more propagation folds it.
+  if (options.propagate &&
+      (options.normalize || options.flatten || options.merge)) {
+    result.statistics.passes.push_back(run_propagate(ir));
+  }
+
+  // Pick modules bottom-up (postorder puts inner modules first), excluding
+  // the root — the top subtree is built last and is "the" tree.
+  std::vector<std::int64_t> module_of(ir.items.size(), -1);
+  const std::uint32_t root = ir.resolve(ir.root);
+  if (options.modularize) {
+    const ModuleScan scan = scan_modules(ir);
+    for (const std::uint32_t id : scan.postorder) {
+      if (id == root || !scan.is_module[id]) continue;
+      if (scan.leaf_refs[id] < options.module_min_leaves) continue;
+      module_of[id] = static_cast<std::int64_t>(result.subtrees.size());
+      result.subtrees.push_back(
+          build_subtree(ir, id, ir.items[id].name, module_of));
+    }
+  }
+  result.statistics.modules = result.subtrees.size();
+  result.subtrees.push_back(build_subtree(ir, root, tree.name(), module_of));
+
+  const Subtree& top = result.subtrees.back();
+  result.statistics.events_after =
+      top.tree.basic_event_count() + top.tree.condition_count();
+  for (const Subtree& subtree : result.subtrees) {
+    result.statistics.gates_after += subtree.tree.gate_count();
+  }
+  return result;
+}
+
+fta::QuantificationInput PreprocessedTree::input_for(
+    std::size_t index, const fta::QuantificationInput& original,
+    const std::vector<double>& module_probability) const {
+  SAFEOPT_EXPECTS(index < subtrees.size());
+  const Subtree& subtree = subtrees[index];
+  fta::QuantificationInput input;
+  input.basic_event_probability.reserve(subtree.basic_origin.size());
+  for (const LeafOrigin& origin : subtree.basic_origin) {
+    switch (origin.kind) {
+      case LeafOrigin::Kind::kBasicEvent:
+        input.basic_event_probability.push_back(
+            original.basic_event_probability[origin.index]);
+        break;
+      case LeafOrigin::Kind::kModule:
+        SAFEOPT_EXPECTS(origin.index < module_probability.size());
+        input.basic_event_probability.push_back(
+            module_probability[origin.index]);
+        break;
+      case LeafOrigin::Kind::kCondition:
+        SAFEOPT_ASSERT(false && "condition origin on a basic-event leaf");
+        break;
+    }
+  }
+  input.condition_probability.reserve(subtree.condition_origin.size());
+  for (const std::uint32_t ordinal : subtree.condition_origin) {
+    input.condition_probability.push_back(
+        original.condition_probability[ordinal]);
+  }
+  return input;
+}
+
+CompiledPreprocessedTree::CompiledPreprocessedTree(
+    const PreprocessedTree& preprocessed, const bdd::BddOptions& options)
+    : preprocessed_(&preprocessed) {
+  compiled_.reserve(preprocessed.subtrees.size());
+  for (const Subtree& subtree : preprocessed.subtrees) {
+    // `options` is a per-manager ceiling, not a per-manager grant: a module
+    // a few dozen nodes wide must not zero a multi-megabyte ITE cache (with
+    // hundreds of modules that would dwarf the quantification itself). Each
+    // module gets geometry proportional to its own size, capped by the
+    // caller's options. Results are unaffected — the cache only memoizes.
+    bdd::BddOptions scaled = options;
+    std::size_t hint = 16;
+    while (hint < 64 * subtree.tree.node_count()) hint <<= 1;
+    scaled.cache_size = std::min(scaled.cache_size, hint);
+    scaled.initial_table_size = std::min(scaled.initial_table_size, hint);
+    compiled_.push_back(bdd::compile(subtree.tree, scaled));
+    const bdd::BddStatistics& stats =
+        compiled_.back().manager.statistics();
+    statistics_.decision_nodes += stats.decision_node_count();
+    statistics_.ite_calls += stats.ite_calls;
+    statistics_.cache_hits += stats.cache_hits;
+    statistics_.cache_evictions += stats.cache_evictions;
+  }
+}
+
+double CompiledPreprocessedTree::probability(
+    const fta::QuantificationInput& input) {
+  std::vector<double> module_probability;
+  module_probability.reserve(compiled_.size());
+  double probability = 0.0;
+  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+    probability = compiled_[i].probability(
+        preprocessed_->input_for(i, input, module_probability));
+    module_probability.push_back(probability);
+  }
+  return probability;
+}
+
+ModularBddResult quantify_bdd(const PreprocessedTree& preprocessed,
+                              const fta::QuantificationInput& input,
+                              const bdd::BddOptions& options) {
+  CompiledPreprocessedTree compiled(preprocessed, options);
+  ModularBddResult result = compiled.compile_statistics();
+  result.probability = compiled.probability(input);
+  return result;
+}
+
+namespace {
+
+/// a ∪ b with sorted duplicate-free invariant maintained.
+fta::CutSet merge_cut_sets(const fta::CutSet& a, const fta::CutSet& b) {
+  fta::CutSet merged;
+  std::set_union(a.events.begin(), a.events.end(), b.events.begin(),
+                 b.events.end(), std::back_inserter(merged.events));
+  std::set_union(a.conditions.begin(), a.conditions.end(),
+                 b.conditions.begin(), b.conditions.end(),
+                 std::back_inserter(merged.conditions));
+  return merged;
+}
+
+}  // namespace
+
+fta::CutSetCollection minimal_cut_sets(const PreprocessedTree& preprocessed) {
+  // Bottom-up: composed[i] holds subtree i's cut sets already expressed in
+  // the original tree's ordinals, so substituting a module pseudo-leaf is a
+  // cartesian product with an earlier entry.
+  std::vector<fta::CutSetCollection> composed;
+  composed.reserve(preprocessed.subtrees.size());
+  for (std::size_t i = 0; i < preprocessed.subtrees.size(); ++i) {
+    const Subtree& subtree = preprocessed.subtrees[i];
+    const fta::CutSetCollection local =
+        fta::minimal_cut_sets(subtree.tree);
+    std::vector<fta::CutSet> expanded;
+    for (const fta::CutSet& cut : local) {
+      // Split the local cut set into its direct (original-ordinal) part and
+      // the modules to substitute.
+      fta::CutSet direct;
+      std::vector<std::uint32_t> modules;
+      for (const fta::BasicEventOrdinal event : cut.events) {
+        const LeafOrigin& origin = subtree.basic_origin[event];
+        if (origin.kind == LeafOrigin::Kind::kModule) {
+          modules.push_back(origin.index);
+        } else {
+          direct.events.push_back(origin.index);
+        }
+      }
+      for (const fta::ConditionOrdinal condition : cut.conditions) {
+        direct.conditions.push_back(subtree.condition_origin[condition]);
+      }
+      std::sort(direct.events.begin(), direct.events.end());
+      std::sort(direct.conditions.begin(), direct.conditions.end());
+      std::vector<fta::CutSet> partial{std::move(direct)};
+      for (const std::uint32_t module : modules) {
+        std::vector<fta::CutSet> next;
+        next.reserve(partial.size() * composed[module].size());
+        for (const fta::CutSet& p : partial) {
+          for (const fta::CutSet& m : composed[module]) {
+            next.push_back(merge_cut_sets(p, m));
+          }
+        }
+        partial = std::move(next);
+      }
+      expanded.insert(expanded.end(),
+                      std::make_move_iterator(partial.begin()),
+                      std::make_move_iterator(partial.end()));
+    }
+    fta::CutSetCollection collection(std::move(expanded));
+    collection.minimize();
+    composed.push_back(std::move(collection));
+  }
+  return std::move(composed.back());
+}
+
+}  // namespace safeopt::prep

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "../testutil/random_tree.h"
 
 namespace safeopt::bdd {
@@ -100,6 +102,70 @@ TEST(CompileTest, InhibitBehavesAsAnd) {
   input.set(tree, "pf", 0.3);
   input.set(tree, "env", 0.5);
   EXPECT_NEAR(compiled.probability(input), 0.15, 1e-15);
+}
+
+TEST(BddOptionsTest, ExplicitGeometryIsHonoredAndPowerOfTwo) {
+  BddOptions options;
+  options.initial_table_size = 1u << 8;
+  options.cache_size = 1000;  // not a power of two: must round up
+  BddManager m(4, options);
+  const std::size_t slots = m.statistics().cache_slots;
+  EXPECT_GE(slots, 1000u);
+  EXPECT_EQ(slots & (slots - 1), 0u) << "cache_slots must be a power of two";
+}
+
+TEST(BddOptionsTest, StatisticsInvariantsHold) {
+  // The documented no-GC contract: node_count counts the 2 terminals plus
+  // every hash-consed decision node, and live == peak by construction.
+  BddManager m(6);
+  std::vector<BddRef> vars;
+  for (std::uint32_t i = 0; i < 6; ++i) vars.push_back(m.variable(i));
+  (void)m.at_least(vars, 3);
+  const BddStatistics& stats = m.statistics();
+  EXPECT_GE(stats.node_count, 2u);
+  EXPECT_EQ(stats.peak_node_count, stats.node_count);
+  EXPECT_EQ(stats.decision_node_count(), stats.node_count - 2);
+  EXPECT_GE(stats.ite_calls, stats.cache_hits);
+}
+
+TEST(BddOptionsTest, CacheGeometryNeverChangesResults) {
+  // The ITE cache only memoizes: a starved 16-slot cache and a huge one
+  // must produce the bitwise-identical diagram and probability.
+  const fta::FaultTree tree =
+      testutil::random_tree(11, {.basic_events = 10, .gates = 9});
+  const fta::QuantificationInput input =
+      testutil::random_probabilities(tree, 11);
+
+  BddOptions tiny;
+  tiny.cache_size = 16;
+  BddOptions huge;
+  huge.cache_size = 1u << 20;
+  CompiledFaultTree a = compile(tree, tiny);
+  CompiledFaultTree b = compile(tree, huge);
+  EXPECT_EQ(a.probability(input), b.probability(input));
+  EXPECT_EQ(a.manager.statistics().decision_node_count(),
+            b.manager.statistics().decision_node_count());
+  EXPECT_GT(a.manager.statistics().cache_evictions,
+            b.manager.statistics().cache_evictions);
+}
+
+TEST(BddOptionsTest, WeightOrderingAgreesWithDfsOnProbability) {
+  // kWeight renumbers variables (small cones first) but compiles the same
+  // function — probabilities agree to rounding across the two orders.
+  for (std::uint64_t seed = 90; seed < 100; ++seed) {
+    const fta::FaultTree tree =
+        testutil::random_tree(seed, {.basic_events = 9, .gates = 8});
+    const fta::QuantificationInput input =
+        testutil::random_probabilities(tree, seed);
+    BddOptions weight;
+    weight.ordering = VariableOrdering::kWeight;
+    CompiledFaultTree dfs = compile(tree);
+    CompiledFaultTree weighted = compile(tree, weight);
+    const double p_dfs = dfs.probability(input);
+    EXPECT_NEAR(weighted.probability(input), p_dfs,
+                1e-12 * std::max(p_dfs, 1e-300))
+        << "seed " << seed;
+  }
 }
 
 // --------------------------------------------------------------- properties

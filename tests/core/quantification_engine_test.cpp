@@ -130,6 +130,54 @@ TEST(EngineConformanceTest, EnginesAgreeOnThePumpSystem) {
   EXPECT_EQ(sampled.trials, mc_config.mc_trials);
 }
 
+TEST(EngineConformanceTest, PreprocessedEnginesMatchAndReportDiagnostics) {
+  const PumpSystem system;
+  const double oracle =
+      fta::exact_probability_bruteforce(system.tree, system.input);
+
+  EngineConfig config;
+  config.preprocess = true;
+  config.module_min_leaves = 2;
+
+  // Without preprocessing the result carries no summary...
+  const QuantificationResult plain =
+      EngineRegistry::create("bdd", system.tree)->quantify(system.input);
+  EXPECT_FALSE(plain.preprocess.has_value());
+
+  // ...with it, both tree engines quantify through the pass pipeline,
+  // agree with the oracle, and report what the passes did.
+  for (const char* name : {"fta", "bdd"}) {
+    EngineConfig engine_config = config;
+    if (std::string(name) == "fta") {
+      engine_config.method = fta::ProbabilityMethod::kInclusionExclusion;
+    }
+    const QuantificationResult result =
+        EngineRegistry::create(name, system.tree, engine_config)
+            ->quantify(system.input);
+    EXPECT_NEAR(result.probability, oracle, 1e-15) << name;
+    ASSERT_TRUE(result.preprocess.has_value()) << name;
+    const PreprocessSummary& summary = *result.preprocess;
+    EXPECT_EQ(summary.events_before,
+              system.tree.basic_event_count() + system.tree.condition_count())
+        << name;
+    EXPECT_GT(summary.gates_before, 0u) << name;
+    ASSERT_FALSE(summary.passes.empty()) << name;
+    EXPECT_EQ(summary.passes.front(), "propagate") << name;
+  }
+
+  // The bdd engine's preprocessed path is *bitwise* equal to the plain
+  // path when modularization is off (structure passes preserve the DFS
+  // leaf order, and the ROBDD is canonical).
+  EngineConfig no_modules = config;
+  no_modules.modularize = false;
+  const QuantificationResult structured =
+      EngineRegistry::create("bdd", system.tree, no_modules)
+          ->quantify(system.input);
+  EXPECT_EQ(structured.probability, plain.probability);
+  ASSERT_TRUE(structured.preprocess.has_value());
+  EXPECT_EQ(structured.preprocess->modules, 0u);
+}
+
 TEST(EngineConformanceTest, AdaptiveEngineReportsUniformDiagnostics) {
   const PumpSystem system;
   const double oracle =

@@ -310,6 +310,72 @@ TEST(StudyDocumentTest, SetEngineArgumentMirrorsTheDocumentMapping) {
                std::invalid_argument);
 }
 
+TEST(StudyDocumentTest, PreprocessOptionsMapOntoTypedConfigFields) {
+  EngineConfig config;
+  set_engine_argument(config, "preprocess=true");
+  set_engine_argument(config, "modularize=false");
+  set_engine_argument(config, "module_min_leaves=8");
+  set_engine_argument(config, "ordering=weight");
+  set_engine_argument(config, "table_size=65536");
+  set_engine_argument(config, "cache_size=262144");
+  EXPECT_TRUE(config.preprocess);
+  EXPECT_FALSE(config.modularize);
+  EXPECT_EQ(config.module_min_leaves, 8u);
+  EXPECT_EQ(config.ordering, bdd::VariableOrdering::kWeight);
+  EXPECT_EQ(config.bdd_table_size, 65536u);
+  EXPECT_EQ(config.bdd_cache_size, 262144u);
+  // bdd_options() is the slice the bdd engine compiles with.
+  const bdd::BddOptions options = config.bdd_options();
+  EXPECT_EQ(options.ordering, bdd::VariableOrdering::kWeight);
+  EXPECT_EQ(options.initial_table_size, 65536u);
+  EXPECT_EQ(options.cache_size, 262144u);
+
+  EXPECT_THROW(set_engine_argument(config, "ordering=random"),
+               std::invalid_argument);
+  EXPECT_THROW(set_engine_argument(config, "module_min_leaves=0"),
+               std::invalid_argument);
+}
+
+TEST(StudyDocumentTest, UnknownOptionsSuggestTheNearestSchemaKey) {
+  // The "did you mean" diagnostic resolves through the typed schema, so a
+  // one-edit typo names the intended key in the error message.
+  EngineConfig config;
+  try {
+    set_engine_argument(config, "preproces=true");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("did you mean \"preprocess\""),
+              std::string::npos)
+        << error.what();
+  }
+  try {
+    set_engine_argument(config, "modularise=true");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("did you mean \"modularize\""),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StudyDocumentTest, EngineOptionDocsCoverThePreprocessSchema) {
+  // engine_option_docs() is the single source of truth the CLI help prints;
+  // every preprocessing/BDD key must be listed with its type.
+  const std::vector<EngineOptionDoc> docs = engine_option_docs();
+  const auto type_of = [&](std::string_view name) -> std::string_view {
+    for (const EngineOptionDoc& doc : docs) {
+      if (doc.name == name) return doc.type;
+    }
+    return "";
+  };
+  EXPECT_EQ(type_of("preprocess"), "flag");
+  EXPECT_EQ(type_of("modularize"), "flag");
+  EXPECT_EQ(type_of("module_min_leaves"), "count");
+  EXPECT_EQ(type_of("ordering"), "enum");
+  EXPECT_EQ(type_of("table_size"), "count");
+  EXPECT_EQ(type_of("cache_size"), "count");
+}
+
 TEST(StudyDocumentTest, SolverOptionsMapOntoTypedConfigFields) {
   // Reserved keys land in the typed fields (seed consumed by DE), extras
   // in the typed extras (starts consumed by multi_start).

@@ -1,0 +1,334 @@
+// Property tests for the preprocessing pipeline (src/prep): the structure
+// passes must preserve the top-event function *bitwise* on the BDD path
+// (they keep the DFS leaf order, and the ROBDD is canonical), and the
+// modularized cut-set path must reproduce MOCUS exactly. Random trees give
+// breadth (25 seeds, all gate kinds), the shipped example models give
+// realistic shapes, and the scaling corpus's 1k tier gives a tree large
+// enough for modularization to actually bite.
+#include "safeopt/prep/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "../../tools/corpus.h"
+#include "../testutil/random_tree.h"
+#include "safeopt/bdd/bdd.h"
+#include "safeopt/fta/cut_sets.h"
+#include "safeopt/ftio/study_document.h"
+
+namespace safeopt::prep {
+namespace {
+
+constexpr std::uint64_t kSeeds = 25;
+
+testutil::RandomTreeOptions big_tree_options() {
+  testutil::RandomTreeOptions options;
+  options.basic_events = 14;
+  options.conditions = 2;
+  options.gates = 12;
+  return options;
+}
+
+std::vector<fta::CutSet> canonical_mcs(fta::CutSetCollection collection) {
+  collection.minimize();  // idempotent: sorts canonically
+  return collection.sets();
+}
+
+// --- The headline property: structure passes are bitwise lossless. -------
+
+TEST(PreprocessPropertyTest, PassesPreserveProbabilityBitwise) {
+  // With modularization off, preprocessing rewrites the tree but keeps the
+  // DFS first-visit leaf order. Canonicity then forces the *same* decision
+  // diagram, so the Shannon probability is bitwise equal — EXPECT_EQ on
+  // doubles, not EXPECT_NEAR.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const fta::FaultTree tree = testutil::random_tree(seed);
+    const fta::QuantificationInput input =
+        testutil::random_probabilities(tree, seed);
+
+    bdd::CompiledFaultTree plain = bdd::compile(tree);
+    const double expected = plain.probability(input);
+
+    PreprocessOptions options;
+    options.modularize = false;
+    const PreprocessedTree preprocessed = preprocess(tree, options);
+    ASSERT_EQ(preprocessed.subtrees.size(), 1u) << "seed " << seed;
+    const ModularBddResult result = quantify_bdd(preprocessed, input);
+    EXPECT_EQ(result.probability, expected) << "seed " << seed;
+  }
+}
+
+TEST(PreprocessPropertyTest, ModularizedProbabilityAgreesToRounding) {
+  // Modularization is exact under leaf independence but re-associates the
+  // floating-point product, so the contract weakens from bitwise to
+  // last-ulp agreement.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const fta::FaultTree tree = testutil::random_tree(seed, big_tree_options());
+    const fta::QuantificationInput input =
+        testutil::random_probabilities(tree, seed);
+
+    bdd::CompiledFaultTree plain = bdd::compile(tree);
+    const double expected = plain.probability(input);
+
+    PreprocessOptions options;
+    options.module_min_leaves = 2;  // small trees: extract aggressively
+    const ModularBddResult result =
+        quantify_bdd(preprocess(tree, options), input);
+    EXPECT_NEAR(result.probability, expected, 1e-12 * std::abs(expected))
+        << "seed " << seed;
+  }
+}
+
+TEST(PreprocessPropertyTest, ModularizedCutSetsEqualMocus) {
+  // The composed modular MCS must be *equal* to MOCUS on the original tree
+  // — same sets, same canonical order — for every coherent random tree.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const fta::FaultTree tree = testutil::random_tree(seed, big_tree_options());
+
+    PreprocessOptions options;
+    options.module_min_leaves = 2;
+    const std::vector<fta::CutSet> modular =
+        canonical_mcs(minimal_cut_sets(preprocess(tree, options)));
+    const std::vector<fta::CutSet> mocus =
+        canonical_mcs(fta::minimal_cut_sets(tree));
+    EXPECT_EQ(modular, mocus) << "seed " << seed;
+  }
+}
+
+TEST(PreprocessPropertyTest, ExampleModelsCutSetsEqualMocus) {
+  const std::string base = std::string(SAFEOPT_SOURCE_DIR) + "/examples/models/";
+  for (const char* name : {"cooling_system.ft", "elbtunnel.ft",
+                           "pressure_vessel.ft", "railroad_crossing.ft"}) {
+    const ftio::StudyDocument document = ftio::load_study(base + name);
+    for (const ftio::TreeModel& model : document.trees) {
+      PreprocessOptions options;
+      options.module_min_leaves = 2;
+      const std::vector<fta::CutSet> modular =
+          canonical_mcs(minimal_cut_sets(preprocess(model.tree, options)));
+      const std::vector<fta::CutSet> mocus =
+          canonical_mcs(fta::minimal_cut_sets(model.tree));
+      EXPECT_EQ(modular, mocus)
+          << name << " tree " << model.tree.name();
+    }
+  }
+}
+
+TEST(PreprocessPropertyTest, CorpusTierQuantifiesLikePlainBdd) {
+  // The smallest committed corpus tier end to end: 1008 events, a 25-of-50
+  // top vote, INHIBIT clusters — the shape the pipeline was built for.
+  const corpus::CorpusModel model =
+      corpus::make_corpus(corpus::tier_by_name("1k"));
+
+  bdd::BddOptions geometry;
+  geometry.initial_table_size = std::size_t{1} << 16;
+  geometry.cache_size = std::size_t{1} << 18;
+  bdd::CompiledFaultTree plain = bdd::compile(model.tree, geometry);
+  const double expected = plain.probability(model.input);
+
+  const PreprocessedTree preprocessed = preprocess(model.tree, {});
+  const ModularBddResult result =
+      quantify_bdd(preprocessed, model.input, geometry);
+  EXPECT_GT(preprocessed.statistics.modules, 50u);
+  EXPECT_NEAR(result.probability, expected, 1e-9 * expected);
+  // The ablation the bench gates: an order of magnitude fewer nodes.
+  EXPECT_LT(result.decision_nodes * 10,
+            plain.manager.statistics().decision_node_count());
+}
+
+// --- Per-pass unit tests on hand-built trees. ----------------------------
+
+TEST(PreprocessPassTest, NormalizeExpandsEveryKofN) {
+  fta::FaultTree tree("kofn");
+  std::vector<fta::NodeId> leaves;
+  for (int i = 0; i < 6; ++i) {
+    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+  }
+  tree.set_top(tree.add_k_of_n("top", 3, std::move(leaves)));
+
+  PreprocessOptions options;
+  options.modularize = false;
+  const PreprocessedTree preprocessed = preprocess(tree, options);
+  const fta::FaultTree& out = preprocessed.top().tree;
+  for (fta::NodeId id = 0; id < out.node_count(); ++id) {
+    if (out.kind(id) == fta::NodeKind::kGate) {
+      EXPECT_NE(out.gate_type(id), fta::GateType::kKofN)
+          << "k-of-n gate survived normalization: " << out.node_name(id);
+    }
+  }
+}
+
+TEST(PreprocessPassTest, PropagateDegeneratesTrivialVotes) {
+  // 1-of-n is an OR and n-of-n is an AND; propagate rewrites both before
+  // normalization ever sees them (its rewrite count proves it ran).
+  fta::FaultTree tree("votes");
+  const auto e0 = tree.add_basic_event("e0");
+  const auto e1 = tree.add_basic_event("e1");
+  const auto e2 = tree.add_basic_event("e2");
+  const auto one = tree.add_k_of_n("one", 1, {e0, e1});
+  const auto all = tree.add_k_of_n("all", 2, {e1, e2});
+  tree.set_top(tree.add_and("top", {one, all}));
+
+  PreprocessOptions options;
+  options.normalize = false;
+  options.modularize = false;
+  const PreprocessedTree preprocessed = preprocess(tree, options);
+  const fta::FaultTree& out = preprocessed.top().tree;
+  bool saw_or = false;
+  bool saw_and = false;
+  for (fta::NodeId id = 0; id < out.node_count(); ++id) {
+    if (out.kind(id) != fta::NodeKind::kGate) continue;
+    EXPECT_NE(out.gate_type(id), fta::GateType::kKofN);
+    saw_or = saw_or || out.gate_type(id) == fta::GateType::kOr;
+    saw_and = saw_and || out.gate_type(id) == fta::GateType::kAnd;
+  }
+  EXPECT_TRUE(saw_or);
+  EXPECT_TRUE(saw_and);
+}
+
+TEST(PreprocessPassTest, FlattenSplicesSameOpChains) {
+  // OR(OR(OR(e0,e1),e2),e3) with single-parent inner gates collapses to one
+  // OR over four leaves.
+  fta::FaultTree tree("chain");
+  const auto e0 = tree.add_basic_event("e0");
+  const auto e1 = tree.add_basic_event("e1");
+  const auto e2 = tree.add_basic_event("e2");
+  const auto e3 = tree.add_basic_event("e3");
+  const auto inner = tree.add_or("inner", {e0, e1});
+  const auto mid = tree.add_or("mid", {inner, e2});
+  tree.set_top(tree.add_or("top", {mid, e3}));
+
+  PreprocessOptions options;
+  options.modularize = false;
+  const PreprocessedTree preprocessed = preprocess(tree, options);
+  const fta::FaultTree& out = preprocessed.top().tree;
+  ASSERT_EQ(out.gate_count(), 1u);
+  const fta::NodeId top = *out.find("top");
+  EXPECT_EQ(out.gate_type(top), fta::GateType::kOr);
+  EXPECT_EQ(out.children(top).size(), 4u);
+}
+
+TEST(PreprocessPassTest, MergeHashConsesIdenticalGates) {
+  // Two AND gates over the same children merge into one; the surviving
+  // top-level OR then deduplicates to a single child and aliases away.
+  fta::FaultTree tree("twins");
+  const auto e0 = tree.add_basic_event("e0");
+  const auto e1 = tree.add_basic_event("e1");
+  const auto left = tree.add_and("left", {e0, e1});
+  const auto right = tree.add_and("right", {e0, e1});
+  tree.set_top(tree.add_or("top", {left, right}));
+
+  PreprocessOptions options;
+  options.modularize = false;
+  const PreprocessedTree preprocessed = preprocess(tree, options);
+  EXPECT_EQ(preprocessed.top().tree.gate_count(), 1u);
+  bool merged = false;
+  for (const PassStats& pass : preprocessed.statistics.passes) {
+    merged = merged || (pass.name == "merge" && pass.rewrites > 0);
+  }
+  EXPECT_TRUE(merged);
+}
+
+TEST(PreprocessPassTest, PassSequenceEndsWithCleanupPropagate) {
+  const fta::FaultTree tree = testutil::random_tree(7);
+  const PreprocessedTree preprocessed = preprocess(tree, {});
+  std::vector<std::string> names;
+  for (const PassStats& pass : preprocessed.statistics.passes) {
+    names.push_back(pass.name);
+    EXPECT_GE(pass.nodes_before, pass.nodes_after) << pass.name;
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "propagate", "normalize", "flatten", "merge",
+                       "propagate"}));
+}
+
+TEST(PreprocessPassTest, ModulePseudoLeafReusesGateName) {
+  // An AND over four private leaves under an OR top is a textbook module:
+  // it must be extracted, and its pseudo-leaf in the parent must carry the
+  // gate's name with LeafOrigin::Kind::kModule.
+  fta::FaultTree tree("mod");
+  std::vector<fta::NodeId> module_leaves;
+  for (int i = 0; i < 4; ++i) {
+    module_leaves.push_back(tree.add_basic_event("m" + std::to_string(i)));
+  }
+  const auto module_gate = tree.add_and("engine_room", std::move(module_leaves));
+  const auto other = tree.add_basic_event("other");
+  tree.set_top(tree.add_or("top", {module_gate, other}));
+
+  const PreprocessedTree preprocessed = preprocess(tree, {});
+  ASSERT_EQ(preprocessed.subtrees.size(), 2u);
+  EXPECT_EQ(preprocessed.subtrees.front().name, "engine_room");
+
+  const Subtree& top = preprocessed.top();
+  const auto pseudo = top.tree.find("engine_room");
+  ASSERT_TRUE(pseudo.has_value());
+  EXPECT_EQ(top.tree.kind(*pseudo), fta::NodeKind::kBasicEvent);
+  bool found_module_origin = false;
+  for (const LeafOrigin& origin : top.basic_origin) {
+    found_module_origin =
+        found_module_origin || origin.kind == LeafOrigin::Kind::kModule;
+  }
+  EXPECT_TRUE(found_module_origin);
+}
+
+TEST(PreprocessPassTest, InhibitConditionsSurviveExtraction) {
+  // INHIBIT gates carry condition leaves; input_for must route the original
+  // condition probability into whichever subtree the gate lands in.
+  fta::FaultTree tree("inhibit");
+  const auto e0 = tree.add_basic_event("e0");
+  const auto e1 = tree.add_basic_event("e1");
+  const auto e2 = tree.add_basic_event("e2");
+  const auto e3 = tree.add_basic_event("e3");
+  const auto cause = tree.add_or("cause", {e0, e1, e2, e3});
+  const auto cond = tree.add_condition("maintenance");
+  const auto guarded = tree.add_inhibit("guarded", cause, cond);
+  const auto other = tree.add_basic_event("other");
+  tree.set_top(tree.add_or("top", {guarded, other}));
+
+  fta::QuantificationInput input =
+      fta::QuantificationInput::for_tree(tree, 0.1);
+  input.condition_probability[0] = 0.25;
+
+  bdd::CompiledFaultTree plain = bdd::compile(tree);
+  const double expected = plain.probability(input);
+  const ModularBddResult result = quantify_bdd(preprocess(tree, {}), input);
+  EXPECT_NEAR(result.probability, expected, 1e-15);
+}
+
+TEST(PreprocessPassTest, StatisticsCountEventsAndModules) {
+  const corpus::CorpusModel model =
+      corpus::make_corpus(corpus::tier_by_name("1k"));
+  const PreprocessedTree preprocessed = preprocess(model.tree, {});
+  const PreprocessStatistics& stats = preprocessed.statistics;
+  EXPECT_EQ(stats.events_before, model.tree.basic_event_count() +
+                                     model.tree.condition_count());
+  EXPECT_EQ(stats.modules, preprocessed.subtrees.size() - 1);
+  EXPECT_EQ(stats.events_after,
+            preprocessed.top().tree.basic_event_count() +
+                preprocessed.top().tree.condition_count());
+  // The whole point: the top subtree sees ~50 module pseudo-leaves instead
+  // of ~1000 raw events.
+  EXPECT_LT(stats.events_after * 10, stats.events_before);
+}
+
+TEST(PreprocessPassTest, DisabledPipelineIsIdentityShape) {
+  const fta::FaultTree tree = testutil::random_tree(3);
+  PreprocessOptions off;
+  off.propagate = off.normalize = off.flatten = off.merge = off.modularize =
+      false;
+  const PreprocessedTree preprocessed = preprocess(tree, off);
+  EXPECT_TRUE(preprocessed.statistics.passes.empty());
+  ASSERT_EQ(preprocessed.subtrees.size(), 1u);
+
+  const fta::QuantificationInput input =
+      testutil::random_probabilities(tree, 3);
+  bdd::CompiledFaultTree plain = bdd::compile(tree);
+  const ModularBddResult result = quantify_bdd(preprocessed, input);
+  EXPECT_EQ(result.probability, plain.probability(input));
+}
+
+}  // namespace
+}  // namespace safeopt::prep

@@ -69,7 +69,15 @@ int usage(const char* error = nullptr) {
       "  --engine-opt K=V  engine option, repeatable (e.g. tilt=25)\n"
       "  --seed N          solver seed\n"
       "  --at NAME=VALUE   evaluation point component, repeatable\n"
-      "  --json            machine-readable output\n");
+      "  --json            machine-readable output\n"
+      "\n"
+      "engine options (--engine-opt, one typed schema for documents and "
+      "CLI):\n");
+  for (const core::EngineOptionDoc& doc : core::engine_option_docs()) {
+    std::fprintf(stderr, "  %-18s %-6s %s\n",
+                 std::string(doc.name).c_str(), std::string(doc.type).c_str(),
+                 std::string(doc.doc).c_str());
+  }
   return 2;
 }
 
@@ -239,6 +247,22 @@ void print_hazard_results(const HazardResults& results,
                       *result.converged ? "true" : "false");
         }
       }
+      // Preprocessing diagnostics (fta/bdd with --engine-opt
+      // preprocess=true): what the pass pipeline did to this hazard's tree.
+      if (result.preprocess.has_value()) {
+        const core::PreprocessSummary& pre = *result.preprocess;
+        std::printf(", \"preprocess\": {\"modules\": %zu"
+                    ", \"events_before\": %zu, \"events_after\": %zu"
+                    ", \"gates_before\": %zu, \"gates_after\": %zu"
+                    ", \"passes\": [",
+                    pre.modules, pre.events_before, pre.events_after,
+                    pre.gates_before, pre.gates_after);
+        for (std::size_t i = 0; i < pre.passes.size(); ++i) {
+          std::printf("%s\"%s\"", i > 0 ? ", " : "",
+                      json_escape(pre.passes[i]).c_str());
+        }
+        std::printf("]}");
+      }
       std::printf("}");
     } else {
       std::printf("  P(%s) = %.6e", hazard.c_str(), result.probability);
@@ -254,6 +278,17 @@ void print_hazard_results(const HazardResults& results,
         }
       }
       std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+      if (result.preprocess.has_value()) {
+        const core::PreprocessSummary& pre = *result.preprocess;
+        std::printf("    preprocessed: %zu module(s), %zu -> %zu events, "
+                    "%zu -> %zu gates, passes:",
+                    pre.modules, pre.events_before, pre.events_after,
+                    pre.gates_before, pre.gates_after);
+        for (const std::string& pass : pre.passes) {
+          std::printf(" %s", pass.c_str());
+        }
+        std::printf("\n");
+      }
     }
     first = false;
   }
