@@ -4,9 +4,18 @@
 #include <numeric>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/execution.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::bdd {
 namespace {
+
+/// ITE calls between two deadline/cancellation polls. Coarse enough that the
+/// poll (an atomic load plus a clock read) is invisible next to ~1k hash
+/// probes, fine enough that a runaway construction aborts within
+/// milliseconds.
+constexpr std::size_t kControlCheckMask = 1023;
 
 /// 64-bit mix (splitmix64 finalizer) for hash combining.
 std::uint64_t mix64(std::uint64_t z) noexcept {
@@ -35,7 +44,9 @@ BddManager::BddManager(std::uint32_t variable_count)
     : BddManager(variable_count, BddOptions{}) {}
 
 BddManager::BddManager(std::uint32_t variable_count, const BddOptions& options)
-    : variable_count_(variable_count) {
+    : variable_count_(variable_count),
+      node_budget_(options.node_budget),
+      control_(options.control) {
   // Terminals occupy slots 0 (false) and 1 (true); their var field is a
   // sentinel one past the last real variable so top_var comparisons work.
   nodes_.push_back({variable_count_, kFalse, kFalse});
@@ -61,6 +72,17 @@ BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
   // No GC: nodes are only ever created, so live == peak by construction.
   stats_.node_count = nodes_.size();
   stats_.peak_node_count = nodes_.size();
+  // Budget check after the counters: the manager stays consistent (the node
+  // exists, statistics() holds), so the caller gets a partial-but-valid
+  // picture in the message and can still inspect the manager afterwards.
+  if (node_budget_ != 0 && stats_.decision_node_count() > node_budget_) {
+    throw Error(
+        ErrorCategory::kResourceExhausted,
+        concat("BDD node budget exceeded: ",
+               std::to_string(stats_.decision_node_count()),
+               " decision nodes (budget ", std::to_string(node_budget_),
+               ") after ", std::to_string(stats_.ite_calls), " ITE calls"));
+  }
   return ref;
 }
 
@@ -93,6 +115,9 @@ BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
 
 BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   ++stats_.ite_calls;
+  if (control_ != nullptr && (stats_.ite_calls & kControlCheckMask) == 0) {
+    control_->check("BDD construction");
+  }
   // Terminal short-circuits.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
@@ -354,6 +379,11 @@ CompiledFaultTree compile(const fta::FaultTree& tree,
             order.var_of_condition[tree.condition_ordinal(id)]);
         break;
       case fta::NodeKind::kGate: {
+        // Per-gate poll: an expired deadline aborts before the next gate's
+        // ITE cascade even starts, independent of the in-ITE poll period.
+        if (options.control != nullptr) {
+          options.control->check("BDD compilation");
+        }
         std::vector<BddRef> children;
         children.reserve(tree.children(id).size());
         for (const fta::NodeId child : tree.children(id)) {

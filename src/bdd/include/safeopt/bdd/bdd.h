@@ -25,6 +25,10 @@
 #include "safeopt/fta/fault_tree.h"
 #include "safeopt/fta/probability.h"
 
+namespace safeopt {
+class ExecutionControl;  // support/execution.h
+}
+
 namespace safeopt::bdd {
 
 /// Index of a BDD node within its manager. 0 and 1 are the terminals.
@@ -62,6 +66,15 @@ struct BddOptions {
   /// are bitwise identical at any size (ITE is deterministic; the cache
   /// only memoizes).
   std::size_t cache_size = 1u << 16;
+  /// Maximum unique *decision* nodes the manager may create; exceeding it
+  /// throws Error(kResourceExhausted) from the allocating operation, with
+  /// the partial counters in the message and the manager still consistent
+  /// (statistics() remains valid). 0 = unlimited.
+  std::size_t node_budget = 0;
+  /// Cooperative deadline/cancellation, polled every ~1k ITE calls and at
+  /// every gate during compile(); an abort throws Error(kDeadlineExceeded /
+  /// kCancelled). Not owned; must outlive the manager. nullptr = unbounded.
+  const ExecutionControl* control = nullptr;
 };
 
 /// BDD node and operation counters for the ablation benches.
@@ -176,6 +189,8 @@ class BddManager {
   std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_table_;
   std::vector<IteSlot> ite_cache_;
   std::size_t ite_mask_ = 0;
+  std::size_t node_budget_ = 0;               // decision nodes; 0 = unlimited
+  const ExecutionControl* control_ = nullptr;  // not owned
   mutable BddStatistics stats_;
 };
 

@@ -41,6 +41,7 @@
 
 namespace safeopt {
 class ThreadPool;
+class ExecutionControl;  // support/execution.h
 }
 
 namespace safeopt::core {
@@ -97,6 +98,14 @@ struct QuantificationResult {
   /// Engines running the preprocessing pipeline only (fta/bdd with
   /// EngineConfig::preprocess): what the pass pipeline did.
   std::optional<PreprocessSummary> preprocess;
+  /// Engines honoring a deadline/cancellation control (mc_adaptive): true
+  /// when the run was cut short at a round boundary — the estimate then
+  /// describes the last completed round, with converged = false.
+  std::optional<bool> aborted;
+  /// Human-readable robustness notes, e.g. the degradation chain's
+  /// "engine \"bdd\" degraded to \"mc_adaptive\" ..." record. Empty in the
+  /// happy path; surfaced verbatim by `safeopt quantify --json`.
+  std::vector<std::string> diagnostics;
 
   /// CI half-width, the adaptive stopping quantity; 0 without a ci95.
   [[nodiscard]] double halfwidth() const noexcept {
@@ -149,11 +158,39 @@ struct EngineConfig {
   /// ITE cache entries (rounded up to a power of two).
   std::size_t bdd_table_size = 1u << 12;
   std::size_t bdd_cache_size = 1u << 16;
+  /// bdd engine: maximum unique decision nodes before compilation aborts
+  /// with Error(kResourceExhausted) — the admission control that keeps a
+  /// pathological tree from eating the process. 0 = unlimited (document/CLI
+  /// option `bdd_node_budget`).
+  std::size_t bdd_node_budget = 0;
+  /// Wall-clock budget in milliseconds for each expensive engine operation:
+  /// compilation at engine construction (fta/bdd, including the prep
+  /// pipeline) and each quantify() call (mc_adaptive, which aborts at a
+  /// round boundary with a partial result instead of throwing). 0 = none
+  /// (document/CLI option `deadline_ms`).
+  std::uint64_t deadline_ms = 0;
+  /// Degradation chain: when engine construction fails with a *recoverable*
+  /// Error (resource_exhausted / deadline_exceeded), Study::quantify and
+  /// create_engine_with_fallback retry once with this engine instead,
+  /// recording the downgrade in QuantificationResult::diagnostics. Empty =
+  /// fail hard (document/CLI option `fallback`, e.g. `fallback =
+  /// mc_adaptive`).
+  std::string fallback;
+  /// Caller-provided cancellation/deadline control, chained as the parent
+  /// of any per-operation control the engine derives from `deadline_ms`.
+  /// Programmatic only (no document option). Not owned; must outlive the
+  /// engine. nullptr = unbounded.
+  const ExecutionControl* control = nullptr;
 
   /// The BddOptions slice of this config (the bdd engine's constructor
   /// argument for both the plain and the per-module compilation paths).
+  /// `control` is wired separately by the engine — it derives a
+  /// per-construction deadline control and points BddOptions::control at
+  /// that, not at this config's caller-level control.
   [[nodiscard]] bdd::BddOptions bdd_options() const noexcept {
-    return {ordering, bdd_table_size, bdd_cache_size};
+    bdd::BddOptions options{ordering, bdd_table_size, bdd_cache_size};
+    options.node_budget = bdd_node_budget;
+    return options;
   }
 };
 
@@ -214,6 +251,19 @@ struct EngineRegistrar {
     EngineRegistry::add(std::move(name), std::move(factory));
   }
 };
+
+/// EngineRegistry::create with the degradation chain applied: when building
+/// `name` throws a *recoverable* safeopt::Error (resource_exhausted /
+/// deadline_exceeded — not cancellation, not invalid input) and
+/// config.fallback names a different engine, the fallback engine is built
+/// instead (same config) and `*diagnostic` (when non-null) records the
+/// downgrade, category first, for QuantificationResult::diagnostics. The
+/// chain is one link long on purpose: a fallback that also fails propagates
+/// its error. Study::quantify and the CLI's constant-model path share this.
+[[nodiscard]] std::unique_ptr<QuantificationEngine>
+create_engine_with_fallback(std::string_view name, const fta::FaultTree& tree,
+                            const EngineConfig& config,
+                            std::string* diagnostic = nullptr);
 
 }  // namespace safeopt::core
 

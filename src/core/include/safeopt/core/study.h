@@ -162,6 +162,10 @@ class Study {
     // Lazily built; mutable state of the (single-threaded) quantify path.
     mutable std::unique_ptr<CompiledQuantification> compiled;
     mutable std::unique_ptr<QuantificationEngine> engine;
+    // Non-empty when the engine above is a fallback the configured engine
+    // degraded to (budget/deadline blown during construction); appended to
+    // every QuantificationResult::diagnostics the engine produces.
+    mutable std::string degradation;
 
     // Copying a Study copies the attachment, not the lazily built caches
     // (each copy rebuilds its own engine — engines memoize and are
@@ -180,6 +184,7 @@ class Study {
         quantification = other.quantification;
         compiled.reset();
         engine.reset();
+        degradation.clear();
       }
       return *this;
     }

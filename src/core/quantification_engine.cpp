@@ -8,7 +8,10 @@
 #include "safeopt/mc/monte_carlo.h"
 #include "safeopt/prep/preprocess.h"
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/execution.h"
 #include "safeopt/support/registry.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::core {
 
@@ -24,12 +27,29 @@ std::vector<QuantificationResult> QuantificationEngine::quantify_batch(
 
 namespace {
 
-/// The PreprocessOptions slice of an EngineConfig.
-prep::PreprocessOptions to_prep_options(const EngineConfig& config) {
+/// The PreprocessOptions slice of an EngineConfig, with the engine's
+/// per-construction control threaded into the pass pipeline.
+prep::PreprocessOptions to_prep_options(const EngineConfig& config,
+                                        const ExecutionControl* control) {
   prep::PreprocessOptions options;
   options.modularize = config.modularize;
   options.module_min_leaves = config.module_min_leaves;
+  options.control = control;
   return options;
+}
+
+/// Fills `storage` with the engine's per-construction control — a fresh
+/// deadline derived from config.deadline_ms, chained to the caller's
+/// config.control as parent — and returns it; nullptr when the config asks
+/// for neither (so the unbounded path stays poll-free).
+const ExecutionControl* activate_control(const EngineConfig& config,
+                                         ExecutionControl& storage) {
+  if (config.deadline_ms == 0 && config.control == nullptr) return nullptr;
+  storage.deadline = config.deadline_ms > 0
+                         ? Deadline::after_ms(config.deadline_ms)
+                         : Deadline::never();
+  storage.parent = config.control;
+  return &storage;
 }
 
 /// The diagnostics sub-struct engines attach to every result when the
@@ -55,12 +75,16 @@ class CutSetEngine final : public QuantificationEngine {
  public:
   CutSetEngine(const fta::FaultTree& tree, const EngineConfig& config)
       : tree_(tree), config_(config) {
+    // The construction-time control only needs to live through this body:
+    // MOCUS/preprocessing happen here, quantify() is per-point arithmetic.
+    ExecutionControl storage;
+    const ExecutionControl* control = activate_control(config, storage);
     if (config.preprocess) {
       // Composed modular cut sets are mapped back to the original ordinals
       // and minimize()d, so quantification below is bit-identical to the
       // direct MOCUS path — the pipeline only changes how mcs_ is found.
       const prep::PreprocessedTree preprocessed =
-          prep::preprocess(tree, to_prep_options(config));
+          prep::preprocess(tree, to_prep_options(config, control));
       mcs_ = prep::minimal_cut_sets(preprocessed);
       summary_ = to_summary(preprocessed.statistics);
     } else {
@@ -110,8 +134,14 @@ class BddEngine final : public QuantificationEngine {
  public:
   BddEngine(const fta::FaultTree& tree, const EngineConfig& config)
       : tree_(tree), options_(config.bdd_options()) {
+    // Construction is the expensive phase (the whole compilation), so the
+    // per-construction deadline starts here — but the managers keep the
+    // control pointer for their lifetime, so it lives in a member
+    // (declared first, destroyed last), never on this stack frame.
+    options_.control = activate_control(config, control_storage_);
     if (config.preprocess) {
-      preprocessed_ = prep::preprocess(tree, to_prep_options(config));
+      preprocessed_ =
+          prep::preprocess(tree, to_prep_options(config, options_.control));
       modules_.emplace(*preprocessed_, options_);
       summary_ = to_summary(preprocessed_->statistics);
     } else {
@@ -144,6 +174,9 @@ class BddEngine final : public QuantificationEngine {
 
  private:
   const fta::FaultTree& tree_;
+  // Referenced by every manager compiled below; must be declared before
+  // them so it is destroyed after them.
+  ExecutionControl control_storage_;
   bdd::BddOptions options_;
   std::optional<bdd::CompiledFaultTree> compiled_;
   // `modules_` keeps a pointer into `preprocessed_`; both live and die with
@@ -206,7 +239,10 @@ class AdaptiveMonteCarloEngine final : public QuantificationEngine {
  public:
   AdaptiveMonteCarloEngine(const fta::FaultTree& tree,
                            const EngineConfig& config)
-      : tree_(tree), sampler_(to_options(config)) {}
+      : tree_(tree),
+        sampler_(to_options(config)),
+        deadline_ms_(config.deadline_ms),
+        caller_control_(config.control) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "mc_adaptive";
@@ -225,21 +261,33 @@ class AdaptiveMonteCarloEngine final : public QuantificationEngine {
   [[nodiscard]] QuantificationResult quantify(
       const fta::QuantificationInput& input) override {
     SAFEOPT_EXPECTS(input.is_valid_for(tree_));
-    return to_result(sampler_.estimate(tree_, input));
+    return quantify_batch({input}).front();
   }
 
   /// Real batched path: one super-round scheduler drives every input, so
   /// slow (rare-event) inputs keep the pool busy after easy ones converge.
-  /// Entries are bitwise-identical to the serial quantify() loop.
+  /// Entries are bitwise-identical to the serial quantify() loop. The
+  /// sampling loop is this engine's expensive phase, so `deadline_ms` is a
+  /// *per-call* budget: each call derives a fresh deadline (chained to the
+  /// caller's config.control) and an expired one flags `aborted` on the
+  /// partial results rather than throwing.
   [[nodiscard]] std::vector<QuantificationResult> quantify_batch(
       const std::vector<fta::QuantificationInput>& inputs) override {
     for (const fta::QuantificationInput& input : inputs) {
       SAFEOPT_EXPECTS(input.is_valid_for(tree_));
     }
+    ExecutionControl control;
+    const ExecutionControl* active = nullptr;
+    if (deadline_ms_ > 0 || caller_control_ != nullptr) {
+      control.deadline = deadline_ms_ > 0 ? Deadline::after_ms(deadline_ms_)
+                                          : Deadline::never();
+      control.parent = caller_control_;
+      active = &control;
+    }
     std::vector<QuantificationResult> results;
     results.reserve(inputs.size());
     for (const mc::AdaptiveResult& estimate :
-         sampler_.estimate_batch(tree_, inputs)) {
+         sampler_.estimate_batch(tree_, inputs, active)) {
       results.push_back(to_result(estimate));
     }
     return results;
@@ -268,11 +316,14 @@ class AdaptiveMonteCarloEngine final : public QuantificationEngine {
     result.trials = estimate.trials;
     result.ess = estimate.ess;
     result.converged = estimate.converged;
+    result.aborted = estimate.aborted;
     return result;
   }
 
   const fta::FaultTree& tree_;
   mc::AdaptiveMonteCarlo sampler_;
+  std::uint64_t deadline_ms_ = 0;
+  const ExecutionControl* caller_control_ = nullptr;
 };
 
 /// The shared registry scaffolding (support/registry.h), seeded with the
@@ -320,6 +371,30 @@ bool EngineRegistry::contains(std::string_view name) {
 
 std::vector<std::string> EngineRegistry::available() {
   return registry().available();
+}
+
+std::unique_ptr<QuantificationEngine> create_engine_with_fallback(
+    std::string_view name, const fta::FaultTree& tree,
+    const EngineConfig& config, std::string* diagnostic) {
+  try {
+    return EngineRegistry::create(name, tree, config);
+  } catch (const Error& error) {
+    if (!error.recoverable() || config.fallback.empty() ||
+        config.fallback == name) {
+      throw;
+    }
+    // One link only: a failing fallback propagates. The downgrade note
+    // leads with the machine-readable category so log scrapers can filter.
+    std::unique_ptr<QuantificationEngine> engine =
+        EngineRegistry::create(config.fallback, tree, config);
+    if (diagnostic != nullptr) {
+      *diagnostic = concat("engine \"", name, "\" degraded to \"",
+                           config.fallback, "\" (",
+                           category_name(error.category()), "): ",
+                           error.what());
+    }
+    return engine;
+  }
 }
 
 }  // namespace safeopt::core

@@ -238,6 +238,42 @@ constexpr EngineOptionSpec kEngineOptionSchema[] = {
         const ftio::OptionValue& value) {
        config.bdd_cache_size = require_count_at_least(key, value, 1);
      }},
+    {"deadline_ms", "count",
+     "wall-clock deadline in milliseconds (0 = none): bounds fta/bdd "
+     "construction and each mc_adaptive quantify call",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.deadline_ms =
+           static_cast<std::uint64_t>(require_count(key, value, "engine"));
+     }},
+    {"bdd_node_budget", "count",
+     "bdd: decision-node cap (0 = unlimited); exceeding it aborts "
+     "compilation with a resource_exhausted error",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       config.bdd_node_budget = require_count(key, value, "engine");
+     }},
+    {"fallback", "enum",
+     "engine to degrade to when construction exhausts a budget or deadline "
+     "(an engine name, or none)",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       if (value.kind != ftio::OptionValue::Kind::kText) {
+         throw std::invalid_argument(concat(
+             "engine option \"", key, "\" must be an engine name or none"));
+       }
+       if (value.text == "none") {
+         config.fallback.clear();
+         return;
+       }
+       if (!EngineRegistry::contains(value.text)) {
+         throw std::invalid_argument(concat(
+             "engine option \"", key, "\" names unknown engine \"", value.text,
+             "\"; available: ", join(EngineRegistry::available(), ", "),
+             ", or none"));
+       }
+       config.fallback = value.text;
+     }},
 };
 
 /// Levenshtein distance, the "did you mean" metric (option names are short,
@@ -487,8 +523,12 @@ Study& Study::observe(opt::ProgressObserver observer) {
 Study& Study::engine(std::string name, EngineConfig config) {
   engine_name_ = std::move(name);
   engine_config_ = config;
-  // Engines are per-(tree, config); drop the ones built for the old choice.
-  for (const TreeHazard& entry : tree_hazards_) entry.engine.reset();
+  // Engines are per-(tree, config); drop the ones built for the old choice
+  // (and any degradation note recorded while building them).
+  for (const TreeHazard& entry : tree_hazards_) {
+    entry.engine.reset();
+    entry.degradation.clear();
+  }
   return *this;
 }
 
@@ -534,10 +574,18 @@ QuantificationResult Study::quantify(
           std::make_unique<CompiledQuantification>(*entry.quantification);
     }
     if (!entry.engine) {
-      entry.engine =
-          EngineRegistry::create(engine_name_, *entry.tree, engine_config_);
+      // Degradation happens at construction time (budget/deadline blown
+      // while compiling), so the downgrade note is cached alongside the
+      // engine and replayed into every result it produces.
+      entry.engine = create_engine_with_fallback(
+          engine_name_, *entry.tree, engine_config_, &entry.degradation);
     }
-    return entry.engine->quantify(entry.compiled->input_at(at));
+    QuantificationResult result =
+        entry.engine->quantify(entry.compiled->input_at(at));
+    if (!entry.degradation.empty()) {
+      result.diagnostics.push_back(entry.degradation);
+    }
+    return result;
   }
   throw std::invalid_argument(
       concat("no fault tree attached for hazard \"", hazard,

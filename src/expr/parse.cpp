@@ -208,6 +208,20 @@ class Parser {
   }
 
   Expr parse_factor() {
+    // Recursion guard: every nesting construct (parentheses, unary minus,
+    // function arguments) re-enters the grammar through parse_factor, so
+    // bounding it here caps total parser stack depth — a pathological
+    // "((((...1...))))" or "----...-1" raises ParseError instead of
+    // overflowing the stack. 256 is far beyond any legitimate formula.
+    if (++depth_ > kMaxDepth) {
+      throw ParseError(current_.offset,
+                       concat("expression nesting exceeds the supported "
+                              "depth (", std::to_string(kMaxDepth), ")"));
+    }
+    struct DepthGuard {
+      std::size_t& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
     if (accept(Token::Kind::kMinus)) {
       // "-2" is the constant -2, not neg(2): the printer renders negative
       // ConstNodes as signed literals, and round-tripping them back into
@@ -440,9 +454,12 @@ class Parser {
     return dist;
   }
 
+  static constexpr std::size_t kMaxDepth = 256;
+
   Lexer lexer_;
   Token current_;
   const SymbolTable& symbols_;
+  std::size_t depth_ = 0;  // live parse_factor frames (see the guard there)
 };
 
 // ------------------------------------------------------ structural equality

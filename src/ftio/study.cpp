@@ -630,6 +630,12 @@ class TreeBuilder {
   }
 
  private:
+  /// Gate-nesting cap: build_node recurses once per gate level, so a
+  /// linear 10k-deep chain of gates would otherwise overflow the stack
+  /// before the cycle check can help. Real trees nest a few dozen levels;
+  /// anything past this bound is an adversarial or corrupted document.
+  static constexpr std::size_t kMaxGateDepth = 512;
+
   fta::NodeId build_node(const std::string& name, std::size_t ref_line) {
     if (const auto existing = tree_.find(name)) return *existing;
     if (in_progress_.contains(name)) {
@@ -640,6 +646,12 @@ class TreeBuilder {
     const auto gate_it = section_.gates.find(name);
     if (gate_it != section_.gates.end()) {
       const GateDecl& gate = gate_it->second;
+      if (in_progress_.size() >= kMaxGateDepth) {
+        throw ParseError(source_, gate.line, gate.column,
+                         "gate nesting exceeds the supported depth (" +
+                             std::to_string(kMaxGateDepth) + ") at gate '" +
+                             name + "'");
+      }
       in_progress_.insert(name);
       std::vector<fta::NodeId> children;
       children.reserve(gate.children.size());

@@ -6,6 +6,7 @@
 
 #include "safeopt/stats/special_functions.h"
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/execution.h"
 #include "safeopt/support/rng.h"
 #include "safeopt/support/thread_pool.h"
 
@@ -208,6 +209,13 @@ AdaptiveResult AdaptiveMonteCarlo::estimate(
 std::vector<AdaptiveResult> AdaptiveMonteCarlo::estimate_batch(
     const fta::FaultTree& tree,
     const std::vector<fta::QuantificationInput>& inputs) const {
+  return estimate_batch(tree, inputs, options_.control);
+}
+
+std::vector<AdaptiveResult> AdaptiveMonteCarlo::estimate_batch(
+    const fta::FaultTree& tree,
+    const std::vector<fta::QuantificationInput>& inputs,
+    const ExecutionControl* control) const {
   SAFEOPT_EXPECTS(tree.has_top());
   const bool importance = options_.tilt > 1.0;
   const double z = stats::normal_quantile(0.975);
@@ -222,6 +230,24 @@ std::vector<AdaptiveResult> AdaptiveMonteCarlo::estimate_batch(
 
   std::vector<ChunkJob> jobs;
   for (;;) {
+    // Round-boundary abort poll — the only place the control is consulted,
+    // so completed-round totals (which are thread-count-invariant) are the
+    // only thing an abort can expose. Unfinished inputs keep their last
+    // finish_round() result; an abort before the first round reports zero
+    // trials. Aborted estimates are flagged, never thrown: a partial
+    // estimate with an honest interval is still a result.
+    if (control != nullptr && control->should_abort()) {
+      for (AdaptiveState& state : states) {
+        if (state.finished) continue;
+        state.result.trials = state.done;
+        state.result.occurrences = state.hits;
+        state.result.converged = false;
+        state.result.aborted = true;
+        state.result.importance = importance;
+        state.finished = true;
+      }
+      break;
+    }
     // Hand out the next round of every unfinished input: per input, a run
     // of kChunkTrials-sized chunks covering min(batch, budget left) trials,
     // each chunk on its own jump() stream. The layout depends only on the

@@ -41,6 +41,7 @@
 
 namespace safeopt {
 class ThreadPool;
+class ExecutionControl;  // support/execution.h
 }
 
 namespace safeopt::mc {
@@ -72,6 +73,12 @@ struct AdaptiveOptions {
   /// Optional worker pool for the per-round chunk fan-out. Not owned.
   /// Results are bitwise-identical with any pool, or none.
   ThreadPool* pool = nullptr;
+
+  /// Cooperative deadline/cancellation, polled only at round boundaries so
+  /// the thread-invariance contract is untouched: an aborted run returns the
+  /// last completed round's totals (converged = false, aborted = true) — it
+  /// never throws, and never tears a round. Not owned; nullptr = unbounded.
+  const ExecutionControl* control = nullptr;
 };
 
 /// Outcome of one adaptive estimation.
@@ -85,6 +92,10 @@ struct AdaptiveResult {
   std::uint64_t occurrences = 0;
   /// True when the target half-width was reached within the budget.
   bool converged = false;
+  /// True when a deadline/cancellation cut the run short at a round
+  /// boundary; the totals above then describe the last completed round
+  /// (zero rounds when the control had already fired at entry).
+  bool aborted = false;
   /// True when the estimate came from the tilted (importance) sampler.
   bool importance = false;
   /// Effective sample size (Σw)²/Σw² of the importance weights; equals
@@ -131,6 +142,14 @@ class AdaptiveMonteCarlo {
   [[nodiscard]] std::vector<AdaptiveResult> estimate_batch(
       const fta::FaultTree& tree,
       const std::vector<fta::QuantificationInput>& inputs) const;
+
+  /// estimate_batch with a per-call control that overrides (not chains)
+  /// options().control — the engine layer derives a fresh deadline per
+  /// quantification from one long-lived sampler.
+  [[nodiscard]] std::vector<AdaptiveResult> estimate_batch(
+      const fta::FaultTree& tree,
+      const std::vector<fta::QuantificationInput>& inputs,
+      const ExecutionControl* control) const;
 
  private:
   AdaptiveOptions options_;

@@ -40,6 +40,7 @@
 
 namespace safeopt {
 class ThreadPool;
+class ExecutionControl;  // support/execution.h
 }
 
 namespace safeopt::opt {
@@ -89,6 +90,15 @@ struct SolverConfig {
   std::vector<double> initial;
   /// Progress observer; empty = no instrumentation (zero overhead).
   ProgressObserver observer;
+  /// Cooperative deadline/cancellation, checked by the instrumentation
+  /// layer at evaluation granularity: once the control fires, further
+  /// objective calls report +inf without evaluating, the solver winds down
+  /// on its own, and solve() returns the best point seen with
+  /// converged = false and a message naming the abort reason — partial
+  /// results, never an exception, exactly like budget exhaustion. Not
+  /// owned; must outlive the solve call. nullptr (the default) keeps the
+  /// uninstrumented fast path bit-identical and overhead-free.
+  const ExecutionControl* control = nullptr;
 
   /// Sets a numeric per-solver extra (e.g. "points_per_dimension" for
   /// grid_search). Returns *this for chaining.

@@ -10,6 +10,7 @@
 
 #include "builtin_solvers.h"
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/execution.h"
 #include "safeopt/support/registry.h"
 #include "safeopt/support/strings.h"
 
@@ -110,7 +111,9 @@ namespace {
 class Instrument {
  public:
   explicit Instrument(const SolverConfig& config)
-      : budget_(config.max_evaluations), observer_(config.observer) {}
+      : budget_(config.max_evaluations),
+        observer_(config.observer),
+        control_(config.control) {}
 
   [[nodiscard]] Problem wrap(const Problem& original) {
     Problem wrapped;
@@ -162,7 +165,16 @@ class Instrument {
   /// Applies the instrumented accounting to the solver's raw result.
   [[nodiscard]] OptimizationResult finalize(OptimizationResult result) {
     const std::scoped_lock lock(mutex_);
-    if (exhausted_) {
+    if (abort_status_ != ExecutionStatus::kRunning) {
+      result.evaluations = evaluations_;
+      result.converged = false;
+      result.message = concat(status_reason(abort_status_), " after ",
+                              std::to_string(evaluations_), " evaluations");
+      if (!best_point_.empty()) {
+        result.argmin = best_point_;
+        result.value = best_value_;
+      }
+    } else if (exhausted_) {
       result.evaluations = evaluations_;
       result.converged = false;
       result.message = concat("evaluation budget exhausted after ",
@@ -182,6 +194,13 @@ class Instrument {
   /// but billed only up to the budget, keeping the reported count <= budget.
   [[nodiscard]] bool reserve(std::size_t n) {
     const std::scoped_lock lock(mutex_);
+    // Abort check first: once the control fires, the refusal is sticky (no
+    // further status polls), every later evaluation reports +inf, and the
+    // run winds down exactly like a spent budget.
+    if (control_ != nullptr && abort_status_ == ExecutionStatus::kRunning) {
+      abort_status_ = control_->status();
+    }
+    if (abort_status_ != ExecutionStatus::kRunning) return false;
     if (budget_ == 0) {
       evaluations_ += n;
       return true;
@@ -241,11 +260,13 @@ class Instrument {
   std::mutex mutex_;
   std::size_t budget_;
   const ProgressObserver& observer_;
+  const ExecutionControl* control_;
   std::size_t evaluations_ = 0;
   std::size_t events_ = 0;
   double best_value_ = std::numeric_limits<double>::infinity();
   std::vector<double> best_point_;
   bool exhausted_ = false;
+  ExecutionStatus abort_status_ = ExecutionStatus::kRunning;
 };
 
 }  // namespace
@@ -281,7 +302,8 @@ OptimizationResult Solver::solve(const Problem& problem,
         " coordinates for a ", std::to_string(problem.bounds.dimension()),
         "-dimensional box"));
   }
-  if (!config.observer && config.max_evaluations == 0) {
+  if (!config.observer && config.max_evaluations == 0 &&
+      config.control == nullptr) {
     return run(problem, config);  // untouched fast path, bit-identical
   }
   Instrument instrument(config);

@@ -49,6 +49,10 @@
 #include "safeopt/fta/fault_tree.h"
 #include "safeopt/fta/probability.h"
 
+namespace safeopt {
+class ExecutionControl;  // support/execution.h
+}
+
 namespace safeopt::prep {
 
 /// Which passes run, and the modularization granularity.
@@ -62,6 +66,10 @@ struct PreprocessOptions {
   /// this many leaves — extracting tiny modules costs more bookkeeping than
   /// the per-module quantification saves.
   std::size_t module_min_leaves = 4;
+  /// Cooperative deadline/cancellation, polled at pass boundaries; an abort
+  /// throws Error(kDeadlineExceeded / kCancelled) and the input tree is
+  /// untouched (passes rewrite a private IR). Not owned; nullptr = unbounded.
+  const ExecutionControl* control = nullptr;
 };
 
 /// Where a subtree leaf came from: an original basic event, an original

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/execution.h"
 #include "safeopt/support/strings.h"
 
 namespace safeopt::prep {
@@ -577,16 +578,30 @@ PreprocessedTree preprocess(const fta::FaultTree& tree,
       tree.basic_event_count() + tree.condition_count();
   result.statistics.gates_before = tree.gate_count();
 
+  // Pass-boundary poll: passes are all-or-nothing (they rewrite a private
+  // IR), so between-pass checkpoints are the finest abort granularity that
+  // still leaves nothing torn.
+  const auto checkpoint = [&options] {
+    if (options.control != nullptr) {
+      options.control->check("fault-tree preprocessing");
+    }
+  };
+  checkpoint();
   if (options.propagate) result.statistics.passes.push_back(run_propagate(ir));
+  checkpoint();
   if (options.normalize) result.statistics.passes.push_back(run_normalize(ir));
+  checkpoint();
   if (options.flatten) result.statistics.passes.push_back(run_flatten(ir));
+  checkpoint();
   if (options.merge) result.statistics.passes.push_back(run_merge(ir));
+  checkpoint();
   // Normalization/flattening/merging expose fresh redundancy (e.g. a merged
   // gate appearing twice under one AND); one more propagation folds it.
   if (options.propagate &&
       (options.normalize || options.flatten || options.merge)) {
     result.statistics.passes.push_back(run_propagate(ir));
   }
+  checkpoint();
 
   // Pick modules bottom-up (postorder puts inner modules first), excluding
   // the root — the top subtree is built last and is "the" tree.

@@ -1,0 +1,16 @@
+#include "safeopt/support/error.h"
+
+namespace safeopt {
+
+std::string_view category_name(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kInvalidInput: return "invalid_input";
+    case ErrorCategory::kResourceExhausted: return "resource_exhausted";
+    case ErrorCategory::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCategory::kCancelled: return "cancelled";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace safeopt

@@ -1,0 +1,47 @@
+#include "safeopt/support/execution.h"
+
+#include "safeopt/support/contracts.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt {
+
+std::string_view status_reason(ExecutionStatus status) noexcept {
+  switch (status) {
+    case ExecutionStatus::kRunning: return "running";
+    case ExecutionStatus::kCancelled: return "cancelled";
+    case ExecutionStatus::kDeadlineExceeded: return "deadline exceeded";
+  }
+  return "running";
+}
+
+ExecutionStatus ExecutionControl::status() const {
+  if (token.cancelled()) return ExecutionStatus::kCancelled;
+  if (deadline.expired()) return ExecutionStatus::kDeadlineExceeded;
+  if (parent != nullptr) {
+    const ExecutionStatus inherited = parent->status();
+    if (inherited != ExecutionStatus::kRunning) return inherited;
+  }
+  if (probe) {
+    const ExecutionStatus injected = probe();
+    if (injected != ExecutionStatus::kRunning) return injected;
+  }
+  return ExecutionStatus::kRunning;
+}
+
+void ExecutionControl::check(std::string_view operation) const {
+  const ExecutionStatus now = status();
+  if (now != ExecutionStatus::kRunning) raise(now, operation);
+}
+
+void ExecutionControl::raise(ExecutionStatus status,
+                             std::string_view operation) {
+  SAFEOPT_EXPECTS(status != ExecutionStatus::kRunning);
+  const ErrorCategory category = status == ExecutionStatus::kCancelled
+                                     ? ErrorCategory::kCancelled
+                                     : ErrorCategory::kDeadlineExceeded;
+  throw Error(category,
+              concat(operation, " aborted: ", status_reason(status)));
+}
+
+}  // namespace safeopt

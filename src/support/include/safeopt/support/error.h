@@ -1,0 +1,62 @@
+// Structured error taxonomy for the execution layer. Every abort path that
+// crosses a module boundary (BDD node budget, deadline expiry, cooperative
+// cancellation, malformed input) throws safeopt::Error with a machine-readable
+// category, so callers — Study::quantify's degradation chain, the CLI's exit
+// codes, the future `safeopt serve` front end — can react to *what kind* of
+// failure occurred without parsing message text. Pre-existing validation
+// throws (std::invalid_argument, ftio::ParseError) are left in place and
+// mapped to kInvalidInput at the boundary that cares (see safeopt_cli.cpp).
+#ifndef SAFEOPT_SUPPORT_ERROR_H
+#define SAFEOPT_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace safeopt {
+
+/// What failed, coarsely — the contract is that a category is stable and
+/// machine-readable while the message is free-form and human-readable.
+enum class ErrorCategory : unsigned char {
+  /// The request itself is unusable (bad document, unknown option, ...).
+  kInvalidInput,
+  /// A resource budget was exhausted (BDD node budget, memory caps).
+  kResourceExhausted,
+  /// A wall-clock deadline expired before the operation finished.
+  kDeadlineExceeded,
+  /// The caller cancelled the operation via a CancellationToken.
+  kCancelled,
+  /// A bug or an unclassified failure — never an expected outcome.
+  kInternal,
+};
+
+/// The snake_case wire name of a category ("resource_exhausted", ...), as
+/// printed in `safeopt --json` error objects and CLI diagnostics.
+[[nodiscard]] std::string_view category_name(ErrorCategory category) noexcept;
+
+/// The structured exception of the execution layer. `what()` carries the
+/// human-readable story (including partial statistics where the thrower has
+/// them); `category()` is the machine-readable classification.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, const std::string& what)
+      : std::runtime_error(what), category_(category) {}
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+
+  /// True for the categories the degradation chain may recover from by
+  /// switching engines: a budget or deadline failure is a property of the
+  /// engine/workload pairing, not of the request. Cancellation and invalid
+  /// input are final — the caller asked to stop, or the request is broken.
+  [[nodiscard]] bool recoverable() const noexcept {
+    return category_ == ErrorCategory::kResourceExhausted ||
+           category_ == ErrorCategory::kDeadlineExceeded;
+  }
+
+ private:
+  ErrorCategory category_;
+};
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_ERROR_H

@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -40,10 +41,15 @@ class ThreadPool {
   }
 
   /// Enqueues one task. Fire-and-forget; pair with wait_idle() or use
-  /// parallel_for for joinable work.
+  /// parallel_for for joinable work. An exception escaping the task does not
+  /// kill the worker: the first one is captured and rethrown by the next
+  /// wait_idle() (later ones until then are dropped).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then rethrows
+  /// the first exception any task raised since the previous wait_idle()
+  /// (clearing it). A pending exception a caller never collects is discarded
+  /// at destruction.
   void wait_idle();
 
   /// Splits [0, n) into contiguous chunks of at least `grain` indices,
@@ -74,6 +80,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;  // queued + executing
+  std::exception_ptr pending_error_;  // first submit()-task exception
   bool stopping_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "safeopt/support/contracts.h"
 
@@ -42,9 +43,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A task exception must not unwind the worker (std::terminate) — park
+    // the first one for the next wait_idle() instead. parallel_for bodies
+    // never reach this catch: its wrapper catches before the pool does.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !pending_error_) pending_error_ = std::move(error);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }
@@ -64,6 +74,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr error = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(

@@ -1,0 +1,386 @@
+// Deterministic fault-injection coverage for the resilient-execution layer:
+// every cooperative abort path (BDD node budget, BDD/prep deadline, adaptive
+// Monte Carlo round-boundary abort, solver cancellation) must hand back a
+// well-formed partial result or a categorized safeopt::Error — never a torn
+// structure, a crash, or a hang. Faults fire through the FaultInjector's
+// scripted controls (tests/testutil/fault_injector.h), so each test pins the
+// abort to an exact checkpoint without wall-clock sleeps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "safeopt/bdd/bdd.h"
+#include "safeopt/core/quantification_engine.h"
+#include "safeopt/core/study.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/mc/adaptive_monte_carlo.h"
+#include "safeopt/opt/problem.h"
+#include "safeopt/opt/solver.h"
+#include "safeopt/prep/preprocess.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/execution.h"
+#include "testutil/fault_injector.h"
+
+namespace safeopt {
+namespace {
+
+using testutil::FaultInjector;
+
+// A coherent tree whose BDD needs well over a handful of decision nodes:
+// 3-of-8 voting over independent events.
+fta::FaultTree voting_tree() {
+  fta::FaultTree tree("voting");
+  std::vector<fta::NodeId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+  }
+  tree.set_top(tree.add_k_of_n("top", 3, std::move(leaves)));
+  return tree;
+}
+
+fta::QuantificationInput uniform_input(const fta::FaultTree& tree, double p) {
+  fta::QuantificationInput input = fta::QuantificationInput::for_tree(tree, p);
+  return input;
+}
+
+// ------------------------------------------------------------- error basics
+
+TEST(ErrorTaxonomyTest, CategoriesNameAndRecoverability) {
+  EXPECT_EQ(category_name(ErrorCategory::kInvalidInput), "invalid_input");
+  EXPECT_EQ(category_name(ErrorCategory::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(category_name(ErrorCategory::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(category_name(ErrorCategory::kCancelled), "cancelled");
+  EXPECT_EQ(category_name(ErrorCategory::kInternal), "internal");
+
+  EXPECT_TRUE(Error(ErrorCategory::kResourceExhausted, "x").recoverable());
+  EXPECT_TRUE(Error(ErrorCategory::kDeadlineExceeded, "x").recoverable());
+  EXPECT_FALSE(Error(ErrorCategory::kCancelled, "x").recoverable());
+  EXPECT_FALSE(Error(ErrorCategory::kInvalidInput, "x").recoverable());
+  EXPECT_FALSE(Error(ErrorCategory::kInternal, "x").recoverable());
+}
+
+TEST(ExecutionControlTest, CancellationWinsOverDeadline) {
+  ExecutionControl control(Deadline::already_expired());
+  EXPECT_EQ(control.status(), ExecutionStatus::kDeadlineExceeded);
+  control.token.request_cancel();
+  EXPECT_EQ(control.status(), ExecutionStatus::kCancelled);
+}
+
+TEST(ExecutionControlTest, ParentControlPropagates) {
+  const ExecutionControl parent = FaultInjector::cancelled();
+  ExecutionControl child;
+  child.parent = &parent;
+  EXPECT_EQ(child.status(), ExecutionStatus::kCancelled);
+  EXPECT_TRUE(child.should_abort());
+}
+
+TEST(ExecutionControlTest, CheckThrowsCategorizedError) {
+  const ExecutionControl control = FaultInjector::expired_deadline();
+  try {
+    control.check("unit test");
+    FAIL() << "check() on an expired control must throw";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+    EXPECT_NE(std::string(error.what()).find("unit test"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------- BDD node budget
+
+TEST(BddFaultTest, NodeBudgetAbortsWithConsistentStatistics) {
+  bdd::BddOptions options;
+  options.node_budget = 4;
+  bdd::BddManager manager(16, options);
+  bool threw = false;
+  try {
+    bdd::BddRef f = manager.variable(0);
+    for (std::uint32_t v = 1; v < 16; ++v) {
+      f = manager.apply_or(f, manager.variable(v));
+    }
+  } catch (const Error& error) {
+    threw = true;
+    EXPECT_EQ(error.category(), ErrorCategory::kResourceExhausted);
+    EXPECT_TRUE(error.recoverable());
+    EXPECT_NE(std::string(error.what()).find("node budget"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+  // The manager survives the abort in a consistent, queryable state: the
+  // statistics invariant (live == peak, no GC) still holds and the counter
+  // shows exactly one node past the budget — the allocation that tripped it.
+  const bdd::BddStatistics& stats = manager.statistics();
+  EXPECT_EQ(stats.decision_node_count(), options.node_budget + 1);
+  EXPECT_EQ(stats.node_count, stats.peak_node_count);
+}
+
+TEST(BddFaultTest, CompileHonoursNodeBudget) {
+  const fta::FaultTree tree = voting_tree();
+  bdd::BddOptions options;
+  options.node_budget = 3;
+  try {
+    (void)bdd::compile(tree, options);
+    FAIL() << "3-of-8 voting cannot compile within 3 decision nodes";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kResourceExhausted);
+  }
+}
+
+TEST(BddFaultTest, CompileChecksDeadlinePerGate) {
+  const fta::FaultTree tree = voting_tree();
+  const ExecutionControl control = FaultInjector::expired_deadline();
+  bdd::BddOptions options;
+  options.control = &control;
+  try {
+    (void)bdd::compile(tree, options);
+    FAIL() << "compile under an expired deadline must abort";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+    EXPECT_NE(std::string(error.what()).find("BDD compilation"),
+              std::string::npos);
+  }
+}
+
+TEST(BddFaultTest, CancelledCompileReportsCancellation) {
+  const fta::FaultTree tree = voting_tree();
+  ExecutionControl control(Deadline::already_expired());
+  control.token.request_cancel();  // cancellation outranks the deadline
+  bdd::BddOptions options;
+  options.control = &control;
+  try {
+    (void)bdd::compile(tree, options);
+    FAIL() << "compile under a cancelled control must abort";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kCancelled);
+  }
+}
+
+// ------------------------------------------------------- prep pass pipeline
+
+TEST(PrepFaultTest, DeadlineAbortsBetweenPassesLeavingInputUntouched) {
+  const fta::FaultTree tree = voting_tree();
+  const std::size_t nodes_before = tree.node_count();
+  const ExecutionControl control = FaultInjector::expired_deadline();
+  prep::PreprocessOptions options;
+  options.control = &control;
+  try {
+    (void)prep::preprocess(tree, options);
+    FAIL() << "preprocess under an expired deadline must abort";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+    EXPECT_NE(std::string(error.what()).find("preprocessing"),
+              std::string::npos);
+  }
+  EXPECT_EQ(tree.node_count(), nodes_before);
+  EXPECT_TRUE(tree.validate().empty());
+}
+
+// ------------------------------------------- adaptive MC round-boundary abort
+
+mc::AdaptiveOptions small_round_options() {
+  mc::AdaptiveOptions options;
+  options.batch = 1024;
+  options.max_trials = 1 << 20;
+  options.target_halfwidth = 1e-12;  // unreachable: the loop never converges
+  options.relative = false;
+  return options;
+}
+
+TEST(McFaultTest, AbortBeforeFirstRoundReportsZeroTrials) {
+  const fta::FaultTree tree = voting_tree();
+  const ExecutionControl control = FaultInjector::expired_deadline();
+  mc::AdaptiveOptions options = small_round_options();
+  options.control = &control;
+  const mc::AdaptiveMonteCarlo sampler(options);
+  const mc::AdaptiveResult result =
+      sampler.estimate(tree, uniform_input(tree, 0.2));
+  EXPECT_TRUE(result.aborted);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.trials, 0u);
+  EXPECT_EQ(result.occurrences, 0u);
+}
+
+TEST(McFaultTest, AbortedRunEqualsLastCompletedRoundBitwise) {
+  const fta::FaultTree tree = voting_tree();
+  const fta::QuantificationInput input = uniform_input(tree, 0.2);
+
+  // Run A: the control lets exactly two round-boundary polls pass, so the
+  // run aborts with two completed rounds in the totals.
+  FaultInjector injector;
+  const ExecutionControl control =
+      injector.fire_after_polls(2, ExecutionStatus::kDeadlineExceeded);
+  mc::AdaptiveOptions options = small_round_options();
+  options.control = &control;
+  const mc::AdaptiveResult aborted =
+      mc::AdaptiveMonteCarlo(options).estimate(tree, input);
+
+  // Run B: no control, but a trial budget of exactly two rounds. The abort
+  // contract says A must be bitwise identical to B in every estimate field —
+  // completed rounds are the only observable state an abort can expose.
+  mc::AdaptiveOptions capped = small_round_options();
+  capped.max_trials = 2 * capped.batch;
+  const mc::AdaptiveResult reference =
+      mc::AdaptiveMonteCarlo(capped).estimate(tree, input);
+
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_FALSE(reference.aborted);
+  EXPECT_FALSE(aborted.converged);
+  EXPECT_EQ(aborted.trials, 2 * options.batch);
+  EXPECT_EQ(aborted.trials, reference.trials);
+  EXPECT_EQ(aborted.occurrences, reference.occurrences);
+  EXPECT_EQ(aborted.estimate, reference.estimate);
+  EXPECT_EQ(aborted.ci95.lo, reference.ci95.lo);
+  EXPECT_EQ(aborted.ci95.hi, reference.ci95.hi);
+  EXPECT_EQ(aborted.ess, reference.ess);
+}
+
+TEST(McFaultTest, EngineDeadlineYieldsPartialAbortedResult) {
+  const fta::FaultTree tree = voting_tree();
+  const ExecutionControl control = FaultInjector::cancelled();
+  core::EngineConfig config;
+  config.control = &control;
+  config.mc_trials = 1 << 16;
+  const auto engine = core::EngineRegistry::create("mc_adaptive", tree, config);
+  const core::QuantificationResult result =
+      engine->quantify(uniform_input(tree, 0.2));
+  ASSERT_TRUE(result.aborted.has_value());
+  EXPECT_TRUE(*result.aborted);
+  ASSERT_TRUE(result.converged.has_value());
+  EXPECT_FALSE(*result.converged);
+  EXPECT_EQ(result.trials, 0u);
+}
+
+// ------------------------------------------------------- solver cancellation
+
+opt::Problem quadratic_problem() {
+  opt::Problem problem;
+  problem.bounds = opt::Box({-4.0, -4.0}, {4.0, 4.0});
+  problem.objective = [](std::span<const double> x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  return problem;
+}
+
+TEST(SolverFaultTest, PreCancelledSolveReturnsWithoutEvaluating) {
+  const auto solver = opt::SolverRegistry::create("nelder_mead");
+  const ExecutionControl control = FaultInjector::cancelled();
+  opt::SolverConfig config;
+  config.control = &control;
+  const opt::OptimizationResult result =
+      solver->solve(quadratic_problem(), config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_NE(result.message.find("cancelled"), std::string::npos);
+}
+
+TEST(SolverFaultTest, MidRunDeadlineReturnsBestOfCompletedEvaluations) {
+  const auto solver = opt::SolverRegistry::create("nelder_mead");
+  FaultInjector injector;
+  const ExecutionControl control =
+      injector.fire_after_polls(25, ExecutionStatus::kDeadlineExceeded);
+  opt::SolverConfig config;
+  config.control = &control;
+  const opt::OptimizationResult result =
+      solver->solve(quadratic_problem(), config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.evaluations, 25u);
+  EXPECT_NE(result.message.find("deadline exceeded after 25 evaluations"),
+            std::string::npos);
+  // The best point seen within the 25 granted evaluations comes back as a
+  // genuine partial result: inside the box, with its true objective value.
+  ASSERT_EQ(result.argmin.size(), 2u);
+  EXPECT_TRUE(opt::Box({-4.0, -4.0}, {4.0, 4.0}).contains(result.argmin));
+  EXPECT_EQ(result.value, quadratic_problem().objective(result.argmin));
+}
+
+TEST(SolverFaultTest, ArmedButSilentControlDoesNotChangeTheResult) {
+  const auto solver = opt::SolverRegistry::create("nelder_mead");
+  const opt::OptimizationResult plain =
+      solver->solve(quadratic_problem(), {});
+  FaultInjector injector;
+  const ExecutionControl control = injector.never_fires();
+  opt::SolverConfig config;
+  config.control = &control;
+  const opt::OptimizationResult guarded =
+      solver->solve(quadratic_problem(), config);
+  EXPECT_GT(injector.polls(), 0u);  // the instrumented path really polled
+  EXPECT_EQ(guarded.converged, plain.converged);
+  EXPECT_EQ(guarded.value, plain.value);
+  EXPECT_EQ(guarded.argmin, plain.argmin);
+}
+
+// ---------------------------------------------------- graceful degradation
+
+TEST(DegradationTest, BddBudgetFallsBackToAdaptiveMc) {
+  const fta::FaultTree tree = voting_tree();
+  core::EngineConfig config;
+  config.bdd_node_budget = 3;
+  config.fallback = "mc_adaptive";
+  config.mc_trials = 1 << 16;
+  std::string diagnostic;
+  const auto engine =
+      core::create_engine_with_fallback("bdd", tree, config, &diagnostic);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_NE(diagnostic.find("degraded to \"mc_adaptive\""), std::string::npos);
+  EXPECT_NE(diagnostic.find("resource_exhausted"), std::string::npos);
+  const core::QuantificationResult result =
+      engine->quantify(uniform_input(tree, 0.2));
+  EXPECT_GT(result.trials, 0u);
+  EXPECT_TRUE(result.ci95.has_value());
+}
+
+TEST(DegradationTest, NoFallbackRethrowsTheOriginalError) {
+  const fta::FaultTree tree = voting_tree();
+  core::EngineConfig config;
+  config.bdd_node_budget = 3;
+  std::string diagnostic;
+  EXPECT_THROW((void)core::create_engine_with_fallback("bdd", tree, config,
+                                                       &diagnostic),
+               Error);
+  EXPECT_TRUE(diagnostic.empty());
+}
+
+TEST(DegradationTest, CancellationIsNotRecoveredByFallback) {
+  const fta::FaultTree tree = voting_tree();
+  const ExecutionControl control = FaultInjector::cancelled();
+  core::EngineConfig config;
+  config.control = &control;
+  config.fallback = "mc_adaptive";
+  try {
+    (void)core::create_engine_with_fallback("bdd", tree, config, nullptr);
+    FAIL() << "cancellation must not degrade to another engine";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kCancelled);
+  }
+}
+
+TEST(DegradationTest, StudyQuantifyRecordsTheDowngradeInDiagnostics) {
+  const ftio::StudyDocument doc = ftio::parse_study(R"(
+param p in [0.05, 0.4];
+
+tree T;
+toplevel top;
+top or a b c;
+a prob = p;
+b prob = p;
+c prob = 0.1;
+
+hazard T cost = 10;
+engine bdd bdd_node_budget = 1 fallback = mc_adaptive
+    trials = 65536 target_halfwidth = 0.2;
+)");
+  const core::Study study = core::Study::from_document(doc);
+  expr::ParameterAssignment at;
+  at.set("p", 0.2);
+  const core::QuantificationResult result = study.quantify("T", at);
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_NE(result.diagnostics.front().find("degraded to \"mc_adaptive\""),
+            std::string::npos);
+  EXPECT_GT(result.trials, 0u);
+  EXPECT_GT(result.probability, 0.0);
+}
+
+}  // namespace
+}  // namespace safeopt

@@ -1,0 +1,114 @@
+// Adversarial parser corpus: every document under tests/ftio/corpus_bad is
+// malformed in a way real users (or fuzzers) produce — truncated sections,
+// cyclic gate references, pathological nesting, NaN/inf parameter bounds,
+// unknown selections. The contract under test is uniform: parsing (or, when
+// the text parses, assembling the Study) raises a *categorized* input error
+// — ftio::ParseError, std::invalid_argument, or safeopt::Error with
+// kInvalidInput — quickly. Never a crash, never another exception type,
+// never a hang (each document must fail well inside a 5 s deadline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "safeopt/core/study.h"
+#include "safeopt/ftio/parser.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/support/error.h"
+
+namespace safeopt::ftio {
+namespace {
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(SAFEOPT_SOURCE_DIR) / "tests" / "ftio" /
+         "corpus_bad";
+}
+
+/// Parses `text` (or a file when `path` is set) and, if the document parses,
+/// assembles the Study — the full front door a hostile document can reach.
+/// Returns a description of the failure, or "" when nothing threw.
+std::string reject_reason(const std::string& path, const std::string& text) {
+  try {
+    const StudyDocument doc =
+        path.empty() ? parse_study(text) : load_study(path);
+    (void)core::Study::from_document(doc);
+    return "";
+  } catch (const ParseError&) {
+    return "ftio::ParseError";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kInvalidInput)
+        << "wrong category for " << (path.empty() ? "<memory>" : path) << ": "
+        << error.what();
+    return "safeopt::Error(invalid_input)";
+  } catch (const std::invalid_argument&) {
+    return "std::invalid_argument";
+  }
+  // Any other exception type (bad_alloc, logic_error, segfault before we
+  // get here...) falls through to the caller as a test failure.
+}
+
+TEST(CorpusBadTest, EveryDocumentIsRejectedQuicklyWithAnInputError) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() == ".ft") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 20u) << "corpus_bad has gone missing";
+
+  for (const auto& file : files) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::string reason = reject_reason(file.string(), "");
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_FALSE(reason.empty())
+        << file.filename() << " was accepted, but everything in corpus_bad "
+        << "must be rejected";
+    EXPECT_LT(elapsed.count(), 5000)
+        << file.filename() << " took " << elapsed.count()
+        << " ms to reject (5 s deadline)";
+  }
+}
+
+// The committed corpus keeps its deep-nesting documents at a few hundred
+// levels for reviewability; the full 10k-deep versions are generated here.
+
+TEST(CorpusBadTest, TenThousandDeepGateChainIsRejectedNotOverflowed) {
+  std::string text = "tree deep;\ntoplevel g0;\n";
+  for (int i = 0; i < 10000; ++i) {
+    text += "g" + std::to_string(i) + " or g" + std::to_string(i + 1) + " e" +
+            std::to_string(i) + ";\n";
+  }
+  text += "g10000 or e10000 e10001;\n";
+  for (int i = 0; i <= 10001; ++i) {
+    text += "e" + std::to_string(i) + " prob = 0.01;\n";
+  }
+  text += "hazard deep cost = 1;\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string reason = reject_reason("", text);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(reason, "ftio::ParseError");
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(CorpusBadTest, TenThousandDeepExpressionIsRejectedNotOverflowed) {
+  std::string text = "tree T;\ntoplevel top;\ntop or a b;\na prob = ";
+  text.append(10000, '(');
+  text += "0.1";
+  text.append(10000, ')');
+  text += ";\nb prob = 0.2;\nhazard T cost = 1;\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string reason = reject_reason("", text);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(reason, "ftio::ParseError");
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+}  // namespace
+}  // namespace safeopt::ftio

@@ -89,6 +89,48 @@ TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPoolTest, SubmitExceptionRethrownOnWaitIdle) {
+  // Regression: an exception escaping a bare submit() task used to unwind
+  // the worker loop, killing the worker for the pool's remaining lifetime.
+  // The contract now matches parallel_for: the first exception is captured
+  // and rethrown on the submitting thread at the next wait_idle().
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("poisoned task"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow the poisoned task's exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "poisoned task");
+  }
+  EXPECT_EQ(ran.load(), 50);  // other tasks still ran to completion
+
+  // The pool (and all of its workers) must remain fully usable: the error
+  // slot was drained by the rethrow, so a clean follow-up batch succeeds.
+  std::atomic<int> again{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&again] { again.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(again.load(), 50);
+}
+
+TEST(ThreadPoolTest, OnlyFirstSubmitExceptionIsKept) {
+  ThreadPool pool(1);  // single worker: deterministic execution order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  pool.wait_idle();  // the second exception was dropped by contract
+}
+
 TEST(ThreadPoolTest, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
 }

@@ -1,0 +1,80 @@
+// Test-only helper: deterministic fault injection for the cooperative
+// execution-control layer (support/execution.h). Real deadlines depend on
+// the wall clock and scheduler; these controls instead fire on the Nth
+// status poll (via the ExecutionControl::probe test seam), immediately
+// (already-expired deadline, pre-cancelled token), or never — so the abort
+// paths of the BDD compiler, the adaptive Monte Carlo loop, the solvers and
+// the preprocessing pipeline can be pinned down to the exact checkpoint
+// without sleeping or racing in tests.
+#ifndef SAFEOPT_TESTS_TESTUTIL_FAULT_INJECTOR_H
+#define SAFEOPT_TESTS_TESTUTIL_FAULT_INJECTOR_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "safeopt/support/execution.h"
+
+namespace safeopt::testutil {
+
+/// Factory for ExecutionControls with scripted failure behaviour. The
+/// injector tracks how often its scripted controls were polled, so a test
+/// can also assert that a checkpoint is actually reached (or reached the
+/// expected number of times).
+class FaultInjector {
+ public:
+  /// A control whose status() reports `status` from the (polls+1)-th poll
+  /// on: polls == 0 fires immediately, polls == 2 lets exactly two
+  /// checkpoints pass. Poll counting is atomic — safe to poll from pool
+  /// workers.
+  [[nodiscard]] ExecutionControl fire_after_polls(std::size_t polls,
+                                                  ExecutionStatus status) {
+    auto counter = polls_;
+    ExecutionControl control;
+    control.probe = [counter, polls, status] {
+      return counter->fetch_add(1, std::memory_order_relaxed) >= polls
+                 ? status
+                 : ExecutionStatus::kRunning;
+    };
+    return control;
+  }
+
+  /// A control that is polled (and counted) but never fires.
+  [[nodiscard]] ExecutionControl never_fires() {
+    auto counter = polls_;
+    ExecutionControl control;
+    control.probe = [counter] {
+      counter->fetch_add(1, std::memory_order_relaxed);
+      return ExecutionStatus::kRunning;
+    };
+    return control;
+  }
+
+  /// Total status() polls observed across every control this injector made.
+  [[nodiscard]] std::size_t polls() const noexcept {
+    return polls_->load(std::memory_order_relaxed);
+  }
+
+  /// A control whose deadline lies in the past — every poll reports
+  /// kDeadlineExceeded from the start.
+  [[nodiscard]] static ExecutionControl expired_deadline() {
+    return ExecutionControl(Deadline::already_expired());
+  }
+
+  /// A control whose token is already cancelled. The token inside the
+  /// returned control is live: copies share it, late request_cancel() on a
+  /// copy is visible everywhere.
+  [[nodiscard]] static ExecutionControl cancelled() {
+    ExecutionControl control;
+    control.token.request_cancel();
+    return control;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<std::size_t>> polls_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
+};
+
+}  // namespace safeopt::testutil
+
+#endif  // SAFEOPT_TESTS_TESTUTIL_FAULT_INJECTOR_H

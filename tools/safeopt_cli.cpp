@@ -17,6 +17,16 @@
 //
 // Every engine × solver × model combination the registries know is
 // reachable from here; models are files, not binaries (docs/model_format.md).
+//
+// Exit codes (scriptable failure triage, see docs/robustness.md):
+//   0  success
+//   2  usage / parse error (bad arguments, or the model failed to parse)
+//   3  validation error (the model parsed but is structurally wrong, or a
+//      selection/option is invalid)
+//   4  resource budget, deadline, or cancellation aborted the run
+//   5  internal error
+// With --json, failures also emit {"error": {"category", "message"}} on
+// stdout so machine consumers need not scrape stderr.
 #include <charconv>
 #include <cinttypes>
 #include <cmath>
@@ -33,6 +43,7 @@
 #include "safeopt/ftio/parser.h"
 #include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/solver.h"
+#include "safeopt/support/error.h"
 #include "safeopt/support/strings.h"
 
 namespace {
@@ -246,6 +257,20 @@ void print_hazard_results(const HazardResults& results,
           std::printf(", \"converged\": %s",
                       *result.converged ? "true" : "false");
         }
+        if (result.aborted.has_value()) {
+          std::printf(", \"aborted\": %s",
+                      *result.aborted ? "true" : "false");
+        }
+      }
+      // Degradation notes and other per-result diagnostics (e.g. "engine
+      // \"bdd\" degraded to \"mc_adaptive\" (resource_exhausted): ...").
+      if (!result.diagnostics.empty()) {
+        std::printf(", \"diagnostics\": [");
+        for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+          std::printf("%s\"%s\"", i > 0 ? ", " : "",
+                      json_escape(result.diagnostics[i]).c_str());
+        }
+        std::printf("]");
       }
       // Preprocessing diagnostics (fta/bdd with --engine-opt
       // preprocess=true): what the pass pipeline did to this hazard's tree.
@@ -273,11 +298,16 @@ void print_hazard_results(const HazardResults& results,
         if (result.ess.has_value()) {
           std::printf(", ESS %.3g", *result.ess);
         }
-        if (result.converged.has_value() && !*result.converged) {
+        if (result.aborted.value_or(false)) {
+          std::printf(" [aborted]");
+        } else if (result.converged.has_value() && !*result.converged) {
           std::printf(" [budget exhausted]");
         }
       }
       std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+      for (const std::string& diagnostic : result.diagnostics) {
+        std::printf("    note: %s\n", diagnostic.c_str());
+      }
       if (result.preprocess.has_value()) {
         const core::PreprocessSummary& pre = *result.preprocess;
         std::printf("    preprocessed: %zu module(s), %zu -> %zu events, "
@@ -340,9 +370,12 @@ int quantify_constant_model(const ftio::StudyDocument& doc,
     for (const ftio::LeafProbability& leaf : model->leaves) {
       input.set(model->tree, leaf.name, leaf.probability.evaluate({}));
     }
-    const auto engine = core::EngineRegistry::create(engine_name, model->tree,
-                                                     engine_config);
-    results.emplace_back(hazard.tree, engine->quantify(input));
+    std::string degradation;
+    const auto engine = core::create_engine_with_fallback(
+        engine_name, model->tree, engine_config, &degradation);
+    core::QuantificationResult result = engine->quantify(input);
+    if (!degradation.empty()) result.diagnostics.push_back(degradation);
+    results.emplace_back(hazard.tree, std::move(result));
     cost += hazard.cost * results.back().second.probability;
   }
   if (options.json) {
@@ -436,7 +469,7 @@ int run_validate(const ftio::StudyDocument& doc, const Options& options) {
     }
     std::printf(problems.empty() ? "OK\n" : "INVALID\n");
   }
-  return problems.empty() ? 0 : 1;
+  return problems.empty() ? 0 : 3;  // 3 = validation failure, like main()
 }
 
 int run_quantify(const ftio::StudyDocument& doc, const Options& options) {
@@ -512,17 +545,48 @@ int run_optimize(const ftio::StudyDocument& doc, const Options& options) {
   return 0;
 }
 
+/// Reports one failure on stderr (and, with --json, as a structured error
+/// object on stdout) and returns the exit code to use.
+int report_error(bool json, std::string_view category,
+                 const std::string& message, int code) {
+  if (json) {
+    std::printf("{\n  \"error\": {\"category\": \"%s\", \"message\": \"%s\"}\n}\n",
+                std::string(category).c_str(), json_escape(message).c_str());
+  }
+  std::fprintf(stderr, "safeopt: %s\n", message.c_str());
+  return code;
+}
+
+/// Exit code for a safeopt::Error by category (see the header comment).
+int exit_code_for(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kInvalidInput:
+      return 3;
+    case ErrorCategory::kResourceExhausted:
+    case ErrorCategory::kDeadlineExceeded:
+    case ErrorCategory::kCancelled:
+      return 4;
+    case ErrorCategory::kInternal:
+      return 5;
+  }
+  return 5;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::optional<Options> options;
   try {
-    const auto options = parse_arguments(argc, argv);
-    if (!options.has_value()) return usage();
-    if (options->command != "validate" && options->command != "quantify" &&
-        options->command != "run") {
-      return usage(
-          concat("unknown command \"", options->command, "\"").c_str());
-    }
+    options = parse_arguments(argc, argv);
+  } catch (const std::invalid_argument& error) {
+    return usage(error.what());
+  }
+  if (!options.has_value()) return usage();
+  if (options->command != "validate" && options->command != "quantify" &&
+      options->command != "run") {
+    return usage(concat("unknown command \"", options->command, "\"").c_str());
+  }
+  try {
     const ftio::StudyDocument doc = ftio::load_study(options->model);
     if (options->command == "validate") {
       return run_validate(doc, *options);
@@ -532,14 +596,21 @@ int main(int argc, char** argv) {
     }
     return run_optimize(doc, *options);
   } catch (const ftio::ParseError& error) {
-    // Verbatim: the message already leads with file:line:column.
+    if (options->json) {
+      std::printf(
+          "{\n  \"error\": {\"category\": \"invalid_input\", "
+          "\"message\": \"%s\"}\n}\n",
+          json_escape(error.what()).c_str());
+    }
+    // Verbatim on stderr: the message already leads with file:line:column.
     std::fprintf(stderr, "%s\n", error.what());
-    return 1;
+    return 2;
+  } catch (const Error& error) {
+    return report_error(options->json, category_name(error.category()),
+                        error.what(), exit_code_for(error.category()));
   } catch (const std::invalid_argument& error) {
-    std::fprintf(stderr, "safeopt: %s\n", error.what());
-    return 1;
+    return report_error(options->json, "invalid_input", error.what(), 3);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "safeopt: %s\n", error.what());
-    return 1;
+    return report_error(options->json, "internal", error.what(), 5);
   }
 }
