@@ -1,0 +1,279 @@
+// Experiment: the `safeopt serve` front end as a measured system — cached-
+// quantify latency over real loopback HTTP, compile amortization across
+// repeated documents, single-flight dedup under a concurrent cold burst,
+// and the admission scheduler's weighted-fairness ratio.
+//
+// Contract flags (scripts/compare_bench.py --serve gates them):
+//
+//   parity_with_cli      the HTTP response body is byte-identical to the
+//                        offline AnalysisGraph render (the same renderer
+//                        the CLI prints, so HTTP == `safeopt quantify
+//                        --json` by construction);
+//   single_flight_dedup  8 concurrent requests against a cold cache run
+//                        exactly ONE compile;
+//   compile_amortization fraction of compile-pass lookups served from
+//                        cache over the repeated-document run (gate:
+//                        >= 0.99);
+//   fairness_ratio       dispatched-job ratio of a weight-3 tenant over a
+//                        weight-1 tenant across a backlogged window
+//                        (gate: 3.0 within tolerance).
+//
+// Latency percentiles are measured over loopback (connect + request +
+// response per sample) and reported for trend-watching, never gated — CI
+// runners' clocks differ too much.
+//
+// Usage: bench_serve [--model PATH] [--requests N] [--json PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "safeopt/serve/analysis_graph.h"
+#include "safeopt/serve/scheduler.h"
+#include "safeopt/serve/server.h"
+#include "safeopt/support/net.h"
+#include "safeopt/support/strings.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using safeopt::TcpSocket;
+using safeopt::concat;
+
+std::string json_escape_document(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+struct Reply {
+  int status = 0;
+  std::string body;
+};
+
+Reply post_quantify(std::uint16_t port, const std::string& body,
+                    const std::string& extra_headers = "") {
+  TcpSocket socket = TcpSocket::connect_loopback(port);
+  socket.write_all(concat("POST /v1/quantify HTTP/1.1\r\nContent-Length: ",
+                          std::to_string(body.size()), "\r\n", extra_headers,
+                          "\r\n", body));
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    const std::size_t n = socket.read_some(chunk, sizeof(chunk));
+    if (n == 0) break;
+    raw.append(chunk, n);
+  }
+  Reply reply;
+  const std::size_t space = raw.find(' ');
+  if (space != std::string::npos) {
+    reply.status = std::atoi(raw.c_str() + space + 1);
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) reply.body = raw.substr(header_end + 4);
+  return reply;
+}
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+/// Weighted-fairness ratio straight off the scheduler: a 3:1 tenant pair,
+/// fully backlogged, released against one worker; the dispatch-order ratio
+/// over the aligned prefix is the SFQ guarantee under test.
+double fairness_ratio() {
+  safeopt::ThreadPool pool(1);
+  safeopt::serve::SchedulerOptions options;
+  options.pool = &pool;
+  options.max_concurrent = 1;
+  options.max_queue_per_tenant = 64;
+  options.tenant_weights = {{"heavy", 3.0}, {"light", 1.0}};
+  options.start_paused = true;
+  safeopt::serve::AdmissionScheduler scheduler(options);
+
+  std::mutex mutex;
+  std::vector<std::string> order;
+  for (int i = 0; i < 32; ++i) {
+    for (const char* tenant : {"heavy", "light"}) {
+      scheduler.submit(tenant, [&mutex, &order, tenant] {
+        std::lock_guard<std::mutex> lock(mutex);
+        order.emplace_back(tenant);
+      });
+    }
+  }
+  scheduler.resume();
+  scheduler.drain();
+
+  // Measure at the moment the heavy tenant's backlog drains: up to that
+  // dispatch both tenants are continuously backlogged, which is exactly the
+  // interval the SFQ weight guarantee covers.
+  double heavy = 0.0;
+  double light = 0.0;
+  for (const std::string& name : order) {
+    (name == "heavy" ? heavy : light) += 1.0;
+    if (heavy >= 32.0) break;
+  }
+  return light > 0.0 ? heavy / light : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safeopt;
+
+  std::string model_path = "examples/models/cooling_system.ft";
+  std::string json_path;
+  int requests = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    }
+  }
+  if (!std::ifstream(model_path).good() &&
+      std::ifstream("../" + model_path).good()) {
+    model_path = "../" + model_path;
+  }
+  std::ifstream in(model_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "model %s not found (pass --model PATH)\n",
+                 model_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string document = text.str();
+  const std::string request_body =
+      concat("{\"document\": ", json_escape_document(document),
+             ", \"model\": \"", model_path, "\"}");
+
+  // ---- parity + cached-latency run over one server ----------------------
+  serve::ServerOptions server_options;
+  server_options.threads = 2;
+  serve::Server server(server_options);
+  server.start();
+
+  serve::AnalysisOptions offline_options;
+  offline_options.model = model_path;
+  serve::AnalysisGraph offline(1 << 22);
+  const std::string offline_body =
+      offline.quantify(document, offline_options, nullptr);
+
+  const Reply first = post_quantify(server.port(), request_body);
+  const bool parity_with_cli =
+      first.status == 200 && first.body == offline_body;
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const auto start = Clock::now();
+    const Reply reply = post_quantify(server.port(), request_body);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start);
+    if (reply.status != 200) {
+      std::fprintf(stderr, "request %d failed with status %d\n", i,
+                   reply.status);
+      return 1;
+    }
+    latencies_us.push_back(static_cast<double>(elapsed.count()) / 1000.0);
+  }
+  const serve::CacheStats amortized = server.cache_stats();
+  double compile_amortization = 0.0;
+  if (amortized.passes.count("compile") != 0) {
+    const auto& compile = amortized.passes.at("compile");
+    compile_amortization =
+        static_cast<double>(compile.hits) /
+        static_cast<double>(compile.hits + compile.misses);
+  }
+  server.stop();
+
+  // ---- single-flight dedup: concurrent cold burst -----------------------
+  serve::Server cold(server_options);
+  cold.start();
+  {
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    clients.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      clients.emplace_back([&, port = cold.port()] {
+        const Reply reply = post_quantify(port, request_body);
+        if (reply.status != 200) failures.fetch_add(1);
+      });
+    }
+    for (auto& client : clients) client.join();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "cold-burst requests failed\n");
+      return 1;
+    }
+  }
+  const serve::CacheStats cold_stats = cold.cache_stats();
+  const std::uint64_t cold_compiles =
+      cold_stats.passes.count("compile") != 0
+          ? cold_stats.passes.at("compile").misses
+          : 0;
+  const bool single_flight_dedup = cold_compiles == 1;
+  cold.stop();
+
+  const double ratio = fairness_ratio();
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+
+  std::printf("bench_serve: %d cached quantify requests over loopback\n",
+              requests);
+  std::printf("  %-24s %10.1f us\n", "latency p50", p50);
+  std::printf("  %-24s %10.1f us\n", "latency p99", p99);
+  std::printf("  %-24s %10.4f\n", "compile_amortization", compile_amortization);
+  std::printf("  %-24s %10s\n", "parity_with_cli",
+              parity_with_cli ? "true" : "false");
+  std::printf("  %-24s %10s (cold-burst compiles: %llu)\n",
+              "single_flight_dedup", single_flight_dedup ? "true" : "false",
+              static_cast<unsigned long long>(cold_compiles));
+  std::printf("  %-24s %10.2f (weights 3:1)\n", "fairness_ratio", ratio);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"requests\": " << requests << ",\n";
+    char number[64];
+    std::snprintf(number, sizeof(number), "%.1f", p50);
+    out << "  \"cached_quantify_p50_us\": " << number << ",\n";
+    std::snprintf(number, sizeof(number), "%.1f", p99);
+    out << "  \"cached_quantify_p99_us\": " << number << ",\n";
+    std::snprintf(number, sizeof(number), "%.6f", compile_amortization);
+    out << "  \"compile_amortization\": " << number << ",\n";
+    out << "  \"parity_with_cli\": " << (parity_with_cli ? "true" : "false")
+        << ",\n";
+    out << "  \"single_flight_dedup\": "
+        << (single_flight_dedup ? "true" : "false") << ",\n";
+    std::snprintf(number, sizeof(number), "%.4f", ratio);
+    out << "  \"fairness_ratio\": " << number << "\n";
+    out << "}\n";
+  }
+  return parity_with_cli && single_flight_dedup ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 Usage: compare_bench.py BASELINE.json FRESH.json [--overhead OVERHEAD.json]
                         [--mc MC_BASELINE.json MC_FRESH.json]
                         [--large-trees LT_BASELINE.json LT_FRESH.json]
+                        [--serve SV_BASELINE.json SV_FRESH.json]
                         [--summary SUMMARY.md]
 
 Compares the fresh benchmark JSON against the committed baseline
@@ -44,6 +45,16 @@ the best tier must keep at least a MIN_NODE_REDUCTION x decision-node
 reduction, and — the corpus being seeded and the algorithms deterministic —
 every tier's decision-node counts must match the baseline *exactly* on any
 machine. Wall-clock columns are reported but never gated.
+
+With --serve, additionally gates the service report written by
+`bench_serve --json` against the committed BENCH_serve.json: the
+parity flag (HTTP body byte-identical to the offline render, and
+therefore to `safeopt quantify --json`) and the single-flight flag
+(8 concurrent cold requests -> exactly one compile) must hold, compile
+amortization over the repeated-document run must stay >= the
+MIN_COMPILE_AMORTIZATION acceptance bar, and the weighted-fairness ratio
+must sit inside FAIRNESS_BAND around the configured 3:1 weights. The
+cached-quantify latency percentiles are reported but never gated.
 
 With --summary, appends a GitHub-flavored markdown digest of every table to
 the given file (use $GITHUB_STEP_SUMMARY in CI).
@@ -100,6 +111,20 @@ MC_CONTRACT_FLAGS = [
 # corpus tier must shrink the BDD by at least this factor vs the monolithic
 # compile (decision nodes, machine-independent).
 MIN_NODE_REDUCTION = 10.0
+
+SERVE_CONTRACT_FLAGS = [
+    "parity_with_cli",
+    "single_flight_dedup",
+]
+
+# Acceptance criterion for the serve subsystem: repeated requests over the
+# same document must be served from cached compile artifacts at least this
+# often (the ">= 99% amortization" bar from the service design).
+MIN_COMPILE_AMORTIZATION = 0.99
+
+# The bench runs a 3:1 tenant pair; SFQ dispatch granularity makes the
+# measured ratio land within half a slot of the weights.
+FAIRNESS_BAND = (2.5, 3.5)
 
 # Markdown lines collected for --summary ($GITHUB_STEP_SUMMARY).
 summary_lines = []
@@ -268,10 +293,57 @@ def check_large_trees(baseline_path, fresh_path, failures):
     )
 
 
+def check_serve(baseline_path, fresh_path, failures):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    for flag in SERVE_CONTRACT_FLAGS:
+        if fresh.get(flag) is not True:
+            failures.append(f"serve contract violated: {flag} = {fresh.get(flag)}")
+
+    amortization = fresh.get("compile_amortization", 0.0)
+    if amortization < MIN_COMPILE_AMORTIZATION:
+        failures.append(
+            f"serve compile amortization fell to {amortization:.4f} "
+            f"(minimum {MIN_COMPILE_AMORTIZATION:.2f})"
+        )
+
+    ratio = fresh.get("fairness_ratio", 0.0)
+    if not (FAIRNESS_BAND[0] <= ratio <= FAIRNESS_BAND[1]):
+        failures.append(
+            f"serve fairness ratio {ratio:.2f} outside "
+            f"[{FAIRNESS_BAND[0]:.1f}, {FAIRNESS_BAND[1]:.1f}] for 3:1 weights"
+        )
+
+    print(f"\n{'serve metric':<28}{'baseline':>14}{'fresh':>14}")
+    summary_lines.append("\n#### Serve subsystem (cache + fairness gate)\n")
+    summary_lines.append("| metric | baseline | fresh |")
+    summary_lines.append("|---|---:|---:|")
+    for metric in [
+        "cached_quantify_p50_us",
+        "cached_quantify_p99_us",
+        "compile_amortization",
+        "fairness_ratio",
+    ]:
+        base_value = baseline.get(metric, 0)
+        fresh_value = fresh.get(metric, 0)
+        print(f"{metric:<28}{base_value:>14.4g}{fresh_value:>14.4g}")
+        summary_lines.append(f"| {metric} | {base_value:.4g} | {fresh_value:.4g} |")
+    flags = ", ".join(
+        f"{flag}={'ok' if fresh.get(flag) is True else 'FAIL'}"
+        for flag in SERVE_CONTRACT_FLAGS
+    )
+    print(f"  {flags} (latency columns report-only)")
+    summary_lines.append(f"\nContracts: {flags}")
+
+
 def main(argv):
     overhead_path = None
     mc_paths = None
     large_trees_paths = None
+    serve_paths = None
     summary_path = None
     args = argv[1:]
     positional = []
@@ -285,6 +357,9 @@ def main(argv):
             i += 3
         elif args[i] == "--large-trees" and i + 2 < len(args):
             large_trees_paths = (args[i + 1], args[i + 2])
+            i += 3
+        elif args[i] == "--serve" and i + 2 < len(args):
+            serve_paths = (args[i + 1], args[i + 2])
             i += 3
         elif args[i] == "--summary" and i + 1 < len(args):
             summary_path = args[i + 1]
@@ -362,6 +437,8 @@ def main(argv):
         check_mc(mc_paths[0], mc_paths[1], failures)
     if large_trees_paths is not None:
         check_large_trees(large_trees_paths[0], large_trees_paths[1], failures)
+    if serve_paths is not None:
+        check_serve(serve_paths[0], serve_paths[1], failures)
 
     if failures:
         print("\nbenchmark gate FAILED:", file=sys.stderr)

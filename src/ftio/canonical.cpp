@@ -1,0 +1,43 @@
+// Canonical content hashing for study documents (study_document.h).
+//
+// The canonical form IS write_study's output: the writer already normalizes
+// whitespace, drops comments, ignores StudyDocument::source, and renders
+// numbers through format_double, so hashing its text gives a content
+// identity that survives any formatting of the input. FNV-1a (64-bit) is
+// deliberate: tiny, dependency-free, stable across platforms — and the
+// artifact cache only needs collision *rarity*, not adversarial resistance
+// (keys also carry pass options, and a collision costs a wrong cache hit
+// on attacker-chosen input we don't serve).
+#include <cinttypes>
+#include <cstdio>
+
+#include "safeopt/ftio/study_document.h"
+
+namespace safeopt::ftio {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (const char byte : text) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const StudyDocument& doc) {
+  return fnv1a(write_study(doc));
+}
+
+std::string canonical_hash_hex(const StudyDocument& doc) {
+  char digits[17];
+  std::snprintf(digits, sizeof(digits), "%016" PRIx64, canonical_hash(doc));
+  return std::string(digits, 16);
+}
+
+}  // namespace safeopt::ftio

@@ -44,6 +44,7 @@
 #ifndef SAFEOPT_FTIO_STUDY_DOCUMENT_H
 #define SAFEOPT_FTIO_STUDY_DOCUMENT_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -159,6 +160,16 @@ struct StudyDocument {
 /// document: equal parameters/hazards/selections and structurally identical
 /// trees and leaf expressions (expr::structurally_equal).
 [[nodiscard]] std::string write_study(const StudyDocument& doc);
+
+/// Content hash of the *canonical form* of a document: FNV-1a 64 over
+/// write_study(doc). Two documents that differ only in whitespace,
+/// comments, or source path hash equal; any semantic difference (a
+/// parameter bound, a gate input, a solver option) changes the hash. The
+/// serve subsystem keys its artifact cache on this.
+[[nodiscard]] std::uint64_t canonical_hash(const StudyDocument& doc);
+
+/// canonical_hash rendered as 16 lowercase hex digits (cache keys, logs).
+[[nodiscard]] std::string canonical_hash_hex(const StudyDocument& doc);
 
 }  // namespace safeopt::ftio
 

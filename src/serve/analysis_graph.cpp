@@ -1,0 +1,458 @@
+#include "safeopt/serve/analysis_graph.h"
+
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "safeopt/core/quantification_engine.h"
+#include "safeopt/core/study.h"
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/opt/solver.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::serve {
+namespace {
+
+// FNV-1a 64 over arbitrary request text — key material for the raw-text
+// parse key and option fingerprints. Documents themselves are keyed on
+// ftio::canonical_hash (semantic identity); this is only for strings that
+// are already canonical (option lists render deterministically).
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char byte : text) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char digits[17];
+  std::snprintf(digits, sizeof(digits), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(digits, 16);
+}
+
+/// The request options that change what `compile` produces, rendered
+/// deterministically. Two requests with the same document and the same
+/// fingerprint share one compiled study.
+std::string option_fingerprint(const AnalysisOptions& options) {
+  return concat("engine=", options.engine.value_or(""),
+                ";engine_options=", join(options.engine_options, ","),
+                ";solver=", options.solver.value_or(""),
+                ";extras=", join(options.extras, ","), ";seed=",
+                options.seed.has_value() ? std::to_string(*options.seed) : "");
+}
+
+/// Restores the slot to "no request" on every exit path; the caller holds
+/// the artifact mutex for the guard's whole lifetime.
+class SlotGuard {
+ public:
+  SlotGuard(RequestControlSlot& slot, const ExecutionControl* control) noexcept
+      : slot_(slot) {
+    slot_.set(control);
+  }
+  ~SlotGuard() { slot_.clear(); }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+
+ private:
+  RequestControlSlot& slot_;
+};
+
+bool control_fired(const ExecutionControl* control) {
+  return control != nullptr && control->should_abort();
+}
+
+/// A quantification outcome is reusable only when nothing request-specific
+/// leaked into it: no abort mid-estimate, no degradation note, and the
+/// request's own control never fired.
+bool reusable(const HazardResults& results, const ExecutionControl* control) {
+  if (control_fired(control)) return false;
+  for (const auto& [hazard, result] : results) {
+    (void)hazard;
+    if (result.aborted.value_or(false)) return false;
+    if (!result.diagnostics.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RequestControlSlot::RequestControlSlot() {
+  control_.probe = [this]() -> ExecutionStatus {
+    const ExecutionControl* request =
+        request_.load(std::memory_order_acquire);
+    return request == nullptr ? ExecutionStatus::kRunning : request->status();
+  };
+}
+
+const std::vector<PassDesc>& analysis_passes() {
+  static const std::vector<PassDesc> passes = {
+      {"parse", "study document + canonical hash", ""},
+      {"validate", "structural problem list", "parse"},
+      {"compile", "core::Study with compiled leaf tapes", "parse"},
+      {"preprocess", "normalized/modularized trees (inside compile's study)",
+       "compile"},
+      {"mcs", "minimal cut sets (inside compile's study)", "preprocess"},
+      {"bdd", "BDD / engine state (inside compile's study)", "mcs"},
+      {"quantify", "hazard probabilities + cost at a point", "bdd"},
+      {"optimize", "optimum + quantification at the optimum", "quantify"},
+  };
+  return passes;
+}
+
+// ----------------------------------------------------------------- artifacts
+
+struct AnalysisGraph::ParsedArtifact {
+  ftio::StudyDocument doc;
+  std::string canonical_hex;
+  std::size_t text_bytes = 0;
+};
+
+struct AnalysisGraph::CompiledArtifact {
+  // The study's quantify path is documented single-threaded (lazy engines,
+  // mutable tape caches): requests serialize on this mutex. Different
+  // documents — different artifacts — still run concurrently.
+  mutable std::mutex mutex;
+  mutable RequestControlSlot slot;
+  std::shared_ptr<const ParsedArtifact> parsed;  // hazard order, model shape
+  std::optional<core::Study> study;
+};
+
+struct AnalysisGraph::QuantifyOutcome {
+  expr::ParameterAssignment at;
+  HazardResults results;
+  double cost = 0.0;
+  std::string engine_name;
+};
+
+struct AnalysisGraph::OptimizeOutcome {
+  bool converged = false;
+  std::size_t evaluations = 0;
+  expr::ParameterAssignment optimum;
+  HazardResults results;
+  double cost = 0.0;
+};
+
+struct AnalysisGraph::ValidateOutcome {
+  std::size_t parameters = 0;
+  std::size_t trees = 0;
+  std::size_t hazards = 0;
+  std::vector<std::string> problems;
+};
+
+// -------------------------------------------------------------------- passes
+
+AnalysisGraph::AnalysisGraph(std::size_t cache_bytes)
+    : cache_(cache_bytes) {}
+
+std::shared_ptr<const AnalysisGraph::ParsedArtifact> AnalysisGraph::parse_pass(
+    const std::string& document_text) {
+  const std::string key = concat("parse:", hex64(fnv1a(document_text)));
+  return cache_.get_as<ParsedArtifact>(key, [&] {
+    auto artifact = std::make_shared<ParsedArtifact>();
+    artifact->doc = ftio::parse_study(document_text, "request");
+    artifact->canonical_hex = ftio::canonical_hash_hex(artifact->doc);
+    artifact->text_bytes = document_text.size();
+    CacheEntry entry;
+    entry.value = artifact;
+    entry.bytes = document_text.size() * 4 + 1024;
+    return entry;
+  });
+}
+
+std::shared_ptr<const AnalysisGraph::CompiledArtifact>
+AnalysisGraph::compile_pass(
+    const std::shared_ptr<const ParsedArtifact>& parsed,
+    const AnalysisOptions& options, std::string* key_fingerprint) {
+  const std::string fingerprint =
+      concat(parsed->canonical_hex, ":",
+             hex64(fnv1a(option_fingerprint(options))));
+  if (key_fingerprint != nullptr) *key_fingerprint = fingerprint;
+  const std::string key = concat("compile:", fingerprint);
+  return cache_.get_as<CompiledArtifact>(key, [&] {
+    auto artifact = std::make_shared<CompiledArtifact>();
+    artifact->parsed = parsed;
+    core::Study study = core::Study::from_document(parsed->doc);
+    // Request overrides layer exactly like the CLI's --solver/--extra/
+    // --seed/--engine/--engine-opt (configure_study in safeopt_cli.cpp):
+    // a fresh solver name restarts from that solver's defaults, extras and
+    // engine options layer on whatever is selected.
+    if (options.solver.has_value() || !options.extras.empty() ||
+        options.seed.has_value()) {
+      std::string name;
+      opt::SolverConfig config;
+      if (options.solver.has_value()) {
+        const auto resolved = core::resolve_solver(*options.solver);
+        if (!resolved.has_value()) {
+          throw std::invalid_argument(
+              concat("unknown solver \"", *options.solver, "\"; available: ",
+                     join(opt::SolverRegistry::available(), ", ")));
+        }
+        name = resolved->name;
+        config = resolved->config;
+      } else {
+        name = study.solver_name();
+        config = study.solver_config();
+      }
+      for (const std::string& extra : options.extras) {
+        config.set_extra_argument(extra);
+      }
+      if (options.seed.has_value()) config.seed = *options.seed;
+      study.solver(std::move(name), std::move(config));
+    }
+    if (options.engine.has_value() || !options.engine_options.empty()) {
+      if (options.engine.has_value() &&
+          !core::EngineRegistry::contains(*options.engine)) {
+        throw std::invalid_argument(
+            concat("unknown engine \"", *options.engine, "\"; available: ",
+                   join(core::EngineRegistry::available(), ", ")));
+      }
+      core::EngineConfig config = study.engine_config();
+      for (const std::string& option : options.engine_options) {
+        core::set_engine_argument(config, option);
+      }
+      study.engine(options.engine.value_or(study.engine_name()),
+                   std::move(config));
+    }
+    // Bake the slot's stable control into both configs. Engines and solver
+    // instrumentation capture this pointer once; the slot forwards to
+    // whichever request currently holds the artifact mutex.
+    {
+      opt::SolverConfig config = study.solver_config();
+      config.control = artifact->slot.control();
+      std::string name = study.solver_name();
+      study.solver(std::move(name), std::move(config));
+      core::EngineConfig engine_config = study.engine_config();
+      engine_config.control = artifact->slot.control();
+      std::string engine_name = study.engine_name();
+      study.engine(std::move(engine_name), std::move(engine_config));
+    }
+    artifact->study.emplace(std::move(study));
+    CacheEntry entry;
+    entry.value = artifact;
+    // The compiled tapes + lazily built engine state dominate; scale the
+    // estimate off the document size (engines grow it further, but the
+    // budget is a shedding threshold, not an accounting ledger).
+    entry.bytes = parsed->text_bytes * 16 + 8192;
+    return entry;
+  });
+}
+
+// ------------------------------------------------------------------ quantify
+
+std::string AnalysisGraph::quantify(const std::string& document_text,
+                                    const AnalysisOptions& options,
+                                    const ExecutionControl* control) {
+  const auto parsed = parse_pass(document_text);
+  const ftio::StudyDocument& doc = parsed->doc;
+  if (doc.hazards.empty()) {
+    throw std::invalid_argument(
+        "document declares no hazards; nothing to quantify");
+  }
+
+  if (doc.parameters.empty()) {
+    // Constant (parameter-less) model: no study, engines straight on the
+    // numeric leaves — the CLI's quantify_constant_model path. Engines are
+    // per-computation here, so the request control wires in directly.
+    if (!options.at.empty()) {
+      throw std::invalid_argument(
+          "evaluation point given, but the model declares no free "
+          "parameters");
+    }
+    if (options.solver.has_value() || !options.extras.empty() ||
+        options.seed.has_value()) {
+      throw std::invalid_argument(
+          "solver options have no effect when quantifying a constant model "
+          "(no free parameters, nothing to optimize)");
+    }
+    const std::string key =
+        concat("quantify:const:", parsed->canonical_hex, ":",
+               hex64(fnv1a(option_fingerprint(options))));
+    const auto outcome = cache_.get_as<QuantifyOutcome>(key, [&] {
+      auto [engine_name, engine_config] =
+          core::document_engine_selection(doc);
+      if (options.engine.has_value()) {
+        if (!core::EngineRegistry::contains(*options.engine)) {
+          throw std::invalid_argument(
+              concat("unknown engine \"", *options.engine, "\"; available: ",
+                     join(core::EngineRegistry::available(), ", ")));
+        }
+        engine_name = *options.engine;
+      }
+      for (const std::string& option : options.engine_options) {
+        core::set_engine_argument(engine_config, option);
+      }
+      engine_config.control = control;
+      auto computed = std::make_shared<QuantifyOutcome>();
+      computed->engine_name = engine_name;
+      for (const ftio::HazardDecl& hazard : doc.hazards) {
+        const ftio::TreeModel* model = doc.find_tree(hazard.tree);
+        fta::QuantificationInput input =
+            fta::QuantificationInput::for_tree(model->tree, 0.0);
+        for (const ftio::LeafProbability& leaf : model->leaves) {
+          input.set(model->tree, leaf.name, leaf.probability.evaluate({}));
+        }
+        std::string degradation;
+        const auto engine = core::create_engine_with_fallback(
+            engine_name, model->tree, engine_config, &degradation);
+        core::QuantificationResult result = engine->quantify(input);
+        if (!degradation.empty()) {
+          result.diagnostics.push_back(degradation);
+        }
+        computed->results.emplace_back(hazard.tree, std::move(result));
+        computed->cost +=
+            hazard.cost * computed->results.back().second.probability;
+      }
+      CacheEntry entry;
+      entry.value = computed;
+      entry.bytes = 512 + computed->results.size() * 512;
+      entry.store = reusable(computed->results, control);
+      return entry;
+    });
+    return render_constant_quantify_response(options.model,
+                                             outcome->engine_name,
+                                             outcome->results, outcome->cost);
+  }
+
+  std::string fingerprint;
+  const auto compiled = compile_pass(parsed, options, &fingerprint);
+  const core::Study& study = *compiled->study;
+
+  // Evaluation point: box center, request components override per axis
+  // (the CLI's default for quantify).
+  expr::ParameterAssignment at;
+  for (std::size_t i = 0; i < study.space().size(); ++i) {
+    const auto& parameter = study.space()[i];
+    at.set(parameter.name, 0.5 * (parameter.lower + parameter.upper));
+  }
+  for (const auto& [name, value] : options.at) {
+    if (!study.space().index_of(name).has_value()) {
+      throw std::invalid_argument(
+          concat("evaluation point names unknown parameter \"", name,
+                 "\" (declared: ", join(study.space().names(), ", "), ")"));
+    }
+    at.set(name, value);
+  }
+  std::string at_fingerprint;
+  for (const auto& [name, value] : at.entries()) {
+    char number[48];
+    std::snprintf(number, sizeof(number), "%.17g", value);
+    at_fingerprint += concat(name, "=", number, ";");
+  }
+
+  const std::string key =
+      concat("quantify:", fingerprint, ":", hex64(fnv1a(at_fingerprint)));
+  const auto outcome = cache_.get_as<QuantifyOutcome>(key, [&] {
+    std::unique_lock<std::mutex> lock(compiled->mutex);
+    SlotGuard guard(compiled->slot, control);
+    auto computed = std::make_shared<QuantifyOutcome>();
+    computed->at = at;
+    computed->engine_name = study.engine_name();
+    computed->cost = study.evaluate_at(at).cost;
+    for (const ftio::HazardDecl& hazard : compiled->parsed->doc.hazards) {
+      computed->results.emplace_back(hazard.tree,
+                                     study.quantify(hazard.tree, at));
+    }
+    CacheEntry entry;
+    entry.value = computed;
+    entry.bytes = 512 + computed->results.size() * 512;
+    entry.store = reusable(computed->results, control);
+    return entry;
+  });
+  return render_quantify_response(options.model, outcome->engine_name,
+                                  outcome->at, outcome->results,
+                                  outcome->cost);
+}
+
+// ------------------------------------------------------------------ optimize
+
+std::string AnalysisGraph::optimize(const std::string& document_text,
+                                    const AnalysisOptions& options,
+                                    const ExecutionControl* control) {
+  const auto parsed = parse_pass(document_text);
+  std::string fingerprint;
+  const auto compiled = compile_pass(parsed, options, &fingerprint);
+  const core::Study& study = *compiled->study;
+
+  const std::string key = concat("optimize:", fingerprint);
+  const auto outcome = cache_.get_as<OptimizeOutcome>(key, [&] {
+    std::unique_lock<std::mutex> lock(compiled->mutex);
+    SlotGuard guard(compiled->slot, control);
+    const auto result = study.run();
+    auto computed = std::make_shared<OptimizeOutcome>();
+    computed->converged = result.optimization.converged;
+    computed->evaluations = result.optimization.evaluations;
+    computed->optimum = result.optimal_parameters;
+    computed->cost = result.cost;
+    for (const ftio::HazardDecl& hazard : compiled->parsed->doc.hazards) {
+      computed->results.emplace_back(
+          hazard.tree, study.quantify(hazard.tree, computed->optimum));
+    }
+    CacheEntry entry;
+    entry.value = computed;
+    entry.bytes = 1024 + computed->results.size() * 512;
+    // Seeded solvers are deterministic, so a clean run is reusable; an
+    // aborted one (deadline/cancel returns best-so-far, converged=false)
+    // is request-specific and must not be served to others.
+    entry.store = reusable(computed->results, control) && !control_fired(control);
+    return entry;
+  });
+  return render_optimize_response(
+      options.model, study.solver_name(), study.engine_name(),
+      outcome->converged, outcome->evaluations, outcome->optimum,
+      outcome->results, outcome->cost);
+}
+
+// ------------------------------------------------------------------ validate
+
+std::vector<std::string> validate_problems(const ftio::StudyDocument& doc) {
+  std::vector<std::string> problems;
+  for (const ftio::TreeModel& model : doc.trees) {
+    for (const std::string& problem : model.tree.validate()) {
+      problems.push_back(concat("tree ", model.tree.name(), ": ", problem));
+    }
+  }
+  if (doc.hazards.empty()) {
+    problems.emplace_back(
+        "no hazards declared; `safeopt run` needs at least one "
+        "\"hazard <tree> cost = <c>;\"");
+  }
+  try {
+    (void)core::document_solver_selection(doc);
+    (void)core::document_engine_selection(doc);
+    if (!doc.parameters.empty() && !doc.hazards.empty()) {
+      (void)core::Study::from_document(doc);
+    }
+  } catch (const std::invalid_argument& error) {
+    problems.emplace_back(error.what());
+  }
+  return problems;
+}
+
+std::string AnalysisGraph::validate(const std::string& document_text,
+                                    const AnalysisOptions& options) {
+  const auto parsed = parse_pass(document_text);
+  const std::string key = concat("validate:", parsed->canonical_hex);
+  const auto outcome = cache_.get_as<ValidateOutcome>(key, [&] {
+    auto computed = std::make_shared<ValidateOutcome>();
+    computed->parameters = parsed->doc.parameters.size();
+    computed->trees = parsed->doc.trees.size();
+    computed->hazards = parsed->doc.hazards.size();
+    computed->problems = validate_problems(parsed->doc);
+    CacheEntry entry;
+    entry.value = computed;
+    entry.bytes = 256;
+    for (const std::string& problem : computed->problems) {
+      entry.bytes += problem.size();
+    }
+    return entry;
+  });
+  return render_validate_response(options.model, outcome->parameters,
+                                  outcome->trees, outcome->hazards,
+                                  outcome->problems);
+}
+
+}  // namespace safeopt::serve

@@ -1,0 +1,118 @@
+#include "safeopt/serve/artifact_cache.h"
+
+namespace safeopt::serve {
+
+ArtifactCache::ArtifactCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {
+  stats_.byte_budget = byte_budget;
+}
+
+void ArtifactCache::record_locked(const std::string& key, bool hit) {
+  const std::size_t colon = key.find(':');
+  CachePassStats& pass =
+      stats_.passes[key.substr(0, colon == std::string::npos ? key.size()
+                                                             : colon)];
+  if (hit) {
+    ++stats_.hits;
+    ++pass.hits;
+  } else {
+    ++stats_.misses;
+    ++pass.misses;
+  }
+}
+
+void ArtifactCache::evict_over_budget_locked(const std::string& keep) {
+  while (stats_.bytes_in_use > byte_budget_ && !lru_.empty()) {
+    // Never evict the entry we are inserting for, even when it alone blows
+    // the budget — the caller is about to use it.
+    std::string victim = lru_.back();
+    if (victim == keep) break;
+    lru_.pop_back();
+    const auto found = entries_.find(victim);
+    stats_.bytes_in_use -= found->second.bytes;
+    entries_.erase(found);
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const void> ArtifactCache::get_or_compute(
+    const std::string& key, const Factory& make) {
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto found = entries_.find(key);
+    if (found != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second.lru);  // touch
+      record_locked(key, true);
+      return found->second.value;
+    }
+    const auto racing = in_flight_.find(key);
+    if (racing != in_flight_.end()) {
+      flight = racing->second;
+      ++stats_.single_flight_waits;
+    } else {
+      flight = std::make_shared<InFlight>();
+      in_flight_.emplace(key, flight);
+      leader = true;
+      record_locked(key, false);
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done_cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->value;
+  }
+
+  CacheEntry entry;
+  std::exception_ptr error;
+  try {
+    entry = make();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    in_flight_.erase(key);
+    // A factory that succeeded may still opt out of storage; one that threw
+    // or produced an artifact larger than the whole budget never stores.
+    if (!error && entry.store && entry.bytes <= byte_budget_) {
+      lru_.push_front(key);
+      Stored stored;
+      stored.value = entry.value;
+      stored.bytes = entry.bytes;
+      stored.lru = lru_.begin();
+      entries_.emplace(key, std::move(stored));
+      stats_.bytes_in_use += entry.bytes;
+      evict_over_budget_locked(key);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->value = entry.value;
+    flight->error = error;
+  }
+  flight->done_cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return entry.value;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void ArtifactCache::clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes_in_use = 0;
+}
+
+}  // namespace safeopt::serve

@@ -1,0 +1,165 @@
+#include "safeopt/serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::serve {
+namespace {
+
+[[noreturn]] void bad_request(std::string_view what) {
+  throw Error(ErrorCategory::kInvalidInput, concat("http: ", what));
+}
+
+std::string lowercase(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::find_header(
+    std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<HttpRequest> read_http_request(TcpSocket& socket,
+                                             const HttpLimits& limits) {
+  if (limits.read_timeout_ms != 0) {
+    socket.set_receive_timeout_ms(limits.read_timeout_ms);
+  }
+
+  // Read until the blank line ending the header block; whatever follows it
+  // in the same segments is the body's prefix.
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (true) {
+    const std::size_t searched_from = buffer.size() < 3 ? 0 : buffer.size() - 3;
+    const std::size_t n = socket.read_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      if (buffer.empty()) return std::nullopt;  // clean probe connect
+      bad_request("connection closed mid-request");
+    }
+    buffer.append(chunk, n);
+    header_end = buffer.find("\r\n\r\n", searched_from);
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > limits.max_header_bytes) {
+      throw Error(ErrorCategory::kResourceExhausted,
+                  "http: header block exceeds limit");
+    }
+  }
+
+  HttpRequest request;
+  const std::string_view head =
+      std::string_view(buffer).substr(0, header_end);
+  std::size_t line_start = 0;
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, std::min(line_end, head.size()));
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string_view::npos
+          ? std::string_view::npos
+          : request_line.find(' ', method_end + 1);
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos) {
+    bad_request("malformed request line");
+  }
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    bad_request(concat("unsupported protocol \"", version, "\""));
+  }
+  request.method = std::string(request_line.substr(0, method_end));
+  request.target = std::string(
+      request_line.substr(method_end + 1, target_end - method_end - 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/') {
+    bad_request("malformed request line");
+  }
+  line_start = line_end == std::string_view::npos ? head.size() : line_end + 2;
+
+  // Header fields: NAME ":" OWS VALUE.
+  while (line_start < head.size()) {
+    std::size_t end = head.find("\r\n", line_start);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(line_start, end - line_start);
+    line_start = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      bad_request("malformed header field");
+    }
+    request.headers.emplace_back(
+        lowercase(trim(line.substr(0, colon))),
+        std::string(trim(line.substr(colon + 1))));
+  }
+
+  // Body: exactly Content-Length bytes (0 when absent).
+  std::size_t content_length = 0;
+  if (const std::string* value = request.find_header("content-length")) {
+    const auto [end, ec] = std::from_chars(
+        value->data(), value->data() + value->size(), content_length);
+    if (ec != std::errc{} || end != value->data() + value->size()) {
+      bad_request(concat("malformed Content-Length \"", *value, "\""));
+    }
+  }
+  if (request.find_header("transfer-encoding") != nullptr) {
+    bad_request("chunked transfer encoding is not supported");
+  }
+  if (content_length > limits.max_body_bytes) {
+    throw Error(ErrorCategory::kResourceExhausted,
+                concat("http: body of ", std::to_string(content_length),
+                       " bytes exceeds limit of ",
+                       std::to_string(limits.max_body_bytes)));
+  }
+  request.body = buffer.substr(header_end + 4);
+  if (request.body.size() > content_length) {
+    bad_request("body longer than Content-Length (pipelining unsupported)");
+  }
+  while (request.body.size() < content_length) {
+    const std::size_t n = socket.read_some(
+        chunk, std::min(sizeof(chunk), content_length - request.body.size()));
+    if (n == 0) bad_request("connection closed mid-body");
+    request.body.append(chunk, n);
+  }
+  return request;
+}
+
+void write_http_response(TcpSocket& socket, const HttpResponse& response) {
+  socket.write_all(concat(
+      "HTTP/1.1 ", std::to_string(response.status), " ",
+      http_status_reason(response.status), "\r\nContent-Type: ",
+      response.content_type, "\r\nContent-Length: ",
+      std::to_string(response.body.size()), "\r\nConnection: close\r\n\r\n",
+      response.body));
+}
+
+std::string_view http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace safeopt::serve

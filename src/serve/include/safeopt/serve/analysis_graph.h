@@ -1,0 +1,157 @@
+// AnalysisGraph — the explicit pass dependency graph behind the service
+// (ROADMAP: "shared BDD/MCS artifacts ... cached and reused"):
+//
+//   parse ──► compile ──► [preprocess ─► MCS ─► BDD] ──► quantify ──► optimize
+//     │                                                      ▲
+//     └──────────────────► validate                          │
+//                                            (same compiled study artifact)
+//
+// Each named pass produces an immutable artifact stored in an ArtifactCache
+// under a content-derived key:
+//
+//   parse:<raw-text hash>                 → ParsedArtifact (document +
+//                                           canonical hash)
+//   compile:<canonical>:<option fp>      → CompiledArtifact (core::Study
+//                                           with compiled tapes; the
+//                                           preprocess/MCS/BDD sub-passes
+//                                           live inside its lazily built
+//                                           engines, so their results are
+//                                           owned by — and amortized with —
+//                                           this artifact)
+//   quantify:<compile key fp>:<at fp>    → QuantifyOutcome
+//   optimize:<compile key fp>            → OptimizeOutcome
+//   validate:<canonical>                 → ValidateOutcome
+//
+// Keying on ftio::canonical_hash means whitespace/comment/path variants of
+// one document share every artifact; any semantic change invalidates from
+// `compile` down while `parse` of the identical raw text still hits.
+//
+// Concurrency: a CompiledArtifact's study is single-threaded by contract
+// (lazy engines, mutable tape caches), so each artifact carries a mutex and
+// requests serialize per artifact while different documents run in
+// parallel. Per-request deadline/cancellation flows through the artifact's
+// RequestControlSlot: the study is built once against the slot's stable
+// ExecutionControl, and each request swaps its own control in for the
+// duration of its (mutex-held) turn.
+#ifndef SAFEOPT_SERVE_ANALYSIS_GRAPH_H
+#define SAFEOPT_SERVE_ANALYSIS_GRAPH_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "safeopt/ftio/study_document.h"
+#include "safeopt/serve/artifact_cache.h"
+#include "safeopt/serve/response_json.h"
+#include "safeopt/support/execution.h"
+
+namespace safeopt::serve {
+
+/// Per-request analysis options — the HTTP mirror of the CLI's
+/// --solver/--engine/--extra/--engine-opt/--seed/--at surface, layered on
+/// top of the document's own selections with identical semantics.
+struct AnalysisOptions {
+  /// Reported as the response's "model" field (the CLI prints the file
+  /// path here); not part of any cache key.
+  std::string model;
+  std::optional<std::string> engine;
+  std::vector<std::string> engine_options;  // KEY=VALUE
+  std::optional<std::string> solver;
+  std::vector<std::string> extras;  // KEY=VALUE solver extras
+  std::optional<std::uint64_t> seed;
+  std::vector<std::pair<std::string, double>> at;
+};
+
+/// A stable ExecutionControl that forwards to the *current request's*
+/// control. Engines capture `config.control` when the compiled study is
+/// built — once, at artifact creation — while requests come and go; the
+/// slot is the indirection that keeps the captured pointer valid forever
+/// and still lets every request bring its own deadline and disconnect
+/// probe. set()/clear() happen under the owning artifact's mutex, so at
+/// most one request occupies the slot at a time.
+class RequestControlSlot {
+ public:
+  RequestControlSlot();
+  RequestControlSlot(const RequestControlSlot&) = delete;
+  RequestControlSlot& operator=(const RequestControlSlot&) = delete;
+
+  /// The stable control to bake into engine/solver configs.
+  [[nodiscard]] const ExecutionControl* control() const noexcept {
+    return &control_;
+  }
+
+  void set(const ExecutionControl* request) noexcept {
+    request_.store(request, std::memory_order_release);
+  }
+  void clear() noexcept { set(nullptr); }
+
+ private:
+  ExecutionControl control_;
+  std::atomic<const ExecutionControl*> request_{nullptr};
+};
+
+/// One row of the pass-graph description (introspection, /v1/stats, docs).
+struct PassDesc {
+  std::string_view name;
+  std::string_view produces;
+  std::string_view depends_on;  // comma-separated upstream passes
+};
+
+/// The graph's pass list in topological order.
+[[nodiscard]] const std::vector<PassDesc>& analysis_passes();
+
+/// Structural validation beyond the parser's checks — the single problems
+/// list behind both `safeopt validate` and POST /v1/validate: per-tree
+/// structural issues, a missing-hazards check, and a dry assembly of the
+/// document's selections (and, for parameterized documents, the Study).
+[[nodiscard]] std::vector<std::string> validate_problems(
+    const ftio::StudyDocument& doc);
+
+class AnalysisGraph {
+ public:
+  explicit AnalysisGraph(std::size_t cache_bytes);
+
+  /// Quantifies every hazard of `document_text` at the requested point
+  /// (default: the box center, exactly like the CLI) and returns the
+  /// response body — byte-identical to `safeopt quantify --json`. Throws
+  /// ftio::ParseError / std::invalid_argument / safeopt::Error; the server
+  /// maps those onto HTTP statuses.
+  [[nodiscard]] std::string quantify(const std::string& document_text,
+                                     const AnalysisOptions& options,
+                                     const ExecutionControl* control);
+
+  /// Runs the document's optimization study; body matches
+  /// `safeopt run --json`.
+  [[nodiscard]] std::string optimize(const std::string& document_text,
+                                     const AnalysisOptions& options,
+                                     const ExecutionControl* control);
+
+  /// Structural validation; body matches `safeopt validate --json`.
+  [[nodiscard]] std::string validate(const std::string& document_text,
+                                     const AnalysisOptions& options);
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct ParsedArtifact;
+  struct CompiledArtifact;
+  struct QuantifyOutcome;
+  struct OptimizeOutcome;
+  struct ValidateOutcome;
+
+  std::shared_ptr<const ParsedArtifact> parse_pass(
+      const std::string& document_text);
+  std::shared_ptr<const CompiledArtifact> compile_pass(
+      const std::shared_ptr<const ParsedArtifact>& parsed,
+      const AnalysisOptions& options, std::string* key_fingerprint);
+
+  ArtifactCache cache_;
+};
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_ANALYSIS_GRAPH_H

@@ -1,0 +1,117 @@
+// ArtifactCache — the immutable-artifact store behind the analysis-pass
+// graph (analysis_graph.h). Every pass output (parsed document, compiled
+// study, quantification outcome) is cached under a content-derived key:
+//
+//   <pass>:<canonical document hash>[:<option fingerprint>...]
+//
+// so repeated requests over the same document amortize everything up to the
+// first pass whose inputs actually changed.
+//
+// Two policies, both enforced here so the passes stay policy-free:
+//   * byte-budget LRU: artifacts carry a size estimate; inserting past the
+//     budget evicts least-recently-used entries (never the one just
+//     inserted). Artifacts larger than the whole budget are returned but
+//     not stored.
+//   * single-flight: N concurrent requests for the same missing key run
+//     ONE factory; the rest block on its completion and share the result.
+//     A factory failure propagates to every waiter and caches nothing.
+//
+// Values are type-erased shared_ptr<const void>; callers use the typed
+// get_as<T> wrapper. Thread-safe; factories run outside the cache lock.
+#ifndef SAFEOPT_SERVE_ARTIFACT_CACHE_H
+#define SAFEOPT_SERVE_ARTIFACT_CACHE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace safeopt::serve {
+
+/// One pass artifact as the factory hands it back.
+struct CacheEntry {
+  std::shared_ptr<const void> value;
+  /// Estimated footprint, charged against the byte budget.
+  std::size_t bytes = 0;
+  /// When false the value is handed to the caller (and any single-flight
+  /// waiters) but not stored — e.g. a quantification outcome an aborted
+  /// control made non-reusable.
+  bool store = true;
+};
+
+/// Hit/miss counters, global and per pass (the key's ":"-prefix).
+struct CachePassStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Requests that joined an in-flight computation instead of starting one.
+  std::uint64_t single_flight_waits = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t entries = 0;
+  std::size_t byte_budget = 0;
+  std::map<std::string, CachePassStats> passes;
+};
+
+class ArtifactCache {
+ public:
+  using Factory = std::function<CacheEntry()>;
+
+  explicit ArtifactCache(std::size_t byte_budget);
+
+  /// Returns the cached value for `key`, or runs `make` (single-flight) and
+  /// caches its result. Exceptions from `make` propagate to the caller and
+  /// to every waiter joined on the same computation; nothing is cached.
+  std::shared_ptr<const void> get_or_compute(const std::string& key,
+                                             const Factory& make);
+
+  /// Typed wrapper; T must be the type the factory stored under this key.
+  template <typename T, typename Make>
+  std::shared_ptr<const T> get_as(const std::string& key, Make&& make) {
+    return std::static_pointer_cast<const T>(
+        get_or_compute(key, std::forward<Make>(make)));
+  }
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Drops every stored entry (in-flight computations are unaffected).
+  void clear();
+
+ private:
+  struct Stored {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
+  };
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::shared_ptr<const void> value;
+    std::exception_ptr error;
+  };
+
+  void evict_over_budget_locked(const std::string& keep);
+  void record_locked(const std::string& key, bool hit);
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Stored> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  CacheStats stats_;
+};
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_ARTIFACT_CACHE_H

@@ -1,0 +1,69 @@
+// Minimal HTTP/1.1 for the embedded service front end: one request per
+// connection (Connection: close), Content-Length bodies only (no chunked
+// encoding, no keep-alive, no TLS). Deliberately the smallest surface that
+// curl and the test clients speak — the service is an embedded tool, not a
+// general web server; anything beyond this belongs behind a real proxy.
+//
+// Failure mapping (the server turns these into status codes):
+//   Error(kInvalidInput)       malformed request line/headers/length → 400
+//   Error(kResourceExhausted)  header or body over the limits → 413
+//   Error(kDeadlineExceeded)   client too slow to send the request → 408
+//   Error(kInternal)           socket-layer failure → connection dropped
+#ifndef SAFEOPT_SERVE_HTTP_H
+#define SAFEOPT_SERVE_HTTP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "safeopt/support/net.h"
+
+namespace safeopt::serve {
+
+struct HttpRequest {
+  std::string method;  // uppercase as sent ("GET", "POST")
+  std::string target;  // path as sent ("/v1/quantify")
+  /// Header names lowercased; values trimmed. Duplicates keep order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with `name` (lowercase), or nullptr.
+  [[nodiscard]] const std::string* find_header(
+      std::string_view name) const noexcept;
+};
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Slow-client guard on the socket while reading; 0 = block forever.
+  std::uint64_t read_timeout_ms = 10'000;
+};
+
+/// Reads one request off the socket. nullopt = the peer closed before
+/// sending anything (a health-probe connect; not an error). Throws per the
+/// header-comment mapping.
+[[nodiscard]] std::optional<HttpRequest> read_http_request(
+    TcpSocket& socket, const HttpLimits& limits = {});
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Writes status line + Content-Type/Content-Length/Connection: close +
+/// body. Throws Error(kInternal) when the peer is gone (callers that are
+/// already failing catch and drop).
+void write_http_response(TcpSocket& socket, const HttpResponse& response);
+
+/// Reason phrase for the statuses the service emits ("OK", "Too Many
+/// Requests", ...); "Unknown" otherwise.
+[[nodiscard]] std::string_view http_status_reason(int status) noexcept;
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_HTTP_H

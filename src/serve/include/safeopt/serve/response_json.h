@@ -1,0 +1,59 @@
+// The machine-readable result schemas, shared byte-for-byte between the
+// safeopt CLI's --json output and the serve HTTP bodies. There is exactly
+// one renderer per schema; the CLI prints the returned string, the server
+// sends it, so "bitwise-identical to the offline CLI" holds by
+// construction — a schema change in one surface is a change in both.
+#ifndef SAFEOPT_SERVE_RESPONSE_JSON_H
+#define SAFEOPT_SERVE_RESPONSE_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "safeopt/core/quantification_engine.h"
+#include "safeopt/expr/expr.h"
+
+namespace safeopt::serve {
+
+/// Hazard name → its quantification, in document declaration order.
+using HazardResults =
+    std::vector<std::pair<std::string, core::QuantificationResult>>;
+
+/// The `  "hazards": [...],\n` block common to quantify/optimize output:
+/// probability, estimator diagnostics (ci95/halfwidth/trials/ess/
+/// converged/aborted), degradation notes, preprocessing summary.
+[[nodiscard]] std::string render_hazard_results(const HazardResults& results);
+
+/// `safeopt quantify --json` for a parameterized model.
+[[nodiscard]] std::string render_quantify_response(
+    std::string_view model, std::string_view engine,
+    const expr::ParameterAssignment& at, const HazardResults& results,
+    double cost);
+
+/// `safeopt quantify --json` for a constant (parameter-less) model.
+[[nodiscard]] std::string render_constant_quantify_response(
+    std::string_view model, std::string_view engine,
+    const HazardResults& results, double cost);
+
+/// `safeopt run --json`.
+[[nodiscard]] std::string render_optimize_response(
+    std::string_view model, std::string_view solver, std::string_view engine,
+    bool converged, std::size_t evaluations,
+    const expr::ParameterAssignment& optimum, const HazardResults& results,
+    double cost);
+
+/// `safeopt validate --json`.
+[[nodiscard]] std::string render_validate_response(
+    std::string_view model, std::size_t parameters, std::size_t trees,
+    std::size_t hazards, const std::vector<std::string>& problems);
+
+/// The structured failure object both surfaces emit:
+/// {"error": {"category": ..., "message": ...}}.
+[[nodiscard]] std::string render_error_response(std::string_view category,
+                                                std::string_view message);
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_RESPONSE_JSON_H

@@ -1,0 +1,120 @@
+// AdmissionScheduler — maps service requests onto a support::ThreadPool
+// with per-tenant weighted fair queuing and bounded-queue load shedding.
+//
+// Fairness is start-time fair queuing (SFQ): each accepted job gets a
+// virtual finish tag F = max(v, tenant's last F) + cost/weight (cost = 1
+// per request), and dispatch always picks the backlogged tenant with the
+// smallest head tag. Over any backlogged interval, tenant throughput
+// converges to the weight ratio regardless of arrival order — one chatty
+// tenant cannot starve the rest.
+//
+// Admission is bounded per tenant: a tenant whose queue is full has its
+// request shed *synchronously* with Error(kResourceExhausted) (the PR 7
+// taxonomy; the HTTP layer maps it to 429). Shedding at admission keeps
+// the failure cheap — no thread, no parse, no artifact work.
+//
+// `start_paused` + resume() exist for deterministic tests and benches:
+// enqueue a whole scenario, then release it against a known backlog.
+#ifndef SAFEOPT_SERVE_SCHEDULER_H
+#define SAFEOPT_SERVE_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::serve {
+
+struct SchedulerOptions {
+  /// Worker pool the jobs run on. Not owned; must outlive the scheduler.
+  ThreadPool* pool = nullptr;
+  /// Queued-jobs cap per tenant; admission beyond it sheds with
+  /// Error(kResourceExhausted).
+  std::size_t max_queue_per_tenant = 64;
+  /// Jobs running at once; 0 = the pool's concurrency.
+  std::size_t max_concurrent = 0;
+  /// Tenant name → weight (default weight 1 for unlisted tenants).
+  std::vector<std::pair<std::string, double>> tenant_weights;
+  /// When true, accepted jobs queue but do not dispatch until resume().
+  bool start_paused = false;
+};
+
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  double weight = 1.0;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::map<std::string, TenantStats> tenants;
+};
+
+class AdmissionScheduler {
+ public:
+  using Job = std::function<void()>;
+
+  explicit AdmissionScheduler(SchedulerOptions options);
+  ~AdmissionScheduler();
+
+  AdmissionScheduler(const AdmissionScheduler&) = delete;
+  AdmissionScheduler& operator=(const AdmissionScheduler&) = delete;
+
+  /// Admits `job` for `tenant` or throws Error(kResourceExhausted) when the
+  /// tenant's queue is full. The job runs on the pool; its exceptions are
+  /// swallowed (jobs are HTTP handlers that report their own failures).
+  void submit(const std::string& tenant, Job job);
+
+  /// Releases a paused scheduler (idempotent).
+  void resume();
+
+  /// Blocks until every admitted job has completed. Call resume() first on
+  /// a paused scheduler, or drain() waits forever.
+  void drain();
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+ private:
+  struct Entry {
+    double finish_tag = 0.0;
+    Job job;
+  };
+  struct Tenant {
+    std::deque<Entry> queue;
+    double last_finish = 0.0;
+    double weight = 1.0;
+    TenantStats stats;
+  };
+
+  void pump_locked(std::unique_lock<std::mutex>& lock);
+
+  const SchedulerOptions options_;
+  const std::size_t max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, Tenant> tenants_;
+  double virtual_time_ = 0.0;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_SCHEDULER_H

@@ -1,0 +1,134 @@
+// serve::Server — the `safeopt serve` front end, tying the subsystem
+// together: TcpListener accept loop → HTTP parse → admission scheduler
+// (per-tenant WFQ, bounded queues) → AnalysisGraph passes over the shared
+// artifact cache → response bytes identical to the CLI's --json output.
+//
+// Endpoints (docs/service.md):
+//   POST /v1/quantify   body {document, model?, engine?, engine_options?,
+//                             at?, deadline_ms?, tenant?}
+//   POST /v1/optimize   body {document, model?, solver?, extras?, seed?,
+//                             engine?, engine_options?, deadline_ms?,
+//                             tenant?}
+//   POST /v1/validate   body {document, model?}
+//   GET  /v1/stats      build info + cache/scheduler/request counters
+//
+// Every request runs under its own ExecutionControl: deadline from the
+// body's deadline_ms (or the server default), cancellation from a client-
+// disconnect probe polled at the engines' cooperative checkpoints. Error
+// taxonomy → status: invalid_input 400, resource_exhausted 429 (413 for
+// oversized requests), deadline_exceeded 504 (408 for slow senders),
+// cancelled 499, internal 500.
+#ifndef SAFEOPT_SERVE_SERVER_H
+#define SAFEOPT_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "safeopt/serve/analysis_graph.h"
+#include "safeopt/serve/http.h"
+#include "safeopt/serve/scheduler.h"
+#include "safeopt/support/net.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::serve {
+
+struct ServerOptions {
+  /// 0 = ephemeral (read the bound port back with port()).
+  std::uint16_t port = 0;
+  /// Worker threads handling requests.
+  std::size_t threads = 2;
+  /// Artifact-cache byte budget.
+  std::size_t cache_bytes = 64 * 1024 * 1024;
+  /// Per-tenant admission queue bound.
+  std::size_t max_queue = 64;
+  /// Concurrent requests; 0 = `threads`.
+  std::size_t max_concurrent = 0;
+  /// Tenant weights for fair queuing (unlisted tenants weigh 1).
+  std::vector<std::pair<std::string, double>> tenant_weights;
+  /// Deadline applied when a request carries none; 0 = unbounded.
+  std::uint64_t default_deadline_ms = 0;
+  /// Stop accepting after this many accepted connections; 0 = until
+  /// stop(). For tests and bounded smoke runs.
+  std::uint64_t max_requests = 0;
+  HttpLimits http_limits;
+};
+
+/// Request-outcome counters, by taxonomy bucket.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t invalid = 0;      // 400/404/405/408/413
+  std::uint64_t shed = 0;         // 429 from admission or budgets
+  std::uint64_t deadline = 0;     // 504
+  std::uint64_t cancelled = 0;    // 499 (client went away)
+  std::uint64_t internal = 0;     // 500
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and spawns the accept thread. Throws
+  /// Error(kInternal) when the bind fails.
+  void start();
+
+  /// The bound port; valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, drains in-flight requests, joins the accept thread.
+  /// Idempotent.
+  void stop();
+
+  /// Blocks until the accept loop exits (stop() from another thread, or
+  /// max_requests reached).
+  void wait();
+
+  /// True once the accept loop has exited — the CLI's poll for a
+  /// max_requests-bounded run, checkable without blocking in wait().
+  [[nodiscard]] bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] CacheStats cache_stats() const {
+    return graph_.cache_stats();
+  }
+  [[nodiscard]] SchedulerStats scheduler_stats() const {
+    return scheduler_->stats();
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(const std::shared_ptr<TcpSocket>& socket);
+  HttpResponse dispatch(const HttpRequest& request,
+                        const std::shared_ptr<TcpSocket>& socket);
+  [[nodiscard]] std::string stats_body() const;
+
+  const ServerOptions options_;
+  AnalysisGraph graph_;
+  ThreadPool pool_;
+  std::unique_ptr<AdmissionScheduler> scheduler_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> finished_{false};
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace safeopt::serve
+
+#endif  // SAFEOPT_SERVE_SERVER_H

@@ -1,0 +1,140 @@
+#include "safeopt/serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::serve {
+
+AdmissionScheduler::AdmissionScheduler(SchedulerOptions options)
+    : options_(std::move(options)),
+      max_concurrent_(options_.max_concurrent != 0
+                          ? options_.max_concurrent
+                          : std::max<std::size_t>(
+                                1, options_.pool->thread_count())),
+      paused_(options_.start_paused) {
+  for (const auto& [name, weight] : options_.tenant_weights) {
+    tenants_[name].weight = std::max(weight, 1e-9);
+    tenants_[name].stats.weight = tenants_[name].weight;
+  }
+}
+
+AdmissionScheduler::~AdmissionScheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;
+    // Drop still-queued jobs (their owners are gone with the server);
+    // running jobs finish on the pool before the pool itself is torn down
+    // by whoever owns it.
+    for (auto& [name, tenant] : tenants_) {
+      (void)name;
+      completed_ += tenant.queue.size();  // balance the drain() accounting
+      tenant.queue.clear();
+    }
+    queued_ = 0;
+  }
+  idle_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void AdmissionScheduler::submit(const std::string& tenant_name, Job job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Tenant& tenant = tenants_[tenant_name];
+  if (tenant.weight <= 0.0) tenant.weight = 1.0;
+  if (tenant.stats.weight == 0.0) tenant.stats.weight = tenant.weight;
+  if (tenant.queue.size() >= options_.max_queue_per_tenant) {
+    ++shed_;
+    ++tenant.stats.shed;
+    throw Error(ErrorCategory::kResourceExhausted,
+                concat("admission queue full for tenant \"", tenant_name,
+                       "\" (", std::to_string(tenant.queue.size()),
+                       " queued); retry later"));
+  }
+  // SFQ tags: the job's virtual start is max(global virtual time, the
+  // tenant's previous finish); its finish adds cost/weight. Dispatch picks
+  // the smallest finish tag, so a heavy tenant's backlog spaces out by
+  // 1/weight while a light tenant's next job slots in between.
+  const double start = std::max(virtual_time_, tenant.last_finish);
+  const double finish = start + 1.0 / tenant.weight;
+  tenant.last_finish = finish;
+  tenant.queue.push_back(Entry{finish, std::move(job)});
+  ++queued_;
+  ++submitted_;
+  ++tenant.stats.submitted;
+  pump_locked(lock);
+}
+
+void AdmissionScheduler::pump_locked(std::unique_lock<std::mutex>&) {
+  while (!paused_ && !stopping_ && running_ < max_concurrent_) {
+    Tenant* next = nullptr;
+    std::string next_name;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.queue.empty()) continue;
+      if (next == nullptr ||
+          tenant.queue.front().finish_tag < next->queue.front().finish_tag) {
+        next = &tenant;
+        next_name = name;
+      }
+    }
+    if (next == nullptr) return;
+    Entry entry = std::move(next->queue.front());
+    next->queue.pop_front();
+    --queued_;
+    // Virtual time advances to the dispatched job's start tag — the SFQ
+    // rule that keeps newly active tenants from replaying the past.
+    virtual_time_ = std::max(virtual_time_, entry.finish_tag - 1.0);
+    ++running_;
+    options_.pool->submit([this, name = std::move(next_name),
+                           job = std::move(entry.job)]() mutable {
+      try {
+        job();
+      } catch (...) {
+        // Jobs report their own failures (HTTP handlers); a throw here is
+        // a handler bug, contained so one request cannot kill dispatch.
+      }
+      std::unique_lock<std::mutex> inner(mutex_);
+      --running_;
+      ++completed_;
+      ++tenants_[name].stats.completed;
+      pump_locked(inner);
+      // Notify under the lock: a waiter in drain()/~AdmissionScheduler
+      // cannot return from wait() (it needs the mutex to recheck its
+      // predicate) and destroy the condition variable mid-notify.
+      idle_cv_.notify_all();
+    });
+  }
+}
+
+void AdmissionScheduler::resume() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!paused_) return;
+  paused_ = false;
+  pump_locked(lock);
+}
+
+void AdmissionScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return queued_ == 0 && running_ == 0;
+  });
+}
+
+SchedulerStats AdmissionScheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SchedulerStats out;
+  out.submitted = submitted_;
+  out.completed = completed_;
+  out.shed = shed_;
+  out.queued = queued_;
+  out.running = running_;
+  for (const auto& [name, tenant] : tenants_) {
+    out.tenants[name] = tenant.stats;
+  }
+  return out;
+}
+
+}  // namespace safeopt::serve

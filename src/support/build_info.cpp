@@ -1,0 +1,25 @@
+#include "safeopt/support/build_info.h"
+
+#include "safeopt/support/strings.h"
+#include "safeopt_build_info_generated.h"
+
+namespace safeopt {
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{SAFEOPT_BUILD_VERSION, SAFEOPT_BUILD_COMPILER,
+                              SAFEOPT_BUILD_TYPE, SAFEOPT_BUILD_FLAGS};
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& info = build_info();
+  std::string out = concat("safeopt ", info.version, " (", info.compiler, ", ",
+                           info.build_type);
+  if (!info.flags.empty()) {
+    out += concat(", flags: ", info.flags);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace safeopt

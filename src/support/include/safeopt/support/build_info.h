@@ -1,0 +1,31 @@
+// Build identity, configured once by CMake (src/support/build_info.h.in ->
+// a generated header private to the support library). Everything that
+// reports a version — `safeopt --version`, the service's `GET /v1/stats`,
+// bench JSON headers — reads these accessors, so the string cannot drift
+// between surfaces.
+#ifndef SAFEOPT_SUPPORT_BUILD_INFO_H
+#define SAFEOPT_SUPPORT_BUILD_INFO_H
+
+#include <string>
+#include <string_view>
+
+namespace safeopt {
+
+/// The build-time identity of this binary.
+struct BuildInfo {
+  std::string_view version;     // "0.8.0"
+  std::string_view compiler;    // "GNU 12.2.0"
+  std::string_view build_type;  // "Release" (or "multi-config")
+  std::string_view flags;       // the effective CMAKE_CXX_FLAGS
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// One human-readable line:
+///   "safeopt 0.8.0 (GNU 12.2.0, Release, flags: -O3 -DNDEBUG)"
+/// The `safeopt --version` output and the stats endpoint's "build" field.
+[[nodiscard]] std::string build_info_string();
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_BUILD_INFO_H

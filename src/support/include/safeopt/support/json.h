@@ -1,0 +1,128 @@
+// A minimal JSON value model for the service layer (serve request bodies,
+// stats documents, bench report parsing). Deliberately small: strict RFC 8259
+// subset — UTF-8 text, \uXXXX escapes decoded to UTF-8, objects preserve
+// member order (so dumped documents are deterministic), numbers are doubles.
+// Parse errors throw safeopt::Error(kInvalidInput) with offset context, so a
+// malformed HTTP body maps straight onto the 400 branch of the error
+// taxonomy without translation.
+//
+// This is infrastructure, not a serialization framework: handlers that must
+// emit byte-exact CLI-schema documents (serve/response_json.h) build strings
+// directly; JsonValue is for *reading* requests and for documents whose
+// exact spelling is ours to choose (stats).
+#ifndef SAFEOPT_SUPPORT_JSON_H
+#define SAFEOPT_SUPPORT_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace safeopt {
+
+class JsonValue {
+ public:
+  enum class Kind : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+  using Items = std::vector<JsonValue>;
+
+  JsonValue() noexcept : kind_(Kind::kNull) {}
+
+  [[nodiscard]] static JsonValue null() { return JsonValue(); }
+  [[nodiscard]] static JsonValue boolean(bool value) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = value;
+    return v;
+  }
+  [[nodiscard]] static JsonValue number(double value) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+  [[nodiscard]] static JsonValue string(std::string value) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  [[nodiscard]] static JsonValue array(Items items = {}) {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    v.items_ = std::move(items);
+    return v;
+  }
+  [[nodiscard]] static JsonValue object(Members members = {}) {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    v.members_ = std::move(members);
+    return v;
+  }
+
+  /// Parses one JSON document (and requires it to span the whole text).
+  /// Throws Error(kInvalidInput) with a byte offset on any problem.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; each throws Error(kInvalidInput) on a kind mismatch so
+  /// request handlers get uniform "field X must be a string" diagnostics for
+  /// free (the message names the expected kind).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Items& items() const;
+  [[nodiscard]] const Members& members() const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object. The safe probe for optional request fields.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// In-place builders for handlers assembling documents.
+  void set(std::string key, JsonValue value);
+  void push_back(JsonValue value);
+
+  /// Serializes canonically: no whitespace, members in insertion order,
+  /// numbers via %.17g (integral values print without a trailing ".0"), and
+  /// the escapes parse() understands. parse(dump(v)) reproduces v.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Items items_;
+  Members members_;
+};
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters. Shared by the hand-built CLI-schema
+/// renderers, which must keep their historical byte-exact output.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_JSON_H

@@ -1,0 +1,110 @@
+// Blocking-socket helpers for the `safeopt serve` front end: a loopback TCP
+// listener with a stoppable accept loop and a move-only connected-socket
+// wrapper. Deliberately minimal and POSIX-only — the service is an embedded
+// single-binary front end, not a general networking library.
+//
+// Concurrency model: TcpListener::accept is driven by poll() with a short
+// timeout so close() from another thread stops the loop without racing the
+// file descriptor; TcpSocket I/O is blocking with an optional receive
+// timeout. All errors surface as safeopt::Error (kInternal for socket-layer
+// failures, which a server maps to a dropped connection, never a crash).
+#ifndef SAFEOPT_SUPPORT_NET_H
+#define SAFEOPT_SUPPORT_NET_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace safeopt {
+
+/// A connected TCP socket (server- or client-side). Move-only; the
+/// destructor closes the descriptor.
+class TcpSocket {
+ public:
+  TcpSocket() noexcept = default;
+  explicit TcpSocket(int fd) noexcept : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to 127.0.0.1:`port` (tests, bench, health probes). Throws
+  /// Error(kInternal) when the connection is refused.
+  [[nodiscard]] static TcpSocket connect_loopback(std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Reads up to `size` bytes; returns the count (0 = orderly peer close).
+  /// With a receive timeout set, a timed-out read throws
+  /// Error(kDeadlineExceeded). Other failures throw Error(kInternal).
+  [[nodiscard]] std::size_t read_some(char* data, std::size_t size);
+
+  /// Writes all of `data` (SIGPIPE suppressed); throws Error(kInternal)
+  /// when the peer is gone. Best-effort senders catch and drop.
+  void write_all(std::string_view data);
+
+  /// Caps how long a single read_some may block (0 = forever). The
+  /// slow-client guard for request reading.
+  void set_receive_timeout_ms(std::uint64_t ms);
+
+  /// True when the peer has closed or reset the connection — a zero-byte
+  /// MSG_PEEK probe that never consumes request data. This is the client-
+  /// disconnect signal the per-request cancellation probe polls.
+  [[nodiscard]] bool peer_closed() const noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to 127.0.0.1. accept() can be unblocked from
+/// another thread with close(): it polls with a short timeout and re-checks
+/// a stop flag, so no descriptor is ever closed under a blocking syscall.
+class TcpListener {
+ public:
+  TcpListener() noexcept = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
+  /// (read it back with port()). Throws Error(kInternal) when the bind
+  /// fails (address in use, out of descriptors).
+  [[nodiscard]] static TcpListener bind_loopback(std::uint16_t port,
+                                                 int backlog = 64);
+
+  /// The bound port (resolved after an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a connection arrives or close() is called; nullopt means
+  /// the listener was closed (the accept loop's exit signal). Transient
+  /// per-connection failures (ECONNABORTED) retry internally.
+  [[nodiscard]] std::optional<TcpSocket> accept();
+
+  /// Stops accept() — callable from any thread, idempotent. The descriptor
+  /// itself is released by the destructor after the accept loop has exited.
+  void close() noexcept;
+
+  [[nodiscard]] bool closed() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_NET_H

@@ -1,0 +1,204 @@
+#include "safeopt/support/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt {
+namespace {
+
+[[noreturn]] void fail(std::string_view what) {
+  throw Error(ErrorCategory::kInternal,
+              concat("net: ", what, ": ", std::strerror(errno)));
+}
+
+sockaddr_in loopback_address(std::uint16_t port) noexcept {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TcpSocket
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpSocket TcpSocket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  TcpSocket socket(fd);
+  const sockaddr_in address = loopback_address(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    fail("connect");
+  }
+  return socket;
+}
+
+std::size_t TcpSocket::read_some(char* data, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw Error(ErrorCategory::kDeadlineExceeded,
+                  "net: receive timed out");
+    }
+    fail("recv");
+  }
+}
+
+void TcpSocket::write_all(std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+void TcpSocket::set_receive_timeout_ms(std::uint64_t ms) {
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(ms / 1000);
+  timeout.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+}
+
+bool TcpSocket::peer_closed() const noexcept {
+  if (fd_ < 0) return true;
+  pollfd probe{};
+  probe.fd = fd_;
+  probe.events = POLLIN;
+  const int ready = ::poll(&probe, 1, 0);
+  if (ready <= 0) return false;  // no events (or transient poll failure)
+  if ((probe.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return true;
+  if ((probe.revents & POLLIN) != 0) {
+    // Readable: EOF means the client hung up; buffered bytes (an eager
+    // pipelined request) mean it is still there.
+    char byte = 0;
+    const ssize_t n = ::recv(fd_, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) return true;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return true;  // ECONNRESET and friends
+    }
+  }
+  return false;
+}
+
+void TcpSocket::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -------------------------------------------------------------- TcpListener
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      stop_(other.stop_.load(std::memory_order_acquire)) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) (void)::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    stop_.store(other.stop_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+TcpListener TcpListener::bind_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  TcpListener listener;
+  listener.fd_ = fd;
+  const int enable = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address = loopback_address(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    fail("bind");
+  }
+  if (::listen(fd, backlog) != 0) fail("listen");
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    fail("getsockname");
+  }
+  listener.port_ = ntohs(address.sin_port);
+  return listener;
+}
+
+std::optional<TcpSocket> TcpListener::accept() {
+  // Poll with a short timeout and re-check the stop flag: close() from
+  // another thread then stops the loop without closing a descriptor a
+  // blocking accept() still references.
+  constexpr int kPollMs = 50;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd waiter{};
+    waiter.fd = fd_;
+    waiter.events = POLLIN;
+    const int ready = ::poll(&waiter, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    if (ready == 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      fail("accept");
+    }
+    return TcpSocket(client);
+  }
+  return std::nullopt;
+}
+
+void TcpListener::close() noexcept {
+  stop_.store(true, std::memory_order_release);
+}
+
+}  // namespace safeopt

@@ -20,6 +20,7 @@
 #include "safeopt/prep/preprocess.h"
 #include "safeopt/support/error.h"
 #include "safeopt/support/execution.h"
+#include "safeopt/support/strings.h"
 #include "testutil/fault_injector.h"
 
 namespace safeopt {
@@ -33,7 +34,9 @@ fta::FaultTree voting_tree() {
   fta::FaultTree tree("voting");
   std::vector<fta::NodeId> leaves;
   for (int i = 0; i < 8; ++i) {
-    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+    // concat instead of operator+: gcc 12's -Wrestrict false positive
+    // (PR105651) fires on `const char* + std::string&&` under -O3.
+    leaves.push_back(tree.add_basic_event(concat("e", std::to_string(i))));
   }
   tree.set_top(tree.add_k_of_n("top", 3, std::move(leaves)));
   return tree;

@@ -1,0 +1,114 @@
+// canonical_hash: the artifact-cache identity of a study document.
+// Property under test: hashing is invariant under everything parse_study
+// normalizes away (whitespace, comments, source name, statement spacing)
+// and sensitive to everything semantic (bounds, probabilities, gate
+// structure, solver options).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "safeopt/ftio/study_document.h"
+
+namespace safeopt::ftio {
+namespace {
+
+constexpr std::string_view kBaseText = R"(
+param T1 in [5, 40] unit "min" desc "runtime of timer 1";
+param T2 in [5, 40] unit "min";
+
+tree HCol;
+toplevel Collision;
+Collision or Other OT1c OT2c;
+OT1c inhibit OT1 OHV;
+OT2c inhibit OT2 OHV;
+Other prob = 4.19e-08;
+OT1 prob = survival[TruncatedNormal(4, 2, [0, inf])](T1);
+OT2 prob = survival[TruncatedNormal(4, 2, [0, inf])](T2);
+OHV condition prob = 0.011;
+
+hazard HCol cost = 100000;
+solver multi_start starts = 4 inner = nelder_mead;
+engine fta;
+formula rare_event;
+)";
+
+/// The same document re-serialized with gratuitous formatting noise: tabs,
+/// comments, blank lines, and different number spellings that parse to the
+/// same value.
+constexpr std::string_view kNoisyText = R"(
+# Elbtunnel height control — formatting-noise variant.
+  param T1 in [ 5.0 , 40.0 ]   unit "min"   desc "runtime of timer 1" ;
+param T2 in [5,40] unit "min";
+tree HCol;    # one tree
+	toplevel Collision;
+Collision or Other OT1c OT2c;   # top gate
+OT1c inhibit OT1 OHV;
+OT2c inhibit OT2 OHV;
+Other prob = 41.9e-09;
+OT1 prob = survival[TruncatedNormal(4.0, 2.0, [0, inf])](T1);
+OT2 prob = survival[TruncatedNormal(4, 2, [0.0, inf])](T2);
+
+OHV condition prob = 1.1e-2;
+hazard HCol cost = 1e5;
+solver multi_start starts=4 inner=nelder_mead;
+engine fta;
+formula rare_event;
+)";
+
+TEST(CanonicalHash, InvariantUnderWhitespaceAndComments) {
+  const StudyDocument base = parse_study(kBaseText, "base.ft");
+  const StudyDocument noisy = parse_study(kNoisyText, "noisy.ft");
+  EXPECT_EQ(canonical_hash(base), canonical_hash(noisy));
+  EXPECT_EQ(canonical_hash_hex(base), canonical_hash_hex(noisy));
+}
+
+TEST(CanonicalHash, IgnoresSourcePath) {
+  StudyDocument a = parse_study(kBaseText, "one/path.ft");
+  StudyDocument b = parse_study(kBaseText, "another/path.ft");
+  EXPECT_NE(a.source, b.source);
+  EXPECT_EQ(canonical_hash(a), canonical_hash(b));
+}
+
+TEST(CanonicalHash, RoundTripThroughWriterIsStable) {
+  const StudyDocument doc = parse_study(kBaseText);
+  const StudyDocument reparsed = parse_study(write_study(doc));
+  EXPECT_EQ(canonical_hash(doc), canonical_hash(reparsed));
+}
+
+/// Each single semantic edit must move the hash — the cache must never
+/// serve an artifact for a different model.
+TEST(CanonicalHash, SensitiveToSemanticEdits) {
+  const std::uint64_t base = canonical_hash(parse_study(kBaseText));
+  const std::vector<std::pair<std::string_view, std::string_view>> edits = {
+      {"param T1 in [5, 40]", "param T1 in [5, 41]"},
+      {"Other prob = 4.19e-08", "Other prob = 4.19e-07"},
+      {"Collision or Other OT1c OT2c", "Collision and Other OT1c OT2c"},
+      {"OHV condition prob = 0.011", "OHV condition prob = 0.012"},
+      {"hazard HCol cost = 100000", "hazard HCol cost = 100001"},
+      {"starts = 4", "starts = 5"},
+      {"engine fta", "engine bdd"},
+      {"formula rare_event", "formula min_cut_upper_bound"},
+  };
+  for (const auto& [from, to] : edits) {
+    std::string text(kBaseText);
+    const std::size_t at = text.find(from);
+    ASSERT_NE(at, std::string::npos) << from;
+    text.replace(at, from.size(), to);
+    EXPECT_NE(canonical_hash(parse_study(text)), base)
+        << "edit did not change the hash: " << to;
+  }
+}
+
+TEST(CanonicalHash, HexIsSixteenLowercaseDigits) {
+  const std::string hex = canonical_hash_hex(parse_study(kBaseText));
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char digit : hex) {
+    EXPECT_TRUE((digit >= '0' && digit <= '9') ||
+                (digit >= 'a' && digit <= 'f'))
+        << hex;
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::ftio

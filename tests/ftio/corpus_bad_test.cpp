@@ -18,6 +18,7 @@
 #include "safeopt/ftio/parser.h"
 #include "safeopt/ftio/study_document.h"
 #include "safeopt/support/error.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::ftio {
 namespace {
@@ -78,12 +79,14 @@ TEST(CorpusBadTest, EveryDocumentIsRejectedQuicklyWithAnInputError) {
 TEST(CorpusBadTest, TenThousandDeepGateChainIsRejectedNotOverflowed) {
   std::string text = "tree deep;\ntoplevel g0;\n";
   for (int i = 0; i < 10000; ++i) {
-    text += "g" + std::to_string(i) + " or g" + std::to_string(i + 1) + " e" +
-            std::to_string(i) + ";\n";
+    // concat instead of operator+: gcc 12's -Wrestrict false positive
+    // (PR105651) fires on `const char* + std::string&&` under -O3.
+    text += concat("g", std::to_string(i), " or g", std::to_string(i + 1),
+                   " e", std::to_string(i), ";\n");
   }
   text += "g10000 or e10000 e10001;\n";
   for (int i = 0; i <= 10001; ++i) {
-    text += "e" + std::to_string(i) + " prob = 0.01;\n";
+    text += concat("e", std::to_string(i), " prob = 0.01;\n");
   }
   text += "hazard deep cost = 1;\n";
 

@@ -19,6 +19,7 @@
 #include "safeopt/bdd/bdd.h"
 #include "safeopt/fta/cut_sets.h"
 #include "safeopt/ftio/study_document.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::prep {
 namespace {
@@ -145,7 +146,7 @@ TEST(PreprocessPassTest, NormalizeExpandsEveryKofN) {
   fta::FaultTree tree("kofn");
   std::vector<fta::NodeId> leaves;
   for (int i = 0; i < 6; ++i) {
-    leaves.push_back(tree.add_basic_event("e" + std::to_string(i)));
+    leaves.push_back(tree.add_basic_event(concat("e", std::to_string(i))));
   }
   tree.set_top(tree.add_k_of_n("top", 3, std::move(leaves)));
 
@@ -252,7 +253,7 @@ TEST(PreprocessPassTest, ModulePseudoLeafReusesGateName) {
   fta::FaultTree tree("mod");
   std::vector<fta::NodeId> module_leaves;
   for (int i = 0; i < 4; ++i) {
-    module_leaves.push_back(tree.add_basic_event("m" + std::to_string(i)));
+    module_leaves.push_back(tree.add_basic_event(concat("m", std::to_string(i))));
   }
   const auto module_gate = tree.add_and("engine_room", std::move(module_leaves));
   const auto other = tree.add_basic_event("other");

@@ -1,0 +1,174 @@
+// AnalysisGraph pass-reuse tests: the pass dependency graph must amortize
+// everything upstream of the first changed input — identical requests hit
+// every pass, canonical formatting variants share compile artifacts, and an
+// optimize after a quantify reuses the same compiled study. Responses are
+// deterministic byte strings (the same renderers the CLI prints).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "safeopt/serve/analysis_graph.h"
+#include "safeopt/support/error.h"
+#include "serve/serve_client.h"
+
+namespace safeopt::serve {
+namespace {
+
+const std::string kDoc{tstu::kParamDoc};
+const std::string kConst{tstu::kConstDoc};
+
+AnalysisOptions options_named(const std::string& model) {
+  AnalysisOptions options;
+  options.model = model;
+  return options;
+}
+
+TEST(AnalysisGraphTest, RepeatedQuantifyHitsEveryPass) {
+  AnalysisGraph graph(1 << 20);
+  const AnalysisOptions options = options_named("m");
+  const std::string first = graph.quantify(kDoc, options, nullptr);
+  const std::string second = graph.quantify(kDoc, options, nullptr);
+  EXPECT_EQ(first, second) << "cached responses must be byte-identical";
+
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("parse").misses, 1u);
+  EXPECT_EQ(stats.passes.at("parse").hits, 1u);
+  EXPECT_EQ(stats.passes.at("compile").misses, 1u);
+  EXPECT_EQ(stats.passes.at("compile").hits, 1u);
+  EXPECT_EQ(stats.passes.at("quantify").misses, 1u);
+  EXPECT_EQ(stats.passes.at("quantify").hits, 1u);
+}
+
+TEST(AnalysisGraphTest, CanonicalVariantsShareCompiledArtifacts) {
+  AnalysisGraph graph(1 << 20);
+  // Same document with formatting noise: extra blank lines and comments.
+  std::string noisy = "# a comment\n\n" + kDoc + "\n# trailing comment\n";
+  const std::string a = graph.quantify(kDoc, options_named("m"), nullptr);
+  const std::string b = graph.quantify(noisy, options_named("m"), nullptr);
+  EXPECT_EQ(a, b);
+
+  const CacheStats stats = graph.cache_stats();
+  // Different raw text → two parse artifacts; same canonical hash → ONE
+  // compiled study, one quantify outcome.
+  EXPECT_EQ(stats.passes.at("parse").misses, 2u);
+  EXPECT_EQ(stats.passes.at("compile").misses, 1u);
+  EXPECT_EQ(stats.passes.at("compile").hits, 1u);
+  EXPECT_EQ(stats.passes.at("quantify").misses, 1u);
+  EXPECT_EQ(stats.passes.at("quantify").hits, 1u);
+}
+
+TEST(AnalysisGraphTest, OptimizeReusesTheQuantifyCompileArtifact) {
+  AnalysisGraph graph(1 << 20);
+  (void)graph.quantify(kDoc, options_named("m"), nullptr);
+  (void)graph.optimize(kDoc, options_named("m"), nullptr);
+
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("compile").misses, 1u)
+      << "optimize must reuse the study quantify compiled";
+  EXPECT_EQ(stats.passes.at("compile").hits, 1u);
+  EXPECT_EQ(stats.passes.at("optimize").misses, 1u);
+}
+
+TEST(AnalysisGraphTest, DifferentAtPointsShareCompileButNotQuantify) {
+  AnalysisGraph graph(1 << 20);
+  AnalysisOptions center = options_named("m");
+  AnalysisOptions shifted = options_named("m");
+  shifted.at = {{"X", 0.8}};  // off the [0.1, 0.9] box center of 0.5
+  const std::string a = graph.quantify(kDoc, center, nullptr);
+  const std::string b = graph.quantify(kDoc, shifted, nullptr);
+  EXPECT_NE(a, b) << "different evaluation points, different probabilities";
+
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("compile").misses, 1u);
+  EXPECT_EQ(stats.passes.at("quantify").misses, 2u);
+}
+
+TEST(AnalysisGraphTest, EngineOverrideForksTheCompileArtifact) {
+  AnalysisGraph graph(1 << 20);
+  AnalysisOptions fta = options_named("m");
+  AnalysisOptions bdd = options_named("m");
+  bdd.engine = "bdd";
+  (void)graph.quantify(kDoc, fta, nullptr);
+  (void)graph.quantify(kDoc, bdd, nullptr);
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("parse").hits, 1u)
+      << "the parse artifact is engine-independent";
+  EXPECT_EQ(stats.passes.at("compile").misses, 2u)
+      << "an engine override is a different compile key";
+}
+
+TEST(AnalysisGraphTest, UnknownAtParameterIsInvalidInput) {
+  AnalysisGraph graph(1 << 20);
+  AnalysisOptions options = options_named("m");
+  options.at = {{"NoSuchParam", 0.5}};
+  EXPECT_THROW((void)graph.quantify(kDoc, options, nullptr),
+               std::invalid_argument);
+}
+
+TEST(AnalysisGraphTest, ConstantDocumentQuantifiesWithoutASolver) {
+  AnalysisGraph graph(1 << 20);
+  const std::string body =
+      graph.quantify(kConst, options_named("const.ft"), nullptr);
+  // P(T) = 0.1 * 0.2 under inclusion-exclusion on an AND of two leaves.
+  EXPECT_NE(body.find("\"probability\": 0.020000000000000004"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"model\": \"const.ft\""), std::string::npos);
+
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.count("compile"), 0u)
+      << "constant documents skip the study compile pass";
+  EXPECT_EQ(stats.passes.at("quantify").misses, 1u);
+}
+
+TEST(AnalysisGraphTest, ValidateReportsProblemsAndCachesByCanonicalHash) {
+  AnalysisGraph graph(1 << 20);
+  const std::string ok = graph.validate(kDoc, options_named("m"));
+  EXPECT_NE(ok.find("\"problems\": []"), std::string::npos) << ok;
+
+  (void)graph.validate(kDoc, options_named("m"));
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("validate").misses, 1u);
+  EXPECT_EQ(stats.passes.at("validate").hits, 1u);
+}
+
+TEST(AnalysisGraphTest, ExpiredDeadlineAbortsAndIsNeverCached) {
+  AnalysisGraph graph(1 << 20);
+  ExecutionControl control(Deadline::already_expired());
+  // Depending on where the first cooperative checkpoint lands relative to
+  // the (tiny) computation, the abort surfaces as Error(kDeadlineExceeded),
+  // as an aborted-flagged result, or the work completes first. In every
+  // case the outcome of a fired control must not be cached as reusable.
+  try {
+    (void)graph.quantify(kDoc, options_named("m"), &control);
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+  }
+  // A later unconstrained request recomputes (miss #2, no hit) and gets a
+  // clean result — never a replay of the deadline-constrained attempt.
+  const std::string clean = graph.quantify(kDoc, options_named("m"), nullptr);
+  EXPECT_EQ(clean.find("\"aborted\": true"), std::string::npos) << clean;
+  const CacheStats stats = graph.cache_stats();
+  EXPECT_EQ(stats.passes.at("quantify").misses, 2u)
+      << "an outcome computed under a fired control must not be cached";
+  EXPECT_EQ(stats.passes.at("quantify").hits, 0u);
+}
+
+TEST(AnalysisGraphTest, PassListIsTopologicallyOrdered) {
+  const auto& passes = analysis_passes();
+  ASSERT_GE(passes.size(), 7u);
+  EXPECT_EQ(passes.front().name, "parse");
+  EXPECT_EQ(passes.back().name, "optimize");
+  // Every dependency must name an earlier pass.
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const std::string deps(passes[i].depends_on);
+    for (std::size_t j = i + 1; j < passes.size(); ++j) {
+      EXPECT_EQ(deps.find(std::string(passes[j].name)), std::string::npos)
+          << passes[i].name << " depends on later pass " << passes[j].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safeopt::serve

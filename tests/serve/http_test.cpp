@@ -1,0 +1,174 @@
+// HTTP layer tests over a real loopback socket pair: request parsing
+// (request line, headers, Content-Length bodies, split reads), the
+// protocol's rejection paths (malformed lines, chunked encoding, oversized
+// headers/bodies), and response formatting.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "safeopt/serve/http.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/net.h"
+
+namespace safeopt::serve {
+namespace {
+
+/// A connected (client, server) socket pair on an ephemeral loopback port.
+std::pair<TcpSocket, TcpSocket> socket_pair() {
+  TcpListener listener = TcpListener::bind_loopback(0);
+  TcpSocket client = TcpSocket::connect_loopback(listener.port());
+  std::optional<TcpSocket> server = listener.accept();
+  EXPECT_TRUE(server.has_value());
+  return {std::move(client), std::move(*server)};
+}
+
+HttpRequest parse(const std::string& wire, const HttpLimits& limits = {}) {
+  auto [client, server] = socket_pair();
+  client.write_all(wire);
+  client.close();
+  std::optional<HttpRequest> request = read_http_request(server, limits);
+  EXPECT_TRUE(request.has_value());
+  return std::move(*request);
+}
+
+TEST(HttpTest, ParsesRequestLineHeadersAndBody) {
+  const HttpRequest request = parse(
+      "POST /v1/quantify HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\n"
+      "X-Tenant:  team-a \r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"a\": true}");
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/quantify");
+  EXPECT_EQ(request.body, "{\"a\": true}");
+  // Header names lowercase, values trimmed.
+  ASSERT_NE(request.find_header("x-tenant"), nullptr);
+  EXPECT_EQ(*request.find_header("x-tenant"), "team-a");
+  ASSERT_NE(request.find_header("content-type"), nullptr);
+  EXPECT_EQ(request.find_header("absent"), nullptr);
+}
+
+TEST(HttpTest, ReadsBodySplitAcrossSegments) {
+  auto [client, server] = socket_pair();
+  std::thread sender([&client = client] {
+    client.write_all(
+        "POST /v1/validate HTTP/1.1\r\nContent-Length: 10\r\n\r\n123");
+    client.write_all("4567890");
+    client.close();
+  });
+  const std::optional<HttpRequest> request = read_http_request(server);
+  sender.join();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body, "1234567890");
+}
+
+TEST(HttpTest, GetWithoutContentLengthHasEmptyBody) {
+  const HttpRequest request = parse("GET /v1/stats HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/v1/stats");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpTest, CleanCloseBeforeAnyBytesIsAProbeNotAnError) {
+  auto [client, server] = socket_pair();
+  client.close();
+  EXPECT_FALSE(read_http_request(server).has_value());
+}
+
+TEST(HttpTest, RejectsMalformedInput) {
+  const auto expect_invalid = [](const std::string& wire) {
+    auto [client, server] = socket_pair();
+    client.write_all(wire);
+    client.close();
+    try {
+      (void)read_http_request(server);
+      FAIL() << "accepted: " << wire;
+    } catch (const Error& error) {
+      EXPECT_EQ(error.category(), ErrorCategory::kInvalidInput) << wire;
+    }
+  };
+  expect_invalid("GARBAGE\r\n\r\n");                     // no method/target
+  expect_invalid("GET noslash HTTP/1.1\r\n\r\n");        // bad target
+  expect_invalid("GET /x SPDY/99\r\n\r\n");              // bad protocol
+  expect_invalid("GET /x HTTP/1.1\r\nbroken header\r\n\r\n");
+  expect_invalid("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+  expect_invalid(
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  // Close mid-body: Content-Length promises more than is sent.
+  expect_invalid("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
+}
+
+TEST(HttpTest, RejectsOversizedHeaderBlockAsResourceExhausted) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  auto [client, server] = socket_pair();
+  client.write_all("GET /x HTTP/1.1\r\nX-Pad: " + std::string(512, 'a'));
+  try {
+    (void)read_http_request(server, limits);
+    FAIL() << "oversized header block accepted";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kResourceExhausted);
+  }
+}
+
+TEST(HttpTest, RejectsOversizedBodyAsResourceExhausted) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  auto [client, server] = socket_pair();
+  client.write_all("POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+  try {
+    (void)read_http_request(server, limits);
+    FAIL() << "oversized body accepted";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kResourceExhausted);
+  }
+}
+
+TEST(HttpTest, SlowClientHitsTheReadDeadline) {
+  HttpLimits limits;
+  limits.read_timeout_ms = 50;
+  auto [client, server] = socket_pair();
+  client.write_all("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+  // ... and then never sends the body.
+  try {
+    (void)read_http_request(server, limits);
+    FAIL() << "slow client not timed out";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+  }
+}
+
+TEST(HttpTest, WritesAParsableResponse) {
+  auto [client, server] = socket_pair();
+  write_http_response(server, HttpResponse{429, "application/json",
+                                           "{\"error\": {}}"});
+  server.close();
+  std::string wire;
+  char chunk[1024];
+  while (true) {
+    const std::size_t n = client.read_some(chunk, sizeof(chunk));
+    if (n == 0) break;
+    wire.append(chunk, n);
+  }
+  EXPECT_EQ(wire,
+            "HTTP/1.1 429 Too Many Requests\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 13\r\n"
+            "Connection: close\r\n\r\n"
+            "{\"error\": {}}");
+}
+
+TEST(HttpTest, ReasonPhrasesCoverTheServiceStatuses) {
+  EXPECT_EQ(http_status_reason(200), "OK");
+  EXPECT_EQ(http_status_reason(499), "Client Closed Request");
+  EXPECT_EQ(http_status_reason(504), "Gateway Timeout");
+  EXPECT_EQ(http_status_reason(418), "Unknown");
+}
+
+}  // namespace
+}  // namespace safeopt::serve

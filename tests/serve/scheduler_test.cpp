@@ -1,0 +1,144 @@
+// AdmissionScheduler contract tests: start-time fair queuing dispatch
+// ratios, bounded-queue shedding with the PR 7 error taxonomy, and the
+// drain/stats surface the server builds on. Determinism comes from
+// start_paused + max_concurrent=1: a whole scenario is enqueued against a
+// known backlog, then released and observed in dispatch order.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "safeopt/serve/scheduler.h"
+#include "safeopt/support/error.h"
+#include "safeopt/support/thread_pool.h"
+
+namespace safeopt::serve {
+namespace {
+
+/// Enqueues `per_tenant` no-op jobs for each named tenant while paused,
+/// releases, and returns tenant names in dispatch order.
+std::vector<std::string> dispatch_order(
+    const std::vector<std::pair<std::string, double>>& weights,
+    const std::vector<std::string>& tenants, int per_tenant) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.max_concurrent = 1;
+  options.tenant_weights = weights;
+  options.start_paused = true;
+  AdmissionScheduler scheduler(options);
+
+  std::mutex mutex;
+  std::vector<std::string> order;
+  for (int i = 0; i < per_tenant; ++i) {
+    for (const std::string& tenant : tenants) {
+      scheduler.submit(tenant, [&mutex, &order, tenant] {
+        std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(tenant);
+      });
+    }
+  }
+  scheduler.resume();
+  scheduler.drain();
+  return order;
+}
+
+TEST(AdmissionSchedulerTest, EqualWeightsInterleaveFairly) {
+  const auto order = dispatch_order({}, {"a", "b"}, 8);
+  ASSERT_EQ(order.size(), 16u);
+  // Any 4-job window contains both tenants (no starvation burst).
+  for (std::size_t i = 0; i + 4 <= order.size(); ++i) {
+    int a = 0;
+    for (std::size_t j = i; j < i + 4; ++j) a += order[j] == "a" ? 1 : 0;
+    EXPECT_GE(a, 1) << "tenant a starved in window " << i;
+    EXPECT_LE(a, 3) << "tenant b starved in window " << i;
+  }
+}
+
+TEST(AdmissionSchedulerTest, WeightedTenantsDispatchInWeightRatio) {
+  // heavy:light = 3:1 — over any aligned window of 4 dispatches from a
+  // backlogged start, SFQ gives heavy exactly 3 slots.
+  const auto order =
+      dispatch_order({{"heavy", 3.0}, {"light", 1.0}}, {"heavy", "light"}, 12);
+  ASSERT_EQ(order.size(), 24u);
+  // Count the prefix ratio after every 4 dispatches: 3:1 within ±1 slot.
+  int heavy = 0;
+  int seen = 0;
+  for (const std::string& name : order) {
+    heavy += name == "heavy" ? 1 : 0;
+    ++seen;
+    if (seen % 4 == 0 && seen <= 16) {
+      const double expected = 0.75 * seen;
+      EXPECT_NEAR(heavy, expected, 1.0)
+          << "after " << seen << " dispatches";
+    }
+  }
+  // The full run completes everything from both tenants.
+  EXPECT_EQ(heavy, 12);
+}
+
+TEST(AdmissionSchedulerTest, ShedsSynchronouslyWhenTheTenantQueueIsFull) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.max_queue_per_tenant = 2;
+  options.max_concurrent = 1;
+  options.start_paused = true;
+  AdmissionScheduler scheduler(options);
+
+  scheduler.submit("t", [] {});
+  scheduler.submit("t", [] {});
+  try {
+    scheduler.submit("t", [] {});
+    FAIL() << "third submit must shed";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kResourceExhausted);
+  }
+  // Other tenants are unaffected by t's full queue.
+  scheduler.submit("other", [] {});
+
+  const SchedulerStats before = scheduler.stats();
+  EXPECT_EQ(before.shed, 1u);
+  EXPECT_EQ(before.queued, 3u);
+  EXPECT_EQ(before.tenants.at("t").shed, 1u);
+
+  scheduler.resume();
+  scheduler.drain();
+  const SchedulerStats after = scheduler.stats();
+  EXPECT_EQ(after.completed, 3u);
+  EXPECT_EQ(after.queued, 0u);
+  EXPECT_EQ(after.running, 0u);
+}
+
+TEST(AdmissionSchedulerTest, JobExceptionsAreContained) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  AdmissionScheduler scheduler(options);
+  scheduler.submit("t", [] { throw std::runtime_error("handler bug"); });
+  scheduler.submit("t", [] {});
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 2u) << "a throwing job must not kill dispatch";
+}
+
+TEST(AdmissionSchedulerTest, StatsTrackPerTenantCounters) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.tenant_weights = {{"a", 2.0}};
+  AdmissionScheduler scheduler(options);
+  scheduler.submit("a", [] {});
+  scheduler.submit("b", [] {});
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.tenants.at("a").submitted, 1u);
+  EXPECT_EQ(stats.tenants.at("a").weight, 2.0);
+  EXPECT_EQ(stats.tenants.at("b").weight, 1.0);
+}
+
+}  // namespace
+}  // namespace safeopt::serve

@@ -1,0 +1,106 @@
+// Shared helpers for the serve test suite: a tiny blocking HTTP/1.1 client
+// (the test-side mirror of src/serve/http.cpp) and the two in-memory study
+// documents the tests quantify. Kept header-only; the CMake glob only picks
+// up *_test.cpp files.
+#ifndef SAFEOPT_TESTS_SERVE_SERVE_CLIENT_H
+#define SAFEOPT_TESTS_SERVE_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "safeopt/support/net.h"
+#include "safeopt/support/strings.h"
+
+namespace safeopt::serve::tstu {
+
+/// A small parameterized study: one free parameter, two hazards, fast to
+/// compile and quantify, so e2e tests measure the service and not the math.
+inline constexpr std::string_view kParamDoc = R"(
+param X in [0.1, 0.9] desc "component failure probability";
+
+tree Main;
+toplevel Top;
+Top or A B;
+A prob = X;
+B prob = 0.01;
+
+tree Side;
+toplevel S;
+S and C D;
+C prob = X;
+D prob = 0.05;
+
+hazard Main cost = 1000;
+hazard Side cost = 50;
+solver multi_start starts = 2 inner = nelder_mead;
+engine fta;
+formula rare_event;
+)";
+
+/// A constant (parameter-free) study — exercises the quantify:const pass.
+inline constexpr std::string_view kConstDoc = R"(
+tree Plant;
+toplevel T;
+T and A B;
+A prob = 0.1;
+B prob = 0.2;
+hazard Plant cost = 10;
+engine fta;
+formula rare_event;
+)";
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+  std::string raw;
+};
+
+/// One-shot HTTP exchange against 127.0.0.1:`port`. Sends the request,
+/// reads to EOF (the server always answers Connection: close), splits the
+/// status line and body.
+inline HttpReply http_request(std::uint16_t port, std::string_view method,
+                              std::string_view target, std::string_view body,
+                              std::string_view extra_headers = "") {
+  TcpSocket socket = TcpSocket::connect_loopback(port);
+  socket.write_all(concat(method, " ", target, " HTTP/1.1\r\n",
+                          "Host: 127.0.0.1\r\nContent-Length: ",
+                          std::to_string(body.size()), "\r\n", extra_headers,
+                          "\r\n", body));
+  HttpReply reply;
+  char chunk[4096];
+  while (true) {
+    const std::size_t n = socket.read_some(chunk, sizeof(chunk));
+    if (n == 0) break;
+    reply.raw.append(chunk, n);
+  }
+  const std::size_t space = reply.raw.find(' ');
+  if (space != std::string::npos) {
+    reply.status = std::stoi(reply.raw.substr(space + 1));
+  }
+  const std::size_t header_end = reply.raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    reply.body = reply.raw.substr(header_end + 4);
+  }
+  return reply;
+}
+
+/// JSON-escapes only what the test documents contain (newlines, quotes).
+inline std::string json_document(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace safeopt::serve::tstu
+
+#endif  // SAFEOPT_TESTS_SERVE_SERVE_CLIENT_H

@@ -27,6 +27,7 @@
 #include "safeopt/fta/fault_tree.h"
 #include "safeopt/fta/probability.h"
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 #include "safeopt/support/rng.h"
 
 namespace safeopt::corpus {
@@ -83,7 +84,7 @@ inline CorpusModel make_corpus(const CorpusSpec& spec) {
   SAFEOPT_EXPECTS(spec.cluster_leaves >= 4);
   SAFEOPT_EXPECTS(spec.vote_k >= 1 && spec.vote_k <= spec.clusters);
 
-  fta::FaultTree tree("corpus_" + spec.name);
+  fta::FaultTree tree(concat("corpus_", spec.name));
   Xoshiro256pp rng(spec.seed);
   std::vector<double> event_probability;
   std::vector<double> condition_probability;
@@ -92,7 +93,9 @@ inline CorpusModel make_corpus(const CorpusSpec& spec) {
   std::vector<fta::NodeId> cluster_roots;
   cluster_roots.reserve(spec.clusters);
   for (std::size_t c = 0; c < spec.clusters; ++c) {
-    const std::string prefix = "c" + std::to_string(c);
+    // concat instead of operator+: gcc 12's -Wrestrict false positive
+    // (PR105651) fires on `const char* + std::string&&` under -O3.
+    const std::string prefix = concat("c", std::to_string(c));
 
     std::vector<fta::NodeId> leaves;
     leaves.reserve(spec.cluster_leaves);
@@ -104,7 +107,7 @@ inline CorpusModel make_corpus(const CorpusSpec& spec) {
     const double p_hi = 1.2 / static_cast<double>(spec.cluster_leaves);
     for (std::size_t e = 0; e < spec.cluster_leaves; ++e) {
       leaves.push_back(
-          tree.add_basic_event(prefix + ".e" + std::to_string(e)));
+          tree.add_basic_event(concat(prefix, ".e", std::to_string(e))));
       event_probability.push_back(detail::uniform(rng, p_lo, p_hi));
     }
 
@@ -127,7 +130,7 @@ inline CorpusModel make_corpus(const CorpusSpec& spec) {
       }
       next += take;
       const std::string gate_name =
-          prefix + ".g" + std::to_string(groups.size());
+          concat(prefix, ".g", std::to_string(groups.size()));
       groups.push_back(detail::pick(rng, 2) == 0
                            ? tree.add_and(gate_name, std::move(members))
                            : tree.add_or(gate_name, std::move(members)));

@@ -3,6 +3,12 @@
 //   safeopt validate <model.ft>               parse + semantic summary
 //   safeopt quantify <model.ft> [options]     quantify hazards at a point
 //   safeopt run      <model.ft> [options]     optimize, report the optimum
+//   safeopt serve    [options]                multi-tenant HTTP service
+//   safeopt --version                         build identity, one line
+//
+// The --json schemas are rendered by serve/response_json.h — the same
+// renderer the HTTP service uses, so `safeopt quantify --json` and
+// POST /v1/quantify produce byte-identical documents.
 //
 // Options (run/quantify):
 //   --solver NAME     override the document's solver (registry name)
@@ -27,14 +33,18 @@
 //   5  internal error
 // With --json, failures also emit {"error": {"category", "message"}} on
 // stdout so machine consumers need not scrape stderr.
+#include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "safeopt/core/quantification_engine.h"
@@ -43,6 +53,10 @@
 #include "safeopt/ftio/parser.h"
 #include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/solver.h"
+#include "safeopt/serve/analysis_graph.h"
+#include "safeopt/serve/response_json.h"
+#include "safeopt/serve/server.h"
+#include "safeopt/support/build_info.h"
 #include "safeopt/support/error.h"
 #include "safeopt/support/strings.h"
 
@@ -72,6 +86,11 @@ int usage(const char* error = nullptr) {
       "  validate   parse the model and report its structure\n"
       "  quantify   quantify every hazard at a parameter point\n"
       "  run        minimize the cost function, report the optimum\n"
+      "  serve      multi-tenant quantification service (docs/service.md)\n"
+      "\n"
+      "serve options:\n"
+      "  --port N --threads N --cache-mb N --max-queue N --max-concurrent N\n"
+      "  --tenant-weight NAME=W --default-deadline-ms N --max-requests N\n"
       "\n"
       "options:\n"
       "  --solver NAME     solver registry name (overrides the document)\n"
@@ -220,109 +239,47 @@ expr::ParameterAssignment evaluation_point(const core::Study& study,
   return at;
 }
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+// JSON output comes from the shared serve renderers (byte-identical to the
+// HTTP service); this prints the human-readable form only.
+using HazardResults = serve::HazardResults;
 
-using HazardResults =
-    std::vector<std::pair<std::string, core::QuantificationResult>>;
-
-void print_hazard_results(const HazardResults& results,
-                          std::string_view engine_name, bool json) {
-  bool first = true;
-  if (json) std::printf("  \"hazards\": [");
+void print_hazard_results_text(const HazardResults& results,
+                               std::string_view engine_name) {
   for (const auto& [hazard, result] : results) {
     // Estimator diagnostics are reported uniformly for every sampled
     // engine: trials drawn, the achieved 95% CI half-width, the effective
     // sample size (== trials unless importance-sampled), and — for
     // adaptive engines — whether the target precision was reached.
-    if (json) {
-      std::printf("%s\n    {\"hazard\": \"%s\", \"probability\": %.17g",
-                  first ? "" : ",", json_escape(hazard).c_str(),
-                  result.probability);
-      if (result.ci95.has_value()) {
-        std::printf(", \"ci95\": [%.17g, %.17g], \"halfwidth\": %.17g"
-                    ", \"trials\": %" PRIu64,
-                    result.ci95->lo, result.ci95->hi, result.halfwidth(),
-                    result.trials);
-        if (result.ess.has_value()) {
-          std::printf(", \"ess\": %.17g", *result.ess);
-        }
-        if (result.converged.has_value()) {
-          std::printf(", \"converged\": %s",
-                      *result.converged ? "true" : "false");
-        }
-        if (result.aborted.has_value()) {
-          std::printf(", \"aborted\": %s",
-                      *result.aborted ? "true" : "false");
-        }
+    std::printf("  P(%s) = %.6e", hazard.c_str(), result.probability);
+    if (result.ci95.has_value()) {
+      std::printf("   95%% CI [%.6e, %.6e] (±%.2e), %" PRIu64 " trials",
+                  result.ci95->lo, result.ci95->hi, result.halfwidth(),
+                  result.trials);
+      if (result.ess.has_value()) {
+        std::printf(", ESS %.3g", *result.ess);
       }
-      // Degradation notes and other per-result diagnostics (e.g. "engine
-      // \"bdd\" degraded to \"mc_adaptive\" (resource_exhausted): ...").
-      if (!result.diagnostics.empty()) {
-        std::printf(", \"diagnostics\": [");
-        for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
-          std::printf("%s\"%s\"", i > 0 ? ", " : "",
-                      json_escape(result.diagnostics[i]).c_str());
-        }
-        std::printf("]");
-      }
-      // Preprocessing diagnostics (fta/bdd with --engine-opt
-      // preprocess=true): what the pass pipeline did to this hazard's tree.
-      if (result.preprocess.has_value()) {
-        const core::PreprocessSummary& pre = *result.preprocess;
-        std::printf(", \"preprocess\": {\"modules\": %zu"
-                    ", \"events_before\": %zu, \"events_after\": %zu"
-                    ", \"gates_before\": %zu, \"gates_after\": %zu"
-                    ", \"passes\": [",
-                    pre.modules, pre.events_before, pre.events_after,
-                    pre.gates_before, pre.gates_after);
-        for (std::size_t i = 0; i < pre.passes.size(); ++i) {
-          std::printf("%s\"%s\"", i > 0 ? ", " : "",
-                      json_escape(pre.passes[i]).c_str());
-        }
-        std::printf("]}");
-      }
-      std::printf("}");
-    } else {
-      std::printf("  P(%s) = %.6e", hazard.c_str(), result.probability);
-      if (result.ci95.has_value()) {
-        std::printf("   95%% CI [%.6e, %.6e] (±%.2e), %" PRIu64 " trials",
-                    result.ci95->lo, result.ci95->hi, result.halfwidth(),
-                    result.trials);
-        if (result.ess.has_value()) {
-          std::printf(", ESS %.3g", *result.ess);
-        }
-        if (result.aborted.value_or(false)) {
-          std::printf(" [aborted]");
-        } else if (result.converged.has_value() && !*result.converged) {
-          std::printf(" [budget exhausted]");
-        }
-      }
-      std::printf("   (engine %s)\n", std::string(engine_name).c_str());
-      for (const std::string& diagnostic : result.diagnostics) {
-        std::printf("    note: %s\n", diagnostic.c_str());
-      }
-      if (result.preprocess.has_value()) {
-        const core::PreprocessSummary& pre = *result.preprocess;
-        std::printf("    preprocessed: %zu module(s), %zu -> %zu events, "
-                    "%zu -> %zu gates, passes:",
-                    pre.modules, pre.events_before, pre.events_after,
-                    pre.gates_before, pre.gates_after);
-        for (const std::string& pass : pre.passes) {
-          std::printf(" %s", pass.c_str());
-        }
-        std::printf("\n");
+      if (result.aborted.value_or(false)) {
+        std::printf(" [aborted]");
+      } else if (result.converged.has_value() && !*result.converged) {
+        std::printf(" [budget exhausted]");
       }
     }
-    first = false;
+    std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+    for (const std::string& diagnostic : result.diagnostics) {
+      std::printf("    note: %s\n", diagnostic.c_str());
+    }
+    if (result.preprocess.has_value()) {
+      const core::PreprocessSummary& pre = *result.preprocess;
+      std::printf("    preprocessed: %zu module(s), %zu -> %zu events, "
+                  "%zu -> %zu gates, passes:",
+                  pre.modules, pre.events_before, pre.events_after,
+                  pre.gates_before, pre.gates_after);
+      for (const std::string& pass : pre.passes) {
+        std::printf(" %s", pass.c_str());
+      }
+      std::printf("\n");
+    }
   }
-  if (json) std::printf("\n  ],\n");
 }
 
 HazardResults quantify_hazards(const core::Study& study,
@@ -379,62 +336,45 @@ int quantify_constant_model(const ftio::StudyDocument& doc,
     cost += hazard.cost * results.back().second.probability;
   }
   if (options.json) {
-    std::printf("{\n  \"model\": \"%s\",\n  \"engine\": \"%s\",\n",
-                json_escape(doc.source).c_str(), engine_name.c_str());
-    print_hazard_results(results, engine_name, true);
-    std::printf("  \"cost\": %.17g\n}\n", cost);
+    std::fputs(serve::render_constant_quantify_response(
+                   doc.source, engine_name, results, cost)
+                   .c_str(),
+               stdout);
   } else {
     std::printf("%s (constant model):\n",
                 doc.source.empty() ? "<memory>" : doc.source.c_str());
-    print_hazard_results(results, engine_name, false);
+    print_hazard_results_text(results, engine_name);
     std::printf("  expected cost = %.6e\n", cost);
   }
   return 0;
 }
 
 int run_validate(const ftio::StudyDocument& doc, const Options& options) {
-  // Structural validation beyond the parser's own checks.
-  std::vector<std::string> problems;
-  for (const ftio::TreeModel& model : doc.trees) {
-    for (const std::string& problem : model.tree.validate()) {
-      problems.push_back(concat("tree ", model.tree.name(), ": ", problem));
-    }
-  }
-  if (doc.hazards.empty()) {
-    problems.emplace_back(
-        "no hazards declared; `safeopt run` needs at least one "
-        "\"hazard <tree> cost = <c>;\"");
-  }
-  // The document must also *assemble*: section names resolve against the
-  // registries and, with parameters and hazards present, the whole Study
-  // builds — so `safeopt run` on a validated parameterized model cannot
-  // fail to load. A constant model (no params) is valid for `quantify`
-  // only; that limitation is surfaced as a note, not a failure.
+  // Structural validation beyond the parser's own checks — the problems
+  // list is serve::validate_problems, shared with POST /v1/validate. The
+  // assembly checks it runs mean a validated parameterized model cannot
+  // fail to load in `safeopt run`. A constant model (no params) is valid
+  // for `quantify` only; that limitation is a note here, not a failure.
+  const std::vector<std::string> problems = serve::validate_problems(doc);
   std::vector<std::string> notes;
-  try {
-    (void)core::document_solver_selection(doc);
-    (void)core::document_engine_selection(doc);
-    if (!doc.parameters.empty() && !doc.hazards.empty()) {
-      (void)core::Study::from_document(doc);
-    } else if (doc.parameters.empty() && !doc.hazards.empty()) {
+  if (doc.parameters.empty() && !doc.hazards.empty()) {
+    try {
+      (void)core::document_solver_selection(doc);
+      (void)core::document_engine_selection(doc);
       notes.emplace_back(
           "constant model (no `param` declarations): `safeopt quantify` "
           "works, `safeopt run` needs free parameters");
+    } catch (const std::invalid_argument&) {
+      // Already reported through validate_problems.
     }
-  } catch (const std::invalid_argument& error) {
-    problems.emplace_back(error.what());
   }
   if (options.json) {
-    std::printf("{\n  \"model\": \"%s\",\n  \"parameters\": %zu,\n"
-                "  \"trees\": %zu,\n  \"hazards\": %zu,\n  \"problems\": [",
-                json_escape(doc.source).c_str(), doc.parameters.size(),
-                doc.trees.size(), doc.hazards.size());
-    for (std::size_t i = 0; i < problems.size(); ++i) {
-      std::printf("%s\n    \"%s\"", i > 0 ? "," : "",
-                  json_escape(problems[i]).c_str());
-    }
-    std::printf("%s],\n  \"valid\": %s\n}\n", problems.empty() ? "" : "\n  ",
-                problems.empty() ? "true" : "false");
+    std::fputs(serve::render_validate_response(doc.source,
+                                               doc.parameters.size(),
+                                               doc.trees.size(),
+                                               doc.hazards.size(), problems)
+                   .c_str(),
+               stdout);
   } else {
     std::printf("%s: %zu parameter(s), %zu tree(s), %zu hazard(s)\n",
                 doc.source.empty() ? "<memory>" : doc.source.c_str(),
@@ -483,23 +423,18 @@ int run_quantify(const ftio::StudyDocument& doc, const Options& options) {
   const auto evaluation = study.evaluate_at(at);
   const HazardResults results = quantify_hazards(study, doc, at);
   if (options.json) {
-    std::printf("{\n  \"model\": \"%s\",\n  \"engine\": \"%s\",\n  \"at\": {",
-                json_escape(doc.source).c_str(), study.engine_name().c_str());
-    for (std::size_t i = 0; i < at.entries().size(); ++i) {
-      std::printf("%s\"%s\": %.17g", i > 0 ? ", " : "",
-                  json_escape(at.entries()[i].first).c_str(),
-                  at.entries()[i].second);
-    }
-    std::printf("},\n");
-    print_hazard_results(results, study.engine_name(), true);
-    std::printf("  \"cost\": %.17g\n}\n", evaluation.cost);
+    std::fputs(serve::render_quantify_response(doc.source,
+                                               study.engine_name(), at,
+                                               results, evaluation.cost)
+                   .c_str(),
+               stdout);
   } else {
     std::printf("%s at", doc.source.empty() ? "<memory>" : doc.source.c_str());
     for (const auto& [name, value] : at.entries()) {
       std::printf(" %s=%g", name.c_str(), value);
     }
     std::printf(":\n");
-    print_hazard_results(results, study.engine_name(), false);
+    print_hazard_results_text(results, study.engine_name());
     std::printf("  f_cost = %.6e\n", evaluation.cost);
   }
   return 0;
@@ -510,22 +445,13 @@ int run_optimize(const ftio::StudyDocument& doc, const Options& options) {
   const auto result = study.run();
   const expr::ParameterAssignment& optimum = result.optimal_parameters;
   if (options.json) {
-    std::printf("{\n  \"model\": \"%s\",\n  \"solver\": \"%s\",\n"
-                "  \"engine\": \"%s\",\n  \"converged\": %s,\n"
-                "  \"evaluations\": %zu,\n  \"optimum\": {",
-                json_escape(doc.source).c_str(), study.solver_name().c_str(),
-                study.engine_name().c_str(),
-                result.optimization.converged ? "true" : "false",
-                result.optimization.evaluations);
-    for (std::size_t i = 0; i < optimum.entries().size(); ++i) {
-      std::printf("%s\"%s\": %.17g", i > 0 ? ", " : "",
-                  json_escape(optimum.entries()[i].first).c_str(),
-                  optimum.entries()[i].second);
-    }
-    std::printf("},\n");
-    print_hazard_results(quantify_hazards(study, doc, optimum),
-                         study.engine_name(), true);
-    std::printf("  \"cost\": %.17g\n}\n", result.cost);
+    std::fputs(serve::render_optimize_response(
+                   doc.source, study.solver_name(), study.engine_name(),
+                   result.optimization.converged,
+                   result.optimization.evaluations, optimum,
+                   quantify_hazards(study, doc, optimum), result.cost)
+                   .c_str(),
+               stdout);
   } else {
     std::printf("model  %s\n",
                 doc.source.empty() ? "<memory>" : doc.source.c_str());
@@ -539,9 +465,106 @@ int run_optimize(const ftio::StudyDocument& doc, const Options& options) {
     std::printf("f_cost = %.10g  (%s after %zu evaluations)\n", result.cost,
                 result.optimization.converged ? "converged" : "budget hit",
                 result.optimization.evaluations);
-    print_hazard_results(quantify_hazards(study, doc, optimum),
-                         study.engine_name(), false);
+    print_hazard_results_text(quantify_hazards(study, doc, optimum),
+                              study.engine_name());
   }
+  return 0;
+}
+
+// ----------------------------------------------------------------- serve
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// `safeopt serve`: bind, announce the port on stdout (scripts parse this
+/// line), then run until SIGINT/SIGTERM or --max-requests connections.
+int run_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(concat(arg, " expects a value"));
+      }
+      return argv[++i];
+    };
+    const auto numeric = [&](std::uint64_t& out) {
+      const std::string_view text = value();
+      const auto [end, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc{} || end != text.data() + text.size()) {
+        throw std::invalid_argument(
+            concat(arg, " expects a non-negative integer, got \"", text,
+                   "\""));
+      }
+    };
+    std::uint64_t number = 0;
+    if (arg == "--port") {
+      numeric(number);
+      if (number > 65535) {
+        throw std::invalid_argument("--port must be <= 65535");
+      }
+      options.port = static_cast<std::uint16_t>(number);
+    } else if (arg == "--threads") {
+      numeric(number);
+      options.threads = static_cast<std::size_t>(number);
+    } else if (arg == "--cache-mb") {
+      numeric(number);
+      options.cache_bytes = static_cast<std::size_t>(number) * 1024 * 1024;
+    } else if (arg == "--max-queue") {
+      numeric(number);
+      options.max_queue = static_cast<std::size_t>(number);
+    } else if (arg == "--max-concurrent") {
+      numeric(number);
+      options.max_concurrent = static_cast<std::size_t>(number);
+    } else if (arg == "--default-deadline-ms") {
+      numeric(number);
+      options.default_deadline_ms = number;
+    } else if (arg == "--max-requests") {
+      numeric(number);
+      options.max_requests = number;
+    } else if (arg == "--tenant-weight") {
+      const std::string_view pair = value();
+      const std::size_t equals = pair.find('=');
+      if (equals == std::string_view::npos || equals == 0 ||
+          equals + 1 == pair.size()) {
+        throw std::invalid_argument(
+            concat("--tenant-weight expects NAME=WEIGHT, got \"", pair,
+                   "\""));
+      }
+      char* end = nullptr;
+      const std::string weight_text(pair.substr(equals + 1));
+      const double weight = std::strtod(weight_text.c_str(), &end);
+      if (end == weight_text.c_str() || *end != '\0' || !(weight > 0)) {
+        throw std::invalid_argument(
+            concat("--tenant-weight expects a positive weight, got \"", pair,
+                   "\""));
+      }
+      options.tenant_weights.emplace_back(std::string(pair.substr(0, equals)),
+                                          weight);
+    } else {
+      throw std::invalid_argument(concat("unknown serve option \"", arg,
+                                         "\""));
+    }
+  }
+  serve::Server server(options);
+  server.start();
+  std::printf("safeopt serve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0 && !server.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "safeopt serve: %" PRIu64 " accepted, %" PRIu64 " ok, %" PRIu64
+               " shed, %" PRIu64 " deadline, %" PRIu64 " cancelled\n",
+               stats.accepted, stats.ok, stats.shed, stats.deadline,
+               stats.cancelled);
   return 0;
 }
 
@@ -550,8 +573,8 @@ int run_optimize(const ftio::StudyDocument& doc, const Options& options) {
 int report_error(bool json, std::string_view category,
                  const std::string& message, int code) {
   if (json) {
-    std::printf("{\n  \"error\": {\"category\": \"%s\", \"message\": \"%s\"}\n}\n",
-                std::string(category).c_str(), json_escape(message).c_str());
+    std::fputs(serve::render_error_response(category, message).c_str(),
+               stdout);
   }
   std::fprintf(stderr, "safeopt: %s\n", message.c_str());
   return code;
@@ -575,6 +598,21 @@ int exit_code_for(ErrorCategory category) noexcept {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--version") == 0 ||
+                    std::strcmp(argv[1], "version") == 0)) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    try {
+      return run_serve(argc, argv);
+    } catch (const std::invalid_argument& error) {
+      return usage(error.what());
+    } catch (const Error& error) {
+      std::fprintf(stderr, "safeopt serve: %s\n", error.what());
+      return exit_code_for(error.category());
+    }
+  }
   std::optional<Options> options;
   try {
     options = parse_arguments(argc, argv);
@@ -597,10 +635,9 @@ int main(int argc, char** argv) {
     return run_optimize(doc, *options);
   } catch (const ftio::ParseError& error) {
     if (options->json) {
-      std::printf(
-          "{\n  \"error\": {\"category\": \"invalid_input\", "
-          "\"message\": \"%s\"}\n}\n",
-          json_escape(error.what()).c_str());
+      std::fputs(
+          serve::render_error_response("invalid_input", error.what()).c_str(),
+          stdout);
     }
     // Verbatim on stderr: the message already leads with file:line:column.
     std::fprintf(stderr, "%s\n", error.what());
