@@ -34,15 +34,21 @@ std::string hex64(std::uint64_t value) {
   return std::string(digits, 16);
 }
 
-/// The request options that change what `compile` produces, rendered
-/// deterministically. Two requests with the same document and the same
-/// fingerprint share one compiled study.
-std::string option_fingerprint(const AnalysisOptions& options) {
-  return concat("engine=", options.engine.value_or(""),
-                ";engine_options=", join(options.engine_options, ","),
-                ";solver=", options.solver.value_or(""),
-                ";extras=", join(options.extras, ","), ";seed=",
-                options.seed.has_value() ? std::to_string(*options.seed) : "");
+void append_fingerprint_field(std::string& out, std::string_view name,
+                              std::string_view value) {
+  out += name;
+  out += '=';
+  out += std::to_string(value.size());
+  out += ':';
+  out += value;
+  out += ';';
+}
+
+void append_optional_fingerprint_field(std::string& out, std::string_view name,
+                                       const std::optional<std::string>& value) {
+  // "-" vs "+<value>" keeps an absent option distinct from an empty string.
+  append_fingerprint_field(out, name,
+                           value.has_value() ? concat("+", *value) : "-");
 }
 
 /// Restores the slot to "no request" on every exit path; the caller holds
@@ -79,6 +85,27 @@ bool reusable(const HazardResults& results, const ExecutionControl* control) {
 }
 
 }  // namespace
+
+std::string option_fingerprint(const AnalysisOptions& options) {
+  // Every component is length-prefixed, so option values containing the
+  // joining punctuation cannot alias two distinct configurations onto one
+  // compile/quantify cache key (["a=1,b=2"] != ["a=1", "b=2"]).
+  std::string out;
+  append_optional_fingerprint_field(out, "engine", options.engine);
+  for (const std::string& option : options.engine_options) {
+    append_fingerprint_field(out, "engine_option", option);
+  }
+  append_optional_fingerprint_field(out, "solver", options.solver);
+  for (const std::string& extra : options.extras) {
+    append_fingerprint_field(out, "extra", extra);
+  }
+  append_optional_fingerprint_field(
+      out, "seed",
+      options.seed.has_value()
+          ? std::optional<std::string>(std::to_string(*options.seed))
+          : std::nullopt);
+  return out;
+}
 
 RequestControlSlot::RequestControlSlot() {
   control_.probe = [this]() -> ExecutionStatus {
@@ -310,6 +337,9 @@ std::string AnalysisGraph::quantify(const std::string& document_text,
       entry.value = computed;
       entry.bytes = 512 + computed->results.size() * 512;
       entry.store = reusable(computed->results, control);
+      // An outcome computed under a fired control (aborted mid-estimate) is
+      // this request's alone; single-flight waiters must recompute.
+      entry.share = !control_fired(control);
       return entry;
     });
     return render_constant_quantify_response(options.model,
@@ -360,6 +390,7 @@ std::string AnalysisGraph::quantify(const std::string& document_text,
     entry.value = computed;
     entry.bytes = 512 + computed->results.size() * 512;
     entry.store = reusable(computed->results, control);
+    entry.share = !control_fired(control);
     return entry;
   });
   return render_quantify_response(options.model, outcome->engine_name,
@@ -396,8 +427,11 @@ std::string AnalysisGraph::optimize(const std::string& document_text,
     entry.bytes = 1024 + computed->results.size() * 512;
     // Seeded solvers are deterministic, so a clean run is reusable; an
     // aborted one (deadline/cancel returns best-so-far, converged=false)
-    // is request-specific and must not be served to others.
-    entry.store = reusable(computed->results, control) && !control_fired(control);
+    // is request-specific and must not be served to others — neither from
+    // the cache nor through a single-flight join.
+    entry.store =
+        reusable(computed->results, control) && !control_fired(control);
+    entry.share = !control_fired(control);
     return entry;
   });
   return render_optimize_response(

@@ -1,6 +1,26 @@
 #include "safeopt/serve/artifact_cache.h"
 
+#include "safeopt/support/error.h"
+
 namespace safeopt::serve {
+namespace {
+
+/// True for exceptions that only make sense for the request whose control
+/// raised them — the leader's expired deadline or vanished client says
+/// nothing about the computation itself, so waiters must not inherit it.
+bool control_tainted(const std::exception_ptr& error) {
+  if (!error) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return e.category() == ErrorCategory::kDeadlineExceeded ||
+           e.category() == ErrorCategory::kCancelled;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
 
 ArtifactCache::ArtifactCache(std::size_t byte_budget)
     : byte_budget_(byte_budget) {
@@ -37,68 +57,82 @@ void ArtifactCache::evict_over_budget_locked(const std::string& keep) {
 
 std::shared_ptr<const void> ArtifactCache::get_or_compute(
     const std::string& key, const Factory& make) {
-  std::shared_ptr<InFlight> flight;
-  bool leader = false;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto found = entries_.find(key);
-    if (found != entries_.end()) {
-      lru_.splice(lru_.begin(), lru_, found->second.lru);  // touch
-      record_locked(key, true);
-      return found->second.value;
+  for (;;) {
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto found = entries_.find(key);
+      if (found != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, found->second.lru);  // touch
+        record_locked(key, true);
+        return found->second.value;
+      }
+      const auto racing = in_flight_.find(key);
+      if (racing != in_flight_.end()) {
+        flight = racing->second;
+        ++stats_.single_flight_waits;
+      } else {
+        flight = std::make_shared<InFlight>();
+        in_flight_.emplace(key, flight);
+        leader = true;
+        record_locked(key, false);
+      }
     }
-    const auto racing = in_flight_.find(key);
-    if (racing != in_flight_.end()) {
-      flight = racing->second;
-      ++stats_.single_flight_waits;
-    } else {
-      flight = std::make_shared<InFlight>();
-      in_flight_.emplace(key, flight);
-      leader = true;
-      record_locked(key, false);
+
+    if (!leader) {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->done_cv.wait(lock, [&] { return flight->done; });
+      if (!flight->shared) {
+        // The leader's outcome is valid only under its own request control
+        // (deadline fired / client vanished); retry as an innocent request.
+        lock.unlock();
+        std::unique_lock<std::mutex> stats_lock(mutex_);
+        ++stats_.single_flight_reruns;
+        continue;
+      }
+      if (flight->error) std::rethrow_exception(flight->error);
+      return flight->value;
     }
-  }
 
-  if (!leader) {
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->done_cv.wait(lock, [&] { return flight->done; });
-    if (flight->error) std::rethrow_exception(flight->error);
-    return flight->value;
-  }
-
-  CacheEntry entry;
-  std::exception_ptr error;
-  try {
-    entry = make();
-  } catch (...) {
-    error = std::current_exception();
-  }
-
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    in_flight_.erase(key);
-    // A factory that succeeded may still opt out of storage; one that threw
-    // or produced an artifact larger than the whole budget never stores.
-    if (!error && entry.store && entry.bytes <= byte_budget_) {
-      lru_.push_front(key);
-      Stored stored;
-      stored.value = entry.value;
-      stored.bytes = entry.bytes;
-      stored.lru = lru_.begin();
-      entries_.emplace(key, std::move(stored));
-      stats_.bytes_in_use += entry.bytes;
-      evict_over_budget_locked(key);
+    CacheEntry entry;
+    std::exception_ptr error;
+    try {
+      entry = make();
+    } catch (...) {
+      error = std::current_exception();
     }
+    const bool shareable =
+        error ? !control_tainted(error) : entry.share;
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      in_flight_.erase(key);
+      // A factory that succeeded may still opt out of storage; one that
+      // threw or produced an artifact larger than the whole budget never
+      // stores.
+      if (!error && entry.store && entry.bytes <= byte_budget_) {
+        lru_.push_front(key);
+        Stored stored;
+        stored.value = entry.value;
+        stored.bytes = entry.bytes;
+        stored.lru = lru_.begin();
+        entries_.emplace(key, std::move(stored));
+        stats_.bytes_in_use += entry.bytes;
+        evict_over_budget_locked(key);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->done = true;
+      flight->shared = shareable;
+      flight->value = entry.value;
+      flight->error = error;
+    }
+    flight->done_cv.notify_all();
+    if (error) std::rethrow_exception(error);
+    return entry.value;
   }
-  {
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->done = true;
-    flight->value = entry.value;
-    flight->error = error;
-  }
-  flight->done_cv.notify_all();
-  if (error) std::rethrow_exception(error);
-  return entry.value;
 }
 
 CacheStats ArtifactCache::stats() const {

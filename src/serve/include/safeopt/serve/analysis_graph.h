@@ -104,6 +104,12 @@ struct PassDesc {
 /// The graph's pass list in topological order.
 [[nodiscard]] const std::vector<PassDesc>& analysis_passes();
 
+/// The deterministic, injective rendering of the options that change what
+/// `compile` produces — part of the compile/quantify cache keys. Every
+/// component is length-prefixed so delimiter-containing option values can
+/// never alias two distinct configurations to one key.
+[[nodiscard]] std::string option_fingerprint(const AnalysisOptions& options);
+
 /// Structural validation beyond the parser's checks — the single problems
 /// list behind both `safeopt validate` and POST /v1/validate: per-tree
 /// structural issues, a missing-hazards check, and a dry assembly of the

@@ -14,7 +14,10 @@
 //     not stored.
 //   * single-flight: N concurrent requests for the same missing key run
 //     ONE factory; the rest block on its completion and share the result.
-//     A factory failure propagates to every waiter and caches nothing.
+//     A deterministic factory failure propagates to every waiter and caches
+//     nothing — but an outcome tainted by the leader's own request control
+//     (share=false, or a thrown deadline/cancellation Error) is never handed
+//     to waiters: they retry the lookup and run their own factory.
 //
 // Values are type-erased shared_ptr<const void>; callers use the typed
 // get_as<T> wrapper. Thread-safe; factories run outside the cache lock.
@@ -40,9 +43,14 @@ struct CacheEntry {
   /// Estimated footprint, charged against the byte budget.
   std::size_t bytes = 0;
   /// When false the value is handed to the caller (and any single-flight
-  /// waiters) but not stored — e.g. a quantification outcome an aborted
-  /// control made non-reusable.
+  /// waiters) but not stored — e.g. a degraded outcome whose diagnostics
+  /// must reach the requester but should not be replayed from cache.
   bool store = true;
+  /// When false the value is valid only for the request whose factory ran
+  /// (its deadline fired / its client vanished mid-computation): waiters
+  /// joined on the flight discard it and recompute under their own control.
+  /// Implies nothing about `store` — callers set both.
+  bool share = true;
 };
 
 /// Hit/miss counters, global and per pass (the key's ":"-prefix).
@@ -56,6 +64,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   /// Requests that joined an in-flight computation instead of starting one.
   std::uint64_t single_flight_waits = 0;
+  /// Waits that could not adopt the leader's outcome (it was tainted by the
+  /// leader's own deadline/cancellation) and retried the lookup.
+  std::uint64_t single_flight_reruns = 0;
   std::uint64_t evictions = 0;
   std::size_t bytes_in_use = 0;
   std::size_t entries = 0;
@@ -71,7 +82,10 @@ class ArtifactCache {
 
   /// Returns the cached value for `key`, or runs `make` (single-flight) and
   /// caches its result. Exceptions from `make` propagate to the caller and
-  /// to every waiter joined on the same computation; nothing is cached.
+  /// — unless they are the leader's own deadline/cancellation — to every
+  /// waiter joined on the same computation; nothing is cached. Waiters never
+  /// adopt a control-tainted outcome (share=false or deadline/cancel throw):
+  /// they retry and compute under their own request's control.
   std::shared_ptr<const void> get_or_compute(const std::string& key,
                                              const Factory& make);
 
@@ -97,6 +111,9 @@ class ArtifactCache {
     std::mutex mutex;
     std::condition_variable done_cv;
     bool done = false;
+    /// False when the leader's outcome (value or error) is specific to its
+    /// own request control; waiters then retry instead of adopting it.
+    bool shared = true;
     std::shared_ptr<const void> value;
     std::exception_ptr error;
   };

@@ -26,6 +26,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "safeopt/support/thread_pool.h"
@@ -42,9 +43,20 @@ struct SchedulerOptions {
   std::size_t max_concurrent = 0;
   /// Tenant name → weight (default weight 1 for unlisted tenants).
   std::vector<std::pair<std::string, double>> tenant_weights;
+  /// Cap on distinct tracked tenants. Tenant names come from the client
+  /// (X-Tenant header / body field), so the map must not grow without
+  /// bound: once the cap is reached, jobs for names not already tracked
+  /// share one overflow bucket (kOverflowTenant, weight 1). Operator-listed
+  /// `tenant_weights` are always tracked, even beyond the cap.
+  std::size_t max_tenants = 64;
   /// When true, accepted jobs queue but do not dispatch until resume().
   bool start_paused = false;
 };
+
+/// The shared bucket unknown tenant names fold into once `max_tenants`
+/// distinct names are tracked ("~" keeps it out of the plausible-name
+/// space and sorts it last in stats output).
+inline constexpr std::string_view kOverflowTenant = "~other";
 
 struct TenantStats {
   std::uint64_t submitted = 0;
@@ -88,6 +100,7 @@ class AdmissionScheduler {
 
  private:
   struct Entry {
+    double start_tag = 0.0;
     double finish_tag = 0.0;
     Job job;
   };

@@ -22,6 +22,8 @@
 #define SAFEOPT_SERVE_SERVER_H
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,6 +53,9 @@ struct ServerOptions {
   std::size_t max_concurrent = 0;
   /// Tenant weights for fair queuing (unlisted tenants weigh 1).
   std::vector<std::pair<std::string, double>> tenant_weights;
+  /// Cap on distinct tracked tenants (names are client-controlled);
+  /// unknown names past the cap share one overflow bucket.
+  std::size_t max_tenants = 64;
   /// Deadline applied when a request carries none; 0 = unbounded.
   std::uint64_t default_deadline_ms = 0;
   /// Stop accepting after this many accepted connections; 0 = until
@@ -127,6 +132,13 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
+
+  // Accepted connections whose request is still being read/submitted on the
+  // worker pool; the accept loop waits for zero before draining so that
+  // max_requests-bounded runs and stop() cover every accepted connection.
+  std::mutex connections_mutex_;
+  std::condition_variable connections_cv_;
+  std::size_t open_connections_ = 0;
 };
 
 }  // namespace safeopt::serve

@@ -43,7 +43,18 @@ AdmissionScheduler::~AdmissionScheduler() {
 
 void AdmissionScheduler::submit(const std::string& tenant_name, Job job) {
   std::unique_lock<std::mutex> lock(mutex_);
-  Tenant& tenant = tenants_[tenant_name];
+  auto found = tenants_.find(tenant_name);
+  if (found == tenants_.end()) {
+    // Tenant names are client-controlled; past the cap, unknown names fold
+    // into one shared overflow bucket instead of growing the map (and the
+    // per-dispatch scan, and /v1/stats) without bound.
+    found = tenants_
+                .try_emplace(tenants_.size() < options_.max_tenants
+                                 ? tenant_name
+                                 : std::string(kOverflowTenant))
+                .first;
+  }
+  Tenant& tenant = found->second;
   if (tenant.weight <= 0.0) tenant.weight = 1.0;
   if (tenant.stats.weight == 0.0) tenant.stats.weight = tenant.weight;
   if (tenant.queue.size() >= options_.max_queue_per_tenant) {
@@ -61,7 +72,7 @@ void AdmissionScheduler::submit(const std::string& tenant_name, Job job) {
   const double start = std::max(virtual_time_, tenant.last_finish);
   const double finish = start + 1.0 / tenant.weight;
   tenant.last_finish = finish;
-  tenant.queue.push_back(Entry{finish, std::move(job)});
+  tenant.queue.push_back(Entry{start, finish, std::move(job)});
   ++queued_;
   ++submitted_;
   ++tenant.stats.submitted;
@@ -85,8 +96,10 @@ void AdmissionScheduler::pump_locked(std::unique_lock<std::mutex>&) {
     next->queue.pop_front();
     --queued_;
     // Virtual time advances to the dispatched job's start tag — the SFQ
-    // rule that keeps newly active tenants from replaying the past.
-    virtual_time_ = std::max(virtual_time_, entry.finish_tag - 1.0);
+    // rule that keeps newly active tenants from replaying the past. The
+    // tag is carried in the entry because start = finish - 1/weight only
+    // holds per tenant, not globally.
+    virtual_time_ = std::max(virtual_time_, entry.start_tag);
     ++running_;
     options_.pool->submit([this, name = std::move(next_name),
                            job = std::move(entry.job)]() mutable {

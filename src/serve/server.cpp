@@ -137,6 +137,7 @@ Server::Server(ServerOptions options)
   scheduler_options.max_queue_per_tenant = options_.max_queue;
   scheduler_options.max_concurrent = options_.max_concurrent;
   scheduler_options.tenant_weights = options_.tenant_weights;
+  scheduler_options.max_tenants = options_.max_tenants;
   scheduler_ = std::make_unique<AdmissionScheduler>(scheduler_options);
 }
 
@@ -179,11 +180,38 @@ void Server::accept_loop() {
       std::unique_lock<std::mutex> lock(stats_mutex_);
       ++stats_.accepted;
     }
-    handle_connection(std::make_shared<TcpSocket>(std::move(*socket)));
+    // Read + parse on the worker pool, not here: a slow or malicious
+    // client (slowloris) then stalls one worker for at most the receive
+    // timeout instead of head-of-line blocking every other connection on
+    // the single accept thread.
+    auto connection = std::make_shared<TcpSocket>(std::move(*socket));
+    {
+      std::unique_lock<std::mutex> lock(connections_mutex_);
+      ++open_connections_;
+    }
+    pool_.submit([this, connection] {
+      try {
+        handle_connection(connection);
+      } catch (...) {
+        // handle_connection answers its own failures; containment here
+        // only keeps the connection accounting balanced on a handler bug.
+      }
+      // Notify under the lock so a waiter in accept_loop cannot finish its
+      // predicate re-check and tear the condition variable down mid-notify.
+      std::unique_lock<std::mutex> lock(connections_mutex_);
+      --open_connections_;
+      connections_cv_.notify_all();
+    });
     if (options_.max_requests != 0 && accepted >= options_.max_requests) {
       listener_.close();
       break;
     }
+  }
+  // Once every accepted connection has been read and either answered or
+  // handed to the scheduler, the drain below covers the analysis jobs too.
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    connections_cv_.wait(lock, [&] { return open_connections_ == 0; });
   }
   scheduler_->drain();
   finished_.store(true, std::memory_order_release);
@@ -341,6 +369,9 @@ std::string Server::stats_body() const {
   cache_json.set("single_flight_waits",
                  JsonValue::number(
                      static_cast<double>(cache.single_flight_waits)));
+  cache_json.set("single_flight_reruns",
+                 JsonValue::number(
+                     static_cast<double>(cache.single_flight_reruns)));
   cache_json.set("evictions",
                  JsonValue::number(static_cast<double>(cache.evictions)));
   cache_json.set("bytes_in_use",

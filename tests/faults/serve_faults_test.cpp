@@ -85,14 +85,16 @@ TEST(ServeFaultsTest, ClientDisconnectCancelsTheRequestsOwnWork) {
 
 TEST(ServeFaultsTest, FullAdmissionQueueShedsWith429) {
   ServerOptions options;
-  options.threads = 1;
+  // Two workers so one can keep reading connections (reads run on the
+  // pool too), but a single analysis slot: admission is what must shed.
+  options.threads = 2;
   options.max_concurrent = 1;
   options.max_queue = 1;
   Server server(options);
   server.start();
 
-  // One slow request occupies the single worker: a huge adaptive-MC budget
-  // with an unreachable target keeps it sampling until cancelled.
+  // One slow request occupies the single analysis slot: a huge adaptive-MC
+  // budget with an unreachable target keeps it sampling until cancelled.
   const std::string slow_body =
       "{\"document\": " + json_document(std::string(tstu::kConstDoc)) +
       ", \"engine\": \"mc_adaptive\", \"engine_options\": "

@@ -155,6 +155,36 @@ TEST(AnalysisGraphTest, ExpiredDeadlineAbortsAndIsNeverCached) {
   EXPECT_EQ(stats.passes.at("quantify").hits, 0u);
 }
 
+TEST(AnalysisGraphTest, OptionFingerprintIsInjective) {
+  // One delimiter-containing value must not alias the split variant — the
+  // two configure engines differently and cannot share a compile artifact.
+  AnalysisOptions joined;
+  joined.engine_options = {"a=1,b=2"};
+  AnalysisOptions split;
+  split.engine_options = {"a=1", "b=2"};
+  EXPECT_NE(option_fingerprint(joined), option_fingerprint(split));
+
+  // Values spilling across field boundaries must not alias either.
+  AnalysisOptions spoofed;
+  spoofed.extras = {"x=1;solver=+de"};
+  AnalysisOptions honest;
+  honest.extras = {"x=1"};
+  honest.solver = "de";
+  EXPECT_NE(option_fingerprint(spoofed), option_fingerprint(honest));
+
+  // Absent and empty-string options are distinct configurations.
+  AnalysisOptions absent;
+  AnalysisOptions empty;
+  empty.engine = "";
+  EXPECT_NE(option_fingerprint(absent), option_fingerprint(empty));
+
+  // The fingerprint stays deterministic for equal options (it is a cache
+  // key), and ignores the response-only model label.
+  AnalysisOptions relabeled = joined;
+  relabeled.model = "a different label";
+  EXPECT_EQ(option_fingerprint(joined), option_fingerprint(relabeled));
+}
+
 TEST(AnalysisGraphTest, PassListIsTopologicallyOrdered) {
   const auto& passes = analysis_passes();
   ASSERT_GE(passes.size(), 7u);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "safeopt/serve/artifact_cache.h"
+#include "safeopt/support/error.h"
 
 namespace safeopt::serve {
 namespace {
@@ -153,6 +154,83 @@ TEST(ArtifactCacheTest, SingleFlightRunsOneFactoryForConcurrentRequests) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.single_flight_waits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+/// Spins inside a factory until another request has joined the flight (so
+/// the single-flight wait path is actually taken), bounded at 5 s.
+void await_a_waiter(const ArtifactCache& cache) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cache.stats().single_flight_waits == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ArtifactCacheTest, WaitersDoNotInheritTheLeadersDeadlineFailure) {
+  ArtifactCache cache(1024);
+  std::atomic<int> runs{0};
+
+  std::thread leader([&] {
+    try {
+      (void)cache.get_or_compute("quantify:k", [&]() -> CacheEntry {
+        runs.fetch_add(1);
+        await_a_waiter(cache);
+        throw Error(ErrorCategory::kDeadlineExceeded,
+                    "the leader's own deadline fired");
+      });
+      ADD_FAILURE() << "the leader must see its own deadline error";
+    } catch (const Error& error) {
+      EXPECT_EQ(error.category(), ErrorCategory::kDeadlineExceeded);
+    }
+  });
+
+  // Join the leader's flight, then — because its failure is specific to its
+  // own request control — rerun the computation instead of adopting it.
+  while (runs.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto value = cache.get_as<int>("quantify:k", [&] {
+    runs.fetch_add(1);
+    return int_entry(7, 8);
+  });
+  leader.join();
+
+  EXPECT_EQ(*value, 7) << "the waiter must get a cleanly computed value";
+  EXPECT_EQ(runs.load(), 2);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.single_flight_waits, 1u);
+  EXPECT_EQ(stats.single_flight_reruns, 1u);
+}
+
+TEST(ArtifactCacheTest, WaitersDoNotAdoptShareFalseOutcomes) {
+  ArtifactCache cache(1024);
+  std::atomic<int> runs{0};
+
+  std::thread leader([&] {
+    const auto value = cache.get_as<int>("optimize:k", [&] {
+      runs.fetch_add(1);
+      await_a_waiter(cache);
+      // An aborted best-so-far outcome: valid for the leader, nobody else.
+      CacheEntry entry = int_entry(1, 8, /*store=*/false);
+      entry.share = false;
+      return entry;
+    });
+    EXPECT_EQ(*value, 1) << "the leader still gets its own outcome";
+  });
+
+  while (runs.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto value = cache.get_as<int>("optimize:k", [&] {
+    runs.fetch_add(1);
+    return int_entry(2, 8);
+  });
+  leader.join();
+
+  EXPECT_EQ(*value, 2) << "the waiter must recompute under its own control";
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_EQ(cache.stats().single_flight_reruns, 1u);
 }
 
 TEST(ArtifactCacheTest, FactoryFailurePropagatesToWaitersAndCachesNothing) {

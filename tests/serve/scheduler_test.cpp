@@ -5,6 +5,7 @@
 // known backlog, then released and observed in dispatch order.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -109,6 +110,72 @@ TEST(AdmissionSchedulerTest, ShedsSynchronouslyWhenTheTenantQueueIsFull) {
   EXPECT_EQ(after.completed, 3u);
   EXPECT_EQ(after.queued, 0u);
   EXPECT_EQ(after.running, 0u);
+}
+
+TEST(AdmissionSchedulerTest, UnknownTenantsBeyondTheCapShareOneBucket) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.max_tenants = 2;
+  AdmissionScheduler scheduler(options);
+  // Tenant names are client-controlled: the first two are tracked by name,
+  // every later unknown name lands in the shared overflow bucket instead of
+  // growing the map.
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    scheduler.submit(name, [] {});
+  }
+  scheduler.drain();
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.tenants.size(), 3u);
+  EXPECT_EQ(stats.tenants.at("a").submitted, 1u);
+  EXPECT_EQ(stats.tenants.at("b").submitted, 1u);
+  ASSERT_EQ(stats.tenants.count(std::string(kOverflowTenant)), 1u);
+  EXPECT_EQ(stats.tenants.at(std::string(kOverflowTenant)).submitted, 3u);
+  EXPECT_EQ(stats.completed, 5u);
+  // The overflow bucket is a tenant like any other: its queue bound and
+  // fair-queuing weight apply to everything folded into it.
+  EXPECT_EQ(stats.tenants.at(std::string(kOverflowTenant)).weight, 1.0);
+}
+
+TEST(AdmissionSchedulerTest, VirtualTimeTracksStartTagsForWeightedTenants) {
+  ThreadPool pool(1);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.max_concurrent = 1;
+  options.tenant_weights = {{"heavy", 4.0}};
+  options.start_paused = true;
+  AdmissionScheduler scheduler(options);
+
+  std::mutex mutex;
+  std::vector<std::string> order;
+  const auto record = [&mutex, &order](const char* name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.emplace_back(name);
+  };
+  // 8 heavy jobs (finish tags 0.25 .. 2.0); the 4th activates a light
+  // tenant mid-backlog. Its virtual start must be the global virtual time
+  // at that moment — the 4th dispatch's start tag 0.75, finish 1.75 — so at
+  // least two more heavy jobs (finish 1.25, 1.5) dispatch first. The old
+  // `finish_tag - 1.0` advance left virtual time at 0 for weight > 1 and
+  // let the light job jump most of the heavy backlog.
+  for (int i = 0; i < 8; ++i) {
+    const bool activates_light = i == 3;
+    scheduler.submit("heavy", [&scheduler, &record, activates_light] {
+      record("heavy");
+      if (activates_light) {
+        scheduler.submit("light", [&record] { record("light"); });
+      }
+    });
+  }
+  scheduler.resume();
+  scheduler.drain();
+
+  ASSERT_EQ(order.size(), 9u);
+  const auto light = std::find(order.begin(), order.end(), "light");
+  ASSERT_NE(light, order.end());
+  EXPECT_GE(light - order.begin(), 6)
+      << "a newly active tenant must not replay the past against a heavy "
+         "tenant's backlog";
 }
 
 TEST(AdmissionSchedulerTest, JobExceptionsAreContained) {

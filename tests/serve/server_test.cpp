@@ -190,6 +190,28 @@ TEST(ServerTest, ErrorSurface) {
   server.stop();
 }
 
+TEST(ServerTest, StalledClientDoesNotBlockOtherConnections) {
+  // Request reading happens on the worker pool, not the accept thread: a
+  // client that connects and sends nothing (slowloris) must not head-of-
+  // line block other clients for its whole 10 s receive timeout.
+  Server server(small_server_options());
+  server.start();
+
+  TcpSocket stalled = TcpSocket::connect_loopback(server.port());
+  stalled.write_all("POST /v1/quantify HTTP/1.1\r\n");  // never finishes
+
+  const auto begin = std::chrono::steady_clock::now();
+  const auto reply = http_request(server.port(), "GET", "/v1/stats", "");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - begin);
+  EXPECT_EQ(reply.status, 200) << reply.raw;
+  EXPECT_LT(elapsed.count(), 8000)
+      << "a healthy client must be answered while the stalled one is still "
+         "inside its receive timeout";
+  stalled.close();
+  server.stop();
+}
+
 TEST(ServerTest, MaxRequestsBoundsTheAcceptLoop) {
   ServerOptions options = small_server_options();
   options.max_requests = 2;

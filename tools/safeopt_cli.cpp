@@ -90,7 +90,8 @@ int usage(const char* error = nullptr) {
       "\n"
       "serve options:\n"
       "  --port N --threads N --cache-mb N --max-queue N --max-concurrent N\n"
-      "  --tenant-weight NAME=W --default-deadline-ms N --max-requests N\n"
+      "  --tenant-weight NAME=W --max-tenants N --default-deadline-ms N\n"
+      "  --max-requests N\n"
       "\n"
       "options:\n"
       "  --solver NAME     solver registry name (overrides the document)\n"
@@ -518,6 +519,9 @@ int run_serve(int argc, char** argv) {
     } else if (arg == "--max-concurrent") {
       numeric(number);
       options.max_concurrent = static_cast<std::size_t>(number);
+    } else if (arg == "--max-tenants") {
+      numeric(number);
+      options.max_tenants = static_cast<std::size_t>(number);
     } else if (arg == "--default-deadline-ms") {
       numeric(number);
       options.default_deadline_ms = number;
