@@ -1154,9 +1154,10 @@ std::string CompiledExpr::disassemble() const {
                       slot(ins.a));
         break;
       case OpCode::kCall:
-        out += static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
-                   ->name() +
-               " " + slot(ins.a);
+        out += concat(
+            static_cast<const detail::FunctionNode*>(calls_[ins.b].get())
+                ->name(),
+            " ", slot(ins.a));
         break;
     }
     out += "\n";

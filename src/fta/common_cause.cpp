@@ -4,6 +4,7 @@
 #include <map>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::fta {
 
@@ -30,7 +31,7 @@ CommonCauseModel apply_beta_factor(
     }
   }
 
-  CommonCauseModel model{FaultTree(tree.name() + "+ccf"), {}};
+  CommonCauseModel model{FaultTree(concat(tree.name(), "+ccf")), {}};
 
   // One shared common-cause event per group; probability β·min over the
   // members' point estimates (symmetric-conservative for mixed groups).
@@ -47,7 +48,7 @@ CommonCauseModel apply_beta_factor(
     }
     ccf_probability[g] = groups[g].beta * min_p;
     ccf_event[g] = model.tree.add_basic_event(
-        groups[g].name + ".ccf",
+        concat(groups[g].name, ".ccf"),
         "beta-factor common cause failing all group members");
   }
 
@@ -71,7 +72,7 @@ CommonCauseModel apply_beta_factor(
         } else {
           const std::size_t g = member->second;
           const NodeId independent = model.tree.add_basic_event(
-              tree.node_name(id) + ".indep",
+              concat(tree.node_name(id), ".indep"),
               "independent part of a common-cause group member");
           event_probs.push_back((1.0 - groups[g].beta) * p);
           // The OR gate takes the member's original name, so parents (and

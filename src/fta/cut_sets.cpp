@@ -4,6 +4,7 @@
 #include <set>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::fta {
 namespace {
@@ -287,7 +288,7 @@ CutSetCollection minimal_path_sets(const FaultTree& tree) {
   // Build the dual tree: same leaves, AND <-> OR, k-of-n -> (n−k+1)-of-n.
   // De Morgan: the dual's cut sets are the original's path sets. INHIBIT is
   // an AND of cause and condition, so it dualizes to an OR of the two.
-  FaultTree dual(tree.name() + ".dual");
+  FaultTree dual(concat(tree.name(), ".dual"));
   std::vector<NodeId> mapped(tree.node_count());
   for (NodeId id = 0; id < tree.node_count(); ++id) {
     switch (tree.kind(id)) {

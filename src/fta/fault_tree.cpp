@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::fta {
 
@@ -261,8 +262,8 @@ std::vector<std::string> FaultTree::validate() const {
   }
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     if (!reachable[id]) {
-      problems.push_back("node '" + nodes_[id].name +
-                         "' is not reachable from the top event");
+      problems.push_back(concat("node '", nodes_[id].name,
+                                "' is not reachable from the top event"));
     }
   }
   // Conditions may only appear as the second child of INHIBIT gates.
@@ -273,15 +274,16 @@ std::vector<std::string> FaultTree::validate() const {
       const Node& child = nodes_[node.children[c]];
       if (child.node_kind == NodeKind::kCondition &&
           !(node.gate == GateType::kInhibit && c == 1)) {
-        problems.push_back("condition '" + child.name +
-                           "' used outside an INHIBIT gate (in gate '" +
-                           node.name + "')");
+        problems.push_back(
+            concat("condition '", child.name,
+                   "' used outside an INHIBIT gate (in gate '", node.name,
+                   "')"));
       }
     }
     if (node.gate == GateType::kInhibit) {
       if (nodes_[node.children[0]].node_kind == NodeKind::kCondition) {
-        problems.push_back("INHIBIT gate '" + node.name +
-                           "' has a condition as its cause");
+        problems.push_back(concat("INHIBIT gate '", node.name,
+                                  "' has a condition as its cause"));
       }
     }
   }

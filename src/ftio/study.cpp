@@ -18,6 +18,7 @@
 #include "safeopt/expr/parse.h"
 #include "safeopt/ftio/parser.h"
 #include "safeopt/ftio/study_document.h"
+#include "safeopt/support/error.h"
 #include "safeopt/support/strings.h"
 
 namespace safeopt::ftio {
@@ -127,10 +128,10 @@ class Lexer {
         return token;
       }
       throw ParseError(source_, token.line, token.column,
-                       "malformed token '" + token.text + "'");
+                       concat("malformed token '", token.text, "'"));
     }
     throw ParseError(source_, line_, column_,
-                     std::string("unexpected character '") + c + "'");
+                     concat("unexpected character '", std::string(1, c), "'"));
   }
 
   /// Captures raw text up to (not including) the next ';' at the current
@@ -336,7 +337,7 @@ class DocumentParser {
   void expect_semicolon() {
     if (current_.kind != Token::Kind::kSemicolon) {
       fail(current_.line, current_.column,
-           "expected ';' before '" + current_.text + "'");
+           concat("expected ';' before '", current_.text, "'"));
     }
     consume();
   }
@@ -437,7 +438,7 @@ class DocumentParser {
       }
     } else {
       fail(kind.line, kind.column,
-           "unknown gate kind '" + kind.text + "'");
+           concat("unknown gate kind '", kind.text, "'"));
     }
     while (current_.kind == Token::Kind::kIdentifier) {
       gate.children.push_back(current_.text);
@@ -446,22 +447,22 @@ class DocumentParser {
     expect_semicolon();
     if (gate.children.empty()) {
       fail(kind.line, kind.column,
-           "gate '" + head.text + "' has no children");
+           concat("gate '", head.text, "' has no children"));
     }
     if (gate.type == fta::GateType::kInhibit && gate.children.size() != 2) {
       fail(kind.line, kind.column,
-           "inhibit gate '" + head.text +
-               "' needs exactly two operands (cause, condition)");
+           concat("inhibit gate '", head.text,
+                  "' needs exactly two operands (cause, condition)"));
     }
     if (gate.type == fta::GateType::kKofN &&
         gate.k > gate.children.size()) {
       fail(kind.line, kind.column,
-           "vote gate '" + head.text +
-               "' has fewer children than its threshold");
+           concat("vote gate '", head.text,
+                  "' has fewer children than its threshold"));
     }
     if (!section().gates.emplace(head.text, std::move(gate)).second) {
       fail(head.line, head.column,
-           "duplicate definition of gate '" + head.text + "'");
+           concat("duplicate definition of gate '", head.text, "'"));
     }
   }
 
@@ -480,7 +481,7 @@ class DocumentParser {
     expect_semicolon();
     if (!section().leaves.emplace(name.text, std::move(leaf)).second) {
       fail(name.line, name.column,
-           "duplicate declaration of leaf '" + name.text + "'");
+           concat("duplicate declaration of leaf '", name.text, "'"));
     }
   }
 
@@ -524,7 +525,7 @@ class DocumentParser {
     for (const ParamRaw& existing : decls_.parameters) {
       if (existing.decl.name == param.decl.name) {
         fail(param.line, param.column,
-             "duplicate declaration of parameter '" + param.decl.name + "'");
+             concat("duplicate declaration of parameter '", param.decl.name, "'"));
       }
     }
     decls_.parameters.push_back(std::move(param));
@@ -547,15 +548,15 @@ class DocumentParser {
     const Token value = expect_number("the hazard cost");
     if (!std::isfinite(value.number) || value.number < 0.0) {
       fail(value.line, value.column,
-           "hazard cost must be a finite non-negative number, got " +
-               value.text);
+           concat("hazard cost must be a finite non-negative number, got ",
+                  value.text));
     }
     hazard.decl.cost = value.number;
     expect_semicolon();
     for (const HazardRaw& existing : decls_.hazards) {
       if (existing.decl.tree == hazard.decl.tree) {
         fail(hazard.line, hazard.column,
-             "duplicate hazard for tree '" + hazard.decl.tree + "'");
+             concat("duplicate hazard for tree '", hazard.decl.tree, "'"));
       }
     }
     decls_.hazards.push_back(std::move(hazard));
@@ -622,8 +623,9 @@ class TreeBuilder {
     for (const auto& [name, leaf] : section_.leaves) {
       if (!tree_.find(name).has_value()) {
         throw ParseError(source_, leaf.line, leaf.column,
-                         "leaf '" + name +
-                             "' is declared but not reachable from toplevel");
+                         concat("leaf '", name,
+                                "' is declared but not reachable from "
+                                "toplevel"));
       }
     }
     return std::move(tree_);
@@ -640,7 +642,7 @@ class TreeBuilder {
     if (const auto existing = tree_.find(name)) return *existing;
     if (in_progress_.contains(name)) {
       throw ParseError(source_, ref_line, 1,
-                       "cycle through node '" + name + "'");
+                       concat("cycle through node '", name, "'"));
     }
 
     const auto gate_it = section_.gates.find(name);
@@ -648,9 +650,9 @@ class TreeBuilder {
       const GateDecl& gate = gate_it->second;
       if (in_progress_.size() >= kMaxGateDepth) {
         throw ParseError(source_, gate.line, gate.column,
-                         "gate nesting exceeds the supported depth (" +
-                             std::to_string(kMaxGateDepth) + ") at gate '" +
-                             name + "'");
+                         concat("gate nesting exceeds the supported depth (",
+                                std::to_string(kMaxGateDepth),
+                                ") at gate '", name, "'"));
       }
       in_progress_.insert(name);
       std::vector<fta::NodeId> children;
@@ -673,8 +675,8 @@ class TreeBuilder {
           const fta::NodeId condition = children[1];
           if (tree_.kind(condition) != fta::NodeKind::kCondition) {
             throw ParseError(source_, gate.line, gate.column,
-                             "second operand of inhibit gate '" + name +
-                                 "' must be a condition leaf");
+                             concat("second operand of inhibit gate '", name,
+                                    "' must be a condition leaf"));
           }
           return tree_.add_inhibit(name, cause, condition);
         }
@@ -688,7 +690,7 @@ class TreeBuilder {
       return leaf_it->second.is_condition ? tree_.add_condition(name)
                                           : tree_.add_basic_event(name);
     }
-    throw ParseError(source_, ref_line, 1, "undefined node '" + name + "'");
+    throw ParseError(source_, ref_line, 1, concat("undefined node '", name, "'"));
   }
 
   const SectionDecl& section_;
@@ -782,15 +784,15 @@ StudyDocument build_document(Declarations decls, std::string_view source) {
       // without one reports at the document head, as the v1 parser did.
       if (section.explicit_stmt) {
         throw ParseError(source, section.line, section.column,
-                         "missing 'toplevel' declaration for tree '" +
-                             section.name + "'");
+                         concat("missing 'toplevel' declaration for tree '",
+                                section.name, "'"));
       }
       throw ParseError(source, 1, 1, "missing 'toplevel' declaration");
     }
     for (const TreeModel& existing : doc.trees) {
       if (existing.tree.name() == section.name) {
         throw ParseError(source, section.line, section.column,
-                         "duplicate tree '" + section.name + "'");
+                         concat("duplicate tree '", section.name, "'"));
       }
     }
     TreeModel model{TreeBuilder(section, source).build(), {}};
@@ -801,8 +803,8 @@ StudyDocument build_document(Declarations decls, std::string_view source) {
   for (HazardRaw& hazard : decls.hazards) {
     if (doc.find_tree(hazard.decl.tree) == nullptr) {
       throw ParseError(source, hazard.line, hazard.column,
-                       "hazard names unknown tree '" + hazard.decl.tree +
-                           "'");
+                       concat("hazard names unknown tree '", hazard.decl.tree,
+                              "'"));
     }
     doc.hazards.push_back(std::move(hazard.decl));
   }
@@ -872,7 +874,8 @@ StudyDocument parse_study(std::string_view text,
 StudyDocument load_study(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
-    throw std::runtime_error(concat("cannot read model file '", path, "'"));
+    throw Error(ErrorCategory::kInvalidInput,
+                concat("cannot read model file '", path, "'"));
   }
   std::ostringstream contents;
   contents << file.rdbuf();

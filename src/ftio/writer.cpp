@@ -13,8 +13,8 @@ std::string gate_keyword(const fta::FaultTree& tree, fta::NodeId id) {
     case fta::GateType::kXor: return "xor";
     case fta::GateType::kInhibit: return "inhibit";
     case fta::GateType::kKofN:
-      return std::to_string(tree.vote_threshold(id)) + "of" +
-             std::to_string(tree.children(id).size());
+      return concat(std::to_string(tree.vote_threshold(id)), "of",
+                    std::to_string(tree.children(id).size()));
   }
   SAFEOPT_ASSERT(false);
   return {};
@@ -41,36 +41,37 @@ std::string write_fault_tree(const fta::FaultTree& tree,
   SAFEOPT_EXPECTS(tree.has_top());
   SAFEOPT_EXPECTS(probabilities.is_valid_for(tree));
   std::string out;
-  out += "tree " + tree.name() + ";\n";
-  out += "toplevel " + tree.node_name(tree.top()) + ";\n";
+  out += concat("tree ", tree.name(), ";\n");
+  out += concat("toplevel ", tree.node_name(tree.top()), ";\n");
   for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
     if (tree.kind(id) != fta::NodeKind::kGate) continue;
-    out += tree.node_name(id) + " " + gate_keyword(tree, id);
+    out += concat(tree.node_name(id), " ", gate_keyword(tree, id));
     for (const fta::NodeId child : tree.children(id)) {
-      out += " " + tree.node_name(child);
+      out += concat(" ", tree.node_name(child));
     }
     out += ";\n";
   }
   for (const fta::NodeId id : tree.basic_events()) {
-    out += tree.node_name(id) + " prob = " +
-           format_double(
-               probabilities
-                   .basic_event_probability[tree.basic_event_ordinal(id)]) +
-           ";\n";
+    out += concat(
+        tree.node_name(id), " prob = ",
+        format_double(
+            probabilities.basic_event_probability[tree.basic_event_ordinal(
+                id)]),
+        ";\n");
   }
   for (const fta::NodeId id : tree.conditions()) {
-    out += tree.node_name(id) + " condition prob = " +
-           format_double(
-               probabilities.condition_probability[tree.condition_ordinal(
-                   id)]) +
-           ";\n";
+    out += concat(
+        tree.node_name(id), " condition prob = ",
+        format_double(
+            probabilities.condition_probability[tree.condition_ordinal(id)]),
+        ";\n");
   }
   return out;
 }
 
 std::string to_dot(const fta::FaultTree& tree,
                    const fta::QuantificationInput* probabilities) {
-  std::string out = "digraph \"" + tree.name() + "\" {\n";
+  std::string out = concat("digraph \"", tree.name(), "\" {\n");
   out += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
   for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
     const std::string& name = tree.node_name(id);
@@ -80,18 +81,23 @@ std::string to_dot(const fta::FaultTree& tree,
       case fta::NodeKind::kBasicEvent: {
         shape = "circle";  // paper Fig. 1: primary failures are circles
         if (probabilities != nullptr) {
-          label += "\\np=" + format_double(
-                                 probabilities->basic_event_probability
-                                     [tree.basic_event_ordinal(id)]);
+          label += concat(
+              "\\np=",
+              format_double(
+                  probabilities
+                      ->basic_event_probability[tree.basic_event_ordinal(
+                          id)]));
         }
         break;
       }
       case fta::NodeKind::kCondition: {
         shape = "ellipse";  // INHIBIT side conditions are ovals
         if (probabilities != nullptr) {
-          label += "\\np=" + format_double(
-                                 probabilities->condition_probability
-                                     [tree.condition_ordinal(id)]);
+          label += concat(
+              "\\np=",
+              format_double(
+                  probabilities->condition_probability[tree.condition_ordinal(
+                      id)]));
         }
         break;
       }
@@ -103,23 +109,24 @@ std::string to_dot(const fta::FaultTree& tree,
           case fta::GateType::kInhibit: shape = "hexagon"; break;
           case fta::GateType::kKofN: shape = "trapezium"; break;
         }
-        label += "\\n[" + std::string(fta::to_string(tree.gate_type(id))) +
-                 (tree.gate_type(id) == fta::GateType::kKofN
-                      ? " " + std::to_string(tree.vote_threshold(id))
-                      : "") +
-                 "]";
+        label += concat("\\n[", fta::to_string(tree.gate_type(id)),
+                        tree.gate_type(id) == fta::GateType::kKofN
+                            ? concat(" ",
+                                     std::to_string(tree.vote_threshold(id)))
+                            : std::string(),
+                        "]");
         break;
       }
     }
-    out += "  \"" + name + "\" [shape=" + shape + ", label=\"" + label +
-           "\"];\n";
+    out += concat("  \"", name, "\" [shape=", shape, ", label=\"", label,
+                  "\"];\n");
   }
   for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
     if (tree.kind(id) != fta::NodeKind::kGate) continue;
     const auto children = tree.children(id);
     for (std::size_t c = 0; c < children.size(); ++c) {
-      out += "  \"" + tree.node_name(id) + "\" -> \"" +
-             tree.node_name(children[c]) + "\"";
+      out += concat("  \"", tree.node_name(id), "\" -> \"",
+                    tree.node_name(children[c]), "\"");
       if (tree.gate_type(id) == fta::GateType::kInhibit && c == 1) {
         out += " [style=dashed, label=\"condition\"]";
       }
@@ -135,30 +142,34 @@ std::string to_json(const fta::FaultTree& tree,
   SAFEOPT_EXPECTS(tree.has_top());
   SAFEOPT_EXPECTS(probabilities.is_valid_for(tree));
   std::string out = "{\n";
-  out += "  \"name\": \"" + json_escape(tree.name()) + "\",\n";
-  out += "  \"toplevel\": \"" + json_escape(tree.node_name(tree.top())) +
-         "\",\n";
+  out += concat("  \"name\": \"", json_escape(tree.name()), "\",\n");
+  out += concat("  \"toplevel\": \"", json_escape(tree.node_name(tree.top())),
+                "\",\n");
   out += "  \"nodes\": [\n";
   for (fta::NodeId id = 0; id < tree.node_count(); ++id) {
-    out += "    {\"name\": \"" + json_escape(tree.node_name(id)) + "\", ";
+    out += concat("    {\"name\": \"", json_escape(tree.node_name(id)),
+                  "\", ");
     switch (tree.kind(id)) {
       case fta::NodeKind::kBasicEvent:
-        out += "\"kind\": \"basic-event\", \"prob\": " +
-               format_double(
-                   probabilities
-                       .basic_event_probability[tree.basic_event_ordinal(id)]);
+        out += concat(
+            "\"kind\": \"basic-event\", \"prob\": ",
+            format_double(
+                probabilities.basic_event_probability[tree.basic_event_ordinal(
+                    id)]));
         break;
       case fta::NodeKind::kCondition:
-        out += "\"kind\": \"condition\", \"prob\": " +
-               format_double(
-                   probabilities
-                       .condition_probability[tree.condition_ordinal(id)]);
+        out += concat(
+            "\"kind\": \"condition\", \"prob\": ",
+            format_double(
+                probabilities.condition_probability[tree.condition_ordinal(
+                    id)]));
         break;
       case fta::NodeKind::kGate: {
-        out += "\"kind\": \"gate\", \"gate\": \"" +
-               std::string(fta::to_string(tree.gate_type(id))) + "\"";
+        out += concat("\"kind\": \"gate\", \"gate\": \"",
+                      fta::to_string(tree.gate_type(id)), "\"");
         if (tree.gate_type(id) == fta::GateType::kKofN) {
-          out += ", \"k\": " + std::to_string(tree.vote_threshold(id));
+          out += concat(", \"k\": ",
+                        std::to_string(tree.vote_threshold(id)));
         }
         out += ", \"children\": [";
         const auto children = tree.children(id);

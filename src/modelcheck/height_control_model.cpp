@@ -1,6 +1,7 @@
 #include "safeopt/modelcheck/height_control_model.h"
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::modelcheck {
 namespace {
@@ -134,8 +135,8 @@ std::string HeightControlModel::describe(const State& state) const {
   std::string out = "{";
   for (int v = 0; v < ohv_count_; ++v) {
     if (v > 0) out += ", ";
-    out += "OHV" + std::to_string(v) + "=" +
-           kPositionNames[ohv_position(state, v)];
+    out += concat("OHV", std::to_string(v), "=",
+                  kPositionNames[ohv_position(state, v)]);
   }
   out += lbpost_armed(state) ? ", LBpost:armed" : ", LBpost:off";
   out += odfinal_armed(state) ? ", ODfinal:armed" : ", ODfinal:off";

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/strings.h"
 
 namespace safeopt::modelcheck {
 namespace {
@@ -81,8 +82,8 @@ std::string format_trace(const TransitionSystem& system,
                          const std::vector<State>& trace) {
   std::string out;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    out += "  step " + std::to_string(i) + ": " + system.describe(trace[i]) +
-           "\n";
+    out += concat("  step ", std::to_string(i), ": ",
+                  system.describe(trace[i]), "\n");
   }
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/rng.h"
+#include "safeopt/support/strings.h"
 #include "safeopt/support/thread_pool.h"
 
 namespace safeopt::opt {
@@ -69,8 +70,8 @@ OptimizationResult MultiStart::minimize(const Problem& problem) const {
   }
   best.evaluations = total_evaluations;
   best.iterations = total_iterations;
-  best.message = "best of " + std::to_string(starts_) + " starts: " +
-                 best.message;
+  best.message = concat("best of ", std::to_string(starts_), " starts: ",
+                        best.message);
   return best;
 }
 

@@ -4,15 +4,16 @@
 #include <charconv>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "builtin_solvers.h"
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/execution.h"
+#include "safeopt/support/mutex.h"
 #include "safeopt/support/registry.h"
 #include "safeopt/support/strings.h"
+#include "safeopt/support/thread_annotations.h"
 
 namespace safeopt::opt {
 
@@ -164,7 +165,7 @@ class Instrument {
 
   /// Applies the instrumented accounting to the solver's raw result.
   [[nodiscard]] OptimizationResult finalize(OptimizationResult result) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (abort_status_ != ExecutionStatus::kRunning) {
       result.evaluations = evaluations_;
       result.converged = false;
@@ -193,7 +194,7 @@ class Instrument {
   /// evaluating). A request that straddles the boundary is granted in full
   /// but billed only up to the budget, keeping the reported count <= budget.
   [[nodiscard]] bool reserve(std::size_t n) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     // Abort check first: once the control fires, the refusal is sticky (no
     // further status polls), every later evaluation reports +inf, and the
     // run winds down exactly like a spent budget.
@@ -222,7 +223,7 @@ class Instrument {
   }
 
   void record(std::span<const double> x, double value) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (!(value < best_value_)) return;
     best_value_ = value;
     best_point_.assign(x.begin(), x.end());
@@ -233,7 +234,7 @@ class Instrument {
                     std::span<double> values) {
     if (values.empty()) return;
     const std::size_t dim = points.size() / values.size();
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     bool improved = false;
     for (std::size_t i = 0; i < values.size(); ++i) {
       if (values[i] < best_value_) {
@@ -247,7 +248,7 @@ class Instrument {
     if (improved) notify();  // one event per improving batch
   }
 
-  void notify() {
+  void notify() SAFEOPT_REQUIRES(mutex_) {
     if (!observer_) return;
     ProgressEvent event;
     event.iteration = events_++;
@@ -257,16 +258,18 @@ class Instrument {
     observer_(event);
   }
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::size_t budget_;
   const ProgressObserver& observer_;
   const ExecutionControl* control_;
-  std::size_t evaluations_ = 0;
-  std::size_t events_ = 0;
-  double best_value_ = std::numeric_limits<double>::infinity();
-  std::vector<double> best_point_;
-  bool exhausted_ = false;
-  ExecutionStatus abort_status_ = ExecutionStatus::kRunning;
+  std::size_t evaluations_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  std::size_t events_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  double best_value_ SAFEOPT_GUARDED_BY(mutex_) =
+      std::numeric_limits<double>::infinity();
+  std::vector<double> best_point_ SAFEOPT_GUARDED_BY(mutex_);
+  bool exhausted_ SAFEOPT_GUARDED_BY(mutex_) = false;
+  ExecutionStatus abort_status_ SAFEOPT_GUARDED_BY(mutex_) =
+      ExecutionStatus::kRunning;
 };
 
 }  // namespace

@@ -1,7 +1,6 @@
 #include "safeopt/serve/analysis_graph.h"
 
 #include <cstdio>
-#include <mutex>
 #include <stdexcept>
 
 #include "safeopt/core/quantification_engine.h"
@@ -9,6 +8,7 @@
 #include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/solver.h"
 #include "safeopt/support/error.h"
+#include "safeopt/support/mutex.h"
 #include "safeopt/support/strings.h"
 
 namespace safeopt::serve {
@@ -141,8 +141,12 @@ struct AnalysisGraph::ParsedArtifact {
 struct AnalysisGraph::CompiledArtifact {
   // The study's quantify path is documented single-threaded (lazy engines,
   // mutable tape caches): requests serialize on this mutex. Different
-  // documents — different artifacts — still run concurrently.
-  mutable std::mutex mutex;
+  // documents — different artifacts — still run concurrently. `study` is
+  // deliberately not GUARDED_BY(mutex): the guarded state is the Study's
+  // *internal* mutable caches, touched only by the mutating entry points
+  // (quantify/run/evaluate_at) below; the name/config accessors read
+  // members immutable after compile and stay lock-free.
+  mutable Mutex mutex;
   mutable RequestControlSlot slot;
   std::shared_ptr<const ParsedArtifact> parsed;  // hazard order, model shape
   std::optional<core::Study> study;
@@ -376,7 +380,7 @@ std::string AnalysisGraph::quantify(const std::string& document_text,
   const std::string key =
       concat("quantify:", fingerprint, ":", hex64(fnv1a(at_fingerprint)));
   const auto outcome = cache_.get_as<QuantifyOutcome>(key, [&] {
-    std::unique_lock<std::mutex> lock(compiled->mutex);
+    const MutexLock lock(compiled->mutex);
     SlotGuard guard(compiled->slot, control);
     auto computed = std::make_shared<QuantifyOutcome>();
     computed->at = at;
@@ -410,7 +414,7 @@ std::string AnalysisGraph::optimize(const std::string& document_text,
 
   const std::string key = concat("optimize:", fingerprint);
   const auto outcome = cache_.get_as<OptimizeOutcome>(key, [&] {
-    std::unique_lock<std::mutex> lock(compiled->mutex);
+    const MutexLock lock(compiled->mutex);
     SlotGuard guard(compiled->slot, control);
     const auto result = study.run();
     auto computed = std::make_shared<OptimizeOutcome>();

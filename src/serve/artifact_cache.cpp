@@ -1,5 +1,7 @@
 #include "safeopt/serve/artifact_cache.h"
 
+#include <utility>
+
 #include "safeopt/support/error.h"
 
 namespace safeopt::serve {
@@ -24,6 +26,8 @@ bool control_tainted(const std::exception_ptr& error) {
 
 ArtifactCache::ArtifactCache(std::size_t byte_budget)
     : byte_budget_(byte_budget) {
+  // No concurrency yet; locking keeps the declared discipline uniform.
+  const MutexLock lock(mutex_);
   stats_.byte_budget = byte_budget;
 }
 
@@ -61,7 +65,7 @@ std::shared_ptr<const void> ArtifactCache::get_or_compute(
     std::shared_ptr<InFlight> flight;
     bool leader = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       const auto found = entries_.find(key);
       if (found != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, found->second.lru);  // touch
@@ -81,18 +85,29 @@ std::shared_ptr<const void> ArtifactCache::get_or_compute(
     }
 
     if (!leader) {
-      std::unique_lock<std::mutex> lock(flight->mutex);
-      flight->done_cv.wait(lock, [&] { return flight->done; });
-      if (!flight->shared) {
-        // The leader's outcome is valid only under its own request control
-        // (deadline fired / client vanished); retry as an innocent request.
-        lock.unlock();
-        std::unique_lock<std::mutex> stats_lock(mutex_);
+      bool rerun = false;
+      std::shared_ptr<const void> value;
+      std::exception_ptr error;
+      {
+        MutexLock lock(flight->mutex);
+        while (!flight->done) lock.wait(flight->done_cv);
+        if (!flight->shared) {
+          // The leader's outcome is valid only under its own request
+          // control (deadline fired / client vanished); retry as an
+          // innocent request.
+          rerun = true;
+        } else {
+          value = flight->value;
+          error = flight->error;
+        }
+      }
+      if (rerun) {
+        const MutexLock lock(mutex_);
         ++stats_.single_flight_reruns;
         continue;
       }
-      if (flight->error) std::rethrow_exception(flight->error);
-      return flight->value;
+      if (error) std::rethrow_exception(error);
+      return value;
     }
 
     CacheEntry entry;
@@ -106,7 +121,7 @@ std::shared_ptr<const void> ArtifactCache::get_or_compute(
         error ? !control_tainted(error) : entry.share;
 
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       in_flight_.erase(key);
       // A factory that succeeded may still opt out of storage; one that
       // threw or produced an artifact larger than the whole budget never
@@ -123,7 +138,7 @@ std::shared_ptr<const void> ArtifactCache::get_or_compute(
       }
     }
     {
-      std::unique_lock<std::mutex> lock(flight->mutex);
+      const MutexLock lock(flight->mutex);
       flight->done = true;
       flight->shared = shareable;
       flight->value = entry.value;
@@ -136,14 +151,14 @@ std::shared_ptr<const void> ArtifactCache::get_or_compute(
 }
 
 CacheStats ArtifactCache::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   CacheStats out = stats_;
   out.entries = entries_.size();
   return out;
 }
 
 void ArtifactCache::clear() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   stats_.bytes_in_use = 0;

@@ -31,9 +31,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "safeopt/support/mutex.h"
+#include "safeopt/support/thread_annotations.h"
 
 namespace safeopt::serve {
 
@@ -108,25 +110,29 @@ class ArtifactCache {
     std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
   };
   struct InFlight {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable done_cv;
-    bool done = false;
+    bool done SAFEOPT_GUARDED_BY(mutex) = false;
     /// False when the leader's outcome (value or error) is specific to its
     /// own request control; waiters then retry instead of adopting it.
-    bool shared = true;
-    std::shared_ptr<const void> value;
-    std::exception_ptr error;
+    bool shared SAFEOPT_GUARDED_BY(mutex) = true;
+    std::shared_ptr<const void> value SAFEOPT_GUARDED_BY(mutex);
+    std::exception_ptr error SAFEOPT_GUARDED_BY(mutex);
   };
 
-  void evict_over_budget_locked(const std::string& keep);
-  void record_locked(const std::string& key, bool hit);
+  void evict_over_budget_locked(const std::string& keep)
+      SAFEOPT_REQUIRES(mutex_);
+  void record_locked(const std::string& key, bool hit)
+      SAFEOPT_REQUIRES(mutex_);
 
   const std::size_t byte_budget_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Stored> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
-  CacheStats stats_;
+  mutable Mutex mutex_;
+  std::map<std::string, Stored> entries_ SAFEOPT_GUARDED_BY(mutex_);
+  /// front = most recently used
+  std::list<std::string> lru_ SAFEOPT_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_
+      SAFEOPT_GUARDED_BY(mutex_);
+  CacheStats stats_ SAFEOPT_GUARDED_BY(mutex_);
 };
 
 }  // namespace safeopt::serve

@@ -24,11 +24,12 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "safeopt/support/mutex.h"
+#include "safeopt/support/thread_annotations.h"
 #include "safeopt/support/thread_pool.h"
 
 namespace safeopt::serve {
@@ -111,21 +112,23 @@ class AdmissionScheduler {
     TenantStats stats;
   };
 
-  void pump_locked(std::unique_lock<std::mutex>& lock);
+  /// Dispatches queued entries while a worker slot is free; caller holds
+  /// mutex_ (enforced by the annotation rather than a lock parameter).
+  void pump_locked() SAFEOPT_REQUIRES(mutex_);
 
   const SchedulerOptions options_;
   const std::size_t max_concurrent_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable idle_cv_;
-  std::map<std::string, Tenant> tenants_;
-  double virtual_time_ = 0.0;
-  std::size_t queued_ = 0;
-  std::size_t running_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t shed_ = 0;
-  bool paused_ = false;
-  bool stopping_ = false;
+  std::map<std::string, Tenant> tenants_ SAFEOPT_GUARDED_BY(mutex_);
+  double virtual_time_ SAFEOPT_GUARDED_BY(mutex_) = 0.0;
+  std::size_t queued_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t submitted_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  bool paused_ SAFEOPT_GUARDED_BY(mutex_) = false;
+  bool stopping_ SAFEOPT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace safeopt::serve

@@ -26,11 +26,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "safeopt/support/mutex.h"
+#include "safeopt/support/thread_annotations.h"
 
 #include "safeopt/serve/analysis_graph.h"
 #include "safeopt/serve/http.h"
@@ -130,15 +132,15 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::atomic<bool> finished_{false};
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable Mutex stats_mutex_;
+  ServerStats stats_ SAFEOPT_GUARDED_BY(stats_mutex_);
 
   // Accepted connections whose request is still being read/submitted on the
   // worker pool; the accept loop waits for zero before draining so that
   // max_requests-bounded runs and stop() cover every accepted connection.
-  std::mutex connections_mutex_;
+  Mutex connections_mutex_;
   std::condition_variable connections_cv_;
-  std::size_t open_connections_ = 0;
+  std::size_t open_connections_ SAFEOPT_GUARDED_BY(connections_mutex_) = 0;
 };
 
 }  // namespace safeopt::serve

@@ -15,6 +15,9 @@ AdmissionScheduler::AdmissionScheduler(SchedulerOptions options)
                           : std::max<std::size_t>(
                                 1, options_.pool->thread_count())),
       paused_(options_.start_paused) {
+  // No concurrency yet, but guarded members are written under the lock so
+  // the declared discipline holds everywhere the analysis looks.
+  const MutexLock lock(mutex_);
   for (const auto& [name, weight] : options_.tenant_weights) {
     tenants_[name].weight = std::max(weight, 1e-9);
     tenants_[name].stats.weight = tenants_[name].weight;
@@ -23,7 +26,7 @@ AdmissionScheduler::AdmissionScheduler(SchedulerOptions options)
 
 AdmissionScheduler::~AdmissionScheduler() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
     paused_ = false;
     // Drop still-queued jobs (their owners are gone with the server);
@@ -37,12 +40,12 @@ AdmissionScheduler::~AdmissionScheduler() {
     queued_ = 0;
   }
   idle_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return running_ == 0; });
+  MutexLock lock(mutex_);
+  while (running_ != 0) lock.wait(idle_cv_);
 }
 
 void AdmissionScheduler::submit(const std::string& tenant_name, Job job) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto found = tenants_.find(tenant_name);
   if (found == tenants_.end()) {
     // Tenant names are client-controlled; past the cap, unknown names fold
@@ -76,10 +79,10 @@ void AdmissionScheduler::submit(const std::string& tenant_name, Job job) {
   ++queued_;
   ++submitted_;
   ++tenant.stats.submitted;
-  pump_locked(lock);
+  pump_locked();
 }
 
-void AdmissionScheduler::pump_locked(std::unique_lock<std::mutex>&) {
+void AdmissionScheduler::pump_locked() {
   while (!paused_ && !stopping_ && running_ < max_concurrent_) {
     Tenant* next = nullptr;
     std::string next_name;
@@ -109,11 +112,11 @@ void AdmissionScheduler::pump_locked(std::unique_lock<std::mutex>&) {
         // Jobs report their own failures (HTTP handlers); a throw here is
         // a handler bug, contained so one request cannot kill dispatch.
       }
-      std::unique_lock<std::mutex> inner(mutex_);
+      const MutexLock inner(mutex_);
       --running_;
       ++completed_;
       ++tenants_[name].stats.completed;
-      pump_locked(inner);
+      pump_locked();
       // Notify under the lock: a waiter in drain()/~AdmissionScheduler
       // cannot return from wait() (it needs the mutex to recheck its
       // predicate) and destroy the condition variable mid-notify.
@@ -123,21 +126,19 @@ void AdmissionScheduler::pump_locked(std::unique_lock<std::mutex>&) {
 }
 
 void AdmissionScheduler::resume() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (!paused_) return;
   paused_ = false;
-  pump_locked(lock);
+  pump_locked();
 }
 
 void AdmissionScheduler::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] {
-    return queued_ == 0 && running_ == 0;
-  });
+  MutexLock lock(mutex_);
+  while (queued_ != 0 || running_ != 0) lock.wait(idle_cv_);
 }
 
 SchedulerStats AdmissionScheduler::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   SchedulerStats out;
   out.submitted = submitted_;
   out.completed = completed_;

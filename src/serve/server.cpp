@@ -166,7 +166,7 @@ void Server::wait() {
 }
 
 ServerStats Server::stats() const {
-  std::unique_lock<std::mutex> lock(stats_mutex_);
+  const MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -177,7 +177,7 @@ void Server::accept_loop() {
     if (!socket.has_value()) break;
     ++accepted;
     {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
+      const MutexLock lock(stats_mutex_);
       ++stats_.accepted;
     }
     // Read + parse on the worker pool, not here: a slow or malicious
@@ -186,7 +186,7 @@ void Server::accept_loop() {
     // the single accept thread.
     auto connection = std::make_shared<TcpSocket>(std::move(*socket));
     {
-      std::unique_lock<std::mutex> lock(connections_mutex_);
+      const MutexLock lock(connections_mutex_);
       ++open_connections_;
     }
     pool_.submit([this, connection] {
@@ -198,7 +198,7 @@ void Server::accept_loop() {
       }
       // Notify under the lock so a waiter in accept_loop cannot finish its
       // predicate re-check and tear the condition variable down mid-notify.
-      std::unique_lock<std::mutex> lock(connections_mutex_);
+      const MutexLock lock(connections_mutex_);
       --open_connections_;
       connections_cv_.notify_all();
     });
@@ -210,8 +210,8 @@ void Server::accept_loop() {
   // Once every accepted connection has been read and either answered or
   // handed to the scheduler, the drain below covers the analysis jobs too.
   {
-    std::unique_lock<std::mutex> lock(connections_mutex_);
-    connections_cv_.wait(lock, [&] { return open_connections_ == 0; });
+    MutexLock lock(connections_mutex_);
+    while (open_connections_ != 0) lock.wait(connections_cv_);
   }
   scheduler_->drain();
   finished_.store(true, std::memory_order_release);
@@ -220,7 +220,7 @@ void Server::accept_loop() {
 void Server::handle_connection(const std::shared_ptr<TcpSocket>& socket) {
   const auto finish = [this, socket](HttpResponse response) {
     {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
+      const MutexLock lock(stats_mutex_);
       switch (response.status) {
         case 200: ++stats_.ok; break;
         case 429: ++stats_.shed; break;

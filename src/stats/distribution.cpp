@@ -86,7 +86,8 @@ double Normal::quantile(double p) const noexcept {
 }
 
 std::string Normal::name() const {
-  return "Normal(" + format_double(mu_) + ", " + format_double(sigma_) + ")";
+  return concat("Normal(", format_double(mu_), ", ", format_double(sigma_),
+                ")");
 }
 
 // ------------------------------------------------------- TruncatedNormal
@@ -156,9 +157,9 @@ double TruncatedNormal::variance() const noexcept {
 }
 
 std::string TruncatedNormal::name() const {
-  return "TruncatedNormal(" + format_double(mu_) + ", " +
-         format_double(sigma_) + ", [" + format_double(lo_) + ", " +
-         format_double(hi_) + "])";
+  return concat("TruncatedNormal(", format_double(mu_), ", ",
+                format_double(sigma_), ", [", format_double(lo_), ", ",
+                format_double(hi_), "])");
 }
 
 // ----------------------------------------------------------- Exponential
@@ -190,7 +191,7 @@ double Exponential::quantile(double p) const noexcept {
 }
 
 std::string Exponential::name() const {
-  return "Exponential(" + format_double(rate_) + ")";
+  return concat("Exponential(", format_double(rate_), ")");
 }
 
 // --------------------------------------------------------------- Weibull
@@ -236,8 +237,8 @@ double Weibull::variance() const noexcept {
 }
 
 std::string Weibull::name() const {
-  return "Weibull(" + format_double(shape_) + ", " + format_double(scale_) +
-         ")";
+  return concat("Weibull(", format_double(shape_), ", ",
+                format_double(scale_), ")");
 }
 
 // ------------------------------------------------------------- LogNormal
@@ -279,8 +280,8 @@ double LogNormal::variance() const noexcept {
 }
 
 std::string LogNormal::name() const {
-  return "LogNormal(" + format_double(mu_log_) + ", " +
-         format_double(sigma_log_) + ")";
+  return concat("LogNormal(", format_double(mu_log_), ", ",
+                format_double(sigma_log_), ")");
 }
 
 // --------------------------------------------------------------- Uniform
@@ -311,7 +312,8 @@ double Uniform::variance() const noexcept {
 }
 
 std::string Uniform::name() const {
-  return "Uniform(" + format_double(lo_) + ", " + format_double(hi_) + ")";
+  return concat("Uniform(", format_double(lo_), ", ", format_double(hi_),
+                ")");
 }
 
 // ----------------------------------------------------------------- Gamma
@@ -338,8 +340,8 @@ double Gamma::cdf(double x) const noexcept {
 }
 
 std::string Gamma::name() const {
-  return "Gamma(" + format_double(shape_) + ", " + format_double(scale_) +
-         ")";
+  return concat("Gamma(", format_double(shape_), ", ",
+                format_double(scale_), ")");
 }
 
 }  // namespace safeopt::stats

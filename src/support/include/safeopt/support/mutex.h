@@ -1,0 +1,69 @@
+// safeopt::Mutex / MutexLock — the repo's one blessed mutex. A thin wrapper
+// over std::mutex carrying the clang thread-safety capability annotations
+// (thread_annotations.h), so every GUARDED_BY / REQUIRES declaration in the
+// tree is enforced by the CI `-Wthread-safety -Werror` leg instead of by
+// review. Raw std::mutex / std::lock_guard / std::unique_lock in src/ are
+// banned by safeopt-lint (rule raw-mutex); this header is the allow-listed
+// exception because the wrapper has to bottom out somewhere.
+//
+// Condition variables stay std::condition_variable: MutexLock::wait()
+// releases and reacquires the underlying mutex through the wrapped
+// unique_lock. Analysis-wise the capability is treated as held across the
+// wait (the standard treatment), so call sites must re-check their
+// predicate in an explicit `while (!pred) lock.wait(cv);` loop — never the
+// predicate-lambda overload, which clang would analyze as a separate
+// function that does not hold the capability.
+#ifndef SAFEOPT_SUPPORT_MUTEX_H
+#define SAFEOPT_SUPPORT_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>  // safeopt-lint: allow-file(raw-mutex)
+
+#include "safeopt/support/thread_annotations.h"
+
+namespace safeopt {
+
+/// Annotated exclusive mutex. Satisfies BasicLockable, so it also works
+/// with standard generic code, but prefer MutexLock for scoped holds —
+/// the analysis understands it.
+class SAFEOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SAFEOPT_ACQUIRE() { mutex_.lock(); }
+  void unlock() SAFEOPT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() SAFEOPT_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII scoped hold of a Mutex; the capability is acquired for the
+/// object's lifetime. Also the door to condition-variable waits.
+class SAFEOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SAFEOPT_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~MutexLock() SAFEOPT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks on `cv` until notified; the mutex is released while waiting
+  /// and reacquired before returning. The capability is considered held
+  /// throughout, so guard the call with an explicit predicate loop:
+  ///   while (!done_) lock.wait(cv_);
+  void wait(std::condition_variable& cv) const { cv.wait(lock_); }
+
+ private:
+  mutable std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace safeopt
+
+#endif  // SAFEOPT_SUPPORT_MUTEX_H

@@ -7,7 +7,6 @@
 #define SAFEOPT_SUPPORT_REGISTRY_H
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -15,7 +14,9 @@
 #include <vector>
 
 #include "safeopt/support/contracts.h"
+#include "safeopt/support/mutex.h"
 #include "safeopt/support/strings.h"
+#include "safeopt/support/thread_annotations.h"
 
 namespace safeopt {
 
@@ -37,7 +38,7 @@ class NameRegistry {
   bool add(std::string name, Factory factory) {
     SAFEOPT_EXPECTS(!name.empty());
     SAFEOPT_EXPECTS(static_cast<bool>(factory));
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return factories_.insert_or_assign(std::move(name), std::move(factory))
         .second;
   }
@@ -45,7 +46,7 @@ class NameRegistry {
   /// The factory registered under `name`; throws std::invalid_argument
   /// listing available() for unknown names.
   [[nodiscard]] Factory find(std::string_view name) const {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it == factories_.end()) {
       throw std::invalid_argument(concat("unknown ", kind_, " \"", name,
@@ -56,18 +57,19 @@ class NameRegistry {
   }
 
   [[nodiscard]] bool contains(std::string_view name) const {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return factories_.find(name) != factories_.end();
   }
 
   /// Sorted names of every registration.
   [[nodiscard]] std::vector<std::string> available() const {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return names_locked();
   }
 
  private:
-  [[nodiscard]] std::vector<std::string> names_locked() const {
+  [[nodiscard]] std::vector<std::string> names_locked() const
+      SAFEOPT_REQUIRES(mutex_) {
     std::vector<std::string> names;
     names.reserve(factories_.size());
     for (const auto& [name, factory] : factories_) names.push_back(name);
@@ -75,8 +77,9 @@ class NameRegistry {
   }
 
   std::string kind_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory, std::less<>> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_
+      SAFEOPT_GUARDED_BY(mutex_);
 };
 
 }  // namespace safeopt

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety), wrapped so the
+// rest of the tree can annotate lock discipline without caring about the
+// compiler: under clang every macro expands to the corresponding attribute
+// and the CI thread-safety leg enforces the declared discipline at compile
+// time; under gcc (and anything else) they all expand to nothing.
+//
+// Conventions (docs/static_analysis.md has the full story):
+//   * Guarded state is declared at the member:  int count_ GUARDED_BY(mutex_);
+//   * Internal helpers that assume the lock is held carry
+//     SAFEOPT_REQUIRES(mutex_) instead of taking a lock object parameter.
+//   * Condition-variable waits are written as explicit `while (!pred)`
+//     loops in the annotated function, never as predicate lambdas — clang
+//     analyzes a lambda body as a separate function that does not hold the
+//     capability, so a predicate lambda reading guarded members would warn.
+//
+// The macro set mirrors the reference mutex.h from the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a SAFEOPT_
+// prefix on the macros that take effect on user code.
+#ifndef SAFEOPT_SUPPORT_THREAD_ANNOTATIONS_H
+#define SAFEOPT_SUPPORT_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && !defined(SAFEOPT_DISABLE_THREAD_ANNOTATIONS)
+#define SAFEOPT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SAFEOPT_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a capability ("mutex" for lockable types).
+#define SAFEOPT_CAPABILITY(x) SAFEOPT_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SAFEOPT_SCOPED_CAPABILITY SAFEOPT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define SAFEOPT_GUARDED_BY(x) SAFEOPT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define SAFEOPT_PT_GUARDED_BY(x) SAFEOPT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define SAFEOPT_ACQUIRE(...) \
+  SAFEOPT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SAFEOPT_ACQUIRE_SHARED(...) \
+  SAFEOPT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SAFEOPT_RELEASE(...) \
+  SAFEOPT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SAFEOPT_RELEASE_SHARED(...) \
+  SAFEOPT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; the first argument is the success value.
+#define SAFEOPT_TRY_ACQUIRE(...) \
+  SAFEOPT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the function's whole duration.
+#define SAFEOPT_REQUIRES(...) \
+  SAFEOPT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SAFEOPT_REQUIRES_SHARED(...) \
+  SAFEOPT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock).
+#define SAFEOPT_EXCLUDES(...) \
+  SAFEOPT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations.
+#define SAFEOPT_ACQUIRED_BEFORE(...) \
+  SAFEOPT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SAFEOPT_ACQUIRED_AFTER(...) \
+  SAFEOPT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define SAFEOPT_RETURN_CAPABILITY(x) \
+  SAFEOPT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define SAFEOPT_ASSERT_CAPABILITY(x) \
+  SAFEOPT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis. Use sparingly and say why at the site.
+#define SAFEOPT_NO_THREAD_SAFETY_ANALYSIS \
+  SAFEOPT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SAFEOPT_SUPPORT_THREAD_ANNOTATIONS_H

@@ -20,9 +20,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "safeopt/support/mutex.h"
+#include "safeopt/support/thread_annotations.h"
 
 namespace safeopt {
 
@@ -74,14 +76,16 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ SAFEOPT_GUARDED_BY(mutex_);
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;  // queued + executing
-  std::exception_ptr pending_error_;  // first submit()-task exception
-  bool stopping_ = false;
+  /// queued + executing
+  std::size_t in_flight_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  /// first submit()-task exception
+  std::exception_ptr pending_error_ SAFEOPT_GUARDED_BY(mutex_);
+  bool stopping_ SAFEOPT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace safeopt

@@ -1,7 +1,6 @@
 #include "safeopt/support/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 #include <utility>
 
@@ -25,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -37,8 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) lock.wait(work_available_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -53,7 +52,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (error && !pending_error_) pending_error_ = std::move(error);
       if (--in_flight_ == 0) idle_.notify_all();
     }
@@ -63,7 +62,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::submit(std::function<void()> task) {
   SAFEOPT_EXPECTS(static_cast<bool>(task));
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     SAFEOPT_EXPECTS(!stopping_);
     queue_.push_back(std::move(task));
     ++in_flight_;
@@ -72,13 +71,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
-  if (pending_error_) {
-    std::exception_ptr error = std::exchange(pending_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) lock.wait(idle_);
+    error = std::exchange(pending_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(
@@ -98,35 +97,40 @@ void ThreadPool::parallel_for(
   }
   const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
 
-  std::atomic<std::size_t> remaining{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
+  // One mutex guards both the countdown and the first error, so the final
+  // read of `first_error` on the issuing thread is ordered after every
+  // chunk's write — not just "usually published in time".
+  Mutex mutex;
   std::condition_variable done;
+  std::size_t remaining = 0;    // guarded by `mutex` (local)
+  std::exception_ptr first_error;  // guarded by `mutex` (local)
 
-  std::size_t chunks = 0;
-  for (std::size_t begin = 0; begin < n; begin += chunk) ++chunks;
-  remaining.store(chunks, std::memory_order_relaxed);
+  for (std::size_t begin = 0; begin < n; begin += chunk) ++remaining;
 
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(n, begin + chunk);
     submit([&, begin, end] {
+      std::exception_ptr error;
       try {
         body(begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        done.notify_all();
-      }
+      // Notify under the lock: the waiter below cannot finish its predicate
+      // re-check and destroy `done` mid-notify.
+      const MutexLock lock(mutex);
+      if (error && !first_error) first_error = std::move(error);
+      if (--remaining == 0) done.notify_all();
     });
   }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex);
+    while (remaining != 0) lock.wait(done);
+    error = first_error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -1,0 +1,11 @@
+// safeopt-lint: checkpointed
+// Fixture: declared checkpointed but the loop never polls its control.
+#include <cstddef>
+
+double sum(const double* values, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += values[i];  // long-running loop with no ExecutionControl poll
+  }
+  return total;
+}

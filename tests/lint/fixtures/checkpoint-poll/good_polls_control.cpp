@@ -1,0 +1,15 @@
+// safeopt-lint: checkpointed
+// Fixture: declared checkpointed and polling its ExecutionControl.
+#include <cstddef>
+
+#include "safeopt/support/execution_control.h"
+
+double sum(const double* values, std::size_t n,
+           safeopt::ExecutionControl& control) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & 0x3ff) == 0) control.check("sum");
+    total += values[i];
+  }
+  return total;
+}

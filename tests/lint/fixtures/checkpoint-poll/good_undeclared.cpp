@@ -1,0 +1,9 @@
+// Fixture: NOT declared checkpointed — the rule only applies to files on
+// the declared list or carrying the self-declaration marker.
+#include <cstddef>
+
+double sum(const double* values, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += values[i];
+  return total;
+}

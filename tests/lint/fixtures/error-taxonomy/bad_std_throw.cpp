@@ -1,0 +1,7 @@
+// Fixture: raw std exception throws that bypass the safeopt::Error taxonomy.
+#include <stdexcept>
+
+void f(bool broken) {
+  if (broken) throw std::runtime_error("engine failed");
+  throw std::logic_error("unreachable state");
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned throw forms.
+#include <stdexcept>
+
+#include "safeopt/support/error.h"
+
+void f(bool broken, bool bad_arg) {
+  using safeopt::Error;
+  using safeopt::ErrorCategory;
+  if (broken) throw Error(ErrorCategory::kInternal, "engine failed");
+  // Precondition violations may use std::invalid_argument directly.
+  if (bad_arg) throw std::invalid_argument("n must be positive");
+  // Mentioning the banned type in a string is not a throw.
+  log("would have been a throw std::runtime_error once");
+  // Catching it is fine — only throwing is banned.
+  try {
+    g();
+  } catch (const std::runtime_error&) {
+  }
+  // safeopt-lint: allow(error-taxonomy) — interop shim for external API
+  throw std::runtime_error("legacy boundary");
+}

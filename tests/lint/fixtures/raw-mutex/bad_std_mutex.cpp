@@ -1,0 +1,12 @@
+// Fixture: raw std synchronization primitives outside the wrapper.
+#include <mutex>
+#include <shared_mutex>
+
+std::mutex g_mutex;
+std::shared_mutex g_rw;
+
+void f() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::unique_lock<std::mutex> other(g_mutex, std::defer_lock);
+  const std::shared_lock<std::shared_mutex> reader(g_rw);
+}

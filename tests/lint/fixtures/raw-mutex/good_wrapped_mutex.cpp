@@ -1,0 +1,25 @@
+// Fixture: the annotated wrapper and non-mutex std types must not trip.
+#include <atomic>
+#include <condition_variable>
+
+#include "safeopt/support/mutex.h"
+#include "safeopt/support/thread_annotations.h"
+
+class Counter {
+ public:
+  void bump() {
+    const safeopt::MutexLock lock(mutex_);
+    ++value_;
+    changed_.notify_all();
+  }
+
+ private:
+  safeopt::Mutex mutex_;
+  int value_ SAFEOPT_GUARDED_BY(mutex_) = 0;
+  // condition_variable and atomics are fine; only the lock types are banned.
+  std::condition_variable changed_;
+  std::atomic<int> epoch_{0};
+};
+
+// safeopt-lint: allow(raw-mutex) — documented interop with a C library
+extern std::mutex* legacy_handle();

@@ -1,0 +1,10 @@
+// Fixture: every form of literal operator+ the rule must catch.
+#include <string>
+
+std::string f(const std::string& name, int n) {
+  std::string message = "prefix " + name;              // literal on the left
+  message = name + " suffix";                          // literal on the right
+  message += "count=" + std::to_string(n);             // rvalue chain
+  throw_away("tree \"" + name + "\" malformed");       // both sides
+  return message;
+}

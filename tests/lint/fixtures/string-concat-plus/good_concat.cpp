@@ -1,0 +1,20 @@
+// Fixture: the approved forms the rule must NOT flag.
+#include <string>
+
+#include "safeopt/support/strings.h"
+
+std::string f(const std::string& name, int n) {
+  // safeopt::concat is the sanctioned spelling.
+  std::string message = safeopt::concat("prefix ", name, " suffix");
+  // A `+` inside a string literal is content, not an operator.
+  message = take("a + b is an expression");
+  // Increment/compound-assign adjacent to a quote are not concatenation.
+  message += "tail";
+  int i = 0;
+  ++i;
+  // Numeric addition near a string-valued call is fine.
+  message = safeopt::concat("n=", std::to_string(n + 1));
+  // safeopt-lint: allow(string-concat-plus) — intentional, measured hot path
+  message = "allowed " + name;
+  return message;
+}

@@ -1,0 +1,10 @@
+// Fixture: unseeded / global randomness.
+#include <cstdlib>
+#include <random>
+
+double f() {
+  srand(42);                       // global seed state
+  const int die = rand() % 6;      // C global RNG
+  std::random_device entropy;      // non-reproducible hardware entropy
+  return die + entropy();
+}

@@ -1,0 +1,13 @@
+// Fixture: explicitly seeded streams and near-miss identifiers.
+#include "safeopt/support/rng.h"
+
+double f(std::uint64_t seed) {
+  safeopt::Rng rng(seed);  // explicit seed: reproducible
+  // Identifiers merely containing "rand" are not the C rand().
+  const double x = rng.uniform();
+  const double y = my_rand(x);       // user function, not ::rand
+  const double z = operand(x, y);    // "rand" substring inside a word
+  // safeopt-lint: allow(unseeded-rng) — fixture for the seeding docs
+  std::random_device allowed;
+  return x + y + z + allowed();
+}
