@@ -6,12 +6,15 @@
 //             ParameterAssignment, walk the Expr DAG (what every optimizer
 //             called before this subsystem existed);
 //   tape    — CompiledExpr::evaluate, one point at a time;
-//   lane L  — CompiledExpr::evaluate_batch at lane width L ∈ {1, 4, 8}.
-//             L = 1 is the single-lane reference loop (the PR 1 batch
-//             path); L = 4/8 run the SoA lane kernel;
+//   lane L  — CompiledExpr::evaluate_batch at lane width L ∈ {1, 4, 8} on
+//             the "generic" backend. L = 1 is the single-lane reference
+//             loop (the PR 1 batch path); L = 4/8 run the SoA lane kernel;
+//   backend B — evaluate_batch pinned to each registered hardware backend
+//             (generic / avx2 / avx512 where the CPU supports them) at the
+//             common lane width 8, same grid;
 //   batch N — the lane kernel fanned out over a ThreadPool;
 //   grad    — per-point evaluate_with_gradient vs the lane-batched
-//             evaluate_batch_with_gradients (values + gradients per row).
+//             gradient request (values + gradients per row).
 //
 // Besides timing, the run *verifies* the architectural contracts: every
 // strategy must produce bitwise-identical surfaces (lane-count and
@@ -46,6 +49,7 @@
 #include "safeopt/core/study.h"
 #include "safeopt/elbtunnel/elbtunnel_model.h"
 #include "safeopt/expr/compiled.h"
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/ftio/study_document.h"
 #include "safeopt/opt/differential_evolution.h"
 #include "safeopt/opt/grid_search.h"
@@ -141,21 +145,62 @@ int main(int argc, char** argv) {
   });
 
   // --- strategies 3-5: batch at lane widths 1 (reference), 4, 8 ----------
+  // Pinned to the "generic" backend so the lane metrics track the portable
+  // kernel across machines regardless of what runtime dispatch would pick.
+  const expr::EvalBackend& generic = expr::BackendRegistry::generic();
   std::vector<double> lane1_values(rows);
-  const double lane1_s = best_time(
-      repeats, [&] { compiled.evaluate_batch(points, lane1_values, 1); });
+  const double lane1_s = best_time(repeats, [&] {
+    compiled.evaluate_batch({.points = points, .values = lane1_values,
+                             .lane_width = 1, .backend = &generic});
+  });
   std::vector<double> lane4_values(rows);
-  const double lane4_s = best_time(
-      repeats, [&] { compiled.evaluate_batch(points, lane4_values, 4); });
+  const double lane4_s = best_time(repeats, [&] {
+    compiled.evaluate_batch({.points = points, .values = lane4_values,
+                             .lane_width = 4, .backend = &generic});
+  });
   std::vector<double> lane8_values(rows);
-  const double lane8_s = best_time(
-      repeats, [&] { compiled.evaluate_batch(points, lane8_values, 8); });
+  const double lane8_s = best_time(repeats, [&] {
+    compiled.evaluate_batch({.points = points, .values = lane8_values,
+                             .lane_width = 8, .backend = &generic});
+  });
+
+  // --- hardware backends, each at its own default lane width -------------
+  // Each registered backend runs the same surface exactly as runtime
+  // dispatch would run it (lane_width 0 = the backend's default: generic
+  // blocks 8 rows, the SIMD backends 16), and every one must reproduce the
+  // tree walk bit for bit (the backend contract). Unavailable backends
+  // (e.g. avx512 on an avx2-only host) are reported and skipped.
+  struct BackendRun {
+    std::string name;
+    bool available = false;
+    double ns_per_eval = 0.0;
+    bool identical = true;
+  };
+  std::vector<BackendRun> backend_runs;
+  for (const std::string& name : expr::BackendRegistry::registered()) {
+    BackendRun run;
+    run.name = name;
+    const expr::EvalBackend* backend = expr::BackendRegistry::find(name);
+    run.available = backend != nullptr && backend->available();
+    if (run.available) {
+      std::vector<double> values(rows);
+      const double s = best_time(repeats, [&] {
+        compiled.evaluate_batch(
+            {.points = points, .values = values, .backend = backend});
+      });
+      run.ns_per_eval = 1e9 * s / static_cast<double>(rows);
+      run.identical = values == tree_values;
+    }
+    backend_runs.push_back(std::move(run));
+  }
+  const std::string active_backend{expr::BackendRegistry::active().name()};
 
   // --- strategy 6: lane kernel over the thread pool ----------------------
   ThreadPool& pool = ThreadPool::shared();
   std::vector<double> parallel_values(rows);
   const double batchn_s = best_time(repeats, [&] {
-    compiled.evaluate_batch(points, parallel_values, pool);
+    compiled.evaluate_batch(
+        {.points = points, .values = parallel_values, .pool = &pool});
   });
 
   // Lane-count invariance: every width must reproduce the scalar surface
@@ -180,8 +225,8 @@ int main(int argc, char** argv) {
   std::vector<double> grad_batch_values(rows);
   std::vector<double> grad_batch(rows * 2);
   const double gradb_s = best_time(repeats, [&] {
-    compiled.evaluate_batch_with_gradients(points, grad_batch_values,
-                                           grad_batch);
+    compiled.evaluate_batch({.points = points, .values = grad_batch_values,
+                             .gradients = grad_batch});
   });
   const bool gradients_identical = grad_point_values == grad_batch_values &&
                                    grad_point == grad_batch;
@@ -209,6 +254,20 @@ int main(int argc, char** argv) {
               tree_ns / lane4_ns);
   std::printf("  batch, 8 lanes     : %8.1f ns/eval   %.2fx\n", lane8_ns,
               tree_ns / lane8_ns);
+  bool backends_identical = true;
+  for (const BackendRun& run : backend_runs) {
+    if (!run.available) {
+      std::printf("  backend %-10s : not available on this cpu\n",
+                  run.name.c_str());
+      continue;
+    }
+    backends_identical = backends_identical && run.identical;
+    std::printf("  backend %-10s : %8.1f ns/eval   %.2fx%s%s\n",
+                run.name.c_str(), run.ns_per_eval,
+                tree_ns / run.ns_per_eval,
+                run.name == active_backend ? "   (active)" : "",
+                run.identical ? "" : "   NOT BITWISE-IDENTICAL — BUG");
+  }
   std::printf("  batch, %2zu threads  : %8.1f ns/eval   %.2fx\n",
               pool.thread_count(), batchn_ns, tree_ns / batchn_ns);
   std::printf("  gradient, per point: %8.1f ns/eval\n", gradp_ns);
@@ -294,6 +353,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
+    // Per-backend entries: 0 ns means "not available on this host"
+    // (compare_bench.py ignores non-positive raw metrics).
+    double avx2_ns = 0.0;
+    double generic_ns = 0.0;
+    std::string backend_json;
+    for (const BackendRun& run : backend_runs) {
+      char line[128];
+      std::snprintf(line, sizeof line,
+                    "  \"backend_%s_ns_per_eval\": %.3f,\n",
+                    run.name.c_str(), run.ns_per_eval);
+      backend_json += line;
+      if (run.name == "avx2") avx2_ns = run.ns_per_eval;
+      if (run.name == "generic") generic_ns = run.ns_per_eval;
+    }
+    const double avx2_speedup =
+        avx2_ns > 0.0 && generic_ns > 0.0 ? generic_ns / avx2_ns : 0.0;
     std::fprintf(f,
                  "{\n"
                  "  \"grid_points\": %zu,\n"
@@ -308,22 +383,28 @@ int main(int argc, char** argv) {
                  "  \"grad_point_ns_per_eval\": %.3f,\n"
                  "  \"grad_lane_ns_per_eval\": %.3f,\n"
                  "  \"load_to_first_eval_ns\": %.3f,\n"
+                 "%s"
+                 "  \"active_backend\": \"%s\",\n"
                  "  \"speedup_tape\": %.3f,\n"
                  "  \"speedup_lane8\": %.3f,\n"
                  "  \"speedup_lane8_vs_lane1\": %.3f,\n"
+                 "  \"speedup_avx2_vs_generic\": %.3f,\n"
                  "  \"speedup_grad_lane_vs_point\": %.3f,\n"
                  "  \"surfaces_identical\": %s,\n"
                  "  \"lanes_invariant\": %s,\n"
+                 "  \"backends_identical\": %s,\n"
                  "  \"gradients_identical\": %s,\n"
                  "  \"grid_search_identical\": %s,\n"
                  "  \"de_identical\": %s\n"
                  "}\n",
                  rows, repeats, pool.thread_count(), tree_ns, tape_ns,
                  lane1_ns, lane4_ns, lane8_ns, batchn_ns, gradp_ns, gradb_ns,
-                 load_ns,
+                 load_ns, backend_json.c_str(), active_backend.c_str(),
                  tree_ns / tape_ns, tree_ns / lane8_ns, lane1_ns / lane8_ns,
-                 gradp_ns / gradb_ns, surfaces_identical ? "true" : "false",
+                 avx2_speedup, gradp_ns / gradb_ns,
+                 surfaces_identical ? "true" : "false",
                  lanes_invariant ? "true" : "false",
+                 backends_identical ? "true" : "false",
                  gradients_identical ? "true" : "false",
                  grid_identical ? "true" : "false",
                  de_identical ? "true" : "false");
@@ -331,7 +412,7 @@ int main(int argc, char** argv) {
     std::printf("json written to %s\n", json_path.c_str());
   }
 
-  const bool ok = surfaces_identical && gradients_identical &&
-                  grid_identical && de_identical;
+  const bool ok = surfaces_identical && backends_identical &&
+                  gradients_identical && grid_identical && de_identical;
   return ok ? 0 : 1;
 }

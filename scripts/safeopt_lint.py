@@ -25,6 +25,11 @@ rediscover in review (docs/static_analysis.md has the full rationale):
                        ExecutionControl. The declared file list lives in
                        CHECKPOINTED_FILES below; files can also self-declare
                        with a `safeopt-lint: checkpointed` comment.
+  cpu-detect           __builtin_cpu_supports / __get_cpuid outside the one
+                       detection TU (src/expr/cpu_features.cpp). Scattered
+                       CPUID probes drift out of sync with the backend
+                       registry's availability policy; ask
+                       safeopt::expr::cpu_features() instead.
 
 Suppression pragmas (always in a comment, rule name exact):
   // safeopt-lint: allow(<rule>)         this line or the next line
@@ -62,6 +67,12 @@ CHECKPOINTED_FILES = {
     "src/opt/solver.cpp",
     "src/opt/multi_start.cpp",
     "src/serve/analysis_graph.cpp",
+}
+
+# The single TU allowed to probe the CPU: every other module asks the cached
+# safeopt::expr::cpu_features() so availability decisions have one source.
+CPU_DETECT_ALLOWED = {
+    "src/expr/cpu_features.cpp",
 }
 
 CHECKPOINT_POLL = re.compile(
@@ -214,6 +225,9 @@ RAW_MUTEX = re.compile(
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock)\b")
 UNSEEDED_RNG = re.compile(r"(?<![\w:])(?:s?rand)\s*\(|\bstd::random_device\b")
+CPU_DETECT = re.compile(
+    r"\b__builtin_cpu_(?:supports|init)\b|\b__get_cpuid(?:_count)?\b|"
+    r"\b_may_i_use_cpu_feature\b")
 
 
 def lint_file(path: Path, rel: str, rules):
@@ -257,6 +271,12 @@ def lint_file(path: Path, rel: str, rules):
                    "unseeded/global randomness; use the explicitly seeded "
                    "xoshiro streams (safeopt/support/rng.h) to keep runs "
                    "reproducible")
+        if ("cpu-detect" in rules and rel not in CPU_DETECT_ALLOWED
+                and CPU_DETECT.search(line)):
+            report(idx, "cpu-detect",
+                   "raw CPUID probe outside src/expr/cpu_features.cpp; ask "
+                   "safeopt::expr::cpu_features() so backend availability "
+                   "has one cached source of truth")
 
     if "checkpoint-poll" in rules:
         declared = rel in CHECKPOINTED_FILES or self_checkpointed
@@ -271,7 +291,7 @@ def lint_file(path: Path, rel: str, rules):
 
 
 ALL_RULES = ("string-concat-plus", "error-taxonomy", "raw-mutex",
-             "unseeded-rng", "checkpoint-poll")
+             "unseeded-rng", "checkpoint-poll", "cpu-detect")
 
 
 def iter_sources(paths, root: Path):

@@ -77,19 +77,22 @@ double CompiledQuantification::hazard(
 
 void CompiledQuantification::hazard_batch(std::span<const double> points,
                                           std::span<double> out) const {
-  hazard_.evaluate_batch(points, out);
+  hazard_.evaluate_batch({.points = points, .values = out,
+                          .backend = backend_});
 }
 
 void CompiledQuantification::hazard_batch(std::span<const double> points,
                                           std::span<double> out,
                                           ThreadPool& pool) const {
-  hazard_.evaluate_batch(points, out, pool);
+  hazard_.evaluate_batch({.points = points, .values = out, .pool = &pool,
+                          .backend = backend_});
 }
 
 void CompiledQuantification::hazard_batch_with_gradients(
     std::span<const double> points, std::span<double> values_out,
     std::span<double> gradients_out) const {
-  hazard_.evaluate_batch_with_gradients(points, values_out, gradients_out);
+  hazard_.evaluate_batch({.points = points, .values = values_out,
+                          .gradients = gradients_out, .backend = backend_});
 }
 
 double CompiledQuantification::birnbaum(
@@ -100,7 +103,8 @@ double CompiledQuantification::birnbaum(
 void CompiledQuantification::birnbaum_batch(fta::BasicEventOrdinal event,
                                             std::span<const double> points,
                                             std::span<double> out) const {
-  birnbaum_tape(event).evaluate_batch(points, out);
+  birnbaum_tape(event).evaluate_batch(
+      {.points = points, .values = out, .backend = backend_});
 }
 
 const expr::CompiledExpr& CompiledQuantification::birnbaum_tape(

@@ -73,11 +73,8 @@ SweepTable sweep_impl(const std::string& parameter, double lo, double hi,
       if (swept_slot.has_value()) row[*swept_slot] = table.xs[k];
       std::copy(row.begin(), row.end(), points.begin() + k * dim);
     }
-    if (pool != nullptr) {
-      tape.evaluate_batch(points, table.values[s], *pool);
-    } else {
-      tape.evaluate_batch(points, table.values[s]);
-    }
+    tape.evaluate_batch(
+        {.points = points, .values = table.values[s], .pool = pool});
   }
   return table;
 }

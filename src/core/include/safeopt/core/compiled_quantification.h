@@ -59,6 +59,20 @@ class CompiledQuantification {
   }
   [[nodiscard]] HazardFormula formula() const noexcept { return formula_; }
 
+  // ---- evaluation backend -------------------------------------------------
+
+  /// Pins every batch entry point below to `backend` (a registry pointer,
+  /// valid for the process lifetime). Null restores runtime dispatch
+  /// (expr::BackendRegistry::active()). This is how the `backend=` engine
+  /// option flows Study → compiled tapes; results are bitwise-identical
+  /// either way — the pin only selects which kernel produces them.
+  void set_backend(const expr::EvalBackend* backend) noexcept {
+    backend_ = backend;
+  }
+  [[nodiscard]] const expr::EvalBackend* backend() const noexcept {
+    return backend_;
+  }
+
   // ---- hazard probability P(H)(X) -----------------------------------------
 
   /// One point; bitwise-identical to hazard_expression(mcs, formula)
@@ -113,6 +127,7 @@ class CompiledQuantification {
  private:
   std::vector<std::string> parameter_order_;
   HazardFormula formula_;
+  const expr::EvalBackend* backend_ = nullptr;  // null → runtime dispatch
   expr::CompiledExpr hazard_;
   std::vector<expr::CompiledExpr> birnbaum_;     // by BasicEventOrdinal
   std::vector<expr::CompiledExpr> events_;       // leaf tapes, by ordinal

@@ -106,6 +106,13 @@ struct QuantificationResult {
   /// "engine \"bdd\" degraded to \"mc_adaptive\" ..." record. Empty in the
   /// happy path; surfaced verbatim by `safeopt quantify --json`.
   std::vector<std::string> diagnostics;
+  /// The expr::EvalBackend that evaluated the compiled tapes (e.g.
+  /// "generic", "avx2"), so perf numbers are attributable to a backend.
+  /// Structured on purpose: diagnostics stay "something went wrong" (the
+  /// serve cache refuses to store results that carry any), while the
+  /// backend name is routine attribution present on every Study result.
+  /// Empty when quantification never touched a compiled tape.
+  std::string backend;
 
   /// CI half-width, the adaptive stopping quantity; 0 without a ci95.
   [[nodiscard]] double halfwidth() const noexcept {
@@ -176,6 +183,12 @@ struct EngineConfig {
   /// fail hard (document/CLI option `fallback`, e.g. `fallback =
   /// mc_adaptive`).
   std::string fallback;
+  /// Evaluation backend for the compiled expression tapes (document/CLI
+  /// option `backend`, e.g. `backend = avx2`): a expr::BackendRegistry name,
+  /// or empty/"auto" for runtime dispatch. A registered-but-unavailable
+  /// name degrades to the best available backend at resolve time with a
+  /// diagnostic (never an error): the same document runs on any host.
+  std::string backend;
   /// Caller-provided cancellation/deadline control, chained as the parent
   /// of any per-operation control the engine derives from `deadline_ms`.
   /// Programmatic only (no document option). Not owned; must outlive the

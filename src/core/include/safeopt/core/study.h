@@ -166,6 +166,11 @@ class Study {
     // degraded to (budget/deadline blown during construction); appended to
     // every QuantificationResult::diagnostics the engine produces.
     mutable std::string degradation;
+    // The resolved evaluation backend, cached alongside `compiled` and
+    // stamped on every result's `backend` field; when the `backend=`
+    // request degraded, the note is replayed into result diagnostics.
+    mutable std::string backend_name;
+    mutable std::string backend_note;
 
     // Copying a Study copies the attachment, not the lazily built caches
     // (each copy rebuilds its own engine — engines memoize and are

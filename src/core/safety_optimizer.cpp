@@ -136,11 +136,11 @@ const opt::Problem& SafetyOptimizer::problem() const& {
     problem.batch_objective = [compiled](std::span<const double> points,
                                          std::span<double> out) {
       constexpr std::size_t kParallelThreshold = 256;
+      expr::BatchRequest request{.points = points, .values = out};
       if (out.size() >= kParallelThreshold) {
-        compiled->evaluate_batch(points, out, ThreadPool::shared());
-      } else {
-        compiled->evaluate_batch(points, out);
+        request.pool = &ThreadPool::shared();
       }
+      compiled->evaluate_batch(request);
     };
     // Population-shaped gradient consumers get lane-batched reverse-mode
     // sweeps (values bitwise-equal to the objective; gradients exact, equal
@@ -149,14 +149,12 @@ const opt::Problem& SafetyOptimizer::problem() const& {
                                         std::span<double> values_out,
                                         std::span<double> gradients_out) {
       constexpr std::size_t kParallelThreshold = 128;
+      expr::BatchRequest request{.points = points, .values = values_out,
+                                 .gradients = gradients_out};
       if (values_out.size() >= kParallelThreshold) {
-        compiled->evaluate_batch_with_gradients(points, values_out,
-                                                gradients_out,
-                                                ThreadPool::shared());
-      } else {
-        compiled->evaluate_batch_with_gradients(points, values_out,
-                                                gradients_out);
+        request.pool = &ThreadPool::shared();
       }
+      compiled->evaluate_batch(request);
     };
     cache_->problem = std::move(problem);
   });

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/support/strings.h"
 
 namespace safeopt::core {
@@ -273,6 +274,29 @@ constexpr EngineOptionSpec kEngineOptionSchema[] = {
              ", or none"));
        }
        config.fallback = value.text;
+     }},
+    {"backend", "enum",
+     "compiled-tape evaluation backend (a registered backend name, or auto "
+     "for runtime dispatch); unavailable backends degrade with a diagnostic",
+     [](EngineConfig& config, const std::string& key,
+        const ftio::OptionValue& value) {
+       if (value.kind != ftio::OptionValue::Kind::kText) {
+         throw std::invalid_argument(concat(
+             "engine option \"", key, "\" must be a backend name or auto"));
+       }
+       if (value.text == "auto") {
+         config.backend.clear();
+         return;
+       }
+       // Typos are errors; an *unavailable* registered backend is not — it
+       // degrades at resolve time so one document runs on every host.
+       if (expr::BackendRegistry::find(value.text) == nullptr) {
+         throw std::invalid_argument(concat(
+             "engine option \"", key, "\" names unknown backend \"",
+             value.text, "\"; registered: ",
+             join(expr::BackendRegistry::registered(), ", "), ", or auto"));
+       }
+       config.backend = value.text;
      }},
 };
 
@@ -572,6 +596,13 @@ QuantificationResult Study::quantify(
     if (!entry.compiled) {
       entry.compiled =
           std::make_unique<CompiledQuantification>(*entry.quantification);
+      // Resolve the `backend=` request once per compilation (same policy as
+      // engine degradation: unavailable hardware is a note, not an error).
+      const expr::BackendRegistry::Selection selection =
+          expr::BackendRegistry::resolve(engine_config_.backend);
+      entry.compiled->set_backend(selection.backend);
+      entry.backend_name = selection.backend->name();
+      entry.backend_note = selection.diagnostic;
     }
     if (!entry.engine) {
       // Degradation happens at construction time (budget/deadline blown
@@ -585,6 +616,10 @@ QuantificationResult Study::quantify(
     if (!entry.degradation.empty()) {
       result.diagnostics.push_back(entry.degradation);
     }
+    if (!entry.backend_note.empty()) {
+      result.diagnostics.push_back(entry.backend_note);
+    }
+    result.backend = entry.backend_name;
     return result;
   }
   throw std::invalid_argument(

@@ -1,0 +1,277 @@
+// The "avx512" evaluation backend: explicit 512-bit kernels for the lane
+// loops, compiled with -mavx512f -mavx512dq -mavx512vl -ffp-contract=off
+// (see CMakeLists.txt). Structure and bitwise rules mirror backend_avx2.cpp
+// — IEEE-exact ops vectorize 8-wide, VMINPD/VMAXPD operands are swapped so
+// the "second source wins" rule reproduces std::min/std::max, the sign flip
+// is a DQ 512-bit XOR, and transcendentals / the cdf-survival memo / kCall
+// keep the generic kernel's exact scalar call sequence. Everything has
+// internal linkage so no AVX-512-compiled helper can be merged over a
+// baseline instantiation from another TU.
+#include "backend_factories.h"
+#include "safeopt/expr/cpu_features.h"
+#include "safeopt/expr/eval_backend.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace safeopt::expr {
+
+namespace {
+
+constexpr std::size_t kMemoMask = CompiledExpr::kMemoEntries - 1;
+inline std::size_t memo_index(double x) noexcept {
+  const std::uint64_t bits =
+      std::bit_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(bits >> 53) & kMemoMask;
+}
+
+template <std::size_t L, typename F>
+inline void map_lanes_uniform(const double* a, double* lane, F&& f) {
+  const std::uint64_t first = std::bit_cast<std::uint64_t>(a[0]);
+  bool uniform = true;
+  for (std::size_t l = 1; l < L; ++l) {
+    uniform &= std::bit_cast<std::uint64_t>(a[l]) == first;
+  }
+  if (uniform) {
+    const double v = f(a[0]);
+    for (std::size_t l = 0; l < L; ++l) lane[l] = v;
+    return;
+  }
+  for (std::size_t l = 0; l < L; ++l) lane[l] = f(a[l]);
+}
+
+template <std::size_t L>
+void forward_block(const CompiledExpr& expr, const double* points,
+                   std::size_t dim, double* out,
+                   CompiledExpr::LaneScratch& scratch) {
+  static_assert(L % 8 == 0);
+  using OpCode = CompiledExpr::OpCode;
+  const std::span<const CompiledExpr::Instruction> tape = expr.tape();
+  const std::size_t n = tape.size();
+  double* const slab = scratch.slab.data();
+  const auto slot_of = [n](std::uint32_t s) {
+    return std::min<std::size_t>(s, n - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const CompiledExpr::Instruction& ins = tape[i];
+    double* const lane = slab + i * L;
+    const double* const a = slab + slot_of(ins.a) * L;
+    const double* const b = slab + slot_of(ins.b) * L;
+    switch (ins.op) {
+      case OpCode::kConst: {
+        const __m512d v = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) _mm512_storeu_pd(lane + l, v);
+        break;
+      }
+      case OpCode::kParam:
+        for (std::size_t l = 0; l < L; ++l) lane[l] = points[l * dim + ins.a];
+        break;
+      case OpCode::kAdd:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_add_pd(_mm512_loadu_pd(a + l),
+                                                   _mm512_loadu_pd(b + l)));
+        }
+        break;
+      case OpCode::kSub:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_sub_pd(_mm512_loadu_pd(a + l),
+                                                   _mm512_loadu_pd(b + l)));
+        }
+        break;
+      case OpCode::kMul:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_mul_pd(_mm512_loadu_pd(a + l),
+                                                   _mm512_loadu_pd(b + l)));
+        }
+        break;
+      case OpCode::kDiv:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_div_pd(_mm512_loadu_pd(a + l),
+                                                   _mm512_loadu_pd(b + l)));
+        }
+        break;
+      case OpCode::kMin:
+        // Operand order swapped: VMINPD(b, a) == std::min(a, b) bitwise
+        // (NaN and ±0 ties resolve to the second source; see the AVX2
+        // kernel for the full argument).
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_min_pd(_mm512_loadu_pd(b + l),
+                                                   _mm512_loadu_pd(a + l)));
+        }
+        break;
+      case OpCode::kMax:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_max_pd(_mm512_loadu_pd(b + l),
+                                                   _mm512_loadu_pd(a + l)));
+        }
+        break;
+      case OpCode::kAddImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_add_pd(_mm512_loadu_pd(a + l), imm));
+        }
+        break;
+      }
+      case OpCode::kSubImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_sub_pd(_mm512_loadu_pd(a + l), imm));
+        }
+        break;
+      }
+      case OpCode::kRsubImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_sub_pd(imm, _mm512_loadu_pd(a + l)));
+        }
+        break;
+      }
+      case OpCode::kMulImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_mul_pd(_mm512_loadu_pd(a + l), imm));
+        }
+        break;
+      }
+      case OpCode::kDivImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_div_pd(_mm512_loadu_pd(a + l), imm));
+        }
+        break;
+      }
+      case OpCode::kRdivImm: {
+        const __m512d imm = _mm512_set1_pd(ins.imm);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_div_pd(imm, _mm512_loadu_pd(a + l)));
+        }
+        break;
+      }
+      case OpCode::kNeg: {
+        const __m512d sign = _mm512_set1_pd(-0.0);
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l,
+                           _mm512_xor_pd(_mm512_loadu_pd(a + l), sign));
+        }
+        break;
+      }
+      case OpCode::kSqrt:
+        for (std::size_t l = 0; l < L; l += 8) {
+          _mm512_storeu_pd(lane + l, _mm512_sqrt_pd(_mm512_loadu_pd(a + l)));
+        }
+        break;
+      case OpCode::kExp:
+        map_lanes_uniform<L>(a, lane, [](double x) { return std::exp(x); });
+        break;
+      case OpCode::kLog:
+        map_lanes_uniform<L>(a, lane, [](double x) { return std::log(x); });
+        break;
+      case OpCode::kPow:
+        map_lanes_uniform<L>(a, lane, [imm = ins.imm](double x) {
+          return std::pow(x, imm);
+        });
+        break;
+      case OpCode::kCdf:
+      case OpCode::kSurvival: {
+        const stats::Distribution& dist = expr.distribution_at(ins.b);
+        const bool survival = ins.op == OpCode::kSurvival;
+        double* const site_arg =
+            scratch.memo_arg.data() +
+            static_cast<std::size_t>(ins.c) * CompiledExpr::kMemoEntries;
+        double* const site_val =
+            scratch.memo_val.data() +
+            static_cast<std::size_t>(ins.c) * CompiledExpr::kMemoEntries;
+        for (std::size_t l = 0; l < L; ++l) {
+          const double x = a[l];
+          const std::size_t slot = memo_index(x);
+          if (site_arg[slot] == x) {
+            lane[l] = site_val[slot];
+            continue;
+          }
+          const double v = survival ? dist.survival(x) : dist.cdf(x);
+          site_arg[slot] = x;
+          site_val[slot] = v;
+          lane[l] = v;
+        }
+        break;
+      }
+      case OpCode::kCall:
+        for (std::size_t l = 0; l < L; ++l) {
+          lane[l] = expr.apply_call(ins.b, a[l]);
+        }
+        break;
+    }
+  }
+  const double* const root = slab + (n - 1) * L;
+  for (std::size_t l = 0; l < L; ++l) out[l] = root[l];
+}
+
+class Avx512Backend final : public EvalBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "avx512";
+  }
+  [[nodiscard]] bool available() const noexcept override {
+    const CpuFeatures& features = cpu_features();
+    return features.avx512f && features.avx512dq && features.avx512vl;
+  }
+  [[nodiscard]] int priority() const noexcept override { return 2; }
+  [[nodiscard]] std::size_t default_lane_width() const noexcept override {
+    return 16;
+  }
+  [[nodiscard]] bool supports_lane_width(
+      std::size_t width) const noexcept override {
+    return width == 8 || width == 16;
+  }
+
+  void run_block(const CompiledExpr& expr, const double* points,
+                 std::size_t dim, std::size_t width, double* out,
+                 CompiledExpr::LaneScratch& scratch) const override {
+    switch (width) {
+      case 8: forward_block<8>(expr, points, dim, out, scratch); break;
+      default: forward_block<16>(expr, points, dim, out, scratch); break;
+    }
+  }
+
+  void run_block_with_gradients(
+      const CompiledExpr& expr, const double* points, std::size_t dim,
+      std::size_t width, double* values, double* gradients,
+      CompiledExpr::LaneScratch& scratch) const override {
+    run_block(expr, points, dim, width, values, scratch);
+    expr.run_generic_adjoint_block(dim, width, gradients, scratch);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<EvalBackend> make_avx512_backend() {
+  return std::make_unique<Avx512Backend>();
+}
+
+}  // namespace detail
+
+}  // namespace safeopt::expr
+
+#else  // no AVX-512 support in this TU
+
+namespace safeopt::expr::detail {
+
+std::unique_ptr<EvalBackend> make_avx512_backend() { return nullptr; }
+
+}  // namespace safeopt::expr::detail
+
+#endif

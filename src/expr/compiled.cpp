@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "node.h"
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/support/contracts.h"
 #include "safeopt/support/strings.h"
 #include "safeopt/support/thread_pool.h"
@@ -560,96 +561,168 @@ void CompiledExpr::run_lane_block(const double* points, std::size_t dim,
   for (std::size_t l = 0; l < L; ++l) out[l] = root[l];
 }
 
-template <std::size_t L>
-void CompiledExpr::evaluate_batch_lanes(std::span<const double> points,
-                                        std::span<double> out) const {
+void CompiledExpr::evaluate_batch(const BatchRequest& request) const {
   const std::size_t dim = parameter_order_.size();
-  const std::size_t rows = out.size();
-  const std::size_t blocks = rows / L;
-  if (blocks == 0) {
-    // Sub-block batches (finite-difference stencils, tiny populations)
-    // would pay the slab/memo setup without ever running the kernel; the
-    // scalar loop produces the identical values with no scratch at all.
+  const std::size_t rows = request.values.size();
+  const bool with_gradients = !request.gradients.empty();
+  SAFEOPT_EXPECTS(request.points.size() == rows * dim);
+  if (with_gradients) SAFEOPT_EXPECTS(request.gradients.size() == rows * dim);
+  const EvalBackend& backend =
+      request.backend != nullptr ? *request.backend : BackendRegistry::active();
+  const std::size_t width = request.lane_width == 0
+                                ? backend.default_lane_width()
+                                : request.lane_width;
+  SAFEOPT_EXPECTS(width == 1 || backend.supports_lane_width(width));
+
+  if (request.pool != nullptr) {
+    // Grain keeps per-task work above scheduling noise for tiny tapes and
+    // leaves every chunk at least one full lane block. Chunks re-enter with
+    // the resolved backend and width pinned, so the split only changes
+    // which rows land in lane blocks versus the scalar tail — paths that
+    // are bitwise-identical per row by contract.
+    const std::size_t per_task = with_gradients ? 128 : 256;
+    const std::size_t grain = std::max<std::size_t>(
+        width, per_task / std::max<std::size_t>(1, tape_.size()));
+    request.pool->parallel_for(
+        rows,
+        [&](std::size_t begin, std::size_t end) {
+          const std::size_t count = end - begin;
+          BatchRequest chunk;
+          chunk.points = request.points.subspan(begin * dim, count * dim);
+          chunk.values = request.values.subspan(begin, count);
+          if (with_gradients) {
+            chunk.gradients =
+                request.gradients.subspan(begin * dim, count * dim);
+          }
+          chunk.lane_width = width;
+          chunk.backend = &backend;
+          evaluate_batch(chunk);
+        },
+        grain);
+    return;
+  }
+
+  const std::size_t blocks = width > 1 ? rows / width : 0;
+  if (blocks == 0 || width == 1) {
+    // The scalar reference paths — also taken for sub-block batches
+    // (finite-difference stencils, tiny populations) that would pay the
+    // slab/memo setup without ever running a lane kernel. Values carry a
+    // Workspace (the last-argument memo) across rows, exactly the pre-lane
+    // batch loop; this is the oracle every backend is tested against.
+    if (with_gradients) {
+      for (std::size_t row = 0; row < rows; ++row) {
+        request.values[row] =
+            evaluate_with_gradient(request.points.subspan(row * dim, dim),
+                                   request.gradients.subspan(row * dim, dim));
+      }
+      return;
+    }
+    Workspace workspace;
+    bind(workspace);
     for (std::size_t row = 0; row < rows; ++row) {
-      out[row] = evaluate(points.subspan(row * dim, dim));
+      request.values[row] =
+          run(request.points.subspan(row * dim, dim), workspace.slots.data(),
+              workspace.memo_arg.data(), workspace.memo_val.data());
     }
     return;
   }
+
   LaneScratch scratch;
-  bind_lanes(scratch, L, /*with_adjoint=*/false);
+  bind_lanes(scratch, width, with_gradients);
   for (std::size_t blk = 0; blk < blocks; ++blk) {
-    run_lane_block<L>(points.data() + blk * L * dim, dim,
-                      out.data() + blk * L, scratch);
+    const double* block_points = request.points.data() + blk * width * dim;
+    double* block_values = request.values.data() + blk * width;
+    if (with_gradients) {
+      backend.run_block_with_gradients(
+          *this, block_points, dim, width, block_values,
+          request.gradients.data() + blk * width * dim, scratch);
+    } else {
+      backend.run_block(*this, block_points, dim, width, block_values,
+                        scratch);
+    }
   }
   // Scalar tail: the reference loop, bitwise-identical per row.
-  for (std::size_t row = blocks * L; row < rows; ++row) {
-    out[row] = evaluate(points.subspan(row * dim, dim));
+  for (std::size_t row = blocks * width; row < rows; ++row) {
+    if (with_gradients) {
+      request.values[row] =
+          evaluate_with_gradient(request.points.subspan(row * dim, dim),
+                                 request.gradients.subspan(row * dim, dim));
+    } else {
+      request.values[row] = evaluate(request.points.subspan(row * dim, dim));
+    }
   }
 }
 
+void CompiledExpr::run_generic_block(const double* points, std::size_t dim,
+                                     std::size_t width, double* out,
+                                     LaneScratch& scratch) const {
+  switch (width) {
+    case 4: run_lane_block<4>(points, dim, out, scratch); break;
+    case 8: run_lane_block<8>(points, dim, out, scratch); break;
+    case 16: run_lane_block<16>(points, dim, out, scratch); break;
+    default: SAFEOPT_EXPECTS(false);
+  }
+}
+
+void CompiledExpr::run_generic_adjoint_block(std::size_t dim,
+                                             std::size_t width,
+                                             double* gradients,
+                                             LaneScratch& scratch) const {
+  switch (width) {
+    case 4: run_lane_adjoint<4>(dim, gradients, scratch); break;
+    case 8: run_lane_adjoint<8>(dim, gradients, scratch); break;
+    case 16: run_lane_adjoint<16>(dim, gradients, scratch); break;
+    default: SAFEOPT_EXPECTS(false);
+  }
+}
+
+// Legacy wrappers, deprecated in the header: each re-describes the call as
+// a BatchRequest. The lane_width overload pins the "generic" backend, whose
+// width set {1, 4, 8, 16} predates the registry.
 void CompiledExpr::evaluate_batch(std::span<const double> points,
                                   std::span<double> out) const {
-  evaluate_batch(points, out, kDefaultLaneWidth);
+  evaluate_batch(BatchRequest{.points = points, .values = out});
 }
 
 void CompiledExpr::evaluate_batch(std::span<const double> points,
                                   std::span<double> out,
                                   std::size_t lane_width) const {
-  const std::size_t dim = parameter_order_.size();
-  SAFEOPT_EXPECTS(points.size() == out.size() * dim);
-  SAFEOPT_EXPECTS(lane_width == 1 || lane_width == 4 || lane_width == 8);
-  switch (lane_width) {
-    case 4:
-      evaluate_batch_lanes<4>(points, out);
-      break;
-    case 8:
-      evaluate_batch_lanes<8>(points, out);
-      break;
-    default: {
-      // Single-lane reference path: one run() per row with a carried
-      // Workspace (the last-argument memo), exactly the pre-lane batch
-      // loop. This is the oracle the lane kernel is benched and tested
-      // against.
-      Workspace workspace;
-      bind(workspace);
-      for (std::size_t row = 0; row < out.size(); ++row) {
-        out[row] = run(points.subspan(row * dim, dim), workspace.slots.data(),
-                       workspace.memo_arg.data(), workspace.memo_val.data());
-      }
-      break;
-    }
-  }
+  evaluate_batch(BatchRequest{.points = points,
+                              .values = out,
+                              .lane_width = lane_width,
+                              .backend = &BackendRegistry::generic()});
 }
 
 void CompiledExpr::evaluate_batch(std::span<const double> points,
                                   std::span<double> out,
                                   ThreadPool& pool) const {
-  const std::size_t dim = parameter_order_.size();
-  SAFEOPT_EXPECTS(points.size() == out.size() * dim);
-  // Grain keeps per-task work above scheduling noise for tiny tapes and
-  // leaves every chunk at least one full lane block.
-  const std::size_t grain = std::max<std::size_t>(
-      kDefaultLaneWidth, 256 / std::max<std::size_t>(1, tape_.size()));
-  pool.parallel_for(
-      out.size(),
-      [&](std::size_t begin, std::size_t end) {
-        evaluate_batch(points.subspan(begin * dim, (end - begin) * dim),
-                       out.subspan(begin, end - begin), kDefaultLaneWidth);
-      },
-      grain);
+  evaluate_batch(BatchRequest{.points = points, .values = out, .pool = &pool});
+}
+
+void CompiledExpr::evaluate_batch_with_gradients(
+    std::span<const double> points, std::span<double> values_out,
+    std::span<double> gradients_out) const {
+  evaluate_batch(BatchRequest{
+      .points = points, .values = values_out, .gradients = gradients_out});
+}
+
+void CompiledExpr::evaluate_batch_with_gradients(
+    std::span<const double> points, std::span<double> values_out,
+    std::span<double> gradients_out, ThreadPool& pool) const {
+  evaluate_batch(BatchRequest{.points = points,
+                              .values = values_out,
+                              .gradients = gradients_out,
+                              .pool = &pool});
 }
 
 template <std::size_t L>
-void CompiledExpr::run_lane_block_with_gradients(const double* points,
-                                                 std::size_t dim,
-                                                 double* values,
-                                                 double* gradients,
-                                                 LaneScratch& scratch) const {
-  // Forward sweep fills the slab; the adjoint sweep below mirrors the
-  // scalar evaluate_with_gradient() instruction-for-instruction, so each
-  // lane's gradient is bitwise-identical to the per-point call.
-  run_lane_block<L>(points, dim, values, scratch);
-
+void CompiledExpr::run_lane_adjoint(std::size_t dim, double* gradients,
+                                    LaneScratch& scratch) const {
+  // Reverse sweep over a slab run_lane_block<L> (or an intrinsic backend's
+  // forward kernel) already filled. It mirrors the scalar
+  // evaluate_with_gradient() instruction-for-instruction, so each lane's
+  // gradient is bitwise-identical to the per-point call; intrinsic
+  // backends share this sweep and replace only the forward kernel.
   const Instruction* const tape = tape_.data();
   const std::size_t n = tape_.size();
   const double* const slab = scratch.slab.data();
@@ -774,58 +847,6 @@ void CompiledExpr::run_lane_block_with_gradients(const double* points,
       }
     }
   }
-}
-
-void CompiledExpr::evaluate_batch_with_gradients(
-    std::span<const double> points, std::span<double> values_out,
-    std::span<double> gradients_out) const {
-  const std::size_t dim = parameter_order_.size();
-  const std::size_t rows = values_out.size();
-  SAFEOPT_EXPECTS(points.size() == rows * dim);
-  SAFEOPT_EXPECTS(gradients_out.size() == rows * dim);
-  constexpr std::size_t L = kDefaultLaneWidth;
-  const std::size_t blocks = rows / L;
-  if (blocks == 0) {
-    for (std::size_t row = 0; row < rows; ++row) {
-      values_out[row] =
-          evaluate_with_gradient(points.subspan(row * dim, dim),
-                                 gradients_out.subspan(row * dim, dim));
-    }
-    return;
-  }
-  LaneScratch scratch;
-  bind_lanes(scratch, L, /*with_adjoint=*/true);
-  for (std::size_t blk = 0; blk < blocks; ++blk) {
-    run_lane_block_with_gradients<L>(
-        points.data() + blk * L * dim, dim, values_out.data() + blk * L,
-        gradients_out.data() + blk * L * dim, scratch);
-  }
-  for (std::size_t row = blocks * L; row < rows; ++row) {
-    values_out[row] =
-        evaluate_with_gradient(points.subspan(row * dim, dim),
-                               gradients_out.subspan(row * dim, dim));
-  }
-}
-
-void CompiledExpr::evaluate_batch_with_gradients(
-    std::span<const double> points, std::span<double> values_out,
-    std::span<double> gradients_out, ThreadPool& pool) const {
-  const std::size_t dim = parameter_order_.size();
-  const std::size_t rows = values_out.size();
-  SAFEOPT_EXPECTS(points.size() == rows * dim);
-  SAFEOPT_EXPECTS(gradients_out.size() == rows * dim);
-  const std::size_t grain = std::max<std::size_t>(
-      kDefaultLaneWidth, 128 / std::max<std::size_t>(1, tape_.size()));
-  pool.parallel_for(
-      rows,
-      [&](std::size_t begin, std::size_t end) {
-        const std::size_t count = end - begin;
-        evaluate_batch_with_gradients(
-            points.subspan(begin * dim, count * dim),
-            values_out.subspan(begin, count),
-            gradients_out.subspan(begin * dim, count * dim));
-      },
-      grain);
 }
 
 double CompiledExpr::run(std::span<const double> parameters, double* slots,
@@ -1072,6 +1093,16 @@ double CompiledExpr::evaluate_with_gradient(
     }
   }
   return value;
+}
+
+double CompiledExpr::apply_call(std::uint32_t index, double x) const {
+  return static_cast<const detail::FunctionNode*>(calls_[index].get())->fn()(
+      x);
+}
+
+double CompiledExpr::call_derivative_at(std::uint32_t index, double x) const {
+  return static_cast<const detail::FunctionNode*>(calls_[index].get())
+      ->derivative_at(x);
 }
 
 double CompiledExpr::apply_binary(OpCode op, double x, double y) {

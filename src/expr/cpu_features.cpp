@@ -1,0 +1,27 @@
+// The one TU allowed to call __builtin_cpu_supports (safeopt-lint:
+// cpu-detect). Everything else asks cpu_features().
+#include "safeopt/expr/cpu_features.h"
+
+namespace safeopt::expr {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  features.avx2 = __builtin_cpu_supports("avx2") > 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") > 0;
+  features.avx512dq = __builtin_cpu_supports("avx512dq") > 0;
+  features.avx512vl = __builtin_cpu_supports("avx512vl") > 0;
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace safeopt::expr

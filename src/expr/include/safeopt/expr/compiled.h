@@ -14,29 +14,37 @@
 //   * parameters become slot loads from a flat vector (no name lookups),
 //   * evaluation is a tight loop over plain structs — no virtual calls.
 //
-// The tape supports four access patterns:
+// The tape supports three access patterns:
 //   value     — evaluate(parameters)
 //   gradient  — evaluate_with_gradient(): one reverse (adjoint) sweep over
 //               the tape, O(tape) regardless of dimension count
-//   batch     — evaluate_batch(): many parameter vectors in one call,
-//               optionally fanned out over a support ThreadPool. Batches run
-//               on a lane-blocked structure-of-arrays kernel: L = 4 or 8
-//               points advance through every instruction together, so the
-//               interpreter dispatch amortizes L-fold and the per-lane
-//               arithmetic loops are plain fixed-size arrays the compiler
-//               auto-vectorizes. The scalar loop remains the tail handler,
-//               the lane_width == 1 path, and the bitwise-identity oracle.
-//   gradient batch — evaluate_batch_with_gradients(): one forward + one
-//               adjoint lane sweep yields L values *and* L gradients per
-//               pass, feeding population-based solvers without per-point
-//               tape traversals.
+//   batch     — evaluate_batch(BatchRequest): many parameter vectors (and
+//               optionally their gradients) in one call. The request names
+//               everything about the evaluation in one struct — points,
+//               values, gradients, lane width, thread pool, and the
+//               hardware backend — so every caller, from opt::Problem to
+//               the sweep tables to `safeopt serve`, hops backends through
+//               a single call shape. Batches run on lane-blocked
+//               structure-of-arrays kernels: L points advance through every
+//               instruction together, so interpreter dispatch amortizes
+//               L-fold. *Which* kernel runs is an expr::EvalBackend picked
+//               from the BackendRegistry ("generic" is the portable
+//               interpreter; "avx2"/"avx512" are explicit intrinsic
+//               kernels), selected at runtime by CPUID dispatch unless the
+//               request, the SAFEOPT_BACKEND env var, or the --backend CLI
+//               override pins one. The scalar loop remains the tail
+//               handler, the lane_width == 1 path, and the bitwise-identity
+//               oracle on every backend.
 //
 // Evaluation is bitwise-identical to Expr::evaluate(): the tape performs the
 // same floating-point operations on the same values (sharing only removes
 // *re*-computation, immediate fusion only changes where an operand is loaded
 // from, and the algebraic identities x+0 / x−0 / x·1 / x/1 / x^1 are exact
 // in IEEE arithmetic), which is what lets optimizers switch paths without
-// perturbing results. The single caveat: an identity can surface a −0.0
+// perturbing results. That identity extends across the backend seam: every
+// registered backend must produce results bitwise-identical to "generic"
+// for every lane width, batch split, and thread count (see
+// eval_backend.h). The single caveat: an identity can surface a −0.0
 // where the tree produced +0.0 (−0.0 + 0 rounds to +0.0); the two compare
 // equal, so optima remain ==-comparable. Opaque function1 nodes are assumed
 // pure (same input, same output) — the same contract the tree walk's
@@ -57,6 +65,39 @@ class ThreadPool;
 }
 
 namespace safeopt::expr {
+
+class EvalBackend;
+
+/// One batched evaluation, described in full. The single argument of
+/// CompiledExpr::evaluate_batch — aggregate-initialize the fields you need
+/// and leave the rest defaulted:
+///
+///   compiled.evaluate_batch({.points = points, .values = out});
+///   compiled.evaluate_batch({.points = points, .values = out,
+///                            .gradients = grads, .pool = &pool});
+struct BatchRequest {
+  /// Row-major parameter vectors, one row of length parameter_order().size()
+  /// per output value: points.size() == values.size() * dim.
+  std::span<const double> points;
+  /// One output value per row; its size is the row count.
+  std::span<double> values;
+  /// Empty = values only. Otherwise one row-major gradient vector per row
+  /// (gradients.size() == values.size() * dim), produced by a fused
+  /// forward + adjoint lane sweep.
+  std::span<double> gradients = {};
+  /// Points per lane block. 0 = the backend's default width; 1 = the scalar
+  /// reference loop (the bitwise oracle, identical on every backend); any
+  /// other value must satisfy backend->supports_lane_width(). Results are
+  /// bitwise-identical for every choice.
+  std::size_t lane_width = 0;
+  /// Fan rows out over this pool (nullptr = evaluate on this thread). Each
+  /// row depends only on itself, so results are bitwise-independent of the
+  /// thread count.
+  ThreadPool* pool = nullptr;
+  /// Evaluate on this specific backend (nullptr = BackendRegistry::active(),
+  /// the runtime CPUID dispatch honoring SAFEOPT_BACKEND / --backend).
+  const EvalBackend* backend = nullptr;
+};
 
 class CompiledExpr {
  public:
@@ -120,52 +161,47 @@ class CompiledExpr {
   double evaluate_with_gradient(std::span<const double> parameters,
                                 std::span<double> gradient_out) const;
 
-  /// Default lane width of the SoA batch kernel (points per instruction).
+  /// Default lane width of the generic SoA kernel (points per instruction).
   static constexpr std::size_t kDefaultLaneWidth = 8;
 
-  /// Evaluates `out.size()` points in one call on the lane-blocked SoA
-  /// kernel (kDefaultLaneWidth lanes). `points` is row-major with one
-  /// parameter vector of length parameter_order().size() per row:
-  /// points.size() == out.size() * parameter_order().size().
-  void evaluate_batch(std::span<const double> points,
-                      std::span<double> out) const;
+  /// Evaluates `request.values.size()` rows (and, when request.gradients is
+  /// non-empty, their gradients) in one call on the lane-block kernels of
+  /// the requested backend. See BatchRequest for the full shape; value and
+  /// gradient rows are bitwise-identical to per-row evaluate() /
+  /// evaluate_with_gradient() calls for every backend, lane width, batch
+  /// split, and thread count.
+  void evaluate_batch(const BatchRequest& request) const;
 
-  /// Same with an explicit lane width. Supported widths: 1 (the scalar
-  /// reference loop — the oracle the lane kernel is tested against), 4, 8.
-  /// Lane-invariance contract: results are bitwise-identical for every
-  /// supported width and any batch size (each row's value is the exact
-  /// operation sequence of evaluate(); the lane memo only ever *replays*
-  /// bit-identical results, see below).
-  void evaluate_batch(std::span<const double> points, std::span<double> out,
-                      std::size_t lane_width) const;
-
-  /// Same, with rows fanned out over `pool`. Each output element depends
-  /// only on its own row, so results are bitwise-independent of the thread
-  /// count (and, per the contract above, of the lane width).
-  void evaluate_batch(std::span<const double> points, std::span<double> out,
-                      ThreadPool& pool) const;
-
-  /// Lane-batched value + gradient: one forward and one adjoint SoA sweep
-  /// yield values_out.size() rows at once. `gradients_out` is row-major,
-  /// gradients_out.size() == values_out.size() * parameter_order().size().
-  /// Each row is bitwise-identical to a evaluate_with_gradient() call on
-  /// that row (the lane kernel performs the same per-point operation
-  /// sequence); like evaluate_with_gradient it agrees with
-  /// Expr::evaluate_dual up to floating-point reassociation.
-  void evaluate_batch_with_gradients(std::span<const double> points,
-                                     std::span<double> values_out,
-                                     std::span<double> gradients_out) const;
-
-  /// Same, fanned out over `pool`; results are thread-count-invariant.
-  void evaluate_batch_with_gradients(std::span<const double> points,
-                                     std::span<double> values_out,
-                                     std::span<double> gradients_out,
-                                     ThreadPool& pool) const;
+  // Legacy call shapes, kept as thin wrappers during the BatchRequest
+  // migration. Each forwards to evaluate_batch(BatchRequest); the
+  // lane_width overload pins the "generic" backend, whose supported widths
+  // {1, 4, 8, 16} predate the registry.
+  [[deprecated("describe the batch with a BatchRequest")]] void
+  evaluate_batch(std::span<const double> points, std::span<double> out) const;
+  [[deprecated("describe the batch with a BatchRequest")]] void
+  evaluate_batch(std::span<const double> points, std::span<double> out,
+                 std::size_t lane_width) const;
+  [[deprecated("describe the batch with a BatchRequest")]] void
+  evaluate_batch(std::span<const double> points, std::span<double> out,
+                 ThreadPool& pool) const;
+  [[deprecated("describe the batch with a BatchRequest")]] void
+  evaluate_batch_with_gradients(std::span<const double> points,
+                                std::span<double> values_out,
+                                std::span<double> gradients_out) const;
+  [[deprecated("describe the batch with a BatchRequest")]] void
+  evaluate_batch_with_gradients(std::span<const double> points,
+                                std::span<double> values_out,
+                                std::span<double> gradients_out,
+                                ThreadPool& pool) const;
 
   /// Human-readable tape listing, one instruction per line (debugging aid).
   [[nodiscard]] std::string disassemble() const;
 
- private:
+  // ------------------------------------------------------------------ SPI
+  // The backend service-provider interface: everything an EvalBackend's
+  // kernels need to interpret the tape. Stable for in-tree backends and the
+  // docs/extending.md recipe; ordinary callers never touch it.
+
   enum class OpCode : std::uint8_t {
     kConst,     // imm
     kParam,     // parameter slot a
@@ -193,13 +229,11 @@ class CompiledExpr {
     double imm = 0.0;
   };
 
-  class Builder;
-
-  /// Per-call state of the lane kernel: the SoA value/adjoint slabs
+  /// Per-call state of the lane kernels: the SoA value/adjoint slabs
   /// (tape_size() × L doubles, slot-major so each instruction's lanes are
   /// contiguous) plus the distribution-argument memo tables. Where the
   /// scalar Workspace memo remembers only the *last* argument of each cdf /
-  /// survival site, the lane kernel keeps a small direct-mapped table per
+  /// survival site, the lane kernels keep a small direct-mapped table per
   /// site (kMemoEntries (argument, result) pairs hashed on the argument's
   /// bit pattern). Grid- and sweep-shaped batches revisit the same argument
   /// values row after row, and a table hit replays the bitwise-identical
@@ -213,6 +247,46 @@ class CompiledExpr {
   };
   static constexpr std::size_t kMemoEntries = 2048;  // per cdf/survival site
 
+  /// The instruction tape, postorder; the final instruction is the root.
+  [[nodiscard]] std::span<const Instruction> tape() const noexcept {
+    return tape_;
+  }
+  /// Number of cdf/survival memo sites on the tape.
+  [[nodiscard]] std::uint32_t memo_count() const noexcept {
+    return memo_count_;
+  }
+  /// The distribution behind a kCdf/kSurvival instruction's `b` index.
+  [[nodiscard]] const stats::Distribution& distribution_at(
+      std::uint32_t index) const noexcept {
+    return *distributions_[index];
+  }
+  /// Invokes / differentiates the opaque function behind a kCall
+  /// instruction's `b` index (backends keep kCall loops scalar so the
+  /// callback sees the exact per-row invocation pattern of evaluate()).
+  [[nodiscard]] double apply_call(std::uint32_t index, double x) const;
+  [[nodiscard]] double call_derivative_at(std::uint32_t index,
+                                          double x) const;
+
+  /// Sizes `scratch` for this tape (cold memo) and L lanes.
+  void bind_lanes(LaneScratch& scratch, std::size_t lanes,
+                  bool with_adjoint) const;
+
+  /// The "generic" kernels, callable from any backend: the portable
+  /// lane-block forward sweep (width ∈ {4, 8, 16}) and the adjoint sweep
+  /// over a slab the forward sweep filled. Intrinsic backends reuse the
+  /// adjoint sweep (plain +,*,/ loops the compiler vectorizes) and replace
+  /// only the forward kernel; a custom backend can delegate entire blocks
+  /// here for tape features it does not accelerate.
+  void run_generic_block(const double* points, std::size_t dim,
+                         std::size_t width, double* out,
+                         LaneScratch& scratch) const;
+  void run_generic_adjoint_block(std::size_t dim, std::size_t width,
+                                 double* gradients,
+                                 LaneScratch& scratch) const;
+
+ private:
+  class Builder;
+
   CompiledExpr() = default;
 
   /// Executes the tape over `slots` (length >= tape_size()) and returns the
@@ -225,27 +299,17 @@ class CompiledExpr {
   /// Points `workspace`'s buffers at this tape, resetting stale state.
   void bind(Workspace& workspace) const;
 
-  /// Sizes `scratch` for this tape (cold memo) and L lanes.
-  void bind_lanes(LaneScratch& scratch, std::size_t lanes,
-                  bool with_adjoint) const;
-
   /// Evaluates one block of exactly L rows through the SoA kernel;
   /// `points` holds L row-major parameter vectors, `out` L values.
   template <std::size_t L>
   void run_lane_block(const double* points, std::size_t dim, double* out,
                       LaneScratch& scratch) const;
 
-  /// Forward + adjoint lane sweep over one block of exactly L rows;
-  /// `gradients` receives L row-major gradient vectors of length dim.
+  /// Adjoint sweep over the slab run_lane_block<L> filled; `gradients`
+  /// receives L row-major gradient vectors of length dim.
   template <std::size_t L>
-  void run_lane_block_with_gradients(const double* points, std::size_t dim,
-                                     double* values, double* gradients,
-                                     LaneScratch& scratch) const;
-
-  /// Lane-blocked batch over `rows` rows with width L (scalar tail).
-  template <std::size_t L>
-  void evaluate_batch_lanes(std::span<const double> points,
-                            std::span<double> out) const;
+  void run_lane_adjoint(std::size_t dim, double* gradients,
+                        LaneScratch& scratch) const;
 
   // Scalar op semantics shared by run() and compile-time constant folding,
   // so folding is guaranteed bit-identical to deferred evaluation.

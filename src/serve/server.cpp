@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/ftio/parser.h"
 #include "safeopt/support/build_info.h"
 #include "safeopt/support/error.h"
@@ -347,6 +348,9 @@ std::string Server::stats_body() const {
   root.set("build", JsonValue::string(build_info_string()));
   root.set("version",
            JsonValue::string(std::string(build_info().version)));
+  root.set("backend",
+           JsonValue::string(
+               std::string(expr::BackendRegistry::active().name())));
 
   JsonValue requests = JsonValue::object();
   const auto count = [&requests](std::string_view name, std::uint64_t n) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "safeopt/expr/compiled.h"
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/expr/expr.h"
 #include "safeopt/stats/distribution.h"
 #include "safeopt/support/rng.h"
@@ -44,14 +45,18 @@ TEST(CompiledLanesTest, LaneWidthsProduceIdenticalResultsOnRandomDags) {
             std::span<const double>(points).subspan(r * params.size(),
                                                     params.size()));
       }
-      for (const std::size_t width : {1u, 4u, 8u}) {
+      for (const std::size_t width : {1u, 4u, 8u, 16u}) {
         std::vector<double> batch(rows);
-        compiled.evaluate_batch(points, batch, width);
+        compiled.evaluate_batch({.points = points, .values = batch,
+                                 .lane_width = width,
+                                 .backend = &BackendRegistry::generic()});
         EXPECT_EQ(scalar, batch)
             << "seed " << seed << " rows " << rows << " width " << width;
       }
+      // Default width under runtime dispatch: whichever backend the
+      // registry picks must reproduce the scalar oracle bit for bit.
       std::vector<double> default_width(rows);
-      compiled.evaluate_batch(points, default_width);
+      compiled.evaluate_batch({.points = points, .values = default_width});
       EXPECT_EQ(scalar, default_width) << "seed " << seed << " rows " << rows;
     }
   }
@@ -66,7 +71,7 @@ TEST(CompiledLanesTest, SplitBatchesEqualOneBatch) {
   const std::vector<double> points = random_points(rng, rows, 2);
 
   std::vector<double> whole(rows);
-  compiled.evaluate_batch(points, whole);
+  compiled.evaluate_batch({.points = points, .values = whole});
   // Evaluate the same rows as several sub-batches with misaligned splits:
   // each row's value may not depend on where block boundaries fall.
   for (const std::size_t split : {1u, 5u, 8u, 13u, 99u}) {
@@ -74,8 +79,9 @@ TEST(CompiledLanesTest, SplitBatchesEqualOneBatch) {
     for (std::size_t begin = 0; begin < rows; begin += split) {
       const std::size_t count = std::min(split, rows - begin);
       compiled.evaluate_batch(
-          std::span<const double>(points).subspan(begin * 2, count * 2),
-          std::span<double>(pieces).subspan(begin, count));
+          {.points =
+               std::span<const double>(points).subspan(begin * 2, count * 2),
+           .values = std::span<double>(pieces).subspan(begin, count)});
     }
     EXPECT_EQ(whole, pieces) << "split " << split;
   }
@@ -90,11 +96,12 @@ TEST(CompiledLanesTest, LaneKernelIndependentOfThreadCount) {
   const std::vector<double> points = random_points(rng, rows, 3);
 
   std::vector<double> serial(rows);
-  compiled.evaluate_batch(points, serial);
+  compiled.evaluate_batch({.points = points, .values = serial});
   for (const std::size_t threads : {1u, 2u, 5u}) {
     ThreadPool pool(threads);
     std::vector<double> parallel(rows);
-    compiled.evaluate_batch(points, parallel, pool);
+    compiled.evaluate_batch(
+        {.points = points, .values = parallel, .pool = &pool});
     EXPECT_EQ(serial, parallel) << threads << " threads";
   }
 }
@@ -120,7 +127,7 @@ TEST(CompiledLanesTest, GridShapedBatchesHitTheArgumentMemoSafely) {
     }
   }
   std::vector<double> batch(nx * ny);
-  compiled.evaluate_batch(points, batch);
+  compiled.evaluate_batch({.points = points, .values = batch});
   for (std::size_t r = 0; r < batch.size(); ++r) {
     EXPECT_EQ(batch[r], compiled.evaluate(std::span<const double>(
                             &points[2 * r], 2)))
@@ -138,7 +145,8 @@ TEST(CompiledLanesTest, BatchGradientsMatchPerPointReverseSweep) {
       const std::vector<double> points = random_points(rng, rows, 3);
       std::vector<double> values(rows);
       std::vector<double> gradients(rows * 3);
-      compiled.evaluate_batch_with_gradients(points, values, gradients);
+      compiled.evaluate_batch(
+          {.points = points, .values = values, .gradients = gradients});
 
       for (std::size_t r = 0; r < rows; ++r) {
         std::vector<double> grad(3);
@@ -164,7 +172,8 @@ TEST(CompiledLanesTest, BatchGradientsAgreeWithForwardDual) {
     const std::vector<double> points = random_points(rng, rows, 3);
     std::vector<double> values(rows);
     std::vector<double> gradients(rows * 3);
-    compiled.evaluate_batch_with_gradients(points, values, gradients);
+    compiled.evaluate_batch(
+        {.points = points, .values = values, .gradients = gradients});
 
     for (std::size_t r = 0; r < rows; ++r) {
       ParameterAssignment env;
@@ -190,12 +199,14 @@ TEST(CompiledLanesTest, BatchGradientsIndependentOfThreadCount) {
 
   std::vector<double> values(rows);
   std::vector<double> gradients(rows * 2);
-  compiled.evaluate_batch_with_gradients(points, values, gradients);
+  compiled.evaluate_batch(
+      {.points = points, .values = values, .gradients = gradients});
   for (const std::size_t threads : {1u, 3u}) {
     ThreadPool pool(threads);
     std::vector<double> pvalues(rows);
     std::vector<double> pgradients(rows * 2);
-    compiled.evaluate_batch_with_gradients(points, pvalues, pgradients, pool);
+    compiled.evaluate_batch({.points = points, .values = pvalues,
+                             .gradients = pgradients, .pool = &pool});
     EXPECT_EQ(values, pvalues) << threads << " threads";
     EXPECT_EQ(gradients, pgradients) << threads << " threads";
   }
@@ -213,10 +224,11 @@ TEST(CompiledLanesTest, ExtraUnusedParametersKeepLaneKernelInBounds) {
   Rng rng(5);
   for (double& v : points) v = uniform(rng, -2.0, 2.0);
   std::vector<double> out(rows);
-  compiled.evaluate_batch(points, out);
+  compiled.evaluate_batch({.points = points, .values = out});
   std::vector<double> values(rows);
   std::vector<double> gradients(rows * 6);
-  compiled.evaluate_batch_with_gradients(points, values, gradients);
+  compiled.evaluate_batch(
+      {.points = points, .values = values, .gradients = gradients});
   for (std::size_t r = 0; r < rows; ++r) {
     EXPECT_EQ(out[r], points[r * 6 + 5]);
     EXPECT_EQ(values[r], points[r * 6 + 5]);

@@ -157,7 +157,7 @@ TEST(CompiledExprTest, BatchMatchesScalarEvaluation) {
   std::vector<double> points(rows * 2);
   for (double& v : points) v = uniform(rng, 0.25, 4.0);
   std::vector<double> batch(rows);
-  compiled.evaluate_batch(points, batch);
+  compiled.evaluate_batch({.points = points, .values = batch});
   for (std::size_t r = 0; r < rows; ++r) {
     EXPECT_EQ(batch[r],
               compiled.evaluate(std::span<const double>(&points[r * 2], 2)));
@@ -175,11 +175,12 @@ TEST(CompiledExprTest, BatchIndependentOfThreadCount) {
   for (double& v : points) v = uniform(rng, 0.25, 4.0);
 
   std::vector<double> serial(rows);
-  compiled.evaluate_batch(points, serial);
+  compiled.evaluate_batch({.points = points, .values = serial});
   for (const std::size_t threads : {1u, 2u, 5u}) {
     ThreadPool pool(threads);
     std::vector<double> parallel(rows);
-    compiled.evaluate_batch(points, parallel, pool);
+    compiled.evaluate_batch(
+        {.points = points, .values = parallel, .pool = &pool});
     EXPECT_EQ(serial, parallel) << threads << " threads";
   }
 }

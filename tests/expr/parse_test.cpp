@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "safeopt/expr/compiled.h"
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/expr/expr.h"
 #include "safeopt/stats/distribution.h"
 
@@ -140,7 +141,9 @@ TEST(ExprParseTest, ParsedExpressionsCompileToEquivalentTapes) {
   for (const std::size_t lanes : {std::size_t{1}, std::size_t{4},
                                   std::size_t{8}}) {
     std::vector<double> batch(rows);
-    compiled.evaluate_batch(points, batch, lanes);
+    compiled.evaluate_batch({.points = points, .values = batch,
+                             .lane_width = lanes,
+                             .backend = &BackendRegistry::generic()});
     EXPECT_EQ(walk, batch) << "lane width " << lanes;
   }
 }

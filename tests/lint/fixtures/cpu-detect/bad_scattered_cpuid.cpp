@@ -1,0 +1,10 @@
+// Fixture: raw CPUID probes outside the one detection TU.
+#include <cpuid.h>
+
+bool has_avx2_builtin() { return __builtin_cpu_supports("avx2") != 0; }
+
+bool has_avx2_cpuid() {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (__get_cpuid_count(7, 0, &a, &b, &c, &d) == 0) return false;
+  return (b & (1u << 5)) != 0;
+}

@@ -1,0 +1,11 @@
+// Fixture: backend code asks the cached probe; mentioning the feature
+// struct or pragma-allowed interop must not trip.
+#include "safeopt/expr/cpu_features.h"
+
+bool wants_avx2() {
+  const safeopt::expr::CpuFeatures& features = safeopt::expr::cpu_features();
+  return features.avx2;
+}
+
+// safeopt-lint: allow(cpu-detect) — documented interop in a comment example
+int legacy() { return __builtin_cpu_supports("sse2"); }

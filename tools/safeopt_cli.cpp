@@ -4,6 +4,7 @@
 //   safeopt quantify <model.ft> [options]     quantify hazards at a point
 //   safeopt run      <model.ft> [options]     optimize, report the optimum
 //   safeopt serve    [options]                multi-tenant HTTP service
+//   safeopt backends [--json]                 evaluation backends + dispatch
 //   safeopt --version                         build identity, one line
 //
 // The --json schemas are rendered by serve/response_json.h — the same
@@ -40,6 +41,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <optional>
@@ -49,6 +51,7 @@
 
 #include "safeopt/core/quantification_engine.h"
 #include "safeopt/core/study.h"
+#include "safeopt/expr/eval_backend.h"
 #include "safeopt/fta/cut_sets.h"
 #include "safeopt/ftio/parser.h"
 #include "safeopt/ftio/study_document.h"
@@ -58,6 +61,7 @@
 #include "safeopt/serve/server.h"
 #include "safeopt/support/build_info.h"
 #include "safeopt/support/error.h"
+#include "safeopt/support/json.h"
 #include "safeopt/support/strings.h"
 
 namespace {
@@ -69,6 +73,7 @@ struct Options {
   std::string model;
   std::optional<std::string> solver;
   std::optional<std::string> engine;
+  std::optional<std::string> backend;
   std::vector<std::string> extras;          // key=value
   std::vector<std::string> engine_options;  // key=value
   std::optional<std::uint64_t> seed;
@@ -87,6 +92,8 @@ int usage(const char* error = nullptr) {
       "  quantify   quantify every hazard at a parameter point\n"
       "  run        minimize the cost function, report the optimum\n"
       "  serve      multi-tenant quantification service (docs/service.md)\n"
+      "  backends   list evaluation backends and the dispatch pick "
+      "(no model)\n"
       "\n"
       "serve options:\n"
       "  --port N --threads N --cache-mb N --max-queue N --max-concurrent N\n"
@@ -96,6 +103,9 @@ int usage(const char* error = nullptr) {
       "options:\n"
       "  --solver NAME     solver registry name (overrides the document)\n"
       "  --engine NAME     quantification engine (overrides the document)\n"
+      "  --backend NAME    compiled-tape evaluation backend override\n"
+      "                    (see `safeopt backends`; unavailable backends\n"
+      "                    degrade to the best available with a note)\n"
       "  --extra K=V       solver extra, repeatable (e.g. starts=16)\n"
       "  --engine-opt K=V  engine option, repeatable (e.g. tilt=25)\n"
       "  --seed N          solver seed\n"
@@ -129,6 +139,8 @@ std::optional<Options> parse_arguments(int argc, char** argv) {
       options.solver = value();
     } else if (arg == "--engine") {
       options.engine = value();
+    } else if (arg == "--backend") {
+      options.backend = value();
     } else if (arg == "--extra") {
       options.extras.emplace_back(value());
     } else if (arg == "--engine-opt") {
@@ -265,7 +277,12 @@ void print_hazard_results_text(const HazardResults& results,
         std::printf(" [budget exhausted]");
       }
     }
-    std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+    if (result.backend.empty()) {
+      std::printf("   (engine %s)\n", std::string(engine_name).c_str());
+    } else {
+      std::printf("   (engine %s, backend %s)\n",
+                  std::string(engine_name).c_str(), result.backend.c_str());
+    }
     for (const std::string& diagnostic : result.diagnostics) {
       std::printf("    note: %s\n", diagnostic.c_str());
     }
@@ -572,6 +589,74 @@ int run_serve(int argc, char** argv) {
   return 0;
 }
 
+// -------------------------------------------------------------- backends
+
+/// `safeopt backends`: the registered evaluation backends, their hardware
+/// availability, and which one runtime dispatch picks on this machine.
+/// No model needed — this is a host-capability probe, like --version.
+int run_backends(int argc, char** argv) {
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      throw std::invalid_argument(
+          concat("unknown backends option \"", arg, "\""));
+    }
+  }
+  const expr::EvalBackend& active = expr::BackendRegistry::active();
+  // Probe the small power-of-two range the lane kernels use; anything a
+  // backend supports outside it would be a registry contract violation.
+  constexpr std::size_t kProbeWidths[] = {2, 4, 8, 16, 32};
+  if (json) {
+    JsonValue backends = JsonValue::array();
+    for (const std::string& name : expr::BackendRegistry::registered()) {
+      const expr::EvalBackend* backend = expr::BackendRegistry::find(name);
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue::string(name));
+      entry.set("available", JsonValue::boolean(backend->available()));
+      entry.set("priority",
+                JsonValue::number(static_cast<double>(backend->priority())));
+      entry.set("default_lane_width",
+                JsonValue::number(
+                    static_cast<double>(backend->default_lane_width())));
+      JsonValue widths = JsonValue::array();
+      for (const std::size_t width : kProbeWidths) {
+        if (backend->supports_lane_width(width)) {
+          widths.push_back(JsonValue::number(static_cast<double>(width)));
+        }
+      }
+      entry.set("lane_widths", std::move(widths));
+      backends.push_back(std::move(entry));
+    }
+    JsonValue root = JsonValue::object();
+    root.set("backends", std::move(backends));
+    root.set("active", JsonValue::string(std::string(active.name())));
+    const char* env = std::getenv("SAFEOPT_BACKEND");
+    root.set("env_override",
+             JsonValue::string(env != nullptr ? env : ""));
+    std::printf("%s\n", root.dump().c_str());
+  } else {
+    for (const std::string& name : expr::BackendRegistry::registered()) {
+      const expr::EvalBackend* backend = expr::BackendRegistry::find(name);
+      std::string widths;
+      for (const std::size_t width : kProbeWidths) {
+        if (!backend->supports_lane_width(width)) continue;
+        if (!widths.empty()) widths += ",";
+        widths += std::to_string(width);
+      }
+      std::printf("%-10s %-13s priority %d  lanes %s (default %zu)%s\n",
+                  name.c_str(),
+                  backend->available() ? "available" : "unavailable",
+                  backend->priority(), widths.c_str(),
+                  backend->default_lane_width(),
+                  backend == &active ? "  [active]" : "");
+    }
+  }
+  return 0;
+}
+
 /// Reports one failure on stderr (and, with --json, as a structured error
 /// object on stdout) and returns the exit code to use.
 int report_error(bool json, std::string_view category,
@@ -607,6 +692,13 @@ int main(int argc, char** argv) {
     std::printf("%s\n", build_info_string().c_str());
     return 0;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "backends") == 0) {
+    try {
+      return run_backends(argc, argv);
+    } catch (const std::invalid_argument& error) {
+      return usage(error.what());
+    }
+  }
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
     try {
       return run_serve(argc, argv);
@@ -629,6 +721,13 @@ int main(int argc, char** argv) {
     return usage(concat("unknown command \"", options->command, "\"").c_str());
   }
   try {
+    if (options->backend.has_value()) {
+      // A process-wide override, one layer below an explicit per-request
+      // backend and one above SAFEOPT_BACKEND (see BackendRegistry::
+      // resolve). Unknown/unavailable names degrade with a diagnostic in
+      // the results rather than failing the run.
+      expr::BackendRegistry::set_override(*options->backend);
+    }
     const ftio::StudyDocument doc = ftio::load_study(options->model);
     if (options->command == "validate") {
       return run_validate(doc, *options);
